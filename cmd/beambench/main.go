@@ -1,0 +1,197 @@
+// Command beambench reproduces the evaluation of Hesse et al. (ICDCS
+// 2019): it runs the four StreamBench queries on the three simulated
+// engines, with native APIs and through the Beam abstraction layer, and
+// prints the paper's figures and tables.
+//
+// Usage examples:
+//
+//	beambench -figure 11                 # slowdown factors (Figure 11)
+//	beambench -figure 6 -runs 10         # identity execution times
+//	beambench -table 3                   # per-run identity times on Flink
+//	beambench -all -json report.json     # everything, plus raw JSON
+//	beambench -print queries             # Table II (static)
+//	beambench -records 1000001 -runs 10  # paper-scale (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"beambench/internal/harness"
+	"beambench/internal/queries"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "beambench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("beambench", flag.ContinueOnError)
+	var (
+		records  = fs.Int("records", 50_000, "workload size (paper: 1000001)")
+		runs     = fs.Int("runs", 5, "runs per setup (paper: 10)")
+		figure   = fs.Int("figure", 0, "print one figure (6-11)")
+		table    = fs.Int("table", 0, "print one table (1-3)")
+		all      = fs.Bool("all", false, "run everything and print all figures and tables")
+		queryArg = fs.String("query", "", "limit to one query: identity|sample|projection|grep")
+		jsonPath = fs.String("json", "", "write the raw report as JSON to this file")
+		seed     = fs.Uint64("seed", 42, "dataset seed")
+		noNoise  = fs.Bool("no-noise", false, "disable the run-to-run noise model")
+		quiet    = fs.Bool("quiet", false, "suppress progress output")
+		printArg = fs.String("print", "", "print static info: systems|queries")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *printArg != "" {
+		switch *printArg {
+		case "systems":
+			fmt.Fprint(out, harness.FormatTableI())
+			return nil
+		case "queries":
+			r, err := harness.New(harness.Config{Records: *records, DatasetSeed: *seed})
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, harness.FormatTableII(r.DatasetSize(), r.GrepHits()))
+			return nil
+		default:
+			return fmt.Errorf("unknown -print target %q", *printArg)
+		}
+	}
+	if *figure == 0 && *table == 0 && !*all {
+		return fmt.Errorf("nothing to do: pass -figure N, -table N, -all or -print")
+	}
+	if *table == 1 {
+		fmt.Fprint(out, harness.FormatTableI())
+		return nil
+	}
+
+	cfg := harness.Config{
+		Records:      *records,
+		Runs:         *runs,
+		DatasetSeed:  *seed,
+		DisableNoise: *noNoise,
+	}
+	if !*quiet {
+		cfg.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "  "+msg) }
+	}
+	r, err := harness.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	if *table == 2 {
+		fmt.Fprint(out, harness.FormatTableII(r.DatasetSize(), r.GrepHits()))
+		return nil
+	}
+
+	qs, err := selectQueries(*figure, *table, *all, *queryArg)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "benchmarking %d records x %d runs x %d queries x 12 setups\n",
+			r.DatasetSize(), *runs, len(qs))
+	}
+	var results []harness.RunResult
+	for _, q := range qs {
+		res, err := r.RunQuery(q)
+		if err != nil {
+			return err
+		}
+		results = append(results, res...)
+	}
+	rep, err := harness.BuildReport(r.Config(), results)
+	if err != nil {
+		return err
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			return err
+		}
+	}
+
+	switch {
+	case *all:
+		for n := 6; n <= 11; n++ {
+			text, err := rep.FormatFigure(n)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, text)
+		}
+		t3, err := rep.FormatTableIII()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, harness.FormatTableI())
+		fmt.Fprintln(out, harness.FormatTableII(r.DatasetSize(), r.GrepHits()))
+		fmt.Fprintln(out, t3)
+	case *figure != 0:
+		text, err := rep.FormatFigure(*figure)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, text)
+	case *table == 3:
+		t3, err := rep.FormatTableIII()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, t3)
+	}
+	return nil
+}
+
+// selectQueries decides which queries must run for the requested output.
+func selectQueries(figure, table int, all bool, queryArg string) ([]queries.Query, error) {
+	if queryArg != "" {
+		q, err := parseQuery(queryArg)
+		if err != nil {
+			return nil, err
+		}
+		return []queries.Query{q}, nil
+	}
+	switch {
+	case all || figure == 10 || figure == 11:
+		return queries.All(), nil
+	case figure >= 6 && figure <= 9:
+		byFig := map[int]queries.Query{
+			6: queries.Identity, 7: queries.Sample, 8: queries.Projection, 9: queries.Grep,
+		}
+		return []queries.Query{byFig[figure]}, nil
+	case table == 3:
+		return []queries.Query{queries.Identity}, nil
+	default:
+		return nil, fmt.Errorf("unsupported figure/table selection")
+	}
+}
+
+func parseQuery(s string) (queries.Query, error) {
+	switch strings.ToLower(s) {
+	case "identity":
+		return queries.Identity, nil
+	case "sample":
+		return queries.Sample, nil
+	case "projection":
+		return queries.Projection, nil
+	case "grep":
+		return queries.Grep, nil
+	default:
+		return 0, fmt.Errorf("unknown query %q", s)
+	}
+}

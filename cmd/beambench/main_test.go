@@ -1,0 +1,114 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"beambench/internal/queries"
+)
+
+func TestParseQuery(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    queries.Query
+		wantErr bool
+	}{
+		{give: "identity", want: queries.Identity},
+		{give: "Sample", want: queries.Sample},
+		{give: "PROJECTION", want: queries.Projection},
+		{give: "grep", want: queries.Grep},
+		{give: "wordcount", wantErr: true},
+		{give: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseQuery(tt.give)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseQuery(%q) error = %v, wantErr %v", tt.give, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("parseQuery(%q) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestSelectQueries(t *testing.T) {
+	all, err := selectQueries(0, 0, true, "")
+	if err != nil || len(all) != 4 {
+		t.Errorf("all = %v, %v", all, err)
+	}
+	fig6, err := selectQueries(6, 0, false, "")
+	if err != nil || len(fig6) != 1 || fig6[0] != queries.Identity {
+		t.Errorf("fig6 = %v, %v", fig6, err)
+	}
+	fig11, err := selectQueries(11, 0, false, "")
+	if err != nil || len(fig11) != 4 {
+		t.Errorf("fig11 = %v, %v", fig11, err)
+	}
+	table3, err := selectQueries(0, 3, false, "")
+	if err != nil || len(table3) != 1 || table3[0] != queries.Identity {
+		t.Errorf("table3 = %v, %v", table3, err)
+	}
+	limited, err := selectQueries(11, 0, false, "grep")
+	if err != nil || len(limited) != 1 || limited[0] != queries.Grep {
+		t.Errorf("limited = %v, %v", limited, err)
+	}
+	if _, err := selectQueries(0, 0, false, ""); err == nil {
+		t.Error("empty selection accepted")
+	}
+	if _, err := selectQueries(0, 0, false, "bogus"); err == nil {
+		t.Error("bogus query accepted")
+	}
+}
+
+func TestRunStaticOutputs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-print", "systems"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Tuple-by-tuple") {
+		t.Errorf("systems output missing content:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	if err := run([]string{"-print", "queries", "-records", "1000"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Grep") {
+		t.Errorf("queries output missing content:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	if err := run([]string{"-table", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table I") {
+		t.Errorf("table 1 output missing content:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Error("no-op invocation accepted")
+	}
+	if err := run([]string{"-print", "bogus"}, &sb); err == nil {
+		t.Error("bogus print target accepted")
+	}
+	if err := run([]string{"-figure", "99"}, &sb); err == nil {
+		t.Error("bogus figure accepted")
+	}
+}
+
+func TestRunTinyFigure(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-figure", "9", "-records", "500", "-runs", "1", "-quiet", "-no-noise"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Grep Query", "Apex Beam P1", "Spark P2"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("figure output missing %q:\n%s", want, sb.String())
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Command datasender is the benchmark's standalone data sender (phase 1
+// of the process in Figure 5): it generates the AOL-style workload and
+// loads it into a broker topic, then saves the broker state as a
+// snapshot file that cmd/resultcalc and other tools can load. It can
+// also emit the raw workload as TSV.
+//
+// Usage:
+//
+//	datasender -records 1000001 -out broker.snap
+//	datasender -records 50000 -tsv workload.tsv
+//	datasender -records 50000 -rate 100000 -acks all -out broker.snap
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"beambench/internal/aol"
+	"beambench/internal/broker"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "datasender:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("datasender", flag.ContinueOnError)
+	var (
+		records  = fs.Int("records", 1_000_001, "number of records to generate")
+		seed     = fs.Uint64("seed", 42, "generator seed")
+		topic    = fs.String("topic", "input", "target topic name")
+		acksArg  = fs.String("acks", "1", "producer acks: 0|1|all")
+		batch    = fs.Int("batch", 500, "producer batch size")
+		rate     = fs.Int("rate", 0, "ingestion rate in records/second (0 = unlimited)")
+		snapPath = fs.String("out", "", "write a broker snapshot to this file")
+		tsvPath  = fs.String("tsv", "", "write the workload as TSV to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *snapPath == "" && *tsvPath == "" {
+		return fmt.Errorf("nothing to do: pass -out and/or -tsv")
+	}
+	acks, err := parseAcks(*acksArg)
+	if err != nil {
+		return err
+	}
+
+	if *tsvPath != "" {
+		gen, err := aol.NewGenerator(aol.Config{Records: *records, Seed: *seed, GrepHits: -1})
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*tsvPath)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		n, err := gen.WriteTSV(w)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d TSV records to %s\n", n, *tsvPath)
+	}
+
+	if *snapPath != "" {
+		n, elapsed, err := ingest(*records, *seed, *topic, acks, *batch, *rate, *snapPath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "ingested %d records into topic %q in %v, snapshot at %s\n",
+			n, *topic, elapsed.Round(time.Millisecond), *snapPath)
+	}
+	return nil
+}
+
+func ingest(records int, seed uint64, topic string, acks broker.Acks, batch, rate int, snapPath string) (int, time.Duration, error) {
+	gen, err := aol.NewGenerator(aol.Config{Records: records, Seed: seed, GrepHits: -1})
+	if err != nil {
+		return 0, 0, err
+	}
+	b := broker.New()
+	if err := b.CreateTopic(topic, broker.TopicConfig{Partitions: 1, ReplicationFactor: 1}); err != nil {
+		return 0, 0, err
+	}
+	producer, err := b.NewProducer(broker.ProducerConfig{Acks: acks, BatchSize: batch})
+	if err != nil {
+		return 0, 0, err
+	}
+
+	start := time.Now()
+	var limiter *time.Ticker
+	if rate > 0 {
+		limiter = time.NewTicker(time.Second / time.Duration(rate))
+		defer limiter.Stop()
+	}
+	n := 0
+	var buf []byte
+	for {
+		rec, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if limiter != nil {
+			<-limiter.C
+		}
+		buf = rec.AppendTSV(buf[:0])
+		if err := producer.Send(topic, nil, buf); err != nil {
+			return n, 0, err
+		}
+		n++
+	}
+	if err := producer.Close(); err != nil {
+		return n, 0, err
+	}
+	elapsed := time.Since(start)
+
+	f, err := os.Create(snapPath)
+	if err != nil {
+		return n, 0, err
+	}
+	if err := b.SaveSnapshot(f); err != nil {
+		f.Close()
+		return n, 0, err
+	}
+	return n, elapsed, f.Close()
+}
+
+func parseAcks(s string) (broker.Acks, error) {
+	switch s {
+	case "0":
+		return broker.AcksNone, nil
+	case "1":
+		return broker.AcksLeader, nil
+	case "all", "-1":
+		return broker.AcksAll, nil
+	default:
+		return 0, fmt.Errorf("invalid acks %q (want 0, 1 or all)", s)
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"beambench/internal/broker"
+)
+
+func TestParseAcks(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    broker.Acks
+		wantErr bool
+	}{
+		{give: "0", want: broker.AcksNone},
+		{give: "1", want: broker.AcksLeader},
+		{give: "all", want: broker.AcksAll},
+		{give: "-1", want: broker.AcksAll},
+		{give: "2", wantErr: true},
+		{give: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseAcks(tt.give)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseAcks(%q) error = %v, wantErr %v", tt.give, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("parseAcks(%q) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestRunGeneratesSnapshotAndTSV(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "b.snap")
+	tsv := filepath.Join(dir, "w.tsv")
+	var sb strings.Builder
+	err := run([]string{"-records", "300", "-out", snap, "-tsv", tsv}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ingested 300 records") {
+		t.Errorf("unexpected output: %s", sb.String())
+	}
+
+	// The snapshot restores into a broker with the records present.
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b := broker.New()
+	if err := b.LoadSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.RecordCount("input")
+	if err != nil || n != 300 {
+		t.Errorf("restored records = %d, %v; want 300", n, err)
+	}
+
+	data, err := os.ReadFile(tsv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 300 {
+		t.Errorf("TSV lines = %d, want 300", lines)
+	}
+}
+
+func TestRunRequiresOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-records", "10"}, &sb); err == nil {
+		t.Error("invocation without outputs accepted")
+	}
+	if err := run([]string{"-records", "10", "-acks", "9", "-out", "x"}, &sb); err == nil {
+		t.Error("bad acks accepted")
+	}
+}

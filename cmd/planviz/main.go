@@ -1,0 +1,125 @@
+// Command planviz prints execution plans, reproducing Figures 12 and 13
+// of the paper: the native Flink grep job translates to three plan nodes
+// (source, filter, sink) while the same query through the Beam
+// abstraction layer expands to seven.
+//
+// Usage:
+//
+//	planviz -query grep -api native
+//	planviz -query grep -api beam
+//	planviz -query identity -api beam -format dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"beambench/internal/beam/runner/flinkrunner"
+	"beambench/internal/broker"
+	"beambench/internal/dag"
+	"beambench/internal/flink"
+	"beambench/internal/queries"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "planviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("planviz", flag.ContinueOnError)
+	var (
+		queryArg    = fs.String("query", "grep", "query: identity|sample|projection|grep")
+		apiArg      = fs.String("api", "native", "api: native|beam")
+		format      = fs.String("format", "text", "output format: text|dot")
+		parallelism = fs.Int("p", 1, "job parallelism")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	q, err := parseQuery(*queryArg)
+	if err != nil {
+		return err
+	}
+
+	// Plans are derived from the translated job graphs; topics only need
+	// to exist for construction.
+	b := broker.New()
+	for _, topic := range []string{"input", "output"} {
+		if err := b.CreateTopic(topic, broker.TopicConfig{Partitions: 1}); err != nil {
+			return err
+		}
+	}
+	w := queries.Workload{Broker: b, InputTopic: "input", OutputTopic: "output", Seed: 7}
+
+	cluster, err := flink.NewCluster(flink.ClusterConfig{})
+	if err != nil {
+		return err
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	var (
+		plan  *dag.Graph
+		title string
+	)
+	switch *apiArg {
+	case "native":
+		env := flink.NewEnvironment(cluster).SetParallelism(*parallelism)
+		if err := queries.NativeFlink(env, w, q); err != nil {
+			return err
+		}
+		plan, err = env.ExecutionPlan()
+		if err != nil {
+			return err
+		}
+		title = fmt.Sprintf("Flink execution plan, native %s query (cf. paper Figure 12)", q)
+	case "beam":
+		p, err := queries.BeamPipeline(w, q)
+		if err != nil {
+			return err
+		}
+		env, _, err := flinkrunner.Translate(p, flinkrunner.Config{Cluster: cluster, Parallelism: *parallelism})
+		if err != nil {
+			return err
+		}
+		plan, err = env.ExecutionPlan()
+		if err != nil {
+			return err
+		}
+		title = fmt.Sprintf("Flink execution plan, Beam %s query (cf. paper Figure 13)", q)
+	default:
+		return fmt.Errorf("unknown api %q (want native or beam)", *apiArg)
+	}
+
+	switch *format {
+	case "text":
+		fmt.Fprintln(out, title)
+		fmt.Fprintf(out, "nodes: %d\n\n", plan.Len())
+		return plan.RenderText(out)
+	case "dot":
+		return plan.RenderDOT(out, title)
+	default:
+		return fmt.Errorf("unknown format %q (want text or dot)", *format)
+	}
+}
+
+func parseQuery(s string) (queries.Query, error) {
+	switch strings.ToLower(s) {
+	case "identity":
+		return queries.Identity, nil
+	case "sample":
+		return queries.Sample, nil
+	case "projection":
+		return queries.Projection, nil
+	case "grep":
+		return queries.Grep, nil
+	default:
+		return 0, fmt.Errorf("unknown query %q", s)
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNativePlanHasThreeNodes(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-query", "grep", "-api", "native"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "nodes: 3") {
+		t.Errorf("native plan should have 3 nodes (paper Figure 12):\n%s", out)
+	}
+	if !strings.Contains(out, "Filter") {
+		t.Errorf("native grep plan missing filter:\n%s", out)
+	}
+}
+
+func TestBeamPlanHasSevenNodes(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-query", "grep", "-api", "beam"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "nodes: 7") {
+		t.Errorf("Beam plan should have 7 nodes (paper Figure 13):\n%s", out)
+	}
+	if strings.Count(out, "ParDoTranslation.RawParDo") != 4 {
+		t.Errorf("Beam grep plan should show 4 RawParDos:\n%s", out)
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-query", "identity", "-api", "beam", "-format", "dot"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "digraph") {
+		t.Errorf("missing DOT output:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-query", "bogus"}, &sb); err == nil {
+		t.Error("bogus query accepted")
+	}
+	if err := run([]string{"-api", "bogus"}, &sb); err == nil {
+		t.Error("bogus api accepted")
+	}
+	if err := run([]string{"-format", "bogus"}, &sb); err == nil {
+		t.Error("bogus format accepted")
+	}
+}

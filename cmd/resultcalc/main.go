@@ -1,0 +1,66 @@
+// Command resultcalc is the benchmark's standalone result calculator
+// (phase 3 of the process in Figure 5): it loads a broker snapshot and
+// computes the execution time of a query from LogAppendTime timestamps
+// alone — the difference between the last and first record appended to
+// the output topic. This keeps the measurement application- and
+// system-independent (Section III-A3 of the paper).
+//
+// Usage:
+//
+//	resultcalc -in broker.snap -topic output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"beambench/internal/broker"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "resultcalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("resultcalc", flag.ContinueOnError)
+	var (
+		inPath = fs.String("in", "", "broker snapshot file to load")
+		topic  = fs.String("topic", "output", "topic to measure")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		return fmt.Errorf("missing -in snapshot path")
+	}
+	f, err := os.Open(*inPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	b := broker.New()
+	if err := b.LoadSnapshot(f); err != nil {
+		return err
+	}
+	first, last, n, err := b.TimeSpan(*topic)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		fmt.Fprintf(out, "topic %q is empty; no execution time\n", *topic)
+		return nil
+	}
+	fmt.Fprintf(out, "topic:           %s\n", *topic)
+	fmt.Fprintf(out, "records:         %d\n", n)
+	fmt.Fprintf(out, "first append:    %s\n", first.Format(time.RFC3339Nano))
+	fmt.Fprintf(out, "last append:     %s\n", last.Format(time.RFC3339Nano))
+	fmt.Fprintf(out, "execution time:  %v\n", last.Sub(first))
+	return nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"beambench/internal/broker"
+)
+
+func writeSnapshot(t *testing.T) string {
+	t.Helper()
+	clock := time.Date(2026, 6, 11, 12, 0, 0, 0, time.UTC)
+	b := broker.New(broker.WithClock(func() time.Time { return clock }))
+	if err := b.CreateTopic("output", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.NewProducer(broker.ProducerConfig{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send("output", nil, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(2 * time.Second)
+	if err := p.Send("output", nil, []byte("last")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "b.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SaveSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestResultCalculation(t *testing.T) {
+	path := writeSnapshot(t)
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-topic", "output"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "records:         2") {
+		t.Errorf("missing record count:\n%s", out)
+	}
+	if !strings.Contains(out, "execution time:  2s") {
+		t.Errorf("missing 2s execution time:\n%s", out)
+	}
+}
+
+func TestEmptyTopic(t *testing.T) {
+	clockPath := filepath.Join(t.TempDir(), "e.snap")
+	b := broker.New()
+	if err := b.CreateTopic("empty", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(clockPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SaveSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var sb strings.Builder
+	if err := run([]string{"-in", clockPath, "-topic", "empty"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no execution time") {
+		t.Errorf("unexpected output: %s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent"}, &sb); err == nil {
+		t.Error("nonexistent snapshot accepted")
+	}
+	path := writeSnapshot(t)
+	if err := run([]string{"-in", path, "-topic", "missing"}, &sb); err == nil {
+		t.Error("missing topic accepted")
+	}
+}

@@ -1,0 +1,12 @@
+// Package beambench is a from-scratch Go reproduction of "Quantitative
+// Impact Evaluation of an Abstraction Layer for Data Stream Processing
+// Systems" (Hesse et al., IEEE ICDCS 2019): a benchmark measuring what
+// the Apache Beam abstraction layer costs on Apache Flink, Apache Spark
+// Streaming and Apache Apex.
+//
+// The repository contains simulators for all three engines and their
+// substrates (a Kafka-style broker, YARN), a Beam-style SDK with one
+// runner per engine, the StreamBench queries in native and Beam
+// variants, and a harness that regenerates every figure and table of the
+// paper's evaluation. See README.md, DESIGN.md and EXPERIMENTS.md.
+package beambench

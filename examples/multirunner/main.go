@@ -1,0 +1,149 @@
+// Multirunner: the abstraction-layer promise and its price.
+//
+// One Beam pipeline definition (the StreamBench projection query) runs
+// unchanged on four runners — direct, Flink, Spark Streaming and Apex —
+// and the program verifies all four produce the same output, then prints
+// the measured execution time per runner so the cost of the abstraction
+// layer on each engine is visible (cf. the paper's Figures 6-9).
+//
+//	go run ./examples/multirunner
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"beambench/internal/aol"
+	"beambench/internal/beam/runner/apexrunner"
+	"beambench/internal/beam/runner/direct"
+	"beambench/internal/beam/runner/flinkrunner"
+	"beambench/internal/beam/runner/sparkrunner"
+	"beambench/internal/broker"
+	"beambench/internal/flink"
+	"beambench/internal/queries"
+	"beambench/internal/simcost"
+	"beambench/internal/spark"
+	"beambench/internal/yarn"
+)
+
+const records = 20_000
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	type outcome struct {
+		runner  string
+		outputs int64
+		span    time.Duration
+	}
+	var outcomes []outcome
+	for _, runner := range []string{"direct", "flink", "spark", "apex"} {
+		w, err := freshWorkload()
+		if err != nil {
+			return err
+		}
+		if err := execute(runner, w); err != nil {
+			return fmt.Errorf("%s runner: %w", runner, err)
+		}
+		first, last, n, err := w.Broker.TimeSpan(w.OutputTopic)
+		if err != nil {
+			return err
+		}
+		outcomes = append(outcomes, outcome{runner: runner, outputs: n, span: last.Sub(first)})
+	}
+
+	fmt.Printf("one pipeline, four runners (%d input records):\n", records)
+	for _, o := range outcomes {
+		fmt.Printf("  %-8s %6d output records   execution time %8.3fs\n",
+			o.runner, o.outputs, o.span.Seconds())
+	}
+	for _, o := range outcomes[1:] {
+		if o.outputs != outcomes[0].outputs {
+			return fmt.Errorf("runner %s produced %d records, direct produced %d",
+				o.runner, o.outputs, outcomes[0].outputs)
+		}
+	}
+	fmt.Println("all runners produced identical output counts — same program, different price.")
+	return nil
+}
+
+// freshWorkload builds a broker preloaded with the synthetic search log.
+func freshWorkload() (queries.Workload, error) {
+	sim := simcost.New(1.0)
+	b := broker.New(broker.WithCosts(simcost.DefaultCosts(), sim))
+	for _, topic := range []string{"input", "output"} {
+		if err := b.CreateTopic(topic, broker.TopicConfig{Partitions: 1}); err != nil {
+			return queries.Workload{}, err
+		}
+	}
+	gen, err := aol.NewGenerator(aol.Config{Records: records, Seed: 9, GrepHits: -1})
+	if err != nil {
+		return queries.Workload{}, err
+	}
+	producer, err := b.NewProducer(broker.ProducerConfig{})
+	if err != nil {
+		return queries.Workload{}, err
+	}
+	for {
+		rec, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := producer.Send("input", nil, rec.AppendTSV(nil)); err != nil {
+			return queries.Workload{}, err
+		}
+	}
+	if err := producer.Close(); err != nil {
+		return queries.Workload{}, err
+	}
+	return queries.Workload{Broker: b, InputTopic: "input", OutputTopic: "output", Seed: 7}, nil
+}
+
+func execute(runner string, w queries.Workload) error {
+	// The pipeline is identical for every runner — that is the point.
+	pipeline, err := queries.BeamPipeline(w, queries.Projection)
+	if err != nil {
+		return err
+	}
+	costs := simcost.DefaultCosts()
+	sim := simcost.New(1.0)
+	switch runner {
+	case "direct":
+		_, err := direct.Run(pipeline)
+		return err
+	case "flink":
+		cluster, err := flink.NewCluster(flink.ClusterConfig{Costs: costs, Sim: sim})
+		if err != nil {
+			return err
+		}
+		cluster.Start()
+		defer cluster.Stop()
+		_, err = flinkrunner.Run(pipeline, flinkrunner.Config{Cluster: cluster})
+		return err
+	case "spark":
+		cluster, err := spark.NewCluster(spark.ClusterConfig{Costs: costs, Sim: sim})
+		if err != nil {
+			return err
+		}
+		cluster.Start()
+		defer cluster.Stop()
+		_, err = sparkrunner.Run(pipeline, sparkrunner.Config{Cluster: cluster})
+		return err
+	case "apex":
+		cluster, err := yarn.NewCluster(yarn.ClusterConfig{})
+		if err != nil {
+			return err
+		}
+		cluster.Start()
+		defer cluster.Stop()
+		_, err = apexrunner.Run(pipeline, apexrunner.Config{Cluster: cluster, Costs: costs, Sim: sim})
+		return err
+	default:
+		return fmt.Errorf("unknown runner %q", runner)
+	}
+}

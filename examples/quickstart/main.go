@@ -1,0 +1,87 @@
+// Quickstart: write one Beam-style pipeline and run it on the Flink
+// engine through the abstraction layer.
+//
+// The pipeline reads search-log records from a broker topic, keeps the
+// ones matching "test" and writes them back to another topic — the grep
+// query of the StreamBench workload.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"beambench/internal/aol"
+	"beambench/internal/beam"
+	"beambench/internal/beam/runner/flinkrunner"
+	"beambench/internal/broker"
+	"beambench/internal/flink"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A broker with an input topic holding 10,000 synthetic records and
+	// an empty output topic.
+	b := broker.New()
+	for _, topic := range []string{"searches", "matches"} {
+		if err := b.CreateTopic(topic, broker.TopicConfig{Partitions: 1}); err != nil {
+			return err
+		}
+	}
+	gen, err := aol.NewGenerator(aol.Config{Records: 10_000, Seed: 1, GrepHits: -1})
+	if err != nil {
+		return err
+	}
+	producer, err := b.NewProducer(broker.ProducerConfig{})
+	if err != nil {
+		return err
+	}
+	for {
+		rec, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := producer.Send("searches", nil, rec.AppendTSV(nil)); err != nil {
+			return err
+		}
+	}
+	if err := producer.Close(); err != nil {
+		return err
+	}
+
+	// The Beam pipeline: KafkaIO.read -> withoutMetadata -> values ->
+	// filter -> KafkaIO.write.
+	p := beam.NewPipeline()
+	values := beam.Values(p, beam.WithoutMetadata(p, beam.KafkaRead(p, b, "searches")))
+	matches := beam.Filter(p, "grep", func(elem any) (bool, error) {
+		return bytes.Contains(elem.([]byte), []byte("test")), nil
+	}, values)
+	beam.KafkaWrite(p, b, "matches", matches, broker.ProducerConfig{})
+
+	// Run it on a two-node Flink cluster through the Flink runner.
+	cluster, err := flink.NewCluster(flink.ClusterConfig{})
+	if err != nil {
+		return err
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	result, err := flinkrunner.Run(p, flinkrunner.Config{Cluster: cluster})
+	if err != nil {
+		return err
+	}
+
+	count, err := b.RecordCount("matches")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("quickstart: %d of 10000 records matched %q\n", count, "test")
+	fmt.Printf("job %q ran as %d tasks in %v\n", result.JobName, result.Tasks, result.Duration)
+	return nil
+}

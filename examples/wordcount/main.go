@@ -1,0 +1,182 @@
+// Wordcount: the Beam SDK beyond the stateless benchmark queries —
+// GroupByKey with an aggregation trigger over an unbounded source.
+//
+// The pipeline tokenizes search queries from a topic, keys each word by
+// itself, and groups with an AfterCount trigger (the paper notes that a
+// GroupByKey over an unbounded collection requires a trigger or
+// non-global windowing, Section II-A). It runs on the direct runner,
+// prints the most frequent search terms, and then re-runs the stateful
+// part on the Flink runner — which, per the Beam capability matrix,
+// supports stateful processing while the Spark runner does not.
+//
+//	go run ./examples/wordcount
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"beambench/internal/aol"
+	"beambench/internal/beam"
+	"beambench/internal/beam/runner/direct"
+	"beambench/internal/beam/runner/flinkrunner"
+	"beambench/internal/beam/runner/sparkrunner"
+	"beambench/internal/broker"
+	"beambench/internal/flink"
+	"beambench/internal/spark"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	b := broker.New()
+	if err := b.CreateTopic("searches", broker.TopicConfig{Partitions: 1}); err != nil {
+		return err
+	}
+	gen, err := aol.NewGenerator(aol.Config{Records: 5_000, Seed: 4, GrepHits: -1})
+	if err != nil {
+		return err
+	}
+	producer, err := b.NewProducer(broker.ProducerConfig{})
+	if err != nil {
+		return err
+	}
+	for {
+		rec, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := producer.Send("searches", nil, []byte(rec.Query)); err != nil {
+			return err
+		}
+	}
+	if err := producer.Close(); err != nil {
+		return err
+	}
+
+	p := beam.NewPipeline()
+	queriesCol := beam.Values(p, beam.WithoutMetadata(p, beam.KafkaRead(p, b, "searches")))
+	words := beam.ParDo(p, "tokenize", beam.DoFnFunc(func(ctx beam.Context, elem any, emit beam.Emitter) error {
+		for _, word := range strings.Fields(string(elem.([]byte))) {
+			if err := emit(beam.KV{Key: word, Value: "1"}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}), queriesCol, beam.WithCoder(beam.KVCoder{Key: beam.StringUTF8Coder{}, Value: beam.StringUTF8Coder{}}))
+
+	// KafkaRead is unbounded, so the GroupByKey needs a trigger.
+	triggered := beam.WindowInto(p, beam.DefaultWindowing().Triggering(beam.AfterCount{N: 1000}), words)
+	grouped := beam.GroupByKey(p, triggered)
+
+	res, err := direct.Run(p)
+	if err != nil {
+		return err
+	}
+
+	counts := make(map[string]int)
+	for _, elem := range res.Elements(grouped) {
+		g := elem.(beam.Grouped)
+		counts[g.Key.(string)] += len(g.Values)
+	}
+	type wc struct {
+		word string
+		n    int
+	}
+	ranked := make([]wc, 0, len(counts))
+	for word, n := range counts {
+		ranked = append(ranked, wc{word: word, n: n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].word < ranked[j].word
+	})
+	fmt.Println("top search terms:")
+	for _, entry := range ranked[:min(10, len(ranked))] {
+		fmt.Printf("  %-12s %d\n", entry.word, entry.n)
+	}
+
+	return runStatefulOnEngines(b)
+}
+
+// runStatefulOnEngines demonstrates the capability matrix: the same
+// stateful pipeline runs on the Flink runner but is rejected by the
+// Spark runner.
+func runStatefulOnEngines(b *broker.Broker) error {
+	build := func() (*beam.Pipeline, error) {
+		if err := b.DeleteTopic("counts"); err != nil && !errors.Is(err, broker.ErrUnknownTopic) {
+			return nil, err
+		}
+		if err := b.CreateTopic("counts", broker.TopicConfig{Partitions: 1}); err != nil {
+			return nil, err
+		}
+		p := beam.NewPipeline()
+		queriesCol := beam.Values(p, beam.WithoutMetadata(p, beam.KafkaRead(p, b, "searches")))
+		words := beam.ParDo(p, "tokenize", beam.DoFnFunc(func(ctx beam.Context, elem any, emit beam.Emitter) error {
+			for _, word := range strings.Fields(string(elem.([]byte))) {
+				if err := emit(beam.KV{Key: word, Value: "1"}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}), queriesCol, beam.WithCoder(beam.KVCoder{Key: beam.StringUTF8Coder{}, Value: beam.StringUTF8Coder{}}))
+		triggered := beam.WindowInto(p, beam.DefaultWindowing().Triggering(beam.AfterCount{N: 100000}), words)
+		grouped := beam.GroupByKey(p, triggered)
+		formatted := beam.MapElements(p, "format", func(elem any) (any, error) {
+			g := elem.(beam.Grouped)
+			return []byte(fmt.Sprintf("%v=%d", g.Key, len(g.Values))), nil
+		}, grouped, beam.WithCoder(beam.BytesCoder{}))
+		beam.KafkaWrite(p, b, "counts", formatted, broker.ProducerConfig{})
+		return p, nil
+	}
+
+	// Flink runner: stateful processing supported.
+	p, err := build()
+	if err != nil {
+		return err
+	}
+	fc, err := flink.NewCluster(flink.ClusterConfig{})
+	if err != nil {
+		return err
+	}
+	fc.Start()
+	defer fc.Stop()
+	if _, err := flinkrunner.Run(p, flinkrunner.Config{Cluster: fc, Parallelism: 2}); err != nil {
+		return err
+	}
+	n, err := b.RecordCount("counts")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nflink runner grouped %d distinct words (stateful: supported)\n", n)
+
+	// Spark runner: stateful processing rejected (capability matrix).
+	p2, err := build()
+	if err != nil {
+		return err
+	}
+	sc, err := spark.NewCluster(spark.ClusterConfig{})
+	if err != nil {
+		return err
+	}
+	sc.Start()
+	defer sc.Stop()
+	_, err = sparkrunner.Run(p2, sparkrunner.Config{Cluster: sc})
+	if errors.Is(err, sparkrunner.ErrStatefulUnsupported) {
+		fmt.Println("spark runner rejected the same pipeline: stateful processing not supported")
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	return errors.New("spark runner unexpectedly accepted a stateful pipeline")
+}

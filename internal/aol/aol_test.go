@@ -1,0 +1,328 @@
+package aol
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordTSVRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		give Record
+	}{
+		{name: "full", give: Record{UserID: "123", Query: "cheap flights", QueryTime: "2006-03-01 00:00:01", ItemRank: 3, ClickURL: "http://www.example.com/"}},
+		{name: "no click", give: Record{UserID: "9", Query: "weather", QueryTime: "2006-03-01 00:00:02", ItemRank: -1}},
+		{name: "empty query", give: Record{UserID: "1", Query: "", QueryTime: "2006-03-01 00:00:03", ItemRank: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			line := tt.give.TSV()
+			got, err := ParseTSV(line)
+			if err != nil {
+				t.Fatalf("ParseTSV(%q): %v", line, err)
+			}
+			if got != tt.give {
+				t.Errorf("round trip = %+v, want %+v", got, tt.give)
+			}
+		})
+	}
+}
+
+func TestParseTSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "too few columns", give: "a\tb\tc"},
+		{name: "too many columns", give: "a\tb\tc\t1\te\tf"},
+		{name: "bad rank", give: "a\tb\tc\tnope\te"},
+		{name: "negative rank", give: "a\tb\tc\t-2\te"},
+		{name: "empty line", give: ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseTSV(tt.give); err == nil {
+				t.Errorf("ParseTSV(%q) succeeded, want error", tt.give)
+			}
+		})
+	}
+}
+
+func TestRecordTSVColumnCount(t *testing.T) {
+	r := Record{UserID: "1", Query: "two words", QueryTime: "t", ItemRank: -1}
+	if got := strings.Count(r.TSV(), "\t"); got != Columns-1 {
+		t.Errorf("TSV has %d tabs, want %d", got, Columns-1)
+	}
+}
+
+func TestFirstColumn(t *testing.T) {
+	tests := []struct {
+		give string
+		want string
+	}{
+		{give: "user\tquery\ttime\t\t", want: "user"},
+		{give: "notabs", want: "notabs"},
+		{give: "\tleading", want: ""},
+		{give: "", want: ""},
+	}
+	for _, tt := range tests {
+		if got := string(FirstColumn([]byte(tt.give))); got != tt.want {
+			t.Errorf("FirstColumn(%q) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestParseTSVPropertyRoundTrip(t *testing.T) {
+	// Any record built from tab-free strings round-trips through TSV.
+	clean := func(s string) string {
+		s = strings.ReplaceAll(s, "\t", " ")
+		return strings.ReplaceAll(s, "\n", " ")
+	}
+	f := func(user, query, qtime, url string, rank uint8, hasClick bool) bool {
+		rec := Record{
+			UserID:    clean(user),
+			Query:     clean(query),
+			QueryTime: clean(qtime),
+			ItemRank:  -1,
+		}
+		if hasClick {
+			rec.ItemRank = int(rank)
+			rec.ClickURL = clean(url)
+		}
+		got, err := ParseTSV(rec.TSV())
+		return err == nil && got == rec
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaledGrepHits(t *testing.T) {
+	tests := []struct {
+		give int
+		want int
+	}{
+		{give: 0, want: 0},
+		{give: -5, want: 0},
+		{give: 1, want: 1},
+		{give: 100, want: 1},
+		{give: PaperRecordCount, want: PaperGrepHits},
+		{give: 1000, want: 3},
+		{give: 100_000, want: 300},
+	}
+	for _, tt := range tests {
+		if got := ScaledGrepHits(tt.give); got != tt.want {
+			t.Errorf("ScaledGrepHits(%d) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestGeneratorExactGrepHits(t *testing.T) {
+	tests := []struct {
+		name     string
+		records  int
+		grepHits int
+		want     int
+	}{
+		{name: "default ratio 10k", records: 10_000, grepHits: -1, want: 30},
+		{name: "explicit hits", records: 1000, grepHits: 17, want: 17},
+		{name: "all hits", records: 50, grepHits: 50, want: 50},
+		{name: "zero hits", records: 100, grepHits: 0, want: 0},
+		{name: "single record", records: 1, grepHits: -1, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, err := NewGenerator(Config{Records: tt.records, Seed: 7, GrepHits: tt.grepHits})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var hits, total int
+			for {
+				rec, ok := g.Next()
+				if !ok {
+					break
+				}
+				total++
+				if strings.Contains(rec.TSV(), GrepNeedle) {
+					hits++
+				}
+			}
+			if total != tt.records {
+				t.Errorf("generated %d records, want %d", total, tt.records)
+			}
+			if hits != tt.want {
+				t.Errorf("grep hits = %d, want %d", hits, tt.want)
+			}
+		})
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := Config{Records: 500, Seed: 99, GrepHits: -1}
+	g1, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := g1.All(), g2.All()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("record %d differs:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorSeedSensitivity(t *testing.T) {
+	g1, err := NewGenerator(Config{Records: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(Config{Records: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := g1.All(), g2.All()
+	same := 0
+	for i := range a {
+		if bytes.Equal(a[i], b[i]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestGeneratorRecordsAreValidTSV(t *testing.T) {
+	g, err := NewGenerator(Config{Records: 1000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		rec, ok := g.Next()
+		if !ok {
+			break
+		}
+		line := rec.TSV()
+		parsed, err := ParseTSV(line)
+		if err != nil {
+			t.Fatalf("record %d invalid: %v (%q)", i, err, line)
+		}
+		if parsed != rec {
+			t.Fatalf("record %d does not round-trip", i)
+		}
+		if parsed.ItemRank >= 0 && parsed.ClickURL == "" {
+			t.Fatalf("record %d has rank without URL: %q", i, line)
+		}
+		if parsed.ItemRank < 0 && parsed.ClickURL != "" {
+			t.Fatalf("record %d has URL without rank: %q", i, line)
+		}
+	}
+}
+
+func TestGeneratorClickProbability(t *testing.T) {
+	g, err := NewGenerator(Config{Records: 5000, Seed: 3, ClickProbability: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clicks := 0
+	for {
+		rec, ok := g.Next()
+		if !ok {
+			break
+		}
+		if rec.ItemRank >= 0 {
+			clicks++
+		}
+	}
+	ratio := float64(clicks) / 5000
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Errorf("click ratio %v, want ~0.5", ratio)
+	}
+}
+
+func TestGeneratorConfigErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{name: "negative records", cfg: Config{Records: -1}},
+		{name: "hits exceed records", cfg: Config{Records: 10, GrepHits: 11}},
+		{name: "bad click probability", cfg: Config{Records: 10, ClickProbability: 1.5}},
+		{name: "negative click probability", cfg: Config{Records: 10, ClickProbability: -0.2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewGenerator(tt.cfg); err == nil {
+				t.Error("expected config error")
+			}
+		})
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	g, err := NewGenerator(Config{Records: 50, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := g.WriteTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Errorf("wrote %d records, want 50", n)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 50 {
+		t.Errorf("output has %d lines, want 50", len(lines))
+	}
+	for i, line := range lines {
+		if _, err := ParseTSV(line); err != nil {
+			t.Fatalf("line %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestVocabularyContainsNoNeedle(t *testing.T) {
+	for _, w := range _vocabulary {
+		if strings.Contains(w, GrepNeedle) {
+			t.Errorf("vocabulary word %q contains needle", w)
+		}
+	}
+	for _, d := range _domains {
+		if strings.Contains(d, GrepNeedle) {
+			t.Errorf("domain %q contains needle", d)
+		}
+	}
+}
+
+func TestGeneratorRemaining(t *testing.T) {
+	g, err := NewGenerator(Config{Records: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Remaining() != 3 {
+		t.Errorf("Remaining = %d, want 3", g.Remaining())
+	}
+	g.Next()
+	if g.Remaining() != 2 {
+		t.Errorf("Remaining = %d, want 2", g.Remaining())
+	}
+	g.Next()
+	g.Next()
+	if _, ok := g.Next(); ok {
+		t.Error("generator produced more than configured")
+	}
+	if g.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", g.Remaining())
+	}
+}

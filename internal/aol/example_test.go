@@ -1,0 +1,34 @@
+package aol_test
+
+import (
+	"fmt"
+
+	"beambench/internal/aol"
+)
+
+// Example generates a tiny deterministic workload and parses one record
+// back from its tab-separated form.
+func Example() {
+	gen, err := aol.NewGenerator(aol.Config{Records: 3, Seed: 1, GrepHits: 0})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for {
+		rec, ok := gen.Next()
+		if !ok {
+			break
+		}
+		line := rec.TSV()
+		parsed, err := aol.ParseTSV(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(parsed.QueryTime, len(line) > 0)
+	}
+	// Output:
+	// 2006-03-01 00:00:00 true
+	// 2006-03-01 00:00:01 true
+	// 2006-03-01 00:00:02 true
+}

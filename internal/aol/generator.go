@@ -1,0 +1,222 @@
+package aol
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"time"
+)
+
+// PaperRecordCount is the exact workload size of the paper (Section
+// III-A1): 1,000,001 records.
+const PaperRecordCount = 1_000_001
+
+// PaperGrepHits is the number of records matching "test" in the paper's
+// workload: 3,003 (about 0.3% of the input).
+const PaperGrepHits = 3_003
+
+// _vocabulary is the word pool for synthetic queries. No word contains
+// the substring "test" and queries are space-joined, so the needle can
+// only appear where the generator plants it deliberately.
+var _vocabulary = []string{
+	"weather", "forecast", "recipe", "chicken", "parmesan", "flight",
+	"cheap", "tickets", "hotel", "deals", "movie", "times", "lyrics",
+	"song", "baseball", "scores", "news", "local", "restaurant", "pizza",
+	"delivery", "dog", "training", "tips", "car", "insurance", "quotes",
+	"home", "loan", "rates", "garden", "plants", "shoes", "running",
+	"laptop", "reviews", "phone", "plans", "jobs", "hiring", "resume",
+	"template", "wedding", "dresses", "vacation", "packages", "museum",
+	"hours", "library", "books", "guitar", "chords", "piano", "lessons",
+	"yoga", "classes", "gym", "membership", "tax", "filing", "help",
+	"history", "facts", "science", "fair", "projects", "math", "homework",
+	"spanish", "translation", "map", "directions", "traffic", "report",
+	"stock", "prices", "crypto", "market", "bank", "login", "email",
+	"account", "password", "reset", "printer", "driver", "download",
+	"update", "windows", "error", "fix", "slow", "computer",
+}
+
+// _domains is the pool of click URL hosts; none contains "test".
+var _domains = []string{
+	"www.example.com", "www.searchly.org", "www.dailynews.net",
+	"www.shopmart.com", "www.wikihow.org", "www.recipesbox.com",
+	"www.travelplanner.net", "www.sportsfeed.org", "www.musicworld.com",
+	"www.financehub.net",
+}
+
+// Config controls synthetic dataset generation.
+type Config struct {
+	// Records is the number of records to generate.
+	Records int
+	// Seed makes generation deterministic; two generators with equal
+	// configs produce byte-identical datasets.
+	Seed uint64
+	// GrepHits is the exact number of records whose query contains
+	// GrepNeedle. If negative, the paper's ratio (3,003 per 1,000,001)
+	// is applied, rounding to the nearest integer and at least 1 for a
+	// non-empty dataset.
+	GrepHits int
+	// ClickProbability is the fraction of records with ItemRank and
+	// ClickURL present. The original log has clicks on roughly half of
+	// the entries; defaults to 0.5 when zero.
+	ClickProbability float64
+}
+
+// Validate checks the configuration and applies documented defaults.
+func (c *Config) Validate() error {
+	if c.Records < 0 {
+		return fmt.Errorf("aol: negative record count %d", c.Records)
+	}
+	if c.GrepHits < 0 {
+		c.GrepHits = ScaledGrepHits(c.Records)
+	}
+	if c.GrepHits > c.Records {
+		return fmt.Errorf("aol: grep hits %d exceed record count %d", c.GrepHits, c.Records)
+	}
+	if c.ClickProbability == 0 {
+		c.ClickProbability = 0.5
+	}
+	if c.ClickProbability < 0 || c.ClickProbability > 1 {
+		return fmt.Errorf("aol: click probability %v outside [0,1]", c.ClickProbability)
+	}
+	return nil
+}
+
+// ScaledGrepHits returns the paper's grep selectivity (3,003 hits per
+// 1,000,001 records) scaled to n records, at least 1 for n > 0.
+func ScaledGrepHits(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	hits := (n*PaperGrepHits + PaperRecordCount/2) / PaperRecordCount
+	if hits < 1 {
+		hits = 1
+	}
+	if hits > n {
+		hits = n
+	}
+	return hits
+}
+
+// Generator produces a deterministic stream of synthetic Records.
+type Generator struct {
+	cfg       Config
+	rng       *rand.Rand
+	produced  int
+	hitEvery  int
+	hitsLeft  int
+	baseEpoch time.Time
+}
+
+// NewGenerator returns a generator for the given configuration.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xa5a5a5a55a5a5a5a)),
+		hitsLeft:  cfg.GrepHits,
+		baseEpoch: time.Date(2006, time.March, 1, 0, 0, 0, 0, time.UTC),
+	}
+	if cfg.GrepHits > 0 {
+		g.hitEvery = cfg.Records / cfg.GrepHits
+		if g.hitEvery < 1 {
+			g.hitEvery = 1
+		}
+	}
+	return g, nil
+}
+
+// Remaining reports how many records the generator will still produce.
+func (g *Generator) Remaining() int {
+	return g.cfg.Records - g.produced
+}
+
+// Next returns the next record. ok is false once the configured number
+// of records has been produced.
+func (g *Generator) Next() (rec Record, ok bool) {
+	if g.produced >= g.cfg.Records {
+		return Record{}, false
+	}
+	idx := g.produced
+	g.produced++
+
+	rec.UserID = fmt.Sprintf("%d", 100000+g.rng.IntN(900000))
+	rec.Query = g.query(idx)
+	rec.QueryTime = g.baseEpoch.Add(time.Duration(idx) * time.Second).Format("2006-01-02 15:04:05")
+	rec.ItemRank = -1
+	if g.rng.Float64() < g.cfg.ClickProbability {
+		rec.ItemRank = 1 + g.rng.IntN(10)
+		rec.ClickURL = "http://" + _domains[g.rng.IntN(len(_domains))] + "/"
+	}
+	return rec, true
+}
+
+// query builds the query text for record idx, planting the grep needle
+// at evenly spaced positions so exactly cfg.GrepHits records match.
+func (g *Generator) query(idx int) string {
+	words := 1 + g.rng.IntN(4)
+	parts := make([]string, 0, words+1)
+	for range words {
+		parts = append(parts, _vocabulary[g.rng.IntN(len(_vocabulary))])
+	}
+	if g.plantNeedle(idx) {
+		pos := g.rng.IntN(len(parts) + 1)
+		parts = append(parts, "")
+		copy(parts[pos+1:], parts[pos:])
+		parts[pos] = GrepNeedle
+		g.hitsLeft--
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += " " + p
+	}
+	return out
+}
+
+// plantNeedle decides whether record idx carries the needle: evenly
+// spaced with a final catch-up so the exact count is always reached.
+func (g *Generator) plantNeedle(idx int) bool {
+	if g.hitsLeft <= 0 {
+		return false
+	}
+	if g.cfg.Records-idx <= g.hitsLeft {
+		return true // must plant in every remaining record
+	}
+	return g.hitEvery > 0 && idx%g.hitEvery == g.hitEvery/2
+}
+
+// All generates the entire configured dataset as a slice of TSV-encoded
+// lines. Intended for small and medium datasets; the harness streams
+// records instead for paper-scale runs.
+func (g *Generator) All() [][]byte {
+	out := make([][]byte, 0, g.Remaining())
+	for {
+		rec, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, rec.AppendTSV(nil))
+	}
+}
+
+// WriteTSV streams the remaining records to w, one per line.
+// It returns the number of records written.
+func (g *Generator) WriteTSV(w io.Writer) (int, error) {
+	var (
+		buf []byte
+		n   int
+	)
+	for {
+		rec, ok := g.Next()
+		if !ok {
+			return n, nil
+		}
+		buf = rec.AppendTSV(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return n, fmt.Errorf("aol: write record %d: %w", n, err)
+		}
+		n++
+	}
+}

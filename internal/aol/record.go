@@ -1,0 +1,101 @@
+// Package aol synthesizes a workload equivalent to the AOL Search Query
+// Log used by StreamBench and by Hesse et al. (ICDCS 2019, Section
+// III-A1): records with five tab-separated columns — user ID, search
+// query, query time, clicked item rank (optional) and clicked URL
+// (optional).
+//
+// The real log is not redistributable, so the generator produces a
+// deterministic synthetic equivalent that preserves everything the
+// benchmark queries observe: record count, column structure, record
+// sizes, the ~40% sample selectivity, and the grep selectivity — for the
+// paper's 1,000,001 records exactly 3,003 rows contain the search string
+// "test" (0.3%), scaled proportionally for other sizes.
+package aol
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Columns is the number of tab-separated columns in a record.
+const Columns = 5
+
+// GrepNeedle is the search string used by the StreamBench grep query.
+const GrepNeedle = "test"
+
+// Record is one search-log entry.
+type Record struct {
+	// UserID is the anonymized numeric user identifier.
+	UserID string
+	// Query is the search query text.
+	Query string
+	// QueryTime is the time the query was issued, formatted
+	// "2006-01-02 15:04:05" like the original log.
+	QueryTime string
+	// ItemRank is the rank of the clicked result; -1 when absent.
+	ItemRank int
+	// ClickURL is the clicked result URL; empty when absent.
+	ClickURL string
+}
+
+// TSV renders the record as a tab-separated line (no trailing newline).
+// Absent ItemRank/ClickURL render as empty columns, as in the source log.
+func (r Record) TSV() string {
+	return string(r.AppendTSV(nil))
+}
+
+// AppendTSV appends the tab-separated encoding of r to dst and returns
+// the extended slice.
+func (r Record) AppendTSV(dst []byte) []byte {
+	dst = append(dst, r.UserID...)
+	dst = append(dst, '\t')
+	dst = append(dst, r.Query...)
+	dst = append(dst, '\t')
+	dst = append(dst, r.QueryTime...)
+	dst = append(dst, '\t')
+	if r.ItemRank >= 0 {
+		dst = strconv.AppendInt(dst, int64(r.ItemRank), 10)
+	}
+	dst = append(dst, '\t')
+	dst = append(dst, r.ClickURL...)
+	return dst
+}
+
+// ParseTSV parses a tab-separated line produced by AppendTSV.
+func ParseTSV(line string) (Record, error) {
+	parts := strings.Split(line, "\t")
+	if len(parts) != Columns {
+		return Record{}, fmt.Errorf("aol: record has %d columns, want %d", len(parts), Columns)
+	}
+	rank := -1
+	if parts[3] != "" {
+		v, err := strconv.Atoi(parts[3])
+		if err != nil {
+			return Record{}, fmt.Errorf("aol: item rank: %w", err)
+		}
+		if v < 0 {
+			return Record{}, fmt.Errorf("aol: negative item rank %d", v)
+		}
+		rank = v
+	}
+	return Record{
+		UserID:    parts[0],
+		Query:     parts[1],
+		QueryTime: parts[2],
+		ItemRank:  rank,
+		ClickURL:  parts[4],
+	}, nil
+}
+
+// FirstColumn returns the first tab-separated column of a raw line
+// without parsing the rest. It is the projection used by the StreamBench
+// projection query.
+func FirstColumn(line []byte) []byte {
+	for i, b := range line {
+		if b == '\t' {
+			return line[:i]
+		}
+	}
+	return line
+}

@@ -1,0 +1,450 @@
+package apex
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"beambench/internal/broker"
+	"beambench/internal/yarn"
+)
+
+func newYarn(t *testing.T, cfg yarn.ClusterConfig) *yarn.Cluster {
+	t.Helper()
+	c, err := yarn.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func tuples(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("tuple-%05d", i))
+	}
+	return out
+}
+
+func runApp(t *testing.T, cluster *yarn.Cluster, app *Application, cfg LaunchConfig) *AppResult {
+	t.Helper()
+	stram, err := Launch(cluster, app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := stram.Await()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestApplicationValidation(t *testing.T) {
+	cluster := newYarn(t, yarn.ClusterConfig{})
+	out := NewTupleCollector()
+
+	tests := []struct {
+		name  string
+		build func() *Application
+	}{
+		{name: "empty", build: func() *Application { return NewApplication("a") }},
+		{name: "duplicate operator", build: func() *Application {
+			return NewApplication("a").
+				AddInput("x", SliceInput(nil)).
+				AddInput("x", SliceInput(nil))
+		}},
+		{name: "no output", build: func() *Application {
+			return NewApplication("a").AddInput("in", SliceInput(nil))
+		}},
+		{name: "no input", build: func() *Application {
+			return NewApplication("a").AddOutput("out", CollectOutput(out))
+		}},
+		{name: "disconnected output", build: func() *Application {
+			return NewApplication("a").
+				AddInput("in", SliceInput(nil)).
+				AddOutput("out", CollectOutput(out))
+		}},
+		{name: "stream from unknown", build: func() *Application {
+			return NewApplication("a").
+				AddInput("in", SliceInput(nil)).
+				AddOutput("out", CollectOutput(out)).
+				AddStream("s", "nope", "out")
+		}},
+		{name: "stream into input", build: func() *Application {
+			return NewApplication("a").
+				AddInput("in", SliceInput(nil)).
+				AddInput("in2", SliceInput(nil)).
+				AddOutput("out", CollectOutput(out)).
+				AddStream("s", "in", "in2")
+		}},
+		{name: "two inputs into one port", build: func() *Application {
+			return NewApplication("a").
+				AddInput("i1", SliceInput(nil)).
+				AddInput("i2", SliceInput(nil)).
+				AddOutput("out", CollectOutput(out)).
+				AddStream("s1", "i1", "out").
+				AddStream("s2", "i2", "out")
+		}},
+		{name: "nil factory", build: func() *Application {
+			return NewApplication("a").
+				AddInput("in", nil).
+				AddOutput("out", CollectOutput(out)).
+				AddStream("s", "in", "out")
+		}},
+		{name: "unknown per-tuple stream", build: func() *Application {
+			return NewApplication("a").
+				AddInput("in", SliceInput(nil)).
+				AddOutput("out", CollectOutput(out)).
+				AddStream("s", "in", "out").
+				SetStreamPerTuple("zzz", true)
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Launch(cluster, tt.build(), LaunchConfig{}); err == nil {
+				t.Error("invalid application launched")
+			}
+		})
+	}
+}
+
+func TestLinearApplication(t *testing.T) {
+	cluster := newYarn(t, yarn.ClusterConfig{})
+	out := NewTupleCollector()
+	app := NewApplication("grep").
+		AddInput("in", SliceInput(tuples(1000))).
+		AddOperator("filter", FilterOp(func(t []byte) bool { return bytes.Contains(t, []byte("9")) })).
+		AddOutput("out", CollectOutput(out)).
+		AddStream("s1", "in", "filter").
+		AddStream("s2", "filter", "out")
+
+	res := runApp(t, cluster, app, LaunchConfig{WindowTuples: 100})
+	want := 0
+	for _, tu := range tuples(1000) {
+		if bytes.Contains(tu, []byte("9")) {
+			want++
+		}
+	}
+	if out.Len() != want {
+		t.Errorf("collected %d tuples, want %d", out.Len(), want)
+	}
+	if res.Containers != 4 {
+		t.Errorf("Containers = %d, want 4 (AM + 3 operators)", res.Containers)
+	}
+	in, ok := res.OperatorReportFor("in")
+	if !ok || in.TuplesOut != 1000 {
+		t.Errorf("input report = %+v, %v", in, ok)
+	}
+	if in.Windows != 10 {
+		t.Errorf("input windows = %d, want 10 (1000 tuples / 100 per window)", in.Windows)
+	}
+	flt, ok := res.OperatorReportFor("filter")
+	if !ok || flt.TuplesIn != 1000 || flt.TuplesOut != int64(want) {
+		t.Errorf("filter report = %+v, %v", flt, ok)
+	}
+	if _, ok := res.OperatorReportFor("nope"); ok {
+		t.Error("report for unknown operator")
+	}
+}
+
+func TestWindowBoundariesReachSink(t *testing.T) {
+	cluster := newYarn(t, yarn.ClusterConfig{})
+	out := NewTupleCollector()
+	app := NewApplication("windows").
+		AddInput("in", SliceInput(tuples(950))).
+		AddOutput("out", CollectOutput(out)).
+		AddStream("s", "in", "out")
+	res := runApp(t, cluster, app, LaunchConfig{WindowTuples: 100})
+	if out.Len() != 950 {
+		t.Errorf("collected %d, want 950", out.Len())
+	}
+	// 9 full windows + 1 partial = 10 window ends at the sink.
+	if out.WindowEnds() != 10 {
+		t.Errorf("sink observed %d window ends, want 10", out.WindowEnds())
+	}
+	rep, _ := res.OperatorReportFor("out")
+	if rep.Windows != 10 {
+		t.Errorf("sink windows = %d, want 10", rep.Windows)
+	}
+}
+
+func TestParallelismPartitionsWork(t *testing.T) {
+	cluster := newYarn(t, yarn.ClusterConfig{})
+	out := NewTupleCollector()
+	app := NewApplication("par").
+		AddInput("in", SliceInput(tuples(600))).
+		AddOperator("pass", PassThrough()).
+		AddOutput("out", CollectOutput(out)).
+		AddStream("s1", "in", "pass").
+		AddStream("s2", "pass", "out")
+	res := runApp(t, cluster, app, LaunchConfig{Parallelism: 2, WindowTuples: 100})
+	if out.Len() != 600 {
+		t.Errorf("collected %d, want 600", out.Len())
+	}
+	if res.Containers != 7 {
+		t.Errorf("Containers = %d, want 7 (AM + 3 ops x 2 partitions)", res.Containers)
+	}
+	pass, _ := res.OperatorReportFor("pass")
+	if pass.TuplesIn != 600 || pass.TuplesOut != 600 {
+		t.Errorf("pass report = %+v", pass)
+	}
+}
+
+func TestPerTupleStreamDeliversAll(t *testing.T) {
+	cluster := newYarn(t, yarn.ClusterConfig{})
+	out := NewTupleCollector()
+	app := NewApplication("pertuple").
+		AddInput("in", SliceInput(tuples(300))).
+		AddOperator("pass", PassThrough()).
+		AddOutput("out", CollectOutput(out)).
+		AddStream("s1", "in", "pass").
+		AddStream("s2", "pass", "out").
+		SetStreamPerTuple("s2", true)
+	res := runApp(t, cluster, app, LaunchConfig{WindowTuples: 100})
+	if out.Len() != 300 {
+		t.Errorf("collected %d, want 300", out.Len())
+	}
+	// Window markers still flow on per-tuple streams.
+	rep, _ := res.OperatorReportFor("out")
+	if rep.Windows != 3 {
+		t.Errorf("sink windows = %d, want 3", rep.Windows)
+	}
+}
+
+func TestVCoreGate(t *testing.T) {
+	// 3 operators x 2 partitions + AM = 7 vcores; give the cluster 4.
+	cluster := newYarn(t, yarn.ClusterConfig{NodeManagers: 1, VCoresPerNode: 4})
+	out := NewTupleCollector()
+	app := NewApplication("big").
+		AddInput("in", SliceInput(tuples(10))).
+		AddOperator("pass", PassThrough()).
+		AddOutput("out", CollectOutput(out)).
+		AddStream("s1", "in", "pass").
+		AddStream("s2", "pass", "out")
+	if _, err := Launch(cluster, app, LaunchConfig{Parallelism: 2}); !errors.Is(err, yarn.ErrInsufficientVCores) {
+		t.Errorf("Launch = %v, want ErrInsufficientVCores", err)
+	}
+}
+
+func TestLaunchRequiresRunningCluster(t *testing.T) {
+	cluster, err := yarn.NewCluster(yarn.ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewTupleCollector()
+	app := NewApplication("a").
+		AddInput("in", SliceInput(nil)).
+		AddOutput("out", CollectOutput(out)).
+		AddStream("s", "in", "out")
+	if _, err := Launch(cluster, app, LaunchConfig{}); !errors.Is(err, yarn.ErrStopped) {
+		t.Errorf("Launch = %v, want ErrStopped", err)
+	}
+}
+
+func TestOperatorErrorFailsApplication(t *testing.T) {
+	cluster := newYarn(t, yarn.ClusterConfig{})
+	out := NewTupleCollector()
+	boom := errors.New("boom")
+	app := NewApplication("failing").
+		AddInput("in", SliceInput(tuples(100))).
+		AddOperator("explode", FlatMapOp(func(t []byte, emit func([]byte) error) error {
+			if bytes.HasSuffix(t, []byte("42")) {
+				return boom
+			}
+			return emit(t)
+		})).
+		AddOutput("out", CollectOutput(out)).
+		AddStream("s1", "in", "explode").
+		AddStream("s2", "explode", "out")
+	stram, err := Launch(cluster, app, LaunchConfig{WindowTuples: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stram.Await(); !errors.Is(err, boom) {
+		t.Errorf("Await = %v, want boom", err)
+	}
+	if free := cluster.FreeVCores(); free != cluster.TotalVCores() {
+		t.Errorf("vcores leaked after failure: free %d of %d", free, cluster.TotalVCores())
+	}
+}
+
+func TestRestartRecoversTransientFailure(t *testing.T) {
+	cluster := newYarn(t, yarn.ClusterConfig{})
+	out := NewTupleCollector()
+	attempt := 0
+	app := NewApplication("flaky").
+		AddInput("in", func(ctx OperatorContext) (InputOperator, error) {
+			attempt++
+			if attempt == 1 {
+				return nil, errors.New("transient setup failure")
+			}
+			return &sliceInput{tuples: tuples(50)}, nil
+		}).
+		AddOutput("out", CollectOutput(out)).
+		AddStream("s", "in", "out")
+	res := runApp(t, cluster, app, LaunchConfig{RestartAttempts: 1})
+	if res.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2", res.Attempts)
+	}
+	if out.Len() != 50 {
+		t.Errorf("collected %d, want 50", out.Len())
+	}
+}
+
+func TestKafkaInputOutputEndToEnd(t *testing.T) {
+	b := broker.New()
+	if err := b.CreateTopic("in", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.NewProducer(broker.ProducerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := tuples(400)
+	for _, tu := range input {
+		if err := p.Send("in", nil, tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cluster := newYarn(t, yarn.ClusterConfig{})
+	app := NewApplication("identity").
+		AddInput("kafkaIn", KafkaInput(b, "in")).
+		AddOperator("pass", PassThrough()).
+		AddOutput("kafkaOut", KafkaOutput(b, "out", broker.ProducerConfig{})).
+		AddStream("s1", "kafkaIn", "pass").
+		AddStream("s2", "pass", "kafkaOut")
+	res := runApp(t, cluster, app, LaunchConfig{WindowTuples: 64})
+
+	count, err := b.RecordCount("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 400 {
+		t.Errorf("output topic has %d records, want 400", count)
+	}
+	// Order preserved with one partition and parallelism 1.
+	c, err := b.NewConsumer(broker.ConsumerConfig{MaxPollRecords: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Assign("out", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs {
+		if !bytes.Equal(r.Value, input[i]) {
+			t.Fatalf("record %d = %q, want %q", i, r.Value, input[i])
+		}
+	}
+	in, _ := res.OperatorReportFor("kafkaIn")
+	if in.TuplesOut != 400 {
+		t.Errorf("kafka input emitted %d, want 400", in.TuplesOut)
+	}
+}
+
+func TestKafkaInputUnknownTopic(t *testing.T) {
+	b := broker.New()
+	cluster := newYarn(t, yarn.ClusterConfig{})
+	out := NewTupleCollector()
+	app := NewApplication("a").
+		AddInput("in", KafkaInput(b, "missing")).
+		AddOutput("out", CollectOutput(out)).
+		AddStream("s", "in", "out")
+	stram, err := Launch(cluster, app, LaunchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stram.Await(); err == nil {
+		t.Error("application with missing topic succeeded")
+	}
+}
+
+func TestPlanRendering(t *testing.T) {
+	out := NewTupleCollector()
+	app := NewApplication("grep").
+		AddInput("kafkaIn", SliceInput(nil)).
+		AddOperator("filter", PassThrough()).
+		AddOutput("kafkaOut", CollectOutput(out)).
+		AddStream("s1", "kafkaIn", "filter").
+		AddStream("s2", "filter", "kafkaOut")
+	g, err := app.Plan(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3 {
+		t.Errorf("plan has %d nodes, want 3", g.Len())
+	}
+	n, ok := g.Node("filter")
+	if !ok || n.Parallelism != 2 {
+		t.Errorf("filter node = %+v, %v", n, ok)
+	}
+	if _, err := app.Plan(0); err == nil {
+		t.Error("plan with parallelism 0 accepted")
+	}
+}
+
+func TestFanOutStreams(t *testing.T) {
+	cluster := newYarn(t, yarn.ClusterConfig{NodeManagers: 2, VCoresPerNode: 8})
+	outA := NewTupleCollector()
+	outB := NewTupleCollector()
+	app := NewApplication("fanout").
+		AddInput("in", SliceInput(tuples(100))).
+		AddOutput("outA", CollectOutput(outA)).
+		AddOutput("outB", CollectOutput(outB)).
+		AddStream("sa", "in", "outA").
+		AddStream("sb", "in", "outB")
+	runApp(t, cluster, app, LaunchConfig{WindowTuples: 30})
+	if outA.Len() != 100 || outB.Len() != 100 {
+		t.Errorf("fan-out collected %d, %d; want 100, 100", outA.Len(), outB.Len())
+	}
+}
+
+func TestContainerKillFailsApplication(t *testing.T) {
+	// Kill every container of the app as soon as it is allocated; with
+	// no restart budget the application must fail.
+	cluster := newYarn(t, yarn.ClusterConfig{})
+	out := NewTupleCollector()
+	big := tuples(200_000) // large enough to still be running when killed
+	app := NewApplication("victim").
+		AddInput("in", SliceInput(big)).
+		AddOutput("out", CollectOutput(out)).
+		AddStream("s", "in", "out")
+	stram, err := Launch(cluster, app, LaunchConfig{WindowTuples: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill operator containers while the app runs (AM holds 1 vcore).
+	killed := false
+	for range 1000 {
+		for _, rep := range cluster.NodeReports() {
+			_ = rep
+		}
+		if cluster.FreeVCores() <= cluster.TotalVCores()-3 {
+			// Containers are up; kill by scanning IDs 1..16.
+			for i := range 16 {
+				id := fmt.Sprintf("container_%06d", i+2) // skip the AM
+				if err := cluster.KillContainer(id); err == nil {
+					killed = true
+				}
+			}
+			break
+		}
+	}
+	res, err := stram.Await()
+	if killed && err == nil {
+		t.Errorf("application survived container kill: %+v", res)
+	}
+}

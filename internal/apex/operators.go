@@ -1,0 +1,291 @@
+package apex
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"beambench/internal/broker"
+)
+
+// _inputIdlePoll is how long a Kafka input waits for data before
+// re-checking its bounded end offsets.
+const _inputIdlePoll = 20 * time.Millisecond
+
+// KafkaInput returns an input factory reading a topic from the broker,
+// bounded by the end offsets at partition setup (the benchmark preloads
+// the topic). Kafka partitions are distributed over operator partitions
+// round-robin, Malhar-style.
+func KafkaInput(b *broker.Broker, topic string) InputFactory {
+	return func(ctx OperatorContext) (InputOperator, error) {
+		nParts, err := b.Partitions(topic)
+		if err != nil {
+			return nil, fmt.Errorf("apex: kafka input: %w", err)
+		}
+		ends, err := b.EndOffsets(topic)
+		if err != nil {
+			return nil, fmt.Errorf("apex: kafka input: %w", err)
+		}
+		consumer, err := b.NewConsumer(broker.ConsumerConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("apex: kafka input: %w", err)
+		}
+		remaining := 0
+		for p := range nParts {
+			if p%ctx.PartitionCount() == ctx.PartitionIndex() {
+				if err := consumer.Assign(topic, p, 0); err != nil {
+					return nil, fmt.Errorf("apex: kafka input: %w", err)
+				}
+				remaining += int(ends[p])
+			}
+		}
+		return &kafkaInput{consumer: consumer, ends: ends, remaining: remaining}, nil
+	}
+}
+
+type kafkaInput struct {
+	consumer  *broker.Consumer
+	ends      []int64
+	remaining int
+	buffered  []broker.Record
+}
+
+func (k *kafkaInput) NextTuples(max int, emit func([]byte) error) (bool, error) {
+	if k.remaining <= 0 {
+		return true, nil
+	}
+	if max <= 0 {
+		return false, nil
+	}
+	if len(k.buffered) == 0 {
+		recs, err := k.consumer.PollWait(_inputIdlePoll)
+		if err != nil {
+			return false, fmt.Errorf("apex: kafka input: %w", err)
+		}
+		k.buffered = recs
+	}
+	n := min(max, len(k.buffered))
+	for _, r := range k.buffered[:n] {
+		if r.Offset >= k.ends[r.Partition] {
+			continue // appended after the bounded snapshot
+		}
+		k.remaining--
+		if err := emit(r.Value); err != nil {
+			return false, err
+		}
+	}
+	k.buffered = k.buffered[n:]
+	return k.remaining <= 0, nil
+}
+
+func (k *kafkaInput) Teardown() error { return nil }
+
+// KafkaOutput returns an output factory writing tuples to a topic. Each
+// partition owns one producer; the producer flushes at streaming-window
+// boundaries (EndWindow), which is the batched native output mode. A
+// ProducerConfig with BatchSize 1 degrades it to synchronous per-tuple
+// sends — the Beam runner's output mode.
+func KafkaOutput(b *broker.Broker, topic string, cfg broker.ProducerConfig) OutputFactory {
+	return func(ctx OperatorContext) (OutputOperator, error) {
+		if _, err := b.Partitions(topic); err != nil {
+			return nil, fmt.Errorf("apex: kafka output: %w", err)
+		}
+		producer, err := b.NewProducer(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("apex: kafka output: %w", err)
+		}
+		return &kafkaOutput{producer: producer, topic: topic}, nil
+	}
+}
+
+type kafkaOutput struct {
+	producer *broker.Producer
+	topic    string
+}
+
+func (k *kafkaOutput) Process(t []byte) error {
+	return k.producer.Send(k.topic, nil, t)
+}
+
+func (k *kafkaOutput) EndWindow() error {
+	return k.producer.Flush()
+}
+
+func (k *kafkaOutput) Teardown() error {
+	return k.producer.Close()
+}
+
+// funcOperator adapts a process function to GenericOperator.
+type funcOperator struct {
+	fn func(tuple []byte, emit func([]byte) error) error
+}
+
+func (o *funcOperator) Process(t []byte, emit func([]byte) error) error {
+	return o.fn(t, emit)
+}
+
+func (o *funcOperator) Teardown() error { return nil }
+
+// PassThrough returns an operator that forwards every tuple unchanged
+// (the identity query's processing step).
+func PassThrough() GenericFactory {
+	return func(OperatorContext) (GenericOperator, error) {
+		return &funcOperator{fn: func(t []byte, emit func([]byte) error) error {
+			return emit(t)
+		}}, nil
+	}
+}
+
+// MapOp returns an operator applying fn to every tuple.
+func MapOp(fn func([]byte) []byte) GenericFactory {
+	if fn == nil {
+		return failingGeneric(errors.New("apex: nil map function"))
+	}
+	return func(OperatorContext) (GenericOperator, error) {
+		return &funcOperator{fn: func(t []byte, emit func([]byte) error) error {
+			return emit(fn(t))
+		}}, nil
+	}
+}
+
+// FilterOp returns an operator keeping tuples matching fn.
+func FilterOp(fn func([]byte) bool) GenericFactory {
+	if fn == nil {
+		return failingGeneric(errors.New("apex: nil filter function"))
+	}
+	return func(OperatorContext) (GenericOperator, error) {
+		return &funcOperator{fn: func(t []byte, emit func([]byte) error) error {
+			if fn(t) {
+				return emit(t)
+			}
+			return nil
+		}}, nil
+	}
+}
+
+// FlatMapOp returns an operator emitting zero or more tuples per input.
+func FlatMapOp(fn func(tuple []byte, emit func([]byte) error) error) GenericFactory {
+	if fn == nil {
+		return failingGeneric(errors.New("apex: nil flatMap function"))
+	}
+	return func(OperatorContext) (GenericOperator, error) {
+		return &funcOperator{fn: fn}, nil
+	}
+}
+
+// ProcessOp returns an operator built per partition, the hook the Beam
+// runner uses to interpose DoFn invocation and coder costs.
+func ProcessOp(factory func(ctx OperatorContext) (func(tuple []byte, emit func([]byte) error) error, error)) GenericFactory {
+	if factory == nil {
+		return failingGeneric(errors.New("apex: nil process factory"))
+	}
+	return func(ctx OperatorContext) (GenericOperator, error) {
+		fn, err := factory(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &funcOperator{fn: fn}, nil
+	}
+}
+
+func failingGeneric(err error) GenericFactory {
+	return func(OperatorContext) (GenericOperator, error) { return nil, err }
+}
+
+// SliceInput returns an input factory emitting the given tuples from
+// partition 0, for tests and examples.
+func SliceInput(tuples [][]byte) InputFactory {
+	return func(ctx OperatorContext) (InputOperator, error) {
+		if ctx.PartitionIndex() != 0 {
+			return &sliceInput{}, nil
+		}
+		return &sliceInput{tuples: tuples}, nil
+	}
+}
+
+type sliceInput struct {
+	tuples [][]byte
+	pos    int
+}
+
+func (s *sliceInput) NextTuples(max int, emit func([]byte) error) (bool, error) {
+	n := min(max, len(s.tuples)-s.pos)
+	for _, t := range s.tuples[s.pos : s.pos+n] {
+		if err := emit(t); err != nil {
+			return false, err
+		}
+	}
+	s.pos += n
+	return s.pos >= len(s.tuples), nil
+}
+
+func (s *sliceInput) Teardown() error { return nil }
+
+// TupleCollector is a thread-safe tuple buffer usable as an output
+// operator from multiple partitions, for tests and examples.
+type TupleCollector struct {
+	mu     sync.Mutex
+	tuples [][]byte
+	// windowEnds counts EndWindow calls, for window accounting tests.
+	windowEnds int
+}
+
+// NewTupleCollector returns an empty collector.
+func NewTupleCollector() *TupleCollector { return &TupleCollector{} }
+
+// CollectOutput returns an output factory appending to the collector.
+func CollectOutput(dst *TupleCollector) OutputFactory {
+	return func(OperatorContext) (OutputOperator, error) {
+		if dst == nil {
+			return nil, errors.New("apex: nil tuple collector")
+		}
+		return dst, nil
+	}
+}
+
+// Process stores a copy of the tuple.
+func (c *TupleCollector) Process(t []byte) error {
+	cp := make([]byte, len(t))
+	copy(cp, t)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tuples = append(c.tuples, cp)
+	return nil
+}
+
+// EndWindow counts window boundaries.
+func (c *TupleCollector) EndWindow() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.windowEnds++
+	return nil
+}
+
+// Teardown implements OutputOperator.
+func (c *TupleCollector) Teardown() error { return nil }
+
+// Len reports the number of collected tuples.
+func (c *TupleCollector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.tuples)
+}
+
+// WindowEnds reports how many EndWindow calls were observed.
+func (c *TupleCollector) WindowEnds() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.windowEnds
+}
+
+// Strings returns the collected tuples as strings in arrival order.
+func (c *TupleCollector) Strings() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.tuples))
+	for i, t := range c.tuples {
+		out[i] = string(t)
+	}
+	return out
+}

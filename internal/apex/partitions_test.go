@@ -1,0 +1,66 @@
+package apex
+
+import (
+	"testing"
+
+	"beambench/internal/yarn"
+)
+
+func TestSetOperatorPartitionsOverride(t *testing.T) {
+	cluster := newYarn(t, yarn.ClusterConfig{})
+	out := NewTupleCollector()
+	app := NewApplication("pinned").
+		AddInput("in", SliceInput(tuples(400))).
+		AddOperator("pass", PassThrough()).
+		AddOutput("out", CollectOutput(out)).
+		AddStream("s1", "in", "pass").
+		AddStream("s2", "pass", "out").
+		SetOperatorPartitions("out", 1)
+	res := runApp(t, cluster, app, LaunchConfig{Parallelism: 2, WindowTuples: 50})
+	if out.Len() != 400 {
+		t.Errorf("collected %d tuples, want 400", out.Len())
+	}
+	// AM + in(2) + pass(2) + out(1) = 6 containers.
+	if res.Containers != 6 {
+		t.Errorf("Containers = %d, want 6", res.Containers)
+	}
+}
+
+func TestSetOperatorPartitionsValidation(t *testing.T) {
+	out := NewTupleCollector()
+	app := NewApplication("bad").
+		AddInput("in", SliceInput(nil)).
+		AddOutput("out", CollectOutput(out)).
+		AddStream("s", "in", "out").
+		SetOperatorPartitions("missing", 1)
+	if err := app.validate(); err == nil {
+		t.Error("unknown operator accepted")
+	}
+
+	app2 := NewApplication("bad2").
+		AddInput("in", SliceInput(nil)).
+		AddOutput("out", CollectOutput(out)).
+		AddStream("s", "in", "out").
+		SetOperatorPartitions("out", -1)
+	if err := app2.validate(); err == nil {
+		t.Error("negative partition count accepted")
+	}
+}
+
+func TestPartitionOverrideCountsIntoVCores(t *testing.T) {
+	// 1 AM + in(1) + pass(4) + out(1) = 7 vcores needed; cluster has 6.
+	cluster := newYarn(t, yarn.ClusterConfig{NodeManagers: 1, VCoresPerNode: 6})
+	out := NewTupleCollector()
+	app := NewApplication("big").
+		AddInput("in", SliceInput(nil)).
+		AddOperator("pass", PassThrough()).
+		AddOutput("out", CollectOutput(out)).
+		AddStream("s1", "in", "pass").
+		AddStream("s2", "pass", "out").
+		SetOperatorPartitions("in", 1).
+		SetOperatorPartitions("pass", 4).
+		SetOperatorPartitions("out", 1)
+	if _, err := Launch(cluster, app, LaunchConfig{}); err == nil {
+		t.Error("launch exceeding vcores accepted")
+	}
+}

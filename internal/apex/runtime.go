@@ -1,0 +1,618 @@
+package apex
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"beambench/internal/simcost"
+	"beambench/internal/yarn"
+)
+
+// errAttemptStopped signals cooperative shutdown inside one attempt.
+var errAttemptStopped = errors.New("apex: attempt stopped")
+
+// _streamChannelBuffer is the buffer-server subscriber queue depth, in
+// batches.
+const _streamChannelBuffer = 8
+
+// LaunchConfig controls the physical deployment of an application.
+type LaunchConfig struct {
+	// Parallelism is the partition count per operator, configured in
+	// the paper through YARN vcores plus a DAG attribute (Section
+	// III-A2). Defaults to 1.
+	Parallelism int
+	// ContainerMemoryMB sizes each operator container; defaults to 2048.
+	ContainerMemoryMB int
+	// WindowTuples is the streaming-window length in tuples; defaults
+	// to 500. Apex uses 500ms time windows; a tuple-count window keeps
+	// simulated runs deterministic at equivalent granularity.
+	WindowTuples int
+	// CheckpointWindows checkpoints operator state every N windows;
+	// defaults to 30 (Apex's default checkpoint interval in windows).
+	CheckpointWindows int
+	// RestartAttempts is how many times STRAM redeploys a failed
+	// application; defaults to 0.
+	RestartAttempts int
+	// Costs is the latency model; zero charges nothing.
+	Costs simcost.Costs
+	// Sim scales the cost model; nil charges nothing.
+	Sim *simcost.Simulator
+}
+
+func (c *LaunchConfig) validate() error {
+	if c.Parallelism == 0 {
+		c.Parallelism = 1
+	}
+	if c.ContainerMemoryMB == 0 {
+		c.ContainerMemoryMB = 2048
+	}
+	if c.WindowTuples == 0 {
+		c.WindowTuples = 500
+	}
+	if c.CheckpointWindows == 0 {
+		c.CheckpointWindows = 30
+	}
+	if c.Parallelism < 0 || c.ContainerMemoryMB < 0 || c.WindowTuples < 0 ||
+		c.CheckpointWindows < 0 || c.RestartAttempts < 0 {
+		return fmt.Errorf("apex: negative launch configuration %+v", *c)
+	}
+	return nil
+}
+
+// OperatorStats counts tuples through one logical operator across its
+// partitions.
+type OperatorStats struct {
+	Name string
+
+	in      atomic.Int64
+	out     atomic.Int64
+	windows atomic.Int64
+}
+
+func (s *OperatorStats) reset() {
+	s.in.Store(0)
+	s.out.Store(0)
+	s.windows.Store(0)
+}
+
+// OperatorReport is an immutable snapshot of one operator's counters.
+type OperatorReport struct {
+	Name      string
+	TuplesIn  int64
+	TuplesOut int64
+	Windows   int64
+}
+
+// AppResult summarizes a finished application.
+type AppResult struct {
+	AppName string
+	// Duration is the wall-clock run time including deployment.
+	Duration time.Duration
+	// Attempts is 1 plus the restarts consumed.
+	Attempts int
+	// Containers is the number of YARN containers per attempt,
+	// including the STRAM Application Master.
+	Containers int
+	// Operators holds per-operator counters from the last attempt.
+	Operators []OperatorReport
+}
+
+// OperatorReportFor returns the report of the named operator.
+func (r *AppResult) OperatorReportFor(name string) (OperatorReport, bool) {
+	for _, o := range r.Operators {
+		if o.Name == name {
+			return o, true
+		}
+	}
+	return OperatorReport{}, false
+}
+
+// Stram is the Streaming Application Manager: the YARN Application
+// Master coordinating an application's containers.
+type Stram struct {
+	cluster *yarn.Cluster
+	app     *Application
+	cfg     LaunchConfig
+
+	done chan struct{}
+	res  *AppResult
+	err  error
+}
+
+// Launch validates and deploys an application on the YARN cluster and
+// starts it asynchronously; use Await to wait for completion.
+func Launch(cluster *yarn.Cluster, app *Application, cfg LaunchConfig) (*Stram, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := app.validate(); err != nil {
+		return nil, err
+	}
+	if !cluster.Running() {
+		return nil, yarn.ErrStopped
+	}
+	s := &Stram{cluster: cluster, app: app, cfg: cfg, done: make(chan struct{})}
+	need := 1 + s.totalPartitions()
+	if cluster.TotalVCores() < need {
+		return nil, fmt.Errorf("%w: application needs %d, cluster has %d",
+			yarn.ErrInsufficientVCores, need, cluster.TotalVCores())
+	}
+	go s.run()
+	return s, nil
+}
+
+// Await blocks until the application finishes and returns its result.
+func (s *Stram) Await() (*AppResult, error) {
+	<-s.done
+	return s.res, s.err
+}
+
+// partitionsOf resolves an operator's effective partition count.
+func (s *Stram) partitionsOf(op *opDef) int {
+	if op.partitions > 0 {
+		return op.partitions
+	}
+	return s.cfg.Parallelism
+}
+
+// totalPartitions sums the partition counts of all operators.
+func (s *Stram) totalPartitions() int {
+	total := 0
+	for _, name := range s.app.order {
+		total += s.partitionsOf(s.app.ops[name])
+	}
+	return total
+}
+
+func (s *Stram) run() {
+	defer close(s.done)
+	start := time.Now()
+	attempts := 0
+	for {
+		attempts++
+		err := s.runAttempt()
+		if err == nil {
+			s.res = &AppResult{
+				AppName:    s.app.name,
+				Duration:   time.Since(start),
+				Attempts:   attempts,
+				Containers: 1 + s.totalPartitions(),
+				Operators:  s.operatorReports(),
+			}
+			return
+		}
+		if attempts > s.cfg.RestartAttempts {
+			s.err = fmt.Errorf("apex: application %q failed after %d attempt(s): %w",
+				s.app.name, attempts, err)
+			return
+		}
+	}
+}
+
+func (s *Stram) operatorReports() []OperatorReport {
+	out := make([]OperatorReport, 0, len(s.app.order))
+	for _, name := range s.app.order {
+		st := s.app.ops[name].stats
+		out = append(out, OperatorReport{
+			Name:      st.Name,
+			TuplesIn:  st.in.Load(),
+			TuplesOut: st.out.Load(),
+			Windows:   st.windows.Load(),
+		})
+	}
+	return out
+}
+
+// attempt wires one deployment of the application.
+type attempt struct {
+	stram *Stram
+	yapp  *yarn.Application
+	stop  chan struct{}
+
+	mu  sync.Mutex
+	err error
+
+	// inbox[stream][partition] is the buffer-server subscriber queue.
+	inbox map[string][]chan streamBatch
+}
+
+func (at *attempt) fail(err error) {
+	if err == nil || errors.Is(err, errAttemptStopped) {
+		return
+	}
+	at.mu.Lock()
+	defer at.mu.Unlock()
+	if at.err == nil {
+		at.err = err
+		close(at.stop)
+	}
+}
+
+func (at *attempt) failure() error {
+	at.mu.Lock()
+	defer at.mu.Unlock()
+	return at.err
+}
+
+// streamBatch is one buffer-server publication: tuples plus an optional
+// streaming-window boundary marker.
+type streamBatch struct {
+	tuples    [][]byte
+	windowEnd bool
+}
+
+func (s *Stram) runAttempt() error {
+	for _, name := range s.app.order {
+		s.app.ops[name].stats.reset()
+	}
+
+	// STRAM itself is the Application Master container.
+	yapp, err := s.cluster.SubmitApplication(s.app.name, yarn.Resource{MemoryMB: 1024, VCores: 1})
+	if err != nil {
+		return err
+	}
+	defer yapp.Finish()
+
+	deploy := s.cfg.Sim.NewMeter()
+	deploy.Charge(s.cfg.Costs.EngineJobStart)
+	deploy.Charge(s.cfg.Costs.YarnContainerStart) // the AM container
+
+	at := &attempt{
+		stram: s,
+		yapp:  yapp,
+		stop:  make(chan struct{}),
+		inbox: make(map[string][]chan streamBatch),
+	}
+
+	// One container per operator partition.
+	type deployment struct {
+		op   *opDef
+		part int
+		ctr  *yarn.Container
+	}
+	var deployments []deployment
+	for _, name := range s.app.order {
+		op := s.app.ops[name]
+		parts := s.partitionsOf(op)
+		for p := range parts {
+			ctr, err := yapp.AllocateContainer(yarn.Resource{MemoryMB: s.cfg.ContainerMemoryMB, VCores: 1})
+			if err != nil {
+				return fmt.Errorf("apex: deploy %s[%d]: %w", name, p, err)
+			}
+			deploy.Charge(s.cfg.Costs.YarnContainerStart)
+			deployments = append(deployments, deployment{op: op, part: p, ctr: ctr})
+		}
+		if op.inStream != nil {
+			chans := make([]chan streamBatch, parts)
+			for p := range chans {
+				chans[p] = make(chan streamBatch, _streamChannelBuffer)
+			}
+			at.inbox[op.inStream.name] = chans
+		}
+	}
+	deploy.Flush()
+
+	// Per-stream upstream completion tracking closes subscriber queues.
+	streamWG := make(map[string]*sync.WaitGroup, len(s.app.streams))
+	for _, sname := range s.app.sorder {
+		wg := &sync.WaitGroup{}
+		wg.Add(s.partitionsOf(s.app.ops[s.app.streams[sname].from]))
+		streamWG[sname] = wg
+	}
+
+	var all sync.WaitGroup
+	for _, d := range deployments {
+		all.Add(1)
+		go func(d deployment) {
+			defer all.Done()
+			defer func() {
+				for _, out := range d.op.outStreams {
+					streamWG[out.name].Done()
+				}
+			}()
+			if err := at.runPartition(d.op, d.part, d.ctr); err != nil {
+				at.fail(err)
+			}
+		}(d)
+	}
+	for _, sname := range s.app.sorder {
+		all.Add(1)
+		go func(sname string) {
+			defer all.Done()
+			streamWG[sname].Wait()
+			for _, ch := range at.inbox[sname] {
+				close(ch)
+			}
+		}(sname)
+	}
+	all.Wait()
+	return at.failure()
+}
+
+// partitionContext implements OperatorContext.
+type partitionContext struct {
+	idx   int
+	count int
+	meter *simcost.Meter
+}
+
+func (c *partitionContext) PartitionIndex() int    { return c.idx }
+func (c *partitionContext) PartitionCount() int    { return c.count }
+func (c *partitionContext) Charge(d time.Duration) { c.meter.Charge(d) }
+
+func (at *attempt) runPartition(op *opDef, part int, ctr *yarn.Container) error {
+	s := at.stram
+	ctx := &partitionContext{idx: part, count: s.partitionsOf(op), meter: s.cfg.Sim.NewMeter()}
+	defer ctx.meter.Flush()
+
+	senders := make([]*streamSender, len(op.outStreams))
+	for i, out := range op.outStreams {
+		senders[i] = &streamSender{
+			def:     out,
+			targets: at.inbox[out.name],
+			meter:   ctx.meter,
+			costs:   s.cfg.Costs,
+			stop:    at.stop,
+		}
+	}
+
+	switch op.kind {
+	case kindInput:
+		return at.runInputPartition(op, ctx, ctr, senders)
+	case kindGeneric:
+		return at.runGenericPartition(op, ctx, ctr, senders)
+	case kindOutput:
+		return at.runOutputPartition(op, ctx, ctr)
+	default:
+		return fmt.Errorf("apex: unknown operator kind %d", op.kind)
+	}
+}
+
+func (at *attempt) runInputPartition(op *opDef, ctx *partitionContext, ctr *yarn.Container, senders []*streamSender) error {
+	s := at.stram
+	inst, err := op.input(ctx)
+	if err != nil {
+		return fmt.Errorf("apex: setup input %q[%d]: %w", op.name, ctx.idx, err)
+	}
+	defer func() { _ = inst.Teardown() }()
+
+	var (
+		window  [][]byte
+		windows int64
+	)
+	flush := func() error {
+		for _, snd := range senders {
+			if err := snd.publishWindow(window); err != nil {
+				return err
+			}
+		}
+		op.stats.windows.Add(1)
+		windows++
+		if windows%int64(s.cfg.CheckpointWindows) == 0 {
+			ctx.meter.Charge(s.cfg.Costs.Checkpoint)
+		}
+		window = window[:0]
+		return nil
+	}
+
+	for {
+		if !ctr.Alive() {
+			return fmt.Errorf("apex: container %s of %q[%d] killed", ctr.ID, op.name, ctx.idx)
+		}
+		select {
+		case <-at.stop:
+			return errAttemptStopped
+		default:
+		}
+		done, err := inst.NextTuples(s.cfg.WindowTuples-len(window), func(t []byte) error {
+			op.stats.out.Add(1)
+			window = append(window, t)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("apex: input %q[%d]: %w", op.name, ctx.idx, err)
+		}
+		if len(window) >= s.cfg.WindowTuples || (done && len(window) > 0) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+func (at *attempt) runGenericPartition(op *opDef, ctx *partitionContext, ctr *yarn.Container, senders []*streamSender) error {
+	s := at.stram
+	inst, err := op.generic(ctx)
+	if err != nil {
+		return fmt.Errorf("apex: setup operator %q[%d]: %w", op.name, ctx.idx, err)
+	}
+	defer func() { _ = inst.Teardown() }()
+
+	in := at.inbox[op.inStream.name][ctx.idx]
+	var (
+		pending [][]byte
+		windows int64
+	)
+	emit := func(t []byte) error {
+		op.stats.out.Add(1)
+		// Per-tuple downstream streams publish immediately; windowed
+		// streams accumulate until the window boundary.
+		for _, snd := range senders {
+			if snd.def.perTuple {
+				if err := snd.publishTuple(t); err != nil {
+					return err
+				}
+			}
+		}
+		if !allPerTuple(senders) {
+			pending = append(pending, t)
+		}
+		return nil
+	}
+
+	for batch := range in {
+		if !ctr.Alive() {
+			return fmt.Errorf("apex: container %s of %q[%d] killed", ctr.ID, op.name, ctx.idx)
+		}
+		for _, t := range batch.tuples {
+			op.stats.in.Add(1)
+			if err := inst.Process(t, emit); err != nil {
+				return fmt.Errorf("apex: operator %q[%d]: %w", op.name, ctx.idx, err)
+			}
+		}
+		if batch.windowEnd {
+			for _, snd := range senders {
+				if snd.def.perTuple {
+					if err := snd.publishMarker(); err != nil {
+						return err
+					}
+					continue
+				}
+				if err := snd.publishWindow(pending); err != nil {
+					return err
+				}
+			}
+			pending = pending[:0]
+			op.stats.windows.Add(1)
+			windows++
+			if windows%int64(s.cfg.CheckpointWindows) == 0 {
+				ctx.meter.Charge(s.cfg.Costs.Checkpoint)
+			}
+		}
+	}
+	// Flush a trailing partial window (no boundary marker arrived).
+	if len(pending) > 0 {
+		for _, snd := range senders {
+			if !snd.def.perTuple {
+				if err := snd.publishWindow(pending); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (at *attempt) runOutputPartition(op *opDef, ctx *partitionContext, ctr *yarn.Container) error {
+	s := at.stram
+	inst, err := op.output(ctx)
+	if err != nil {
+		return fmt.Errorf("apex: setup output %q[%d]: %w", op.name, ctx.idx, err)
+	}
+	defer func() { _ = inst.Teardown() }()
+
+	in := at.inbox[op.inStream.name][ctx.idx]
+	var (
+		windows        int64
+		sinceWindowEnd int
+	)
+	for batch := range in {
+		if !ctr.Alive() {
+			return fmt.Errorf("apex: container %s of %q[%d] killed", ctr.ID, op.name, ctx.idx)
+		}
+		for _, t := range batch.tuples {
+			op.stats.in.Add(1)
+			sinceWindowEnd++
+			if err := inst.Process(t); err != nil {
+				return fmt.Errorf("apex: output %q[%d]: %w", op.name, ctx.idx, err)
+			}
+		}
+		if batch.windowEnd {
+			if err := inst.EndWindow(); err != nil {
+				return fmt.Errorf("apex: output %q[%d] end window: %w", op.name, ctx.idx, err)
+			}
+			sinceWindowEnd = 0
+			op.stats.windows.Add(1)
+			windows++
+			if windows%int64(s.cfg.CheckpointWindows) == 0 {
+				ctx.meter.Charge(s.cfg.Costs.Checkpoint)
+			}
+		}
+	}
+	if sinceWindowEnd > 0 {
+		if err := inst.EndWindow(); err != nil {
+			return fmt.Errorf("apex: output %q[%d] final window: %w", op.name, ctx.idx, err)
+		}
+		op.stats.windows.Add(1)
+	}
+	return nil
+}
+
+func allPerTuple(senders []*streamSender) bool {
+	for _, snd := range senders {
+		if !snd.def.perTuple {
+			return false
+		}
+	}
+	return len(senders) > 0
+}
+
+// streamSender is one upstream partition's buffer-server publisher for
+// one stream.
+type streamSender struct {
+	def     *streamDef
+	targets []chan streamBatch
+	rr      int
+	meter   *simcost.Meter
+	costs   simcost.Costs
+	stop    <-chan struct{}
+}
+
+// publishWindow splits the window's tuples round-robin over the
+// downstream partitions and publishes one batch (with window marker) to
+// every partition, matching the engine's windowed buffer-server mode.
+func (ss *streamSender) publishWindow(tuples [][]byte) error {
+	parts := make([][][]byte, len(ss.targets))
+	for _, t := range tuples {
+		i := ss.rr % len(ss.targets)
+		ss.rr++
+		parts[i] = append(parts[i], cloneTuple(t))
+	}
+	for i, target := range ss.targets {
+		if err := ss.send(target, streamBatch{tuples: parts[i], windowEnd: true}, len(parts[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// publishTuple publishes one tuple unbatched — one buffer-server
+// round trip per tuple, the Beam runner's output mode.
+func (ss *streamSender) publishTuple(t []byte) error {
+	target := ss.targets[ss.rr%len(ss.targets)]
+	ss.rr++
+	return ss.send(target, streamBatch{tuples: [][]byte{cloneTuple(t)}}, 1)
+}
+
+// publishMarker broadcasts a window boundary to all partitions.
+func (ss *streamSender) publishMarker() error {
+	for _, target := range ss.targets {
+		if err := ss.send(target, streamBatch{windowEnd: true}, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ss *streamSender) send(target chan streamBatch, b streamBatch, n int) error {
+	ss.meter.Charge(ss.costs.BufferServerPublish)
+	ss.meter.Charge(time.Duration(n) * ss.costs.BufferServerPerRecord)
+	select {
+	case target <- b:
+		return nil
+	case <-ss.stop:
+		return errAttemptStopped
+	}
+}
+
+func cloneTuple(t []byte) []byte {
+	cp := make([]byte, len(t))
+	copy(cp, t)
+	return cp
+}

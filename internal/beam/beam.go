@@ -1,0 +1,371 @@
+// Package beam implements the abstraction layer under evaluation in
+// Hesse et al. (ICDCS 2019): an Apache-Beam-style unified programming
+// model. Applications are Pipelines of PTransforms over PCollections and
+// can be executed unchanged by any registered runner (direct, Flink,
+// Spark Streaming, Apex) — exactly the substitution-cost argument the
+// paper examines, including its price: runners translate each Beam
+// primitive to a separate engine operator with coder boundaries, which
+// is the overhead the benchmark quantifies.
+//
+// The SDK models the core constructs of Section II-A: ParDo
+// (element-wise processing), GroupByKey (keyed aggregation, requiring
+// non-global windowing or a trigger on unbounded data), Flatten (merge),
+// windowing strategies, coders, and the KafkaIO connector with
+// WithoutMetadata and Values.
+package beam
+
+import (
+	"errors"
+	"fmt"
+
+	"beambench/internal/dag"
+)
+
+// TransformKind enumerates the primitive transforms runners translate.
+type TransformKind int
+
+const (
+	// KindCreate materializes in-memory values as a bounded collection.
+	KindCreate TransformKind = iota + 1
+	// KindParDo is element-by-element processing with a DoFn.
+	KindParDo
+	// KindFlatten merges several collections of the same type.
+	KindFlatten
+	// KindGroupByKey groups KV elements by key per window.
+	KindGroupByKey
+	// KindWindowInto reassigns elements to windows.
+	KindWindowInto
+	// KindKafkaRead is the KafkaIO read connector.
+	KindKafkaRead
+	// KindKafkaWrite is the KafkaIO write connector.
+	KindKafkaWrite
+)
+
+// String names the kind as the runner translation layer reports it.
+func (k TransformKind) String() string {
+	switch k {
+	case KindCreate:
+		return "Create"
+	case KindParDo:
+		return "ParDo"
+	case KindFlatten:
+		return "Flatten"
+	case KindGroupByKey:
+		return "GroupByKey"
+	case KindWindowInto:
+		return "Window.Into"
+	case KindKafkaRead:
+		return "KafkaIO.Read"
+	case KindKafkaWrite:
+		return "KafkaIO.Write"
+	default:
+		return fmt.Sprintf("TransformKind(%d)", int(k))
+	}
+}
+
+// Pipeline is a DAG of transforms under construction.
+type Pipeline struct {
+	transforms []*Transform
+	pcols      []*pcollNode
+	err        error
+}
+
+// NewPipeline returns an empty pipeline.
+func NewPipeline() *Pipeline {
+	return &Pipeline{}
+}
+
+func (p *Pipeline) fail(err error) {
+	if p.err == nil {
+		p.err = err
+	}
+}
+
+// Err returns the first construction error, if any.
+func (p *Pipeline) Err() error { return p.err }
+
+// Transform is one node of the pipeline graph. Fields are exported for
+// runner translation.
+type Transform struct {
+	// ID is the node's index in construction order.
+	ID int
+	// Name is the user-visible transform label.
+	Name string
+	// Kind selects the primitive.
+	Kind TransformKind
+	// Fn is the DoFn for KindParDo.
+	Fn DoFn
+	// Inputs are the consumed collections (one, except Flatten).
+	Inputs []PCollection
+	// Output is the produced collection; zero PCollection for sinks.
+	Output PCollection
+	// Config carries connector-specific configuration (KafkaReadConfig,
+	// KafkaWriteConfig, WindowingStrategy for KindWindowInto).
+	Config any
+}
+
+// pcollNode is the internal state behind a PCollection handle.
+type pcollNode struct {
+	id        int
+	coder     Coder
+	bounded   bool
+	windowing WindowingStrategy
+	producer  *Transform
+}
+
+// PCollection is a handle to a (possibly unbounded) distributed data set.
+type PCollection struct {
+	p    *Pipeline
+	node *pcollNode
+}
+
+// Valid reports whether the handle refers to a collection.
+func (c PCollection) Valid() bool { return c.node != nil }
+
+// Coder returns the collection's element coder.
+func (c PCollection) Coder() Coder {
+	if c.node == nil {
+		return nil
+	}
+	return c.node.coder
+}
+
+// Bounded reports whether the collection is bounded.
+func (c PCollection) Bounded() bool { return c.node != nil && c.node.bounded }
+
+// Windowing returns the collection's windowing strategy.
+func (c PCollection) Windowing() WindowingStrategy {
+	if c.node == nil {
+		return DefaultWindowing()
+	}
+	return c.node.windowing
+}
+
+// ID returns the collection's unique id within the pipeline.
+func (c PCollection) ID() int {
+	if c.node == nil {
+		return -1
+	}
+	return c.node.id
+}
+
+func (p *Pipeline) newPCollection(coder Coder, bounded bool, w WindowingStrategy, producer *Transform) PCollection {
+	node := &pcollNode{
+		id:        len(p.pcols),
+		coder:     coder,
+		bounded:   bounded,
+		windowing: w,
+		producer:  producer,
+	}
+	p.pcols = append(p.pcols, node)
+	return PCollection{p: p, node: node}
+}
+
+func (p *Pipeline) addTransform(t *Transform) *Transform {
+	t.ID = len(p.transforms)
+	p.transforms = append(p.transforms, t)
+	return t
+}
+
+// Transforms returns the pipeline's transforms in construction order,
+// for runner translation.
+func (p *Pipeline) Transforms() []*Transform {
+	out := make([]*Transform, len(p.transforms))
+	copy(out, p.transforms)
+	return out
+}
+
+// Option configures a transform application.
+type Option interface {
+	apply(*applyOptions)
+}
+
+type applyOptions struct {
+	coder Coder
+}
+
+type coderOption struct{ c Coder }
+
+func (o coderOption) apply(a *applyOptions) { a.coder = o.c }
+
+// WithCoder sets the output collection's coder explicitly.
+func WithCoder(c Coder) Option {
+	return coderOption{c: c}
+}
+
+func gatherOptions(opts []Option) applyOptions {
+	var a applyOptions
+	for _, o := range opts {
+		o.apply(&a)
+	}
+	return a
+}
+
+// Create returns a bounded collection of the given values.
+func Create(p *Pipeline, values []any, opts ...Option) PCollection {
+	a := gatherOptions(opts)
+	coder := a.coder
+	if coder == nil {
+		coder = inferCoder(values)
+	}
+	t := p.addTransform(&Transform{Name: "Create", Kind: KindCreate, Config: values})
+	out := p.newPCollection(coder, true /* bounded */, DefaultWindowing(), t)
+	t.Output = out
+	return out
+}
+
+// ParDo applies a DoFn element-wise and returns the output collection.
+func ParDo(p *Pipeline, name string, fn DoFn, in PCollection, opts ...Option) PCollection {
+	if fn == nil {
+		p.fail(fmt.Errorf("beam: ParDo %q: nil DoFn", name))
+	}
+	if !in.Valid() {
+		p.fail(fmt.Errorf("beam: ParDo %q: invalid input", name))
+		return PCollection{}
+	}
+	a := gatherOptions(opts)
+	coder := a.coder
+	if coder == nil {
+		coder = in.node.coder
+	}
+	t := p.addTransform(&Transform{Name: name, Kind: KindParDo, Fn: fn, Inputs: []PCollection{in}})
+	out := p.newPCollection(coder, in.node.bounded, in.node.windowing, t)
+	t.Output = out
+	return out
+}
+
+// Flatten merges collections with identical coders into one.
+func Flatten(p *Pipeline, ins ...PCollection) PCollection {
+	if len(ins) == 0 {
+		p.fail(errors.New("beam: Flatten of zero collections"))
+		return PCollection{}
+	}
+	for _, in := range ins {
+		if !in.Valid() {
+			p.fail(errors.New("beam: Flatten: invalid input"))
+			return PCollection{}
+		}
+	}
+	coder := ins[0].node.coder
+	bounded := true
+	for _, in := range ins {
+		if in.node.coder.Name() != coder.Name() {
+			p.fail(fmt.Errorf("beam: Flatten: mixed coders %s and %s", coder.Name(), in.node.coder.Name()))
+		}
+		if !in.node.bounded {
+			bounded = false
+		}
+	}
+	t := p.addTransform(&Transform{Name: "Flatten", Kind: KindFlatten, Inputs: append([]PCollection(nil), ins...)})
+	out := p.newPCollection(coder, bounded, ins[0].node.windowing, t)
+	t.Output = out
+	return out
+}
+
+// GroupByKey groups a KV collection by key within each window. On an
+// unbounded collection it requires non-global windowing or a trigger,
+// matching the constraint described in Section II-A of the paper.
+func GroupByKey(p *Pipeline, in PCollection) PCollection {
+	if !in.Valid() {
+		p.fail(errors.New("beam: GroupByKey: invalid input"))
+		return PCollection{}
+	}
+	w := in.node.windowing
+	if !in.node.bounded && w.IsGlobal() && w.Trigger == nil {
+		p.fail(errors.New("beam: GroupByKey on an unbounded collection requires non-global windowing or an aggregation trigger"))
+	}
+	t := p.addTransform(&Transform{Name: "GroupByKey", Kind: KindGroupByKey, Inputs: []PCollection{in}})
+	out := p.newPCollection(GroupedCoder{}, in.node.bounded, w, t)
+	t.Output = out
+	return out
+}
+
+// WindowInto reassigns elements of a collection to windows.
+func WindowInto(p *Pipeline, ws WindowingStrategy, in PCollection) PCollection {
+	if !in.Valid() {
+		p.fail(errors.New("beam: WindowInto: invalid input"))
+		return PCollection{}
+	}
+	if ws.Fn == nil {
+		p.fail(errors.New("beam: WindowInto: nil window fn"))
+		return in
+	}
+	t := p.addTransform(&Transform{Name: "Window.Into " + ws.Fn.Name(), Kind: KindWindowInto, Inputs: []PCollection{in}, Config: ws})
+	out := p.newPCollection(in.node.coder, in.node.bounded, ws, t)
+	t.Output = out
+	return out
+}
+
+// Validate checks the pipeline graph for structural errors.
+func (p *Pipeline) Validate() error {
+	if p.err != nil {
+		return p.err
+	}
+	if len(p.transforms) == 0 {
+		return errors.New("beam: empty pipeline")
+	}
+	consumed := make(map[int]bool)
+	produced := make(map[int]bool)
+	for _, t := range p.transforms {
+		for _, in := range t.Inputs {
+			consumed[in.ID()] = true
+		}
+		if t.Output.Valid() {
+			if produced[t.Output.ID()] {
+				return fmt.Errorf("beam: collection %d produced twice", t.Output.ID())
+			}
+			produced[t.Output.ID()] = true
+		}
+	}
+	for _, t := range p.transforms {
+		if t.Kind != KindKafkaRead && t.Kind != KindCreate && len(t.Inputs) == 0 {
+			return fmt.Errorf("beam: transform %q has no input", t.Name)
+		}
+	}
+	return nil
+}
+
+// Plan renders the pipeline's logical graph.
+func (p *Pipeline) Plan() (*dag.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := dag.New()
+	for _, t := range p.transforms {
+		kind := dag.KindOperator
+		if len(t.Inputs) == 0 {
+			kind = dag.KindSource
+		}
+		if !t.Output.Valid() {
+			kind = dag.KindSink
+		}
+		name := t.Name
+		if name == "" {
+			name = t.Kind.String()
+		}
+		if err := g.AddNode(dag.Node{
+			ID:          fmt.Sprintf("t%d", t.ID),
+			Name:        name,
+			Kind:        kind,
+			Parallelism: 1,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	producerOf := make(map[int]*Transform)
+	for _, t := range p.transforms {
+		if t.Output.Valid() {
+			producerOf[t.Output.ID()] = t
+		}
+	}
+	for _, t := range p.transforms {
+		for _, in := range t.Inputs {
+			if src, ok := producerOf[in.ID()]; ok {
+				if err := g.AddEdge(fmt.Sprintf("t%d", src.ID), fmt.Sprintf("t%d", t.ID)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}

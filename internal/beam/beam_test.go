@@ -1,0 +1,253 @@
+package beam
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"beambench/internal/broker"
+)
+
+func TestPipelineConstructionLinear(t *testing.T) {
+	p := NewPipeline()
+	col := Create(p, []any{"a", "b"})
+	out := MapElements(p, "upper", func(v any) (any, error) {
+		return strings.ToUpper(v.(string)), nil
+	}, col)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Valid() || !out.Bounded() {
+		t.Errorf("output = valid:%v bounded:%v", out.Valid(), out.Bounded())
+	}
+	if got := len(p.Transforms()); got != 2 {
+		t.Errorf("transforms = %d, want 2", got)
+	}
+	if out.Coder().Name() != "stringutf8" {
+		t.Errorf("inferred coder = %q, want stringutf8", out.Coder().Name())
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		if err := NewPipeline().Validate(); err == nil {
+			t.Error("empty pipeline validated")
+		}
+	})
+	t.Run("nil dofn", func(t *testing.T) {
+		p := NewPipeline()
+		col := Create(p, []any{"a"})
+		ParDo(p, "bad", nil, col)
+		if err := p.Validate(); err == nil {
+			t.Error("nil DoFn validated")
+		}
+	})
+	t.Run("invalid input", func(t *testing.T) {
+		p := NewPipeline()
+		ParDo(p, "bad", DoFnFunc(func(Context, any, Emitter) error { return nil }), PCollection{})
+		if err := p.Validate(); err == nil {
+			t.Error("invalid input validated")
+		}
+	})
+	t.Run("flatten empty", func(t *testing.T) {
+		p := NewPipeline()
+		Flatten(p)
+		if err := p.Validate(); err == nil {
+			t.Error("empty flatten validated")
+		}
+	})
+	t.Run("flatten mixed coders", func(t *testing.T) {
+		p := NewPipeline()
+		a := Create(p, []any{"a"})
+		b := Create(p, []any{[]byte("b")})
+		Flatten(p, a, b)
+		if err := p.Validate(); err == nil {
+			t.Error("mixed-coder flatten validated")
+		}
+	})
+}
+
+func TestGroupByKeyUnboundedGlobalRejected(t *testing.T) {
+	// Mirrors the Beam rule in Section II-A: GBK over an unbounded
+	// collection needs non-global windowing or a trigger.
+	b := broker.New()
+	if err := b.CreateTopic("in", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("rejected without windowing", func(t *testing.T) {
+		p := NewPipeline()
+		kvs := WithoutMetadata(p, KafkaRead(p, b, "in"))
+		GroupByKey(p, kvs)
+		if err := p.Validate(); err == nil {
+			t.Error("unbounded global GBK validated")
+		}
+	})
+	t.Run("allowed with fixed windows", func(t *testing.T) {
+		p := NewPipeline()
+		kvs := WithoutMetadata(p, KafkaRead(p, b, "in"))
+		windowed := WindowInto(p, WindowingStrategy{Fn: FixedWindows{Size: time.Second}}, kvs)
+		GroupByKey(p, windowed)
+		if err := p.Validate(); err != nil {
+			t.Errorf("windowed GBK rejected: %v", err)
+		}
+	})
+	t.Run("allowed with trigger", func(t *testing.T) {
+		p := NewPipeline()
+		kvs := WithoutMetadata(p, KafkaRead(p, b, "in"))
+		triggered := WindowInto(p, DefaultWindowing().Triggering(AfterCount{N: 10}), kvs)
+		GroupByKey(p, triggered)
+		if err := p.Validate(); err != nil {
+			t.Errorf("triggered GBK rejected: %v", err)
+		}
+	})
+	t.Run("allowed on bounded", func(t *testing.T) {
+		p := NewPipeline()
+		col := Create(p, []any{KV{Key: "k", Value: "v"}})
+		GroupByKey(p, col)
+		if err := p.Validate(); err != nil {
+			t.Errorf("bounded GBK rejected: %v", err)
+		}
+	})
+}
+
+func TestKafkaReadWriteConstruction(t *testing.T) {
+	b := broker.New()
+	if err := b.CreateTopic("in", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline()
+	raw := KafkaRead(p, b, "in")
+	if raw.Bounded() {
+		t.Error("KafkaRead collection should be unbounded")
+	}
+	if raw.Coder().Name() != "kafkarecord" {
+		t.Errorf("KafkaRead coder = %q", raw.Coder().Name())
+	}
+	kvs := WithoutMetadata(p, raw)
+	if kvs.Coder().Name() != "kv<bytes,bytes>" {
+		t.Errorf("WithoutMetadata coder = %q", kvs.Coder().Name())
+	}
+	vals := Values(p, kvs)
+	if vals.Coder().Name() != "bytes" {
+		t.Errorf("Values coder = %q", vals.Coder().Name())
+	}
+	KafkaWrite(p, b, "out", vals, broker.ProducerConfig{})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The pipeline has 4 transforms: read, withoutMetadata, values, write.
+	if got := len(p.Transforms()); got != 4 {
+		t.Errorf("transforms = %d, want 4", got)
+	}
+}
+
+func TestKafkaConstructionErrors(t *testing.T) {
+	p := NewPipeline()
+	KafkaRead(p, nil, "")
+	if p.Err() == nil {
+		t.Error("nil broker accepted")
+	}
+	p2 := NewPipeline()
+	KafkaWrite(p2, nil, "", PCollection{}, broker.ProducerConfig{})
+	if p2.Err() == nil {
+		t.Error("invalid KafkaWrite accepted")
+	}
+}
+
+func TestPlanRendersBeamPipeline(t *testing.T) {
+	b := broker.New()
+	if err := b.CreateTopic("in", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline()
+	vals := Values(p, WithoutMetadata(p, KafkaRead(p, b, "in")))
+	grep := Filter(p, "grep", func(v any) (bool, error) {
+		return strings.Contains(string(v.([]byte)), "test"), nil
+	}, vals)
+	KafkaWrite(p, b, "out", grep, broker.ProducerConfig{})
+
+	g, err := p.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 5 {
+		t.Errorf("plan nodes = %d, want 5", g.Len())
+	}
+	text := g.String()
+	for _, want := range []string{"KafkaIO.Read in", "WithoutMetadata", "Values", "grep", "KafkaIO.Write out"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("plan missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestWindowAssignment(t *testing.T) {
+	ts := time.Date(2026, 6, 11, 12, 0, 0, 500_000_000, time.UTC)
+	t.Run("global", func(t *testing.T) {
+		ws := (GlobalWindows{}).AssignWindows(ts)
+		if len(ws) != 1 {
+			t.Fatalf("global windows = %d, want 1", len(ws))
+		}
+		if ws[0].Key() != "global" {
+			t.Errorf("window key = %q", ws[0].Key())
+		}
+	})
+	t.Run("fixed", func(t *testing.T) {
+		fn := FixedWindows{Size: time.Second}
+		ws := fn.AssignWindows(ts)
+		if len(ws) != 1 {
+			t.Fatalf("fixed windows = %d, want 1", len(ws))
+		}
+		w := ws[0].(IntervalWindow)
+		if !w.Start.Equal(ts.Truncate(time.Second)) {
+			t.Errorf("window start = %v", w.Start)
+		}
+		if w.End.Sub(w.Start) != time.Second {
+			t.Errorf("window size = %v", w.End.Sub(w.Start))
+		}
+		if !ws[0].MaxTimestamp().Before(w.End) {
+			t.Error("MaxTimestamp not inside window")
+		}
+	})
+	t.Run("fixed zero size degrades to global", func(t *testing.T) {
+		ws := (FixedWindows{}).AssignWindows(ts)
+		if ws[0].Key() != "global" {
+			t.Errorf("zero-size fixed windows = %v", ws[0].Key())
+		}
+	})
+	t.Run("same second same window", func(t *testing.T) {
+		fn := FixedWindows{Size: time.Second}
+		a := fn.AssignWindows(ts)[0]
+		b := fn.AssignWindows(ts.Add(100 * time.Millisecond))[0]
+		if a.Key() != b.Key() {
+			t.Error("timestamps in same interval assigned different windows")
+		}
+	})
+}
+
+func TestTransformKindStrings(t *testing.T) {
+	kinds := map[TransformKind]string{
+		KindCreate:     "Create",
+		KindParDo:      "ParDo",
+		KindFlatten:    "Flatten",
+		KindGroupByKey: "GroupByKey",
+		KindWindowInto: "Window.Into",
+		KindKafkaRead:  "KafkaIO.Read",
+		KindKafkaWrite: "KafkaIO.Write",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if TransformKind(99).String() != "TransformKind(99)" {
+		t.Error("unknown kind string")
+	}
+}

@@ -1,0 +1,210 @@
+package beam
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBytesCoderRoundTrip(t *testing.T) {
+	f := func(b []byte) bool {
+		enc, err := (BytesCoder{}).Encode(b)
+		if err != nil {
+			return false
+		}
+		dec, err := (BytesCoder{}).Decode(enc)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(dec.([]byte), b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesCoderIsolation(t *testing.T) {
+	src := []byte("data")
+	enc, err := (BytesCoder{}).Encode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 'X'
+	if string(enc) != "data" {
+		t.Error("encode did not copy its input")
+	}
+}
+
+func TestBytesCoderTypeError(t *testing.T) {
+	if _, err := (BytesCoder{}).Encode("not bytes"); err == nil {
+		t.Error("string accepted by bytes coder")
+	}
+}
+
+func TestStringCoderRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		enc, err := (StringUTF8Coder{}).Encode(s)
+		if err != nil {
+			return false
+		}
+		dec, err := (StringUTF8Coder{}).Decode(enc)
+		return err == nil && dec.(string) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := (StringUTF8Coder{}).Encode(42); err == nil {
+		t.Error("int accepted by string coder")
+	}
+}
+
+func TestVarIntCoderRoundTrip(t *testing.T) {
+	f := func(n int64) bool {
+		enc, err := (VarIntCoder{}).Encode(n)
+		if err != nil {
+			return false
+		}
+		dec, err := (VarIntCoder{}).Decode(enc)
+		return err == nil && dec.(int64) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Plain int is accepted too.
+	enc, err := (VarIntCoder{}).Encode(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := (VarIntCoder{}).Decode(enc)
+	if err != nil || dec.(int64) != 7 {
+		t.Errorf("int round trip = %v, %v", dec, err)
+	}
+	if _, err := (VarIntCoder{}).Encode("x"); err == nil {
+		t.Error("string accepted by varint coder")
+	}
+	if _, err := (VarIntCoder{}).Decode(nil); err == nil {
+		t.Error("empty input decoded")
+	}
+}
+
+func TestKVCoderRoundTrip(t *testing.T) {
+	c := KVCoder{Key: BytesCoder{}, Value: BytesCoder{}}
+	f := func(k, v []byte) bool {
+		enc, err := c.Encode(KV{Key: k, Value: v})
+		if err != nil {
+			return false
+		}
+		dec, err := c.Decode(enc)
+		if err != nil {
+			return false
+		}
+		kv := dec.(KV)
+		return bytes.Equal(kv.Key.([]byte), k) && bytes.Equal(kv.Value.([]byte), v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKVCoderErrors(t *testing.T) {
+	c := KVCoder{Key: BytesCoder{}, Value: BytesCoder{}}
+	if _, err := c.Encode("not a kv"); err == nil {
+		t.Error("non-KV accepted")
+	}
+	if _, err := c.Encode(KV{Key: "string", Value: []byte("v")}); err == nil {
+		t.Error("mismatched key type accepted")
+	}
+	if _, err := c.Decode([]byte{0xFF}); err == nil {
+		t.Error("garbage decoded")
+	}
+	missing := KVCoder{}
+	if _, err := missing.Encode(KV{}); err == nil {
+		t.Error("missing component coders accepted")
+	}
+	if got := c.Name(); got != "kv<bytes,bytes>" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestKafkaRecordCoderRoundTrip(t *testing.T) {
+	c := KafkaRecordCoder{}
+	f := func(topic string, part uint8, off int64, key, val []byte) bool {
+		rec := KafkaRecord{
+			Topic:     topic,
+			Partition: int(part),
+			Offset:    off,
+			Timestamp: time.Unix(0, 1234567890).UTC(),
+			Key:       key,
+			Value:     val,
+		}
+		enc, err := c.Encode(rec)
+		if err != nil {
+			return false
+		}
+		dec, err := c.Decode(enc)
+		if err != nil {
+			return false
+		}
+		got := dec.(KafkaRecord)
+		return got.Topic == rec.Topic &&
+			got.Partition == rec.Partition &&
+			got.Offset == rec.Offset &&
+			got.Timestamp.Equal(rec.Timestamp) &&
+			bytes.Equal(got.Key, rec.Key) &&
+			bytes.Equal(got.Value, rec.Value)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := c.Encode(42); err == nil {
+		t.Error("non-record accepted")
+	}
+	if _, err := c.Decode([]byte{0xFF, 0xFF}); err == nil {
+		t.Error("garbage decoded")
+	}
+}
+
+func TestGroupedCoderRoundTrip(t *testing.T) {
+	c := GroupedCoder{}
+	g := Grouped{Key: "k", Values: []any{"a", "b", "c"}}
+	enc, err := c.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := dec.(Grouped)
+	if got.Key != "k" || len(got.Values) != 3 || got.Values[1] != "b" {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := c.Encode("nope"); err == nil {
+		t.Error("non-grouped accepted")
+	}
+	if _, err := c.Encode(Grouped{Key: 42}); err == nil {
+		t.Error("unsupported key type accepted")
+	}
+	if _, err := c.Decode([]byte{0xFF}); err == nil {
+		t.Error("garbage decoded")
+	}
+}
+
+func TestCoderNames(t *testing.T) {
+	tests := []struct {
+		give Coder
+		want string
+	}{
+		{give: BytesCoder{}, want: "bytes"},
+		{give: StringUTF8Coder{}, want: "stringutf8"},
+		{give: VarIntCoder{}, want: "varint"},
+		{give: KafkaRecordCoder{}, want: "kafkarecord"},
+		{give: GroupedCoder{}, want: "grouped"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.Name(); got != tt.want {
+			t.Errorf("Name() = %q, want %q", got, tt.want)
+		}
+	}
+}

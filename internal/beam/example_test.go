@@ -1,0 +1,57 @@
+package beam_test
+
+import (
+	"fmt"
+	"strings"
+
+	"beambench/internal/beam"
+	"beambench/internal/beam/runner/direct"
+)
+
+// ExamplePipeline builds and runs a small pipeline on the direct runner.
+func Example() {
+	p := beam.NewPipeline()
+	words := beam.Create(p, []any{"stream", "processing", "systems"})
+	upper := beam.MapElements(p, "upper", func(v any) (any, error) {
+		return strings.ToUpper(v.(string)), nil
+	}, words)
+	short := beam.Filter(p, "short", func(v any) (bool, error) {
+		return len(v.(string)) <= 7, nil
+	}, upper)
+
+	res, err := direct.Run(p)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, v := range res.Elements(short) {
+		fmt.Println(v)
+	}
+	// Output:
+	// STREAM
+	// SYSTEMS
+}
+
+// ExampleGroupByKey demonstrates keyed grouping on a bounded collection.
+func ExampleGroupByKey() {
+	p := beam.NewPipeline()
+	kvs := beam.Create(p, []any{
+		beam.KV{Key: "fruit", Value: "apple"},
+		beam.KV{Key: "fruit", Value: "pear"},
+		beam.KV{Key: "root", Value: "carrot"},
+	})
+	grouped := beam.GroupByKey(p, kvs)
+
+	res, err := direct.Run(p)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, v := range res.Elements(grouped) {
+		g := v.(beam.Grouped)
+		fmt.Printf("%v: %d\n", g.Key, len(g.Values))
+	}
+	// Output:
+	// fruit: 2
+	// root: 1
+}

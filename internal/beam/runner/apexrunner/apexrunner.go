@@ -1,0 +1,271 @@
+// Package apexrunner translates Beam pipelines into applications on the
+// Apex engine simulator. Its translation choices reproduce the paper's
+// most extreme result (Hesse et al., ICDCS 2019, Figure 11: slowdowns of
+// 32-58x for output-heavy queries but ~1x for grep):
+//
+//   - The ParDo chain is fused into a single Apex operator (an
+//     executable stage deployed with container-local stream locality),
+//     so the *input* path performs like a native Apex job — elements
+//     pass between fused DoFns in memory without coder round trips.
+//     This is why the paper measures Beam-on-Apex grep on par with
+//     native Apex (sf 0.91) while Beam-on-Flink pays for every one of
+//     its unchained operator boundaries.
+//   - The *output* path is pathological: the stream into the Kafka
+//     output operator publishes per tuple through the buffer server, and
+//     the output operator writes synchronously — one produce request per
+//     record (producer batch size 1) plus per-record KafkaIO write
+//     bookkeeping. The cost therefore scales with output volume:
+//     catastrophic for identity/projection (100% output), roughly half
+//     for sample (40%), negligible for grep (0.3%).
+//   - The output operator is pinned to a single partition: the output
+//     topic has one partition, so synchronous writes cannot be
+//     parallelized away — raising the paper-observed effect that higher
+//     parallelism does not help Beam-on-Apex (Figure 6: 237.5s at P1 vs
+//     241.0s at P2).
+package apexrunner
+
+import (
+	"errors"
+	"fmt"
+
+	"beambench/internal/apex"
+	"beambench/internal/beam"
+	"beambench/internal/simcost"
+	"beambench/internal/yarn"
+)
+
+// ErrUnsupported marks transforms and shapes this runner cannot
+// translate.
+var ErrUnsupported = errors.New("apexrunner: unsupported transform")
+
+// Operator names used in the translated DAG.
+const (
+	// NameRead is the Kafka input operator.
+	NameRead = "KafkaIO.Read"
+	// NameStage is the fused ParDo chain (Beam executable stage).
+	NameStage = "ExecutableStage"
+	// NameWrite is the Kafka output operator.
+	NameWrite = "KafkaIO.Write"
+)
+
+// Config parameterizes a pipeline execution.
+type Config struct {
+	// Cluster is the YARN cluster to deploy on.
+	Cluster *yarn.Cluster
+	// Parallelism is the operator partition count, configured through
+	// YARN vcores plus a DAG attribute as in the paper. Defaults to 1.
+	Parallelism int
+	// Costs is the latency model shared with the engine.
+	Costs simcost.Costs
+	// Sim scales the cost model; nil charges nothing.
+	Sim *simcost.Simulator
+}
+
+// Run translates and executes the pipeline, blocking until completion.
+func Run(p *beam.Pipeline, cfg Config) (*apex.AppResult, error) {
+	app, launch, err := Translate(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	stram, err := apex.Launch(cfg.Cluster, app, launch)
+	if err != nil {
+		return nil, err
+	}
+	return stram.Await()
+}
+
+// linearPipeline is the normalized shape this runner translates: one
+// source, a chain of ParDos, one Kafka sink.
+type linearPipeline struct {
+	read   *beam.Transform // KindKafkaRead or KindCreate
+	parDos []*beam.Transform
+	write  *beam.Transform
+}
+
+// normalize validates that the pipeline is a linear source-ParDos-sink
+// chain and returns its stages in order.
+func normalize(p *beam.Pipeline) (*linearPipeline, error) {
+	var lp linearPipeline
+	prevOut := -1
+	for _, t := range p.Transforms() {
+		switch t.Kind {
+		case beam.KindKafkaRead, beam.KindCreate:
+			if lp.read != nil {
+				return nil, fmt.Errorf("%w: multiple sources", ErrUnsupported)
+			}
+			lp.read = t
+		case beam.KindParDo:
+			if lp.read == nil || t.Inputs[0].ID() != prevOut {
+				return nil, fmt.Errorf("%w: non-linear pipeline", ErrUnsupported)
+			}
+			lp.parDos = append(lp.parDos, t)
+		case beam.KindKafkaWrite:
+			if lp.write != nil {
+				return nil, fmt.Errorf("%w: multiple sinks", ErrUnsupported)
+			}
+			if t.Inputs[0].ID() != prevOut {
+				return nil, fmt.Errorf("%w: non-linear pipeline", ErrUnsupported)
+			}
+			lp.write = t
+			continue
+		default:
+			return nil, fmt.Errorf("%w: %v (%s)", ErrUnsupported, t.Kind, t.Name)
+		}
+		if t.Output.Valid() {
+			prevOut = t.Output.ID()
+		}
+	}
+	if lp.read == nil {
+		return nil, fmt.Errorf("%w: pipeline has no source", ErrUnsupported)
+	}
+	if lp.write == nil {
+		return nil, fmt.Errorf("%w: pipeline has no KafkaIO.Write sink", ErrUnsupported)
+	}
+	return &lp, nil
+}
+
+// Translate builds the Apex application for a pipeline without running
+// it, returning the application and its launch configuration.
+func Translate(p *beam.Pipeline, cfg Config) (*apex.Application, apex.LaunchConfig, error) {
+	var zero apex.LaunchConfig
+	if cfg.Cluster == nil {
+		return nil, zero, errors.New("apexrunner: nil cluster")
+	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = 1
+	}
+	if cfg.Parallelism < 0 {
+		return nil, zero, fmt.Errorf("apexrunner: negative parallelism %d", cfg.Parallelism)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, zero, err
+	}
+	lp, err := normalize(p)
+	if err != nil {
+		return nil, zero, err
+	}
+
+	app := apex.NewApplication("beam")
+
+	// Source.
+	var sourceIsKafka bool
+	switch lp.read.Kind {
+	case beam.KindKafkaRead:
+		rc, ok := lp.read.Config.(beam.KafkaReadConfig)
+		if !ok {
+			return nil, zero, errors.New("apexrunner: malformed KafkaRead config")
+		}
+		app.AddInput(NameRead, apex.KafkaInput(rc.Broker, rc.Topic))
+		sourceIsKafka = true
+	case beam.KindCreate:
+		values, ok := lp.read.Config.([]any)
+		if !ok {
+			return nil, zero, errors.New("apexrunner: malformed Create config")
+		}
+		encoded, err := encodeAll(values, lp.read.Output.Coder())
+		if err != nil {
+			return nil, zero, fmt.Errorf("apexrunner: Create: %w", err)
+		}
+		app.AddInput(NameRead, apex.SliceInput(encoded))
+	}
+
+	// Fused executable stage.
+	wc, ok := lp.write.Config.(beam.KafkaWriteConfig)
+	if !ok {
+		return nil, zero, errors.New("apexrunner: malformed KafkaWrite config")
+	}
+	app.AddOperator(NameStage, fusedStage(lp, sourceIsKafka, cfg.Costs))
+	app.AddStream("readToStage", NameRead, NameStage)
+
+	// Sink: unbatched synchronous producer, fed by a per-tuple stream,
+	// pinned to one partition (single-partition output topic).
+	producerCfg := wc.Producer
+	producerCfg.BatchSize = 1
+	app.AddOutput(NameWrite, apex.KafkaOutput(wc.Broker, wc.Topic, producerCfg))
+	app.AddStream("stageToWrite", NameStage, NameWrite)
+	app.SetStreamPerTuple("stageToWrite", true)
+	app.SetOperatorPartitions(NameWrite, 1)
+
+	launch := apex.LaunchConfig{
+		Parallelism: cfg.Parallelism,
+		Costs:       cfg.Costs,
+		Sim:         cfg.Sim,
+	}
+	return app, launch, nil
+}
+
+// fusedStage builds the single operator executing the whole DoFn chain.
+// Elements travel between fused DoFns as in-memory values (container-
+// local locality): the entry decodes or wraps once, the exit charges the
+// per-record synchronous write bookkeeping, and only one bundle-dispatch
+// charge applies per record.
+func fusedStage(lp *linearPipeline, sourceIsKafka bool, costs simcost.Costs) apex.GenericFactory {
+	return apex.ProcessOp(func(ctx apex.OperatorContext) (func([]byte, func([]byte) error) error, error) {
+		for _, t := range lp.parDos {
+			if s, ok := t.Fn.(beam.Setupper); ok {
+				if err := s.Setup(); err != nil {
+					return nil, fmt.Errorf("apexrunner: DoFn %q setup: %w", t.Name, err)
+				}
+			}
+		}
+		readTopic := ""
+		if sourceIsKafka {
+			if rc, ok := lp.read.Config.(beam.KafkaReadConfig); ok {
+				readTopic = rc.Topic
+			}
+		}
+		inCoder := lp.read.Output.Coder()
+		bctx := beam.Context{Window: beam.GlobalWindow{}}
+
+		// Compose the DoFn chain once per stage instance. The stage exit
+		// serializes for the sink and charges the synchronous KafkaIO
+		// write bookkeeping per output record; tupleEmit is rebound per
+		// incoming tuple.
+		var tupleEmit func([]byte) error
+		chain := beam.Emitter(func(v any) error {
+			payload, ok := v.([]byte)
+			if !ok {
+				return fmt.Errorf("apexrunner: KafkaWrite element %T is not []byte", v)
+			}
+			ctx.Charge(costs.CoderPerRecord)
+			ctx.Charge(costs.ProducerSyncSend)
+			return tupleEmit(payload)
+		})
+		for i := len(lp.parDos) - 1; i >= 0; i-- {
+			fn := lp.parDos[i].Fn
+			downstream := chain
+			chain = func(v any) error {
+				return fn.ProcessElement(bctx, v, downstream)
+			}
+		}
+
+		return func(tuple []byte, emit func([]byte) error) error {
+			// Stage entry: wrap or decode exactly once.
+			var elem any
+			if sourceIsKafka {
+				elem = beam.KafkaRecord{Topic: readTopic, Value: tuple}
+			} else {
+				decoded, err := inCoder.Decode(tuple)
+				if err != nil {
+					return fmt.Errorf("apexrunner: stage decode: %w", err)
+				}
+				elem = decoded
+			}
+			ctx.Charge(costs.BeamDoFnPerRecord)
+			tupleEmit = emit
+			return chain(elem)
+		}, nil
+	})
+}
+
+func encodeAll(values []any, coder beam.Coder) ([][]byte, error) {
+	out := make([][]byte, len(values))
+	for i, v := range values {
+		b, err := coder.Encode(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+package apexrunner
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"beambench/internal/beam"
+	"beambench/internal/broker"
+	"beambench/internal/yarn"
+)
+
+func newCluster(t *testing.T) *yarn.Cluster {
+	t.Helper()
+	c, err := yarn.NewCluster(yarn.ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func loadTopic(t *testing.T, b *broker.Broker, topic string, values []string) {
+	t.Helper()
+	if err := b.CreateTopic(topic, broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.NewProducer(broker.ProducerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range values {
+		if err := p.Send(topic, nil, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func topicStrings(t *testing.T, b *broker.Broker, topic string) []string {
+	t.Helper()
+	c, err := b.NewConsumer(broker.ConsumerConfig{MaxPollRecords: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignAll(topic); err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for {
+		recs, err := c.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			return out
+		}
+		for _, r := range recs {
+			out = append(out, string(r.Value))
+		}
+	}
+}
+
+func grepPipeline(b *broker.Broker) *beam.Pipeline {
+	p := beam.NewPipeline()
+	vals := beam.Values(p, beam.WithoutMetadata(p, beam.KafkaRead(p, b, "in")))
+	grep := beam.Filter(p, "grep", func(v any) (bool, error) {
+		return bytes.Contains(v.([]byte), []byte("test")), nil
+	}, vals)
+	beam.KafkaWrite(p, b, "out", grep, broker.ProducerConfig{})
+	return p
+}
+
+func TestGrepEndToEnd(t *testing.T) {
+	b := broker.New()
+	loadTopic(t, b, "in", []string{"a test line", "nothing", "testy", "x"})
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(grepPipeline(b), Config{Cluster: newCluster(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := topicStrings(t, b, "out")
+	want := []string{"a test line", "testy"}
+	if len(got) != len(want) {
+		t.Fatalf("output = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output = %v, want %v", got, want)
+		}
+	}
+	// The translation fuses the ParDo chain: read + executable stage +
+	// write = 3 operators plus the STRAM AM.
+	if res.Containers != 4 {
+		t.Errorf("Containers = %d, want 4 (AM + 3 operators)", res.Containers)
+	}
+}
+
+func TestIdentityPreservesOrderAndCount(t *testing.T) {
+	b := broker.New()
+	values := make([]string, 500)
+	for i := range values {
+		values[i] = string(rune('a'+i%26)) + "-payload"
+	}
+	loadTopic(t, b, "in", values)
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p := beam.NewPipeline()
+	vals := beam.Values(p, beam.WithoutMetadata(p, beam.KafkaRead(p, b, "in")))
+	beam.KafkaWrite(p, b, "out", vals, broker.ProducerConfig{})
+	if _, err := Run(p, Config{Cluster: newCluster(t)}); err != nil {
+		t.Fatal(err)
+	}
+	got := topicStrings(t, b, "out")
+	if len(got) != len(values) {
+		t.Fatalf("output = %d records, want %d", len(got), len(values))
+	}
+	for i := range values {
+		if got[i] != values[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], values[i])
+		}
+	}
+}
+
+func TestParallelismTwo(t *testing.T) {
+	b := broker.New()
+	values := make([]string, 200)
+	for i := range values {
+		values[i] = "test line"
+	}
+	loadTopic(t, b, "in", values)
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(grepPipeline(b), Config{Cluster: newCluster(t), Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topicStrings(t, b, "out"); len(got) != 200 {
+		t.Errorf("output = %d records, want 200", len(got))
+	}
+	// Read and stage get two partitions; the sink is pinned to one
+	// because the output topic has a single partition.
+	if res.Containers != 6 {
+		t.Errorf("Containers = %d, want 6 (AM + 2 + 2 + 1)", res.Containers)
+	}
+}
+
+func TestUnsupportedTransforms(t *testing.T) {
+	p := beam.NewPipeline()
+	col := beam.Create(p, []any{beam.KV{Key: "a", Value: "b"}})
+	beam.GroupByKey(p, col)
+	if _, err := Run(p, Config{Cluster: newCluster(t)}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("GBK = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestCreatePipeline(t *testing.T) {
+	b := broker.New()
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p := beam.NewPipeline()
+	col := beam.Create(p, []any{[]byte("one"), []byte("two")})
+	beam.KafkaWrite(p, b, "out", col, broker.ProducerConfig{})
+	if _, err := Run(p, Config{Cluster: newCluster(t)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := topicStrings(t, b, "out"); len(got) != 2 {
+		t.Errorf("output = %v", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	b := broker.New()
+	loadTopic(t, b, "in", nil)
+	if _, err := Run(grepPipeline(b), Config{}); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	if _, err := Run(grepPipeline(b), Config{Cluster: newCluster(t), Parallelism: -1}); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+}

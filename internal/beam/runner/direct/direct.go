@@ -1,0 +1,273 @@
+// Package direct executes bounded Beam pipelines in memory, in process,
+// without an engine. It is the reference for transform semantics: the
+// engine runners must agree with it on outputs (differing only in cost),
+// and the SDK's own tests run against it.
+package direct
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"beambench/internal/beam"
+	"beambench/internal/broker"
+)
+
+// Result holds the materialized outputs of a pipeline run.
+type Result struct {
+	// Collections maps PCollection IDs to their materialized elements
+	// in processing order.
+	Collections map[int][]any
+	// Counts maps transform names to emitted element counts.
+	Counts map[string]int64
+}
+
+// Elements returns the materialized elements of a collection.
+func (r *Result) Elements(col beam.PCollection) []any {
+	return r.Collections[col.ID()]
+}
+
+// windowedValue carries an element with its timestamp and window.
+type windowedValue struct {
+	value  any
+	ts     time.Time
+	window beam.Window
+}
+
+// Run executes the pipeline to completion and materializes every
+// collection. KafkaRead consumes the topic's current contents as a
+// bounded snapshot; KafkaWrite produces to the broker.
+func Run(p *beam.Pipeline) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Collections: make(map[int][]any),
+		Counts:      make(map[string]int64),
+	}
+	data := make(map[int][]windowedValue)
+	for _, t := range p.Transforms() {
+		out, err := runTransform(t, data)
+		if err != nil {
+			return nil, fmt.Errorf("direct: transform %q: %w", t.Name, err)
+		}
+		if t.Output.Valid() {
+			data[t.Output.ID()] = out
+			vals := make([]any, len(out))
+			for i, wv := range out {
+				vals[i] = wv.value
+			}
+			res.Collections[t.Output.ID()] = vals
+			res.Counts[t.Name] += int64(len(out))
+		}
+	}
+	return res, nil
+}
+
+func runTransform(t *beam.Transform, data map[int][]windowedValue) ([]windowedValue, error) {
+	switch t.Kind {
+	case beam.KindCreate:
+		return runCreate(t)
+	case beam.KindParDo:
+		return runParDo(t, data)
+	case beam.KindFlatten:
+		var out []windowedValue
+		for _, in := range t.Inputs {
+			out = append(out, data[in.ID()]...)
+		}
+		return out, nil
+	case beam.KindWindowInto:
+		return runWindowInto(t, data)
+	case beam.KindGroupByKey:
+		return runGBK(t, data)
+	case beam.KindKafkaRead:
+		return runKafkaRead(t)
+	case beam.KindKafkaWrite:
+		return nil, runKafkaWrite(t, data)
+	default:
+		return nil, fmt.Errorf("unsupported transform kind %v", t.Kind)
+	}
+}
+
+func runCreate(t *beam.Transform) ([]windowedValue, error) {
+	values, ok := t.Config.([]any)
+	if !ok {
+		return nil, errors.New("malformed Create config")
+	}
+	out := make([]windowedValue, len(values))
+	for i, v := range values {
+		out[i] = windowedValue{value: v, ts: time.Unix(0, 0).UTC(), window: beam.GlobalWindow{}}
+	}
+	return out, nil
+}
+
+func runParDo(t *beam.Transform, data map[int][]windowedValue) ([]windowedValue, error) {
+	if s, ok := t.Fn.(beam.Setupper); ok {
+		if err := s.Setup(); err != nil {
+			return nil, fmt.Errorf("setup: %w", err)
+		}
+	}
+	var out []windowedValue
+	for _, wv := range data[t.Inputs[0].ID()] {
+		ctx := beam.Context{Timestamp: wv.ts, Window: wv.window}
+		err := t.Fn.ProcessElement(ctx, wv.value, func(elem any) error {
+			out = append(out, windowedValue{value: elem, ts: wv.ts, window: wv.window})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if td, ok := t.Fn.(beam.Teardowner); ok {
+		if err := td.Teardown(); err != nil {
+			return nil, fmt.Errorf("teardown: %w", err)
+		}
+	}
+	return out, nil
+}
+
+func runWindowInto(t *beam.Transform, data map[int][]windowedValue) ([]windowedValue, error) {
+	ws, ok := t.Config.(beam.WindowingStrategy)
+	if !ok {
+		return nil, errors.New("malformed WindowInto config")
+	}
+	var out []windowedValue
+	for _, wv := range data[t.Inputs[0].ID()] {
+		for _, w := range ws.Fn.AssignWindows(wv.ts) {
+			out = append(out, windowedValue{value: wv.value, ts: wv.ts, window: w})
+		}
+	}
+	return out, nil
+}
+
+func runGBK(t *beam.Transform, data map[int][]windowedValue) ([]windowedValue, error) {
+	in := data[t.Inputs[0].ID()]
+	trigger := t.Inputs[0].Windowing().Trigger
+	fireAfter := 0
+	if trigger != nil {
+		fireAfter = trigger.FireAfter()
+	}
+
+	type groupKey struct {
+		window string
+		key    string
+	}
+	groups := make(map[groupKey]*windowedValue)
+	var order []groupKey
+	var out []windowedValue
+
+	for _, wv := range in {
+		kv, ok := wv.value.(beam.KV)
+		if !ok {
+			return nil, fmt.Errorf("GroupByKey input %T is not a KV", wv.value)
+		}
+		ks, err := beam.KeyString(kv.Key)
+		if err != nil {
+			return nil, err
+		}
+		gk := groupKey{window: wv.window.Key(), key: ks}
+		g, ok := groups[gk]
+		if !ok {
+			g = &windowedValue{
+				value:  beam.Grouped{Key: kv.Key},
+				ts:     wv.window.MaxTimestamp(),
+				window: wv.window,
+			}
+			groups[gk] = g
+			order = append(order, gk)
+		}
+		grouped := g.value.(beam.Grouped)
+		grouped.Values = append(grouped.Values, kv.Value)
+		g.value = grouped
+		// Count-based trigger pane: fire and reset this key's values.
+		if fireAfter > 0 && len(grouped.Values) >= fireAfter {
+			out = append(out, *g)
+			grouped.Values = nil
+			g.value = grouped
+		}
+	}
+	// Final panes at end of input, in first-seen order.
+	for _, gk := range order {
+		g := groups[gk]
+		if grouped := g.value.(beam.Grouped); len(grouped.Values) > 0 {
+			out = append(out, *g)
+		}
+	}
+	return out, nil
+}
+
+func runKafkaRead(t *beam.Transform) ([]windowedValue, error) {
+	cfg, ok := t.Config.(beam.KafkaReadConfig)
+	if !ok {
+		return nil, errors.New("malformed KafkaRead config")
+	}
+	parts, err := cfg.Broker.Partitions(cfg.Topic)
+	if err != nil {
+		return nil, err
+	}
+	consumer, err := cfg.Broker.NewConsumer(broker.ConsumerConfig{MaxPollRecords: 10_000})
+	if err != nil {
+		return nil, err
+	}
+	ends, err := cfg.Broker.EndOffsets(cfg.Topic)
+	if err != nil {
+		return nil, err
+	}
+	var remaining int64
+	for p := range parts {
+		if err := consumer.Assign(cfg.Topic, p, 0); err != nil {
+			return nil, err
+		}
+		remaining += ends[p]
+	}
+	var out []windowedValue
+	for remaining > 0 {
+		recs, err := consumer.Poll()
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) == 0 {
+			break
+		}
+		for _, r := range recs {
+			if r.Offset >= ends[r.Partition] {
+				continue
+			}
+			remaining--
+			out = append(out, windowedValue{
+				value: beam.KafkaRecord{
+					Topic:     r.Topic,
+					Partition: r.Partition,
+					Offset:    r.Offset,
+					Timestamp: r.Timestamp,
+					Key:       r.Key,
+					Value:     r.Value,
+				},
+				ts:     r.Timestamp,
+				window: beam.GlobalWindow{},
+			})
+		}
+	}
+	return out, nil
+}
+
+func runKafkaWrite(t *beam.Transform, data map[int][]windowedValue) error {
+	cfg, ok := t.Config.(beam.KafkaWriteConfig)
+	if !ok {
+		return errors.New("malformed KafkaWrite config")
+	}
+	producer, err := cfg.Broker.NewProducer(cfg.Producer)
+	if err != nil {
+		return err
+	}
+	for _, wv := range data[t.Inputs[0].ID()] {
+		b, ok := wv.value.([]byte)
+		if !ok {
+			return fmt.Errorf("KafkaWrite element %T is not []byte", wv.value)
+		}
+		if err := producer.Send(cfg.Topic, nil, b); err != nil {
+			return err
+		}
+	}
+	return producer.Close()
+}

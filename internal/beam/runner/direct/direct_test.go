@@ -1,0 +1,298 @@
+package direct
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"beambench/internal/beam"
+	"beambench/internal/broker"
+)
+
+func loadTopic(t *testing.T, b *broker.Broker, topic string, values []string) {
+	t.Helper()
+	if err := b.CreateTopic(topic, broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.NewProducer(broker.ProducerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range values {
+		if err := p.Send(topic, nil, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func topicStrings(t *testing.T, b *broker.Broker, topic string) []string {
+	t.Helper()
+	c, err := b.NewConsumer(broker.ConsumerConfig{MaxPollRecords: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignAll(topic); err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for {
+		recs, err := c.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			return out
+		}
+		for _, r := range recs {
+			out = append(out, string(r.Value))
+		}
+	}
+}
+
+func TestCreateAndParDo(t *testing.T) {
+	p := beam.NewPipeline()
+	col := beam.Create(p, []any{"a", "b", "c"})
+	upper := beam.MapElements(p, "upper", func(v any) (any, error) {
+		return strings.ToUpper(v.(string)), nil
+	}, col)
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Elements(upper)
+	want := []any{"A", "B", "C"}
+	if len(got) != len(want) {
+		t.Fatalf("elements = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("elements = %v, want %v", got, want)
+		}
+	}
+	if res.Counts["upper"] != 3 {
+		t.Errorf("count = %d, want 3", res.Counts["upper"])
+	}
+}
+
+func TestFilterAndFlatten(t *testing.T) {
+	p := beam.NewPipeline()
+	a := beam.Create(p, []any{"x1", "y2", "x3"})
+	b := beam.Create(p, []any{"x4"})
+	merged := beam.Flatten(p, a, b)
+	xs := beam.Filter(p, "onlyX", func(v any) (bool, error) {
+		return strings.HasPrefix(v.(string), "x"), nil
+	}, merged)
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Elements(xs)
+	if len(got) != 3 {
+		t.Errorf("filtered = %v, want 3 x-elements", got)
+	}
+}
+
+func TestGroupByKeyBounded(t *testing.T) {
+	p := beam.NewPipeline()
+	col := beam.Create(p, []any{
+		beam.KV{Key: "a", Value: "1"},
+		beam.KV{Key: "b", Value: "2"},
+		beam.KV{Key: "a", Value: "3"},
+	})
+	grouped := beam.GroupByKey(p, col)
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Elements(grouped)
+	if len(got) != 2 {
+		t.Fatalf("groups = %d, want 2", len(got))
+	}
+	byKey := make(map[string][]any)
+	for _, g := range got {
+		gr := g.(beam.Grouped)
+		byKey[gr.Key.(string)] = gr.Values
+	}
+	if len(byKey["a"]) != 2 || len(byKey["b"]) != 1 {
+		t.Errorf("grouped values = %v", byKey)
+	}
+}
+
+func TestGroupByKeyWithTriggerPanes(t *testing.T) {
+	p := beam.NewPipeline()
+	var values []any
+	for i := range 5 {
+		values = append(values, beam.KV{Key: "k", Value: fmt.Sprintf("v%d", i)})
+	}
+	col := beam.Create(p, values)
+	triggered := beam.WindowInto(p, beam.DefaultWindowing().Triggering(beam.AfterCount{N: 2}), col)
+	grouped := beam.GroupByKey(p, triggered)
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Elements(grouped)
+	// 5 values with AfterCount(2): panes of 2, 2, then a final pane of 1.
+	if len(got) != 3 {
+		t.Fatalf("panes = %d, want 3: %v", len(got), got)
+	}
+	sizes := make([]int, len(got))
+	for i, g := range got {
+		sizes[i] = len(g.(beam.Grouped).Values)
+	}
+	sort.Ints(sizes)
+	if sizes[0] != 1 || sizes[1] != 2 || sizes[2] != 2 {
+		t.Errorf("pane sizes = %v, want [1 2 2]", sizes)
+	}
+}
+
+func TestWindowIntoGroupsPerWindow(t *testing.T) {
+	b := broker.New()
+	if err := b.CreateTopic("in", broker.TopicConfig{Partitions: 1, Timestamps: broker.CreateTime}); err != nil {
+		t.Fatal(err)
+	}
+	prod, err := b.NewProducer(broker.ProducerConfig{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 6, 11, 12, 0, 0, 0, time.UTC)
+	// Two records in second 0, one in second 1, same key.
+	for i, off := range []time.Duration{0, 100 * time.Millisecond, 1100 * time.Millisecond} {
+		if err := prod.SendAt("in", nil, []byte(fmt.Sprintf("v%d", i)), base.Add(off)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := prod.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p := beam.NewPipeline()
+	kvs := beam.WithoutMetadata(p, beam.KafkaRead(p, b, "in"))
+	keyed := beam.MapElements(p, "constkey", func(v any) (any, error) {
+		kv := v.(beam.KV)
+		return beam.KV{Key: "k", Value: kv.Value}, nil
+	}, kvs, beam.WithCoder(beam.KVCoder{Key: beam.StringUTF8Coder{}, Value: beam.BytesCoder{}}))
+	windowed := beam.WindowInto(p, beam.WindowingStrategy{Fn: beam.FixedWindows{Size: time.Second}}, keyed)
+	grouped := beam.GroupByKey(p, windowed)
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Elements(grouped)
+	if len(got) != 2 {
+		t.Fatalf("windowed groups = %d, want 2 (two one-second windows)", len(got))
+	}
+	sizes := []int{len(got[0].(beam.Grouped).Values), len(got[1].(beam.Grouped).Values)}
+	sort.Ints(sizes)
+	if sizes[0] != 1 || sizes[1] != 2 {
+		t.Errorf("window group sizes = %v, want [1 2]", sizes)
+	}
+}
+
+func TestKafkaReadToWriteEndToEnd(t *testing.T) {
+	b := broker.New()
+	loadTopic(t, b, "in", []string{"alpha test", "beta", "testing", "gamma"})
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	p := beam.NewPipeline()
+	vals := beam.Values(p, beam.WithoutMetadata(p, beam.KafkaRead(p, b, "in")))
+	grep := beam.Filter(p, "grep", func(v any) (bool, error) {
+		return bytes.Contains(v.([]byte), []byte("test")), nil
+	}, vals)
+	beam.KafkaWrite(p, b, "out", grep, broker.ProducerConfig{})
+
+	if _, err := Run(p); err != nil {
+		t.Fatal(err)
+	}
+	got := topicStrings(t, b, "out")
+	want := []string{"alpha test", "testing"}
+	if len(got) != len(want) {
+		t.Fatalf("output = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKafkaWriteRequiresBytes(t *testing.T) {
+	b := broker.New()
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p := beam.NewPipeline()
+	col := beam.Create(p, []any{"a string, not bytes"})
+	beam.KafkaWrite(p, b, "out", col, broker.ProducerConfig{})
+	if _, err := Run(p); err == nil {
+		t.Error("non-bytes KafkaWrite succeeded")
+	}
+}
+
+func TestDoFnLifecycleHooks(t *testing.T) {
+	p := beam.NewPipeline()
+	col := beam.Create(p, []any{"x"})
+	fn := &lifecycleFn{}
+	beam.ParDo(p, "hooked", fn, col)
+	if _, err := Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if !fn.setup || !fn.teardown {
+		t.Errorf("lifecycle hooks: setup=%v teardown=%v", fn.setup, fn.teardown)
+	}
+}
+
+type lifecycleFn struct {
+	setup    bool
+	teardown bool
+}
+
+func (f *lifecycleFn) Setup() error    { f.setup = true; return nil }
+func (f *lifecycleFn) Teardown() error { f.teardown = true; return nil }
+func (f *lifecycleFn) ProcessElement(ctx beam.Context, elem any, emit beam.Emitter) error {
+	return emit(elem)
+}
+
+func TestDoFnErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	p := beam.NewPipeline()
+	col := beam.Create(p, []any{"x"})
+	beam.ParDo(p, "explode", beam.DoFnFunc(func(ctx beam.Context, elem any, emit beam.Emitter) error {
+		return boom
+	}), col)
+	if _, err := Run(p); !errors.Is(err, boom) {
+		t.Errorf("Run = %v, want boom", err)
+	}
+}
+
+func TestRunInvalidPipeline(t *testing.T) {
+	if _, err := Run(beam.NewPipeline()); err == nil {
+		t.Error("empty pipeline ran")
+	}
+}
+
+func TestWithKeysAndValuesAndKeys(t *testing.T) {
+	p := beam.NewPipeline()
+	col := beam.Create(p, []any{"apple", "avocado", "banana"})
+	keyed := beam.WithKeys(p, "firstLetter", func(v any) (any, error) {
+		return v.(string)[:1], nil
+	}, col)
+	keys := beam.Keys(p, keyed)
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Elements(keys)
+	if len(got) != 3 || got[0] != "a" || got[2] != "b" {
+		t.Errorf("keys = %v", got)
+	}
+}

@@ -1,0 +1,215 @@
+package flinkrunner
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"beambench/internal/beam"
+	"beambench/internal/broker"
+	"beambench/internal/flink"
+)
+
+func newCluster(t *testing.T) *flink.Cluster {
+	t.Helper()
+	c, err := flink.NewCluster(flink.ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func loadTopic(t *testing.T, b *broker.Broker, topic string, values []string) {
+	t.Helper()
+	if err := b.CreateTopic(topic, broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.NewProducer(broker.ProducerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range values {
+		if err := p.Send(topic, nil, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func topicStrings(t *testing.T, b *broker.Broker, topic string) []string {
+	t.Helper()
+	c, err := b.NewConsumer(broker.ConsumerConfig{MaxPollRecords: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignAll(topic); err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for {
+		recs, err := c.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			return out
+		}
+		for _, r := range recs {
+			out = append(out, string(r.Value))
+		}
+	}
+}
+
+func grepPipeline(b *broker.Broker) *beam.Pipeline {
+	p := beam.NewPipeline()
+	vals := beam.Values(p, beam.WithoutMetadata(p, beam.KafkaRead(p, b, "in")))
+	grep := beam.Filter(p, "grep", func(v any) (bool, error) {
+		return bytes.Contains(v.([]byte), []byte("test")), nil
+	}, vals)
+	beam.KafkaWrite(p, b, "out", grep, broker.ProducerConfig{})
+	return p
+}
+
+func TestGrepEndToEnd(t *testing.T) {
+	b := broker.New()
+	loadTopic(t, b, "in", []string{"a test line", "nothing", "testy", "x"})
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(grepPipeline(b), Config{Cluster: newCluster(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := topicStrings(t, b, "out")
+	want := []string{"a test line", "testy"}
+	if len(got) != len(want) {
+		t.Fatalf("output = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output = %v, want %v", got, want)
+		}
+	}
+	if res.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1", res.Attempts)
+	}
+}
+
+func TestBeamPlanHasSevenNodesForGrep(t *testing.T) {
+	// Reproduces Figure 13: source + read flat map + 3 RawParDos
+	// (withoutMetadata, values, grep) + write-translation RawParDo +
+	// sink = 7 plan nodes, versus 3 for the native job (Figure 12).
+	b := broker.New()
+	loadTopic(t, b, "in", nil)
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	env, _, err := Translate(grepPipeline(b), Config{Cluster: newCluster(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := env.ExecutionPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Len() != 7 {
+		t.Errorf("Beam grep plan has %d nodes, want 7 (paper Figure 13)", plan.Len())
+	}
+	text := plan.String()
+	if !strings.Contains(text, NameRawSource) {
+		t.Errorf("plan missing %q:\n%s", NameRawSource, text)
+	}
+	if !strings.Contains(text, NameReadFlatMap) {
+		t.Errorf("plan missing %q:\n%s", NameReadFlatMap, text)
+	}
+	if got := strings.Count(text, NameRawParDo); got != 4 {
+		t.Errorf("plan has %d RawParDo nodes, want 4:\n%s", got, text)
+	}
+}
+
+func TestBeamJobRunsUnchained(t *testing.T) {
+	b := broker.New()
+	loadTopic(t, b, "in", []string{"test"})
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(grepPipeline(b), Config{Cluster: newCluster(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chaining disabled: every one of the 7 operators is its own task.
+	if res.Tasks != 7 {
+		t.Errorf("Tasks = %d, want 7 (runner disables chaining)", res.Tasks)
+	}
+}
+
+func TestParallelismTwo(t *testing.T) {
+	b := broker.New()
+	values := make([]string, 200)
+	for i := range values {
+		values[i] = "test line"
+	}
+	loadTopic(t, b, "in", values)
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(grepPipeline(b), Config{Cluster: newCluster(t), Parallelism: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := topicStrings(t, b, "out"); len(got) != 200 {
+		t.Errorf("output = %d records, want 200", len(got))
+	}
+}
+
+func TestCreatePipeline(t *testing.T) {
+	b := broker.New()
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p := beam.NewPipeline()
+	col := beam.Create(p, []any{[]byte("one"), []byte("two")})
+	upper := beam.MapElements(p, "upper", func(v any) (any, error) {
+		return bytes.ToUpper(v.([]byte)), nil
+	}, col)
+	beam.KafkaWrite(p, b, "out", upper, broker.ProducerConfig{})
+	if _, err := Run(p, Config{Cluster: newCluster(t)}); err != nil {
+		t.Fatal(err)
+	}
+	got := topicStrings(t, b, "out")
+	if len(got) != 2 || got[0] != "ONE" || got[1] != "TWO" {
+		t.Errorf("output = %v", got)
+	}
+}
+
+func TestUnsupportedTransforms(t *testing.T) {
+	cluster := newCluster(t)
+	p := beam.NewPipeline()
+	a := beam.Create(p, []any{[]byte("a")})
+	c := beam.Create(p, []any{[]byte("b")})
+	beam.Flatten(p, a, c)
+	if _, err := Run(p, Config{Cluster: cluster}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("Flatten = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	b := broker.New()
+	loadTopic(t, b, "in", nil)
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(grepPipeline(b), Config{}); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	if _, err := Run(grepPipeline(b), Config{Cluster: newCluster(t), Parallelism: -2}); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+	if _, err := Run(beam.NewPipeline(), Config{Cluster: newCluster(t)}); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+}

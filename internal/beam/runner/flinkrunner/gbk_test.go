@@ -1,0 +1,177 @@
+package flinkrunner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"beambench/internal/beam"
+	"beambench/internal/beam/runner/direct"
+	"beambench/internal/broker"
+)
+
+// countPipeline builds: read -> values -> toKV(word) -> window(trigger)
+// -> GBK -> format -> write. Used to compare the Flink runner's stateful
+// path against the direct runner.
+func countPipeline(b *broker.Broker, trigger beam.Trigger) *beam.Pipeline {
+	p := beam.NewPipeline()
+	vals := beam.Values(p, beam.WithoutMetadata(p, beam.KafkaRead(p, b, "in")))
+	kvs := beam.ParDo(p, "toKV", beam.DoFnFunc(func(ctx beam.Context, elem any, emit beam.Emitter) error {
+		return emit(beam.KV{Key: elem.([]byte), Value: elem.([]byte)})
+	}), vals, beam.WithCoder(beam.KVCoder{Key: beam.BytesCoder{}, Value: beam.BytesCoder{}}))
+	windowed := beam.WindowInto(p, beam.DefaultWindowing().Triggering(trigger), kvs)
+	grouped := beam.GroupByKey(p, windowed)
+	formatted := beam.MapElements(p, "format", func(elem any) (any, error) {
+		g, ok := elem.(beam.Grouped)
+		if !ok {
+			return nil, fmt.Errorf("element %T is not Grouped", elem)
+		}
+		key, err := beam.KeyString(g.Key)
+		if err != nil {
+			return nil, err
+		}
+		return []byte(fmt.Sprintf("%s:%d", key, len(g.Values))), nil
+	}, grouped, beam.WithCoder(beam.BytesCoder{}))
+	beam.KafkaWrite(p, b, "out", formatted, broker.ProducerConfig{})
+	return p
+}
+
+// keyCounts sums the per-key pane counts of the formatted output.
+func keyCounts(t *testing.T, b *broker.Broker) map[string]int {
+	t.Helper()
+	out := make(map[string]int)
+	for _, line := range topicStrings(t, b, "out") {
+		var key string
+		var n int
+		if _, err := fmt.Sscanf(line, "%s", &key); err != nil {
+			t.Fatalf("malformed output %q", line)
+		}
+		parts := strings.SplitN(line, ":", 2)
+		if len(parts) != 2 {
+			t.Fatalf("malformed output %q", line)
+		}
+		if _, err := fmt.Sscanf(parts[1], "%d", &n); err != nil {
+			t.Fatalf("malformed output %q", line)
+		}
+		out[parts[0]] += n
+	}
+	return out
+}
+
+func wordWorkload() []string {
+	words := []string{"alpha", "beta", "gamma", "delta"}
+	var out []string
+	for i := range 200 {
+		out = append(out, words[i%len(words)])
+		if i%3 == 0 {
+			out = append(out, "alpha") // skew one key
+		}
+	}
+	return out
+}
+
+func TestGroupByKeyMatchesDirectRunner(t *testing.T) {
+	input := wordWorkload()
+
+	// Direct runner reference.
+	bDirect := broker.New()
+	loadTopic(t, bDirect, "in", input)
+	if err := bDirect.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := direct.Run(countPipeline(bDirect, beam.AfterCount{N: 7})); err != nil {
+		t.Fatal(err)
+	}
+	want := keyCounts(t, bDirect)
+
+	// Flink runner under test.
+	bFlink := broker.New()
+	loadTopic(t, bFlink, "in", input)
+	if err := bFlink.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(countPipeline(bFlink, beam.AfterCount{N: 7}), Config{Cluster: newCluster(t)}); err != nil {
+		t.Fatal(err)
+	}
+	got := keyCounts(t, bFlink)
+
+	if len(got) != len(want) {
+		t.Fatalf("key sets differ: got %v, want %v", got, want)
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("key %q count = %d, want %d", k, got[k], n)
+		}
+	}
+}
+
+func TestGroupByKeyParallelismTwoKeepsKeysTogether(t *testing.T) {
+	input := wordWorkload()
+	b := broker.New()
+	loadTopic(t, b, "in", input)
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// A huge trigger count means panes only fire at end of input: each
+	// key must then appear exactly once, proving all its values met in
+	// one subtask despite parallelism 2.
+	if _, err := Run(countPipeline(b, beam.AfterCount{N: 1 << 20}), Config{Cluster: newCluster(t), Parallelism: 2}); err != nil {
+		t.Fatal(err)
+	}
+	lines := topicStrings(t, b, "out")
+	seen := make(map[string]bool)
+	total := 0
+	for _, line := range lines {
+		key := strings.SplitN(line, ":", 2)[0]
+		if seen[key] {
+			t.Errorf("key %q emitted from more than one pane/subtask", key)
+		}
+		seen[key] = true
+		var n int
+		if _, err := fmt.Sscanf(strings.SplitN(line, ":", 2)[1], "%d", &n); err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total != len(input) {
+		t.Errorf("grouped value total = %d, want %d", total, len(input))
+	}
+}
+
+func TestGroupByKeyTriggerFiresPanes(t *testing.T) {
+	b := broker.New()
+	input := make([]string, 20)
+	for i := range input {
+		input[i] = "k"
+	}
+	loadTopic(t, b, "in", input)
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(countPipeline(b, beam.AfterCount{N: 8}), Config{Cluster: newCluster(t)}); err != nil {
+		t.Fatal(err)
+	}
+	lines := topicStrings(t, b, "out")
+	// 20 values with AfterCount(8): panes of 8, 8, and a final 4.
+	if len(lines) != 3 {
+		t.Fatalf("panes = %v, want 3", lines)
+	}
+	counts := keyCounts(t, b)
+	if counts["k"] != 20 {
+		t.Errorf("total = %d, want 20", counts["k"])
+	}
+}
+
+func TestNonGlobalWindowingUnsupported(t *testing.T) {
+	b := broker.New()
+	loadTopic(t, b, "in", nil)
+	p := beam.NewPipeline()
+	kvs := beam.WithoutMetadata(p, beam.KafkaRead(p, b, "in"))
+	windowed := beam.WindowInto(p, beam.WindowingStrategy{Fn: beam.FixedWindows{Size: time.Second}}, kvs)
+	beam.GroupByKey(p, windowed)
+	if _, err := Run(p, Config{Cluster: newCluster(t)}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("fixed windows = %v, want ErrUnsupported", err)
+	}
+}

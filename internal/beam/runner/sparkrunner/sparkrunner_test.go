@@ -1,0 +1,163 @@
+package sparkrunner
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"beambench/internal/beam"
+	"beambench/internal/broker"
+	"beambench/internal/spark"
+)
+
+func newCluster(t *testing.T) *spark.Cluster {
+	t.Helper()
+	c, err := spark.NewCluster(spark.ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func loadTopic(t *testing.T, b *broker.Broker, topic string, values []string) {
+	t.Helper()
+	if err := b.CreateTopic(topic, broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.NewProducer(broker.ProducerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range values {
+		if err := p.Send(topic, nil, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func topicStrings(t *testing.T, b *broker.Broker, topic string) []string {
+	t.Helper()
+	c, err := b.NewConsumer(broker.ConsumerConfig{MaxPollRecords: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignAll(topic); err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for {
+		recs, err := c.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			return out
+		}
+		for _, r := range recs {
+			out = append(out, string(r.Value))
+		}
+	}
+}
+
+func grepPipeline(b *broker.Broker) *beam.Pipeline {
+	p := beam.NewPipeline()
+	vals := beam.Values(p, beam.WithoutMetadata(p, beam.KafkaRead(p, b, "in")))
+	grep := beam.Filter(p, "grep", func(v any) (bool, error) {
+		return bytes.Contains(v.([]byte), []byte("test")), nil
+	}, vals)
+	beam.KafkaWrite(p, b, "out", grep, broker.ProducerConfig{})
+	return p
+}
+
+func TestGrepEndToEnd(t *testing.T) {
+	b := broker.New()
+	loadTopic(t, b, "in", []string{"a test line", "nothing", "testy", "x"})
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(grepPipeline(b), Config{Cluster: newCluster(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := topicStrings(t, b, "out")
+	want := []string{"a test line", "testy"}
+	if len(got) != len(want) {
+		t.Fatalf("output = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output = %v, want %v", got, want)
+		}
+	}
+	if res.Metrics.RecordsIn != 4 {
+		t.Errorf("RecordsIn = %d, want 4", res.Metrics.RecordsIn)
+	}
+	if res.Metrics.RecordsOut != 2 {
+		t.Errorf("RecordsOut = %d, want 2", res.Metrics.RecordsOut)
+	}
+}
+
+func TestParallelismTwoRedistributes(t *testing.T) {
+	b := broker.New()
+	values := make([]string, 300)
+	for i := range values {
+		values[i] = "test line"
+	}
+	loadTopic(t, b, "in", values)
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(grepPipeline(b), Config{Cluster: newCluster(t), Parallelism: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := topicStrings(t, b, "out"); len(got) != 300 {
+		t.Errorf("output = %d records, want 300", len(got))
+	}
+}
+
+func TestGroupByKeyRejected(t *testing.T) {
+	// The Beam capability matrix: no stateful processing on the Spark
+	// runner — the reason the paper benchmarks only stateless queries.
+	b := broker.New()
+	loadTopic(t, b, "in", nil)
+	p := beam.NewPipeline()
+	kvs := beam.WithoutMetadata(p, beam.KafkaRead(p, b, "in"))
+	windowed := beam.WindowInto(p, beam.DefaultWindowing().Triggering(beam.AfterCount{N: 5}), kvs)
+	beam.GroupByKey(p, windowed)
+	_, err := Run(p, Config{Cluster: newCluster(t)})
+	if !errors.Is(err, ErrStatefulUnsupported) && !errors.Is(err, ErrUnsupported) {
+		t.Errorf("GBK on spark = %v, want stateful-unsupported", err)
+	}
+}
+
+func TestCreatePipeline(t *testing.T) {
+	b := broker.New()
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p := beam.NewPipeline()
+	col := beam.Create(p, []any{[]byte("one"), []byte("two")})
+	beam.KafkaWrite(p, b, "out", col, broker.ProducerConfig{})
+	if _, err := Run(p, Config{Cluster: newCluster(t)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := topicStrings(t, b, "out"); len(got) != 2 {
+		t.Errorf("output = %v", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	b := broker.New()
+	loadTopic(t, b, "in", nil)
+	if _, err := Run(grepPipeline(b), Config{}); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	if _, err := Run(grepPipeline(b), Config{Cluster: newCluster(t), Parallelism: -1}); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package beam
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Window is an element grouping interval for aggregations.
+type Window interface {
+	// MaxTimestamp is the window's inclusive upper bound.
+	MaxTimestamp() time.Time
+	// Key identifies the window for grouping.
+	Key() string
+}
+
+// GlobalWindow is the single window covering all time.
+type GlobalWindow struct{}
+
+// MaxTimestamp implements Window.
+func (GlobalWindow) MaxTimestamp() time.Time {
+	return time.Unix(0, math.MaxInt64)
+}
+
+// Key implements Window.
+func (GlobalWindow) Key() string { return "global" }
+
+// IntervalWindow is a half-open time interval [Start, End).
+type IntervalWindow struct {
+	Start time.Time
+	End   time.Time
+}
+
+// MaxTimestamp implements Window.
+func (w IntervalWindow) MaxTimestamp() time.Time {
+	return w.End.Add(-time.Nanosecond)
+}
+
+// Key implements Window.
+func (w IntervalWindow) Key() string {
+	return fmt.Sprintf("[%d,%d)", w.Start.UnixNano(), w.End.UnixNano())
+}
+
+// WindowFn assigns elements to windows.
+type WindowFn interface {
+	// Name identifies the strategy.
+	Name() string
+	// AssignWindows returns the windows for an element timestamp.
+	AssignWindows(ts time.Time) []Window
+}
+
+// GlobalWindows assigns every element to the global window.
+type GlobalWindows struct{}
+
+// Name implements WindowFn.
+func (GlobalWindows) Name() string { return "GlobalWindows" }
+
+// AssignWindows implements WindowFn.
+func (GlobalWindows) AssignWindows(time.Time) []Window {
+	return []Window{GlobalWindow{}}
+}
+
+// FixedWindows assigns elements to fixed-size tumbling windows.
+type FixedWindows struct {
+	Size time.Duration
+}
+
+// Name implements WindowFn.
+func (f FixedWindows) Name() string { return fmt.Sprintf("FixedWindows(%v)", f.Size) }
+
+// AssignWindows implements WindowFn.
+func (f FixedWindows) AssignWindows(ts time.Time) []Window {
+	if f.Size <= 0 {
+		return []Window{GlobalWindow{}}
+	}
+	start := ts.Truncate(f.Size)
+	return []Window{IntervalWindow{Start: start, End: start.Add(f.Size)}}
+}
+
+// Trigger controls when aggregations over unbounded global windows may
+// fire; the SDK supports element-count triggers.
+type Trigger interface {
+	// Name identifies the trigger.
+	Name() string
+	// FireAfter reports the element count per key after which a pane
+	// fires; zero means fire only at end of input.
+	FireAfter() int
+}
+
+// AfterCount fires a pane for a key after every N elements.
+type AfterCount struct {
+	N int
+}
+
+// Name implements Trigger.
+func (t AfterCount) Name() string { return fmt.Sprintf("AfterCount(%d)", t.N) }
+
+// FireAfter implements Trigger.
+func (t AfterCount) FireAfter() int { return t.N }
+
+// WindowingStrategy combines a window fn with an optional trigger.
+type WindowingStrategy struct {
+	Fn      WindowFn
+	Trigger Trigger
+}
+
+// DefaultWindowing is the global-windows strategy without a trigger.
+func DefaultWindowing() WindowingStrategy {
+	return WindowingStrategy{Fn: GlobalWindows{}}
+}
+
+// IsGlobal reports whether the strategy uses global windows.
+func (w WindowingStrategy) IsGlobal() bool {
+	_, ok := w.Fn.(GlobalWindows)
+	return ok || w.Fn == nil
+}
+
+// Triggering returns a copy of the strategy with the given trigger.
+func (w WindowingStrategy) Triggering(t Trigger) WindowingStrategy {
+	w.Trigger = t
+	return w
+}

@@ -1,0 +1,203 @@
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// group is a minimal consumer-group coordinator: range assignment over
+// the subscribed topics, regenerated on every membership change, plus
+// committed offsets.
+type group struct {
+	mu        sync.Mutex
+	topics    []string
+	members   map[string]struct{}
+	committed map[topicPartition]int64
+	epoch     int
+}
+
+// GroupMember is one consumer's view of a consumer group. Membership is
+// explicit: Join to receive an assignment, Leave to trigger a rebalance
+// for the remaining members.
+type GroupMember struct {
+	b        *Broker
+	groupID  string
+	memberID string
+	epoch    int
+}
+
+// JoinGroup adds memberID to the group subscribed to the given topics and
+// triggers a rebalance. All members of one group must subscribe to the
+// same topic list (matching Kafka's range-assignor expectations here).
+func (b *Broker) JoinGroup(groupID, memberID string, topics ...string) (*GroupMember, error) {
+	if groupID == "" || memberID == "" {
+		return nil, fmt.Errorf("broker: group and member IDs must be non-empty")
+	}
+	if len(topics) == 0 {
+		return nil, fmt.Errorf("broker: group %q: no topics subscribed", groupID)
+	}
+	for _, t := range topics {
+		if _, err := b.topic(t); err != nil {
+			return nil, err
+		}
+	}
+	sorted := append([]string(nil), topics...)
+	sort.Strings(sorted)
+
+	b.mu.Lock()
+	g, ok := b.groups[groupID]
+	if !ok {
+		g = &group{
+			members:   make(map[string]struct{}),
+			committed: make(map[topicPartition]int64),
+			topics:    sorted,
+		}
+		b.groups[groupID] = g
+	}
+	b.mu.Unlock()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.members) > 0 && !equalStrings(g.topics, sorted) {
+		return nil, fmt.Errorf("broker: group %q: mismatched subscription", groupID)
+	}
+	g.topics = sorted
+	g.members[memberID] = struct{}{}
+	g.epoch++
+	return &GroupMember{b: b, groupID: groupID, memberID: memberID, epoch: g.epoch}, nil
+}
+
+// Leave removes the member and triggers a rebalance.
+func (m *GroupMember) Leave() error {
+	g, err := m.group()
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.members, m.memberID)
+	g.epoch++
+	return nil
+}
+
+// Generation reports the group's current rebalance epoch. A member whose
+// assignment was fetched at an older epoch must re-fetch it.
+func (m *GroupMember) Generation() (int, error) {
+	g, err := m.group()
+	if err != nil {
+		return 0, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.epoch, nil
+}
+
+// Assignment computes this member's partitions under range assignment:
+// members are ordered lexicographically and partitions of each topic are
+// split into contiguous ranges.
+func (m *GroupMember) Assignment() (map[string][]int, error) {
+	g, err := m.group()
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.members[m.memberID]; !ok {
+		return nil, fmt.Errorf("broker: member %q not in group %q", m.memberID, m.groupID)
+	}
+	members := make([]string, 0, len(g.members))
+	for id := range g.members {
+		members = append(members, id)
+	}
+	sort.Strings(members)
+	rank := sort.SearchStrings(members, m.memberID)
+
+	out := make(map[string][]int, len(g.topics))
+	for _, t := range g.topics {
+		n, err := m.b.Partitions(t)
+		if err != nil {
+			return nil, err
+		}
+		parts := rangeAssign(n, len(members), rank)
+		if len(parts) > 0 {
+			out[t] = parts
+		}
+	}
+	return out, nil
+}
+
+// Commit records the next-to-consume offset for a partition on behalf of
+// the group.
+func (m *GroupMember) Commit(topicName string, part int, offset int64) error {
+	if _, err := m.b.partition(topicName, part); err != nil {
+		return err
+	}
+	g, err := m.group()
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.committed[topicPartition{topic: topicName, part: part}] = offset
+	return nil
+}
+
+// Committed returns the committed offset for a partition, or ok=false if
+// nothing was committed.
+func (m *GroupMember) Committed(topicName string, part int) (int64, bool, error) {
+	g, err := m.group()
+	if err != nil {
+		return 0, false, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	off, ok := g.committed[topicPartition{topic: topicName, part: part}]
+	return off, ok, nil
+}
+
+func (m *GroupMember) group() (*group, error) {
+	m.b.mu.RLock()
+	defer m.b.mu.RUnlock()
+	if m.b.closed {
+		return nil, ErrClosed
+	}
+	g, ok := m.b.groups[m.groupID]
+	if !ok {
+		return nil, fmt.Errorf("broker: unknown group %q", m.groupID)
+	}
+	return g, nil
+}
+
+// rangeAssign splits n partitions among m members and returns the
+// partitions of the member with the given rank: the first n%m members
+// receive one extra partition.
+func rangeAssign(n, m, rank int) []int {
+	if m <= 0 || rank < 0 || rank >= m || n <= 0 {
+		return nil
+	}
+	base := n / m
+	extra := n % m
+	start := rank*base + min(rank, extra)
+	count := base
+	if rank < extra {
+		count++
+	}
+	out := make([]int, 0, count)
+	for i := start; i < start+count; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,174 @@
+package broker
+
+import (
+	"testing"
+)
+
+func TestJoinGroupValidation(t *testing.T) {
+	b := New()
+	mustCreate(t, b, "t", TopicConfig{Partitions: 4})
+	if _, err := b.JoinGroup("", "m1", "t"); err == nil {
+		t.Error("empty group ID accepted")
+	}
+	if _, err := b.JoinGroup("g", "", "t"); err == nil {
+		t.Error("empty member ID accepted")
+	}
+	if _, err := b.JoinGroup("g", "m1"); err == nil {
+		t.Error("empty topic list accepted")
+	}
+	if _, err := b.JoinGroup("g", "m1", "missing"); err == nil {
+		t.Error("unknown topic accepted")
+	}
+}
+
+func TestSingleMemberGetsAllPartitions(t *testing.T) {
+	b := New()
+	mustCreate(t, b, "t", TopicConfig{Partitions: 4})
+	m, err := b.JoinGroup("g", "m1", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := m.Assignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg["t"]) != 4 {
+		t.Errorf("single member assignment = %v, want all 4 partitions", asg)
+	}
+}
+
+func TestRangeAssignmentPartitionsDisjointAndComplete(t *testing.T) {
+	b := New()
+	mustCreate(t, b, "t", TopicConfig{Partitions: 5})
+	m1, err := b.JoinGroup("g", "m1", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := b.JoinGroup("g", "m2", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := b.JoinGroup("g", "m3", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seen := make(map[int]string)
+	for _, m := range []*GroupMember{m1, m2, m3} {
+		asg, err := m.Assignment()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range asg["t"] {
+			if owner, dup := seen[p]; dup {
+				t.Errorf("partition %d assigned to both %s and %s", p, owner, m.memberID)
+			}
+			seen[p] = m.memberID
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("assigned %d of 5 partitions: %v", len(seen), seen)
+	}
+}
+
+func TestRebalanceOnLeave(t *testing.T) {
+	b := New()
+	mustCreate(t, b, "t", TopicConfig{Partitions: 4})
+	m1, err := b.JoinGroup("g", "m1", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := b.JoinGroup("g", "m2", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen1, err := m1.Generation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	gen2, err := m1.Generation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen2 <= gen1 {
+		t.Errorf("generation did not advance on leave: %d -> %d", gen1, gen2)
+	}
+	asg, err := m1.Assignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg["t"]) != 4 {
+		t.Errorf("survivor assignment = %v, want all 4 partitions", asg)
+	}
+	if _, err := m2.Assignment(); err == nil {
+		t.Error("left member still has an assignment")
+	}
+}
+
+func TestMismatchedSubscriptionRejected(t *testing.T) {
+	b := New()
+	mustCreate(t, b, "a", TopicConfig{Partitions: 1})
+	mustCreate(t, b, "b", TopicConfig{Partitions: 1})
+	if _, err := b.JoinGroup("g", "m1", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.JoinGroup("g", "m2", "b"); err == nil {
+		t.Error("mismatched subscription accepted")
+	}
+}
+
+func TestCommitAndFetchOffsets(t *testing.T) {
+	b := New()
+	mustCreate(t, b, "t", TopicConfig{Partitions: 2})
+	m, err := b.JoinGroup("g", "m1", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := m.Committed("t", 0); err != nil || ok {
+		t.Errorf("Committed before commit = ok=%v err=%v, want false, nil", ok, err)
+	}
+	if err := m.Commit("t", 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	off, ok, err := m.Committed("t", 0)
+	if err != nil || !ok || off != 42 {
+		t.Errorf("Committed = %d, %v, %v; want 42, true, nil", off, ok, err)
+	}
+	if err := m.Commit("t", 9, 1); err == nil {
+		t.Error("commit to unknown partition accepted")
+	}
+}
+
+func TestRangeAssign(t *testing.T) {
+	tests := []struct {
+		name            string
+		n, m, rank      int
+		wantFirst, want int // first partition and count
+	}{
+		{name: "even split rank0", n: 4, m: 2, rank: 0, wantFirst: 0, want: 2},
+		{name: "even split rank1", n: 4, m: 2, rank: 1, wantFirst: 2, want: 2},
+		{name: "uneven extra to first", n: 5, m: 2, rank: 0, wantFirst: 0, want: 3},
+		{name: "uneven rank1", n: 5, m: 2, rank: 1, wantFirst: 3, want: 2},
+		{name: "more members than partitions", n: 1, m: 3, rank: 2, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := rangeAssign(tt.n, tt.m, tt.rank)
+			if len(got) != tt.want {
+				t.Fatalf("rangeAssign(%d,%d,%d) = %v, want %d parts", tt.n, tt.m, tt.rank, got, tt.want)
+			}
+			if tt.want > 0 && got[0] != tt.wantFirst {
+				t.Errorf("first partition = %d, want %d", got[0], tt.wantFirst)
+			}
+		})
+	}
+	if got := rangeAssign(4, 0, 0); got != nil {
+		t.Errorf("rangeAssign with zero members = %v, want nil", got)
+	}
+	if got := rangeAssign(4, 2, 5); got != nil {
+		t.Errorf("rangeAssign with bad rank = %v, want nil", got)
+	}
+}

@@ -1,0 +1,97 @@
+package broker
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLingerFlushesSparseOutput(t *testing.T) {
+	// A producer whose batch never fills must still flush once the
+	// oldest buffered record exceeds the linger, so sparse outputs
+	// (like grep matches) reach the log with meaningful timestamps.
+	clock := time.Date(2026, 6, 11, 12, 0, 0, 0, time.UTC)
+	b := New(WithClock(func() time.Time { return clock }))
+	mustCreate(t, b, "t", TopicConfig{Partitions: 1})
+	p := newProducer(t, b, ProducerConfig{BatchSize: 1000, Linger: 5 * time.Millisecond})
+
+	if err := p.Send("t", nil, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	count, err := b.RecordCount("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("record visible before linger expired: %d", count)
+	}
+
+	// Advance past the linger; the next send flushes both records.
+	clock = clock.Add(6 * time.Millisecond)
+	if err := p.Send("t", nil, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	count, err = b.RecordCount("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("RecordCount after linger = %d, want 2", count)
+	}
+}
+
+func TestLingerDisabled(t *testing.T) {
+	clock := time.Date(2026, 6, 11, 12, 0, 0, 0, time.UTC)
+	b := New(WithClock(func() time.Time { return clock }))
+	mustCreate(t, b, "t", TopicConfig{Partitions: 1})
+	p := newProducer(t, b, ProducerConfig{BatchSize: 1000, Linger: -1})
+
+	if err := p.Send("t", nil, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(time.Hour)
+	if err := p.Send("t", nil, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	count, err := b.RecordCount("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("disabled linger still flushed: %d records", count)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	count, err = b.RecordCount("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("close did not flush: %d records", count)
+	}
+}
+
+func TestLingerTimestampsSpreadAcrossFlushes(t *testing.T) {
+	// Two flushes separated by the clock must yield distinct
+	// LogAppendTime values — the property the paper's execution-time
+	// measurement depends on.
+	clock := time.Date(2026, 6, 11, 12, 0, 0, 0, time.UTC)
+	b := New(WithClock(func() time.Time { return clock }))
+	mustCreate(t, b, "t", TopicConfig{Partitions: 1})
+	p := newProducer(t, b, ProducerConfig{BatchSize: 1})
+
+	if err := p.Send("t", nil, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(3 * time.Second)
+	if err := p.Send("t", nil, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	first, last, n, err := b.TimeSpan("t")
+	if err != nil || n != 2 {
+		t.Fatalf("TimeSpan: %v, n=%d", err, n)
+	}
+	if got := last.Sub(first); got != 3*time.Second {
+		t.Errorf("span = %v, want 3s", got)
+	}
+}

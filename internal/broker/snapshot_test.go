@@ -1,0 +1,206 @@
+package broker
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := New()
+	mustCreate(t, src, "in", TopicConfig{Partitions: 2, Timestamps: CreateTime})
+	mustCreate(t, src, "out", TopicConfig{Partitions: 1})
+	p := newProducer(t, src, ProducerConfig{BatchSize: 1, Partitioner: func(key []byte, n int) int {
+		if len(key) == 0 {
+			return 0
+		}
+		return int(key[0]) % n
+	}})
+	base := time.Date(2026, 6, 11, 10, 0, 0, 0, time.UTC)
+	for i := range 10 {
+		key := []byte{byte(i)}
+		if err := p.SendAt("in", key, []byte(fmt.Sprintf("v%d", i)), base.Add(time.Duration(i)*time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := src.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New()
+	if err := dst.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Topology restored.
+	if got := dst.Topics(); len(got) != 2 || got[0] != "in" || got[1] != "out" {
+		t.Fatalf("restored topics = %v", got)
+	}
+	cfg, err := dst.TopicConfig("in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Partitions != 2 || cfg.Timestamps != CreateTime {
+		t.Errorf("restored config = %+v", cfg)
+	}
+
+	// Data restored with coordinates and timestamps.
+	for part := range 2 {
+		cSrc := newConsumer(t, src, ConsumerConfig{})
+		cDst := newConsumer(t, dst, ConsumerConfig{})
+		if err := cSrc.Assign("in", part, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := cDst.Assign("in", part, 0); err != nil {
+			t.Fatal(err)
+		}
+		srcRecs, err := cSrc.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dstRecs, err := cDst.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(srcRecs) != len(dstRecs) {
+			t.Fatalf("partition %d: %d vs %d records", part, len(srcRecs), len(dstRecs))
+		}
+		for i := range srcRecs {
+			if !bytes.Equal(srcRecs[i].Value, dstRecs[i].Value) ||
+				!bytes.Equal(srcRecs[i].Key, dstRecs[i].Key) ||
+				!srcRecs[i].Timestamp.Equal(dstRecs[i].Timestamp) ||
+				srcRecs[i].Offset != dstRecs[i].Offset {
+				t.Errorf("partition %d record %d differs: %+v vs %+v", part, i, srcRecs[i], dstRecs[i])
+			}
+		}
+	}
+}
+
+func TestLoadSnapshotRejectsExistingTopic(t *testing.T) {
+	src := New()
+	mustCreate(t, src, "t", TopicConfig{Partitions: 1})
+	var buf bytes.Buffer
+	if err := src.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New()
+	mustCreate(t, dst, "t", TopicConfig{Partitions: 1})
+	if err := dst.LoadSnapshot(&buf); err == nil {
+		t.Error("loading snapshot over existing topic should error")
+	}
+}
+
+func TestLoadSnapshotGarbage(t *testing.T) {
+	b := New()
+	if err := b.LoadSnapshot(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+}
+
+func TestSnapshotClosedBroker(t *testing.T) {
+	b := New()
+	b.Close()
+	var buf bytes.Buffer
+	if err := b.SaveSnapshot(&buf); err == nil {
+		t.Error("snapshot of closed broker should error")
+	}
+}
+
+// Property: for any sequence of produced values, offsets are dense and
+// increasing, and values are returned in production order.
+func TestLogOrderProperty(t *testing.T) {
+	f := func(values [][]byte) bool {
+		b := New()
+		if err := b.CreateTopic("t", TopicConfig{Partitions: 1}); err != nil {
+			return false
+		}
+		p, err := b.NewProducer(ProducerConfig{BatchSize: 7})
+		if err != nil {
+			return false
+		}
+		for _, v := range values {
+			if err := p.Send("t", nil, v); err != nil {
+				return false
+			}
+		}
+		if err := p.Close(); err != nil {
+			return false
+		}
+		c, err := b.NewConsumer(ConsumerConfig{MaxPollRecords: 1000000})
+		if err != nil {
+			return false
+		}
+		if err := c.Assign("t", 0, 0); err != nil {
+			return false
+		}
+		var got []Record
+		for {
+			recs, err := c.Poll()
+			if err != nil {
+				return false
+			}
+			if len(recs) == 0 {
+				break
+			}
+			got = append(got, recs...)
+		}
+		if len(got) != len(values) {
+			return false
+		}
+		for i, r := range got {
+			if r.Offset != int64(i) {
+				return false
+			}
+			if !bytes.Equal(r.Value, values[i]) {
+				return false
+			}
+			if i > 0 && got[i].Timestamp.Before(got[i-1].Timestamp) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: snapshots round-trip arbitrary binary payloads.
+func TestSnapshotProperty(t *testing.T) {
+	f := func(values [][]byte) bool {
+		src := New()
+		if err := src.CreateTopic("t", TopicConfig{Partitions: 1}); err != nil {
+			return false
+		}
+		p, err := src.NewProducer(ProducerConfig{BatchSize: 3})
+		if err != nil {
+			return false
+		}
+		for _, v := range values {
+			if err := p.Send("t", nil, v); err != nil {
+				return false
+			}
+		}
+		if err := p.Close(); err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := src.SaveSnapshot(&buf); err != nil {
+			return false
+		}
+		dst := New()
+		if err := dst.LoadSnapshot(&buf); err != nil {
+			return false
+		}
+		srcN, err1 := src.RecordCount("t")
+		dstN, err2 := dst.RecordCount("t")
+		return err1 == nil && err2 == nil && srcN == dstN && srcN == int64(len(values))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

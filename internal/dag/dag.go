@@ -1,0 +1,295 @@
+// Package dag provides the directed-acyclic operator graphs shared by
+// the engine simulators: job graphs, validation, deterministic
+// topological ordering, and the execution-plan renderings shown in
+// Figures 12 and 13 of Hesse et al. (ICDCS 2019).
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// NodeKind classifies a node in an execution plan.
+type NodeKind int
+
+const (
+	// KindSource produces records.
+	KindSource NodeKind = iota + 1
+	// KindOperator transforms records.
+	KindOperator
+	// KindSink consumes records.
+	KindSink
+)
+
+// String returns the plan label of the kind, matching the labels in the
+// paper's plan figures.
+func (k NodeKind) String() string {
+	switch k {
+	case KindSource:
+		return "Data Source"
+	case KindOperator:
+		return "Operator"
+	case KindSink:
+		return "Data Sink"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node is one vertex of an execution plan.
+type Node struct {
+	// ID uniquely identifies the node within its graph.
+	ID string
+	// Name is the display name, e.g. "Source: Custom Source" or
+	// "ParDoTranslation.RawParDo".
+	Name string
+	// Kind classifies the node.
+	Kind NodeKind
+	// Parallelism is the number of parallel instances.
+	Parallelism int
+}
+
+// Errors reported by graph construction.
+var (
+	ErrDuplicateNode = errors.New("dag: duplicate node")
+	ErrUnknownNode   = errors.New("dag: unknown node")
+	ErrCycle         = errors.New("dag: graph contains a cycle")
+)
+
+// Graph is a mutable DAG of plan nodes. The zero value is not usable;
+// construct with New.
+type Graph struct {
+	nodes map[string]*Node
+	order []string
+	succ  map[string][]string
+	pred  map[string][]string
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[string]*Node),
+		succ:  make(map[string][]string),
+		pred:  make(map[string][]string),
+	}
+}
+
+// AddNode inserts a node. The node ID must be unique and non-empty, the
+// kind valid, and the parallelism positive.
+func (g *Graph) AddNode(n Node) error {
+	if n.ID == "" {
+		return errors.New("dag: empty node ID")
+	}
+	if n.Kind < KindSource || n.Kind > KindSink {
+		return fmt.Errorf("dag: node %q: invalid kind %d", n.ID, n.Kind)
+	}
+	if n.Parallelism <= 0 {
+		return fmt.Errorf("dag: node %q: parallelism must be positive, got %d", n.ID, n.Parallelism)
+	}
+	if _, ok := g.nodes[n.ID]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateNode, n.ID)
+	}
+	copied := n
+	g.nodes[n.ID] = &copied
+	g.order = append(g.order, n.ID)
+	return nil
+}
+
+// AddEdge inserts a directed edge between existing nodes.
+func (g *Graph) AddEdge(from, to string) error {
+	if _, ok := g.nodes[from]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	if from == to {
+		return fmt.Errorf("%w: self edge on %q", ErrCycle, from)
+	}
+	g.succ[from] = append(g.succ[from], to)
+	g.pred[to] = append(g.pred[to], from)
+	return nil
+}
+
+// Node returns a node by ID.
+func (g *Graph) Node(id string) (Node, bool) {
+	n, ok := g.nodes[id]
+	if !ok {
+		return Node{}, false
+	}
+	return *n, true
+}
+
+// Len reports the number of nodes.
+func (g *Graph) Len() int { return len(g.order) }
+
+// Nodes returns all nodes in insertion order.
+func (g *Graph) Nodes() []Node {
+	out := make([]Node, 0, len(g.order))
+	for _, id := range g.order {
+		out = append(out, *g.nodes[id])
+	}
+	return out
+}
+
+// Successors returns the IDs downstream of id, in edge insertion order.
+func (g *Graph) Successors(id string) []string {
+	return append([]string(nil), g.succ[id]...)
+}
+
+// Predecessors returns the IDs upstream of id, in edge insertion order.
+func (g *Graph) Predecessors(id string) []string {
+	return append([]string(nil), g.pred[id]...)
+}
+
+// Roots returns nodes without predecessors, in insertion order.
+func (g *Graph) Roots() []string {
+	var out []string
+	for _, id := range g.order {
+		if len(g.pred[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TopoSort returns a deterministic topological ordering (Kahn's
+// algorithm with insertion-order tie-breaking), or ErrCycle.
+func (g *Graph) TopoSort() ([]string, error) {
+	indeg := make(map[string]int, len(g.nodes))
+	for _, id := range g.order {
+		indeg[id] = len(g.pred[id])
+	}
+	var ready []string
+	for _, id := range g.order {
+		if indeg[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	out := make([]string, 0, len(g.nodes))
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		out = append(out, id)
+		for _, next := range g.succ[id] {
+			indeg[next]--
+			if indeg[next] == 0 {
+				ready = append(ready, next)
+			}
+		}
+	}
+	if len(out) != len(g.nodes) {
+		return nil, ErrCycle
+	}
+	return out, nil
+}
+
+// Validate checks that the graph is a DAG, that every non-source node is
+// reachable from some source-kind node, and that sinks have no
+// successors.
+func (g *Graph) Validate() error {
+	if len(g.nodes) == 0 {
+		return errors.New("dag: empty graph")
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	for _, id := range g.order {
+		n := g.nodes[id]
+		if n.Kind == KindSource && len(g.pred[id]) > 0 {
+			return fmt.Errorf("dag: source %q has inputs", id)
+		}
+		if n.Kind == KindSink && len(g.succ[id]) > 0 {
+			return fmt.Errorf("dag: sink %q has outputs", id)
+		}
+		if n.Kind != KindSource && len(g.pred[id]) == 0 {
+			return fmt.Errorf("dag: %s %q has no inputs", strings.ToLower(n.Kind.String()), id)
+		}
+	}
+	return nil
+}
+
+// RenderText writes the plan as an indented tree in topological order,
+// the textual equivalent of the paper's Figures 12 and 13:
+//
+//	[Data Source] Source: Custom Source (parallelism=1)
+//	  -> [Operator] Filter (parallelism=1)
+//	    -> [Data Sink] Sink: Unnamed (parallelism=1)
+func (g *Graph) RenderText(w io.Writer) error {
+	order, err := g.TopoSort()
+	if err != nil {
+		return err
+	}
+	depth := make(map[string]int, len(order))
+	for _, id := range order {
+		d := 0
+		for _, p := range g.pred[id] {
+			if depth[p]+1 > d {
+				d = depth[p] + 1
+			}
+		}
+		depth[id] = d
+	}
+	for _, id := range order {
+		n := g.nodes[id]
+		indent := strings.Repeat("  ", depth[id])
+		arrow := ""
+		if depth[id] > 0 {
+			arrow = "-> "
+		}
+		if _, err := fmt.Fprintf(w, "%s%s[%s] %s (parallelism=%d)\n",
+			indent, arrow, n.Kind, n.Name, n.Parallelism); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the plan as text, or an error description if the graph
+// is invalid.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	if err := g.RenderText(&sb); err != nil {
+		return fmt.Sprintf("dag: %v", err)
+	}
+	return sb.String()
+}
+
+// RenderDOT writes the plan in Graphviz DOT syntax for use with external
+// visualizers (the paper used the Flink Plan Visualizer).
+func (g *Graph) RenderDOT(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n", title); err != nil {
+		return err
+	}
+	for _, id := range g.order {
+		n := g.nodes[id]
+		shape := "box"
+		if n.Kind == KindSource {
+			shape = "invhouse"
+		}
+		if n.Kind == KindSink {
+			shape = "house"
+		}
+		label := fmt.Sprintf("%s\\n%s\\nParallelism: %d", n.Kind, n.Name, n.Parallelism)
+		if _, err := fmt.Fprintf(w, "  %q [shape=%s,label=\"%s\"];\n", id, shape, label); err != nil {
+			return err
+		}
+	}
+	edges := make([]string, 0)
+	for _, from := range g.order {
+		for _, to := range g.succ[from] {
+			edges = append(edges, fmt.Sprintf("  %q -> %q;\n", from, to))
+		}
+	}
+	sort.Strings(edges)
+	for _, e := range edges {
+		if _, err := io.WriteString(w, e); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}

@@ -1,0 +1,313 @@
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func linearGraph(t *testing.T, kinds ...NodeKind) *Graph {
+	t.Helper()
+	g := New()
+	for i, k := range kinds {
+		if err := g.AddNode(Node{ID: fmt.Sprintf("n%d", i), Name: fmt.Sprintf("node %d", i), Kind: k, Parallelism: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if err := g.AddEdge(fmt.Sprintf("n%d", i-1), fmt.Sprintf("n%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	g := New()
+	tests := []struct {
+		name string
+		node Node
+	}{
+		{name: "empty id", node: Node{Kind: KindSource, Parallelism: 1}},
+		{name: "bad kind low", node: Node{ID: "a", Kind: 0, Parallelism: 1}},
+		{name: "bad kind high", node: Node{ID: "a", Kind: 9, Parallelism: 1}},
+		{name: "zero parallelism", node: Node{ID: "a", Kind: KindSource}},
+		{name: "negative parallelism", node: Node{ID: "a", Kind: KindSource, Parallelism: -2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := g.AddNode(tt.node); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+	if err := g.AddNode(Node{ID: "ok", Kind: KindSource, Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode(Node{ID: "ok", Kind: KindSource, Parallelism: 1}); !errors.Is(err, ErrDuplicateNode) {
+		t.Errorf("duplicate = %v, want ErrDuplicateNode", err)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := linearGraph(t, KindSource, KindSink)
+	if err := g.AddEdge("missing", "n1"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown from = %v", err)
+	}
+	if err := g.AddEdge("n0", "missing"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown to = %v", err)
+	}
+	if err := g.AddEdge("n0", "n0"); !errors.Is(err, ErrCycle) {
+		t.Errorf("self edge = %v", err)
+	}
+}
+
+func TestTopoSortLinear(t *testing.T) {
+	g := linearGraph(t, KindSource, KindOperator, KindOperator, KindSink)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"n0", "n1", "n2", "n3"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTopoSortDetectsCycle(t *testing.T) {
+	g := New()
+	for _, id := range []string{"a", "b", "c"} {
+		if err := g.AddNode(Node{ID: id, Kind: KindOperator, Parallelism: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "a"}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.TopoSort(); !errors.Is(err, ErrCycle) {
+		t.Errorf("TopoSort = %v, want ErrCycle", err)
+	}
+	if err := g.Validate(); !errors.Is(err, ErrCycle) {
+		t.Errorf("Validate = %v, want ErrCycle", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	t.Run("valid linear plan", func(t *testing.T) {
+		g := linearGraph(t, KindSource, KindOperator, KindSink)
+		if err := g.Validate(); err != nil {
+			t.Errorf("Validate = %v", err)
+		}
+	})
+	t.Run("empty graph", func(t *testing.T) {
+		if err := New().Validate(); err == nil {
+			t.Error("empty graph validated")
+		}
+	})
+	t.Run("source with inputs", func(t *testing.T) {
+		g := linearGraph(t, KindSource, KindSource)
+		if err := g.Validate(); err == nil {
+			t.Error("source with inputs validated")
+		}
+	})
+	t.Run("sink with outputs", func(t *testing.T) {
+		g := linearGraph(t, KindSink, KindOperator)
+		if err := g.Validate(); err == nil {
+			t.Error("sink with outputs validated")
+		}
+	})
+	t.Run("orphan operator", func(t *testing.T) {
+		g := New()
+		if err := g.AddNode(Node{ID: "op", Kind: KindOperator, Parallelism: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err == nil {
+			t.Error("orphan operator validated")
+		}
+	})
+}
+
+func TestNodeAccessors(t *testing.T) {
+	g := linearGraph(t, KindSource, KindOperator, KindSink)
+	if g.Len() != 3 {
+		t.Errorf("Len = %d, want 3", g.Len())
+	}
+	n, ok := g.Node("n1")
+	if !ok || n.Kind != KindOperator {
+		t.Errorf("Node(n1) = %+v, %v", n, ok)
+	}
+	if _, ok := g.Node("zzz"); ok {
+		t.Error("found nonexistent node")
+	}
+	if succ := g.Successors("n0"); len(succ) != 1 || succ[0] != "n1" {
+		t.Errorf("Successors(n0) = %v", succ)
+	}
+	if pred := g.Predecessors("n1"); len(pred) != 1 || pred[0] != "n0" {
+		t.Errorf("Predecessors(n1) = %v", pred)
+	}
+	if roots := g.Roots(); len(roots) != 1 || roots[0] != "n0" {
+		t.Errorf("Roots = %v", roots)
+	}
+	nodes := g.Nodes()
+	if len(nodes) != 3 || nodes[0].ID != "n0" || nodes[2].ID != "n2" {
+		t.Errorf("Nodes = %+v", nodes)
+	}
+}
+
+func TestAccessorsReturnCopies(t *testing.T) {
+	g := linearGraph(t, KindSource, KindSink)
+	succ := g.Successors("n0")
+	succ[0] = "corrupted"
+	if got := g.Successors("n0"); got[0] != "n1" {
+		t.Error("Successors exposed internal slice")
+	}
+	n, _ := g.Node("n0")
+	n.Name = "corrupted"
+	if got, _ := g.Node("n0"); got.Name == "corrupted" {
+		t.Error("Node exposed internal struct")
+	}
+}
+
+func TestRenderTextNativeGrepPlan(t *testing.T) {
+	// Reproduces the shape of Figure 12: source -> filter -> sink.
+	g := New()
+	for _, n := range []Node{
+		{ID: "src", Name: "Source: Custom Source", Kind: KindSource, Parallelism: 1},
+		{ID: "filter", Name: "Filter", Kind: KindOperator, Parallelism: 1},
+		{ID: "sink", Name: "Sink: Unnamed", Kind: KindSink, Parallelism: 1},
+	} {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge("src", "filter"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("filter", "sink"); err != nil {
+		t.Fatal(err)
+	}
+	got := g.String()
+	for _, want := range []string{
+		"[Data Source] Source: Custom Source (parallelism=1)",
+		"-> [Operator] Filter (parallelism=1)",
+		"-> [Data Sink] Sink: Unnamed (parallelism=1)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("plan missing %q:\n%s", want, got)
+		}
+	}
+	if lines := strings.Count(got, "\n"); lines != 3 {
+		t.Errorf("plan has %d lines, want 3:\n%s", lines, got)
+	}
+}
+
+func TestRenderTextCycleErrors(t *testing.T) {
+	g := New()
+	for _, id := range []string{"a", "b"} {
+		if err := g.AddNode(Node{ID: id, Kind: KindOperator, Parallelism: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("b", "a"); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := g.RenderText(&sb); !errors.Is(err, ErrCycle) {
+		t.Errorf("RenderText = %v, want ErrCycle", err)
+	}
+	if !strings.Contains(g.String(), "cycle") {
+		t.Errorf("String of cyclic graph = %q", g.String())
+	}
+}
+
+func TestRenderDOT(t *testing.T) {
+	g := linearGraph(t, KindSource, KindOperator, KindSink)
+	var sb strings.Builder
+	if err := g.RenderDOT(&sb, "grep"); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		`digraph "grep"`,
+		`"n0" -> "n1";`,
+		`"n1" -> "n2";`,
+		"invhouse", // source shape
+		"house",    // sink shape
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("DOT missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	tests := []struct {
+		give NodeKind
+		want string
+	}{
+		{give: KindSource, want: "Data Source"},
+		{give: KindOperator, want: "Operator"},
+		{give: KindSink, want: "Data Sink"},
+		{give: NodeKind(77), want: "NodeKind(77)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("NodeKind(%d).String() = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+// Property: for random DAGs (edges only i->j with i<j, so acyclic by
+// construction), TopoSort succeeds and respects every edge.
+func TestTopoSortProperty(t *testing.T) {
+	f := func(seed uint64, nNodes uint8, nEdges uint8) bool {
+		n := int(nNodes%12) + 2
+		rng := rand.New(rand.NewPCG(seed, seed))
+		g := New()
+		for i := range n {
+			kind := KindOperator
+			if i == 0 {
+				kind = KindSource
+			}
+			if err := g.AddNode(Node{ID: fmt.Sprintf("n%d", i), Kind: kind, Parallelism: 1 + i%3}); err != nil {
+				return false
+			}
+		}
+		for range int(nEdges % 40) {
+			i := rng.IntN(n - 1)
+			j := i + 1 + rng.IntN(n-i-1)
+			if err := g.AddEdge(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", j)); err != nil {
+				return false
+			}
+		}
+		order, err := g.TopoSort()
+		if err != nil || len(order) != n {
+			return false
+		}
+		pos := make(map[string]int, n)
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, from := range order {
+			for _, to := range g.Successors(from) {
+				if pos[from] >= pos[to] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,414 @@
+// Package flink simulates Apache Flink's streaming runtime as described
+// in Section II-B of Hesse et al. (ICDCS 2019): a standalone cluster with
+// one Job Manager and several Task Managers whose task slots execute
+// subtasks; tuple-at-a-time processing; and operator chaining, which
+// fuses forward-connected operators of equal parallelism into a single
+// task to avoid serialization and hand-over costs.
+//
+// Chaining is the load-bearing mechanism for the paper's Flink results:
+// the native grep job (Figure 12) collapses into one chained task, while
+// the Beam runner emits per-primitive operators with chaining disabled
+// (Figure 13), paying a network hop and coder costs at every boundary.
+package flink
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"beambench/internal/dag"
+)
+
+// Collector receives records emitted by an operator. Collect reports an
+// error when the job is shutting down; operators must stop emitting and
+// return it.
+type Collector interface {
+	Collect(record []byte) error
+}
+
+// OperatorContext gives per-subtask operator instances access to their
+// runtime environment.
+type OperatorContext interface {
+	// SubtaskIndex is this instance's index in [0, Parallelism).
+	SubtaskIndex() int
+	// Parallelism is the operator's parallel instance count.
+	Parallelism() int
+	// Charge adds simulated processing cost to this subtask, used by
+	// runners to model per-record overheads (coders, wrappers).
+	Charge(d time.Duration)
+}
+
+// Source produces records by pushing them into the context's collector.
+type Source interface {
+	// Run emits records until the source is exhausted or ctx reports
+	// shutdown. Run must return nil on clean exhaustion.
+	Run(out Collector) error
+}
+
+// SourceFactory builds one Source instance per subtask.
+type SourceFactory func(ctx OperatorContext) (Source, error)
+
+// Sink consumes records.
+type Sink interface {
+	// Invoke handles one record.
+	Invoke(record []byte) error
+	// Close flushes and releases resources; called once per subtask.
+	Close() error
+}
+
+// SinkFactory builds one Sink instance per subtask.
+type SinkFactory func(ctx OperatorContext) (Sink, error)
+
+// ProcessFunc transforms one record into zero or more records.
+type ProcessFunc func(record []byte, out Collector) error
+
+// ProcessFactory builds one ProcessFunc per subtask, allowing per-subtask
+// state and cost accounting.
+type ProcessFactory func(ctx OperatorContext) (ProcessFunc, error)
+
+// FlushFunc emits an operator's buffered state when its input is
+// exhausted (bounded streams); stateful operators such as grouping use
+// it to release their final aggregates.
+type FlushFunc func(out Collector) error
+
+// FlushableProcessFactory builds a per-subtask process function together
+// with an end-of-input flush.
+type FlushableProcessFactory func(ctx OperatorContext) (ProcessFunc, FlushFunc, error)
+
+// KeySelector extracts the partitioning key from a record for hash
+// partitioning (KeyBy).
+type KeySelector func(record []byte) ([]byte, error)
+
+// partitioning selects how records travel to the next operator.
+type partitioning int
+
+const (
+	// partitionForward keeps records in the same subtask index; it is
+	// the default and a precondition for chaining.
+	partitionForward partitioning = iota + 1
+	// partitionRebalance distributes records round-robin.
+	partitionRebalance
+	// partitionHash routes records by key hash, so equal keys reach the
+	// same subtask (KeyBy).
+	partitionHash
+)
+
+type opKind int
+
+const (
+	opSource opKind = iota + 1
+	opTransform
+	opSink
+)
+
+// operator is a node of the logical stream graph.
+type operator struct {
+	id          int
+	name        string
+	kind        opKind
+	parallelism int
+	chainable   bool
+	inPart      partitioning
+	inKey       KeySelector
+
+	sourceFactory  SourceFactory
+	processFactory ProcessFactory
+	flushFactory   FlushableProcessFactory
+	sinkFactory    SinkFactory
+
+	input   *operator
+	outputs []*operator
+
+	metrics *OperatorMetrics
+}
+
+// Environment builds a streaming job, the analogue of Flink's
+// StreamExecutionEnvironment.
+type Environment struct {
+	cluster         *Cluster
+	parallelism     int
+	chainingEnabled bool
+	ops             []*operator
+	err             error
+}
+
+// NewEnvironment returns an execution environment bound to a cluster
+// with default parallelism 1.
+func NewEnvironment(cluster *Cluster) *Environment {
+	return &Environment{
+		cluster:         cluster,
+		parallelism:     1,
+		chainingEnabled: true,
+	}
+}
+
+// SetParallelism sets the default operator parallelism, the equivalent
+// of the paper's `-p` submission flag (Section III-A2).
+func (env *Environment) SetParallelism(p int) *Environment {
+	if p <= 0 {
+		env.fail(fmt.Errorf("flink: parallelism must be positive, got %d", p))
+		return env
+	}
+	env.parallelism = p
+	return env
+}
+
+// DisableOperatorChaining turns chaining off for the whole job, matching
+// StreamExecutionEnvironment#disableOperatorChaining. The Beam runner
+// uses this; it is also the ablation switch for the chaining benchmark.
+func (env *Environment) DisableOperatorChaining() *Environment {
+	env.chainingEnabled = false
+	return env
+}
+
+func (env *Environment) fail(err error) {
+	if env.err == nil {
+		env.err = err
+	}
+}
+
+// AddSource adds a source operator and returns its stream.
+func (env *Environment) AddSource(name string, factory SourceFactory) *DataStream {
+	op := &operator{
+		name:          name,
+		kind:          opSource,
+		parallelism:   env.parallelism,
+		chainable:     true,
+		sourceFactory: factory,
+	}
+	env.addOp(op)
+	if factory == nil {
+		env.fail(fmt.Errorf("flink: source %q: nil factory", name))
+	}
+	return &DataStream{env: env, op: op}
+}
+
+func (env *Environment) addOp(op *operator) {
+	op.id = len(env.ops)
+	op.inPart = partitionForward
+	op.metrics = &OperatorMetrics{Name: op.name}
+	env.ops = append(env.ops, op)
+}
+
+// DataStream is a stream of records flowing out of an operator.
+type DataStream struct {
+	env   *Environment
+	op    *operator
+	rebal bool        // next operator reads rebalanced
+	keyed KeySelector // next operator reads hash-partitioned by this key
+}
+
+// Map adds a 1:1 stateless transformation.
+func (ds *DataStream) Map(name string, fn func([]byte) []byte) *DataStream {
+	if fn == nil {
+		ds.env.fail(fmt.Errorf("flink: map %q: nil function", name))
+		return ds.transform(name, nil)
+	}
+	return ds.transform(name, func(OperatorContext) (ProcessFunc, error) {
+		return func(rec []byte, out Collector) error {
+			return out.Collect(fn(rec))
+		}, nil
+	})
+}
+
+// Filter adds a predicate operator that keeps matching records.
+func (ds *DataStream) Filter(name string, fn func([]byte) bool) *DataStream {
+	if fn == nil {
+		ds.env.fail(fmt.Errorf("flink: filter %q: nil function", name))
+		return ds.transform(name, nil)
+	}
+	return ds.transform(name, func(OperatorContext) (ProcessFunc, error) {
+		return func(rec []byte, out Collector) error {
+			if fn(rec) {
+				return out.Collect(rec)
+			}
+			return nil
+		}, nil
+	})
+}
+
+// FlatMap adds a 1:N stateless transformation.
+func (ds *DataStream) FlatMap(name string, fn func(record []byte, out Collector) error) *DataStream {
+	if fn == nil {
+		ds.env.fail(fmt.Errorf("flink: flatMap %q: nil function", name))
+		return ds.transform(name, nil)
+	}
+	return ds.transform(name, func(OperatorContext) (ProcessFunc, error) {
+		return ProcessFunc(fn), nil
+	})
+}
+
+// Process adds a transformation with per-subtask construction, the
+// analogue of a RichFunction. Runners use this to attach per-subtask
+// cost accounting.
+func (ds *DataStream) Process(name string, factory ProcessFactory) *DataStream {
+	if factory == nil {
+		ds.env.fail(fmt.Errorf("flink: process %q: nil factory", name))
+	}
+	return ds.transform(name, factory)
+}
+
+func (ds *DataStream) transform(name string, factory ProcessFactory) *DataStream {
+	op := &operator{
+		name:           name,
+		kind:           opTransform,
+		parallelism:    ds.env.parallelism,
+		chainable:      true,
+		processFactory: factory,
+	}
+	ds.env.addOp(op)
+	ds.connect(op)
+	return &DataStream{env: ds.env, op: op}
+}
+
+// Rebalance redistributes records round-robin to the next operator,
+// breaking any chain at this point.
+func (ds *DataStream) Rebalance() *DataStream {
+	return &DataStream{env: ds.env, op: ds.op, rebal: true}
+}
+
+// KeyBy hash-partitions records by the selected key, so all records
+// with equal keys reach the same subtask of the next operator. Like
+// Rebalance, it breaks the chain at this point.
+func (ds *DataStream) KeyBy(selector KeySelector) *DataStream {
+	if selector == nil {
+		ds.env.fail(fmt.Errorf("flink: KeyBy: nil key selector"))
+		return ds
+	}
+	return &DataStream{env: ds.env, op: ds.op, keyed: selector}
+}
+
+// ProcessWithFlush adds a stateful transformation whose flush function
+// runs when the bounded input is exhausted, before downstream operators
+// observe end of stream. Grouping and windowed aggregations build on it.
+func (ds *DataStream) ProcessWithFlush(name string, factory FlushableProcessFactory) *DataStream {
+	if factory == nil {
+		ds.env.fail(fmt.Errorf("flink: processWithFlush %q: nil factory", name))
+	}
+	op := &operator{
+		name:         name,
+		kind:         opTransform,
+		parallelism:  ds.env.parallelism,
+		chainable:    true,
+		flushFactory: factory,
+	}
+	ds.env.addOp(op)
+	ds.connect(op)
+	return &DataStream{env: ds.env, op: op}
+}
+
+// DisableChaining prevents this stream's operator from being chained to
+// its input, forcing a task boundary (network hop) before it.
+func (ds *DataStream) DisableChaining() *DataStream {
+	ds.op.chainable = false
+	return ds
+}
+
+// SetParallelism overrides the parallelism of this stream's operator.
+func (ds *DataStream) SetParallelism(p int) *DataStream {
+	if p <= 0 {
+		ds.env.fail(fmt.Errorf("flink: operator %q: parallelism must be positive, got %d", ds.op.name, p))
+		return ds
+	}
+	ds.op.parallelism = p
+	return ds
+}
+
+// AddSink terminates the stream in a sink operator.
+func (ds *DataStream) AddSink(name string, factory SinkFactory) {
+	if factory == nil {
+		ds.env.fail(fmt.Errorf("flink: sink %q: nil factory", name))
+	}
+	op := &operator{
+		name:        name,
+		kind:        opSink,
+		parallelism: ds.env.parallelism,
+		chainable:   true,
+		sinkFactory: factory,
+	}
+	ds.env.addOp(op)
+	ds.connect(op)
+}
+
+func (ds *DataStream) connect(op *operator) {
+	op.input = ds.op
+	if ds.rebal {
+		op.inPart = partitionRebalance
+	}
+	if ds.keyed != nil {
+		op.inPart = partitionHash
+		op.inKey = ds.keyed
+	}
+	ds.op.outputs = append(ds.op.outputs, op)
+}
+
+// ExecutionPlan renders the logical operator graph, the equivalent of
+// the JSON plan the paper visualizes in Figures 12 and 13.
+func (env *Environment) ExecutionPlan() (*dag.Graph, error) {
+	if env.err != nil {
+		return nil, env.err
+	}
+	g := dag.New()
+	for _, op := range env.ops {
+		kind := dag.KindOperator
+		name := op.name
+		switch op.kind {
+		case opSource:
+			kind = dag.KindSource
+			name = "Source: " + op.name
+		case opSink:
+			kind = dag.KindSink
+			name = "Sink: " + op.name
+		}
+		if err := g.AddNode(dag.Node{
+			ID:          planID(op),
+			Name:        name,
+			Kind:        kind,
+			Parallelism: op.parallelism,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, op := range env.ops {
+		if op.input != nil {
+			if err := g.AddEdge(planID(op.input), planID(op)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+func planID(op *operator) string {
+	return fmt.Sprintf("op%d", op.id)
+}
+
+// validate checks the logical graph before execution.
+func (env *Environment) validate() error {
+	if env.err != nil {
+		return env.err
+	}
+	if len(env.ops) == 0 {
+		return errors.New("flink: empty job")
+	}
+	var hasSource, hasSink bool
+	for _, op := range env.ops {
+		switch op.kind {
+		case opSource:
+			hasSource = true
+		case opSink:
+			hasSink = true
+		case opTransform:
+			if len(op.outputs) == 0 {
+				return fmt.Errorf("flink: operator %q has no consumers", op.name)
+			}
+		}
+	}
+	if !hasSource {
+		return errors.New("flink: job has no source")
+	}
+	if !hasSink {
+		return errors.New("flink: job has no sink")
+	}
+	return nil
+}

@@ -1,0 +1,413 @@
+package flink
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func newTestCluster(t *testing.T, cfg ClusterConfig) *Cluster {
+	t.Helper()
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func records(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("rec-%04d", i))
+	}
+	return out
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{TaskManagers: -1}); err == nil {
+		t.Error("negative task managers accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{RestartAttempts: -1}); err == nil {
+		t.Error("negative restart attempts accepted")
+	}
+	c, err := NewCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalSlots() != 16 {
+		t.Errorf("default TotalSlots = %d, want 16 (2 TMs x 8 slots)", c.TotalSlots())
+	}
+}
+
+func TestExecuteRequiresRunningCluster(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnvironment(c)
+	sink := NewRecordCollector()
+	env.AddSource("src", SliceSource(records(1))).AddSink("sink", CollectSink(sink))
+	if _, err := env.Execute("job"); !errors.Is(err, ErrClusterStopped) {
+		t.Errorf("Execute on stopped cluster = %v, want ErrClusterStopped", err)
+	}
+}
+
+func TestLinearPipeline(t *testing.T) {
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster)
+	sink := NewRecordCollector()
+	env.AddSource("src", SliceSource(records(100))).
+		Map("upper", bytes.ToUpper).
+		Filter("even", func(rec []byte) bool { return rec[len(rec)-1]%2 == 0 }).
+		AddSink("sink", CollectSink(sink))
+	res, err := env.Execute("linear")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 50 {
+		t.Errorf("sink received %d records, want 50", sink.Len())
+	}
+	for _, s := range sink.Strings() {
+		if s != strings.ToUpper(s) {
+			t.Errorf("record %q not uppercased", s)
+		}
+	}
+	if res.Attempts != 1 {
+		t.Errorf("Attempts = %d, want 1", res.Attempts)
+	}
+	// All operators chain into one task: source, map, filter, sink.
+	if res.Tasks != 1 {
+		t.Errorf("Tasks = %d, want 1 (fully chained)", res.Tasks)
+	}
+	src, ok := res.OperatorStat("src")
+	if !ok || src.RecordsOut != 100 {
+		t.Errorf("source stats = %+v, %v", src, ok)
+	}
+	flt, ok := res.OperatorStat("even")
+	if !ok || flt.RecordsIn != 100 || flt.RecordsOut != 50 {
+		t.Errorf("filter stats = %+v, %v", flt, ok)
+	}
+	if _, ok := res.OperatorStat("missing"); ok {
+		t.Error("found stats for unknown operator")
+	}
+}
+
+func TestFlatMapExpansion(t *testing.T) {
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster)
+	sink := NewRecordCollector()
+	env.AddSource("src", SliceSource([][]byte{[]byte("a b c"), []byte("d e")})).
+		FlatMap("split", func(rec []byte, out Collector) error {
+			for _, w := range bytes.Fields(rec) {
+				if err := out.Collect(w); err != nil {
+					return err
+				}
+			}
+			return nil
+		}).
+		AddSink("sink", CollectSink(sink))
+	if _, err := env.Execute("flatmap"); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.Strings()
+	sort.Strings(got)
+	want := []string{"a", "b", "c", "d", "e"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestChainingDisabledCreatesTasks(t *testing.T) {
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster).DisableOperatorChaining()
+	sink := NewRecordCollector()
+	env.AddSource("src", SliceSource(records(10))).
+		Map("m1", func(r []byte) []byte { return r }).
+		Map("m2", func(r []byte) []byte { return r }).
+		AddSink("sink", CollectSink(sink))
+	res, err := env.Execute("unchained")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != 4 {
+		t.Errorf("Tasks = %d, want 4 (chaining disabled)", res.Tasks)
+	}
+	if sink.Len() != 10 {
+		t.Errorf("sink received %d records, want 10", sink.Len())
+	}
+}
+
+func TestDisableChainingOnOneOperator(t *testing.T) {
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster)
+	sink := NewRecordCollector()
+	env.AddSource("src", SliceSource(records(10))).
+		Map("m1", func(r []byte) []byte { return r }).DisableChaining().
+		Map("m2", func(r []byte) []byte { return r }).
+		AddSink("sink", CollectSink(sink))
+	res, err := env.Execute("partial-chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src | m1->m2->sink = 2 tasks.
+	if res.Tasks != 2 {
+		t.Errorf("Tasks = %d, want 2", res.Tasks)
+	}
+}
+
+func TestRebalanceBreaksChainAndRedistributes(t *testing.T) {
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster)
+	sink := NewRecordCollector()
+	seen := NewRecordCollector()
+	env.AddSource("src", SliceSource(records(100))).
+		Rebalance().
+		Process("tag", func(ctx OperatorContext) (ProcessFunc, error) {
+			return func(rec []byte, out Collector) error {
+				if err := seen.Invoke([]byte(fmt.Sprintf("%d", ctx.SubtaskIndex()))); err != nil {
+					return err
+				}
+				return out.Collect(rec)
+			}, nil
+		}).SetParallelism(2).
+		AddSink("sink", CollectSink(sink))
+	res, err := env.Execute("rebalance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks < 2 {
+		t.Errorf("Tasks = %d, want >= 2 (rebalance breaks chain)", res.Tasks)
+	}
+	if sink.Len() != 100 {
+		t.Errorf("sink received %d records, want 100", sink.Len())
+	}
+	// Both subtasks must have processed records.
+	subtasks := make(map[string]int)
+	for _, s := range seen.Strings() {
+		subtasks[s]++
+	}
+	if len(subtasks) != 2 {
+		t.Errorf("records processed by %d subtasks, want 2: %v", len(subtasks), subtasks)
+	}
+	if subtasks["0"] != 50 || subtasks["1"] != 50 {
+		t.Errorf("round-robin split = %v, want 50/50", subtasks)
+	}
+}
+
+func TestParallelismMismatchAutoRebalances(t *testing.T) {
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster)
+	sink := NewRecordCollector()
+	env.AddSource("src", SliceSource(records(40))).SetParallelism(1).
+		Map("wide", func(r []byte) []byte { return r }).SetParallelism(4).
+		AddSink("sink", CollectSink(sink)) // sink inherits env parallelism 1
+	res, err := env.Execute("mismatch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 40 {
+		t.Errorf("sink received %d records, want 40", sink.Len())
+	}
+	if res.Tasks != 3 {
+		t.Errorf("Tasks = %d, want 3 (parallelism mismatch breaks chains)", res.Tasks)
+	}
+}
+
+func TestJobValidationErrors(t *testing.T) {
+	cluster := newTestCluster(t, ClusterConfig{})
+
+	t.Run("empty job", func(t *testing.T) {
+		env := NewEnvironment(cluster)
+		if _, err := env.Execute("empty"); err == nil {
+			t.Error("empty job executed")
+		}
+	})
+	t.Run("no sink", func(t *testing.T) {
+		env := NewEnvironment(cluster)
+		env.AddSource("src", SliceSource(records(1))).Map("m", func(r []byte) []byte { return r })
+		if _, err := env.Execute("nosink"); err == nil {
+			t.Error("job without sink executed")
+		}
+	})
+	t.Run("nil map fn", func(t *testing.T) {
+		env := NewEnvironment(cluster)
+		sink := NewRecordCollector()
+		env.AddSource("src", SliceSource(records(1))).Map("m", nil).AddSink("s", CollectSink(sink))
+		if _, err := env.Execute("nilfn"); err == nil {
+			t.Error("nil map accepted")
+		}
+	})
+	t.Run("bad parallelism", func(t *testing.T) {
+		env := NewEnvironment(cluster)
+		env.SetParallelism(0)
+		sink := NewRecordCollector()
+		env.AddSource("src", SliceSource(records(1))).AddSink("s", CollectSink(sink))
+		if _, err := env.Execute("badp"); err == nil {
+			t.Error("zero parallelism accepted")
+		}
+	})
+}
+
+func TestSlotExhaustion(t *testing.T) {
+	cluster := newTestCluster(t, ClusterConfig{TaskManagers: 1, SlotsPerTaskManager: 2})
+	env := NewEnvironment(cluster).SetParallelism(3)
+	sink := NewRecordCollector()
+	env.AddSource("src", SliceSource(records(1))).AddSink("s", CollectSink(sink))
+	if _, err := env.Execute("toolarge"); !errors.Is(err, ErrNoSlots) {
+		t.Errorf("Execute = %v, want ErrNoSlots", err)
+	}
+	if cluster.FreeSlots() != 2 {
+		t.Errorf("slots leaked: free = %d, want 2", cluster.FreeSlots())
+	}
+}
+
+func TestSlotsReleasedAfterJob(t *testing.T) {
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster).SetParallelism(4)
+	sink := NewRecordCollector()
+	env.AddSource("src", SliceSource(records(10))).AddSink("s", CollectSink(sink))
+	if _, err := env.Execute("job"); err != nil {
+		t.Fatal(err)
+	}
+	if cluster.FreeSlots() != cluster.TotalSlots() {
+		t.Errorf("free slots after job = %d, want %d", cluster.FreeSlots(), cluster.TotalSlots())
+	}
+}
+
+func TestOperatorFailureFailsJob(t *testing.T) {
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster)
+	sink := NewRecordCollector()
+	boom := errors.New("boom")
+	env.AddSource("src", SliceSource(records(100))).
+		FlatMap("explode", func(rec []byte, out Collector) error {
+			if strings.HasSuffix(string(rec), "42") {
+				return boom
+			}
+			return out.Collect(rec)
+		}).
+		AddSink("sink", CollectSink(sink))
+	_, err := env.Execute("failing")
+	if !errors.Is(err, boom) {
+		t.Errorf("Execute = %v, want wrapped boom", err)
+	}
+	if cluster.FreeSlots() != cluster.TotalSlots() {
+		t.Errorf("slots leaked after failure: %d != %d", cluster.FreeSlots(), cluster.TotalSlots())
+	}
+}
+
+func TestRestartStrategyRecovers(t *testing.T) {
+	cluster := newTestCluster(t, ClusterConfig{RestartAttempts: 2})
+	env := NewEnvironment(cluster)
+	sink := NewRecordCollector()
+	attempts := 0
+	env.AddSource("src", func(ctx OperatorContext) (Source, error) {
+		attempts++
+		if attempts <= 2 {
+			return nil, errors.New("transient open failure")
+		}
+		return sliceSource(records(5)), nil
+	}).AddSink("sink", CollectSink(sink))
+	res, err := env.Execute("flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3", res.Attempts)
+	}
+	if sink.Len() != 5 {
+		t.Errorf("sink received %d records, want 5", sink.Len())
+	}
+}
+
+func TestRestartBudgetExhausted(t *testing.T) {
+	cluster := newTestCluster(t, ClusterConfig{RestartAttempts: 1})
+	env := NewEnvironment(cluster)
+	sink := NewRecordCollector()
+	env.AddSource("src", func(ctx OperatorContext) (Source, error) {
+		return nil, errors.New("permanent failure")
+	}).AddSink("sink", CollectSink(sink))
+	if _, err := env.Execute("doomed"); err == nil {
+		t.Error("doomed job succeeded")
+	}
+}
+
+func TestSourceParallelismFanOut(t *testing.T) {
+	// With parallelism 2, subtask 0 emits (SliceSource) and both map
+	// subtasks exist; records stay on subtask 0 under forward partitioning.
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster).SetParallelism(2)
+	sink := NewRecordCollector()
+	env.AddSource("src", SliceSource(records(20))).
+		Map("id", func(r []byte) []byte { return r }).
+		AddSink("sink", CollectSink(sink))
+	res, err := env.Execute("par2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 20 {
+		t.Errorf("sink received %d records, want 20", sink.Len())
+	}
+	if res.Tasks != 1 {
+		t.Errorf("Tasks = %d, want 1 (equal parallelism chains)", res.Tasks)
+	}
+}
+
+func TestExecutionPlanShapes(t *testing.T) {
+	cluster := newTestCluster(t, ClusterConfig{})
+
+	// Native grep shape (paper Figure 12): 3 nodes.
+	env := NewEnvironment(cluster)
+	sink := NewRecordCollector()
+	env.AddSource("Custom Source", SliceSource(records(1))).
+		Filter("Filter", func(r []byte) bool { return true }).
+		AddSink("Unnamed", CollectSink(sink))
+	plan, err := env.ExecutionPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Len() != 3 {
+		t.Errorf("native plan has %d nodes, want 3", plan.Len())
+	}
+	text := plan.String()
+	for _, want := range []string{"Source: Custom Source", "Filter", "Sink: Unnamed"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("plan missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExecutionPlanInvalidEnv(t *testing.T) {
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster)
+	env.SetParallelism(-1)
+	if _, err := env.ExecutionPlan(); err == nil {
+		t.Error("plan of invalid env succeeded")
+	}
+}
+
+func TestMultipleConsumersFanOut(t *testing.T) {
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster)
+	sinkA := NewRecordCollector()
+	sinkB := NewRecordCollector()
+	src := env.AddSource("src", SliceSource(records(10)))
+	src.Map("a", func(r []byte) []byte { return r }).AddSink("sa", CollectSink(sinkA))
+	src.Map("b", func(r []byte) []byte { return r }).AddSink("sb", CollectSink(sinkB))
+	if _, err := env.Execute("fanout"); err != nil {
+		t.Fatal(err)
+	}
+	if sinkA.Len() != 10 || sinkB.Len() != 10 {
+		t.Errorf("fan-out sinks = %d, %d; want 10, 10", sinkA.Len(), sinkB.Len())
+	}
+}

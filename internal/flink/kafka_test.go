@@ -1,0 +1,206 @@
+package flink
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"beambench/internal/broker"
+)
+
+func loadTopic(t *testing.T, b *broker.Broker, topic string, values [][]byte) {
+	t.Helper()
+	if err := b.CreateTopic(topic, broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.NewProducer(broker.ProducerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range values {
+		if err := p.Send(topic, nil, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func topicValues(t *testing.T, b *broker.Broker, topic string) [][]byte {
+	t.Helper()
+	c, err := b.NewConsumer(broker.ConsumerConfig{MaxPollRecords: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignAll(topic); err != nil {
+		t.Fatal(err)
+	}
+	var out [][]byte
+	for {
+		recs, err := c.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			return out
+		}
+		for _, r := range recs {
+			out = append(out, r.Value)
+		}
+	}
+}
+
+func TestKafkaSourceToKafkaSinkEndToEnd(t *testing.T) {
+	b := broker.New()
+	input := records(250)
+	loadTopic(t, b, "input", input)
+	if err := b.CreateTopic("output", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster)
+	env.AddSource("kafka-in", KafkaSource(b, "input")).
+		Filter("grep", func(rec []byte) bool { return bytes.Contains(rec, []byte("7")) }).
+		AddSink("kafka-out", KafkaSink(b, "output", broker.ProducerConfig{}))
+	if _, err := env.Execute("grep"); err != nil {
+		t.Fatal(err)
+	}
+
+	got := topicValues(t, b, "output")
+	var want int
+	for _, v := range input {
+		if bytes.Contains(v, []byte("7")) {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("output topic has %d records, want %d", len(got), want)
+	}
+	for _, v := range got {
+		if !bytes.Contains(v, []byte("7")) {
+			t.Errorf("unexpected output record %q", v)
+		}
+	}
+}
+
+func TestKafkaSourcePreservesOrderSinglePartition(t *testing.T) {
+	b := broker.New()
+	input := records(100)
+	loadTopic(t, b, "in", input)
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster)
+	env.AddSource("src", KafkaSource(b, "in")).
+		AddSink("snk", KafkaSink(b, "out", broker.ProducerConfig{}))
+	if _, err := env.Execute("identity"); err != nil {
+		t.Fatal(err)
+	}
+	got := topicValues(t, b, "out")
+	if len(got) != len(input) {
+		t.Fatalf("output has %d records, want %d", len(got), len(input))
+	}
+	for i := range input {
+		if !bytes.Equal(got[i], input[i]) {
+			t.Fatalf("record %d = %q, want %q (order broken)", i, got[i], input[i])
+		}
+	}
+}
+
+func TestKafkaSourceParallelismTwoSinglePartition(t *testing.T) {
+	// The paper's setup: one input partition, parallelism 2. Only one
+	// source subtask receives data; the job still completes correctly.
+	b := broker.New()
+	input := records(80)
+	loadTopic(t, b, "in", input)
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster).SetParallelism(2)
+	env.AddSource("src", KafkaSource(b, "in")).
+		Map("id", func(r []byte) []byte { return r }).
+		AddSink("snk", KafkaSink(b, "out", broker.ProducerConfig{}))
+	if _, err := env.Execute("identity-p2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := topicValues(t, b, "out"); len(got) != 80 {
+		t.Errorf("output has %d records, want 80", len(got))
+	}
+}
+
+func TestKafkaSourceMultiPartitionDistribution(t *testing.T) {
+	b := broker.New()
+	if err := b.CreateTopic("in", broker.TopicConfig{Partitions: 4}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.NewProducer(broker.ProducerConfig{Partitioner: func(key []byte, n int) int {
+		return int(key[0]) % n
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 120
+	for i := range n {
+		if err := p.Send("in", []byte{byte(i)}, []byte(fmt.Sprintf("v%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sink := NewRecordCollector()
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster).SetParallelism(2)
+	env.AddSource("src", KafkaSource(b, "in")).AddSink("snk", CollectSink(sink))
+	if _, err := env.Execute("multi"); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != n {
+		t.Errorf("collected %d records, want %d", sink.Len(), n)
+	}
+}
+
+func TestKafkaSourceUnknownTopic(t *testing.T) {
+	b := broker.New()
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster)
+	sink := NewRecordCollector()
+	env.AddSource("src", KafkaSource(b, "missing")).AddSink("snk", CollectSink(sink))
+	if _, err := env.Execute("missing-topic"); err == nil {
+		t.Error("job with missing input topic succeeded")
+	}
+}
+
+func TestKafkaSinkUnknownTopic(t *testing.T) {
+	b := broker.New()
+	loadTopic(t, b, "in", records(5))
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster)
+	env.AddSource("src", KafkaSource(b, "in")).
+		AddSink("snk", KafkaSink(b, "missing", broker.ProducerConfig{}))
+	if _, err := env.Execute("missing-output"); err == nil {
+		t.Error("job with missing output topic succeeded")
+	}
+}
+
+func TestKafkaEmptyInputTopic(t *testing.T) {
+	b := broker.New()
+	loadTopic(t, b, "in", nil)
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster)
+	env.AddSource("src", KafkaSource(b, "in")).
+		AddSink("snk", KafkaSink(b, "out", broker.ProducerConfig{}))
+	if _, err := env.Execute("empty"); err != nil {
+		t.Fatal(err)
+	}
+	if got := topicValues(t, b, "out"); len(got) != 0 {
+		t.Errorf("output has %d records, want 0", len(got))
+	}
+}

@@ -1,0 +1,37 @@
+package flink
+
+import "sync/atomic"
+
+// OperatorMetrics counts records flowing through one logical operator,
+// aggregated across its subtasks.
+type OperatorMetrics struct {
+	// Name is the operator's display name.
+	Name string
+
+	in  atomic.Int64
+	out atomic.Int64
+}
+
+func (m *OperatorMetrics) incIn()  { m.in.Add(1) }
+func (m *OperatorMetrics) incOut() { m.out.Add(1) }
+
+func (m *OperatorMetrics) reset() {
+	m.in.Store(0)
+	m.out.Store(0)
+}
+
+// snapshot freezes the counters into a plain value.
+func (m *OperatorMetrics) snapshot() OperatorStats {
+	return OperatorStats{
+		Name:       m.Name,
+		RecordsIn:  m.in.Load(),
+		RecordsOut: m.out.Load(),
+	}
+}
+
+// OperatorStats is an immutable snapshot of one operator's counters.
+type OperatorStats struct {
+	Name       string
+	RecordsIn  int64
+	RecordsOut int64
+}

@@ -1,0 +1,508 @@
+package flink
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"beambench/internal/simcost"
+)
+
+// errStopped is the internal signal that the job is shutting down; it is
+// never surfaced to callers.
+var errStopped = errors.New("flink: job stopped")
+
+// _channelBuffer is the capacity of the in-flight record buffer of one
+// network channel between subtasks, standing in for Flink's network
+// buffer pool.
+const _channelBuffer = 128
+
+// JobResult summarizes a finished job.
+type JobResult struct {
+	// JobName is the submitted name.
+	JobName string
+	// Duration is the wall-clock execution time including deployment.
+	Duration time.Duration
+	// Attempts counts executions: 1 plus the restarts consumed.
+	Attempts int
+	// Operators holds per-operator record counters from the last attempt.
+	Operators []OperatorStats
+	// Tasks is the number of physical tasks (chains) the job ran as.
+	Tasks int
+}
+
+// OperatorStat returns the stats of the named operator.
+func (r *JobResult) OperatorStat(name string) (OperatorStats, bool) {
+	for _, s := range r.Operators {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return OperatorStats{}, false
+}
+
+// chain is a group of operators fused into one physical task.
+type chain struct {
+	ops         []*operator
+	parallelism int
+}
+
+func (c *chain) head() *operator { return c.ops[0] }
+func (c *chain) tail() *operator { return c.ops[len(c.ops)-1] }
+
+// buildChains groups the logical operators into physical tasks using
+// Flink's chaining rule: forward-connected operators of equal
+// parallelism fuse, unless chaining is disabled for the job or operator.
+func (env *Environment) buildChains() []*chain {
+	chainOf := make(map[*operator]*chain, len(env.ops))
+	var chains []*chain
+	for _, op := range env.ops {
+		if op.input != nil && env.canChain(op.input, op) {
+			c := chainOf[op.input]
+			if c != nil && c.tail() == op.input {
+				c.ops = append(c.ops, op)
+				chainOf[op] = c
+				continue
+			}
+		}
+		c := &chain{ops: []*operator{op}, parallelism: op.parallelism}
+		chains = append(chains, c)
+		chainOf[op] = c
+	}
+	return chains
+}
+
+func (env *Environment) canChain(up, down *operator) bool {
+	return env.chainingEnabled &&
+		down.chainable &&
+		down.inPart == partitionForward &&
+		up.parallelism == down.parallelism &&
+		len(up.outputs) == 1
+}
+
+// runtimeChain wires one chain into the running job.
+type runtimeChain struct {
+	c      *chain
+	inputs []chan []byte // one per subtask; nil for source chains
+	edges  []*runtimeEdge
+	wg     sync.WaitGroup
+}
+
+// runtimeEdge carries records from this chain to one downstream chain.
+type runtimeEdge struct {
+	mode    partitioning
+	keyFn   KeySelector
+	targets []chan []byte
+}
+
+// jobRuntime tracks shutdown across subtasks.
+type jobRuntime struct {
+	stop chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+func (rt *jobRuntime) fail(err error) {
+	if err == nil || errors.Is(err, errStopped) {
+		return
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.err == nil {
+		rt.err = err
+		close(rt.stop)
+	}
+}
+
+func (rt *jobRuntime) failure() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.err
+}
+
+// Execute deploys and runs the job to completion (all sources exhausted
+// and sinks closed), applying the cluster's restart strategy on failure.
+func (env *Environment) Execute(jobName string) (*JobResult, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	if !env.cluster.Running() {
+		return nil, ErrClusterStopped
+	}
+	start := time.Now()
+	attempts := 0
+	for {
+		attempts++
+		err := env.runOnce()
+		if err == nil {
+			chains := env.buildChains()
+			return &JobResult{
+				JobName:   jobName,
+				Duration:  time.Since(start),
+				Attempts:  attempts,
+				Operators: env.operatorStats(),
+				Tasks:     len(chains),
+			}, nil
+		}
+		if attempts > env.cluster.cfg.RestartAttempts {
+			return nil, fmt.Errorf("flink: job %q failed after %d attempt(s): %w", jobName, attempts, err)
+		}
+	}
+}
+
+func (env *Environment) operatorStats() []OperatorStats {
+	out := make([]OperatorStats, 0, len(env.ops))
+	for _, op := range env.ops {
+		out = append(out, op.metrics.snapshot())
+	}
+	return out
+}
+
+func (env *Environment) runOnce() error {
+	for _, op := range env.ops {
+		op.metrics.reset()
+	}
+	chains := env.buildChains()
+
+	maxPar := 1
+	for _, op := range env.ops {
+		if op.parallelism > maxPar {
+			maxPar = op.parallelism
+		}
+	}
+	slots, err := env.cluster.jm.acquire(maxPar)
+	if err != nil {
+		return err
+	}
+	defer env.cluster.jm.release(slots)
+
+	// Deployment cost: client -> Job Manager -> Task Managers.
+	deployMeter := env.cluster.cfg.Sim.NewMeter()
+	deployMeter.Charge(env.cluster.cfg.Costs.EngineJobStart)
+	deployMeter.Flush()
+
+	// Wire runtime chains and channels.
+	rcs := make([]*runtimeChain, len(chains))
+	rcOf := make(map[*operator]*runtimeChain, len(env.ops))
+	for i, c := range chains {
+		rc := &runtimeChain{c: c}
+		if c.head().kind != opSource {
+			rc.inputs = make([]chan []byte, c.parallelism)
+			for j := range rc.inputs {
+				rc.inputs[j] = make(chan []byte, _channelBuffer)
+			}
+		}
+		rcs[i] = rc
+		for _, op := range c.ops {
+			rcOf[op] = rc
+		}
+	}
+	for _, rc := range rcs {
+		head := rc.c.head()
+		if head.input == nil {
+			continue
+		}
+		up := rcOf[head.input]
+		mode := head.inPart
+		if mode == partitionForward && up.c.parallelism != rc.c.parallelism {
+			mode = partitionRebalance
+		}
+		up.edges = append(up.edges, &runtimeEdge{mode: mode, keyFn: head.inKey, targets: rc.inputs})
+	}
+
+	rt := &jobRuntime{stop: make(chan struct{})}
+	var all sync.WaitGroup
+	for _, rc := range rcs {
+		rc.wg.Add(rc.c.parallelism)
+		for idx := range rc.c.parallelism {
+			all.Add(1)
+			go func(rc *runtimeChain, idx int) {
+				defer all.Done()
+				defer rc.wg.Done()
+				if err := env.runSubtask(rt, rc, idx); err != nil {
+					rt.fail(err)
+				}
+			}(rc, idx)
+		}
+		// Close downstream channels when every subtask of this chain is
+		// done, signalling end of stream.
+		all.Add(1)
+		go func(rc *runtimeChain) {
+			defer all.Done()
+			rc.wg.Wait()
+			for _, e := range rc.edges {
+				for _, ch := range e.targets {
+					close(ch)
+				}
+			}
+		}(rc)
+	}
+	all.Wait()
+	return rt.failure()
+}
+
+// subtaskContext implements OperatorContext for one subtask.
+type subtaskContext struct {
+	idx   int
+	par   int
+	meter *simcost.Meter
+}
+
+func (c *subtaskContext) SubtaskIndex() int      { return c.idx }
+func (c *subtaskContext) Parallelism() int       { return c.par }
+func (c *subtaskContext) Charge(d time.Duration) { c.meter.Charge(d) }
+func (c *subtaskContext) flush()                 { c.meter.Flush() }
+
+// runSubtask executes one parallel instance of a chain.
+func (env *Environment) runSubtask(rt *jobRuntime, rc *runtimeChain, idx int) error {
+	ctx := &subtaskContext{idx: idx, par: rc.c.parallelism, meter: env.cluster.cfg.Sim.NewMeter()}
+	defer ctx.flush()
+
+	// Tail collector: either the network edges or nothing (sink ends the
+	// chain and is handled inside the composed pipeline).
+	var tail Collector = discardCollector{}
+	if len(rc.edges) > 0 {
+		senders := make([]Collector, len(rc.edges))
+		for i, e := range rc.edges {
+			senders[i] = &edgeSender{
+				edge:    e,
+				idx:     idx,
+				stop:    rt.stop,
+				meter:   ctx.meter,
+				hopCost: env.cluster.cfg.Costs.NetworkHopPerRecord,
+			}
+		}
+		if len(senders) == 1 {
+			tail = senders[0]
+		} else {
+			tail = multiCollector(senders)
+		}
+	}
+
+	// Compose the chain back to front, collecting sinks to close and
+	// stateful flushes to run at end of input.
+	var (
+		sinks   []Sink
+		flushes []flushEntry
+	)
+	closeSinks := func() error {
+		var firstErr error
+		for _, s := range sinks {
+			if err := s.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+
+	current := tail
+	ops := rc.c.ops
+	for i := len(ops) - 1; i >= 1; i-- {
+		c, s, fl, err := env.buildStage(ops[i], ctx, current)
+		if err != nil {
+			_ = closeSinks()
+			return err
+		}
+		if s != nil {
+			sinks = append(sinks, s)
+		}
+		if fl.flush != nil {
+			flushes = append(flushes, fl)
+		}
+		current = c
+	}
+
+	head := ops[0]
+	var runErr error
+	switch head.kind {
+	case opSource:
+		runErr = env.runSource(head, ctx, current)
+	case opTransform, opSink:
+		c, s, fl, err := env.buildStage(head, ctx, current)
+		if err != nil {
+			_ = closeSinks()
+			return err
+		}
+		if s != nil {
+			sinks = append(sinks, s)
+		}
+		if fl.flush != nil {
+			flushes = append(flushes, fl)
+		}
+		runErr = consumeInput(rc.inputs[idx], c)
+	default:
+		runErr = fmt.Errorf("flink: unknown operator kind %d", head.kind)
+	}
+
+	// On clean end of input, flush stateful operators upstream-first so
+	// their emissions flow through the downstream stages of the chain.
+	if runErr == nil {
+		for i := len(flushes) - 1; i >= 0; i-- {
+			if err := flushes[i].flush(flushes[i].out); err != nil {
+				runErr = err
+				break
+			}
+		}
+	}
+
+	closeErr := closeSinks()
+	if runErr != nil && !errors.Is(runErr, errStopped) {
+		return runErr
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	return nil
+}
+
+// flushEntry pairs a stateful operator's flush with the collector its
+// final emissions feed.
+type flushEntry struct {
+	flush FlushFunc
+	out   Collector
+}
+
+func consumeInput(in <-chan []byte, c Collector) error {
+	for rec := range in {
+		if err := c.Collect(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildStage instantiates one operator of the chain for this subtask and
+// returns the collector feeding it, plus the sink to close and the
+// flush to run at end of input, when present.
+func (env *Environment) buildStage(op *operator, ctx *subtaskContext, next Collector) (Collector, Sink, flushEntry, error) {
+	var noFlush flushEntry
+	switch op.kind {
+	case opTransform:
+		counting := &countingCollector{next: next, metrics: op.metrics}
+		if op.flushFactory != nil {
+			fn, flush, err := op.flushFactory(ctx)
+			if err != nil {
+				return nil, nil, noFlush, fmt.Errorf("flink: open operator %q: %w", op.name, err)
+			}
+			return &processCollector{fn: fn, out: counting, metrics: op.metrics},
+				nil, flushEntry{flush: flush, out: counting}, nil
+		}
+		fn, err := op.processFactory(ctx)
+		if err != nil {
+			return nil, nil, noFlush, fmt.Errorf("flink: open operator %q: %w", op.name, err)
+		}
+		return &processCollector{fn: fn, out: counting, metrics: op.metrics}, nil, noFlush, nil
+	case opSink:
+		sink, err := op.sinkFactory(ctx)
+		if err != nil {
+			return nil, nil, noFlush, fmt.Errorf("flink: open sink %q: %w", op.name, err)
+		}
+		return &sinkCollector{sink: sink, metrics: op.metrics}, sink, noFlush, nil
+	default:
+		return nil, nil, noFlush, fmt.Errorf("flink: operator %q cannot appear mid-chain", op.name)
+	}
+}
+
+func (env *Environment) runSource(op *operator, ctx *subtaskContext, next Collector) error {
+	src, err := op.sourceFactory(ctx)
+	if err != nil {
+		return fmt.Errorf("flink: open source %q: %w", op.name, err)
+	}
+	return src.Run(&countingCollector{next: next, metrics: op.metrics})
+}
+
+// discardCollector terminates chains that end in a sink (the sink
+// collector never forwards) and tolerates dead-end transforms in tests.
+type discardCollector struct{}
+
+func (discardCollector) Collect([]byte) error { return nil }
+
+// countingCollector counts emissions of an operator before forwarding.
+type countingCollector struct {
+	next    Collector
+	metrics *OperatorMetrics
+}
+
+func (c *countingCollector) Collect(rec []byte) error {
+	c.metrics.incOut()
+	return c.next.Collect(rec)
+}
+
+// processCollector applies a transform to each incoming record.
+type processCollector struct {
+	fn      ProcessFunc
+	out     Collector
+	metrics *OperatorMetrics
+}
+
+func (c *processCollector) Collect(rec []byte) error {
+	c.metrics.incIn()
+	return c.fn(rec, c.out)
+}
+
+// sinkCollector delivers records to a sink instance.
+type sinkCollector struct {
+	sink    Sink
+	metrics *OperatorMetrics
+}
+
+func (c *sinkCollector) Collect(rec []byte) error {
+	c.metrics.incIn()
+	return c.sink.Invoke(rec)
+}
+
+// multiCollector fans a record out to several collectors.
+type multiCollector []Collector
+
+func (m multiCollector) Collect(rec []byte) error {
+	for _, c := range m {
+		if err := c.Collect(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// edgeSender ships records across a task boundary: it serializes (copies)
+// the record, charges the per-record network hop, and delivers to the
+// downstream subtask chosen by the edge's partitioning.
+type edgeSender struct {
+	edge    *runtimeEdge
+	idx     int
+	rr      int
+	stop    <-chan struct{}
+	meter   *simcost.Meter
+	hopCost time.Duration
+}
+
+func (e *edgeSender) Collect(rec []byte) error {
+	wire := make([]byte, len(rec))
+	copy(wire, rec)
+	e.meter.Charge(e.hopCost)
+
+	var target chan []byte
+	switch e.edge.mode {
+	case partitionForward:
+		target = e.edge.targets[e.idx%len(e.edge.targets)]
+	case partitionHash:
+		key, err := e.edge.keyFn(rec)
+		if err != nil {
+			return fmt.Errorf("flink: key selector: %w", err)
+		}
+		h := fnv.New32a()
+		_, _ = h.Write(key)
+		target = e.edge.targets[int(h.Sum32())%len(e.edge.targets)]
+	default:
+		target = e.edge.targets[e.rr%len(e.edge.targets)]
+		e.rr++
+	}
+	select {
+	case target <- wire:
+		return nil
+	case <-e.stop:
+		return errStopped
+	}
+}

@@ -1,0 +1,485 @@
+// Package harness implements the benchmark architecture and process of
+// Hesse et al. (ICDCS 2019), Figure 5 and Section III-A:
+//
+//  1. Data ingestion — a data sender loads the AOL-style workload into
+//     the input topic (one partition, replication factor 1, so record
+//     order is preserved).
+//  2. Program execution — a fresh engine cluster per run executes the
+//     query, reading from and writing to the broker; every query runs
+//     for each system, API kind (native vs. Beam) and parallelism.
+//  3. Result calculation — the execution time is the difference between
+//     the LogAppendTime timestamps of the last and first record in the
+//     output topic, computed from broker state only.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"beambench/internal/aol"
+	"beambench/internal/apex"
+	"beambench/internal/beam/runner/apexrunner"
+	"beambench/internal/beam/runner/flinkrunner"
+	"beambench/internal/beam/runner/sparkrunner"
+	"beambench/internal/broker"
+	"beambench/internal/flink"
+	"beambench/internal/queries"
+	"beambench/internal/simcost"
+	"beambench/internal/spark"
+	"beambench/internal/yarn"
+)
+
+// System enumerates the benchmarked DSPSs.
+type System int
+
+const (
+	// SystemFlink is the Apache-Flink-style engine.
+	SystemFlink System = iota + 1
+	// SystemSpark is the Apache-Spark-Streaming-style engine.
+	SystemSpark
+	// SystemApex is the Apache-Apex-style engine.
+	SystemApex
+)
+
+// Systems lists all systems in the paper's row order (Apex, Flink,
+// Spark — alphabetical, as in Figures 6-11).
+func Systems() []System {
+	return []System{SystemApex, SystemFlink, SystemSpark}
+}
+
+// String returns the system's display name.
+func (s System) String() string {
+	switch s {
+	case SystemFlink:
+		return "Flink"
+	case SystemSpark:
+		return "Spark"
+	case SystemApex:
+		return "Apex"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// API selects native engine APIs or the Beam abstraction layer.
+type API int
+
+const (
+	// APINative uses the engine's own APIs.
+	APINative API = iota + 1
+	// APIBeam uses the Beam pipeline through the engine's runner.
+	APIBeam
+)
+
+// APIs lists both API kinds, Beam first (the paper's row order).
+func APIs() []API {
+	return []API{APIBeam, APINative}
+}
+
+// String names the kind as in the paper's row labels.
+func (a API) String() string {
+	switch a {
+	case APINative:
+		return "native"
+	case APIBeam:
+		return "Beam"
+	default:
+		return fmt.Sprintf("API(%d)", int(a))
+	}
+}
+
+// Setup identifies one benchmark configuration: a cell of the paper's
+// twelve-per-query execution matrix.
+type Setup struct {
+	System      System
+	API         API
+	Query       queries.Query
+	Parallelism int
+}
+
+// Label renders the paper's row label, e.g. "Apex Beam P1" or "Flink P2".
+func (s Setup) Label() string {
+	if s.API == APIBeam {
+		return fmt.Sprintf("%s Beam P%d", s.System, s.Parallelism)
+	}
+	return fmt.Sprintf("%s P%d", s.System, s.Parallelism)
+}
+
+// SDKLabel renders the paper's Figure 10 label, e.g. "Apex Beam Grep".
+func (s Setup) SDKLabel() string {
+	if s.API == APIBeam {
+		return fmt.Sprintf("%s Beam %s", s.System, s.Query)
+	}
+	return fmt.Sprintf("%s %s", s.System, s.Query)
+}
+
+// RunResult is the outcome of one benchmark run.
+type RunResult struct {
+	Setup Setup
+	// Run is the zero-based run index within the cell.
+	Run int
+	// ExecutionTime is the LogAppendTime span of the output topic.
+	ExecutionTime time.Duration
+	// OutputRecords is the output topic's record count.
+	OutputRecords int64
+	// WallTime is the end-to-end run duration (all three phases).
+	WallTime time.Duration
+}
+
+// Config controls the benchmark.
+type Config struct {
+	// Records is the workload size; the paper uses 1,000,001
+	// (aol.PaperRecordCount). Defaults to 50,000 — the slowdown factors
+	// are dominated by per-record costs and therefore scale-invariant.
+	Records int
+	// Runs is the number of repetitions per setup; the paper uses 10.
+	// Defaults to 5.
+	Runs int
+	// Parallelisms lists the parallelism factors; the paper uses {1,2}.
+	Parallelisms []int
+	// DatasetSeed makes the synthetic workload deterministic.
+	DatasetSeed uint64
+	// SampleSeed drives the sample query's selection.
+	SampleSeed uint64
+	// Costs is the latency calibration; nil selects
+	// simcost.DefaultCosts.
+	Costs *simcost.Costs
+	// Noise is the run-to-run noise process; nil selects
+	// simcost.DefaultNoise.
+	Noise *simcost.NoiseParams
+	// DisableNoise turns run noise off for deterministic tests.
+	DisableNoise bool
+	// SenderAcks is the data sender's producer acknowledgment level
+	// (a configuration parameter of the paper's sender).
+	SenderAcks broker.Acks
+	// SenderBatch is the sender's producer batch size.
+	SenderBatch int
+	// Progress, if set, receives human-readable progress lines.
+	Progress func(msg string)
+}
+
+func (c *Config) validate() error {
+	if c.Records == 0 {
+		c.Records = 50_000
+	}
+	if c.Records < 0 {
+		return fmt.Errorf("harness: negative record count %d", c.Records)
+	}
+	if c.Runs == 0 {
+		c.Runs = 5
+	}
+	if c.Runs < 0 {
+		return fmt.Errorf("harness: negative run count %d", c.Runs)
+	}
+	if len(c.Parallelisms) == 0 {
+		c.Parallelisms = []int{1, 2}
+	}
+	for _, p := range c.Parallelisms {
+		if p <= 0 {
+			return fmt.Errorf("harness: invalid parallelism %d", p)
+		}
+	}
+	if c.DatasetSeed == 0 {
+		c.DatasetSeed = 42
+	}
+	if c.SampleSeed == 0 {
+		c.SampleSeed = 7
+	}
+	if c.SenderAcks == 0 {
+		c.SenderAcks = broker.AcksLeader
+	}
+	if c.SenderBatch == 0 {
+		c.SenderBatch = 500
+	}
+	if c.SenderBatch < 0 {
+		return fmt.Errorf("harness: negative sender batch %d", c.SenderBatch)
+	}
+	return nil
+}
+
+// Runner executes benchmark runs over a pre-generated workload.
+type Runner struct {
+	cfg     Config
+	costs   simcost.Costs
+	noise   simcost.NoiseParams
+	dataset [][]byte
+}
+
+// New validates the configuration and materializes the workload.
+func New(cfg Config) (*Runner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	costs := simcost.DefaultCosts()
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	}
+	noise := simcost.DefaultNoise()
+	if cfg.Noise != nil {
+		noise = *cfg.Noise
+	}
+	gen, err := aol.NewGenerator(aol.Config{
+		Records:  cfg.Records,
+		Seed:     cfg.DatasetSeed,
+		GrepHits: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: cfg, costs: costs, noise: noise, dataset: gen.All()}, nil
+}
+
+// Config returns the validated configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// DatasetSize reports the number of workload records.
+func (r *Runner) DatasetSize() int { return len(r.dataset) }
+
+// GrepHits reports how many workload records match the grep query.
+func (r *Runner) GrepHits() int {
+	n := 0
+	for _, rec := range r.dataset {
+		if queries.GrepMatch(rec) {
+			n++
+		}
+	}
+	return n
+}
+
+const (
+	inputTopic  = "input"
+	outputTopic = "output"
+)
+
+// RunSingle executes one benchmark run: ingestion, execution on a fresh
+// cluster, and result calculation.
+func (r *Runner) RunSingle(setup Setup, runIdx int) (RunResult, error) {
+	if !setup.Query.Valid() {
+		return RunResult{}, fmt.Errorf("harness: invalid query %d", setup.Query)
+	}
+	if setup.Parallelism <= 0 {
+		return RunResult{}, fmt.Errorf("harness: invalid parallelism %d", setup.Parallelism)
+	}
+	wallStart := time.Now()
+
+	factor := 1.0
+	if !r.cfg.DisableNoise {
+		seed := simcost.RunSeed(
+			setup.System.String(), setup.API.String(), setup.Query.String(),
+			fmt.Sprint(setup.Parallelism), fmt.Sprint(runIdx))
+		factor = r.noise.Factor(seed)
+	}
+	sim := simcost.New(factor)
+	b := broker.New(broker.WithCosts(r.costs, sim))
+
+	// Both benchmark topics: one partition, replication factor 1,
+	// LogAppendTime — the paper's configuration (Section III-A).
+	topicCfg := broker.TopicConfig{Partitions: 1, ReplicationFactor: 1, Timestamps: broker.LogAppendTime}
+	if err := b.CreateTopic(inputTopic, topicCfg); err != nil {
+		return RunResult{}, err
+	}
+	if err := b.CreateTopic(outputTopic, topicCfg); err != nil {
+		return RunResult{}, err
+	}
+
+	// Phase 1: data ingestion.
+	if err := r.ingest(b); err != nil {
+		return RunResult{}, fmt.Errorf("harness: ingest: %w", err)
+	}
+
+	// Phase 2: program execution on a freshly started cluster.
+	w := queries.Workload{
+		Broker:      b,
+		InputTopic:  inputTopic,
+		OutputTopic: outputTopic,
+		Seed:        r.cfg.SampleSeed,
+		Producer:    broker.ProducerConfig{},
+	}
+	if err := r.execute(setup, w, sim); err != nil {
+		return RunResult{}, fmt.Errorf("harness: execute %s run %d: %w", setup.Label(), runIdx, err)
+	}
+
+	// Phase 3: result calculation from broker timestamps alone.
+	first, last, n, err := b.TimeSpan(outputTopic)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("harness: result calculation: %w", err)
+	}
+	var execTime time.Duration
+	if n > 0 {
+		execTime = last.Sub(first)
+	}
+	return RunResult{
+		Setup:         setup,
+		Run:           runIdx,
+		ExecutionTime: execTime,
+		OutputRecords: n,
+		WallTime:      time.Since(wallStart),
+	}, nil
+}
+
+// ingest is the data sender: a configurable producer streaming the
+// workload into the input topic.
+func (r *Runner) ingest(b *broker.Broker) error {
+	sender, err := b.NewProducer(broker.ProducerConfig{
+		Acks:      r.cfg.SenderAcks,
+		BatchSize: r.cfg.SenderBatch,
+	})
+	if err != nil {
+		return err
+	}
+	for _, rec := range r.dataset {
+		if err := sender.Send(inputTopic, nil, rec); err != nil {
+			return err
+		}
+	}
+	return sender.Close()
+}
+
+func (r *Runner) execute(setup Setup, w queries.Workload, sim *simcost.Simulator) error {
+	switch setup.System {
+	case SystemFlink:
+		return r.executeFlink(setup, w, sim)
+	case SystemSpark:
+		return r.executeSpark(setup, w, sim)
+	case SystemApex:
+		return r.executeApex(setup, w, sim)
+	default:
+		return fmt.Errorf("harness: unknown system %d", setup.System)
+	}
+}
+
+func (r *Runner) executeFlink(setup Setup, w queries.Workload, sim *simcost.Simulator) error {
+	cluster, err := flink.NewCluster(flink.ClusterConfig{Costs: r.costs, Sim: sim})
+	if err != nil {
+		return err
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	if setup.API == APINative {
+		env := flink.NewEnvironment(cluster).SetParallelism(setup.Parallelism)
+		if err := queries.NativeFlink(env, w, setup.Query); err != nil {
+			return err
+		}
+		_, err := env.Execute(setup.Query.String())
+		return err
+	}
+	p, err := queries.BeamPipeline(w, setup.Query)
+	if err != nil {
+		return err
+	}
+	_, err = flinkrunner.Run(p, flinkrunner.Config{Cluster: cluster, Parallelism: setup.Parallelism})
+	return err
+}
+
+func (r *Runner) executeSpark(setup Setup, w queries.Workload, sim *simcost.Simulator) error {
+	cluster, err := spark.NewCluster(spark.ClusterConfig{Costs: r.costs, Sim: sim})
+	if err != nil {
+		return err
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	if setup.API == APINative {
+		ssc, err := spark.NewStreamingContext(cluster, spark.Config{DefaultParallelism: setup.Parallelism})
+		if err != nil {
+			return err
+		}
+		if err := queries.NativeSpark(ssc, w, setup.Query); err != nil {
+			return err
+		}
+		_, err = ssc.RunBounded()
+		return err
+	}
+	p, err := queries.BeamPipeline(w, setup.Query)
+	if err != nil {
+		return err
+	}
+	_, err = sparkrunner.Run(p, sparkrunner.Config{Cluster: cluster, Parallelism: setup.Parallelism})
+	return err
+}
+
+func (r *Runner) executeApex(setup Setup, w queries.Workload, sim *simcost.Simulator) error {
+	cluster, err := yarn.NewCluster(yarn.ClusterConfig{})
+	if err != nil {
+		return err
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	if setup.API == APINative {
+		app, err := queries.NativeApex(w, setup.Query)
+		if err != nil {
+			return err
+		}
+		stram, err := apex.Launch(cluster, app, apex.LaunchConfig{
+			Parallelism: setup.Parallelism,
+			Costs:       r.costs,
+			Sim:         sim,
+		})
+		if err != nil {
+			return err
+		}
+		_, err = stram.Await()
+		return err
+	}
+	p, err := queries.BeamPipeline(w, setup.Query)
+	if err != nil {
+		return err
+	}
+	_, err = apexrunner.Run(p, apexrunner.Config{
+		Cluster:     cluster,
+		Parallelism: setup.Parallelism,
+		Costs:       r.costs,
+		Sim:         sim,
+	})
+	return err
+}
+
+// RunCell runs all repetitions of one setup.
+func (r *Runner) RunCell(setup Setup) ([]RunResult, error) {
+	out := make([]RunResult, 0, r.cfg.Runs)
+	for run := range r.cfg.Runs {
+		res, err := r.RunSingle(setup, run)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	if r.cfg.Progress != nil {
+		r.cfg.Progress(fmt.Sprintf("%-22s %d runs done", setup.Label()+" "+setup.Query.String(), r.cfg.Runs))
+	}
+	return out, nil
+}
+
+// RunQuery runs the full twelve-setup matrix of one query (three
+// systems x two APIs x the configured parallelisms).
+func (r *Runner) RunQuery(q queries.Query) ([]RunResult, error) {
+	var out []RunResult
+	for _, sys := range Systems() {
+		for _, api := range APIs() {
+			for _, p := range r.cfg.Parallelisms {
+				cell, err := r.RunCell(Setup{System: sys, API: api, Query: q, Parallelism: p})
+				out = append(out, cell...)
+				if err != nil {
+					return out, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// RunAll runs every query's matrix and aggregates the report.
+func (r *Runner) RunAll() (*Report, error) {
+	var all []RunResult
+	for _, q := range queries.All() {
+		res, err := r.RunQuery(q)
+		all = append(all, res...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return BuildReport(r.cfg, all)
+}
+
+// ErrMissingCell is returned when a report lacks data for a setup.
+var ErrMissingCell = errors.New("harness: no results for setup")

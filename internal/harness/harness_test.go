@@ -1,0 +1,330 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"beambench/internal/aol"
+	"beambench/internal/queries"
+	"beambench/internal/simcost"
+)
+
+// fastConfig runs tiny, cost-free, noise-free benchmarks for testing.
+func fastConfig() Config {
+	zero := simcost.ZeroCosts()
+	return Config{
+		Records:      400,
+		Runs:         2,
+		Parallelisms: []int{1, 2},
+		Costs:        &zero,
+		DisableNoise: true,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{name: "negative records", cfg: Config{Records: -1}},
+		{name: "negative runs", cfg: Config{Runs: -1}},
+		{name: "zero parallelism", cfg: Config{Parallelisms: []int{0}}},
+		{name: "negative sender batch", cfg: Config{SenderBatch: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.cfg); err == nil {
+				t.Error("bad config accepted")
+			}
+		})
+	}
+	r, err := New(Config{Records: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Config().Runs != 5 || len(r.Config().Parallelisms) != 2 {
+		t.Errorf("defaults not applied: %+v", r.Config())
+	}
+}
+
+func TestDatasetProperties(t *testing.T) {
+	r, err := New(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DatasetSize() != 400 {
+		t.Errorf("DatasetSize = %d, want 400", r.DatasetSize())
+	}
+	if want := aol.ScaledGrepHits(400); r.GrepHits() != want {
+		t.Errorf("GrepHits = %d, want %d", r.GrepHits(), want)
+	}
+}
+
+func TestRunSingleValidation(t *testing.T) {
+	r, err := New(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunSingle(Setup{System: SystemFlink, API: APINative, Query: queries.Query(99), Parallelism: 1}, 0); err == nil {
+		t.Error("invalid query accepted")
+	}
+	if _, err := r.RunSingle(Setup{System: SystemFlink, API: APINative, Query: queries.Grep}, 0); err == nil {
+		t.Error("zero parallelism accepted")
+	}
+	if _, err := r.RunSingle(Setup{System: System(9), API: APINative, Query: queries.Grep, Parallelism: 1}, 0); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestRunSingleAllSetupsProduceCorrectOutputCounts(t *testing.T) {
+	r, err := New(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grepHits := int64(r.GrepHits())
+	for _, sys := range Systems() {
+		for _, api := range APIs() {
+			for _, q := range queries.All() {
+				setup := Setup{System: sys, API: api, Query: q, Parallelism: 1}
+				t.Run(setup.Label()+"/"+q.String(), func(t *testing.T) {
+					res, err := r.RunSingle(setup, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					switch q {
+					case queries.Identity, queries.Projection:
+						if res.OutputRecords != 400 {
+							t.Errorf("outputs = %d, want 400", res.OutputRecords)
+						}
+					case queries.Grep:
+						if res.OutputRecords != grepHits {
+							t.Errorf("outputs = %d, want %d", res.OutputRecords, grepHits)
+						}
+					case queries.Sample:
+						ratio := float64(res.OutputRecords) / 400
+						if ratio < 0.25 || ratio > 0.55 {
+							t.Errorf("sample ratio = %v, want ~0.4", ratio)
+						}
+					}
+					if res.ExecutionTime < 0 {
+						t.Errorf("negative execution time %v", res.ExecutionTime)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestRunCellAndReport(t *testing.T) {
+	// Uses the real cost model and a workload large enough that output
+	// records span several producer batches, so LogAppendTime spans are
+	// non-zero and the slowdown formula is well defined.
+	r, err := New(Config{Records: 2_000, Runs: 2, Parallelisms: []int{1, 2}, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []RunResult
+	for _, api := range APIs() {
+		for _, p := range []int{1, 2} {
+			setup := Setup{System: SystemFlink, API: api, Query: queries.Identity, Parallelism: p}
+			cell, err := r.RunCell(setup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cell) != 2 {
+				t.Fatalf("cell has %d runs, want 2", len(cell))
+			}
+			all = append(all, cell...)
+		}
+	}
+	rep, err := BuildReport(r.Config(), all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := rep.SlowdownFactor(SystemFlink, queries.Identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf <= 0 {
+		t.Errorf("slowdown factor = %v, want positive", sf)
+	}
+	if _, err := rep.SlowdownFactor(SystemApex, queries.Identity); err == nil {
+		t.Error("slowdown factor for missing cells succeeded")
+	}
+	dev, err := rep.RelStdDev(SystemFlink, APIBeam, queries.Identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev < 0 {
+		t.Errorf("negative relative stddev %v", dev)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	s := Setup{System: SystemApex, API: APIBeam, Query: queries.Identity, Parallelism: 1}
+	if s.Label() != "Apex Beam P1" {
+		t.Errorf("Label = %q", s.Label())
+	}
+	if s.SDKLabel() != "Apex Beam Identity" {
+		t.Errorf("SDKLabel = %q", s.SDKLabel())
+	}
+	n := Setup{System: SystemSpark, API: APINative, Query: queries.Grep, Parallelism: 2}
+	if n.Label() != "Spark P2" {
+		t.Errorf("Label = %q", n.Label())
+	}
+	if n.SDKLabel() != "Spark Grep" {
+		t.Errorf("SDKLabel = %q", n.SDKLabel())
+	}
+}
+
+func TestSystemAndAPIStrings(t *testing.T) {
+	if SystemFlink.String() != "Flink" || SystemSpark.String() != "Spark" || SystemApex.String() != "Apex" {
+		t.Error("system names wrong")
+	}
+	if APINative.String() != "native" || APIBeam.String() != "Beam" {
+		t.Error("api names wrong")
+	}
+	if System(9).String() == "" || API(9).String() == "" {
+		t.Error("unknown enums must still render")
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	t1 := FormatTableI()
+	for _, want := range []string{"Tuple-by-tuple", "Micro-batch", "Exactly-once"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+	t2 := FormatTableII(1_000_001, 3_003)
+	for _, want := range []string{"Identity", "Sample", "Projection", "Grep", "3003 records", "0.30%"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table II missing %q:\n%s", want, t2)
+		}
+	}
+}
+
+func TestReportFormattingSmallMatrix(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Runs = 1
+	cfg.Records = 200
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := r.RunQuery(queries.Grep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 systems x 2 APIs x 2 parallelisms x 1 run = 12 results.
+	if len(results) != 12 {
+		t.Fatalf("results = %d, want 12", len(results))
+	}
+	rep, err := BuildReport(r.Config(), results)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fig9, err := rep.FormatFigure(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Grep Query", "Apex Beam P1", "Flink P2", "Spark Beam P2"} {
+		if !strings.Contains(fig9, want) {
+			t.Errorf("figure 9 missing %q:\n%s", want, fig9)
+		}
+	}
+	if _, err := rep.FormatFigure(6); err == nil {
+		t.Error("figure 6 formatted without identity data")
+	}
+	if _, err := rep.FormatFigure(12); err == nil {
+		t.Error("figure 12 accepted")
+	}
+
+	fig11, err := rep.FormatFigure(11)
+	if err == nil {
+		// Only grep cells exist, so figure 11 must fail on identity.
+		t.Errorf("figure 11 should need all queries:\n%s", fig11)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"system": "Apex"`, `"query": "Grep"`, `"timesSec"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("JSON missing %q", want)
+		}
+	}
+}
+
+func TestTableIIIRequiresFlinkIdentity(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Runs = 2
+	cfg.Records = 200
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []RunResult
+	for _, p := range []int{1, 2} {
+		cell, err := r.RunCell(Setup{System: SystemFlink, API: APINative, Query: queries.Identity, Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, cell...)
+	}
+	rep, err := BuildReport(r.Config(), results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := rep.FormatTableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table III", "Parallelism = 1", "Parallelism = 2"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("Table III missing %q:\n%s", want, tbl)
+		}
+	}
+	if strings.Count(tbl, "\n") < 4 {
+		t.Errorf("Table III too short:\n%s", tbl)
+	}
+
+	empty, err := BuildReport(r.Config(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.FormatTableIII(); err == nil {
+		t.Error("Table III from empty report succeeded")
+	}
+}
+
+func TestNoiseDeterminism(t *testing.T) {
+	cfg := fastConfig()
+	cfg.DisableNoise = false
+	cfg.Records = 100
+	r1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := Setup{System: SystemSpark, API: APINative, Query: queries.Grep, Parallelism: 1}
+	a, err := r1.RunSingle(setup, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r2.RunSingle(setup, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With zero costs the noise multiplier has nothing to scale, so the
+	// output counts must agree; this asserts the pipeline is stable.
+	if a.OutputRecords != b.OutputRecords {
+		t.Errorf("runs differ: %d vs %d records", a.OutputRecords, b.OutputRecords)
+	}
+}

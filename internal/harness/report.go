@@ -1,0 +1,293 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"beambench/internal/queries"
+	"beambench/internal/stats"
+)
+
+// Cell aggregates all runs of one setup.
+type Cell struct {
+	Setup Setup
+	// TimesSec holds the execution times in seconds, in run order.
+	TimesSec []float64
+	// Summary holds the derived statistics.
+	Summary stats.Summary
+	// OutputRecords is the output count of the last run.
+	OutputRecords int64
+}
+
+// Report holds the aggregated benchmark results.
+type Report struct {
+	// Records is the workload size used.
+	Records int
+	// Runs is the repetitions per cell.
+	Runs int
+	// Parallelisms lists the benchmarked parallelism factors.
+	Parallelisms []int
+	// Cells holds one aggregate per setup, in insertion order.
+	Cells []*Cell
+
+	byKey map[Setup]*Cell
+}
+
+// BuildReport aggregates raw run results into a report.
+func BuildReport(cfg Config, results []RunResult) (*Report, error) {
+	rep := &Report{
+		Records:      cfg.Records,
+		Runs:         cfg.Runs,
+		Parallelisms: append([]int(nil), cfg.Parallelisms...),
+		byKey:        make(map[Setup]*Cell),
+	}
+	for _, res := range results {
+		cell, ok := rep.byKey[res.Setup]
+		if !ok {
+			cell = &Cell{Setup: res.Setup}
+			rep.byKey[res.Setup] = cell
+			rep.Cells = append(rep.Cells, cell)
+		}
+		cell.TimesSec = append(cell.TimesSec, res.ExecutionTime.Seconds())
+		cell.OutputRecords = res.OutputRecords
+	}
+	for _, cell := range rep.Cells {
+		summary, err := stats.Summarize(cell.TimesSec)
+		if err != nil {
+			return nil, fmt.Errorf("harness: summarize %s: %w", cell.Setup.Label(), err)
+		}
+		cell.Summary = summary
+	}
+	return rep, nil
+}
+
+// Cell returns the aggregate for a setup.
+func (rep *Report) Cell(setup Setup) (*Cell, bool) {
+	c, ok := rep.byKey[setup]
+	return c, ok
+}
+
+// Mean returns a cell's mean execution time in seconds.
+func (rep *Report) Mean(setup Setup) (float64, error) {
+	c, ok := rep.byKey[setup]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s %s", ErrMissingCell, setup.Label(), setup.Query)
+	}
+	return c.Summary.Mean, nil
+}
+
+// SlowdownFactor computes sf(system, query) exactly as in Section
+// III-C3: per parallelism, the ratio of the Beam mean to the native
+// mean, averaged over parallelisms.
+func (rep *Report) SlowdownFactor(sys System, q queries.Query) (float64, error) {
+	beamMeans := make([]float64, 0, len(rep.Parallelisms))
+	nativeMeans := make([]float64, 0, len(rep.Parallelisms))
+	for _, p := range rep.Parallelisms {
+		bm, err := rep.Mean(Setup{System: sys, API: APIBeam, Query: q, Parallelism: p})
+		if err != nil {
+			return 0, err
+		}
+		nm, err := rep.Mean(Setup{System: sys, API: APINative, Query: q, Parallelism: p})
+		if err != nil {
+			return 0, err
+		}
+		beamMeans = append(beamMeans, bm)
+		nativeMeans = append(nativeMeans, nm)
+	}
+	return stats.SlowdownFactor(beamMeans, nativeMeans)
+}
+
+// RelStdDev returns the relative standard deviation for a
+// system-query-SDK combination with the parallelism runs pooled, the
+// quantity of Figure 10 (the paper averages over parallelisms).
+func (rep *Report) RelStdDev(sys System, api API, q queries.Query) (float64, error) {
+	var devs []float64
+	for _, p := range rep.Parallelisms {
+		c, ok := rep.byKey[Setup{System: sys, API: api, Query: q, Parallelism: p}]
+		if !ok {
+			return 0, fmt.Errorf("%w: %s", ErrMissingCell, q)
+		}
+		devs = append(devs, c.Summary.RelStdDev)
+	}
+	return stats.Mean(devs), nil
+}
+
+// figureForQuery maps paper figure numbers 6-9 to queries.
+var figureForQuery = map[int]queries.Query{
+	6: queries.Identity,
+	7: queries.Sample,
+	8: queries.Projection,
+	9: queries.Grep,
+}
+
+// FormatFigure renders one of the paper's result figures (6-11) as text.
+func (rep *Report) FormatFigure(n int) (string, error) {
+	switch {
+	case n >= 6 && n <= 9:
+		return rep.formatExecutionTimes(n)
+	case n == 10:
+		return rep.formatRelStdDev()
+	case n == 11:
+		return rep.formatSlowdown()
+	default:
+		return "", fmt.Errorf("harness: no figure %d (supported: 6-11)", n)
+	}
+}
+
+func (rep *Report) formatExecutionTimes(n int) (string, error) {
+	q := figureForQuery[n]
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure %d: Average Execution Times - %s Query (records=%d, runs=%d)\n",
+		n, q, rep.Records, rep.Runs)
+	for _, sys := range Systems() {
+		for _, api := range APIs() {
+			for _, p := range rep.Parallelisms {
+				setup := Setup{System: sys, API: api, Query: q, Parallelism: p}
+				mean, err := rep.Mean(setup)
+				if err != nil {
+					return "", err
+				}
+				fmt.Fprintf(&sb, "  %-16s %10.3f s\n", setup.Label(), mean)
+			}
+		}
+	}
+	return sb.String(), nil
+}
+
+func (rep *Report) formatRelStdDev() (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 10: Relative Standard Deviation for System-Query-SDK Combinations (runs=%d)\n", rep.Runs)
+	for _, sys := range Systems() {
+		for _, api := range APIs() {
+			for _, q := range figure10QueryOrder() {
+				dev, err := rep.RelStdDev(sys, api, q)
+				if err != nil {
+					return "", err
+				}
+				label := Setup{System: sys, API: api, Query: q}.SDKLabel()
+				fmt.Fprintf(&sb, "  %-24s %8.4f\n", label, dev)
+			}
+		}
+	}
+	return sb.String(), nil
+}
+
+// figure10QueryOrder returns the paper's Figure 10 row order
+// (alphabetical query names within each system-SDK block).
+func figure10QueryOrder() []queries.Query {
+	return []queries.Query{queries.Grep, queries.Identity, queries.Projection, queries.Sample}
+}
+
+func (rep *Report) formatSlowdown() (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 11: Slowdown Factor sf(dsps, query) (records=%d, runs=%d)\n", rep.Records, rep.Runs)
+	for _, sys := range Systems() {
+		for _, q := range queries.All() {
+			sf, err := rep.SlowdownFactor(sys, q)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&sb, "  %-18s %8.2f\n", fmt.Sprintf("%s %s", sys, q), sf)
+		}
+	}
+	return sb.String(), nil
+}
+
+// FormatTableIII renders the per-run execution times of the identity
+// query on native Flink, the paper's Table III.
+func (rep *Report) FormatTableIII() (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table III: Execution Times for the Identity Query on Flink (native)\n")
+	fmt.Fprintf(&sb, "  %-14s", "Number of Run")
+	cells := make([]*Cell, 0, len(rep.Parallelisms))
+	for _, p := range rep.Parallelisms {
+		c, ok := rep.byKey[Setup{System: SystemFlink, API: APINative, Query: queries.Identity, Parallelism: p}]
+		if !ok {
+			return "", fmt.Errorf("%w: Flink native identity P%d", ErrMissingCell, p)
+		}
+		cells = append(cells, c)
+		fmt.Fprintf(&sb, "  Parallelism = %d", p)
+	}
+	sb.WriteString("\n")
+	for run := range rep.Runs {
+		fmt.Fprintf(&sb, "  %-14d", run+1)
+		for _, c := range cells {
+			if run < len(c.TimesSec) {
+				fmt.Fprintf(&sb, "  %13.3fs ", c.TimesSec[run])
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String(), nil
+}
+
+// FormatTableI renders the paper's descriptive system comparison.
+func FormatTableI() string {
+	return strings.Join([]string{
+		"Table I: Comparison of Apache Flink, Apache Spark Streaming, and Apache Apex",
+		"  Criteria                  Flink             Spark Streaming   Apex",
+		"  Mainly written in         Java, Scala       Scala/Java/Py     Java",
+		"  App development           Java/Scala/Py     Scala/Java/Py     Java",
+		"  Data processing           Tuple-by-tuple    Micro-batch       Tuple-by-tuple",
+		"  Processing guarantees     Exactly-once      Exactly-once      Exactly-once",
+		"",
+	}, "\n")
+}
+
+// FormatTableII renders the query definitions with the actual workload
+// selectivities.
+func FormatTableII(records, grepHits int) string {
+	var sb strings.Builder
+	sb.WriteString("Table II: Overview of the Benchmark Queries\n")
+	for _, q := range queries.All() {
+		fmt.Fprintf(&sb, "  %-11s %s\n", q, q.Description())
+	}
+	fmt.Fprintf(&sb, "  Workload: %d records; grep matches %d records (%.2f%%); sample keeps ~%.0f%%.\n",
+		records, grepHits, 100*float64(grepHits)/float64(max(records, 1)), queries.SampleFraction*100)
+	return sb.String()
+}
+
+// jsonCell is the serialized form of a cell.
+type jsonCell struct {
+	System        string    `json:"system"`
+	API           string    `json:"api"`
+	Query         string    `json:"query"`
+	Parallelism   int       `json:"parallelism"`
+	TimesSec      []float64 `json:"timesSec"`
+	MeanSec       float64   `json:"meanSec"`
+	RelStdDev     float64   `json:"relStdDev"`
+	OutputRecords int64     `json:"outputRecords"`
+}
+
+type jsonReport struct {
+	Records      int        `json:"records"`
+	Runs         int        `json:"runs"`
+	Parallelisms []int      `json:"parallelisms"`
+	Cells        []jsonCell `json:"cells"`
+}
+
+// WriteJSON serializes the report for downstream tooling.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	out := jsonReport{
+		Records:      rep.Records,
+		Runs:         rep.Runs,
+		Parallelisms: rep.Parallelisms,
+	}
+	for _, c := range rep.Cells {
+		out.Cells = append(out.Cells, jsonCell{
+			System:        c.Setup.System.String(),
+			API:           c.Setup.API.String(),
+			Query:         c.Setup.Query.String(),
+			Parallelism:   c.Setup.Parallelism,
+			TimesSec:      c.TimesSec,
+			MeanSec:       c.Summary.Mean,
+			RelStdDev:     c.Summary.RelStdDev,
+			OutputRecords: c.OutputRecords,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"testing"
+
+	"beambench/internal/queries"
+)
+
+// TestSlowdownFactorScaleInvariance guards the documented claim that
+// the slowdown factors are per-record-dominated and therefore stable
+// across workload sizes — once past the small-workload regime where
+// fixed per-job costs (deployment, container starts, batch quantization)
+// still dominate: the Flink identity factor at 10k and at 30k records
+// must agree within a factor of two.
+func TestSlowdownFactorScaleInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-size benchmark in -short mode")
+	}
+	sfAt := func(records int) float64 {
+		r, err := New(Config{
+			Records:      records,
+			Runs:         2,
+			Parallelisms: []int{1},
+			DisableNoise: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var results []RunResult
+		for _, api := range APIs() {
+			cell, err := r.RunCell(Setup{System: SystemFlink, API: api, Query: queries.Identity, Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, cell...)
+		}
+		rep, err := BuildReport(r.Config(), results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sf, err := rep.SlowdownFactor(SystemFlink, queries.Identity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sf
+	}
+
+	small := sfAt(10_000)
+	large := sfAt(30_000)
+	if small <= 0 || large <= 0 {
+		t.Fatalf("non-positive slowdown factors: %v, %v", small, large)
+	}
+	ratio := large / small
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("slowdown factor not scale-stable: sf(10k)=%.2f sf(30k)=%.2f (ratio %.2f)",
+			small, large, ratio)
+	}
+}

@@ -1,0 +1,165 @@
+package queries
+
+import (
+	"fmt"
+
+	"beambench/internal/apex"
+	"beambench/internal/beam"
+	"beambench/internal/broker"
+	"beambench/internal/flink"
+	"beambench/internal/spark"
+)
+
+// Workload names the broker topics a query reads and writes, plus the
+// seed for the sample query.
+type Workload struct {
+	Broker      *broker.Broker
+	InputTopic  string
+	OutputTopic string
+	// Seed drives the deterministic sampling decision.
+	Seed uint64
+	// Producer configures the output producer of native jobs.
+	Producer broker.ProducerConfig
+}
+
+func (w Workload) validate() error {
+	if w.Broker == nil {
+		return fmt.Errorf("queries: nil broker")
+	}
+	if w.InputTopic == "" || w.OutputTopic == "" {
+		return fmt.Errorf("queries: missing topic names")
+	}
+	return nil
+}
+
+// NativeFlink builds the query as a native Flink job on env, using the
+// engine's own DataStream API (the paper's "system API" variant). The
+// job is fully chainable: source -> one operator -> sink, as in the
+// native execution plan of Figure 12.
+func NativeFlink(env *flink.Environment, w Workload, q Query) error {
+	if err := w.validate(); err != nil {
+		return err
+	}
+	src := env.AddSource("Custom Source", flink.KafkaSource(w.Broker, w.InputTopic))
+	var out *flink.DataStream
+	switch q {
+	case Identity:
+		out = src.Map("Identity", func(rec []byte) []byte { return rec })
+	case Sample:
+		out = src.Filter("Sample", func(rec []byte) bool { return SampleKeep(rec, w.Seed) })
+	case Projection:
+		out = src.Map("Projection", Project)
+	case Grep:
+		out = src.Filter("Filter", GrepMatch)
+	default:
+		return fmt.Errorf("queries: unknown query %d", q)
+	}
+	out.AddSink("Unnamed", flink.KafkaSink(w.Broker, w.OutputTopic, w.Producer))
+	return nil
+}
+
+// NativeSpark builds the query as a native Spark Streaming application
+// on ssc using the DStream API. With a single input partition the
+// native implementation does not repartition (parallelism has no
+// observable effect, matching the paper's native Spark results).
+func NativeSpark(ssc *spark.StreamingContext, w Workload, q Query) error {
+	if err := w.validate(); err != nil {
+		return err
+	}
+	src := ssc.KafkaDirectStream(w.Broker, w.InputTopic)
+	var out *spark.DStream
+	switch q {
+	case Identity:
+		out = src
+	case Sample:
+		out = src.Filter(func(rec []byte) bool { return SampleKeep(rec, w.Seed) })
+	case Projection:
+		out = src.Map(Project)
+	case Grep:
+		out = src.Filter(GrepMatch)
+	default:
+		return fmt.Errorf("queries: unknown query %d", q)
+	}
+	out.SaveToKafka(q.String(), w.Broker, w.OutputTopic, w.Producer)
+	return nil
+}
+
+// NativeApex builds the query as a native Apex application DAG:
+// Kafka input -> one operator -> Kafka output, all streams windowed
+// (batched buffer-server publishing) as the engine defaults.
+func NativeApex(w Workload, q Query) (*apex.Application, error) {
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	app := apex.NewApplication(q.String())
+	app.AddInput("kafkaInput", apex.KafkaInput(w.Broker, w.InputTopic))
+	switch q {
+	case Identity:
+		app.AddOperator("identity", apex.PassThrough())
+	case Sample:
+		seed := w.Seed
+		app.AddOperator("sample", apex.FilterOp(func(rec []byte) bool { return SampleKeep(rec, seed) }))
+	case Projection:
+		app.AddOperator("projection", apex.MapOp(Project))
+	case Grep:
+		app.AddOperator("grep", apex.FilterOp(GrepMatch))
+	default:
+		return nil, fmt.Errorf("queries: unknown query %d", q)
+	}
+	opName := map[Query]string{Identity: "identity", Sample: "sample", Projection: "projection", Grep: "grep"}[q]
+	app.AddOutput("kafkaOutput", apex.KafkaOutput(w.Broker, w.OutputTopic, w.Producer))
+	app.AddStream("input", "kafkaInput", opName)
+	app.AddStream("output", opName, "kafkaOutput")
+	return app, nil
+}
+
+// BeamPipeline builds the query once against the abstraction layer; the
+// same pipeline object runs on every runner. The shape matches the
+// paper's Beam implementations: KafkaIO.read().withoutMetadata() ->
+// Values.create() -> query ParDo -> KafkaIO.write() (Figure 13).
+func BeamPipeline(w Workload, q Query) (*beam.Pipeline, error) {
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	p := beam.NewPipeline()
+	vals := beam.Values(p, beam.WithoutMetadata(p, beam.KafkaRead(p, w.Broker, w.InputTopic)))
+	var out beam.PCollection
+	switch q {
+	case Identity:
+		out = beam.ParDo(p, "Identity", beam.DoFnFunc(func(ctx beam.Context, elem any, emit beam.Emitter) error {
+			return emit(elem)
+		}), vals)
+	case Sample:
+		seed := w.Seed
+		out = beam.Filter(p, "Sample", func(elem any) (bool, error) {
+			rec, ok := elem.([]byte)
+			if !ok {
+				return false, fmt.Errorf("queries: sample element %T is not []byte", elem)
+			}
+			return SampleKeep(rec, seed), nil
+		}, vals)
+	case Projection:
+		out = beam.MapElements(p, "Projection", func(elem any) (any, error) {
+			rec, ok := elem.([]byte)
+			if !ok {
+				return nil, fmt.Errorf("queries: projection element %T is not []byte", elem)
+			}
+			return Project(rec), nil
+		}, vals)
+	case Grep:
+		out = beam.Filter(p, "Grep", func(elem any) (bool, error) {
+			rec, ok := elem.([]byte)
+			if !ok {
+				return false, fmt.Errorf("queries: grep element %T is not []byte", elem)
+			}
+			return GrepMatch(rec), nil
+		}, vals)
+	default:
+		return nil, fmt.Errorf("queries: unknown query %d", q)
+	}
+	beam.KafkaWrite(p, w.Broker, w.OutputTopic, out, w.Producer)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

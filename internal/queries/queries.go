@@ -1,0 +1,122 @@
+// Package queries implements the four stateless StreamBench queries the
+// paper benchmarks (Table II): Identity, Sample, Projection and Grep —
+// each in four variants: native Flink, native Spark Streaming, native
+// Apex, and a single Apache-Beam-style pipeline runnable on any runner.
+//
+// The stateful StreamBench queries are excluded exactly as in the paper
+// (Section III-B): the Spark runner does not support stateful processing.
+//
+// All variants share the same record-level semantics so that outputs are
+// comparable across engines:
+//
+//   - Identity forwards records unchanged (the computational baseline).
+//   - Sample keeps ~40% of records, decided by a seeded hash of the
+//     record so every engine samples the same records deterministically.
+//   - Projection emits the first tab-separated column (the user ID).
+//   - Grep keeps records matching the regular expression "test"
+//     (3,003 hits in the paper's 1,000,001-record workload, ~0.3%).
+package queries
+
+import (
+	"fmt"
+	"hash/fnv"
+	"regexp"
+
+	"beambench/internal/aol"
+)
+
+// Query enumerates the StreamBench queries of Table II.
+type Query int
+
+const (
+	// Identity reads input and outputs it unchanged.
+	Identity Query = iota + 1
+	// Sample outputs a ~40% random subset of the input.
+	Sample
+	// Projection outputs the first column of each record.
+	Projection
+	// Grep outputs records matching the "test" regex.
+	Grep
+)
+
+// All lists the queries in the paper's presentation order.
+func All() []Query {
+	return []Query{Identity, Sample, Projection, Grep}
+}
+
+// String returns the paper's query name.
+func (q Query) String() string {
+	switch q {
+	case Identity:
+		return "Identity"
+	case Sample:
+		return "Sample"
+	case Projection:
+		return "Projection"
+	case Grep:
+		return "Grep"
+	default:
+		return fmt.Sprintf("Query(%d)", int(q))
+	}
+}
+
+// Valid reports whether q is a known query.
+func (q Query) Valid() bool {
+	return q >= Identity && q <= Grep
+}
+
+// Description returns the Table II description of the query.
+func (q Query) Description() string {
+	switch q {
+	case Identity:
+		return "Read input and output it without performing any data transformation (baseline)."
+	case Sample:
+		return fmt.Sprintf("Read input and output a randomly chosen subset of about %.0f%% of the tuples.", SampleFraction*100)
+	case Projection:
+		return "Read input and output only the first column of each record."
+	case Grep:
+		return fmt.Sprintf("Read input and output only records matching the regex %q (~0.3%% of the input).", GrepPattern)
+	default:
+		return "unknown query"
+	}
+}
+
+// SampleFraction is the sample query's selectivity (Table II: the output
+// is about 40% of the input).
+const SampleFraction = 0.4
+
+// GrepPattern is the grep query's search regex (Table II).
+const GrepPattern = aol.GrepNeedle
+
+// grepRegexp is the compiled grep pattern; regexp.Regexp is safe for
+// concurrent use by multiple subtasks.
+var grepRegexp = regexp.MustCompile(GrepPattern)
+
+// GrepMatch reports whether a record matches the grep query.
+func GrepMatch(record []byte) bool {
+	return grepRegexp.Match(record)
+}
+
+// Project returns the projection query's output for a record: the first
+// tab-separated column.
+func Project(record []byte) []byte {
+	return aol.FirstColumn(record)
+}
+
+// SampleKeep reports whether the sample query keeps a record. The
+// decision hashes the record with the seed, so it is deterministic,
+// identical across engines and safe for concurrent subtasks — while
+// still uniform enough that close to SampleFraction of distinct records
+// pass.
+func SampleKeep(record []byte, seed uint64) bool {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = byte(seed >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write(record)
+	// Top 53 bits to a float in [0, 1).
+	u := h.Sum64() >> 11
+	return float64(u)/float64(1<<53) < SampleFraction
+}

@@ -1,0 +1,414 @@
+package queries
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"beambench/internal/aol"
+	"beambench/internal/apex"
+	"beambench/internal/beam/runner/direct"
+	"beambench/internal/broker"
+	"beambench/internal/flink"
+	"beambench/internal/spark"
+	"beambench/internal/yarn"
+)
+
+func dataset(t *testing.T, n int) [][]byte {
+	t.Helper()
+	g, err := aol.NewGenerator(aol.Config{Records: n, Seed: 42, GrepHits: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.All()
+}
+
+func newWorkload(t *testing.T, data [][]byte) Workload {
+	t.Helper()
+	b := broker.New()
+	if err := b.CreateTopic("input", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("output", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.NewProducer(broker.ProducerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range data {
+		if err := p.Send("input", nil, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return Workload{Broker: b, InputTopic: "input", OutputTopic: "output", Seed: 7}
+}
+
+// expectedOutputs computes the reference output count per query.
+func expectedOutputs(data [][]byte, q Query, seed uint64) int {
+	n := 0
+	for _, rec := range data {
+		switch q {
+		case Identity, Projection:
+			n++
+		case Sample:
+			if SampleKeep(rec, seed) {
+				n++
+			}
+		case Grep:
+			if GrepMatch(rec) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func outputCount(t *testing.T, w Workload) int64 {
+	t.Helper()
+	n, err := w.Broker.RecordCount(w.OutputTopic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestQueryStringsAndValidity(t *testing.T) {
+	if len(All()) != 4 {
+		t.Fatalf("All() = %d queries, want 4", len(All()))
+	}
+	names := map[Query]string{Identity: "Identity", Sample: "Sample", Projection: "Projection", Grep: "Grep"}
+	for q, want := range names {
+		if q.String() != want {
+			t.Errorf("String() = %q, want %q", q.String(), want)
+		}
+		if !q.Valid() {
+			t.Errorf("%v not valid", q)
+		}
+		if q.Description() == "" || q.Description() == "unknown query" {
+			t.Errorf("%v has no description", q)
+		}
+	}
+	if Query(9).Valid() {
+		t.Error("Query(9) reported valid")
+	}
+}
+
+func TestGrepMatchesPlantedNeedles(t *testing.T) {
+	data := dataset(t, 10_000)
+	hits := 0
+	for _, rec := range data {
+		if GrepMatch(rec) {
+			hits++
+		}
+	}
+	if want := aol.ScaledGrepHits(10_000); hits != want {
+		t.Errorf("grep hits = %d, want %d", hits, want)
+	}
+}
+
+func TestSampleKeepSelectivity(t *testing.T) {
+	data := dataset(t, 20_000)
+	kept := 0
+	for _, rec := range data {
+		if SampleKeep(rec, 7) {
+			kept++
+		}
+	}
+	ratio := float64(kept) / float64(len(data))
+	if math.Abs(ratio-SampleFraction) > 0.02 {
+		t.Errorf("sample ratio = %v, want ~%v", ratio, SampleFraction)
+	}
+}
+
+func TestSampleKeepDeterministicProperty(t *testing.T) {
+	f := func(rec []byte, seed uint64) bool {
+		return SampleKeep(rec, seed) == SampleKeep(rec, seed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectExtractsUserID(t *testing.T) {
+	rec := []byte("12345\tsome query\t2006-03-01 00:00:00\t\t")
+	if got := string(Project(rec)); got != "12345" {
+		t.Errorf("Project = %q, want 12345", got)
+	}
+}
+
+func TestNativeFlinkAllQueries(t *testing.T) {
+	data := dataset(t, 2_000)
+	for _, q := range All() {
+		t.Run(q.String(), func(t *testing.T) {
+			w := newWorkload(t, data)
+			cluster, err := flink.NewCluster(flink.ClusterConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cluster.Start()
+			defer cluster.Stop()
+			env := flink.NewEnvironment(cluster)
+			if err := NativeFlink(env, w, q); err != nil {
+				t.Fatal(err)
+			}
+			res, err := env.Execute(q.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Native jobs fully chain (Figure 12).
+			if res.Tasks != 1 {
+				t.Errorf("Tasks = %d, want 1", res.Tasks)
+			}
+			want := int64(expectedOutputs(data, q, w.Seed))
+			if got := outputCount(t, w); got != want {
+				t.Errorf("output = %d records, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestNativeSparkAllQueries(t *testing.T) {
+	data := dataset(t, 2_000)
+	for _, q := range All() {
+		t.Run(q.String(), func(t *testing.T) {
+			w := newWorkload(t, data)
+			cluster, err := spark.NewCluster(spark.ClusterConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cluster.Start()
+			defer cluster.Stop()
+			ssc, err := spark.NewStreamingContext(cluster, spark.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := NativeSpark(ssc, w, q); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ssc.RunBounded(); err != nil {
+				t.Fatal(err)
+			}
+			want := int64(expectedOutputs(data, q, w.Seed))
+			if got := outputCount(t, w); got != want {
+				t.Errorf("output = %d records, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestNativeApexAllQueries(t *testing.T) {
+	data := dataset(t, 2_000)
+	for _, q := range All() {
+		t.Run(q.String(), func(t *testing.T) {
+			w := newWorkload(t, data)
+			cluster, err := yarn.NewCluster(yarn.ClusterConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cluster.Start()
+			defer cluster.Stop()
+			app, err := NativeApex(w, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stram, err := apex.Launch(cluster, app, apex.LaunchConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := stram.Await(); err != nil {
+				t.Fatal(err)
+			}
+			want := int64(expectedOutputs(data, q, w.Seed))
+			if got := outputCount(t, w); got != want {
+				t.Errorf("output = %d records, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestBeamPipelineAllQueriesOnDirectRunner(t *testing.T) {
+	data := dataset(t, 2_000)
+	for _, q := range All() {
+		t.Run(q.String(), func(t *testing.T) {
+			w := newWorkload(t, data)
+			p, err := BeamPipeline(w, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := direct.Run(p); err != nil {
+				t.Fatal(err)
+			}
+			want := int64(expectedOutputs(data, q, w.Seed))
+			if got := outputCount(t, w); got != want {
+				t.Errorf("output = %d records, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestCrossEngineOutputEquality(t *testing.T) {
+	// All four implementations of the same query must produce identical
+	// output multisets (order may differ across engines).
+	data := dataset(t, 1_000)
+	for _, q := range All() {
+		t.Run(q.String(), func(t *testing.T) {
+			counts := make([]map[string]int, 0, 4)
+
+			// Native Flink.
+			{
+				w := newWorkload(t, data)
+				cluster, _ := flink.NewCluster(flink.ClusterConfig{})
+				cluster.Start()
+				env := flink.NewEnvironment(cluster)
+				if err := NativeFlink(env, w, q); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := env.Execute("x"); err != nil {
+					t.Fatal(err)
+				}
+				cluster.Stop()
+				counts = append(counts, topicMultiset(t, w))
+			}
+			// Native Spark.
+			{
+				w := newWorkload(t, data)
+				cluster, _ := spark.NewCluster(spark.ClusterConfig{})
+				cluster.Start()
+				ssc, _ := spark.NewStreamingContext(cluster, spark.Config{})
+				if err := NativeSpark(ssc, w, q); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := ssc.RunBounded(); err != nil {
+					t.Fatal(err)
+				}
+				cluster.Stop()
+				counts = append(counts, topicMultiset(t, w))
+			}
+			// Native Apex.
+			{
+				w := newWorkload(t, data)
+				cluster, _ := yarn.NewCluster(yarn.ClusterConfig{})
+				cluster.Start()
+				app, err := NativeApex(w, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stram, err := apex.Launch(cluster, app, apex.LaunchConfig{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := stram.Await(); err != nil {
+					t.Fatal(err)
+				}
+				cluster.Stop()
+				counts = append(counts, topicMultiset(t, w))
+			}
+			// Beam on the direct runner.
+			{
+				w := newWorkload(t, data)
+				p, err := BeamPipeline(w, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := direct.Run(p); err != nil {
+					t.Fatal(err)
+				}
+				counts = append(counts, topicMultiset(t, w))
+			}
+
+			for i := 1; i < len(counts); i++ {
+				if !equalMultiset(counts[0], counts[i]) {
+					t.Errorf("implementation %d output differs from native Flink", i)
+				}
+			}
+		})
+	}
+}
+
+func topicMultiset(t *testing.T, w Workload) map[string]int {
+	t.Helper()
+	c, err := w.Broker.NewConsumer(broker.ConsumerConfig{MaxPollRecords: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignAll(w.OutputTopic); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]int)
+	for {
+		recs, err := c.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			return out
+		}
+		for _, r := range recs {
+			out[string(r.Value)]++
+		}
+	}
+}
+
+func equalMultiset(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	if err := (Workload{}).validate(); err == nil {
+		t.Error("empty workload validated")
+	}
+	if err := (Workload{Broker: broker.New()}).validate(); err == nil {
+		t.Error("workload without topics validated")
+	}
+	bad := Workload{Broker: broker.New(), InputTopic: "a", OutputTopic: "b"}
+	if _, err := BeamPipeline(bad, Query(99)); err == nil {
+		t.Error("unknown query accepted")
+	}
+	if _, err := NativeApex(bad, Query(99)); err == nil {
+		t.Error("unknown query accepted by apex builder")
+	}
+}
+
+func TestProjectionOutputSmallerThanInput(t *testing.T) {
+	data := dataset(t, 500)
+	w := newWorkload(t, data)
+	p, err := BeamPipeline(w, Projection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := direct.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	c, err := w.Broker.NewConsumer(broker.ConsumerConfig{MaxPollRecords: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AssignAll("output"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs {
+		if bytes.ContainsRune(r.Value, '\t') {
+			t.Fatalf("projected record %d still has tabs: %q", i, r.Value)
+		}
+		if len(r.Value) == 0 {
+			t.Fatalf("projected record %d empty", i)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package spark
+
+import (
+	"fmt"
+
+	"beambench/internal/broker"
+)
+
+// KafkaDirectStream creates an input DStream reading a topic with the
+// direct (receiver-less) approach: every batch fetches up to
+// MaxRatePerPartition records per partition, and the stream's RDDs have
+// one partition per Kafka partition.
+func (ssc *StreamingContext) KafkaDirectStream(b *broker.Broker, topic string) *DStream {
+	parts, err := b.Partitions(topic)
+	if err != nil {
+		ssc.fail(fmt.Errorf("spark: kafka direct stream: %w", err))
+		return ssc.newInput(&kafkaDirect{})
+	}
+	return ssc.newInput(&kafkaDirect{
+		b:          b,
+		topic:      topic,
+		partitions: parts,
+		maxPerPart: ssc.cfg.MaxRatePerPartition,
+	})
+}
+
+// kafkaDirect is the bounded direct-stream source: end offsets are
+// captured on the first batch, after which the stream drains the topic.
+type kafkaDirect struct {
+	b          *broker.Broker
+	topic      string
+	partitions int
+	maxPerPart int
+
+	consumers []*broker.Consumer
+	ends      []int64
+	positions []int64
+}
+
+func (k *kafkaDirect) init() error {
+	if k.b == nil {
+		return fmt.Errorf("spark: kafka direct stream not initialized")
+	}
+	if k.consumers != nil {
+		return nil
+	}
+	ends, err := k.b.EndOffsets(k.topic)
+	if err != nil {
+		return err
+	}
+	k.ends = ends
+	k.positions = make([]int64, k.partitions)
+	k.consumers = make([]*broker.Consumer, k.partitions)
+	for p := range k.partitions {
+		c, err := k.b.NewConsumer(broker.ConsumerConfig{MaxPollRecords: k.maxPerPart})
+		if err != nil {
+			return err
+		}
+		if err := c.Assign(k.topic, p, 0); err != nil {
+			return err
+		}
+		k.consumers[p] = c
+	}
+	return nil
+}
+
+func (k *kafkaDirect) nextBatch(int64) ([][][]byte, bool, error) {
+	if err := k.init(); err != nil {
+		return nil, false, err
+	}
+	parts := make([][][]byte, k.partitions)
+	remaining := false
+	for p := range k.partitions {
+		want := k.ends[p] - k.positions[p]
+		if want <= 0 {
+			continue
+		}
+		recs, err := k.consumers[p].Poll()
+		if err != nil {
+			return nil, false, err
+		}
+		vals := make([][]byte, 0, len(recs))
+		for _, r := range recs {
+			if r.Offset >= k.ends[p] {
+				continue // appended after the bounded snapshot
+			}
+			vals = append(vals, r.Value)
+			k.positions[p] = r.Offset + 1
+		}
+		parts[p] = vals
+		if k.positions[p] < k.ends[p] {
+			remaining = true
+		}
+	}
+	return parts, remaining, nil
+}
+
+// SaveToKafka registers an output operation writing every record value
+// to a topic. Each task opens its own producer with the given config.
+func (ds *DStream) SaveToKafka(name string, b *broker.Broker, topic string, cfg broker.ProducerConfig) {
+	ds.ssc.outputs = append(ds.ssc.outputs, &outputOp{
+		name:   name,
+		stream: ds,
+		open: func(TaskContext) (recordWriter, error) {
+			if _, err := b.Partitions(topic); err != nil {
+				return nil, fmt.Errorf("spark: save to kafka: %w", err)
+			}
+			p, err := b.NewProducer(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("spark: save to kafka: %w", err)
+			}
+			return &kafkaWriter{producer: p, topic: topic}, nil
+		},
+	})
+}
+
+type kafkaWriter struct {
+	producer *broker.Producer
+	topic    string
+}
+
+func (w *kafkaWriter) write(rec []byte) error {
+	return w.producer.Send(w.topic, nil, rec)
+}
+
+func (w *kafkaWriter) close() error {
+	return w.producer.Close()
+}
+
+// SliceStream creates an input DStream over in-memory records, delivered
+// in batches of perBatch, for tests, examples and runner Create support.
+func (ssc *StreamingContext) SliceStream(records [][]byte, perBatch int) *DStream {
+	if perBatch <= 0 {
+		perBatch = len(records)
+	}
+	return ssc.newInput(&sliceSource{records: records, perBatch: perBatch})
+}
+
+type sliceSource struct {
+	records  [][]byte
+	perBatch int
+	pos      int
+}
+
+func (s *sliceSource) nextBatch(int64) ([][][]byte, bool, error) {
+	if s.pos >= len(s.records) {
+		return nil, false, nil
+	}
+	end := min(s.pos+s.perBatch, len(s.records))
+	batch := s.records[s.pos:end]
+	s.pos = end
+	return [][][]byte{batch}, s.pos < len(s.records), nil
+}

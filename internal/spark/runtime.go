@@ -1,0 +1,327 @@
+package spark
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"beambench/internal/simcost"
+)
+
+// RunBounded drives the application until the input source is exhausted,
+// processing backlogged micro-batches back-to-back, and returns the
+// aggregated metrics. This is the mode the benchmark uses: the input
+// topic is preloaded, so the job consumes everything and finishes.
+func (ssc *StreamingContext) RunBounded() (StreamingMetrics, error) {
+	if err := ssc.precheck(); err != nil {
+		return StreamingMetrics{}, err
+	}
+	ssc.state = stateRunning
+	defer func() { ssc.state = stateStopped }()
+
+	driver := ssc.cluster.cfg.Sim.NewMeter()
+	driver.Charge(ssc.cluster.cfg.Costs.EngineJobStart)
+	driver.Flush()
+
+	for batchID := int64(0); ; batchID++ {
+		parts, remaining, err := ssc.input.input.nextBatch(batchID)
+		if err != nil {
+			return ssc.metrics, fmt.Errorf("spark: batch %d input: %w", batchID, err)
+		}
+		n := countRecords(parts)
+		if n == 0 {
+			if !remaining {
+				return ssc.metrics, nil
+			}
+			// Idle batch: the bounded source claims more data is coming
+			// (e.g. a concurrent producer); yield briefly.
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if err := ssc.runBatch(batchID, parts, driver); err != nil {
+			return ssc.metrics, err
+		}
+	}
+}
+
+// Start launches the micro-batch scheduler at the configured interval,
+// for unbounded operation. Use Stop to terminate and collect metrics.
+func (ssc *StreamingContext) Start() error {
+	if err := ssc.precheck(); err != nil {
+		return err
+	}
+	ssc.state = stateRunning
+	ssc.stopCh = make(chan struct{})
+	ssc.doneCh = make(chan struct{})
+	go ssc.schedulerLoop()
+	return nil
+}
+
+// Stop terminates a Start-ed context, waits for the scheduler to drain,
+// and returns the metrics and any batch error.
+func (ssc *StreamingContext) Stop() (StreamingMetrics, error) {
+	if ssc.state != stateRunning || ssc.stopCh == nil {
+		return ssc.metrics, fmt.Errorf("%w: not running", ErrContextState)
+	}
+	close(ssc.stopCh)
+	<-ssc.doneCh
+	ssc.state = stateStopped
+	ssc.mu.Lock()
+	defer ssc.mu.Unlock()
+	return ssc.metrics, ssc.runErr
+}
+
+func (ssc *StreamingContext) schedulerLoop() {
+	defer close(ssc.doneCh)
+	driver := ssc.cluster.cfg.Sim.NewMeter()
+	driver.Charge(ssc.cluster.cfg.Costs.EngineJobStart)
+	driver.Flush()
+	ticker := time.NewTicker(ssc.cfg.BatchInterval)
+	defer ticker.Stop()
+	var batchID int64
+	for {
+		select {
+		case <-ssc.stopCh:
+			return
+		case <-ticker.C:
+			parts, _, err := ssc.input.input.nextBatch(batchID)
+			if err == nil && countRecords(parts) > 0 {
+				err = ssc.runBatch(batchID, parts, driver)
+			}
+			if err != nil {
+				ssc.mu.Lock()
+				if ssc.runErr == nil {
+					ssc.runErr = err
+				}
+				ssc.mu.Unlock()
+				return
+			}
+			batchID++
+		}
+	}
+}
+
+func (ssc *StreamingContext) precheck() error {
+	if ssc.err != nil {
+		return ssc.err
+	}
+	if ssc.state != stateBuilding {
+		return fmt.Errorf("%w: already started", ErrContextState)
+	}
+	if !ssc.cluster.Running() {
+		return ErrClusterStopped
+	}
+	if ssc.input == nil {
+		return errors.New("spark: no input stream")
+	}
+	if len(ssc.outputs) == 0 {
+		return errors.New("spark: no output operations registered")
+	}
+	for _, out := range ssc.outputs {
+		if out.stream == nil {
+			return fmt.Errorf("spark: output %q has no stream", out.name)
+		}
+	}
+	return nil
+}
+
+// runBatch executes one micro-batch: for every registered output
+// operation, recompute its lineage over the batch (Spark semantics
+// without cache()) and run the output action.
+func (ssc *StreamingContext) runBatch(batchID int64, parts [][][]byte, driver *simcost.Meter) error {
+	driver.Charge(ssc.cluster.cfg.Costs.SparkBatch)
+	driver.Flush()
+	ssc.mu.Lock()
+	ssc.metrics.Batches++
+	ssc.metrics.RecordsIn += int64(countRecords(parts))
+	ssc.mu.Unlock()
+
+	for _, out := range ssc.outputs {
+		data, err := ssc.compute(out.stream, batchID, parts)
+		if err != nil {
+			return fmt.Errorf("spark: batch %d: %w", batchID, err)
+		}
+		written, err := ssc.runOutput(out, batchID, data)
+		if err != nil {
+			return fmt.Errorf("spark: batch %d output %q: %w", batchID, out.name, err)
+		}
+		ssc.mu.Lock()
+		ssc.metrics.RecordsOut += int64(written)
+		ssc.mu.Unlock()
+	}
+	return nil
+}
+
+// stageGroup is a fused run of narrow stages or one shuffle boundary.
+type stageGroup struct {
+	narrow  []narrowFactory
+	shuffle int // >0: shuffle to this many partitions
+}
+
+// compile walks the lineage from the input to ds and fuses consecutive
+// narrow stages into single task groups, as Spark's DAG scheduler does.
+func compile(ds *DStream) ([]stageGroup, error) {
+	var rev []*DStream
+	for cur := ds; cur != nil; cur = cur.parent {
+		rev = append(rev, cur)
+		if cur.kind == stageInput {
+			break
+		}
+	}
+	if len(rev) == 0 || rev[len(rev)-1].kind != stageInput {
+		return nil, errors.New("spark: stream is not rooted at an input")
+	}
+	var groups []stageGroup
+	var pending []narrowFactory
+	for i := len(rev) - 2; i >= 0; i-- { // skip the input node
+		s := rev[i]
+		switch s.kind {
+		case stageNarrow:
+			pending = append(pending, s.factory)
+		case stageShuffle:
+			if len(pending) > 0 {
+				groups = append(groups, stageGroup{narrow: pending})
+				pending = nil
+			}
+			groups = append(groups, stageGroup{shuffle: s.width})
+		default:
+			return nil, fmt.Errorf("spark: unexpected stage kind %d", s.kind)
+		}
+	}
+	if len(pending) > 0 {
+		groups = append(groups, stageGroup{narrow: pending})
+	}
+	return groups, nil
+}
+
+// compute evaluates the lineage of ds over one batch's partitions.
+func (ssc *StreamingContext) compute(ds *DStream, batchID int64, parts [][][]byte) ([][][]byte, error) {
+	groups, err := compile(ds)
+	if err != nil {
+		return nil, err
+	}
+	data := parts
+	for _, g := range groups {
+		if g.shuffle > 0 {
+			data = ssc.shuffle(data, g.shuffle)
+			continue
+		}
+		next, err := ssc.runNarrowStage(g.narrow, batchID, data)
+		if err != nil {
+			return nil, err
+		}
+		data = next
+	}
+	return data, nil
+}
+
+// runNarrowStage runs one fused stage as parallel tasks, one per
+// partition, bounded by the cluster's executor cores.
+func (ssc *StreamingContext) runNarrowStage(factories []narrowFactory, batchID int64, parts [][][]byte) ([][][]byte, error) {
+	out := make([][][]byte, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for p := range parts {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = ssc.cluster.runTask(func(meter *simcost.Meter) error {
+				task := TaskContext{
+					BatchID:   batchID,
+					Partition: p,
+					Charge:    meter.Charge,
+				}
+				var result [][]byte
+				sinkEmit := func(rec []byte) { result = append(result, rec) }
+				handler := sinkEmit
+				for i := len(factories) - 1; i >= 0; i-- {
+					fn := factories[i](task)
+					next := handler
+					handler = func(rec []byte) { fn(rec, next) }
+				}
+				for _, rec := range parts[p] {
+					handler(rec)
+				}
+				out[p] = result
+				return nil
+			})
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// shuffle redistributes records round-robin into width partitions,
+// charging the shuffle write/fetch cost and copying each record
+// (serialize to shuffle files, deserialize on fetch).
+func (ssc *StreamingContext) shuffle(parts [][][]byte, width int) [][][]byte {
+	out := make([][][]byte, width)
+	meter := ssc.cluster.cfg.Sim.NewMeter()
+	defer meter.Flush()
+	i := 0
+	for _, part := range parts {
+		for _, rec := range part {
+			cp := make([]byte, len(rec))
+			copy(cp, rec)
+			meter.Charge(ssc.cluster.cfg.Costs.SparkShufflePerRecord)
+			out[i%width] = append(out[i%width], cp)
+			i++
+		}
+	}
+	return out
+}
+
+// runOutput executes the output action over the final partitions, one
+// task per partition, and reports the number of records written.
+func (ssc *StreamingContext) runOutput(op *outputOp, batchID int64, parts [][][]byte) (int, error) {
+	counts := make([]int, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for p := range parts {
+		if len(parts[p]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = ssc.cluster.runTask(func(meter *simcost.Meter) error {
+				task := TaskContext{BatchID: batchID, Partition: p, Charge: meter.Charge}
+				w, err := op.open(task)
+				if err != nil {
+					return err
+				}
+				for _, rec := range parts[p] {
+					if err := w.write(rec); err != nil {
+						_ = w.close()
+						return err
+					}
+					counts[p]++
+				}
+				return w.close()
+			})
+		}(p)
+	}
+	wg.Wait()
+	total := 0
+	for p := range parts {
+		if errs[p] != nil {
+			return total, errs[p]
+		}
+		total += counts[p]
+	}
+	return total, nil
+}
+
+func countRecords(parts [][][]byte) int {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	return n
+}

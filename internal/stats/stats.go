@@ -1,0 +1,161 @@
+// Package stats provides the summary statistics used by the benchmark:
+// arithmetic means, (relative) standard deviations and the slowdown-factor
+// formula from Hesse et al., ICDCS 2019, Section III-C3.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that cannot operate on an empty sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (Bessel-corrected, n-1
+// divisor) of xs. It returns 0 for samples with fewer than two elements.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// RelStdDev returns the coefficient of variation StdDev(xs)/Mean(xs),
+// the quantity plotted in Figure 10 of the paper. It returns 0 when the
+// mean is zero to avoid dividing by zero.
+func RelStdDev(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// Min returns the smallest element of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between closest ranks. The input is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of range [0,1]", q)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Summary condenses a sample into the statistics reported by the harness.
+type Summary struct {
+	N         int
+	Mean      float64
+	StdDev    float64
+	RelStdDev float64
+	Min       float64
+	Max       float64
+}
+
+// Summarize computes a Summary for xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	mn, err := Min(xs)
+	if err != nil {
+		return Summary{}, err
+	}
+	mx, err := Max(xs)
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summary{
+		N:         len(xs),
+		Mean:      Mean(xs),
+		StdDev:    StdDev(xs),
+		RelStdDev: RelStdDev(xs),
+		Min:       mn,
+		Max:       mx,
+	}, nil
+}
+
+// SlowdownFactor implements sf(dsps, query) from Section III-C3:
+//
+//	sf = (1/N_p) * Σ_p  t̄(Beam, p) / t̄(native, p)
+//
+// beamMeans[i] and nativeMeans[i] are the mean execution times for the
+// i-th parallelism factor. Both slices must have equal, non-zero length
+// and every native mean must be positive.
+func SlowdownFactor(beamMeans, nativeMeans []float64) (float64, error) {
+	if len(beamMeans) == 0 || len(beamMeans) != len(nativeMeans) {
+		return 0, fmt.Errorf("stats: mismatched slowdown inputs: %d beam vs %d native",
+			len(beamMeans), len(nativeMeans))
+	}
+	var sum float64
+	for i, b := range beamMeans {
+		n := nativeMeans[i]
+		if n <= 0 {
+			return 0, fmt.Errorf("stats: non-positive native mean %v at parallelism index %d", n, i)
+		}
+		sum += b / n
+	}
+	return sum / float64(len(beamMeans)), nil
+}

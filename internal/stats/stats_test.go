@@ -1,0 +1,250 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{name: "empty", give: nil, want: 0},
+		{name: "single", give: []float64{42}, want: 42},
+		{name: "pair", give: []float64{1, 3}, want: 2},
+		{name: "negative", give: []float64{-1, 1}, want: 0},
+		{name: "paper identity flink p1", give: []float64{6.25, 21.56, 3.42, 3.31, 3.73, 12.69, 3.90, 3.96, 3.42, 3.01}, want: 6.525},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.give); !almostEqual(got, tt.want) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{name: "empty", give: nil, want: 0},
+		{name: "single", give: []float64{5}, want: 0},
+		{name: "constant", give: []float64{2, 2, 2, 2}, want: 0},
+		{name: "known", give: []float64{2, 4, 4, 4, 5, 5, 7, 9}, want: math.Sqrt(32.0 / 7.0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := StdDev(tt.give); !almostEqual(got, tt.want) {
+				t.Errorf("StdDev(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRelStdDev(t *testing.T) {
+	if got := RelStdDev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("RelStdDev of constant sample = %v, want 0", got)
+	}
+	if got := RelStdDev(nil); got != 0 {
+		t.Errorf("RelStdDev(nil) = %v, want 0", got)
+	}
+	// Scale invariance: cv(k*x) == cv(x) for k > 0.
+	xs := []float64{1, 2, 3, 4}
+	scaled := []float64{10, 20, 30, 40}
+	if !almostEqual(RelStdDev(xs), RelStdDev(scaled)) {
+		t.Errorf("RelStdDev not scale-invariant: %v vs %v", RelStdDev(xs), RelStdDev(scaled))
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, err := Min(nil); err == nil {
+		t.Error("Min(nil) should error")
+	}
+	if _, err := Max(nil); err == nil {
+		t.Error("Max(nil) should error")
+	}
+	xs := []float64{3, -1, 7, 0}
+	mn, err := Min(xs)
+	if err != nil || mn != -1 {
+		t.Errorf("Min = %v, %v; want -1, nil", mn, err)
+	}
+	mx, err := Max(xs)
+	if err != nil || mx != 7 {
+		t.Errorf("Max = %v, %v; want 7, nil", mx, err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{q: 0, want: 1},
+		{q: 0.25, want: 2},
+		{q: 0.5, want: 3},
+		{q: 1, want: 5},
+		{q: 0.125, want: 1.5},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v) error: %v", tt.q, err)
+		}
+		if !almostEqual(got, tt.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("Quantile(nil) should error")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("Quantile(q=1.5) should error")
+	}
+	if _, err := Quantile(xs, -0.1); err == nil {
+		t.Error("Quantile(q=-0.1) should error")
+	}
+	single, err := Quantile([]float64{9}, 0.3)
+	if err != nil || single != 9 {
+		t.Errorf("Quantile(single, 0.3) = %v, %v; want 9, nil", single, err)
+	}
+	// Quantile must not modify its input.
+	unsorted := []float64{3, 1, 2}
+	if _, err := Quantile(unsorted, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if unsorted[0] != 3 || unsorted[1] != 1 || unsorted[2] != 2 {
+		t.Errorf("Quantile modified its input: %v", unsorted)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Error("Summarize(nil) should error")
+	}
+	s, err := Summarize([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("unexpected summary %+v", s)
+	}
+	if !almostEqual(s.StdDev, 1) {
+		t.Errorf("StdDev = %v, want 1", s.StdDev)
+	}
+	if !almostEqual(s.RelStdDev, 0.5) {
+		t.Errorf("RelStdDev = %v, want 0.5", s.RelStdDev)
+	}
+}
+
+func TestSlowdownFactor(t *testing.T) {
+	tests := []struct {
+		name    string
+		beam    []float64
+		native  []float64
+		want    float64
+		wantErr bool
+	}{
+		{name: "empty", beam: nil, native: nil, wantErr: true},
+		{name: "length mismatch", beam: []float64{1}, native: []float64{1, 2}, wantErr: true},
+		{name: "zero native", beam: []float64{1}, native: []float64{0}, wantErr: true},
+		{name: "negative native", beam: []float64{1}, native: []float64{-1}, wantErr: true},
+		{name: "identity", beam: []float64{3, 3}, native: []float64{3, 3}, want: 1},
+		{name: "two parallelisms", beam: []float64{10, 20}, native: []float64{2, 4}, want: 5},
+		{name: "speedup below one", beam: []float64{1, 1}, native: []float64{2, 2}, want: 0.5},
+		// Paper Fig. 6/11 cross-check for Apex identity:
+		// (237.53/3.35 + 241.01/5.71)/2 = 56.55... (paper rounds to 56.58
+		// from unrounded raw data; we assert our formula on the rounded
+		// figure inputs).
+		{name: "paper apex identity", beam: []float64{237.53, 241.01}, native: []float64{3.35, 5.71}, want: (237.53/3.35 + 241.01/5.71) / 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := SlowdownFactor(tt.beam, tt.native)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatal("expected error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got, tt.want) {
+				t.Errorf("SlowdownFactor = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMeanPropertyShiftInvariance(t *testing.T) {
+	// Mean(xs + c) == Mean(xs) + c for any finite sample.
+	f := func(raw []int16, shift int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		shifted := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+			shifted[i] = float64(v) + float64(shift)
+		}
+		return almostEqual(Mean(shifted), Mean(xs)+float64(shift))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStdDevPropertyShiftInvariance(t *testing.T) {
+	// StdDev(xs + c) == StdDev(xs).
+	f := func(raw []int16, shift int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		shifted := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+			shifted[i] = float64(v) + float64(shift)
+		}
+		return math.Abs(StdDev(shifted)-StdDev(xs)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantilePropertyBounds(t *testing.T) {
+	// Min <= Quantile(q) <= Max for all q in [0,1].
+	f := func(raw []int16, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		q := float64(qRaw) / 255.0
+		got, err := Quantile(xs, q)
+		if err != nil {
+			return false
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		return got >= mn-1e-9 && got <= mx+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,389 @@
+// Package yarn simulates Apache Hadoop YARN (Section II-D of Hesse et
+// al., ICDCS 2019) to the extent Apache Apex depends on it: a Resource
+// Manager distributing cluster resources as containers — logical bundles
+// of memory and virtual cores tied to a node — plus Node Manager daemons
+// reporting via heartbeats. The paper configures Apex parallelism through
+// the number of YARN vcores, so vcore accounting is load-bearing here.
+package yarn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Errors reported by the cluster.
+var (
+	ErrStopped            = errors.New("yarn: cluster not running")
+	ErrInsufficientVCores = errors.New("yarn: insufficient vcores")
+	ErrInsufficientMemory = errors.New("yarn: insufficient memory")
+	ErrUnknownContainer   = errors.New("yarn: unknown container")
+	ErrAppFinished        = errors.New("yarn: application finished")
+)
+
+// Resource is a logical bundle of memory and virtual cores.
+type Resource struct {
+	MemoryMB int
+	VCores   int
+}
+
+func (r Resource) validate() error {
+	if r.MemoryMB <= 0 || r.VCores <= 0 {
+		return fmt.Errorf("yarn: invalid resource %+v", r)
+	}
+	return nil
+}
+
+// ClusterConfig sizes the cluster. Defaults match the paper's two worker
+// nodes with 64 GB memory and 8 cores each; the per-node vcore count is
+// the setting the paper varies to control Apex parallelism.
+type ClusterConfig struct {
+	NodeManagers    int
+	MemoryPerNodeMB int
+	VCoresPerNode   int
+	// HeartbeatInterval is the Node Manager heartbeat period; defaults
+	// to 20ms (scaled down from YARN's 1s to suit simulation runs).
+	HeartbeatInterval time.Duration
+}
+
+func (c *ClusterConfig) validate() error {
+	if c.NodeManagers == 0 {
+		c.NodeManagers = 2
+	}
+	if c.MemoryPerNodeMB == 0 {
+		c.MemoryPerNodeMB = 64 * 1024
+	}
+	if c.VCoresPerNode == 0 {
+		c.VCoresPerNode = 8
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 20 * time.Millisecond
+	}
+	if c.NodeManagers < 0 || c.MemoryPerNodeMB < 0 || c.VCoresPerNode < 0 || c.HeartbeatInterval < 0 {
+		return fmt.Errorf("yarn: negative cluster configuration %+v", *c)
+	}
+	return nil
+}
+
+// Cluster is a Resource Manager with its Node Managers.
+type Cluster struct {
+	cfg ClusterConfig
+
+	mu         sync.Mutex
+	running    bool
+	nodes      []*node
+	apps       map[string]*Application
+	containers map[string]*Container
+	nextApp    int
+	nextCtr    int
+	stopHB     chan struct{}
+	hbDone     chan struct{}
+}
+
+type node struct {
+	id            int
+	free          Resource
+	lastHeartbeat time.Time
+}
+
+// NewCluster returns a stopped cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:        cfg,
+		apps:       make(map[string]*Application),
+		containers: make(map[string]*Container),
+	}
+	for i := range cfg.NodeManagers {
+		c.nodes = append(c.nodes, &node{
+			id:   i,
+			free: Resource{MemoryMB: cfg.MemoryPerNodeMB, VCores: cfg.VCoresPerNode},
+		})
+	}
+	return c, nil
+}
+
+// Start brings the Resource Manager online and starts Node Manager
+// heartbeats.
+func (c *Cluster) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.running {
+		return
+	}
+	c.running = true
+	now := time.Now()
+	for _, n := range c.nodes {
+		n.lastHeartbeat = now
+	}
+	c.stopHB = make(chan struct{})
+	c.hbDone = make(chan struct{})
+	go c.heartbeatLoop(c.stopHB, c.hbDone)
+}
+
+// Stop halts heartbeats and rejects further requests.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	if !c.running {
+		c.mu.Unlock()
+		return
+	}
+	c.running = false
+	stop, done := c.stopHB, c.hbDone
+	c.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+// Running reports whether the Resource Manager accepts requests.
+func (c *Cluster) Running() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.running
+}
+
+func (c *Cluster) heartbeatLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-ticker.C:
+			c.mu.Lock()
+			for _, n := range c.nodes {
+				n.lastHeartbeat = now
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// NodeReport describes one Node Manager's state.
+type NodeReport struct {
+	NodeID        int
+	FreeMemoryMB  int
+	FreeVCores    int
+	LastHeartbeat time.Time
+}
+
+// NodeReports lists per-node resource availability and heartbeat times.
+func (c *Cluster) NodeReports() []NodeReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]NodeReport, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = NodeReport{
+			NodeID:        n.id,
+			FreeMemoryMB:  n.free.MemoryMB,
+			FreeVCores:    n.free.VCores,
+			LastHeartbeat: n.lastHeartbeat,
+		}
+	}
+	return out
+}
+
+// TotalVCores reports the cluster's vcore capacity.
+func (c *Cluster) TotalVCores() int {
+	return c.cfg.NodeManagers * c.cfg.VCoresPerNode
+}
+
+// FreeVCores reports currently unallocated vcores.
+func (c *Cluster) FreeVCores() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	free := 0
+	for _, n := range c.nodes {
+		free += n.free.VCores
+	}
+	return free
+}
+
+// Application is a submitted YARN application with its Application
+// Master container.
+type Application struct {
+	ID   string
+	Name string
+
+	cluster *Cluster
+	am      *Container
+
+	mu       sync.Mutex
+	finished bool
+	owned    map[string]*Container
+}
+
+// SubmitApplication registers an application and allocates its
+// Application Master container (for Apex: the STRAM).
+func (c *Cluster) SubmitApplication(name string, amResource Resource) (*Application, error) {
+	if err := amResource.validate(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.running {
+		return nil, ErrStopped
+	}
+	c.nextApp++
+	app := &Application{
+		ID:      fmt.Sprintf("application_%04d", c.nextApp),
+		Name:    name,
+		cluster: c,
+		owned:   make(map[string]*Container),
+	}
+	am, err := c.allocateLocked(app, amResource)
+	if err != nil {
+		return nil, fmt.Errorf("yarn: submit %q: %w", name, err)
+	}
+	app.am = am
+	c.apps[app.ID] = app
+	return app, nil
+}
+
+// AMContainer returns the Application Master's container.
+func (a *Application) AMContainer() *Container { return a.am }
+
+// AllocateContainer requests one container.
+func (a *Application) AllocateContainer(res Resource) (*Container, error) {
+	if err := res.validate(); err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	finished := a.finished
+	a.mu.Unlock()
+	if finished {
+		return nil, ErrAppFinished
+	}
+	a.cluster.mu.Lock()
+	defer a.cluster.mu.Unlock()
+	if !a.cluster.running {
+		return nil, ErrStopped
+	}
+	return a.cluster.allocateLocked(a, res)
+}
+
+// allocateLocked places a container on the node with the most free
+// vcores (simple spreading placement). Caller holds the cluster lock.
+func (c *Cluster) allocateLocked(app *Application, res Resource) (*Container, error) {
+	var best *node
+	for _, n := range c.nodes {
+		if n.free.VCores >= res.VCores && n.free.MemoryMB >= res.MemoryMB {
+			if best == nil || n.free.VCores > best.free.VCores {
+				best = n
+			}
+		}
+	}
+	if best == nil {
+		for _, n := range c.nodes {
+			if n.free.MemoryMB >= res.MemoryMB {
+				return nil, fmt.Errorf("%w: requested %d", ErrInsufficientVCores, res.VCores)
+			}
+		}
+		return nil, fmt.Errorf("%w: requested %d MB", ErrInsufficientMemory, res.MemoryMB)
+	}
+	best.free.VCores -= res.VCores
+	best.free.MemoryMB -= res.MemoryMB
+	c.nextCtr++
+	ctr := &Container{
+		ID:       fmt.Sprintf("container_%06d", c.nextCtr),
+		NodeID:   best.id,
+		Resource: res,
+		app:      app,
+		killed:   make(chan struct{}),
+	}
+	c.containers[ctr.ID] = ctr
+	app.mu.Lock()
+	app.owned[ctr.ID] = ctr
+	app.mu.Unlock()
+	return ctr, nil
+}
+
+// ReleaseContainer returns a container's resources to its node.
+func (a *Application) ReleaseContainer(ctr *Container) error {
+	if ctr == nil {
+		return ErrUnknownContainer
+	}
+	a.cluster.mu.Lock()
+	defer a.cluster.mu.Unlock()
+	return a.cluster.releaseLocked(ctr)
+}
+
+func (c *Cluster) releaseLocked(ctr *Container) error {
+	stored, ok := c.containers[ctr.ID]
+	if !ok || stored != ctr {
+		return fmt.Errorf("%w: %s", ErrUnknownContainer, ctr.ID)
+	}
+	delete(c.containers, ctr.ID)
+	n := c.nodes[ctr.NodeID]
+	n.free.VCores += ctr.Resource.VCores
+	n.free.MemoryMB += ctr.Resource.MemoryMB
+	ctr.app.mu.Lock()
+	delete(ctr.app.owned, ctr.ID)
+	ctr.app.mu.Unlock()
+	return nil
+}
+
+// Finish releases all containers of the application, including the AM.
+func (a *Application) Finish() {
+	a.mu.Lock()
+	if a.finished {
+		a.mu.Unlock()
+		return
+	}
+	a.finished = true
+	owned := make([]*Container, 0, len(a.owned))
+	for _, ctr := range a.owned {
+		owned = append(owned, ctr)
+	}
+	a.mu.Unlock()
+
+	a.cluster.mu.Lock()
+	defer a.cluster.mu.Unlock()
+	for _, ctr := range owned {
+		_ = a.cluster.releaseLocked(ctr)
+	}
+}
+
+// KillContainer force-kills a container (failure injection): its
+// resources return to the node and its Done channel closes so the
+// process inside can observe the kill.
+func (c *Cluster) KillContainer(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctr, ok := c.containers[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownContainer, id)
+	}
+	if err := c.releaseLocked(ctr); err != nil {
+		return err
+	}
+	close(ctr.killed)
+	return nil
+}
+
+// Container is a granted resource bundle tied to a node.
+type Container struct {
+	ID       string
+	NodeID   int
+	Resource Resource
+
+	app    *Application
+	killed chan struct{}
+}
+
+// Done returns a channel closed when the container is killed.
+func (c *Container) Done() <-chan struct{} { return c.killed }
+
+// Alive reports whether the container has not been killed.
+func (c *Container) Alive() bool {
+	select {
+	case <-c.killed:
+		return false
+	default:
+		return true
+	}
+}

@@ -1,0 +1,212 @@
+package yarn
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func newRunningCluster(t *testing.T, cfg ClusterConfig) *Cluster {
+	t.Helper()
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestClusterDefaults(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalVCores() != 16 {
+		t.Errorf("TotalVCores = %d, want 16", c.TotalVCores())
+	}
+	reports := c.NodeReports()
+	if len(reports) != 2 {
+		t.Fatalf("NodeReports = %d nodes, want 2", len(reports))
+	}
+	if reports[0].FreeMemoryMB != 64*1024 {
+		t.Errorf("free memory = %d, want 65536", reports[0].FreeMemoryMB)
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{NodeManagers: -1}); err == nil {
+		t.Error("negative node managers accepted")
+	}
+}
+
+func TestSubmitRequiresRunning(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitApplication("app", Resource{MemoryMB: 1024, VCores: 1}); !errors.Is(err, ErrStopped) {
+		t.Errorf("submit on stopped cluster = %v, want ErrStopped", err)
+	}
+}
+
+func TestApplicationLifecycle(t *testing.T) {
+	c := newRunningCluster(t, ClusterConfig{})
+	app, err := c.SubmitApplication("stram", Resource{MemoryMB: 2048, VCores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.AMContainer() == nil {
+		t.Fatal("no AM container")
+	}
+	if c.FreeVCores() != 15 {
+		t.Errorf("free vcores after AM = %d, want 15", c.FreeVCores())
+	}
+
+	ctr, err := app.AllocateContainer(Resource{MemoryMB: 4096, VCores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeVCores() != 13 {
+		t.Errorf("free vcores = %d, want 13", c.FreeVCores())
+	}
+	if !ctr.Alive() {
+		t.Error("fresh container not alive")
+	}
+
+	if err := app.ReleaseContainer(ctr); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeVCores() != 15 {
+		t.Errorf("free vcores after release = %d, want 15", c.FreeVCores())
+	}
+	if err := app.ReleaseContainer(ctr); !errors.Is(err, ErrUnknownContainer) {
+		t.Errorf("double release = %v, want ErrUnknownContainer", err)
+	}
+
+	app.Finish()
+	if c.FreeVCores() != c.TotalVCores() {
+		t.Errorf("free vcores after finish = %d, want %d", c.FreeVCores(), c.TotalVCores())
+	}
+	if _, err := app.AllocateContainer(Resource{MemoryMB: 1, VCores: 1}); !errors.Is(err, ErrAppFinished) {
+		t.Errorf("allocate after finish = %v, want ErrAppFinished", err)
+	}
+	app.Finish() // idempotent
+}
+
+func TestVCoreExhaustion(t *testing.T) {
+	c := newRunningCluster(t, ClusterConfig{NodeManagers: 1, VCoresPerNode: 2, MemoryPerNodeMB: 8192})
+	app, err := c.SubmitApplication("app", Resource{MemoryMB: 1024, VCores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.AllocateContainer(Resource{MemoryMB: 1024, VCores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.AllocateContainer(Resource{MemoryMB: 1024, VCores: 1}); !errors.Is(err, ErrInsufficientVCores) {
+		t.Errorf("over-allocation = %v, want ErrInsufficientVCores", err)
+	}
+}
+
+func TestMemoryExhaustion(t *testing.T) {
+	c := newRunningCluster(t, ClusterConfig{NodeManagers: 1, VCoresPerNode: 8, MemoryPerNodeMB: 2048})
+	app, err := c.SubmitApplication("app", Resource{MemoryMB: 1024, VCores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.AllocateContainer(Resource{MemoryMB: 4096, VCores: 1}); !errors.Is(err, ErrInsufficientMemory) {
+		t.Errorf("memory over-allocation = %v, want ErrInsufficientMemory", err)
+	}
+}
+
+func TestResourceValidation(t *testing.T) {
+	c := newRunningCluster(t, ClusterConfig{})
+	if _, err := c.SubmitApplication("app", Resource{}); err == nil {
+		t.Error("zero resource accepted")
+	}
+	app, err := c.SubmitApplication("app", Resource{MemoryMB: 1, VCores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.AllocateContainer(Resource{MemoryMB: -1, VCores: 1}); err == nil {
+		t.Error("negative memory accepted")
+	}
+}
+
+func TestContainerSpreadAcrossNodes(t *testing.T) {
+	c := newRunningCluster(t, ClusterConfig{NodeManagers: 2, VCoresPerNode: 4, MemoryPerNodeMB: 8192})
+	app, err := c.SubmitApplication("app", Resource{MemoryMB: 512, VCores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodesUsed := map[int]int{app.AMContainer().NodeID: 1}
+	for range 3 {
+		ctr, err := app.AllocateContainer(Resource{MemoryMB: 512, VCores: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodesUsed[ctr.NodeID]++
+	}
+	if len(nodesUsed) != 2 {
+		t.Errorf("containers on %d nodes, want spread over 2: %v", len(nodesUsed), nodesUsed)
+	}
+}
+
+func TestKillContainer(t *testing.T) {
+	c := newRunningCluster(t, ClusterConfig{})
+	app, err := c.SubmitApplication("app", Resource{MemoryMB: 1024, VCores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, err := app.AllocateContainer(Resource{MemoryMB: 1024, VCores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := c.FreeVCores()
+	if err := c.KillContainer(ctr.ID); err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Alive() {
+		t.Error("killed container still alive")
+	}
+	select {
+	case <-ctr.Done():
+	default:
+		t.Error("Done channel not closed after kill")
+	}
+	if c.FreeVCores() != free+1 {
+		t.Errorf("vcores not returned after kill: %d, want %d", c.FreeVCores(), free+1)
+	}
+	if err := c.KillContainer(ctr.ID); !errors.Is(err, ErrUnknownContainer) {
+		t.Errorf("double kill = %v, want ErrUnknownContainer", err)
+	}
+}
+
+func TestHeartbeatsAdvance(t *testing.T) {
+	c := newRunningCluster(t, ClusterConfig{HeartbeatInterval: 5 * time.Millisecond})
+	before := c.NodeReports()[0].LastHeartbeat
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.NodeReports()[0].LastHeartbeat.After(before) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Error("heartbeat timestamp did not advance")
+}
+
+func TestStopIsIdempotentAndHaltsHeartbeats(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{HeartbeatInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.Start() // idempotent
+	c.Stop()
+	c.Stop() // idempotent
+	hb := c.NodeReports()[0].LastHeartbeat
+	time.Sleep(20 * time.Millisecond)
+	if got := c.NodeReports()[0].LastHeartbeat; !got.Equal(hb) {
+		t.Error("heartbeats continued after Stop")
+	}
+}
