@@ -22,6 +22,7 @@
 package beambench_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -93,6 +94,40 @@ func benchFigure(b *testing.B, q queries.Query) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkMatrixWallClock measures the end-to-end wall-clock time of
+// the full 4-query x 12-setup matrix (one run per cell) sequentially and
+// with one worker per CPU. The per-op time is the whole-matrix latency;
+// the ratio between the two sub-benchmarks is the speedup the concurrent
+// scheduler buys on this machine.
+func BenchmarkMatrixWallClock(b *testing.B) {
+	records := max(benchRecords()/5, 500)
+	counts := []int{1}
+	if n := harness.DefaultWorkers(); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r, err := harness.New(harness.Config{
+				Records:      records,
+				Runs:         1,
+				DisableNoise: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for b.Loop() {
+				rep, err := r.RunMatrix(context.Background(), queries.All(), workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Cells) != 48 {
+					b.Fatalf("matrix produced %d cells, want 48", len(rep.Cells))
+				}
+			}
+		})
 	}
 }
 

@@ -11,9 +11,17 @@
 //	beambench -all -json report.json     # everything, plus raw JSON
 //	beambench -print queries             # Table II (static)
 //	beambench -records 1000001 -runs 10  # paper-scale (slow)
+//	beambench -all -workers 1            # strictly sequential matrix
+//
+// Every run builds its own broker and engine cluster, so the matrix
+// cells are independent; -workers (default: one per CPU) fans them out
+// across goroutines without changing the report's row ordering. The
+// execution times themselves are measured wall clock, so concurrent
+// cells contend for CPU; use -workers 1 for measurement-grade numbers.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +51,7 @@ func run(args []string, out io.Writer) error {
 		jsonPath = fs.String("json", "", "write the raw report as JSON to this file")
 		seed     = fs.Uint64("seed", 42, "dataset seed")
 		noNoise  = fs.Bool("no-noise", false, "disable the run-to-run noise model")
+		workers  = fs.Int("workers", harness.DefaultWorkers(), "concurrent benchmark cells (1 = sequential)")
 		quiet    = fs.Bool("quiet", false, "suppress progress output")
 		printArg = fs.String("print", "", "print static info: systems|queries")
 	)
@@ -74,11 +83,15 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be at least 1, got %d", *workers)
+	}
 	cfg := harness.Config{
 		Records:      *records,
 		Runs:         *runs,
 		DatasetSeed:  *seed,
 		DisableNoise: *noNoise,
+		Workers:      *workers,
 	}
 	if !*quiet {
 		cfg.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "  "+msg) }
@@ -98,20 +111,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "benchmarking %d records x %d runs x %d queries x 12 setups\n",
-			r.DatasetSize(), *runs, len(qs))
+		fmt.Fprintf(os.Stderr, "benchmarking %d records x %d runs x %d queries x 12 setups (%d workers)\n",
+			r.DatasetSize(), *runs, len(qs), *workers)
 	}
-	var results []harness.RunResult
-	for _, q := range qs {
-		res, err := r.RunQuery(q)
-		if err != nil {
-			return err
-		}
-		results = append(results, res...)
-	}
-	rep, err := harness.BuildReport(r.Config(), results)
-	if err != nil {
-		return err
+	rep, runErr := r.RunMatrix(context.Background(), qs, *workers)
+	if rep == nil {
+		return runErr
 	}
 
 	if *jsonPath != "" {
@@ -123,6 +128,14 @@ func run(args []string, out io.Writer) error {
 		if err := rep.WriteJSON(f); err != nil {
 			return err
 		}
+	}
+	if runErr != nil {
+		// The completed cells were still written to -json (if set);
+		// figures need the full matrix, so stop here.
+		if *jsonPath != "" && !*quiet {
+			fmt.Fprintf(os.Stderr, "  partial report (%d cells) written to %s\n", len(rep.Cells), *jsonPath)
+		}
+		return runErr
 	}
 
 	switch {

@@ -112,3 +112,40 @@ func TestRunTinyFigure(t *testing.T) {
 		}
 	}
 }
+
+func TestRunWorkersFlag(t *testing.T) {
+	var seq, par strings.Builder
+	args := []string{"-figure", "9", "-records", "500", "-runs", "1", "-quiet", "-no-noise"}
+	if err := run(append(args, "-workers", "1"), &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-workers", "4"), &par); err != nil {
+		t.Fatal(err)
+	}
+	// The figures print mean execution times, which vary run to run, but
+	// the row labels and their order must be identical at any worker
+	// count.
+	rowLabels := func(s string) []string {
+		var out []string
+		for _, line := range strings.Split(s, "\n") {
+			fields := strings.Fields(line)
+			if len(fields) > 2 && fields[len(fields)-1] == "s" {
+				out = append(out, strings.Join(fields[:len(fields)-2], " "))
+			}
+		}
+		return out
+	}
+	seqRows, parRows := rowLabels(seq.String()), rowLabels(par.String())
+	if len(seqRows) != 12 {
+		t.Fatalf("sequential figure has %d rows, want 12:\n%s", len(seqRows), seq.String())
+	}
+	for i := range seqRows {
+		if seqRows[i] != parRows[i] {
+			t.Errorf("row %d differs: %q vs %q", i, seqRows[i], parRows[i])
+		}
+	}
+
+	if err := run(append(args, "-workers", "0"), &par); err == nil {
+		t.Error("-workers 0 accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module beambench
+
+go 1.24

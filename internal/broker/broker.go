@@ -158,14 +158,15 @@ func New(opts ...Option) *Broker {
 	return b
 }
 
-// Close marks the broker closed; subsequent operations fail with ErrClosed.
+// Close marks the broker closed; subsequent operations fail with ErrClosed
+// and blocked PollWait callers return with an error.
 func (b *Broker) Close() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.closed = true
 	for _, t := range b.topics {
 		for _, p := range t.parts {
-			p.wake()
+			p.markGone()
 		}
 	}
 }
@@ -194,7 +195,8 @@ func (b *Broker) CreateTopic(name string, cfg TopicConfig) error {
 	return nil
 }
 
-// DeleteTopic removes a topic and its data.
+// DeleteTopic removes a topic and its data. Blocked PollWait callers
+// assigned to the topic return with an error.
 func (b *Broker) DeleteTopic(name string) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -206,7 +208,7 @@ func (b *Broker) DeleteTopic(name string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownTopic, name)
 	}
 	for _, p := range t.parts {
-		p.wake()
+		p.markGone()
 	}
 	delete(b.topics, name)
 	return nil
@@ -345,17 +347,44 @@ type storedRecord struct {
 }
 
 // partition is one append-only log with its own lock and waiters.
+// Waiters block on waitCh, which is closed and replaced on every state
+// change (append, offline toggle, close/delete), so a waiter that
+// snapshots state and channel under one lock acquisition can never miss
+// a wake-up.
 type partition struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
 	records []storedRecord
 	offline bool
+	// gone marks the partition permanently unreachable: its broker was
+	// closed or its topic deleted. Waiters must stop waiting and report
+	// an error instead of re-blocking.
+	gone   bool
+	waitCh chan struct{}
 }
 
 func newPartition() *partition {
-	p := &partition{}
-	p.cond = sync.NewCond(&p.mu)
-	return p
+	return &partition{waitCh: make(chan struct{})}
+}
+
+// partitionState is the snapshot a waiter decides on.
+type partitionState struct {
+	end     int64
+	offline bool
+	gone    bool
+}
+
+// watch returns the current state together with the channel that will be
+// closed on the next state change.
+func (p *partition) watch() (partitionState, <-chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return partitionState{end: int64(len(p.records)), offline: p.offline, gone: p.gone}, p.waitCh
+}
+
+// notifyLocked wakes all current waiters. Caller must hold p.mu.
+func (p *partition) notifyLocked() {
+	close(p.waitCh)
+	p.waitCh = make(chan struct{})
 }
 
 // append stores records and returns the base offset assigned. Timestamps
@@ -380,7 +409,7 @@ func (p *partition) append(recs []storedRecord) (int64, error) {
 		lastTS = r.ts
 		p.records = append(p.records, r)
 	}
-	p.cond.Broadcast()
+	p.notifyLocked()
 	return base, nil
 }
 
@@ -416,21 +445,6 @@ func (p *partition) fetch(topicName string, part int, offset int64, max int) ([]
 	return out, nil
 }
 
-// waitFor blocks until the partition end offset exceeds offset, the
-// deadline passes, the partition goes offline, or wake is called.
-// It reports whether data may be available.
-func (p *partition) waitFor(offset int64, deadline time.Time) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for int64(len(p.records)) <= offset && !p.offline {
-		if !deadline.IsZero() && !time.Now().Before(deadline) {
-			return false
-		}
-		waitWithDeadline(p.cond, deadline)
-	}
-	return true
-}
-
 func (p *partition) endOffset() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -450,29 +464,16 @@ func (p *partition) setOffline(offline bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.offline = offline
-	p.cond.Broadcast()
+	p.notifyLocked()
 }
 
-func (p *partition) wake() {
+// markGone flags the partition as permanently unreachable (broker closed
+// or topic deleted) and wakes all waiters.
+func (p *partition) markGone() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.cond.Broadcast()
-}
-
-// waitWithDeadline waits on cond, waking itself at the deadline (if any).
-// The caller must hold cond's lock.
-func waitWithDeadline(cond *sync.Cond, deadline time.Time) {
-	if deadline.IsZero() {
-		cond.Wait()
-		return
-	}
-	d := time.Until(deadline)
-	if d <= 0 {
-		return
-	}
-	timer := time.AfterFunc(d, cond.Broadcast)
-	cond.Wait()
-	timer.Stop()
+	p.gone = true
+	p.notifyLocked()
 }
 
 func cloneBytes(b []byte) []byte {

@@ -113,9 +113,10 @@ func (c *Consumer) Poll() ([]Record, error) {
 	return out, nil
 }
 
-// PollWait polls, blocking until at least one record is available on some
+// PollWait polls, blocking until at least one record is available on any
 // assignment, the timeout elapses (timeout 0 means wait forever), or an
-// assigned partition goes offline.
+// assigned partition goes offline. It returns an error when the broker
+// is closed or an assigned topic is deleted, including while blocked.
 func (c *Consumer) PollWait(timeout time.Duration) ([]Record, error) {
 	recs, err := c.Poll()
 	if err != nil || len(recs) > 0 {
@@ -128,16 +129,87 @@ func (c *Consumer) PollWait(timeout time.Duration) ([]Record, error) {
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
 	}
-	// Wait on the first assignment; multi-partition consumers in this
-	// codebase poll in a loop, and the benchmark topics have a single
-	// partition, so a single-partition wait is sufficient and simple.
-	tp := c.rr[0]
-	p, err := c.b.partition(tp.topic, tp.part)
-	if err != nil {
-		return nil, err
+	for {
+		// Snapshot every assignment's state together with its wake
+		// channel. Any append, offline toggle, or close/delete after the
+		// snapshot closes the corresponding channel, so no wake-up
+		// between the check and the wait can be lost.
+		chans := make([]<-chan struct{}, 0, len(c.rr))
+		ready := false
+		for _, tp := range c.rr {
+			p, err := c.b.partition(tp.topic, tp.part)
+			if err != nil {
+				return nil, err // broker closed or topic deleted
+			}
+			st, ch := p.watch()
+			if st.gone {
+				// Closed or deleted between the lookup and the snapshot;
+				// re-resolving yields the precise error once the
+				// concurrent Close/DeleteTopic releases the broker lock.
+				if _, err := c.b.partition(tp.topic, tp.part); err != nil {
+					return nil, err
+				}
+				return nil, ErrClosed
+			}
+			if st.offline || st.end > c.positions[tp] {
+				ready = true
+				break
+			}
+			chans = append(chans, ch)
+		}
+		if !ready && !waitAny(chans, deadline) {
+			return c.Poll() // deadline elapsed: one final non-blocking poll
+		}
+		recs, err := c.Poll()
+		if err != nil || len(recs) > 0 {
+			return recs, err
+		}
 	}
-	p.waitFor(c.positions[tp], deadline)
-	return c.Poll()
+}
+
+// waitAny blocks until any of the channels is closed or the deadline
+// passes (a zero deadline means no timeout). It reports false exactly on
+// deadline expiry.
+func waitAny(chans []<-chan struct{}, deadline time.Time) bool {
+	var timeout <-chan time.Time
+	if !deadline.IsZero() {
+		d := time.Until(deadline)
+		if d <= 0 {
+			return false
+		}
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	if len(chans) == 1 {
+		select {
+		case <-chans[0]:
+			return true
+		case <-timeout:
+			return false
+		}
+	}
+	done := make(chan struct{})
+	defer close(done)
+	woke := make(chan struct{}, 1)
+	for _, ch := range chans {
+		go func(ch <-chan struct{}) {
+			select {
+			case <-ch:
+				select {
+				case woke <- struct{}{}:
+				default:
+				}
+			case <-done:
+			}
+		}(ch)
+	}
+	select {
+	case <-woke:
+		return true
+	case <-timeout:
+		return false
+	}
 }
 
 func (c *Consumer) fetchFrom(tp topicPartition, max int) ([]Record, error) {

@@ -1,0 +1,146 @@
+package broker
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// pollWaitAsync starts PollWait in a goroutine and returns a channel
+// carrying its outcome.
+func pollWaitAsync(c *Consumer, timeout time.Duration) <-chan struct {
+	recs []Record
+	err  error
+} {
+	done := make(chan struct {
+		recs []Record
+		err  error
+	}, 1)
+	go func() {
+		recs, err := c.PollWait(timeout)
+		done <- struct {
+			recs []Record
+			err  error
+		}{recs, err}
+	}()
+	return done
+}
+
+func TestPollWaitReturnsAfterBrokerClose(t *testing.T) {
+	b := New()
+	mustCreate(t, b, "t", TopicConfig{Partitions: 1})
+	c := newConsumer(t, b, ConsumerConfig{})
+	if err := c.Assign("t", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	done := pollWaitAsync(c, 0)
+	time.Sleep(10 * time.Millisecond)
+	b.Close()
+	select {
+	case res := <-done:
+		if !errors.Is(res.err, ErrClosed) {
+			t.Errorf("PollWait after Close = (%v, %v), want ErrClosed", res.recs, res.err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("PollWait(0) still blocked after Broker.Close")
+	}
+}
+
+func TestPollWaitReturnsAfterDeleteTopic(t *testing.T) {
+	b := New()
+	mustCreate(t, b, "t", TopicConfig{Partitions: 1})
+	c := newConsumer(t, b, ConsumerConfig{})
+	if err := c.Assign("t", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	done := pollWaitAsync(c, 0)
+	time.Sleep(10 * time.Millisecond)
+	if err := b.DeleteTopic("t"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-done:
+		if !errors.Is(res.err, ErrUnknownTopic) {
+			t.Errorf("PollWait after DeleteTopic = (%v, %v), want ErrUnknownTopic", res.recs, res.err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("PollWait(0) still blocked after DeleteTopic")
+	}
+}
+
+// TestPollWaitMultiPartitionWake covers the regression where a consumer
+// assigned several partitions waited only on its first assignment and
+// slept through data arriving on any other.
+func TestPollWaitMultiPartitionWake(t *testing.T) {
+	b := New()
+	mustCreate(t, b, "t", TopicConfig{Partitions: 3})
+	c := newConsumer(t, b, ConsumerConfig{})
+	if err := c.AssignAll("t"); err != nil {
+		t.Fatal(err)
+	}
+	done := pollWaitAsync(c, 0)
+	time.Sleep(10 * time.Millisecond)
+	// Produce to the last partition only; the first assignment stays empty.
+	p := newProducer(t, b, ProducerConfig{
+		BatchSize:   1,
+		Partitioner: func([]byte, int) int { return 2 },
+	})
+	if err := p.Send("t", nil, []byte("wake")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-done:
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		if len(res.recs) != 1 || res.recs[0].Partition != 2 || string(res.recs[0].Value) != "wake" {
+			t.Errorf("PollWait = %v, want one record from partition 2", res.recs)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("PollWait did not wake on a non-first assignment")
+	}
+}
+
+// TestPollWaitMultiPartitionOfflineWake checks that a non-first
+// assignment going offline unblocks the waiter with the offline error.
+func TestPollWaitMultiPartitionOfflineWake(t *testing.T) {
+	b := New()
+	mustCreate(t, b, "t", TopicConfig{Partitions: 2})
+	c := newConsumer(t, b, ConsumerConfig{})
+	if err := c.AssignAll("t"); err != nil {
+		t.Fatal(err)
+	}
+	done := pollWaitAsync(c, 0)
+	time.Sleep(10 * time.Millisecond)
+	if err := b.SetPartitionOffline("t", 1, true); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-done:
+		if !errors.Is(res.err, ErrPartitionOffline) {
+			t.Errorf("PollWait = (%v, %v), want ErrPartitionOffline", res.recs, res.err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("PollWait did not wake when a non-first assignment went offline")
+	}
+}
+
+func TestPollWaitMultiPartitionTimeout(t *testing.T) {
+	b := New()
+	mustCreate(t, b, "t", TopicConfig{Partitions: 3})
+	c := newConsumer(t, b, ConsumerConfig{})
+	if err := c.AssignAll("t"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	recs, err := c.PollWait(30 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("got %d records from empty topic", len(recs))
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Error("PollWait returned before timeout")
+	}
+}

@@ -13,8 +13,10 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"beambench/internal/aol"
@@ -155,7 +157,15 @@ type Config struct {
 	SenderAcks broker.Acks
 	// SenderBatch is the sender's producer batch size.
 	SenderBatch int
-	// Progress, if set, receives human-readable progress lines.
+	// Workers is the number of matrix cells RunAll (and RunMatrix, when
+	// its workers argument is <= 0) executes concurrently. Every run
+	// still gets its own broker and engine cluster, so cells are
+	// independent; the report ordering is identical at any worker count.
+	// 0 or 1 selects the sequential path.
+	Workers int
+	// Progress, if set, receives human-readable progress lines. The
+	// runner serializes calls, so the callback needs no locking of its
+	// own even when Workers > 1.
 	Progress func(msg string)
 }
 
@@ -195,15 +205,23 @@ func (c *Config) validate() error {
 	if c.SenderBatch < 0 {
 		return fmt.Errorf("harness: negative sender batch %d", c.SenderBatch)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("harness: negative worker count %d", c.Workers)
+	}
 	return nil
 }
 
-// Runner executes benchmark runs over a pre-generated workload.
+// Runner executes benchmark runs over a pre-generated workload. Its
+// run methods are safe for concurrent use: every run builds a fresh
+// broker and cluster, and the shared state (config, costs, dataset) is
+// read-only after New.
 type Runner struct {
 	cfg     Config
 	costs   simcost.Costs
 	noise   simcost.NoiseParams
 	dataset [][]byte
+
+	progressMu sync.Mutex
 }
 
 // New validates the configuration and materializes the workload.
@@ -436,18 +454,37 @@ func (r *Runner) executeApex(setup Setup, w queries.Workload, sim *simcost.Simul
 
 // RunCell runs all repetitions of one setup.
 func (r *Runner) RunCell(setup Setup) ([]RunResult, error) {
+	return r.runCell(context.Background(), setup)
+}
+
+// runCell runs one setup's repetitions, checking for cancellation
+// between runs so a worker drains quickly without discarding the runs it
+// already completed.
+func (r *Runner) runCell(ctx context.Context, setup Setup) ([]RunResult, error) {
 	out := make([]RunResult, 0, r.cfg.Runs)
 	for run := range r.cfg.Runs {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		res, err := r.RunSingle(setup, run)
 		if err != nil {
 			return out, err
 		}
 		out = append(out, res)
 	}
-	if r.cfg.Progress != nil {
-		r.cfg.Progress(fmt.Sprintf("%-22s %d runs done", setup.Label()+" "+setup.Query.String(), r.cfg.Runs))
-	}
+	r.progress(fmt.Sprintf("%-22s %d runs done", setup.Label()+" "+setup.Query.String(), r.cfg.Runs))
 	return out, nil
+}
+
+// progress delivers one progress line, serializing concurrent callers so
+// the Progress callback never races with itself.
+func (r *Runner) progress(msg string) {
+	if r.cfg.Progress == nil {
+		return
+	}
+	r.progressMu.Lock()
+	defer r.progressMu.Unlock()
+	r.cfg.Progress(msg)
 }
 
 // RunQuery runs the full twelve-setup matrix of one query (three
@@ -468,17 +505,29 @@ func (r *Runner) RunQuery(q queries.Query) ([]RunResult, error) {
 	return out, nil
 }
 
-// RunAll runs every query's matrix and aggregates the report.
+// RunAll runs every query's matrix and aggregates the report, fanning
+// cells out over Config.Workers goroutines when more than one is
+// configured. On error it returns the report built from every completed
+// run alongside the error, so partial results are never lost.
 func (r *Runner) RunAll() (*Report, error) {
+	if r.cfg.Workers > 1 {
+		return r.RunAllParallel(context.Background(), r.cfg.Workers)
+	}
 	var all []RunResult
+	var runErr error
 	for _, q := range queries.All() {
 		res, err := r.RunQuery(q)
 		all = append(all, res...)
 		if err != nil {
-			return nil, err
+			runErr = err
+			break
 		}
 	}
-	return BuildReport(r.cfg, all)
+	rep, err := BuildReport(r.cfg, all)
+	if err != nil {
+		return nil, err
+	}
+	return rep, runErr
 }
 
 // ErrMissingCell is returned when a report lacks data for a setup.
