@@ -30,7 +30,9 @@ import (
 
 	"beambench/internal/aol"
 	"beambench/internal/apex"
+	"beambench/internal/beam"
 	"beambench/internal/beam/runner/flinkrunner"
+	_ "beambench/internal/beam/runners" // register the bundled runners
 	"beambench/internal/broker"
 	"beambench/internal/flink"
 	"beambench/internal/harness"
@@ -319,6 +321,49 @@ func BenchmarkTableIIIFlinkIdentityRuns(b *testing.B) {
 		total += res.ExecutionTime.Seconds()
 	}
 	b.ReportMetric(total/float64(b.N), "exec-s/op")
+}
+
+// BenchmarkFusionOverhead compares the fused and unfused translation
+// modes of the shared optimizer (internal/beam/graphx) per runner, on
+// the two pipelines that bracket the paper's output-volume spectrum:
+// Identity (100% output) and Grep (~0.3% output). Each iteration runs
+// the Beam pipeline through the named registered runner on a fresh
+// workload; the reported ns/record metric is the output-topic
+// LogAppendTime span divided by the input record count — the per-record
+// price of the abstraction layer in each mode. The direct runner is
+// excluded: it charges no modeled costs, so its span would be raw
+// in-process wall clock — scheduler noise, not an abstraction cost.
+func BenchmarkFusionOverhead(b *testing.B) {
+	for _, runnerName := range []string{"apex", "flink", "spark"} {
+		for _, q := range []queries.Query{queries.Identity, queries.Grep} {
+			for _, mode := range []beam.FusionMode{beam.FusionOff, beam.FusionOn} {
+				b.Run(fmt.Sprintf("%s/%s/fusion=%s", runnerName, q, mode), func(b *testing.B) {
+					runner, err := beam.GetRunner(runnerName)
+					if err != nil {
+						b.Fatal(err)
+					}
+					costs := simcost.DefaultCosts()
+					var totalSpan float64
+					for b.Loop() {
+						w, sim := ablationWorkload(b)
+						p, err := queries.BeamPipeline(w, q)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if _, err := runner.Run(context.Background(), p, beam.Options{
+							Fusion: mode,
+							Costs:  &costs,
+							Sim:    sim,
+						}); err != nil {
+							b.Fatal(err)
+						}
+						totalSpan += execSpan(b, w)
+					}
+					b.ReportMetric(totalSpan/float64(b.N)/float64(benchRecords())*1e9, "ns/record")
+				})
+			}
+		}
+	}
 }
 
 // --- Ablation benchmarks -------------------------------------------------

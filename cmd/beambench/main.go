@@ -12,6 +12,11 @@
 //	beambench -print queries             # Table II (static)
 //	beambench -records 1000001 -runs 10  # paper-scale (slow)
 //	beambench -all -workers 1            # strictly sequential matrix
+//	beambench -figure 11 -fusion on      # force ParDo fusion on every runner
+//
+// Engines run through the beam runner registry; -fusion selects the
+// translation mode for the Beam cells (default keeps each runner
+// paper-faithful: fused on Apex, per-primitive on Flink and Spark).
 //
 // Every run builds its own broker and engine cluster, so the matrix
 // cells are independent; -workers (default: one per CPU) fans them out
@@ -28,6 +33,7 @@ import (
 	"os"
 	"strings"
 
+	"beambench/internal/beam"
 	"beambench/internal/harness"
 	"beambench/internal/queries"
 )
@@ -50,6 +56,7 @@ func run(args []string, out io.Writer) error {
 		queryArg = fs.String("query", "", "limit to one query: identity|sample|projection|grep")
 		jsonPath = fs.String("json", "", "write the raw report as JSON to this file")
 		seed     = fs.Uint64("seed", 42, "dataset seed")
+		fusion   = fs.String("fusion", "default", "ParDo fusion mode for Beam cells: default|on|off")
 		noNoise  = fs.Bool("no-noise", false, "disable the run-to-run noise model")
 		workers  = fs.Int("workers", harness.DefaultWorkers(), "concurrent benchmark cells (1 = sequential)")
 		quiet    = fs.Bool("quiet", false, "suppress progress output")
@@ -86,11 +93,16 @@ func run(args []string, out io.Writer) error {
 	if *workers < 1 {
 		return fmt.Errorf("-workers must be at least 1, got %d", *workers)
 	}
+	fusionMode, err := beam.ParseFusionMode(*fusion)
+	if err != nil {
+		return err
+	}
 	cfg := harness.Config{
 		Records:      *records,
 		Runs:         *runs,
 		DatasetSeed:  *seed,
 		DisableNoise: *noNoise,
+		Fusion:       fusionMode,
 		Workers:      *workers,
 	}
 	if !*quiet {

@@ -3,10 +3,16 @@
 // (source, filter, sink) while the same query through the Beam
 // abstraction layer expands to seven.
 //
+// With -fused the command renders the post-fusion execution plan (the
+// shared optimizer of internal/beam/graphx, beam.FusionOn) next to the
+// logical per-primitive plan, making the operator-count reduction of
+// ParDo fusion visible.
+//
 // Usage:
 //
 //	planviz -query grep -api native
 //	planviz -query grep -api beam
+//	planviz -query grep -api beam -fused
 //	planviz -query identity -api beam -format dot
 package main
 
@@ -17,6 +23,8 @@ import (
 	"os"
 	"strings"
 
+	"beambench/internal/beam"
+	"beambench/internal/beam/graphx"
 	"beambench/internal/beam/runner/flinkrunner"
 	"beambench/internal/broker"
 	"beambench/internal/dag"
@@ -38,6 +46,7 @@ func run(args []string, out io.Writer) error {
 		apiArg      = fs.String("api", "native", "api: native|beam")
 		format      = fs.String("format", "text", "output format: text|dot")
 		parallelism = fs.Int("p", 1, "job parallelism")
+		fused       = fs.Bool("fused", false, "also render the post-fusion execution plan (requires -api beam)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,49 +73,104 @@ func run(args []string, out io.Writer) error {
 	cluster.Start()
 	defer cluster.Stop()
 
-	var (
+	type titledPlan struct {
 		plan  *dag.Graph
 		title string
-	)
+	}
+	var plans []titledPlan
 	switch *apiArg {
 	case "native":
+		if *fused {
+			return fmt.Errorf("-fused requires -api beam (native jobs have no Beam translation to fuse)")
+		}
 		env := flink.NewEnvironment(cluster).SetParallelism(*parallelism)
 		if err := queries.NativeFlink(env, w, q); err != nil {
 			return err
 		}
-		plan, err = env.ExecutionPlan()
+		plan, err := env.ExecutionPlan()
 		if err != nil {
 			return err
 		}
-		title = fmt.Sprintf("Flink execution plan, native %s query (cf. paper Figure 12)", q)
+		plans = append(plans, titledPlan{plan,
+			fmt.Sprintf("Flink execution plan, native %s query (cf. paper Figure 12)", q)})
 	case "beam":
+		if *fused && *format == "dot" {
+			// Concatenated digraphs break the pipe-to-graphviz workflow;
+			// render one plan per invocation in dot mode.
+			return fmt.Errorf("-fused supports -format text only (dot output is one graph per invocation)")
+		}
 		p, err := queries.BeamPipeline(w, q)
 		if err != nil {
 			return err
 		}
-		env, _, err := flinkrunner.Translate(p, flinkrunner.Config{Cluster: cluster, Parallelism: *parallelism})
+		plan, err := beamPlan(cluster, p, *parallelism, beam.FusionOff)
 		if err != nil {
 			return err
 		}
-		plan, err = env.ExecutionPlan()
-		if err != nil {
-			return err
+		plans = append(plans, titledPlan{plan,
+			fmt.Sprintf("Flink execution plan, Beam %s query, logical (cf. paper Figure 13)", q)})
+		if *fused {
+			fusedPlan, err := beamPlan(cluster, p, *parallelism, beam.FusionOn)
+			if err != nil {
+				return err
+			}
+			plans = append(plans, titledPlan{fusedPlan,
+				fmt.Sprintf("Flink execution plan, Beam %s query, post-fusion (shared optimizer)", q)})
+			stagePlan, err := stageGraph(p)
+			if err != nil {
+				return err
+			}
+			plans = append(plans, titledPlan{stagePlan,
+				fmt.Sprintf("Fused stage plan, Beam %s query (engine-independent)", q)})
 		}
-		title = fmt.Sprintf("Flink execution plan, Beam %s query (cf. paper Figure 13)", q)
 	default:
 		return fmt.Errorf("unknown api %q (want native or beam)", *apiArg)
 	}
 
-	switch *format {
-	case "text":
-		fmt.Fprintln(out, title)
-		fmt.Fprintf(out, "nodes: %d\n\n", plan.Len())
-		return plan.RenderText(out)
-	case "dot":
-		return plan.RenderDOT(out, title)
-	default:
-		return fmt.Errorf("unknown format %q (want text or dot)", *format)
+	for i, tp := range plans {
+		switch *format {
+		case "text":
+			if i > 0 {
+				fmt.Fprintln(out)
+			}
+			fmt.Fprintln(out, tp.title)
+			fmt.Fprintf(out, "nodes: %d\n\n", tp.plan.Len())
+			if err := tp.plan.RenderText(out); err != nil {
+				return err
+			}
+		case "dot":
+			if err := tp.plan.RenderDOT(out, tp.title); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown format %q (want text or dot)", *format)
+		}
 	}
+	return nil
+}
+
+// beamPlan translates the pipeline for Flink in the given fusion mode
+// and renders the engine execution plan.
+func beamPlan(cluster *flink.Cluster, p *beam.Pipeline, parallelism int, mode beam.FusionMode) (*dag.Graph, error) {
+	env, _, err := flinkrunner.Translate(p, flinkrunner.Config{
+		Cluster:     cluster,
+		Parallelism: parallelism,
+		Fusion:      mode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return env.ExecutionPlan()
+}
+
+// stageGraph renders the shared optimizer's fused stage plan, the
+// engine-independent view every runner translates from.
+func stageGraph(p *beam.Pipeline) (*dag.Graph, error) {
+	plan, err := graphx.Lower(p, graphx.Options{Fusion: true})
+	if err != nil {
+		return nil, err
+	}
+	return plan.Graph()
 }
 
 func parseQuery(s string) (queries.Query, error) {

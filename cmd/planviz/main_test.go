@@ -33,6 +33,36 @@ func TestBeamPlanHasSevenNodes(t *testing.T) {
 	}
 }
 
+func TestFusedRendersBothPlans(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-query", "grep", "-api", "beam", "-fused"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "nodes: 7") {
+		t.Errorf("fused output should still show the 7-node logical plan:\n%s", out)
+	}
+	if !strings.Contains(out, "nodes: 5") {
+		t.Errorf("fused output should show the 5-node post-fusion plan:\n%s", out)
+	}
+	if !strings.Contains(out, "ExecutableStage") {
+		t.Errorf("post-fusion plan should contain the fused ExecutableStage:\n%s", out)
+	}
+	if !strings.Contains(out, "WithoutMetadata+Values+Grep") {
+		t.Errorf("stage plan should show the fused chain label:\n%s", out)
+	}
+}
+
+func TestFusedRequiresBeamAPI(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-query", "grep", "-api", "native", "-fused"}, &sb); err == nil {
+		t.Error("-fused with -api native accepted")
+	}
+	if err := run([]string{"-query", "grep", "-api", "beam", "-fused", "-format", "dot"}, &sb); err == nil {
+		t.Error("-fused with -format dot accepted (concatenated digraphs)")
+	}
+}
+
 func TestDotOutput(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-query", "identity", "-api", "beam", "-format", "dot"}, &sb); err != nil {

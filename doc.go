@@ -5,8 +5,41 @@
 // Streaming and Apache Apex.
 //
 // The repository contains simulators for all three engines and their
-// substrates (a Kafka-style broker, YARN), a Beam-style SDK with one
-// runner per engine, the StreamBench queries in native and Beam
-// variants, and a harness that regenerates every figure and table of the
-// paper's evaluation. See README.md, DESIGN.md and EXPERIMENTS.md.
+// substrates (a Kafka-style broker, YARN), a Beam-style SDK, the
+// StreamBench queries in native and Beam variants, and a harness that
+// regenerates every figure and table of the paper's evaluation.
+//
+// # Runner API
+//
+// Pipelines execute through a single interface, with engines selected
+// by name from a registry (internal/beam):
+//
+//	import (
+//	    "beambench/internal/beam"
+//	    _ "beambench/internal/beam/runners" // register direct, flink, spark, apex
+//	)
+//
+//	r, _ := beam.GetRunner("flink")
+//	res, err := r.Run(ctx, pipeline, beam.Options{Parallelism: 2})
+//
+// beam.Options carries the runner-independent knobs (parallelism, the
+// cost model, the fusion mode); beam.Result reports per-collection
+// outputs (direct runner), translated engine operator counts, and
+// per-operator metrics. Each runner builds and tears down a fresh
+// engine cluster per run, the paper's isolation discipline.
+//
+// # The fusion optimizer
+//
+// All runners translate from the execution plan produced by the shared
+// optimizer (internal/beam/graphx), which lowers a validated pipeline
+// into stages and — when fusion is on — collapses maximal ParDo chains
+// into single executable stages, stopping at GroupByKey, Flatten,
+// WindowInto and multi-consumer boundaries. beam.Options.Fusion selects
+// the mode: FusionDefault is paper-faithful (the Apex runner fuses,
+// Flink and Spark emit one engine operator per primitive — the
+// structural overhead of Figure 13), while FusionOn/FusionOff force one
+// mode everywhere so the fused-vs-unfused cost is measurable per engine
+// (BenchmarkFusionOverhead, `beambench -fusion`, `planviz -fused`).
+//
+// See README.md, DESIGN.md and EXPERIMENTS.md.
 package beambench

@@ -2,29 +2,27 @@
 //
 // One Beam pipeline definition (the StreamBench projection query) runs
 // unchanged on four runners — direct, Flink, Spark Streaming and Apex —
-// and the program verifies all four produce the same output, then prints
-// the measured execution time per runner so the cost of the abstraction
-// layer on each engine is visible (cf. the paper's Figures 6-9).
+// selected by name from the runner registry. The program verifies all
+// four produce the same output, then prints the measured execution time
+// and translated operator count per runner, so both the cost of the
+// abstraction layer (cf. the paper's Figures 6-9) and the effect of the
+// shared fusion optimizer are visible.
 //
 //	go run ./examples/multirunner
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"beambench/internal/aol"
-	"beambench/internal/beam/runner/apexrunner"
-	"beambench/internal/beam/runner/direct"
-	"beambench/internal/beam/runner/flinkrunner"
-	"beambench/internal/beam/runner/sparkrunner"
+	"beambench/internal/beam"
+	_ "beambench/internal/beam/runners" // register direct, flink, spark, apex
 	"beambench/internal/broker"
-	"beambench/internal/flink"
 	"beambench/internal/queries"
 	"beambench/internal/simcost"
-	"beambench/internal/spark"
-	"beambench/internal/yarn"
 )
 
 const records = 20_000
@@ -37,35 +35,57 @@ func main() {
 
 func run() error {
 	type outcome struct {
-		runner  string
-		outputs int64
-		span    time.Duration
+		runner    string
+		outputs   int64
+		span      time.Duration
+		operators int
 	}
+	costs := simcost.DefaultCosts()
 	var outcomes []outcome
-	for _, runner := range []string{"direct", "flink", "spark", "apex"} {
+	// beam.RunnerNames reports every registered runner — no switch
+	// statement, no engine-specific configuration.
+	for _, name := range beam.RunnerNames() {
 		w, err := freshWorkload()
 		if err != nil {
 			return err
 		}
-		if err := execute(runner, w); err != nil {
-			return fmt.Errorf("%s runner: %w", runner, err)
+		// The pipeline is identical for every runner — that is the point.
+		pipeline, err := queries.BeamPipeline(w, queries.Projection)
+		if err != nil {
+			return err
+		}
+		runner, err := beam.GetRunner(name)
+		if err != nil {
+			return err
+		}
+		res, err := runner.Run(context.Background(), pipeline, beam.Options{
+			Costs: &costs,
+			Sim:   simcost.New(1.0),
+		})
+		if err != nil {
+			return fmt.Errorf("%s runner: %w", name, err)
 		}
 		first, last, n, err := w.Broker.TimeSpan(w.OutputTopic)
 		if err != nil {
 			return err
 		}
-		outcomes = append(outcomes, outcome{runner: runner, outputs: n, span: last.Sub(first)})
+		outcomes = append(outcomes, outcome{
+			runner:    name,
+			outputs:   n,
+			span:      last.Sub(first),
+			operators: res.OperatorCount(),
+		})
 	}
 
-	fmt.Printf("one pipeline, four runners (%d input records):\n", records)
+	fmt.Printf("one pipeline, %d runners (%d input records):\n", len(outcomes), records)
 	for _, o := range outcomes {
-		fmt.Printf("  %-8s %6d output records   execution time %8.3fs\n",
-			o.runner, o.outputs, o.span.Seconds())
+		fmt.Printf("  %-8s %6d output records   %2d engine operators   execution time %8.3fs\n",
+			o.runner, o.outputs, o.operators, o.span.Seconds())
 	}
 	for _, o := range outcomes[1:] {
 		if o.outputs != outcomes[0].outputs {
-			return fmt.Errorf("runner %s produced %d records, direct produced %d",
-				o.runner, o.outputs, outcomes[0].outputs)
+			return fmt.Errorf("runner %s produced %d records, %s produced %d",
+				o.runner, o.outputs, outcomes[0].runner, outcomes[0].outputs)
 		}
 	}
 	fmt.Println("all runners produced identical output counts — same program, different price.")
@@ -102,48 +122,4 @@ func freshWorkload() (queries.Workload, error) {
 		return queries.Workload{}, err
 	}
 	return queries.Workload{Broker: b, InputTopic: "input", OutputTopic: "output", Seed: 7}, nil
-}
-
-func execute(runner string, w queries.Workload) error {
-	// The pipeline is identical for every runner — that is the point.
-	pipeline, err := queries.BeamPipeline(w, queries.Projection)
-	if err != nil {
-		return err
-	}
-	costs := simcost.DefaultCosts()
-	sim := simcost.New(1.0)
-	switch runner {
-	case "direct":
-		_, err := direct.Run(pipeline)
-		return err
-	case "flink":
-		cluster, err := flink.NewCluster(flink.ClusterConfig{Costs: costs, Sim: sim})
-		if err != nil {
-			return err
-		}
-		cluster.Start()
-		defer cluster.Stop()
-		_, err = flinkrunner.Run(pipeline, flinkrunner.Config{Cluster: cluster})
-		return err
-	case "spark":
-		cluster, err := spark.NewCluster(spark.ClusterConfig{Costs: costs, Sim: sim})
-		if err != nil {
-			return err
-		}
-		cluster.Start()
-		defer cluster.Stop()
-		_, err = sparkrunner.Run(pipeline, sparkrunner.Config{Cluster: cluster})
-		return err
-	case "apex":
-		cluster, err := yarn.NewCluster(yarn.ClusterConfig{})
-		if err != nil {
-			return err
-		}
-		cluster.Start()
-		defer cluster.Stop()
-		_, err = apexrunner.Run(pipeline, apexrunner.Config{Cluster: cluster, Costs: costs, Sim: sim})
-		return err
-	default:
-		return fmt.Errorf("unknown runner %q", runner)
-	}
 }

@@ -3,21 +3,23 @@
 //
 // The pipeline reads search-log records from a broker topic, keeps the
 // ones matching "test" and writes them back to another topic — the grep
-// query of the StreamBench workload.
+// query of the StreamBench workload. The engine is selected by name
+// from the runner registry; swap "flink" for "spark", "apex" or
+// "direct" and nothing else changes.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
 	"beambench/internal/aol"
 	"beambench/internal/beam"
-	"beambench/internal/beam/runner/flinkrunner"
+	_ "beambench/internal/beam/runners" // register direct, flink, spark, apex
 	"beambench/internal/broker"
-	"beambench/internal/flink"
 )
 
 func main() {
@@ -65,14 +67,13 @@ func run() error {
 	}, values)
 	beam.KafkaWrite(p, b, "matches", matches, broker.ProducerConfig{})
 
-	// Run it on a two-node Flink cluster through the Flink runner.
-	cluster, err := flink.NewCluster(flink.ClusterConfig{})
+	// Run it through the Flink runner, selected by name; the runner
+	// builds (and tears down) its own engine cluster.
+	runner, err := beam.GetRunner("flink")
 	if err != nil {
 		return err
 	}
-	cluster.Start()
-	defer cluster.Stop()
-	result, err := flinkrunner.Run(p, flinkrunner.Config{Cluster: cluster})
+	result, err := runner.Run(context.Background(), p, beam.Options{})
 	if err != nil {
 		return err
 	}
@@ -82,6 +83,7 @@ func run() error {
 		return err
 	}
 	fmt.Printf("quickstart: %d of 10000 records matched %q\n", count, "test")
-	fmt.Printf("job %q ran as %d tasks in %v\n", result.JobName, result.Tasks, result.Duration)
+	fmt.Printf("the job ran as %d engine operators; re-run with beam.Options{Fusion: beam.FusionOn} to fuse the ParDo chain\n",
+		result.OperatorCount())
 	return nil
 }

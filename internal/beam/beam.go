@@ -247,10 +247,18 @@ func Flatten(p *Pipeline, ins ...PCollection) PCollection {
 		}
 	}
 	coder := ins[0].node.coder
+	windowing := ins[0].node.windowing
 	bounded := true
 	for _, in := range ins {
 		if in.node.coder.Name() != coder.Name() {
 			p.fail(fmt.Errorf("beam: Flatten: mixed coders %s and %s", coder.Name(), in.node.coder.Name()))
+		}
+		// Merging differently-windowed inputs would silently adopt the
+		// first input's strategy; the Beam model requires identical
+		// windowing across Flatten inputs.
+		if in.node.windowing.Key() != windowing.Key() {
+			p.fail(fmt.Errorf("beam: Flatten: mismatched windowing strategies %s and %s",
+				windowing.Key(), in.node.windowing.Key()))
 		}
 		if !in.node.bounded {
 			bounded = false

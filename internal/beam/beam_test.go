@@ -65,6 +65,38 @@ func TestValidateErrors(t *testing.T) {
 			t.Error("mixed-coder flatten validated")
 		}
 	})
+	t.Run("flatten mismatched windowing", func(t *testing.T) {
+		p := NewPipeline()
+		a := Create(p, []any{"a"})
+		b := WindowInto(p, WindowingStrategy{Fn: FixedWindows{Size: time.Minute}}, Create(p, []any{"b"}))
+		Flatten(p, a, b)
+		err := p.Validate()
+		if err == nil {
+			t.Fatal("mismatched-windowing flatten validated")
+		}
+		if !strings.Contains(err.Error(), "windowing") {
+			t.Errorf("error %q does not mention windowing", err)
+		}
+	})
+	t.Run("flatten mismatched triggers", func(t *testing.T) {
+		p := NewPipeline()
+		a := Create(p, []any{"a"})
+		b := WindowInto(p, DefaultWindowing().Triggering(AfterCount{N: 2}), Create(p, []any{"b"}))
+		Flatten(p, a, b)
+		if err := p.Validate(); err == nil {
+			t.Error("mismatched-trigger flatten validated")
+		}
+	})
+	t.Run("flatten identical windowing ok", func(t *testing.T) {
+		p := NewPipeline()
+		ws := WindowingStrategy{Fn: FixedWindows{Size: time.Minute}}
+		a := WindowInto(p, ws, Create(p, []any{"a"}))
+		b := WindowInto(p, ws, Create(p, []any{"b"}))
+		Flatten(p, a, b)
+		if err := p.Validate(); err != nil {
+			t.Errorf("identically-windowed flatten rejected: %v", err)
+		}
+	})
 }
 
 func TestGroupByKeyUnboundedGlobalRejected(t *testing.T) {

@@ -3,18 +3,21 @@
 // most extreme result (Hesse et al., ICDCS 2019, Figure 11: slowdowns of
 // 32-58x for output-heavy queries but ~1x for grep):
 //
-//   - The ParDo chain is fused into a single Apex operator (an
-//     executable stage deployed with container-local stream locality),
-//     so the *input* path performs like a native Apex job — elements
-//     pass between fused DoFns in memory without coder round trips.
-//     This is why the paper measures Beam-on-Apex grep on par with
-//     native Apex (sf 0.91) while Beam-on-Flink pays for every one of
-//     its unchained operator boundaries.
-//   - The *output* path is pathological: the stream into the Kafka
-//     output operator publishes per tuple through the buffer server, and
-//     the output operator writes synchronously — one produce request per
-//     record (producer batch size 1) plus per-record KafkaIO write
-//     bookkeeping. The cost therefore scales with output volume:
+//   - By default the ParDo chain is fused into a single Apex operator
+//     (an executable stage deployed with container-local stream
+//     locality) by the shared fusion pass (internal/beam/graphx), so the
+//     *input* path performs like a native Apex job — elements pass
+//     between fused DoFns in memory without coder round trips. This is
+//     why the paper measures Beam-on-Apex grep on par with native Apex
+//     (sf 0.91) while Beam-on-Flink pays for every one of its unchained
+//     operator boundaries. beam.FusionOff disables the pass, deploying
+//     one operator per ParDo with a coder boundary at each hop, so the
+//     unfused abstraction cost is measurable on Apex too.
+//   - The *output* path is pathological in both modes: the stream into
+//     the Kafka output operator publishes per tuple through the buffer
+//     server, and the output operator writes synchronously — one produce
+//     request per record (producer batch size 1) plus per-record KafkaIO
+//     write bookkeeping. The cost therefore scales with output volume:
 //     catastrophic for identity/projection (100% output), roughly half
 //     for sample (40%), negligible for grep (0.3%).
 //   - The output operator is pinned to a single partition: the output
@@ -25,14 +28,23 @@
 package apexrunner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"beambench/internal/apex"
 	"beambench/internal/beam"
+	"beambench/internal/beam/graphx"
 	"beambench/internal/simcost"
 	"beambench/internal/yarn"
 )
+
+// Name is the runner's registry name.
+const Name = "apex"
+
+func init() {
+	beam.RegisterRunner(Name, Runner{})
+}
 
 // ErrUnsupported marks transforms and shapes this runner cannot
 // translate.
@@ -59,6 +71,54 @@ type Config struct {
 	Costs simcost.Costs
 	// Sim scales the cost model; nil charges nothing.
 	Sim *simcost.Simulator
+	// Fusion selects the translation mode. The Apex runner's default is
+	// fused — the executable-stage deployment the paper measures.
+	Fusion beam.FusionMode
+}
+
+// Runner implements beam.Runner: it builds a fresh YARN cluster from
+// the options, launches the application and tears the cluster down.
+type Runner struct{}
+
+// Run implements beam.Runner.
+func (Runner) Run(ctx context.Context, p *beam.Pipeline, opts beam.Options) (beam.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cluster, err := yarn.NewCluster(yarn.ClusterConfig{})
+	if err != nil {
+		return nil, err
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	res, err := Run(p, Config{
+		Cluster:     cluster,
+		Parallelism: opts.EffectiveParallelism(),
+		Costs:       opts.EffectiveCosts(),
+		Sim:         opts.Sim,
+		Fusion:      opts.Fusion,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &result{app: res}, nil
+}
+
+// result adapts an apex.AppResult to beam.Result.
+type result struct {
+	app *apex.AppResult
+}
+
+func (r *result) Elements(beam.PCollection) []any { return nil }
+
+func (r *result) OperatorCount() int { return len(r.app.Operators) }
+
+func (r *result) Metrics() map[string]int64 {
+	out := make(map[string]int64, len(r.app.Operators))
+	for _, o := range r.app.Operators {
+		out[o.Name] += o.TuplesOut
+	}
+	return out
 }
 
 // Run translates and executes the pipeline, blocking until completion.
@@ -74,45 +134,46 @@ func Run(p *beam.Pipeline, cfg Config) (*apex.AppResult, error) {
 	return stram.Await()
 }
 
-// linearPipeline is the normalized shape this runner translates: one
-// source, a chain of ParDos, one Kafka sink.
-type linearPipeline struct {
-	read   *beam.Transform // KindKafkaRead or KindCreate
-	parDos []*beam.Transform
-	write  *beam.Transform
+// linearPlan is the normalized shape this runner translates: one source,
+// a chain of ParDo stages (each a single transform, or the whole fused
+// chain), one Kafka sink.
+type linearPlan struct {
+	read   *graphx.Stage // KindKafkaRead or KindCreate
+	stages []*graphx.Stage
+	write  *graphx.Stage
 }
 
-// normalize validates that the pipeline is a linear source-ParDos-sink
-// chain and returns its stages in order.
-func normalize(p *beam.Pipeline) (*linearPipeline, error) {
-	var lp linearPipeline
+// normalize validates that the lowered plan is a linear
+// source-ParDos-sink chain and returns its stages in order.
+func normalize(plan *graphx.Plan) (*linearPlan, error) {
+	var lp linearPlan
 	prevOut := -1
-	for _, t := range p.Transforms() {
-		switch t.Kind {
+	for _, s := range plan.Stages {
+		switch s.Kind() {
 		case beam.KindKafkaRead, beam.KindCreate:
 			if lp.read != nil {
 				return nil, fmt.Errorf("%w: multiple sources", ErrUnsupported)
 			}
-			lp.read = t
+			lp.read = s
 		case beam.KindParDo:
-			if lp.read == nil || t.Inputs[0].ID() != prevOut {
+			if lp.read == nil || s.Inputs()[0].ID() != prevOut {
 				return nil, fmt.Errorf("%w: non-linear pipeline", ErrUnsupported)
 			}
-			lp.parDos = append(lp.parDos, t)
+			lp.stages = append(lp.stages, s)
 		case beam.KindKafkaWrite:
 			if lp.write != nil {
 				return nil, fmt.Errorf("%w: multiple sinks", ErrUnsupported)
 			}
-			if t.Inputs[0].ID() != prevOut {
+			if s.Inputs()[0].ID() != prevOut {
 				return nil, fmt.Errorf("%w: non-linear pipeline", ErrUnsupported)
 			}
-			lp.write = t
+			lp.write = s
 			continue
 		default:
-			return nil, fmt.Errorf("%w: %v (%s)", ErrUnsupported, t.Kind, t.Name)
+			return nil, fmt.Errorf("%w: %v (%s)", ErrUnsupported, s.Kind(), s.Name())
 		}
-		if t.Output.Valid() {
-			prevOut = t.Output.ID()
+		if s.Output().Valid() {
+			prevOut = s.Output().ID()
 		}
 	}
 	if lp.read == nil {
@@ -137,10 +198,11 @@ func Translate(p *beam.Pipeline, cfg Config) (*apex.Application, apex.LaunchConf
 	if cfg.Parallelism < 0 {
 		return nil, zero, fmt.Errorf("apexrunner: negative parallelism %d", cfg.Parallelism)
 	}
-	if err := p.Validate(); err != nil {
+	plan, err := graphx.Lower(p, graphx.Options{Fusion: cfg.Fusion.Enabled(true)})
+	if err != nil {
 		return nil, zero, err
 	}
-	lp, err := normalize(p)
+	lp, err := normalize(plan)
 	if err != nil {
 		return nil, zero, err
 	}
@@ -149,40 +211,65 @@ func Translate(p *beam.Pipeline, cfg Config) (*apex.Application, apex.LaunchConf
 
 	// Source.
 	var sourceIsKafka bool
-	switch lp.read.Kind {
+	topic := ""
+	switch lp.read.Kind() {
 	case beam.KindKafkaRead:
-		rc, ok := lp.read.Config.(beam.KafkaReadConfig)
+		rc, ok := lp.read.Transforms[0].Config.(beam.KafkaReadConfig)
 		if !ok {
 			return nil, zero, errors.New("apexrunner: malformed KafkaRead config")
 		}
 		app.AddInput(NameRead, apex.KafkaInput(rc.Broker, rc.Topic))
 		sourceIsKafka = true
+		topic = rc.Topic
 	case beam.KindCreate:
-		values, ok := lp.read.Config.([]any)
+		values, ok := lp.read.Transforms[0].Config.([]any)
 		if !ok {
 			return nil, zero, errors.New("apexrunner: malformed Create config")
 		}
-		encoded, err := encodeAll(values, lp.read.Output.Coder())
+		encoded, err := encodeAll(values, lp.read.Output().Coder())
 		if err != nil {
 			return nil, zero, fmt.Errorf("apexrunner: Create: %w", err)
 		}
 		app.AddInput(NameRead, apex.SliceInput(encoded))
 	}
 
-	// Fused executable stage.
-	wc, ok := lp.write.Config.(beam.KafkaWriteConfig)
+	wc, ok := lp.write.Transforms[0].Config.(beam.KafkaWriteConfig)
 	if !ok {
 		return nil, zero, errors.New("apexrunner: malformed KafkaWrite config")
 	}
-	app.AddOperator(NameStage, fusedStage(lp, sourceIsKafka, cfg.Costs))
-	app.AddStream("readToStage", NameRead, NameStage)
+
+	// One Apex operator per ParDo stage. Fused, the whole chain is a
+	// single executable stage (the paper's deployment); unfused, every
+	// ParDo pays a buffer-server hop and a coder boundary per record.
+	// An empty chain (read straight into write) still deploys one
+	// forwarding stage, preserving the three-operator minimum shape.
+	names := stageNames(lp.stages)
+	prev := NameRead
+	for i, s := range lp.stages {
+		entry := entrySpec{decode: s.Inputs()[0].Coder()}
+		if i == 0 {
+			entry = sourceEntry(sourceIsKafka, topic, lp.read.Output().Coder())
+		}
+		exit := exitSpec{encode: s.Output().Coder()}
+		if i == len(lp.stages)-1 {
+			exit = exitSpec{toSink: true}
+		}
+		app.AddOperator(names[i], stageOp(names[i], s.Fn(), entry, exit, cfg.Costs))
+		app.AddStream(fmt.Sprintf("stream%d", i), prev, names[i])
+		prev = names[i]
+	}
+	if len(lp.stages) == 0 {
+		app.AddOperator(NameStage, stageOp(NameStage, nil, sourceEntry(sourceIsKafka, topic, lp.read.Output().Coder()), exitSpec{toSink: true}, cfg.Costs))
+		app.AddStream("stream0", prev, NameStage)
+		prev = NameStage
+	}
 
 	// Sink: unbatched synchronous producer, fed by a per-tuple stream,
 	// pinned to one partition (single-partition output topic).
 	producerCfg := wc.Producer
 	producerCfg.BatchSize = 1
 	app.AddOutput(NameWrite, apex.KafkaOutput(wc.Broker, wc.Topic, producerCfg))
-	app.AddStream("stageToWrite", NameStage, NameWrite)
+	app.AddStream("stageToWrite", prev, NameWrite)
 	app.SetStreamPerTuple("stageToWrite", true)
 	app.SetOperatorPartitions(NameWrite, 1)
 
@@ -194,61 +281,108 @@ func Translate(p *beam.Pipeline, cfg Config) (*apex.Application, apex.LaunchConf
 	return app, launch, nil
 }
 
-// fusedStage builds the single operator executing the whole DoFn chain.
-// Elements travel between fused DoFns as in-memory values (container-
-// local locality): the entry decodes or wraps once, the exit charges the
-// per-record synchronous write bookkeeping, and only one bundle-dispatch
-// charge applies per record.
-func fusedStage(lp *linearPipeline, sourceIsKafka bool, costs simcost.Costs) apex.GenericFactory {
+// stageNames assigns unique operator names: the canonical fused-stage
+// name for a fused chain, the transform name (deduplicated) otherwise.
+func stageNames(stages []*graphx.Stage) []string {
+	names := make([]string, len(stages))
+	seen := make(map[string]bool)
+	for i, s := range stages {
+		name := s.Name()
+		if s.Fused() {
+			name = NameStage
+		}
+		if name == "" {
+			name = fmt.Sprintf("ParDo%d", i)
+		}
+		if seen[name] {
+			name = fmt.Sprintf("%s#%d", name, i)
+		}
+		seen[name] = true
+		names[i] = name
+	}
+	return names
+}
+
+// entrySpec describes how a stage turns an incoming tuple into an
+// element: wrapping a raw broker payload into a KafkaRecord (the first
+// stage after a Kafka source) or decoding with the boundary coder.
+type entrySpec struct {
+	kafkaTopic string
+	wrapKafka  bool
+	decode     beam.Coder
+}
+
+func sourceEntry(sourceIsKafka bool, topic string, createCoder beam.Coder) entrySpec {
+	if sourceIsKafka {
+		return entrySpec{wrapKafka: true, kafkaTopic: topic}
+	}
+	return entrySpec{decode: createCoder}
+}
+
+// exitSpec describes the stage exit: serializing the payload for the
+// synchronous Kafka sink, or encoding for the next operator boundary.
+type exitSpec struct {
+	toSink bool
+	encode beam.Coder
+}
+
+// stageOp builds one operator executing a ParDo stage (a single DoFn or
+// a fused chain; nil forwards elements unchanged). Fused, elements
+// travel between the chained DoFns as in-memory values (container-local
+// locality) and only one bundle-dispatch charge applies per record;
+// unfused, each operator boundary pays a coder round trip. The exit
+// into the sink charges the per-record synchronous write bookkeeping.
+func stageOp(name string, fn beam.DoFn, entry entrySpec, exit exitSpec, costs simcost.Costs) apex.GenericFactory {
 	return apex.ProcessOp(func(ctx apex.OperatorContext) (func([]byte, func([]byte) error) error, error) {
-		for _, t := range lp.parDos {
-			if s, ok := t.Fn.(beam.Setupper); ok {
+		if fn != nil {
+			if s, ok := fn.(beam.Setupper); ok {
 				if err := s.Setup(); err != nil {
-					return nil, fmt.Errorf("apexrunner: DoFn %q setup: %w", t.Name, err)
+					return nil, fmt.Errorf("apexrunner: stage %q setup: %w", name, err)
 				}
 			}
 		}
-		readTopic := ""
-		if sourceIsKafka {
-			if rc, ok := lp.read.Config.(beam.KafkaReadConfig); ok {
-				readTopic = rc.Topic
-			}
-		}
-		inCoder := lp.read.Output.Coder()
 		bctx := beam.Context{Window: beam.GlobalWindow{}}
 
-		// Compose the DoFn chain once per stage instance. The stage exit
-		// serializes for the sink and charges the synchronous KafkaIO
-		// write bookkeeping per output record; tupleEmit is rebound per
-		// incoming tuple.
+		// Compose the stage once per operator instance; tupleEmit is
+		// rebound per incoming tuple.
 		var tupleEmit func([]byte) error
-		chain := beam.Emitter(func(v any) error {
-			payload, ok := v.([]byte)
-			if !ok {
-				return fmt.Errorf("apexrunner: KafkaWrite element %T is not []byte", v)
+		out := beam.Emitter(func(v any) error {
+			if exit.toSink {
+				payload, ok := v.([]byte)
+				if !ok {
+					return fmt.Errorf("apexrunner: KafkaWrite element %T is not []byte", v)
+				}
+				ctx.Charge(costs.CoderPerRecord)
+				ctx.Charge(costs.ProducerSyncSend)
+				return tupleEmit(payload)
+			}
+			wire, err := exit.encode.Encode(v)
+			if err != nil {
+				return fmt.Errorf("apexrunner: stage encode: %w", err)
 			}
 			ctx.Charge(costs.CoderPerRecord)
-			ctx.Charge(costs.ProducerSyncSend)
-			return tupleEmit(payload)
+			return tupleEmit(wire)
 		})
-		for i := len(lp.parDos) - 1; i >= 0; i-- {
-			fn := lp.parDos[i].Fn
-			downstream := chain
+		chain := out
+		if fn != nil {
 			chain = func(v any) error {
-				return fn.ProcessElement(bctx, v, downstream)
+				return fn.ProcessElement(bctx, v, out)
 			}
 		}
 
 		return func(tuple []byte, emit func([]byte) error) error {
-			// Stage entry: wrap or decode exactly once.
+			// Stage entry: wrap or decode exactly once. Decoding pays
+			// the boundary coder cost, like the other runners' per-
+			// operator decode; wrapping a raw Kafka payload is free.
 			var elem any
-			if sourceIsKafka {
-				elem = beam.KafkaRecord{Topic: readTopic, Value: tuple}
+			if entry.wrapKafka {
+				elem = beam.KafkaRecord{Topic: entry.kafkaTopic, Value: tuple}
 			} else {
-				decoded, err := inCoder.Decode(tuple)
+				decoded, err := entry.decode.Decode(tuple)
 				if err != nil {
 					return fmt.Errorf("apexrunner: stage decode: %w", err)
 				}
+				ctx.Charge(costs.CoderPerRecord)
 				elem = decoded
 			}
 			ctx.Charge(costs.BeamDoFnPerRecord)

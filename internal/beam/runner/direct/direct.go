@@ -2,29 +2,69 @@
 // without an engine. It is the reference for transform semantics: the
 // engine runners must agree with it on outputs (differing only in cost),
 // and the SDK's own tests run against it.
+//
+// The runner executes the execution plan produced by the shared
+// optimizer (internal/beam/graphx); with fusion enabled a chain of
+// ParDos runs as one stage whose intermediate collections are never
+// materialized, which is exactly what fusion buys on the engines.
 package direct
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"beambench/internal/beam"
+	"beambench/internal/beam/graphx"
 	"beambench/internal/broker"
 )
+
+// Name is the runner's registry name.
+const Name = "direct"
+
+func init() {
+	beam.RegisterRunner(Name, Runner{})
+}
+
+// Runner implements beam.Runner. The direct runner ignores Parallelism,
+// Costs and Sim: it has no engine to charge.
+type Runner struct{}
+
+// Run implements beam.Runner.
+func (Runner) Run(ctx context.Context, p *beam.Pipeline, opts beam.Options) (beam.Result, error) {
+	// Fusion is off by default: the direct runner materializes every
+	// collection so tests can inspect intermediates.
+	return run(ctx, p, opts.Fusion.Enabled(false))
+}
 
 // Result holds the materialized outputs of a pipeline run.
 type Result struct {
 	// Collections maps PCollection IDs to their materialized elements
 	// in processing order.
 	Collections map[int][]any
-	// Counts maps transform names to emitted element counts.
+	// Counts maps stage names to emitted element counts.
 	Counts map[string]int64
+
+	operators int
 }
 
-// Elements returns the materialized elements of a collection.
+// Elements returns the materialized elements of a collection. Inside a
+// fused stage only the stage's final output is materialized.
 func (r *Result) Elements(col beam.PCollection) []any {
 	return r.Collections[col.ID()]
+}
+
+// OperatorCount implements beam.Result: the number of executed stages.
+func (r *Result) OperatorCount() int { return r.operators }
+
+// Metrics implements beam.Result.
+func (r *Result) Metrics() map[string]int64 {
+	out := make(map[string]int64, len(r.Counts))
+	for k, v := range r.Counts {
+		out[k] = v
+	}
+	return out
 }
 
 // windowedValue carries an element with its timestamp and window.
@@ -35,41 +75,53 @@ type windowedValue struct {
 }
 
 // Run executes the pipeline to completion and materializes every
-// collection. KafkaRead consumes the topic's current contents as a
-// bounded snapshot; KafkaWrite produces to the broker.
+// collection (no fusion). KafkaRead consumes the topic's current
+// contents as a bounded snapshot; KafkaWrite produces to the broker.
 func Run(p *beam.Pipeline) (*Result, error) {
-	if err := p.Validate(); err != nil {
+	return run(context.Background(), p, false)
+}
+
+func run(ctx context.Context, p *beam.Pipeline, fused bool) (*Result, error) {
+	plan, err := graphx.Lower(p, graphx.Options{Fusion: fused})
+	if err != nil {
 		return nil, err
 	}
 	res := &Result{
 		Collections: make(map[int][]any),
 		Counts:      make(map[string]int64),
+		operators:   plan.OperatorCount(),
 	}
 	data := make(map[int][]windowedValue)
-	for _, t := range p.Transforms() {
-		out, err := runTransform(t, data)
-		if err != nil {
-			return nil, fmt.Errorf("direct: transform %q: %w", t.Name, err)
+	for _, s := range plan.Stages {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
-		if t.Output.Valid() {
-			data[t.Output.ID()] = out
+		out, err := runStage(s, data)
+		if err != nil {
+			return nil, fmt.Errorf("direct: stage %q: %w", s.Name(), err)
+		}
+		if s.Output().Valid() {
+			data[s.Output().ID()] = out
 			vals := make([]any, len(out))
 			for i, wv := range out {
 				vals[i] = wv.value
 			}
-			res.Collections[t.Output.ID()] = vals
-			res.Counts[t.Name] += int64(len(out))
+			res.Collections[s.Output().ID()] = vals
+			res.Counts[s.Name()] += int64(len(out))
 		}
 	}
 	return res, nil
 }
 
-func runTransform(t *beam.Transform, data map[int][]windowedValue) ([]windowedValue, error) {
-	switch t.Kind {
+func runStage(s *graphx.Stage, data map[int][]windowedValue) ([]windowedValue, error) {
+	t := s.Transforms[0]
+	switch s.Kind() {
 	case beam.KindCreate:
 		return runCreate(t)
 	case beam.KindParDo:
-		return runParDo(t, data)
+		return runParDo(s, data)
 	case beam.KindFlatten:
 		var out []windowedValue
 		for _, in := range t.Inputs {
@@ -85,7 +137,7 @@ func runTransform(t *beam.Transform, data map[int][]windowedValue) ([]windowedVa
 	case beam.KindKafkaWrite:
 		return nil, runKafkaWrite(t, data)
 	default:
-		return nil, fmt.Errorf("unsupported transform kind %v", t.Kind)
+		return nil, fmt.Errorf("unsupported transform kind %v", s.Kind())
 	}
 }
 
@@ -101,16 +153,19 @@ func runCreate(t *beam.Transform) ([]windowedValue, error) {
 	return out, nil
 }
 
-func runParDo(t *beam.Transform, data map[int][]windowedValue) ([]windowedValue, error) {
-	if s, ok := t.Fn.(beam.Setupper); ok {
-		if err := s.Setup(); err != nil {
+// runParDo executes a ParDo stage; for a fused stage the composed fn
+// runs the whole chain per element, in memory.
+func runParDo(s *graphx.Stage, data map[int][]windowedValue) ([]windowedValue, error) {
+	fn := s.Fn()
+	if setup, ok := fn.(beam.Setupper); ok {
+		if err := setup.Setup(); err != nil {
 			return nil, fmt.Errorf("setup: %w", err)
 		}
 	}
 	var out []windowedValue
-	for _, wv := range data[t.Inputs[0].ID()] {
+	for _, wv := range data[s.Inputs()[0].ID()] {
 		ctx := beam.Context{Timestamp: wv.ts, Window: wv.window}
-		err := t.Fn.ProcessElement(ctx, wv.value, func(elem any) error {
+		err := fn.ProcessElement(ctx, wv.value, func(elem any) error {
 			out = append(out, windowedValue{value: elem, ts: wv.ts, window: wv.window})
 			return nil
 		})
@@ -118,7 +173,7 @@ func runParDo(t *beam.Transform, data map[int][]windowedValue) ([]windowedValue,
 			return nil, err
 		}
 	}
-	if td, ok := t.Fn.(beam.Teardowner); ok {
+	if td, ok := fn.(beam.Teardowner); ok {
 		if err := td.Teardown(); err != nil {
 			return nil, fmt.Errorf("teardown: %w", err)
 		}

@@ -6,17 +6,30 @@
 // KafkaIO read expands into a raw source plus a flat-map step. A native
 // three-operator grep job therefore becomes a seven-operator Beam job —
 // the structural source of the measured slowdown.
+//
+// Forcing the shared fusion optimizer (beam.FusionOn) collapses the
+// ParDo chain into a single ExecutableStage operator, removing the
+// intermediate coder boundaries and making the closed gap measurable.
 package flinkrunner
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 
 	"beambench/internal/beam"
+	"beambench/internal/beam/graphx"
 	"beambench/internal/flink"
 	"beambench/internal/simcost"
 )
+
+// Name is the runner's registry name.
+const Name = "flink"
+
+func init() {
+	beam.RegisterRunner(Name, Runner{})
+}
 
 // ErrUnsupported marks transforms this runner cannot translate.
 var ErrUnsupported = errors.New("flinkrunner: unsupported transform")
@@ -30,6 +43,9 @@ const (
 	NameReadFlatMap = "Flat Map"
 	// NameRawParDo is the label of every translated ParDo.
 	NameRawParDo = "ParDoTranslation.RawParDo"
+	// NameExecutableStage labels a fused ParDo chain when the shared
+	// fusion optimizer is forced on (beam.FusionOn).
+	NameExecutableStage = "ExecutableStage"
 )
 
 // Config parameterizes a pipeline execution.
@@ -39,6 +55,53 @@ type Config struct {
 	// Parallelism is the job parallelism (the paper's -p flag).
 	// Defaults to 1.
 	Parallelism int
+	// Fusion selects the translation mode. The Flink runner's default
+	// is unfused — one engine operator per Beam primitive, the paper's
+	// Figure 13 behaviour.
+	Fusion beam.FusionMode
+}
+
+// Runner implements beam.Runner: it builds a fresh Flink cluster from
+// the options, translates, executes and tears the cluster down.
+type Runner struct{}
+
+// Run implements beam.Runner.
+func (Runner) Run(ctx context.Context, p *beam.Pipeline, opts beam.Options) (beam.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cluster, err := flink.NewCluster(flink.ClusterConfig{Costs: opts.EffectiveCosts(), Sim: opts.Sim})
+	if err != nil {
+		return nil, err
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	res, err := Run(p, Config{
+		Cluster:     cluster,
+		Parallelism: opts.EffectiveParallelism(),
+		Fusion:      opts.Fusion,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &result{job: res}, nil
+}
+
+// result adapts a flink.JobResult to beam.Result.
+type result struct {
+	job *flink.JobResult
+}
+
+func (r *result) Elements(beam.PCollection) []any { return nil }
+
+func (r *result) OperatorCount() int { return len(r.job.Operators) }
+
+func (r *result) Metrics() map[string]int64 {
+	out := make(map[string]int64, len(r.job.Operators))
+	for _, s := range r.job.Operators {
+		out[s.Name] += s.RecordsOut
+	}
+	return out
 }
 
 // Run translates and executes the pipeline, blocking until completion.
@@ -62,19 +125,21 @@ func Translate(p *beam.Pipeline, cfg Config) (*flink.Environment, string, error)
 	if cfg.Parallelism < 0 {
 		return nil, "", fmt.Errorf("flinkrunner: negative parallelism %d", cfg.Parallelism)
 	}
-	if err := p.Validate(); err != nil {
+	plan, err := graphx.Lower(p, graphx.Options{Fusion: cfg.Fusion.Enabled(false)})
+	if err != nil {
 		return nil, "", err
 	}
 
 	costs := cfg.Cluster.Costs()
 	env := flink.NewEnvironment(cfg.Cluster).
 		SetParallelism(cfg.Parallelism).
-		DisableOperatorChaining() // the runner emits unchained per-primitive operators
+		DisableOperatorChaining() // the runner emits unchained per-stage operators
 
 	streams := make(map[int]*flink.DataStream)
 	jobName := "beam"
-	for _, t := range p.Transforms() {
-		switch t.Kind {
+	for _, s := range plan.Stages {
+		t := s.Transforms[0]
+		switch s.Kind() {
 		case beam.KindKafkaRead:
 			rc, ok := t.Config.(beam.KafkaReadConfig)
 			if !ok {
@@ -99,12 +164,20 @@ func Translate(p *beam.Pipeline, cfg Config) (*flink.Environment, string, error)
 			streams[t.Output.ID()] = env.AddSource(NameRawSource, flink.SliceSource(encoded))
 
 		case beam.KindParDo:
-			in, ok := streams[t.Inputs[0].ID()]
+			in, ok := streams[s.Inputs()[0].ID()]
 			if !ok {
-				return nil, "", fmt.Errorf("flinkrunner: ParDo %q consumes untranslated collection", t.Name)
+				return nil, "", fmt.Errorf("flinkrunner: ParDo %q consumes untranslated collection", s.Name())
 			}
-			streams[t.Output.ID()] = in.Process(NameRawParDo,
-				parDoProcess(t.Fn, t.Inputs[0].Coder(), t.Output.Coder(), costs))
+			// A fused stage is one engine operator: a single decode on
+			// entry, the whole DoFn chain in memory, a single encode on
+			// exit — the coder boundaries between the fused ParDos are
+			// gone, which is what fusion buys on Flink.
+			name := NameRawParDo
+			if s.Fused() {
+				name = NameExecutableStage
+			}
+			streams[s.Output().ID()] = in.Process(name,
+				parDoProcess(s.Fn(), s.Inputs()[0].Coder(), s.Output().Coder(), costs))
 
 		case beam.KindKafkaWrite:
 			wc, ok := t.Config.(beam.KafkaWriteConfig)
@@ -157,7 +230,7 @@ func Translate(p *beam.Pipeline, cfg Config) (*flink.Environment, string, error)
 				gbkProcess(kvCoder, t.Output.Coder(), fireAfter, costs))
 
 		default:
-			return nil, "", fmt.Errorf("%w: %v (%s)", ErrUnsupported, t.Kind, t.Name)
+			return nil, "", fmt.Errorf("%w: %v (%s)", ErrUnsupported, s.Kind(), s.Name())
 		}
 	}
 	return env, jobName, nil

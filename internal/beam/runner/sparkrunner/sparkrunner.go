@@ -11,17 +11,29 @@
 //     cheap queries (Figures 6 and 9);
 //   - stateful transforms (GroupByKey) are rejected, matching the Beam
 //     capability matrix entry that made the paper exclude stateful
-//     queries on Spark (Section III-B).
+//     queries on Spark (Section III-B);
+//   - forcing the shared fusion optimizer (beam.FusionOn) collapses the
+//     ParDo chain into one per-batch stage, removing the intermediate
+//     coder round trips.
 package sparkrunner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"beambench/internal/beam"
+	"beambench/internal/beam/graphx"
 	"beambench/internal/simcost"
 	"beambench/internal/spark"
 )
+
+// Name is the runner's registry name.
+const Name = "spark"
+
+func init() {
+	beam.RegisterRunner(Name, Runner{})
+}
 
 // Errors reported by the translation.
 var (
@@ -41,17 +53,70 @@ type Config struct {
 	Parallelism int
 	// MaxRatePerPartition caps batch sizes; 0 keeps the engine default.
 	MaxRatePerPartition int
+	// Fusion selects the translation mode. The Spark runner's default
+	// is unfused — one per-element stage per Beam primitive inside each
+	// micro-batch, the behaviour behind the paper's 3-7x slowdowns.
+	Fusion beam.FusionMode
 }
 
 // Result is the execution summary.
 type Result struct {
 	Metrics spark.StreamingMetrics
+
+	operators int
+}
+
+// Runner implements beam.Runner: it builds a fresh Spark cluster from
+// the options, translates, runs bounded and tears the cluster down.
+type Runner struct{}
+
+// Run implements beam.Runner.
+func (Runner) Run(ctx context.Context, p *beam.Pipeline, opts beam.Options) (beam.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cluster, err := spark.NewCluster(spark.ClusterConfig{Costs: opts.EffectiveCosts(), Sim: opts.Sim})
+	if err != nil {
+		return nil, err
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	res, err := Run(p, Config{
+		Cluster:             cluster,
+		Parallelism:         opts.EffectiveParallelism(),
+		MaxRatePerPartition: opts.MaxRatePerPartition,
+		Fusion:              opts.Fusion,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return registryResult{res: res}, nil
+}
+
+// OperatorCount reports the engine operators (stream stages and output
+// operations) the translation registered.
+func (r *Result) OperatorCount() int { return r.operators }
+
+// registryResult adapts Result to beam.Result (whose Metrics method
+// would clash with the exported Metrics field).
+type registryResult struct{ res *Result }
+
+func (r registryResult) Elements(beam.PCollection) []any { return nil }
+
+func (r registryResult) OperatorCount() int { return r.res.operators }
+
+func (r registryResult) Metrics() map[string]int64 {
+	return map[string]int64{
+		"Batches":    r.res.Metrics.Batches,
+		"RecordsIn":  r.res.Metrics.RecordsIn,
+		"RecordsOut": r.res.Metrics.RecordsOut,
+	}
 }
 
 // Run translates and executes the pipeline, blocking until the bounded
 // input drains.
 func Run(p *beam.Pipeline, cfg Config) (*Result, error) {
-	ssc, err := Translate(p, cfg)
+	ssc, opCount, err := translate(p, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -59,91 +124,108 @@ func Run(p *beam.Pipeline, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Metrics: metrics}, nil
+	return &Result{Metrics: metrics, operators: opCount}, nil
 }
 
 // Translate builds the streaming application without running it.
 func Translate(p *beam.Pipeline, cfg Config) (*spark.StreamingContext, error) {
+	ssc, _, err := translate(p, cfg)
+	return ssc, err
+}
+
+// translate builds the application and reports how many engine
+// operators (DStream stages plus output operations) it registered.
+func translate(p *beam.Pipeline, cfg Config) (*spark.StreamingContext, int, error) {
 	if cfg.Cluster == nil {
-		return nil, errors.New("sparkrunner: nil cluster")
+		return nil, 0, errors.New("sparkrunner: nil cluster")
 	}
 	if cfg.Parallelism == 0 {
 		cfg.Parallelism = 1
 	}
 	if cfg.Parallelism < 0 {
-		return nil, fmt.Errorf("sparkrunner: negative parallelism %d", cfg.Parallelism)
+		return nil, 0, fmt.Errorf("sparkrunner: negative parallelism %d", cfg.Parallelism)
 	}
-	if err := p.Validate(); err != nil {
-		return nil, err
+	plan, err := graphx.Lower(p, graphx.Options{Fusion: cfg.Fusion.Enabled(false)})
+	if err != nil {
+		return nil, 0, err
 	}
 	ssc, err := spark.NewStreamingContext(cfg.Cluster, spark.Config{
 		DefaultParallelism:  cfg.Parallelism,
 		MaxRatePerPartition: cfg.MaxRatePerPartition,
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	costs := cfg.Cluster.Costs()
 
 	streams := make(map[int]*spark.DStream)
-	for _, t := range p.Transforms() {
-		switch t.Kind {
+	opCount := 0
+	for _, s := range plan.Stages {
+		t := s.Transforms[0]
+		switch s.Kind() {
 		case beam.KindKafkaRead:
 			rc, ok := t.Config.(beam.KafkaReadConfig)
 			if !ok {
-				return nil, errors.New("sparkrunner: malformed KafkaRead config")
+				return nil, 0, errors.New("sparkrunner: malformed KafkaRead config")
 			}
 			ds := ssc.KafkaDirectStream(rc.Broker, rc.Topic).
 				Transform(readAdapter(rc.Topic, t.Output.Coder(), costs))
+			opCount += 2 // direct stream + read adapter
 			// The runner redistributes to spark.default.parallelism —
 			// the splitting overhead the paper observes at P2.
 			if cfg.Parallelism > 1 {
 				ds = ds.RepartitionDefault()
+				opCount++
 			}
 			streams[t.Output.ID()] = ds
 
 		case beam.KindCreate:
 			values, ok := t.Config.([]any)
 			if !ok {
-				return nil, errors.New("sparkrunner: malformed Create config")
+				return nil, 0, errors.New("sparkrunner: malformed Create config")
 			}
 			encoded, err := encodeAll(values, t.Output.Coder())
 			if err != nil {
-				return nil, fmt.Errorf("sparkrunner: Create: %w", err)
+				return nil, 0, fmt.Errorf("sparkrunner: Create: %w", err)
 			}
 			streams[t.Output.ID()] = ssc.SliceStream(encoded, 0)
+			opCount++
 
 		case beam.KindParDo:
-			in, ok := streams[t.Inputs[0].ID()]
+			in, ok := streams[s.Inputs()[0].ID()]
 			if !ok {
-				return nil, fmt.Errorf("sparkrunner: ParDo %q consumes untranslated collection", t.Name)
+				return nil, 0, fmt.Errorf("sparkrunner: ParDo %q consumes untranslated collection", s.Name())
 			}
-			streams[t.Output.ID()] = in.Transform(
-				parDoStage(t.Fn, t.Inputs[0].Coder(), t.Output.Coder(), costs))
+			// A fused stage runs its whole DoFn chain inside one
+			// per-batch stage: one decode, in-memory hops, one encode.
+			streams[s.Output().ID()] = in.TransformE(
+				parDoStage(s.Name(), s.Fn(), s.Inputs()[0].Coder(), s.Output().Coder(), costs))
+			opCount++
 
 		case beam.KindKafkaWrite:
 			wc, ok := t.Config.(beam.KafkaWriteConfig)
 			if !ok {
-				return nil, errors.New("sparkrunner: malformed KafkaWrite config")
+				return nil, 0, errors.New("sparkrunner: malformed KafkaWrite config")
 			}
 			in, ok := streams[t.Inputs[0].ID()]
 			if !ok {
-				return nil, errors.New("sparkrunner: KafkaWrite consumes untranslated collection")
+				return nil, 0, errors.New("sparkrunner: KafkaWrite consumes untranslated collection")
 			}
 			in.Transform(writeSerializer(t.Inputs[0].Coder(), costs)).
 				SaveToKafka("KafkaIO.Write "+wc.Topic, wc.Broker, wc.Topic, wc.Producer)
+			opCount += 2 // write serializer + sink
 
 		case beam.KindWindowInto:
 			ws, ok := t.Config.(beam.WindowingStrategy)
 			if !ok {
-				return nil, errors.New("sparkrunner: malformed WindowInto config")
+				return nil, 0, errors.New("sparkrunner: malformed WindowInto config")
 			}
 			if !ws.IsGlobal() {
-				return nil, fmt.Errorf("%w: non-global windowing (%s)", ErrUnsupported, ws.Fn.Name())
+				return nil, 0, fmt.Errorf("%w: non-global windowing (%s)", ErrUnsupported, ws.Fn.Name())
 			}
 			in, ok := streams[t.Inputs[0].ID()]
 			if !ok {
-				return nil, errors.New("sparkrunner: WindowInto consumes untranslated collection")
+				return nil, 0, errors.New("sparkrunner: WindowInto consumes untranslated collection")
 			}
 			// Global re-windowing only carries strategy metadata; at
 			// runtime it forwards records.
@@ -153,15 +235,16 @@ func Translate(p *beam.Pipeline, cfg Config) (*spark.StreamingContext, error) {
 					emit(rec)
 				}
 			})
+			opCount++
 
 		case beam.KindGroupByKey:
-			return nil, ErrStatefulUnsupported
+			return nil, 0, ErrStatefulUnsupported
 
 		default:
-			return nil, fmt.Errorf("%w: %v (%s)", ErrUnsupported, t.Kind, t.Name)
+			return nil, 0, fmt.Errorf("%w: %v (%s)", ErrUnsupported, s.Kind(), s.Name())
 		}
 	}
-	return ssc, nil
+	return ssc, opCount, nil
 }
 
 // readAdapter wraps raw payloads into encoded KafkaRecord elements.
@@ -180,10 +263,14 @@ func readAdapter(topic string, coder beam.Coder, costs simcost.Costs) func(spark
 }
 
 // parDoStage invokes the DoFn per element inside each micro-batch task.
-func parDoStage(fn beam.DoFn, inCoder, outCoder beam.Coder, costs simcost.Costs) func(spark.TaskContext) func([]byte, func([]byte)) {
-	return func(task spark.TaskContext) func([]byte, func([]byte)) {
+// A Setup failure fails the task (and the run) instead of processing
+// records through an un-initialized DoFn.
+func parDoStage(name string, fn beam.DoFn, inCoder, outCoder beam.Coder, costs simcost.Costs) func(spark.TaskContext) (func([]byte, func([]byte)), error) {
+	return func(task spark.TaskContext) (func([]byte, func([]byte)), error) {
 		if s, ok := fn.(beam.Setupper); ok {
-			_ = s.Setup()
+			if err := s.Setup(); err != nil {
+				return nil, fmt.Errorf("sparkrunner: stage %q setup: %w", name, err)
+			}
 		}
 		return func(rec []byte, emit func([]byte)) {
 			elem, err := inCoder.Decode(rec)
@@ -202,7 +289,7 @@ func parDoStage(fn beam.DoFn, inCoder, outCoder beam.Coder, costs simcost.Costs)
 				emit(wire)
 				return nil
 			})
-		}
+		}, nil
 	}
 }
 

@@ -161,3 +161,30 @@ func TestConfigValidation(t *testing.T) {
 		t.Error("negative parallelism accepted")
 	}
 }
+
+// setupFailFn fails its Setup hook; the runner must surface the error
+// instead of processing records through an un-initialized DoFn.
+type setupFailFn struct{ err error }
+
+func (f *setupFailFn) ProcessElement(ctx beam.Context, elem any, emit beam.Emitter) error {
+	return emit(elem)
+}
+func (f *setupFailFn) Setup() error { return f.err }
+
+func TestSetupErrorFailsTheRun(t *testing.T) {
+	b := broker.New()
+	loadTopic(t, b, "in", []string{"a", "b"})
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	p := beam.NewPipeline()
+	vals := beam.Values(p, beam.WithoutMetadata(p, beam.KafkaRead(p, b, "in")))
+	bad := beam.ParDo(p, "bad", &setupFailFn{err: boom}, vals)
+	beam.KafkaWrite(p, b, "out", bad, broker.ProducerConfig{})
+
+	_, err := Run(p, Config{Cluster: newCluster(t)})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want the Setup failure", err)
+	}
+}

@@ -1,0 +1,19 @@
+// Package runners registers every bundled runner with the beam runner
+// registry. Import it (blank) and select engines by name:
+//
+//	import _ "beambench/internal/beam/runners"
+//
+//	r, err := beam.GetRunner("flink") // direct | flink | spark | apex
+//	res, err := r.Run(ctx, p, beam.Options{Parallelism: 2})
+//
+// Each runner package also registers itself when imported directly;
+// this package just bundles the four of them.
+package runners
+
+import (
+	// Registered runner implementations.
+	_ "beambench/internal/beam/runner/apexrunner"
+	_ "beambench/internal/beam/runner/direct"
+	_ "beambench/internal/beam/runner/flinkrunner"
+	_ "beambench/internal/beam/runner/sparkrunner"
+)

@@ -115,6 +115,19 @@ func (w WindowingStrategy) IsGlobal() bool {
 	return ok || w.Fn == nil
 }
 
+// Key canonicalizes the strategy (window fn plus trigger) so transforms
+// like Flatten can compare the windowing of their inputs.
+func (w WindowingStrategy) Key() string {
+	name := GlobalWindows{}.Name()
+	if w.Fn != nil {
+		name = w.Fn.Name()
+	}
+	if w.Trigger != nil {
+		return name + "+" + w.Trigger.Name()
+	}
+	return name
+}
+
 // Triggering returns a copy of the strategy with the given trigger.
 func (w WindowingStrategy) Triggering(t Trigger) WindowingStrategy {
 	w.Trigger = t

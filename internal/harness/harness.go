@@ -20,16 +20,11 @@ import (
 	"time"
 
 	"beambench/internal/aol"
-	"beambench/internal/apex"
-	"beambench/internal/beam/runner/apexrunner"
-	"beambench/internal/beam/runner/flinkrunner"
-	"beambench/internal/beam/runner/sparkrunner"
+	"beambench/internal/beam"
+	_ "beambench/internal/beam/runners" // register the bundled runners
 	"beambench/internal/broker"
-	"beambench/internal/flink"
 	"beambench/internal/queries"
 	"beambench/internal/simcost"
-	"beambench/internal/spark"
-	"beambench/internal/yarn"
 )
 
 // System enumerates the benchmarked DSPSs.
@@ -50,18 +45,33 @@ func Systems() []System {
 	return []System{SystemApex, SystemFlink, SystemSpark}
 }
 
+// systemNames carries the display name and the beam runner-registry
+// name of each system; the harness selects engines through these maps
+// rather than switch statements, so adding a system means adding rows
+// here and a native executor in engines.go.
+var systemNames = map[System]struct {
+	display string
+	runner  string
+}{
+	SystemFlink: {display: "Flink", runner: "flink"},
+	SystemSpark: {display: "Spark", runner: "spark"},
+	SystemApex:  {display: "Apex", runner: "apex"},
+}
+
 // String returns the system's display name.
 func (s System) String() string {
-	switch s {
-	case SystemFlink:
-		return "Flink"
-	case SystemSpark:
-		return "Spark"
-	case SystemApex:
-		return "Apex"
-	default:
-		return fmt.Sprintf("System(%d)", int(s))
+	if n, ok := systemNames[s]; ok {
+		return n.display
 	}
+	return fmt.Sprintf("System(%d)", int(s))
+}
+
+// RunnerName returns the system's name in the beam runner registry.
+func (s System) RunnerName() string {
+	if n, ok := systemNames[s]; ok {
+		return n.runner
+	}
+	return ""
 }
 
 // API selects native engine APIs or the Beam abstraction layer.
@@ -157,6 +167,12 @@ type Config struct {
 	SenderAcks broker.Acks
 	// SenderBatch is the sender's producer batch size.
 	SenderBatch int
+	// Fusion selects the Beam runners' translation mode for every Beam
+	// cell: beam.FusionDefault keeps each runner paper-faithful (fused
+	// on Apex, per-primitive elsewhere); beam.FusionOn / beam.FusionOff
+	// force one mode everywhere so the fused-vs-unfused overhead is
+	// measurable per engine.
+	Fusion beam.FusionMode
 	// Workers is the number of matrix cells RunAll (and RunMatrix, when
 	// its workers argument is <= 0) executes concurrently. Every run
 	// still gets its own broker and engine cluster, so cells are
@@ -273,6 +289,14 @@ const (
 // RunSingle executes one benchmark run: ingestion, execution on a fresh
 // cluster, and result calculation.
 func (r *Runner) RunSingle(setup Setup, runIdx int) (RunResult, error) {
+	return r.runSingle(context.Background(), setup, runIdx)
+}
+
+// runSingle is RunSingle with the scheduler's cancellation context,
+// which the Beam execution path hands to the runner. Runner
+// cancellation is coarse (checked before launch, not mid-run), so a
+// cancelled matrix still drains at run granularity, as before.
+func (r *Runner) runSingle(ctx context.Context, setup Setup, runIdx int) (RunResult, error) {
 	if !setup.Query.Valid() {
 		return RunResult{}, fmt.Errorf("harness: invalid query %d", setup.Query)
 	}
@@ -314,7 +338,7 @@ func (r *Runner) RunSingle(setup Setup, runIdx int) (RunResult, error) {
 		Seed:        r.cfg.SampleSeed,
 		Producer:    broker.ProducerConfig{},
 	}
-	if err := r.execute(setup, w, sim); err != nil {
+	if err := r.execute(ctx, setup, w, sim); err != nil {
 		return RunResult{}, fmt.Errorf("harness: execute %s run %d: %w", setup.Label(), runIdx, err)
 	}
 
@@ -354,99 +378,36 @@ func (r *Runner) ingest(b *broker.Broker) error {
 	return sender.Close()
 }
 
-func (r *Runner) execute(setup Setup, w queries.Workload, sim *simcost.Simulator) error {
-	switch setup.System {
-	case SystemFlink:
-		return r.executeFlink(setup, w, sim)
-	case SystemSpark:
-		return r.executeSpark(setup, w, sim)
-	case SystemApex:
-		return r.executeApex(setup, w, sim)
-	default:
+func (r *Runner) execute(ctx context.Context, setup Setup, w queries.Workload, sim *simcost.Simulator) error {
+	if setup.API == APINative {
+		exec, ok := nativeExecutors[setup.System]
+		if !ok {
+			return fmt.Errorf("harness: unknown system %d", setup.System)
+		}
+		return exec(r, setup, w, sim)
+	}
+	return r.executeBeam(ctx, setup, w, sim)
+}
+
+// executeBeam runs the Beam variant of a setup through the runner
+// registry: one code path for every engine, selected by name.
+func (r *Runner) executeBeam(ctx context.Context, setup Setup, w queries.Workload, sim *simcost.Simulator) error {
+	name := setup.System.RunnerName()
+	if name == "" {
 		return fmt.Errorf("harness: unknown system %d", setup.System)
 	}
-}
-
-func (r *Runner) executeFlink(setup Setup, w queries.Workload, sim *simcost.Simulator) error {
-	cluster, err := flink.NewCluster(flink.ClusterConfig{Costs: r.costs, Sim: sim})
-	if err != nil {
-		return err
-	}
-	cluster.Start()
-	defer cluster.Stop()
-	if setup.API == APINative {
-		env := flink.NewEnvironment(cluster).SetParallelism(setup.Parallelism)
-		if err := queries.NativeFlink(env, w, setup.Query); err != nil {
-			return err
-		}
-		_, err := env.Execute(setup.Query.String())
-		return err
-	}
 	p, err := queries.BeamPipeline(w, setup.Query)
 	if err != nil {
 		return err
 	}
-	_, err = flinkrunner.Run(p, flinkrunner.Config{Cluster: cluster, Parallelism: setup.Parallelism})
-	return err
-}
-
-func (r *Runner) executeSpark(setup Setup, w queries.Workload, sim *simcost.Simulator) error {
-	cluster, err := spark.NewCluster(spark.ClusterConfig{Costs: r.costs, Sim: sim})
+	runner, err := beam.GetRunner(name)
 	if err != nil {
 		return err
 	}
-	cluster.Start()
-	defer cluster.Stop()
-	if setup.API == APINative {
-		ssc, err := spark.NewStreamingContext(cluster, spark.Config{DefaultParallelism: setup.Parallelism})
-		if err != nil {
-			return err
-		}
-		if err := queries.NativeSpark(ssc, w, setup.Query); err != nil {
-			return err
-		}
-		_, err = ssc.RunBounded()
-		return err
-	}
-	p, err := queries.BeamPipeline(w, setup.Query)
-	if err != nil {
-		return err
-	}
-	_, err = sparkrunner.Run(p, sparkrunner.Config{Cluster: cluster, Parallelism: setup.Parallelism})
-	return err
-}
-
-func (r *Runner) executeApex(setup Setup, w queries.Workload, sim *simcost.Simulator) error {
-	cluster, err := yarn.NewCluster(yarn.ClusterConfig{})
-	if err != nil {
-		return err
-	}
-	cluster.Start()
-	defer cluster.Stop()
-	if setup.API == APINative {
-		app, err := queries.NativeApex(w, setup.Query)
-		if err != nil {
-			return err
-		}
-		stram, err := apex.Launch(cluster, app, apex.LaunchConfig{
-			Parallelism: setup.Parallelism,
-			Costs:       r.costs,
-			Sim:         sim,
-		})
-		if err != nil {
-			return err
-		}
-		_, err = stram.Await()
-		return err
-	}
-	p, err := queries.BeamPipeline(w, setup.Query)
-	if err != nil {
-		return err
-	}
-	_, err = apexrunner.Run(p, apexrunner.Config{
-		Cluster:     cluster,
+	_, err = runner.Run(ctx, p, beam.Options{
 		Parallelism: setup.Parallelism,
-		Costs:       r.costs,
+		Fusion:      r.cfg.Fusion,
+		Costs:       &r.costs,
 		Sim:         sim,
 	})
 	return err
@@ -466,7 +427,7 @@ func (r *Runner) runCell(ctx context.Context, setup Setup) ([]RunResult, error) 
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
-		res, err := r.RunSingle(setup, run)
+		res, err := r.runSingle(ctx, setup, run)
 		if err != nil {
 			return out, err
 		}

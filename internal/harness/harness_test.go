@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"beambench/internal/aol"
+	"beambench/internal/beam"
 	"beambench/internal/queries"
 	"beambench/internal/simcost"
 )
@@ -112,6 +113,36 @@ func TestRunSingleAllSetupsProduceCorrectOutputCounts(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// TestFusionConfigPlumbsThroughBeamCells runs one Beam cell per system
+// in both forced fusion modes and checks the output volume is
+// identical: the translation mode must never change what a query
+// produces, only what it costs.
+func TestFusionConfigPlumbsThroughBeamCells(t *testing.T) {
+	counts := make(map[beam.FusionMode]map[System]int64)
+	for _, mode := range []beam.FusionMode{beam.FusionOn, beam.FusionOff} {
+		cfg := fastConfig()
+		cfg.Fusion = mode
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[mode] = make(map[System]int64)
+		for _, sys := range Systems() {
+			setup := Setup{System: sys, API: APIBeam, Query: queries.Identity, Parallelism: 1}
+			res, err := r.RunSingle(setup, 0)
+			if err != nil {
+				t.Fatalf("%s fusion=%s: %v", setup.Label(), mode, err)
+			}
+			counts[mode][sys] = res.OutputRecords
+		}
+	}
+	for _, sys := range Systems() {
+		if on, off := counts[beam.FusionOn][sys], counts[beam.FusionOff][sys]; on != off || on == 0 {
+			t.Errorf("%s: fused run produced %d records, unfused %d", sys, on, off)
 		}
 	}
 }

@@ -29,6 +29,10 @@ type Report struct {
 	Runs int
 	// Parallelisms lists the benchmarked parallelism factors.
 	Parallelisms []int
+	// Fusion is the Beam translation mode the matrix ran with
+	// (default/on/off), so fused and unfused reports stay
+	// distinguishable downstream.
+	Fusion string
 	// Cells holds one aggregate per setup, in insertion order.
 	Cells []*Cell
 
@@ -41,6 +45,7 @@ func BuildReport(cfg Config, results []RunResult) (*Report, error) {
 		Records:      cfg.Records,
 		Runs:         cfg.Runs,
 		Parallelisms: append([]int(nil), cfg.Parallelisms...),
+		Fusion:       cfg.Fusion.String(),
 		byKey:        make(map[Setup]*Cell),
 	}
 	for _, res := range results {
@@ -265,6 +270,7 @@ type jsonReport struct {
 	Records      int        `json:"records"`
 	Runs         int        `json:"runs"`
 	Parallelisms []int      `json:"parallelisms"`
+	Fusion       string     `json:"fusion"`
 	Cells        []jsonCell `json:"cells"`
 }
 
@@ -274,6 +280,7 @@ func (rep *Report) WriteJSON(w io.Writer) error {
 		Records:      rep.Records,
 		Runs:         rep.Runs,
 		Parallelisms: rep.Parallelisms,
+		Fusion:       rep.Fusion,
 	}
 	for _, c := range rep.Cells {
 		out.Cells = append(out.Cells, jsonCell{

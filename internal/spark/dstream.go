@@ -124,7 +124,10 @@ type narrowFn func(rec []byte, emit func([]byte))
 
 // narrowFactory builds the per-task function for a (batch, partition),
 // allowing per-task state such as sampling RNGs or runner cost meters.
-type narrowFactory func(task TaskContext) narrowFn
+// A factory error fails the task (and with it the batch), the channel
+// through which per-instance initialization failures such as a Beam
+// DoFn Setup error surface.
+type narrowFactory func(task TaskContext) (narrowFn, error)
 
 // TaskContext describes the task evaluating a stage partition.
 type TaskContext struct {
@@ -172,8 +175,8 @@ func (ds *DStream) Map(fn func([]byte) []byte) *DStream {
 		ds.ssc.fail(fmt.Errorf("spark: nil map function"))
 		return ds
 	}
-	return ds.narrow(func(TaskContext) narrowFn {
-		return func(rec []byte, emit func([]byte)) { emit(fn(rec)) }
+	return ds.narrow(func(TaskContext) (narrowFn, error) {
+		return func(rec []byte, emit func([]byte)) { emit(fn(rec)) }, nil
 	})
 }
 
@@ -183,12 +186,12 @@ func (ds *DStream) Filter(fn func([]byte) bool) *DStream {
 		ds.ssc.fail(fmt.Errorf("spark: nil filter function"))
 		return ds
 	}
-	return ds.narrow(func(TaskContext) narrowFn {
+	return ds.narrow(func(TaskContext) (narrowFn, error) {
 		return func(rec []byte, emit func([]byte)) {
 			if fn(rec) {
 				emit(rec)
 			}
-		}
+		}, nil
 	})
 }
 
@@ -198,7 +201,7 @@ func (ds *DStream) FlatMap(fn func(rec []byte, emit func([]byte))) *DStream {
 		ds.ssc.fail(fmt.Errorf("spark: nil flatMap function"))
 		return ds
 	}
-	return ds.narrow(func(TaskContext) narrowFn { return narrowFn(fn) })
+	return ds.narrow(func(TaskContext) (narrowFn, error) { return narrowFn(fn), nil })
 }
 
 // Sample keeps approximately fraction of the records, seeded
@@ -208,13 +211,13 @@ func (ds *DStream) Sample(fraction float64, seed uint64) *DStream {
 		ds.ssc.fail(fmt.Errorf("spark: sample fraction %v outside [0,1]", fraction))
 		return ds
 	}
-	return ds.narrow(func(task TaskContext) narrowFn {
+	return ds.narrow(func(task TaskContext) (narrowFn, error) {
 		rng := rand.New(rand.NewPCG(seed, uint64(task.BatchID)<<32|uint64(task.Partition)))
 		return func(rec []byte, emit func([]byte)) {
 			if rng.Float64() < fraction {
 				emit(rec)
 			}
-		}
+		}, nil
 	})
 }
 
@@ -225,8 +228,24 @@ func (ds *DStream) Transform(factory func(task TaskContext) func(rec []byte, emi
 		ds.ssc.fail(fmt.Errorf("spark: nil transform factory"))
 		return ds
 	}
-	return ds.narrow(func(task TaskContext) narrowFn {
-		return narrowFn(factory(task))
+	return ds.narrow(func(task TaskContext) (narrowFn, error) {
+		return narrowFn(factory(task)), nil
+	})
+}
+
+// TransformE is Transform for factories whose per-task initialization
+// can fail; the error fails the task and propagates out of the run.
+func (ds *DStream) TransformE(factory func(task TaskContext) (func(rec []byte, emit func([]byte)), error)) *DStream {
+	if factory == nil {
+		ds.ssc.fail(fmt.Errorf("spark: nil transform factory"))
+		return ds
+	}
+	return ds.narrow(func(task TaskContext) (narrowFn, error) {
+		fn, err := factory(task)
+		if err != nil {
+			return nil, err
+		}
+		return narrowFn(fn), nil
 	})
 }
 

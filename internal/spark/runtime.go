@@ -236,7 +236,10 @@ func (ssc *StreamingContext) runNarrowStage(factories []narrowFactory, batchID i
 				sinkEmit := func(rec []byte) { result = append(result, rec) }
 				handler := sinkEmit
 				for i := len(factories) - 1; i >= 0; i-- {
-					fn := factories[i](task)
+					fn, err := factories[i](task)
+					if err != nil {
+						return err
+					}
 					next := handler
 					handler = func(rec []byte) { fn(rec, next) }
 				}
