@@ -24,6 +24,7 @@ package beambench_test
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"strconv"
 	"testing"
@@ -36,6 +37,7 @@ import (
 	"beambench/internal/broker"
 	"beambench/internal/flink"
 	"beambench/internal/harness"
+	"beambench/internal/metrics"
 	"beambench/internal/queries"
 	"beambench/internal/simcost"
 	"beambench/internal/spark"
@@ -519,4 +521,58 @@ func execSpan(b *testing.B, w queries.Workload) float64 {
 		return 0
 	}
 	return last.Sub(first).Seconds()
+}
+
+// BenchmarkSketchInsert measures the telemetry subsystem's hot path: one
+// CKMS sketch insert per op (amortized over the insert buffer), the cost
+// every latency observation pays.
+func BenchmarkSketchInsert(b *testing.B) {
+	s := metrics.MustSketch()
+	rng := rand.New(rand.NewPCG(1, 2))
+	const mask = 1<<13 - 1
+	vals := make([]float64, mask+1)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	i := 0
+	for b.Loop() {
+		s.Insert(vals[i&mask])
+		i++
+	}
+	if s.Count() != int64(b.N) {
+		b.Fatalf("sketch lost observations: %d != %d", s.Count(), b.N)
+	}
+}
+
+// BenchmarkInstrumentationOverhead runs the identity query with the
+// telemetry subsystem off and on; the per-op delta between the two
+// sub-benchmarks is the full cost of collection (per-stage throughput
+// marking in the engine hot path plus the per-record latency pairing in
+// result calculation). The budget is <5% on this query.
+func BenchmarkInstrumentationOverhead(b *testing.B) {
+	for _, api := range []harness.API{harness.APINative, harness.APIBeam} {
+		for _, collect := range []bool{false, true} {
+			mode := "off"
+			if collect {
+				mode = "on"
+			}
+			b.Run(fmt.Sprintf("%s/metrics=%s", api, mode), func(b *testing.B) {
+				r, err := harness.New(harness.Config{
+					Records:        benchRecords(),
+					Runs:           1,
+					DisableNoise:   true,
+					CollectMetrics: collect,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				setup := harness.Setup{
+					System: harness.SystemFlink, API: api,
+					Query: queries.Identity, Parallelism: 1,
+				}
+				benchSetup(b, r, setup)
+			})
+		}
+	}
 }

@@ -13,10 +13,17 @@
 //	beambench -records 1000001 -runs 10  # paper-scale (slow)
 //	beambench -all -workers 1            # strictly sequential matrix
 //	beambench -figure 11 -fusion on      # force ParDo fusion on every runner
+//	beambench -figure 6 -latency         # event-time latency p50/p90/p99 + throughput
 //
 // Engines run through the beam runner registry; -fusion selects the
 // translation mode for the Beam cells (default keeps each runner
 // paper-faithful: fused on Apex, per-primitive on Flink and Spark).
+//
+// -latency turns on the telemetry subsystem (internal/metrics): every
+// cell additionally reports per-record event-time latency quantiles
+// (output-topic append time minus input-topic append time, from broker
+// timestamps alone) and per-stage throughput from the engine operators.
+// Both blocks are included in -json output.
 //
 // Every run builds its own broker and engine cluster, so the matrix
 // cells are independent; -workers (default: one per CPU) fans them out
@@ -31,7 +38,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
 	"beambench/internal/beam"
 	"beambench/internal/harness"
@@ -57,6 +63,7 @@ func run(args []string, out io.Writer) error {
 		jsonPath = fs.String("json", "", "write the raw report as JSON to this file")
 		seed     = fs.Uint64("seed", 42, "dataset seed")
 		fusion   = fs.String("fusion", "default", "ParDo fusion mode for Beam cells: default|on|off")
+		latency  = fs.Bool("latency", false, "collect and print per-record event-time latency (p50/p90/p99) and per-stage throughput")
 		noNoise  = fs.Bool("no-noise", false, "disable the run-to-run noise model")
 		workers  = fs.Int("workers", harness.DefaultWorkers(), "concurrent benchmark cells (1 = sequential)")
 		quiet    = fs.Bool("quiet", false, "suppress progress output")
@@ -98,12 +105,13 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	cfg := harness.Config{
-		Records:      *records,
-		Runs:         *runs,
-		DatasetSeed:  *seed,
-		DisableNoise: *noNoise,
-		Fusion:       fusionMode,
-		Workers:      *workers,
+		Records:        *records,
+		Runs:           *runs,
+		DatasetSeed:    *seed,
+		DisableNoise:   *noNoise,
+		Fusion:         fusionMode,
+		Workers:        *workers,
+		CollectMetrics: *latency,
 	}
 	if !*quiet {
 		cfg.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "  "+msg) }
@@ -179,6 +187,13 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintln(out, t3)
 	}
+	if *latency {
+		text, err := rep.FormatLatency()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, text)
+	}
 	return nil
 }
 
@@ -207,16 +222,5 @@ func selectQueries(figure, table int, all bool, queryArg string) ([]queries.Quer
 }
 
 func parseQuery(s string) (queries.Query, error) {
-	switch strings.ToLower(s) {
-	case "identity":
-		return queries.Identity, nil
-	case "sample":
-		return queries.Sample, nil
-	case "projection":
-		return queries.Projection, nil
-	case "grep":
-		return queries.Grep, nil
-	default:
-		return 0, fmt.Errorf("unknown query %q", s)
-	}
+	return queries.ParseQuery(s)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 
@@ -147,5 +148,42 @@ func TestRunWorkersFlag(t *testing.T) {
 
 	if err := run(append(args, "-workers", "0"), &par); err == nil {
 		t.Error("-workers 0 accepted")
+	}
+}
+
+func TestRunLatencyFlag(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-figure", "9", "-records", "500", "-runs", "1", "-quiet", "-no-noise", "-latency"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Event-Time Latency and Per-Stage Throughput",
+		"p50", "p90", "p99", "rec/s peak",
+		"Apex Beam P1 Grep", "Spark P2 Grep",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("latency output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunLatencyJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/report.json"
+	var sb strings.Builder
+	err := run([]string{"-figure", "9", "-records", "500", "-runs", "1", "-quiet", "-no-noise", "-latency", "-json", path}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"latency"`, `"p99Sec"`, `"stages"`, `"peakRate"`, `"outputRecordsPerRun"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON report missing %s:\n%s", want, data)
+		}
 	}
 }

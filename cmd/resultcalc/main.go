@@ -5,9 +5,19 @@
 // the output topic. This keeps the measurement application- and
 // system-independent (Section III-A3 of the paper).
 //
+// With -latency it additionally computes the per-record event-time
+// latency distribution (p50/p90/p99/max): each output record's append
+// time minus the append time of the input record that produced it. The
+// pairing follows the query's deterministic semantics (-query, -seed)
+// and matches output payloads FIFO against the surviving inputs'
+// expected outputs, so it stays correct even when parallel engine
+// partitions interleave the output topic. This, too, needs broker
+// state only.
+//
 // Usage:
 //
 //	resultcalc -in broker.snap -topic output
+//	resultcalc -in broker.snap -latency -query grep
 package main
 
 import (
@@ -18,6 +28,8 @@ import (
 	"time"
 
 	"beambench/internal/broker"
+	"beambench/internal/metrics"
+	"beambench/internal/queries"
 )
 
 func main() {
@@ -30,8 +42,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("resultcalc", flag.ContinueOnError)
 	var (
-		inPath = fs.String("in", "", "broker snapshot file to load")
-		topic  = fs.String("topic", "output", "topic to measure")
+		inPath   = fs.String("in", "", "broker snapshot file to load")
+		topic    = fs.String("topic", "output", "topic to measure")
+		latency  = fs.Bool("latency", false, "compute per-record event-time latency against -input")
+		inTopic  = fs.String("input", "input", "input topic for -latency pairing")
+		queryArg = fs.String("query", "identity", "query semantics for -latency pairing: identity|sample|projection|grep")
+		seed     = fs.Uint64("seed", 7, "sample query seed for -latency pairing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,5 +78,62 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "first append:    %s\n", first.Format(time.RFC3339Nano))
 	fmt.Fprintf(out, "last append:     %s\n", last.Format(time.RFC3339Nano))
 	fmt.Fprintf(out, "execution time:  %v\n", last.Sub(first))
+	if !*latency {
+		return nil
+	}
+	return printLatency(out, b, *inTopic, *topic, *queryArg, *seed)
+}
+
+// printLatency pairs each output record with the input record that
+// produced it via queries.SurvivorIndex — the identical logic the
+// harness uses in-process — and prints the latency quantiles through
+// the same CKMS sketch.
+func printLatency(out io.Writer, b *broker.Broker, inTopic, outTopic, queryArg string, seed uint64) error {
+	q, err := queries.ParseQuery(queryArg)
+	if err != nil {
+		return err
+	}
+	ix, err := queries.NewSurvivorIndex(q, seed)
+	if err != nil {
+		return err
+	}
+	for _, topic := range []string{inTopic, outTopic} {
+		parts, err := b.Partitions(topic)
+		if err != nil {
+			return err
+		}
+		if parts != 1 {
+			return fmt.Errorf("latency pairing needs single-partition topics; %q has %d partitions", topic, parts)
+		}
+	}
+	inRecs, err := b.Records(inTopic, 0)
+	if err != nil {
+		return fmt.Errorf("reading %q: %w", inTopic, err)
+	}
+	for _, r := range inRecs {
+		ix.AddInput(r.Value)
+	}
+	outRecs, err := b.Records(outTopic, 0)
+	if err != nil {
+		return fmt.Errorf("reading %q: %w", outTopic, err)
+	}
+	if ix.Expected() != len(outRecs) {
+		return fmt.Errorf("cannot pair latencies: %d output records but %d inputs survive the %s query",
+			len(outRecs), ix.Expected(), q)
+	}
+	pairing := ix.NewPairing()
+	sketch := metrics.MustSketch()
+	for _, r := range outRecs {
+		in, err := pairing.Pair(r.Value)
+		if err != nil {
+			return fmt.Errorf("cannot pair latencies: %w", err)
+		}
+		sketch.Insert(r.Timestamp.Sub(inRecs[in].Timestamp).Seconds())
+	}
+	fmt.Fprintf(out, "event-time latency (%s pairing, n=%d):\n", queryArg, sketch.Count())
+	fmt.Fprintf(out, "  p50:  %vs\n", sketch.Quantile(0.50))
+	fmt.Fprintf(out, "  p90:  %vs\n", sketch.Quantile(0.90))
+	fmt.Fprintf(out, "  p99:  %vs\n", sketch.Quantile(0.99))
+	fmt.Fprintf(out, "  max:  %vs\n", sketch.Max())
 	return nil
 }

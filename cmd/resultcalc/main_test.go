@@ -81,6 +81,87 @@ func TestEmptyTopic(t *testing.T) {
 	}
 }
 
+// writeLatencySnapshot builds a snapshot with an input topic of three
+// records appended at t0, t0+1s, t0+2s and an output topic whose grep
+// survivors (records containing "test") were appended 5s after their
+// inputs, so every per-record latency is exactly 5s.
+func writeLatencySnapshot(t *testing.T) string {
+	t.Helper()
+	clock := time.Date(2026, 6, 11, 12, 0, 0, 0, time.UTC)
+	b := broker.New(broker.WithClock(func() time.Time { return clock }))
+	for _, topic := range []string{"input", "output"} {
+		if err := b.CreateTopic(topic, broker.TopicConfig{Partitions: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := b.NewProducer(broker.ProducerConfig{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]byte{[]byte("a test record"), []byte("plain"), []byte("another test")}
+	base := clock
+	for i, rec := range inputs {
+		clock = base.Add(time.Duration(i) * time.Second)
+		if err := p.Send("input", nil, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, rec := range [][]byte{inputs[0], inputs[2]} {
+		off := time.Duration(i * 2)
+		clock = base.Add(off*time.Second + 5*time.Second)
+		if err := p.Send("output", nil, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lat.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SaveSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLatencyPairing(t *testing.T) {
+	path := writeLatencySnapshot(t)
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-latency", "-query", "grep"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "event-time latency (grep pairing, n=2):") {
+		t.Errorf("missing latency header:\n%s", out)
+	}
+	// Survivor 0: appended at +5s for input at +0s; survivor 1 at +7s for
+	// input at +2s — both latencies are exactly 5s.
+	for _, q := range []string{"p50", "p90", "p99", "max"} {
+		if !strings.Contains(out, q+":  5s") {
+			t.Errorf("%s is not the expected 5s:\n%s", q, out)
+		}
+	}
+}
+
+func TestLatencyPairingMismatch(t *testing.T) {
+	path := writeLatencySnapshot(t)
+	var sb strings.Builder
+	// Identity pairing expects 3 outputs for 3 inputs; the snapshot has 2.
+	err := run([]string{"-in", path, "-latency", "-query", "identity"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "cannot pair") {
+		t.Errorf("mismatched pairing error = %v", err)
+	}
+	if err := run([]string{"-in", path, "-latency", "-query", "bogus"}, &sb); err == nil {
+		t.Error("unknown query accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{}, &sb); err == nil {

@@ -41,5 +41,27 @@
 // mode everywhere so the fused-vs-unfused cost is measurable per engine
 // (BenchmarkFusionOverhead, `beambench -fusion`, `planviz -fused`).
 //
+// # Telemetry
+//
+// internal/metrics is the streaming telemetry subsystem: per-record
+// event-time latency and per-stage throughput for every benchmark cell.
+// The flow is broker timestamps -> collector -> report:
+//
+//	broker    every record carries its LogAppendTime
+//	engines   operators mark per-stage throughput into the cell's
+//	          metrics.Collector (threaded via beam.Options.Metrics and
+//	          the engine cluster configs) while the job runs
+//	harness   result calculation pairs each output record's append time
+//	          with its input record's append time (the queries are
+//	          deterministic, so outputs match FIFO against the surviving
+//	          inputs' expected payloads — robust to parallel partitions
+//	          interleaving the output topic) and feeds a CKMS
+//	          biased-quantile sketch per cell
+//	report    Cell.Latency (p50/p90/p99/max) and Cell.Stages, printed by
+//	          `beambench -latency` and included in -json output
+//
+// Collection is opt-in (harness.Config.CollectMetrics) and costs under
+// 5% on the identity query (BenchmarkInstrumentationOverhead).
+//
 // See README.md, DESIGN.md and EXPERIMENTS.md.
 package beambench

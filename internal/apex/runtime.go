@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"beambench/internal/metrics"
 	"beambench/internal/simcost"
 	"beambench/internal/yarn"
 )
@@ -40,6 +41,14 @@ type LaunchConfig struct {
 	Costs simcost.Costs
 	// Sim scales the cost model; nil charges nothing.
 	Sim *simcost.Simulator
+	// Metrics, when non-nil, receives per-operator throughput while the
+	// application runs: every partition marks its operator's record
+	// count at streaming-window boundaries. Marks are cumulative like
+	// monitoring counters: with RestartAttempts > 0 they include the
+	// work a failed attempt performed, unlike the per-attempt
+	// OperatorStats counters, which reset on every attempt. Nil
+	// disables collection.
+	Metrics *metrics.Collector
 }
 
 func (c *LaunchConfig) validate() error {
@@ -248,6 +257,13 @@ func (s *Stram) runAttempt() error {
 	for _, name := range s.app.order {
 		s.app.ops[name].stats.reset()
 	}
+	// Pre-register telemetry stages in DAG insertion order so reports
+	// list operators deterministically regardless of deployment races.
+	if m := s.cfg.Metrics; m != nil {
+		for _, name := range s.app.order {
+			m.Stage(name)
+		}
+	}
 
 	// STRAM itself is the Application Master container.
 	yapp, err := s.cluster.SubmitApplication(s.app.name, yarn.Resource{MemoryMB: 1024, VCores: 1})
@@ -348,6 +364,13 @@ func (at *attempt) runPartition(op *opDef, part int, ctr *yarn.Container) error 
 	ctx := &partitionContext{idx: part, count: s.partitionsOf(op), meter: s.cfg.Sim.NewMeter()}
 	defer ctx.meter.Flush()
 
+	// Telemetry handle, resolved once per partition; marks happen at
+	// streaming-window boundaries, so the per-tuple path stays clean.
+	var stage *metrics.Stage
+	if s.cfg.Metrics != nil {
+		stage = s.cfg.Metrics.Stage(op.name)
+	}
+
 	senders := make([]*streamSender, len(op.outStreams))
 	for i, out := range op.outStreams {
 		senders[i] = &streamSender{
@@ -361,17 +384,17 @@ func (at *attempt) runPartition(op *opDef, part int, ctr *yarn.Container) error 
 
 	switch op.kind {
 	case kindInput:
-		return at.runInputPartition(op, ctx, ctr, senders)
+		return at.runInputPartition(op, ctx, ctr, senders, stage)
 	case kindGeneric:
-		return at.runGenericPartition(op, ctx, ctr, senders)
+		return at.runGenericPartition(op, ctx, ctr, senders, stage)
 	case kindOutput:
-		return at.runOutputPartition(op, ctx, ctr)
+		return at.runOutputPartition(op, ctx, ctr, stage)
 	default:
 		return fmt.Errorf("apex: unknown operator kind %d", op.kind)
 	}
 }
 
-func (at *attempt) runInputPartition(op *opDef, ctx *partitionContext, ctr *yarn.Container, senders []*streamSender) error {
+func (at *attempt) runInputPartition(op *opDef, ctx *partitionContext, ctr *yarn.Container, senders []*streamSender, stage *metrics.Stage) error {
 	s := at.stram
 	inst, err := op.input(ctx)
 	if err != nil {
@@ -389,6 +412,7 @@ func (at *attempt) runInputPartition(op *opDef, ctx *partitionContext, ctr *yarn
 				return err
 			}
 		}
+		stage.Mark(int64(len(window)))
 		op.stats.windows.Add(1)
 		windows++
 		if windows%int64(s.cfg.CheckpointWindows) == 0 {
@@ -426,7 +450,7 @@ func (at *attempt) runInputPartition(op *opDef, ctx *partitionContext, ctr *yarn
 	}
 }
 
-func (at *attempt) runGenericPartition(op *opDef, ctx *partitionContext, ctr *yarn.Container, senders []*streamSender) error {
+func (at *attempt) runGenericPartition(op *opDef, ctx *partitionContext, ctr *yarn.Container, senders []*streamSender, stage *metrics.Stage) error {
 	s := at.stram
 	inst, err := op.generic(ctx)
 	if err != nil {
@@ -436,11 +460,13 @@ func (at *attempt) runGenericPartition(op *opDef, ctx *partitionContext, ctr *ya
 
 	in := at.inbox[op.inStream.name][ctx.idx]
 	var (
-		pending [][]byte
-		windows int64
+		pending   [][]byte
+		windows   int64
+		sinceMark int64
 	)
 	emit := func(t []byte) error {
 		op.stats.out.Add(1)
+		sinceMark++
 		// Per-tuple downstream streams publish immediately; windowed
 		// streams accumulate until the window boundary.
 		for _, snd := range senders {
@@ -479,6 +505,8 @@ func (at *attempt) runGenericPartition(op *opDef, ctx *partitionContext, ctr *ya
 				}
 			}
 			pending = pending[:0]
+			stage.Mark(sinceMark)
+			sinceMark = 0
 			op.stats.windows.Add(1)
 			windows++
 			if windows%int64(s.cfg.CheckpointWindows) == 0 {
@@ -496,10 +524,11 @@ func (at *attempt) runGenericPartition(op *opDef, ctx *partitionContext, ctr *ya
 			}
 		}
 	}
+	stage.Mark(sinceMark)
 	return nil
 }
 
-func (at *attempt) runOutputPartition(op *opDef, ctx *partitionContext, ctr *yarn.Container) error {
+func (at *attempt) runOutputPartition(op *opDef, ctx *partitionContext, ctr *yarn.Container, stage *metrics.Stage) error {
 	s := at.stram
 	inst, err := op.output(ctx)
 	if err != nil {
@@ -527,6 +556,7 @@ func (at *attempt) runOutputPartition(op *opDef, ctx *partitionContext, ctr *yar
 			if err := inst.EndWindow(); err != nil {
 				return fmt.Errorf("apex: output %q[%d] end window: %w", op.name, ctx.idx, err)
 			}
+			stage.Mark(int64(sinceWindowEnd))
 			sinceWindowEnd = 0
 			op.stats.windows.Add(1)
 			windows++
@@ -539,6 +569,7 @@ func (at *attempt) runOutputPartition(op *opDef, ctx *partitionContext, ctr *yar
 		if err := inst.EndWindow(); err != nil {
 			return fmt.Errorf("apex: output %q[%d] final window: %w", op.name, ctx.idx, err)
 		}
+		stage.Mark(int64(sinceWindowEnd))
 		op.stats.windows.Add(1)
 	}
 	return nil

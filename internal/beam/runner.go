@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"beambench/internal/metrics"
 	"beambench/internal/simcost"
 )
 
@@ -91,6 +92,11 @@ type Options struct {
 	// MaxRatePerPartition caps Spark Streaming micro-batch sizes; other
 	// runners ignore it. Zero keeps the engine default.
 	MaxRatePerPartition int
+	// Metrics, when non-nil, receives per-stage throughput from the
+	// translated engine operators while the pipeline runs (every runner
+	// threads it into its engine's runtime). Nil disables collection at
+	// no hot-path cost.
+	Metrics *metrics.Collector
 }
 
 // EffectiveCosts resolves the cost model, defaulting when unset.

@@ -35,6 +35,7 @@ import (
 	"beambench/internal/apex"
 	"beambench/internal/beam"
 	"beambench/internal/beam/graphx"
+	"beambench/internal/metrics"
 	"beambench/internal/simcost"
 	"beambench/internal/yarn"
 )
@@ -74,6 +75,9 @@ type Config struct {
 	// Fusion selects the translation mode. The Apex runner's default is
 	// fused — the executable-stage deployment the paper measures.
 	Fusion beam.FusionMode
+	// Metrics, when non-nil, receives per-operator throughput from the
+	// deployed application's partitions. Nil disables collection.
+	Metrics *metrics.Collector
 }
 
 // Runner implements beam.Runner: it builds a fresh YARN cluster from
@@ -97,6 +101,7 @@ func (Runner) Run(ctx context.Context, p *beam.Pipeline, opts beam.Options) (bea
 		Costs:       opts.EffectiveCosts(),
 		Sim:         opts.Sim,
 		Fusion:      opts.Fusion,
+		Metrics:     opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -277,6 +282,7 @@ func Translate(p *beam.Pipeline, cfg Config) (*apex.Application, apex.LaunchConf
 		Parallelism: cfg.Parallelism,
 		Costs:       cfg.Costs,
 		Sim:         cfg.Sim,
+		Metrics:     cfg.Metrics,
 	}
 	return app, launch, nil
 }

@@ -18,6 +18,7 @@ import (
 	"beambench/internal/beam"
 	"beambench/internal/beam/graphx"
 	"beambench/internal/broker"
+	"beambench/internal/metrics"
 )
 
 // Name is the runner's registry name.
@@ -35,7 +36,7 @@ type Runner struct{}
 func (Runner) Run(ctx context.Context, p *beam.Pipeline, opts beam.Options) (beam.Result, error) {
 	// Fusion is off by default: the direct runner materializes every
 	// collection so tests can inspect intermediates.
-	return run(ctx, p, opts.Fusion.Enabled(false))
+	return run(ctx, p, opts.Fusion.Enabled(false), opts.Metrics)
 }
 
 // Result holds the materialized outputs of a pipeline run.
@@ -78,10 +79,10 @@ type windowedValue struct {
 // collection (no fusion). KafkaRead consumes the topic's current
 // contents as a bounded snapshot; KafkaWrite produces to the broker.
 func Run(p *beam.Pipeline) (*Result, error) {
-	return run(context.Background(), p, false)
+	return run(context.Background(), p, false, nil)
 }
 
-func run(ctx context.Context, p *beam.Pipeline, fused bool) (*Result, error) {
+func run(ctx context.Context, p *beam.Pipeline, fused bool, col *metrics.Collector) (*Result, error) {
 	plan, err := graphx.Lower(p, graphx.Options{Fusion: fused})
 	if err != nil {
 		return nil, err
@@ -110,6 +111,11 @@ func run(ctx context.Context, p *beam.Pipeline, fused bool) (*Result, error) {
 			}
 			res.Collections[s.Output().ID()] = vals
 			res.Counts[s.Name()] += int64(len(out))
+			col.Stage(s.Name()).Mark(int64(len(out)))
+		} else if len(s.Transforms[0].Inputs) > 0 {
+			// Sinks have no output collection; their throughput is the
+			// records they consumed.
+			col.Stage(s.Name()).Mark(int64(len(data[s.Transforms[0].Inputs[0].ID()])))
 		}
 	}
 	return res, nil

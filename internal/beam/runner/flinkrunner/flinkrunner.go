@@ -70,7 +70,7 @@ func (Runner) Run(ctx context.Context, p *beam.Pipeline, opts beam.Options) (bea
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	cluster, err := flink.NewCluster(flink.ClusterConfig{Costs: opts.EffectiveCosts(), Sim: opts.Sim})
+	cluster, err := flink.NewCluster(flink.ClusterConfig{Costs: opts.EffectiveCosts(), Sim: opts.Sim, Metrics: opts.Metrics})
 	if err != nil {
 		return nil, err
 	}

@@ -75,7 +75,7 @@ func (Runner) Run(ctx context.Context, p *beam.Pipeline, opts beam.Options) (bea
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	cluster, err := spark.NewCluster(spark.ClusterConfig{Costs: opts.EffectiveCosts(), Sim: opts.Sim})
+	cluster, err := spark.NewCluster(spark.ClusterConfig{Costs: opts.EffectiveCosts(), Sim: opts.Sim, Metrics: opts.Metrics})
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +169,8 @@ func translate(p *beam.Pipeline, cfg Config) (*spark.StreamingContext, int, erro
 				return nil, 0, errors.New("sparkrunner: malformed KafkaRead config")
 			}
 			ds := ssc.KafkaDirectStream(rc.Broker, rc.Topic).
-				Transform(readAdapter(rc.Topic, t.Output.Coder(), costs))
+				Transform(readAdapter(rc.Topic, t.Output.Coder(), costs)).
+				Named("KafkaIO.Read " + rc.Topic)
 			opCount += 2 // direct stream + read adapter
 			// The runner redistributes to spark.default.parallelism —
 			// the splitting overhead the paper observes at P2.
@@ -199,7 +200,8 @@ func translate(p *beam.Pipeline, cfg Config) (*spark.StreamingContext, int, erro
 			// A fused stage runs its whole DoFn chain inside one
 			// per-batch stage: one decode, in-memory hops, one encode.
 			streams[s.Output().ID()] = in.TransformE(
-				parDoStage(s.Name(), s.Fn(), s.Inputs()[0].Coder(), s.Output().Coder(), costs))
+				parDoStage(s.Name(), s.Fn(), s.Inputs()[0].Coder(), s.Output().Coder(), costs)).
+				Named(s.Name())
 			opCount++
 
 		case beam.KindKafkaWrite:
@@ -212,6 +214,7 @@ func translate(p *beam.Pipeline, cfg Config) (*spark.StreamingContext, int, erro
 				return nil, 0, errors.New("sparkrunner: KafkaWrite consumes untranslated collection")
 			}
 			in.Transform(writeSerializer(t.Inputs[0].Coder(), costs)).
+				Named("KafkaIO.Write "+wc.Topic+" serializer").
 				SaveToKafka("KafkaIO.Write "+wc.Topic, wc.Broker, wc.Topic, wc.Producer)
 			opCount += 2 // write serializer + sink
 
@@ -234,7 +237,7 @@ func translate(p *beam.Pipeline, cfg Config) (*spark.StreamingContext, int, erro
 					task.Charge(costs.BeamDoFnPerRecord)
 					emit(rec)
 				}
-			})
+			}).Named(s.Name())
 			opCount++
 
 		case beam.KindGroupByKey:

@@ -10,6 +10,7 @@ import (
 	"beambench/internal/beam"
 	_ "beambench/internal/beam/runners"
 	"beambench/internal/broker"
+	"beambench/internal/metrics"
 	"beambench/internal/queries"
 )
 
@@ -214,5 +215,52 @@ func TestMetricsAndElements(t *testing.T) {
 	}
 	if len(res.Metrics()) == 0 {
 		t.Error("direct result has no stage counts")
+	}
+}
+
+// TestAllRunnersReportStageThroughput: with a collector in
+// beam.Options.Metrics, every registered runner — direct included —
+// must report per-stage throughput, and some stage must carry exactly
+// the query's output record count.
+func TestAllRunnersReportStageThroughput(t *testing.T) {
+	for _, runnerName := range []string{"direct", "apex", "flink", "spark"} {
+		t.Run(runnerName, func(t *testing.T) {
+			w := freshWorkload(t, 42)
+			p, err := queries.BeamPipeline(w, queries.Grep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := beam.GetRunner(runnerName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			col := metrics.NewCollector()
+			if _, err := r.Run(context.Background(), p, beam.Options{Metrics: col}); err != nil {
+				t.Fatal(err)
+			}
+			outputs := int64(len(outputStrings(t, w)))
+			if outputs == 0 {
+				t.Fatal("grep produced no output; workload too small")
+			}
+			sums := col.StageSummaries()
+			if len(sums) == 0 {
+				t.Fatal("no stage throughput collected")
+			}
+			var sawInput, sawOutput bool
+			for _, s := range sums {
+				if s.Records == testRecords {
+					sawInput = true
+				}
+				if s.Records == outputs {
+					sawOutput = true
+				}
+				if s.Records > 0 && s.PeakRate <= 0 {
+					t.Errorf("stage %q has %d records but zero peak rate", s.Name, s.Records)
+				}
+			}
+			if !sawInput || !sawOutput {
+				t.Errorf("stage counts miss input (%d) or output (%d): %+v", testRecords, outputs, sums)
+			}
+		})
 	}
 }

@@ -296,6 +296,47 @@ func (b *Broker) TimeSpan(name string) (first, last time.Time, n int64, err erro
 	return first, last, n, nil
 }
 
+// Timestamps returns the stored timestamps of one partition in offset
+// order, without copying record payloads. This is the result
+// calculator's per-record input: for single-partition LogAppendTime
+// topics (the benchmark configuration), the k-th element is the append
+// time of the k-th record, so event-time latency can be computed from
+// broker state alone — input append time to output append time —
+// independent of any engine-reported metrics.
+func (b *Broker) Timestamps(name string, part int) ([]time.Time, error) {
+	p, err := b.partition(name, part)
+	if err != nil {
+		return nil, err
+	}
+	return p.timestamps()
+}
+
+// Records returns a copy of one partition's records in offset order —
+// the bulk read the result calculator uses to pair output payloads with
+// their source inputs without driving a consumer.
+func (b *Broker) Records(name string, part int) ([]Record, error) {
+	p, err := b.partition(name, part)
+	if err != nil {
+		return nil, err
+	}
+	return p.fetch(name, part, 0, int(p.endOffset()))
+}
+
+// VisitRecords calls fn for every record of one partition in offset
+// order without copying payloads: the Record borrows the stored key and
+// value slices, which must not be retained or modified after fn
+// returns. The partition is locked for the duration, so fn must not
+// call back into the broker. This is the allocation-free bulk read the
+// harness's per-run latency pairing runs on its hot path; use Records
+// for an owned copy.
+func (b *Broker) VisitRecords(name string, part int, fn func(Record) error) error {
+	p, err := b.partition(name, part)
+	if err != nil {
+		return err
+	}
+	return p.visit(name, part, fn)
+}
+
 // SetPartitionOffline injects or clears a partition failure. While a
 // partition is offline, produces and fetches to it fail with
 // ErrPartitionOffline. Blocked PollWait callers are woken.
@@ -449,6 +490,41 @@ func (p *partition) endOffset() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return int64(len(p.records))
+}
+
+func (p *partition) visit(topicName string, part int, fn func(Record) error) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.offline {
+		return ErrPartitionOffline
+	}
+	for i, sr := range p.records {
+		rec := Record{
+			Topic:     topicName,
+			Partition: part,
+			Offset:    int64(i),
+			Key:       sr.key,
+			Value:     sr.value,
+			Timestamp: sr.ts,
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *partition) timestamps() ([]time.Time, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.offline {
+		return nil, ErrPartitionOffline
+	}
+	out := make([]time.Time, len(p.records))
+	for i, r := range p.records {
+		out[i] = r.ts
+	}
+	return out, nil
 }
 
 func (p *partition) timeSpan() (first, last time.Time, n int64) {

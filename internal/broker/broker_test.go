@@ -227,6 +227,46 @@ func TestTimeSpan(t *testing.T) {
 	}
 }
 
+func TestTimestamps(t *testing.T) {
+	now := time.Date(2026, 6, 11, 12, 0, 0, 0, time.UTC)
+	clock := now
+	b := New(WithClock(func() time.Time { return clock }))
+	mustCreate(t, b, "t", TopicConfig{Partitions: 1})
+	p := newProducer(t, b, ProducerConfig{BatchSize: 1})
+	for i := range 3 {
+		clock = now.Add(time.Duration(i) * time.Second)
+		if err := p.Send("t", nil, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ts, err := b.Timestamps("t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 {
+		t.Fatalf("got %d timestamps, want 3", len(ts))
+	}
+	for i, want := range []time.Time{now, now.Add(time.Second), now.Add(2 * time.Second)} {
+		if !ts[i].Equal(want) {
+			t.Errorf("timestamp %d = %v, want %v", i, ts[i], want)
+		}
+	}
+
+	if _, err := b.Timestamps("missing", 0); !errors.Is(err, ErrUnknownTopic) {
+		t.Errorf("unknown topic error = %v", err)
+	}
+	if _, err := b.Timestamps("t", 7); !errors.Is(err, ErrUnknownPartition) {
+		t.Errorf("unknown partition error = %v", err)
+	}
+	if err := b.SetPartitionOffline("t", 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Timestamps("t", 0); !errors.Is(err, ErrPartitionOffline) {
+		t.Errorf("offline partition error = %v", err)
+	}
+}
+
 func TestTimestampsMonotonicPerPartition(t *testing.T) {
 	// Even if the clock goes backwards, stored timestamps must not.
 	times := []time.Time{

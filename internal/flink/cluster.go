@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"beambench/internal/metrics"
 	"beambench/internal/simcost"
 )
 
@@ -32,6 +33,14 @@ type ClusterConfig struct {
 	Costs simcost.Costs
 	// Sim scales the cost model; nil charges nothing.
 	Sim *simcost.Simulator
+	// Metrics, when non-nil, receives per-operator throughput while jobs
+	// run: every operator's emissions (and every sink's writes) are
+	// marked under the operator's name. Marks are cumulative like
+	// monitoring counters: with RestartAttempts > 0 they include the
+	// work a failed attempt performed, unlike the per-attempt
+	// OperatorMetrics snapshots, which reset on every attempt. Nil
+	// disables collection.
+	Metrics *metrics.Collector
 }
 
 func (c *ClusterConfig) validate() error {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"beambench/internal/metrics"
 	"beambench/internal/simcost"
 )
 
@@ -165,6 +166,14 @@ func (env *Environment) runOnce() error {
 	for _, op := range env.ops {
 		op.metrics.reset()
 	}
+	// Pre-register telemetry stages in graph order, so reports list
+	// operators as the job declares them rather than in the (reversed)
+	// chain-composition order subtasks resolve them in.
+	if m := env.cluster.cfg.Metrics; m != nil {
+		for _, op := range env.ops {
+			m.Stage(op.name)
+		}
+	}
 	chains := env.buildChains()
 
 	maxPar := 1
@@ -246,19 +255,74 @@ func (env *Environment) runOnce() error {
 
 // subtaskContext implements OperatorContext for one subtask.
 type subtaskContext struct {
-	idx   int
-	par   int
-	meter *simcost.Meter
+	idx     int
+	par     int
+	meter   *simcost.Meter
+	metrics *metrics.Collector
+	markers []*stageMarker
 }
 
 func (c *subtaskContext) SubtaskIndex() int      { return c.idx }
 func (c *subtaskContext) Parallelism() int       { return c.par }
 func (c *subtaskContext) Charge(d time.Duration) { c.meter.Charge(d) }
-func (c *subtaskContext) flush()                 { c.meter.Flush() }
+
+func (c *subtaskContext) flush() {
+	for _, m := range c.markers {
+		m.flush()
+	}
+	c.meter.Flush()
+}
+
+// newMarker returns a per-subtask throughput marker for one operator, or
+// nil when metrics collection is disabled.
+func (c *subtaskContext) newMarker(name string) *stageMarker {
+	if c.metrics == nil {
+		return nil
+	}
+	m := &stageMarker{stage: c.metrics.Stage(name)}
+	c.markers = append(c.markers, m)
+	return m
+}
+
+// markerFlushEvery is how many records a subtask batches locally before
+// one Mark call: the telemetry hot path stays a local increment, with a
+// clock read and two atomics every 256 records.
+const markerFlushEvery = 256
+
+// stageMarker batches one subtask's marks for one stage. Methods on a
+// nil marker are no-ops (collection disabled).
+type stageMarker struct {
+	stage   *metrics.Stage
+	pending int64
+}
+
+func (m *stageMarker) mark() {
+	if m == nil {
+		return
+	}
+	m.pending++
+	if m.pending >= markerFlushEvery {
+		m.stage.Mark(m.pending)
+		m.pending = 0
+	}
+}
+
+func (m *stageMarker) flush() {
+	if m == nil || m.pending == 0 {
+		return
+	}
+	m.stage.Mark(m.pending)
+	m.pending = 0
+}
 
 // runSubtask executes one parallel instance of a chain.
 func (env *Environment) runSubtask(rt *jobRuntime, rc *runtimeChain, idx int) error {
-	ctx := &subtaskContext{idx: idx, par: rc.c.parallelism, meter: env.cluster.cfg.Sim.NewMeter()}
+	ctx := &subtaskContext{
+		idx:     idx,
+		par:     rc.c.parallelism,
+		meter:   env.cluster.cfg.Sim.NewMeter(),
+		metrics: env.cluster.cfg.Metrics,
+	}
 	defer ctx.flush()
 
 	// Tail collector: either the network edges or nothing (sink ends the
@@ -381,7 +445,7 @@ func (env *Environment) buildStage(op *operator, ctx *subtaskContext, next Colle
 	var noFlush flushEntry
 	switch op.kind {
 	case opTransform:
-		counting := &countingCollector{next: next, metrics: op.metrics}
+		counting := &countingCollector{next: next, metrics: op.metrics, marker: ctx.newMarker(op.name)}
 		if op.flushFactory != nil {
 			fn, flush, err := op.flushFactory(ctx)
 			if err != nil {
@@ -400,7 +464,7 @@ func (env *Environment) buildStage(op *operator, ctx *subtaskContext, next Colle
 		if err != nil {
 			return nil, nil, noFlush, fmt.Errorf("flink: open sink %q: %w", op.name, err)
 		}
-		return &sinkCollector{sink: sink, metrics: op.metrics}, sink, noFlush, nil
+		return &sinkCollector{sink: sink, metrics: op.metrics, marker: ctx.newMarker(op.name)}, sink, noFlush, nil
 	default:
 		return nil, nil, noFlush, fmt.Errorf("flink: operator %q cannot appear mid-chain", op.name)
 	}
@@ -411,7 +475,7 @@ func (env *Environment) runSource(op *operator, ctx *subtaskContext, next Collec
 	if err != nil {
 		return fmt.Errorf("flink: open source %q: %w", op.name, err)
 	}
-	return src.Run(&countingCollector{next: next, metrics: op.metrics})
+	return src.Run(&countingCollector{next: next, metrics: op.metrics, marker: ctx.newMarker(op.name)})
 }
 
 // discardCollector terminates chains that end in a sink (the sink
@@ -424,10 +488,12 @@ func (discardCollector) Collect([]byte) error { return nil }
 type countingCollector struct {
 	next    Collector
 	metrics *OperatorMetrics
+	marker  *stageMarker
 }
 
 func (c *countingCollector) Collect(rec []byte) error {
 	c.metrics.incOut()
+	c.marker.mark()
 	return c.next.Collect(rec)
 }
 
@@ -447,10 +513,12 @@ func (c *processCollector) Collect(rec []byte) error {
 type sinkCollector struct {
 	sink    Sink
 	metrics *OperatorMetrics
+	marker  *stageMarker
 }
 
 func (c *sinkCollector) Collect(rec []byte) error {
 	c.metrics.incIn()
+	c.marker.mark()
 	return c.sink.Invoke(rec)
 }
 

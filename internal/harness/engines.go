@@ -3,6 +3,7 @@ package harness
 import (
 	"beambench/internal/apex"
 	"beambench/internal/flink"
+	"beambench/internal/metrics"
 	"beambench/internal/queries"
 	"beambench/internal/simcost"
 	"beambench/internal/spark"
@@ -12,8 +13,11 @@ import (
 // nativeExecutor builds and runs one system's native-API variant of a
 // query on a fresh engine cluster. The Beam variants never come through
 // here — they run through the beam runner registry (executeBeam) — so
-// this table is the only place the harness touches engine APIs.
-type nativeExecutor func(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator) error
+// this table is the only place the harness touches engine APIs. The
+// collector (nil when telemetry is off) is threaded into the engine's
+// cluster configuration so native cells report per-stage throughput
+// exactly like Beam cells do.
+type nativeExecutor func(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector) error
 
 var nativeExecutors = map[System]nativeExecutor{
 	SystemFlink: nativeFlink,
@@ -21,8 +25,8 @@ var nativeExecutors = map[System]nativeExecutor{
 	SystemApex:  nativeApex,
 }
 
-func nativeFlink(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator) error {
-	cluster, err := flink.NewCluster(flink.ClusterConfig{Costs: r.costs, Sim: sim})
+func nativeFlink(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector) error {
+	cluster, err := flink.NewCluster(flink.ClusterConfig{Costs: r.costs, Sim: sim, Metrics: col})
 	if err != nil {
 		return err
 	}
@@ -36,8 +40,8 @@ func nativeFlink(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simula
 	return err
 }
 
-func nativeSpark(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator) error {
-	cluster, err := spark.NewCluster(spark.ClusterConfig{Costs: r.costs, Sim: sim})
+func nativeSpark(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector) error {
+	cluster, err := spark.NewCluster(spark.ClusterConfig{Costs: r.costs, Sim: sim, Metrics: col})
 	if err != nil {
 		return err
 	}
@@ -54,7 +58,7 @@ func nativeSpark(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simula
 	return err
 }
 
-func nativeApex(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator) error {
+func nativeApex(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector) error {
 	cluster, err := yarn.NewCluster(yarn.ClusterConfig{})
 	if err != nil {
 		return err
@@ -69,6 +73,7 @@ func nativeApex(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulat
 		Parallelism: setup.Parallelism,
 		Costs:       r.costs,
 		Sim:         sim,
+		Metrics:     col,
 	})
 	if err != nil {
 		return err

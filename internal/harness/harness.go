@@ -23,6 +23,7 @@ import (
 	"beambench/internal/beam"
 	_ "beambench/internal/beam/runners" // register the bundled runners
 	"beambench/internal/broker"
+	"beambench/internal/metrics"
 	"beambench/internal/queries"
 	"beambench/internal/simcost"
 )
@@ -173,6 +174,12 @@ type Config struct {
 	// force one mode everywhere so the fused-vs-unfused overhead is
 	// measurable per engine.
 	Fusion beam.FusionMode
+	// CollectMetrics enables the telemetry subsystem: per-record
+	// event-time latency (output append time minus input append time,
+	// from broker timestamps alone) sketched per cell, and per-stage
+	// throughput reported by every engine. Adds the Latency and Stages
+	// blocks to the report; see internal/metrics.
+	CollectMetrics bool
 	// Workers is the number of matrix cells RunAll (and RunMatrix, when
 	// its workers argument is <= 0) executes concurrently. Every run
 	// still gets its own broker and engine cluster, so cells are
@@ -237,6 +244,13 @@ type Runner struct {
 	noise   simcost.NoiseParams
 	dataset [][]byte
 
+	// metrics is the telemetry registry, nil unless Config.CollectMetrics.
+	metrics *metrics.Registry
+	// survivorIndexByQ caches, per query, the payload-to-input pairing
+	// index the latency calculation walks.
+	survivorsMu      sync.Mutex
+	survivorIndexByQ map[queries.Query]*queries.SurvivorIndex
+
 	progressMu sync.Mutex
 }
 
@@ -261,8 +275,17 @@ func New(cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{cfg: cfg, costs: costs, noise: noise, dataset: gen.All()}, nil
+	r := &Runner{cfg: cfg, costs: costs, noise: noise, dataset: gen.All(),
+		survivorIndexByQ: make(map[queries.Query]*queries.SurvivorIndex)}
+	if cfg.CollectMetrics {
+		r.metrics = metrics.NewRegistry()
+	}
+	return r, nil
 }
+
+// Metrics returns the telemetry registry, or nil when
+// Config.CollectMetrics is off.
+func (r *Runner) Metrics() *metrics.Registry { return r.metrics }
 
 // Config returns the validated configuration.
 func (r *Runner) Config() Config { return r.cfg }
@@ -330,7 +353,10 @@ func (r *Runner) runSingle(ctx context.Context, setup Setup, runIdx int) (RunRes
 		return RunResult{}, fmt.Errorf("harness: ingest: %w", err)
 	}
 
-	// Phase 2: program execution on a freshly started cluster.
+	// Phase 2: program execution on a freshly started cluster. The
+	// cell's collector (nil when telemetry is off) rides along so engine
+	// operators report per-stage throughput while they run.
+	col := r.metrics.Collector(cellKey(setup))
 	w := queries.Workload{
 		Broker:      b,
 		InputTopic:  inputTopic,
@@ -338,11 +364,13 @@ func (r *Runner) runSingle(ctx context.Context, setup Setup, runIdx int) (RunRes
 		Seed:        r.cfg.SampleSeed,
 		Producer:    broker.ProducerConfig{},
 	}
-	if err := r.execute(ctx, setup, w, sim); err != nil {
+	if err := r.execute(ctx, setup, w, sim, col); err != nil {
 		return RunResult{}, fmt.Errorf("harness: execute %s run %d: %w", setup.Label(), runIdx, err)
 	}
 
-	// Phase 3: result calculation from broker timestamps alone.
+	// Phase 3: result calculation from broker timestamps alone — the
+	// LogAppendTime span (the paper's metric) and, with telemetry on,
+	// the per-record event-time latency distribution.
 	first, last, n, err := b.TimeSpan(outputTopic)
 	if err != nil {
 		return RunResult{}, fmt.Errorf("harness: result calculation: %w", err)
@@ -350,6 +378,11 @@ func (r *Runner) runSingle(ctx context.Context, setup Setup, runIdx int) (RunRes
 	var execTime time.Duration
 	if n > 0 {
 		execTime = last.Sub(first)
+	}
+	if r.metrics != nil {
+		if err := r.observeLatencies(b, setup, col); err != nil {
+			return RunResult{}, fmt.Errorf("harness: result calculation: %w", err)
+		}
 	}
 	return RunResult{
 		Setup:         setup,
@@ -378,20 +411,20 @@ func (r *Runner) ingest(b *broker.Broker) error {
 	return sender.Close()
 }
 
-func (r *Runner) execute(ctx context.Context, setup Setup, w queries.Workload, sim *simcost.Simulator) error {
+func (r *Runner) execute(ctx context.Context, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector) error {
 	if setup.API == APINative {
 		exec, ok := nativeExecutors[setup.System]
 		if !ok {
 			return fmt.Errorf("harness: unknown system %d", setup.System)
 		}
-		return exec(r, setup, w, sim)
+		return exec(r, setup, w, sim, col)
 	}
-	return r.executeBeam(ctx, setup, w, sim)
+	return r.executeBeam(ctx, setup, w, sim, col)
 }
 
 // executeBeam runs the Beam variant of a setup through the runner
 // registry: one code path for every engine, selected by name.
-func (r *Runner) executeBeam(ctx context.Context, setup Setup, w queries.Workload, sim *simcost.Simulator) error {
+func (r *Runner) executeBeam(ctx context.Context, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector) error {
 	name := setup.System.RunnerName()
 	if name == "" {
 		return fmt.Errorf("harness: unknown system %d", setup.System)
@@ -409,6 +442,7 @@ func (r *Runner) executeBeam(ctx context.Context, setup Setup, w queries.Workloa
 		Fusion:      r.cfg.Fusion,
 		Costs:       &r.costs,
 		Sim:         sim,
+		Metrics:     col,
 	})
 	return err
 }
@@ -420,7 +454,16 @@ func (r *Runner) RunCell(setup Setup) ([]RunResult, error) {
 
 // runCell runs one setup's repetitions, checking for cancellation
 // between runs so a worker drains quickly without discarding the runs it
-// already completed.
+// already completed. Identity, Projection and Grep contractually map
+// each input to an exact output set, so repeated runs must produce
+// identical output counts; a disagreement means an engine dropped or
+// duplicated records and is reported as an error rather than silently
+// averaged away. Sample is exempt because its Table II contract is only
+// "about 40% of the tuples": the shared seeded hash that makes our four
+// implementations agree is an implementation detail, and an engine
+// sampling another way would still be correct while varying per run.
+// (With telemetry on, such an engine is still caught — the latency
+// pairing in observeLatencies requires the deterministic subset.)
 func (r *Runner) runCell(ctx context.Context, setup Setup) ([]RunResult, error) {
 	out := make([]RunResult, 0, r.cfg.Runs)
 	for run := range r.cfg.Runs {
@@ -430,6 +473,12 @@ func (r *Runner) runCell(ctx context.Context, setup Setup) ([]RunResult, error) 
 		res, err := r.runSingle(ctx, setup, run)
 		if err != nil {
 			return out, err
+		}
+		if len(out) > 0 && res.OutputRecords != out[0].OutputRecords && setup.Query != queries.Sample {
+			out = append(out, res)
+			return out, fmt.Errorf(
+				"harness: nondeterministic output for %s %s: run %d produced %d records, run 0 produced %d",
+				setup.Label(), setup.Query, run, res.OutputRecords, out[0].OutputRecords)
 		}
 		out = append(out, res)
 	}
@@ -488,6 +537,7 @@ func (r *Runner) RunAll() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	rep.AttachMetrics(r.metrics)
 	return rep, runErr
 }
 

@@ -139,5 +139,6 @@ dispatch:
 	if err != nil {
 		return nil, err
 	}
+	rep.AttachMetrics(r.metrics)
 	return rep, firstErr
 }

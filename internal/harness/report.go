@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 
+	"beambench/internal/metrics"
 	"beambench/internal/queries"
 	"beambench/internal/stats"
 )
@@ -17,8 +18,17 @@ type Cell struct {
 	TimesSec []float64
 	// Summary holds the derived statistics.
 	Summary stats.Summary
-	// OutputRecords is the output count of the last run.
+	// OutputRecords is the output count of the runs (guarded to agree
+	// across runs for every query but Sample; see RunCell).
 	OutputRecords int64
+	// OutputRecordsPerRun holds every run's output count, in run order.
+	OutputRecordsPerRun []int64
+	// Latency is the cell's per-record event-time latency distribution
+	// across all runs; nil unless Config.CollectMetrics.
+	Latency *metrics.LatencySummary
+	// Stages holds per-stage throughput in engine execution order; nil
+	// unless Config.CollectMetrics.
+	Stages []metrics.StageSummary
 }
 
 // Report holds the aggregated benchmark results.
@@ -57,6 +67,7 @@ func BuildReport(cfg Config, results []RunResult) (*Report, error) {
 		}
 		cell.TimesSec = append(cell.TimesSec, res.ExecutionTime.Seconds())
 		cell.OutputRecords = res.OutputRecords
+		cell.OutputRecordsPerRun = append(cell.OutputRecordsPerRun, res.OutputRecords)
 	}
 	for _, cell := range rep.Cells {
 		summary, err := stats.Summarize(cell.TimesSec)
@@ -72,6 +83,50 @@ func BuildReport(cfg Config, results []RunResult) (*Report, error) {
 func (rep *Report) Cell(setup Setup) (*Cell, bool) {
 	c, ok := rep.byKey[setup]
 	return c, ok
+}
+
+// AttachMetrics fills every cell's Latency and Stages blocks from the
+// telemetry registry collected while the matrix ran. A nil registry
+// (telemetry off) leaves the report unchanged.
+func (rep *Report) AttachMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, c := range rep.Cells {
+		col, ok := reg.Get(cellKey(c.Setup))
+		if !ok {
+			continue
+		}
+		lat := col.LatencySummary()
+		c.Latency = &lat
+		c.Stages = col.StageSummaries()
+	}
+}
+
+// FormatLatency renders the telemetry report: per-record event-time
+// latency quantiles and per-stage throughput for every cell, in the
+// report's canonical order. Requires a report built with
+// Config.CollectMetrics.
+func (rep *Report) FormatLatency() (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Event-Time Latency and Per-Stage Throughput (records=%d, runs=%d)\n", rep.Records, rep.Runs)
+	any := false
+	for _, c := range rep.Cells {
+		if c.Latency == nil {
+			continue
+		}
+		any = true
+		fmt.Fprintf(&sb, "  %-28s p50 %9.3fs  p90 %9.3fs  p99 %9.3fs  max %9.3fs  (n=%d)\n",
+			cellKey(c.Setup), c.Latency.P50, c.Latency.P90, c.Latency.P99, c.Latency.Max, c.Latency.Count)
+		for _, s := range c.Stages {
+			fmt.Fprintf(&sb, "      %-36s %10d rec  %10.0f rec/s mean  %10.0f rec/s peak\n",
+				s.Name, s.Records, s.MeanRate, s.PeakRate)
+		}
+	}
+	if !any {
+		return "", fmt.Errorf("harness: report carries no latency data (run with CollectMetrics / -latency)")
+	}
+	return sb.String(), nil
 }
 
 // Mean returns a cell's mean execution time in seconds.
@@ -256,14 +311,17 @@ func FormatTableII(records, grepHits int) string {
 
 // jsonCell is the serialized form of a cell.
 type jsonCell struct {
-	System        string    `json:"system"`
-	API           string    `json:"api"`
-	Query         string    `json:"query"`
-	Parallelism   int       `json:"parallelism"`
-	TimesSec      []float64 `json:"timesSec"`
-	MeanSec       float64   `json:"meanSec"`
-	RelStdDev     float64   `json:"relStdDev"`
-	OutputRecords int64     `json:"outputRecords"`
+	System              string                  `json:"system"`
+	API                 string                  `json:"api"`
+	Query               string                  `json:"query"`
+	Parallelism         int                     `json:"parallelism"`
+	TimesSec            []float64               `json:"timesSec"`
+	MeanSec             float64                 `json:"meanSec"`
+	RelStdDev           float64                 `json:"relStdDev"`
+	OutputRecords       int64                   `json:"outputRecords"`
+	OutputRecordsPerRun []int64                 `json:"outputRecordsPerRun,omitempty"`
+	Latency             *metrics.LatencySummary `json:"latency,omitempty"`
+	Stages              []metrics.StageSummary  `json:"stages,omitempty"`
 }
 
 type jsonReport struct {
@@ -284,14 +342,17 @@ func (rep *Report) WriteJSON(w io.Writer) error {
 	}
 	for _, c := range rep.Cells {
 		out.Cells = append(out.Cells, jsonCell{
-			System:        c.Setup.System.String(),
-			API:           c.Setup.API.String(),
-			Query:         c.Setup.Query.String(),
-			Parallelism:   c.Setup.Parallelism,
-			TimesSec:      c.TimesSec,
-			MeanSec:       c.Summary.Mean,
-			RelStdDev:     c.Summary.RelStdDev,
-			OutputRecords: c.OutputRecords,
+			System:              c.Setup.System.String(),
+			API:                 c.Setup.API.String(),
+			Query:               c.Setup.Query.String(),
+			Parallelism:         c.Setup.Parallelism,
+			TimesSec:            c.TimesSec,
+			MeanSec:             c.Summary.Mean,
+			RelStdDev:           c.Summary.RelStdDev,
+			OutputRecords:       c.OutputRecords,
+			OutputRecordsPerRun: c.OutputRecordsPerRun,
+			Latency:             c.Latency,
+			Stages:              c.Stages,
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -1,0 +1,237 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Stage is the throughput counter of one named pipeline stage (an engine
+// operator, a fused executable stage, a sink). Producers resolve the
+// handle once per task and Mark on it; both are safe for concurrent use.
+type Stage struct {
+	name string
+	tp   Throughput
+}
+
+// Name returns the stage's name.
+func (s *Stage) Name() string { return s.name }
+
+// Mark counts n records through the stage now. A nil stage (collection
+// disabled) is a no-op.
+func (s *Stage) Mark(n int64) {
+	if s == nil {
+		return
+	}
+	s.tp.Mark(n)
+}
+
+// MarkAt counts n records through the stage at ts. A nil stage is a
+// no-op.
+func (s *Stage) MarkAt(ts time.Time, n int64) {
+	if s == nil {
+		return
+	}
+	s.tp.MarkAt(ts, n)
+}
+
+// Records reports the total records marked through the stage.
+func (s *Stage) Records() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.tp.Total()
+}
+
+// StageSummary is the reported throughput of one stage.
+type StageSummary struct {
+	// Name is the stage name as the engine labels it.
+	Name string `json:"name"`
+	// Records is the total record count through the stage.
+	Records int64 `json:"records"`
+	// ActiveSeconds counts one-second windows with activity.
+	ActiveSeconds int64 `json:"activeSeconds"`
+	// MeanRate is records/sec averaged over the active windows.
+	MeanRate float64 `json:"meanRate"`
+	// PeakRate is the busiest window's records/sec.
+	PeakRate float64 `json:"peakRate"`
+}
+
+// LatencySummary is the reported event-time latency distribution of one
+// benchmark cell, in seconds.
+type LatencySummary struct {
+	// Count is the number of records the distribution covers.
+	Count int64 `json:"count"`
+	// P50, P90 and P99 are the targeted quantiles of per-record
+	// event-time latency (output append time minus input append time).
+	P50 float64 `json:"p50Sec"`
+	P90 float64 `json:"p90Sec"`
+	P99 float64 `json:"p99Sec"`
+	// Max is the exact largest observed latency.
+	Max float64 `json:"maxSec"`
+}
+
+// Collector gathers the telemetry of one benchmark cell: an event-time
+// latency sketch fed by the harness result calculator, and per-stage
+// throughput counters fed concurrently by engine subtasks. A nil
+// *Collector disables collection everywhere it is threaded.
+type Collector struct {
+	mu      sync.RWMutex
+	latency *Sketch
+	stages  map[string]*Stage
+	order   []string
+}
+
+// NewCollector returns an empty collector with the default latency
+// targets.
+func NewCollector() *Collector {
+	return &Collector{
+		latency: MustSketch(),
+		stages:  make(map[string]*Stage),
+	}
+}
+
+// ObserveLatency records one event-time latency observation. Safe for
+// concurrent use; a nil collector is a no-op.
+func (c *Collector) ObserveLatency(d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.latency.Insert(d.Seconds())
+	c.mu.Unlock()
+}
+
+// ObserveLatencySeconds records a batch of latency observations (in
+// seconds) under one lock — the bulk path the harness result calculator
+// uses after pairing a whole run. Safe for concurrent use; a nil
+// collector is a no-op.
+func (c *Collector) ObserveLatencySeconds(ds []float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	for _, d := range ds {
+		c.latency.Insert(d)
+	}
+	c.mu.Unlock()
+}
+
+// Stage returns the named stage's counter, creating it on first use.
+// Safe for concurrent use; a nil collector returns a nil stage, whose
+// methods are no-ops.
+func (c *Collector) Stage(name string) *Stage {
+	if c == nil {
+		return nil
+	}
+	c.mu.RLock()
+	s, ok := c.stages[name]
+	c.mu.RUnlock()
+	if ok {
+		return s
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.stages[name]; ok {
+		return s
+	}
+	s = &Stage{name: name}
+	c.stages[name] = s
+	c.order = append(c.order, name)
+	return s
+}
+
+// LatencySummary reports the collected latency distribution.
+func (c *Collector) LatencySummary() LatencySummary {
+	if c == nil {
+		return LatencySummary{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return LatencySummary{
+		Count: c.latency.Count(),
+		P50:   c.latency.Quantile(0.50),
+		P90:   c.latency.Quantile(0.90),
+		P99:   c.latency.Quantile(0.99),
+		Max:   c.latency.Max(),
+	}
+}
+
+// StageSummaries reports every stage's throughput in first-use order.
+func (c *Collector) StageSummaries() []StageSummary {
+	if c == nil {
+		return nil
+	}
+	c.mu.RLock()
+	names := append([]string(nil), c.order...)
+	c.mu.RUnlock()
+	out := make([]StageSummary, 0, len(names))
+	for _, name := range names {
+		s := c.Stage(name)
+		active, mean, peak := s.tp.Rates()
+		out = append(out, StageSummary{
+			Name:          name,
+			Records:       s.tp.Total(),
+			ActiveSeconds: active,
+			MeanRate:      mean,
+			PeakRate:      peak,
+		})
+	}
+	return out
+}
+
+// Registry keys collectors by benchmark cell, get-or-create, safe for
+// concurrent use by the matrix scheduler's workers.
+type Registry struct {
+	mu    sync.RWMutex
+	cells map[string]*Collector
+	order []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{cells: make(map[string]*Collector)}
+}
+
+// Collector returns the cell's collector, creating it on first use. A
+// nil registry returns a nil collector (collection disabled).
+func (r *Registry) Collector(cell string) *Collector {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.cells[cell]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.cells[cell]; ok {
+		return c
+	}
+	c = NewCollector()
+	r.cells[cell] = c
+	r.order = append(r.order, cell)
+	return c
+}
+
+// Get returns the cell's collector without creating it.
+func (r *Registry) Get(cell string) (*Collector, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.cells[cell]
+	return c, ok
+}
+
+// Cells lists the registered cell keys in first-use order.
+func (r *Registry) Cells() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}

@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestThroughputWindows(t *testing.T) {
+	var tp Throughput
+	base := time.Unix(1_000_000, 0)
+	tp.MarkAt(base, 10)
+	tp.MarkAt(base.Add(300*time.Millisecond), 5)
+	tp.MarkAt(base.Add(1*time.Second), 20)
+	tp.MarkAt(base.Add(5*time.Second), 1)
+
+	if got := tp.Total(); got != 36 {
+		t.Fatalf("Total = %d, want 36", got)
+	}
+	ws := tp.Windows()
+	want := []Window{{Sec: 1_000_000, Count: 15}, {Sec: 1_000_001, Count: 20}, {Sec: 1_000_005, Count: 1}}
+	if len(ws) != len(want) {
+		t.Fatalf("Windows = %+v, want %+v", ws, want)
+	}
+	for i := range want {
+		if ws[i] != want[i] {
+			t.Errorf("window %d = %+v, want %+v", i, ws[i], want[i])
+		}
+	}
+	active, mean, peak := tp.Rates()
+	if active != 3 || peak != 20 || mean != 12 {
+		t.Errorf("Rates = %d/%v/%v, want 3/12/20", active, mean, peak)
+	}
+}
+
+// TestThroughputRingEviction marks across more seconds than the ring
+// holds; every count must survive into the overflow map.
+func TestThroughputRingEviction(t *testing.T) {
+	var tp Throughput
+	base := time.Unix(2_000_000, 0)
+	const seconds = throughputRing * 3
+	for i := range seconds {
+		tp.MarkAt(base.Add(time.Duration(i)*time.Second), 2)
+	}
+	if got := tp.Total(); got != seconds*2 {
+		t.Fatalf("Total = %d, want %d", got, seconds*2)
+	}
+	ws := tp.Windows()
+	if len(ws) != seconds {
+		t.Fatalf("got %d windows, want %d", len(ws), seconds)
+	}
+	var sum int64
+	for _, w := range ws {
+		sum += w.Count
+	}
+	if sum != seconds*2 {
+		t.Errorf("window sum = %d, want %d", sum, seconds*2)
+	}
+}
+
+func TestThroughputConcurrent(t *testing.T) {
+	var tp Throughput
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 10_000
+	base := time.Now()
+	for w := range workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range perWorker {
+				tp.MarkAt(base.Add(time.Duration(i)*time.Millisecond), 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tp.Total(); got != workers*perWorker {
+		t.Errorf("Total = %d, want %d", got, workers*perWorker)
+	}
+	var sum int64
+	for _, w := range tp.Windows() {
+		sum += w.Count
+	}
+	if sum != workers*perWorker {
+		t.Errorf("window sum = %d, want %d", sum, workers*perWorker)
+	}
+}
+
+func TestNilCollectorIsNoOp(t *testing.T) {
+	var c *Collector
+	c.ObserveLatency(time.Second) // must not panic
+	s := c.Stage("x")
+	if s != nil {
+		t.Fatalf("nil collector returned non-nil stage")
+	}
+	s.Mark(5) // nil stage: no-op
+	s.MarkAt(time.Now(), 5)
+	if s.Records() != 0 {
+		t.Error("nil stage recorded marks")
+	}
+	if got := c.LatencySummary(); got != (LatencySummary{}) {
+		t.Errorf("nil collector LatencySummary = %+v", got)
+	}
+	if got := c.StageSummaries(); got != nil {
+		t.Errorf("nil collector StageSummaries = %+v", got)
+	}
+
+	var r *Registry
+	if r.Collector("cell") != nil {
+		t.Error("nil registry returned a collector")
+	}
+	if cells := r.Cells(); cells != nil {
+		t.Errorf("nil registry Cells = %v", cells)
+	}
+}
+
+func TestCollectorStagesAndLatency(t *testing.T) {
+	c := NewCollector()
+	c.Stage("read").Mark(100)
+	c.Stage("write").Mark(40)
+	c.Stage("read").Mark(50)
+	for i := range 1000 {
+		c.ObserveLatency(time.Duration(i+1) * time.Millisecond)
+	}
+
+	sums := c.StageSummaries()
+	if len(sums) != 2 || sums[0].Name != "read" || sums[1].Name != "write" {
+		t.Fatalf("StageSummaries order = %+v", sums)
+	}
+	if sums[0].Records != 150 || sums[1].Records != 40 {
+		t.Errorf("records = %d/%d, want 150/40", sums[0].Records, sums[1].Records)
+	}
+
+	lat := c.LatencySummary()
+	if lat.Count != 1000 {
+		t.Errorf("latency count = %d, want 1000", lat.Count)
+	}
+	if lat.Max != 1.0 {
+		t.Errorf("latency max = %v, want 1.0", lat.Max)
+	}
+	// p50 of 1..1000ms is ~500ms; the sketch guarantees ±1% rank error.
+	if lat.P50 < 0.480 || lat.P50 > 0.520 {
+		t.Errorf("latency p50 = %v, want ~0.5", lat.P50)
+	}
+	if lat.P99 < 0.985 || lat.P99 > 1.0 {
+		t.Errorf("latency p99 = %v, want ~0.99", lat.P99)
+	}
+}
+
+func TestRegistryConcurrentGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	collectors := make([]*Collector, 16)
+	for i := range collectors {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			collectors[i] = r.Collector("same-cell")
+			collectors[i].Stage("s").Mark(1)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(collectors); i++ {
+		if collectors[i] != collectors[0] {
+			t.Fatal("Registry returned distinct collectors for one cell")
+		}
+	}
+	if got := collectors[0].Stage("s").Records(); got != 16 {
+		t.Errorf("shared stage records = %d, want 16", got)
+	}
+	if cells := r.Cells(); len(cells) != 1 || cells[0] != "same-cell" {
+		t.Errorf("Cells = %v", cells)
+	}
+	if _, ok := r.Get("same-cell"); !ok {
+		t.Error("Get failed for existing cell")
+	}
+	if _, ok := r.Get("missing"); ok {
+		t.Error("Get succeeded for missing cell")
+	}
+}

@@ -1,0 +1,36 @@
+// Package metrics is the benchmark's streaming telemetry subsystem:
+// low-overhead event-time latency sketches and windowed per-stage
+// throughput counters, collected while runs execute and reported per
+// benchmark cell.
+//
+// The design follows the measurement literature the harness reproduces:
+// Karimov et al. ("Benchmarking Distributed Stream Data Processing
+// Systems", ICDE 2018) argue that abstraction overhead surfaces in
+// per-record event-time latency rather than in wall-clock means, and
+// ESPBench (Hesse et al., 2021) makes latency percentiles a first-class
+// benchmark output. Execution time alone — the only metric of the
+// source paper — hides tail behaviour entirely.
+//
+// Three layers:
+//
+//   - Sketch is a CKMS biased-quantile sketch (Cormode, Korn,
+//     Muthukrishnan, Srivastava: "Effective Computation of Biased
+//     Quantiles over Data Streams") in its targeted-quantile variant:
+//     it answers configured quantiles (default p50/p90/p99) within a
+//     per-quantile rank-error guarantee using O(1/ε·log εn) space,
+//     independent of the number of observations.
+//   - Throughput counts records per one-second window with a fixed ring
+//     of atomically updated buckets, so concurrent producers pay one
+//     atomic add on the hot path.
+//   - Collector groups one latency sketch plus named per-stage
+//     throughput counters for one benchmark cell; Registry keys
+//     collectors by cell so all producers (engine subtasks, runner
+//     stages, the harness result calculator) write into shared state
+//     concurrently without coordination beyond stage-handle lookup.
+//
+// Producers resolve a *Stage handle once per task and call Mark on it;
+// the harness observes per-record latency into the cell's sketch during
+// result calculation (broker append-time differences, see
+// internal/harness). Everything is optional: a nil *Collector disables
+// collection with no hot-path cost beyond a nil check.
+package metrics

@@ -1,0 +1,208 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"beambench/internal/stats"
+)
+
+func TestSketchEmpty(t *testing.T) {
+	s := MustSketch()
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("empty sketch Quantile = %v, want 0", got)
+	}
+	if s.Count() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Errorf("empty sketch Count/Min/Max = %d/%v/%v, want zeros", s.Count(), s.Min(), s.Max())
+	}
+}
+
+func TestSketchRejectsBadTargets(t *testing.T) {
+	for _, target := range []Target{
+		{Quantile: 0, Epsilon: 0.01},
+		{Quantile: 1, Epsilon: 0.01},
+		{Quantile: 0.5, Epsilon: 0},
+		{Quantile: 0.5, Epsilon: 1},
+	} {
+		if _, err := NewSketch(target); err == nil {
+			t.Errorf("NewSketch(%+v) succeeded, want error", target)
+		}
+	}
+}
+
+func TestSketchSingleValue(t *testing.T) {
+	s := MustSketch()
+	s.Insert(42)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if got := s.Quantile(q); got != 42 {
+			t.Errorf("Quantile(%v) = %v, want 42", q, got)
+		}
+	}
+	if s.Min() != 42 || s.Max() != 42 || s.Count() != 1 {
+		t.Errorf("Min/Max/Count = %v/%v/%d", s.Min(), s.Max(), s.Count())
+	}
+}
+
+func TestSketchExactMinMax(t *testing.T) {
+	s := MustSketch()
+	rng := rand.New(rand.NewPCG(1, 2))
+	min, max := math.Inf(1), math.Inf(-1)
+	for range 10_000 {
+		v := rng.NormFloat64()
+		s.Insert(v)
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	if s.Min() != min || s.Max() != max {
+		t.Errorf("Min/Max = %v/%v, want %v/%v", s.Min(), s.Max(), min, max)
+	}
+}
+
+// rankErrorOK verifies the CKMS guarantee for one target: the returned
+// value must occupy a rank within epsilon*n of quantile*n in the sorted
+// input. The check is rank-based (not value-based), exactly the paper's
+// guarantee statement.
+func rankErrorOK(t *testing.T, sorted []float64, got float64, target Target) {
+	t.Helper()
+	n := float64(len(sorted))
+	lo := sort.SearchFloat64s(sorted, got)                                      // first index with v >= got
+	hi := sort.Search(len(sorted), func(i int) bool { return sorted[i] > got }) // first index with v > got
+	if lo == hi {
+		t.Fatalf("q=%v: sketch returned %v, which is not an input element", target.Quantile, got)
+	}
+	// Ranks are 1-based; the value covers ranks lo+1..hi.
+	want := target.Quantile * n
+	slack := target.Epsilon*n + 1 // +1 absorbs the ceil in the query rule
+	if float64(hi) < want-slack || float64(lo+1) > want+slack {
+		t.Errorf("q=%v eps=%v: returned value covers ranks [%d,%d], want within %v±%v",
+			target.Quantile, target.Epsilon, lo+1, hi, want, slack)
+	}
+}
+
+// TestSketchEpsilonGuarantee is the property test of the satellite task:
+// on 100k-element random and adversarially sorted inputs, every targeted
+// quantile must be within its epsilon rank guarantee of the exact
+// nearest-rank percentile from internal/stats.
+func TestSketchEpsilonGuarantee(t *testing.T) {
+	const n = 100_000
+	rng := rand.New(rand.NewPCG(7, 11))
+
+	random := make([]float64, n)
+	for i := range random {
+		random[i] = rng.Float64() * 1e6
+	}
+	ascending := make([]float64, n)
+	for i := range ascending {
+		ascending[i] = float64(i)
+	}
+	descending := make([]float64, n)
+	for i := range descending {
+		descending[i] = float64(n - i)
+	}
+	// Heavy-tailed input: the regime latency distributions live in.
+	lognormal := make([]float64, n)
+	for i := range lognormal {
+		lognormal[i] = math.Exp(rng.NormFloat64() * 2)
+	}
+
+	inputs := map[string][]float64{
+		"random":     random,
+		"ascending":  ascending,
+		"descending": descending,
+		"lognormal":  lognormal,
+	}
+	for name, input := range inputs {
+		t.Run(name, func(t *testing.T) {
+			s := MustSketch()
+			for _, v := range input {
+				s.Insert(v)
+			}
+			sorted := make([]float64, len(input))
+			copy(sorted, input)
+			sort.Float64s(sorted)
+
+			for _, target := range DefaultTargets() {
+				got := s.Quantile(target.Quantile)
+				rankErrorOK(t, sorted, got, target)
+
+				// Cross-check against the exact nearest-rank value: the
+				// sketch answer must be between the percentiles at
+				// q-eps and q+eps (with one-rank slack at the edges).
+				loQ := math.Max(0, target.Quantile-target.Epsilon)
+				hiQ := math.Min(1, target.Quantile+target.Epsilon)
+				exactLo, err := stats.Percentile(input, loQ)
+				if err != nil {
+					t.Fatal(err)
+				}
+				exactHi, err := stats.Percentile(input, hiQ)
+				if err != nil {
+					t.Fatal(err)
+				}
+				idx := sort.SearchFloat64s(sorted, got)
+				if idx > 0 {
+					idx--
+				}
+				if got < exactLo && sorted[idx] < exactLo || got > exactHi && idx+1 < len(sorted) && sorted[idx+1] > exactHi {
+					t.Errorf("q=%v: sketch=%v outside exact band [%v, %v]",
+						target.Quantile, got, exactLo, exactHi)
+				}
+			}
+		})
+	}
+}
+
+// TestSketchSpaceSublinear pins the whole point of the sketch: after
+// 100k inserts the summary must hold a small fraction of the stream.
+func TestSketchSpaceSublinear(t *testing.T) {
+	s := MustSketch()
+	rng := rand.New(rand.NewPCG(3, 5))
+	for range 100_000 {
+		s.Insert(rng.Float64())
+	}
+	if got := s.SampleCount(); got > 5_000 {
+		t.Errorf("sketch stores %d tuples for 100k inserts; compression is not working", got)
+	}
+}
+
+func TestSketchReset(t *testing.T) {
+	s := MustSketch()
+	for i := range 1000 {
+		s.Insert(float64(i))
+	}
+	s.Reset()
+	if s.Count() != 0 {
+		t.Errorf("Count after Reset = %d, want 0", s.Count())
+	}
+	s.Insert(5)
+	if got := s.Quantile(0.5); got != 5 {
+		t.Errorf("Quantile after Reset+Insert = %v, want 5", got)
+	}
+}
+
+func TestPercentileAgainstQuantileSketchInputs(t *testing.T) {
+	// Nearest-rank percentile on a known small input.
+	xs := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.1, 1}, {0.5, 5}, {0.9, 9}, {0.91, 10}, {1, 10},
+	}
+	for _, c := range cases {
+		got, err := stats.Percentile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Percentile(xs, %v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if _, err := stats.Percentile(nil, 0.5); err == nil {
+		t.Error("Percentile(nil) succeeded, want error")
+	}
+	if _, err := stats.Percentile(xs, 1.5); err == nil {
+		t.Error("Percentile(q=1.5) succeeded, want error")
+	}
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// throughputRing is the number of live one-second buckets. Buckets older
+// than the ring's span are evicted into an overflow map under a mutex,
+// so the hot path stays a couple of atomic operations.
+const throughputRing = 64
+
+// tpBucket is one live one-second window.
+type tpBucket struct {
+	sec atomic.Int64 // unix second this bucket currently counts
+	n   atomic.Int64
+}
+
+// Throughput counts records per one-second wall-clock window. Mark is
+// safe for concurrent use and lock-free while callers stay within the
+// current ring span; Total is always exact, while a record racing a
+// bucket rotation may be attributed to a neighbouring window.
+type Throughput struct {
+	total   atomic.Int64
+	buckets [throughputRing]tpBucket
+
+	mu       sync.Mutex
+	overflow map[int64]int64
+	inited   [throughputRing]bool
+}
+
+// Mark counts n records at the current time.
+func (t *Throughput) Mark(n int64) {
+	t.MarkAt(time.Now(), n)
+}
+
+// MarkAt counts n records in the window containing ts.
+func (t *Throughput) MarkAt(ts time.Time, n int64) {
+	if n <= 0 {
+		return
+	}
+	t.total.Add(n)
+	sec := ts.Unix()
+	b := &t.buckets[sec%throughputRing]
+	if b.sec.Load() == sec {
+		b.n.Add(n)
+		return
+	}
+	t.rotate(b, sec, n)
+}
+
+// rotate evicts a bucket's previous window into the overflow map and
+// claims it for sec.
+func (t *Throughput) rotate(b *tpBucket, sec int64, n int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := b.sec.Load()
+	idx := sec % throughputRing
+	if old != sec {
+		if t.inited[idx] {
+			if t.overflow == nil {
+				t.overflow = make(map[int64]int64)
+			}
+			t.overflow[old] += b.n.Swap(0)
+		}
+		t.inited[idx] = true
+		b.sec.Store(sec)
+	}
+	b.n.Add(n)
+}
+
+// Total reports the records counted so far.
+func (t *Throughput) Total() int64 { return t.total.Load() }
+
+// Window is one second of activity.
+type Window struct {
+	// Sec is the window's unix second.
+	Sec int64
+	// Count is the number of records marked within it.
+	Count int64
+}
+
+// Windows returns the non-empty one-second windows in time order.
+func (t *Throughput) Windows() []Window {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	agg := make(map[int64]int64, len(t.overflow)+throughputRing)
+	for sec, n := range t.overflow {
+		if n > 0 {
+			agg[sec] += n
+		}
+	}
+	for i := range t.buckets {
+		if !t.inited[i] {
+			continue
+		}
+		if n := t.buckets[i].n.Load(); n > 0 {
+			agg[t.buckets[i].sec.Load()] += n
+		}
+	}
+	out := make([]Window, 0, len(agg))
+	for sec, n := range agg {
+		out = append(out, Window{Sec: sec, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Sec < out[j].Sec })
+	return out
+}
+
+// Rates summarizes the windows: seconds with activity, mean records/sec
+// over those seconds, and the busiest window's records/sec.
+func (t *Throughput) Rates() (activeSeconds int64, mean, peak float64) {
+	ws := t.Windows()
+	if len(ws) == 0 {
+		return 0, 0, 0
+	}
+	var total int64
+	var max int64
+	for _, w := range ws {
+		total += w.Count
+		if w.Count > max {
+			max = w.Count
+		}
+	}
+	return int64(len(ws)), float64(total) / float64(len(ws)), float64(max)
+}

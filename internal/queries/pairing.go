@@ -1,0 +1,107 @@
+package queries
+
+import (
+	"fmt"
+)
+
+// SurvivorIndex maps each expected output payload of a query to the
+// ordinals (append order) of the input records that produce it. Feed
+// every input record once with AddInput; the index is then immutable
+// and shareable: NewPairing hands out independent cursor sessions, one
+// per result calculation, so concurrent benchmark cells can pair
+// against one cached index.
+//
+// Pairing is by record identity — each output payload is matched FIFO
+// against the expected outputs of the surviving inputs — not by
+// position, so it stays correct when parallel engine partitions
+// interleave the output topic; for order-preserving cells it reduces to
+// "k-th output is the k-th survivor" exactly. Its one fundamental
+// limit: byte-identical records are indistinguishable, so if two equal
+// payloads cross during an interleaving, FIFO assigns the earlier input
+// to the earlier output. That is the minimal-crossing assignment among
+// the (unidentifiable) valid ones; it keeps the latency sum and mean
+// exact, while tail quantiles can be biased low by at most the
+// reordering window of equal payloads. Resolving that would require
+// per-record identifiers in the payloads, which would change the
+// workload the paper measures.
+type SurvivorIndex struct {
+	query   Query
+	keep    func([]byte) bool
+	inputs  int
+	total   int
+	entries map[string]*survivorEntry
+}
+
+// survivorEntry is one distinct expected output payload: a dense id
+// (for the sessions' cursor slices) and the producing input ordinals.
+type survivorEntry struct {
+	id     int
+	inputs []int
+}
+
+// NewSurvivorIndex returns an empty index for q; seed drives the sample
+// query's survivor decision.
+func NewSurvivorIndex(q Query, seed uint64) (*SurvivorIndex, error) {
+	keep, err := SurvivorPredicate(q, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &SurvivorIndex{
+		query:   q,
+		keep:    keep,
+		entries: make(map[string]*survivorEntry),
+	}, nil
+}
+
+// AddInput feeds one input record in append order. Non-surviving
+// records advance the ordinal but are otherwise ignored.
+func (ix *SurvivorIndex) AddInput(rec []byte) {
+	i := ix.inputs
+	ix.inputs++
+	if !ix.keep(rec) {
+		return
+	}
+	key := string(OutputValue(ix.query, rec))
+	e, ok := ix.entries[key]
+	if !ok {
+		e = &survivorEntry{id: len(ix.entries)}
+		ix.entries[key] = e
+	}
+	e.inputs = append(e.inputs, i)
+	ix.total++
+}
+
+// Inputs reports how many input records were fed.
+func (ix *SurvivorIndex) Inputs() int { return ix.inputs }
+
+// Expected reports how many output records the fed inputs produce.
+func (ix *SurvivorIndex) Expected() int { return ix.total }
+
+// NewPairing returns a fresh cursor session over the index. Sessions
+// are independent; the index itself is never mutated by them.
+func (ix *SurvivorIndex) NewPairing() *SurvivorPairing {
+	return &SurvivorPairing{ix: ix, cursors: make([]int, len(ix.entries))}
+}
+
+// SurvivorPairing consumes one run's output records in append order and
+// resolves each to the input ordinal that produced it.
+type SurvivorPairing struct {
+	ix      *SurvivorIndex
+	cursors []int
+}
+
+// Pair consumes the next output record and returns the ordinal of its
+// source input. It errors when the payload matches no unconsumed
+// surviving input — the engine emitted a record it should not have.
+func (p *SurvivorPairing) Pair(value []byte) (int, error) {
+	e, ok := p.ix.entries[string(value)]
+	if !ok {
+		return 0, fmt.Errorf("queries: output record %.40q matches no expected output", value)
+	}
+	cur := p.cursors[e.id]
+	if cur >= len(e.inputs) {
+		return 0, fmt.Errorf("queries: output record %.40q has no unconsumed source input", value)
+	}
+	p.cursors[e.id] = cur + 1
+	return e.inputs[cur], nil
+}

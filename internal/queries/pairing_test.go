@@ -1,0 +1,110 @@
+package queries
+
+import (
+	"testing"
+)
+
+func newIndex(t *testing.T, q Query, seed uint64, inputs ...string) *SurvivorIndex {
+	t.Helper()
+	ix, err := NewSurvivorIndex(q, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range inputs {
+		ix.AddInput([]byte(in))
+	}
+	return ix
+}
+
+func TestSurvivorIndexOrderPreserving(t *testing.T) {
+	ix := newIndex(t, Grep, 0, "a test one", "plain", "a test two")
+	if ix.Inputs() != 3 {
+		t.Fatalf("Inputs() = %d, want 3", ix.Inputs())
+	}
+	if ix.Expected() != 2 {
+		t.Fatalf("Expected() = %d, want 2 grep survivors", ix.Expected())
+	}
+	p := ix.NewPairing()
+	in, err := p.Pair([]byte("a test one"))
+	if err != nil || in != 0 {
+		t.Errorf("first pair = %d, %v; want input 0", in, err)
+	}
+	in, err = p.Pair([]byte("a test two"))
+	if err != nil || in != 2 {
+		t.Errorf("second pair = %d, %v; want input 2", in, err)
+	}
+}
+
+// TestSurvivorIndexReordered: outputs arriving in a different order
+// than their inputs still pair with the input that produced them.
+func TestSurvivorIndexReordered(t *testing.T) {
+	ix := newIndex(t, Identity, 0, "x", "y")
+	p := ix.NewPairing()
+	in, err := p.Pair([]byte("y"))
+	if err != nil || in != 1 {
+		t.Errorf("reordered pair y = %d, %v; want input 1", in, err)
+	}
+	in, err = p.Pair([]byte("x"))
+	if err != nil || in != 0 {
+		t.Errorf("reordered pair x = %d, %v; want input 0", in, err)
+	}
+}
+
+// TestSurvivorIndexDuplicatesFIFO: equal payloads consume their input
+// queue in order, and over-consumption errors.
+func TestSurvivorIndexDuplicatesFIFO(t *testing.T) {
+	ix := newIndex(t, Identity, 0, "dup", "other", "dup")
+	p := ix.NewPairing()
+	in, err := p.Pair([]byte("dup"))
+	if err != nil || in != 0 {
+		t.Errorf("first dup = %d, %v; want input 0", in, err)
+	}
+	in, err = p.Pair([]byte("dup"))
+	if err != nil || in != 2 {
+		t.Errorf("second dup = %d, %v; want input 2", in, err)
+	}
+	if _, err := p.Pair([]byte("dup")); err == nil {
+		t.Error("third duplicate accepted with only two inputs")
+	}
+	if _, err := p.Pair([]byte("never-seen")); err == nil {
+		t.Error("unknown payload accepted")
+	}
+}
+
+// TestSurvivorIndexSessionsIndependent: two pairing sessions over one
+// index must not share cursor state (concurrent runs pair in parallel).
+func TestSurvivorIndexSessionsIndependent(t *testing.T) {
+	ix := newIndex(t, Identity, 0, "a")
+	p1, p2 := ix.NewPairing(), ix.NewPairing()
+	if _, err := p1.Pair([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Pair([]byte("a")); err != nil {
+		t.Errorf("second session affected by first: %v", err)
+	}
+}
+
+func TestSurvivorIndexProjectionPayloads(t *testing.T) {
+	ix := newIndex(t, Projection, 0, "user1\tsome query\t2006-03-01")
+	p := ix.NewPairing()
+	// The output carries the projected first column, not the input.
+	in, err := p.Pair([]byte("user1"))
+	if err != nil || in != 0 {
+		t.Errorf("projection pair = %d, %v; want input 0", in, err)
+	}
+}
+
+func TestSurvivorIndexSampleSeed(t *testing.T) {
+	const seed = 7
+	inputs := []string{"r1", "r2", "r3", "r4", "r5"}
+	ix := newIndex(t, Sample, seed, inputs...)
+	want := 0
+	for _, rec := range inputs {
+		if SampleKeep([]byte(rec), seed) {
+			want++
+		}
+	}
+	if ix.Expected() != want {
+		t.Errorf("Expected() = %d, want %d (SampleKeep survivors)", ix.Expected(), want)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"regexp"
+	"strings"
 
 	"beambench/internal/aol"
 )
@@ -63,6 +64,49 @@ func (q Query) String() string {
 // Valid reports whether q is a known query.
 func (q Query) Valid() bool {
 	return q >= Identity && q <= Grep
+}
+
+// ParseQuery maps a query name (any case) to its Query.
+func ParseQuery(s string) (Query, error) {
+	switch strings.ToLower(s) {
+	case "identity":
+		return Identity, nil
+	case "sample":
+		return Sample, nil
+	case "projection":
+		return Projection, nil
+	case "grep":
+		return Grep, nil
+	default:
+		return 0, fmt.Errorf("queries: unknown query %q", s)
+	}
+}
+
+// SurvivorPredicate returns q's record-survival predicate: whether an
+// input record produces an output record. Every query's predicate is
+// deterministic (Sample hashes with the seed), which is what lets the
+// result calculator recompute, from input records alone, exactly which
+// inputs reached the output topic.
+func SurvivorPredicate(q Query, seed uint64) (func([]byte) bool, error) {
+	switch q {
+	case Identity, Projection:
+		return func([]byte) bool { return true }, nil
+	case Grep:
+		return GrepMatch, nil
+	case Sample:
+		return func(rec []byte) bool { return SampleKeep(rec, seed) }, nil
+	default:
+		return nil, fmt.Errorf("queries: survivor predicate for unknown query %d", q)
+	}
+}
+
+// OutputValue returns the output payload q emits for a surviving input
+// record (the record itself for all queries but Projection).
+func OutputValue(q Query, rec []byte) []byte {
+	if q == Projection {
+		return Project(rec)
+	}
+	return rec
 }
 
 // Description returns the Table II description of the query.

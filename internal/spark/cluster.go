@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"beambench/internal/metrics"
 	"beambench/internal/simcost"
 )
 
@@ -26,6 +27,11 @@ type ClusterConfig struct {
 	Costs simcost.Costs
 	// Sim scales the cost model; nil charges nothing.
 	Sim *simcost.Simulator
+	// Metrics, when non-nil, receives per-stage throughput while
+	// applications run: the input stream, every named narrow stage and
+	// every output operation mark their record counts per micro-batch.
+	// Nil disables collection.
+	Metrics *metrics.Collector
 }
 
 func (c *ClusterConfig) validate() error {

@@ -145,10 +145,20 @@ type DStream struct {
 	ssc     *StreamingContext
 	parent  *DStream
 	kind    stageKind
+	name    string // stage label for telemetry; see Named
 	factory narrowFactory
 	width   int // for stageShuffle: target partition count
 
 	input inputSource
+}
+
+// Named sets the stage's telemetry label (per-stage throughput is
+// reported under it) and returns the stream for chaining. Constructors
+// assign generic defaults ("Map", "Filter", ...); the Beam runner
+// overrides them with the translated operator names.
+func (ds *DStream) Named(name string) *DStream {
+	ds.name = name
+	return ds
 }
 
 // inputSource supplies per-batch input partitions.
@@ -160,7 +170,7 @@ type inputSource interface {
 }
 
 func (ssc *StreamingContext) newInput(src inputSource) *DStream {
-	ds := &DStream{ssc: ssc, kind: stageInput, input: src}
+	ds := &DStream{ssc: ssc, kind: stageInput, name: "Input", input: src}
 	if ssc.input != nil {
 		ssc.fail(fmt.Errorf("spark: only one input stream is supported"))
 		return ds
@@ -177,7 +187,7 @@ func (ds *DStream) Map(fn func([]byte) []byte) *DStream {
 	}
 	return ds.narrow(func(TaskContext) (narrowFn, error) {
 		return func(rec []byte, emit func([]byte)) { emit(fn(rec)) }, nil
-	})
+	}).Named("Map")
 }
 
 // Filter keeps records matching the predicate.
@@ -192,7 +202,7 @@ func (ds *DStream) Filter(fn func([]byte) bool) *DStream {
 				emit(rec)
 			}
 		}, nil
-	})
+	}).Named("Filter")
 }
 
 // FlatMap applies a 1:N transformation.
@@ -201,7 +211,7 @@ func (ds *DStream) FlatMap(fn func(rec []byte, emit func([]byte))) *DStream {
 		ds.ssc.fail(fmt.Errorf("spark: nil flatMap function"))
 		return ds
 	}
-	return ds.narrow(func(TaskContext) (narrowFn, error) { return narrowFn(fn), nil })
+	return ds.narrow(func(TaskContext) (narrowFn, error) { return narrowFn(fn), nil }).Named("FlatMap")
 }
 
 // Sample keeps approximately fraction of the records, seeded
@@ -218,7 +228,7 @@ func (ds *DStream) Sample(fraction float64, seed uint64) *DStream {
 				emit(rec)
 			}
 		}, nil
-	})
+	}).Named("Sample")
 }
 
 // Transform applies a custom per-task stage, the hook the Beam runner
@@ -230,7 +240,7 @@ func (ds *DStream) Transform(factory func(task TaskContext) func(rec []byte, emi
 	}
 	return ds.narrow(func(task TaskContext) (narrowFn, error) {
 		return narrowFn(factory(task)), nil
-	})
+	}).Named("Transform")
 }
 
 // TransformE is Transform for factories whose per-task initialization
@@ -246,7 +256,7 @@ func (ds *DStream) TransformE(factory func(task TaskContext) (func(rec []byte, e
 			return nil, err
 		}
 		return narrowFn(fn), nil
-	})
+	}).Named("Transform")
 }
 
 func (ds *DStream) narrow(factory narrowFactory) *DStream {

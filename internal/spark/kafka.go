@@ -21,7 +21,7 @@ func (ssc *StreamingContext) KafkaDirectStream(b *broker.Broker, topic string) *
 		topic:      topic,
 		partitions: parts,
 		maxPerPart: ssc.cfg.MaxRatePerPartition,
-	})
+	}).Named("KafkaDirectStream " + topic)
 }
 
 // kafkaDirect is the bounded direct-stream source: end offsets are
@@ -133,7 +133,7 @@ func (ssc *StreamingContext) SliceStream(records [][]byte, perBatch int) *DStrea
 	if perBatch <= 0 {
 		perBatch = len(records)
 	}
-	return ssc.newInput(&sliceSource{records: records, perBatch: perBatch})
+	return ssc.newInput(&sliceSource{records: records, perBatch: perBatch}).Named("SliceStream")
 }
 
 type sliceSource struct {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"beambench/internal/metrics"
 	"beambench/internal/simcost"
 )
 
@@ -132,10 +133,14 @@ func (ssc *StreamingContext) precheck() error {
 func (ssc *StreamingContext) runBatch(batchID int64, parts [][][]byte, driver *simcost.Meter) error {
 	driver.Charge(ssc.cluster.cfg.Costs.SparkBatch)
 	driver.Flush()
+	n := int64(countRecords(parts))
 	ssc.mu.Lock()
 	ssc.metrics.Batches++
-	ssc.metrics.RecordsIn += int64(countRecords(parts))
+	ssc.metrics.RecordsIn += n
 	ssc.mu.Unlock()
+	if c := ssc.cluster.cfg.Metrics; c != nil {
+		c.Stage(ssc.input.name).Mark(n)
+	}
 
 	for _, out := range ssc.outputs {
 		data, err := ssc.compute(out.stream, batchID, parts)
@@ -153,9 +158,15 @@ func (ssc *StreamingContext) runBatch(batchID int64, parts [][][]byte, driver *s
 	return nil
 }
 
+// narrowStage is one named narrow stage of a fused task group.
+type narrowStage struct {
+	name    string
+	factory narrowFactory
+}
+
 // stageGroup is a fused run of narrow stages or one shuffle boundary.
 type stageGroup struct {
-	narrow  []narrowFactory
+	narrow  []narrowStage
 	shuffle int // >0: shuffle to this many partitions
 }
 
@@ -173,12 +184,12 @@ func compile(ds *DStream) ([]stageGroup, error) {
 		return nil, errors.New("spark: stream is not rooted at an input")
 	}
 	var groups []stageGroup
-	var pending []narrowFactory
+	var pending []narrowStage
 	for i := len(rev) - 2; i >= 0; i-- { // skip the input node
 		s := rev[i]
 		switch s.kind {
 		case stageNarrow:
-			pending = append(pending, s.factory)
+			pending = append(pending, narrowStage{name: s.name, factory: s.factory})
 		case stageShuffle:
 			if len(pending) > 0 {
 				groups = append(groups, stageGroup{narrow: pending})
@@ -217,8 +228,19 @@ func (ssc *StreamingContext) compute(ds *DStream, batchID int64, parts [][][]byt
 }
 
 // runNarrowStage runs one fused stage as parallel tasks, one per
-// partition, bounded by the cluster's executor cores.
-func (ssc *StreamingContext) runNarrowStage(factories []narrowFactory, batchID int64, parts [][][]byte) ([][][]byte, error) {
+// partition, bounded by the cluster's executor cores. When telemetry is
+// enabled each task counts per-stage emissions locally and marks them in
+// one call at task end, keeping the record loop allocation- and
+// atomic-free.
+func (ssc *StreamingContext) runNarrowStage(stages []narrowStage, batchID int64, parts [][][]byte) ([][][]byte, error) {
+	collector := ssc.cluster.cfg.Metrics
+	var handles []*metrics.Stage
+	if collector != nil {
+		handles = make([]*metrics.Stage, len(stages))
+		for i, s := range stages {
+			handles[i] = collector.Stage(s.name)
+		}
+	}
 	out := make([][][]byte, len(parts))
 	errs := make([]error, len(parts))
 	var wg sync.WaitGroup
@@ -235,16 +257,31 @@ func (ssc *StreamingContext) runNarrowStage(factories []narrowFactory, batchID i
 				var result [][]byte
 				sinkEmit := func(rec []byte) { result = append(result, rec) }
 				handler := sinkEmit
-				for i := len(factories) - 1; i >= 0; i-- {
-					fn, err := factories[i](task)
+				var counts []int64
+				if handles != nil {
+					counts = make([]int64, len(stages))
+				}
+				for i := len(stages) - 1; i >= 0; i-- {
+					fn, err := stages[i].factory(task)
 					if err != nil {
 						return err
 					}
 					next := handler
+					if handles != nil {
+						inner := next
+						count := &counts[i]
+						next = func(rec []byte) {
+							*count++
+							inner(rec)
+						}
+					}
 					handler = func(rec []byte) { fn(rec, next) }
 				}
 				for _, rec := range parts[p] {
 					handler(rec)
+				}
+				for i, h := range handles {
+					h.Mark(counts[i])
 				}
 				out[p] = result
 				return nil
@@ -317,6 +354,9 @@ func (ssc *StreamingContext) runOutput(op *outputOp, batchID int64, parts [][][]
 			return total, errs[p]
 		}
 		total += counts[p]
+	}
+	if c := ssc.cluster.cfg.Metrics; c != nil {
+		c.Stage(op.name).Mark(int64(total))
 	}
 	return total, nil
 }

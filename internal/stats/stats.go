@@ -104,6 +104,31 @@ func Quantile(xs []float64, q float64) (float64, error) {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
 }
 
+// Percentile returns the exact q-quantile (0 <= q <= 1) of xs using the
+// nearest-rank definition: the smallest element whose rank r satisfies
+// r >= ceil(q*n). Unlike Quantile it never interpolates, so the result
+// is always an element of xs — the definition quantile sketches are
+// verified against. The input is not modified.
+func Percentile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: percentile %v out of range [0,1]", q)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1], nil
+}
+
 // Summary condenses a sample into the statistics reported by the harness.
 type Summary struct {
 	N         int

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -246,5 +247,80 @@ func TestQuantilePropertyBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 15},    // rank clamps to 1
+		{0.05, 15}, // ceil(0.25) = 1
+		{0.30, 20}, // ceil(1.5) = 2
+		{0.40, 20}, // ceil(2.0) = 2
+		{0.50, 35}, // ceil(2.5) = 3
+		{0.95, 50}, // ceil(4.75) = 5
+		{1, 50},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty input error = %v, want ErrEmpty", err)
+	}
+	for _, q := range []float64{-0.1, 1.1} {
+		if _, err := Percentile([]float64{1}, q); err == nil {
+			t.Errorf("Percentile(q=%v) succeeded, want error", q)
+		}
+	}
+}
+
+// TestPercentileIsElement: the nearest-rank percentile is always an
+// element of the input (the property Quantile's interpolation lacks).
+func TestPercentileIsElement(t *testing.T) {
+	f := func(raw []uint8, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		q := float64(qRaw) / 255.0
+		got, err := Percentile(xs, q)
+		if err != nil {
+			return false
+		}
+		for _, x := range xs {
+			if x == got {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPercentileDoesNotMutate pins the documented no-mutation contract.
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
 	}
 }
