@@ -151,6 +151,40 @@ func TestRunWorkersFlag(t *testing.T) {
 	}
 }
 
+func TestRunIngestStreamFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/report.json"
+	var sb strings.Builder
+	err := run([]string{
+		"-figure", "9", "-records", "500", "-runs", "1", "-quiet", "-no-noise",
+		"-ingest", "stream", "-rate", "100000", "-json", path,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Grep Query", "ingest=stream@100000 rec/s", "Apex Beam P1", "Spark P2"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("stream-mode figure missing %q:\n%s", want, sb.String())
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"ingest": "stream"`, `"rateRecordsPerSec": 100000`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON report missing %s:\n%s", want, data)
+		}
+	}
+
+	if err := run([]string{"-figure", "9", "-ingest", "bogus"}, &sb); err == nil {
+		t.Error("bogus ingest mode accepted")
+	}
+	if err := run([]string{"-figure", "9", "-rate", "100"}, &sb); err == nil {
+		t.Error("-rate without -ingest stream accepted")
+	}
+}
+
 func TestRunLatencyFlag(t *testing.T) {
 	var sb strings.Builder
 	err := run([]string{"-figure", "9", "-records", "500", "-runs", "1", "-quiet", "-no-noise", "-latency"}, &sb)

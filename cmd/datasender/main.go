@@ -9,6 +9,10 @@
 //	datasender -records 1000001 -out broker.snap
 //	datasender -records 50000 -tsv workload.tsv
 //	datasender -records 50000 -rate 100000 -acks all -out broker.snap
+//
+// -rate controls the records/second offered load, the same knob the
+// in-process benchmark sender exposes as `beambench -ingest stream
+// -rate N` (where the sender runs concurrently with query execution).
 package main
 
 import (

@@ -63,5 +63,24 @@
 // Collection is opt-in (harness.Config.CollectMetrics) and costs under
 // 5% on the identity query (BenchmarkInstrumentationOverhead).
 //
+// # Ingestion modes
+//
+// harness.Config.Ingest selects when the data sender runs relative to
+// query execution. In preload mode (the default) the sender fills the
+// input topic before the engine cluster launches: execution time
+// measures drain throughput and event-time latency is dominated by
+// queueing from time zero. In stream mode (`beambench -ingest stream
+// -rate N`) the sender runs concurrently with the engine — the paper's
+// Figure 5 architecture — paced at N records/second on the simulated
+// clock, so the latency sketches measure processing delay under a
+// controlled offered load. Every engine source terminates via a shared
+// end-of-input contract (broker.EndOfInput, fed from
+// queries.Workload.InputRecords / beam.Options.TargetRecords: consume
+// until the topic has received its announced total) rather than
+// snapshotting end offsets at startup, which is what makes the two
+// modes produce identical outputs — byte-identical in order at
+// parallelism 1, as an order-insensitive multiset above it (parallel
+// sink tasks interleave appends into the single output partition).
+//
 // See README.md, DESIGN.md and EXPERIMENTS.md.
 package beambench

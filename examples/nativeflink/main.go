@@ -60,7 +60,7 @@ func run() error {
 	defer cluster.Stop()
 
 	env := flink.NewEnvironment(cluster).SetParallelism(2)
-	env.AddSource("searches", flink.KafkaSource(b, "searches")).
+	env.AddSource("searches", flink.KafkaSource(b, "searches", 0)).
 		Filter("clicked", func(rec []byte) bool {
 			parsed, err := aol.ParseTSV(string(rec))
 			return err == nil && parsed.ItemRank >= 0

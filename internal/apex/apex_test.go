@@ -318,7 +318,7 @@ func TestKafkaInputOutputEndToEnd(t *testing.T) {
 
 	cluster := newYarn(t, yarn.ClusterConfig{})
 	app := NewApplication("identity").
-		AddInput("kafkaIn", KafkaInput(b, "in")).
+		AddInput("kafkaIn", KafkaInput(b, "in", 0)).
 		AddOperator("pass", PassThrough()).
 		AddOutput("kafkaOut", KafkaOutput(b, "out", broker.ProducerConfig{})).
 		AddStream("s1", "kafkaIn", "pass").
@@ -360,7 +360,7 @@ func TestKafkaInputUnknownTopic(t *testing.T) {
 	cluster := newYarn(t, yarn.ClusterConfig{})
 	out := NewTupleCollector()
 	app := NewApplication("a").
-		AddInput("in", KafkaInput(b, "missing")).
+		AddInput("in", KafkaInput(b, "missing", 0)).
 		AddOutput("out", CollectOutput(out)).
 		AddStream("s", "in", "out")
 	stram, err := Launch(cluster, app, LaunchConfig{})

@@ -1,0 +1,117 @@
+package apex
+
+import (
+	"testing"
+	"time"
+
+	"beambench/internal/broker"
+	"beambench/internal/yarn"
+)
+
+// TestKafkaInputConsumesConcurrentlyFilledTopic pins the end-of-input
+// contract: given the target record count, the input operator must keep
+// reading across streaming windows while the topic is still being
+// filled and terminate once the target is drained.
+func TestKafkaInputConsumesConcurrentlyFilledTopic(t *testing.T) {
+	b := broker.New()
+	if err := b.CreateTopic("in", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	input := tuples(300)
+	senderDone := make(chan error, 1)
+	go func() {
+		p, err := b.NewProducer(broker.ProducerConfig{BatchSize: 7})
+		if err != nil {
+			senderDone <- err
+			return
+		}
+		for i, v := range input {
+			if i%25 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+			if err := p.Send("in", nil, v); err != nil {
+				senderDone <- err
+				return
+			}
+		}
+		senderDone <- p.Close()
+	}()
+
+	cluster := newYarn(t, yarn.ClusterConfig{})
+	out := NewTupleCollector()
+	app := NewApplication("stream").
+		AddInput("kafkaInput", KafkaInput(b, "in", int64(len(input)))).
+		AddOperator("identity", PassThrough()).
+		AddOutput("collect", CollectOutput(out)).
+		AddStream("s1", "kafkaInput", "identity").
+		AddStream("s2", "identity", "collect")
+	res := runApp(t, cluster, app, LaunchConfig{WindowTuples: 50})
+	if err := <-senderDone; err != nil {
+		t.Fatal(err)
+	}
+
+	if out.Len() != len(input) {
+		t.Fatalf("collected %d tuples, want %d", out.Len(), len(input))
+	}
+	got := out.Strings()
+	for i, v := range input {
+		if got[i] != string(v) {
+			t.Fatalf("tuple %d = %q, want %q (order broken)", i, got[i], v)
+		}
+	}
+	in, ok := res.OperatorReportFor("kafkaInput")
+	if !ok || in.TuplesOut != int64(len(input)) {
+		t.Errorf("kafkaInput TuplesOut = %+v, want %d", in, len(input))
+	}
+	// The sender's pauses spread arrival over many 50-tuple windows, so
+	// the input must have cut several windows rather than one bulk read.
+	if in.Windows < 2 {
+		t.Errorf("kafkaInput Windows = %d, want several (consumed while filling)", in.Windows)
+	}
+}
+
+// TestKafkaInputTargetWithIdleOperatorPartition: at operator
+// parallelism 2 with a single Kafka partition, the partition owning no
+// assignment must report done immediately instead of blocking on a
+// topic that is still filling.
+func TestKafkaInputTargetWithIdleOperatorPartition(t *testing.T) {
+	b := broker.New()
+	if err := b.CreateTopic("in", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	input := tuples(120)
+	senderDone := make(chan error, 1)
+	go func() {
+		p, err := b.NewProducer(broker.ProducerConfig{BatchSize: 5})
+		if err != nil {
+			senderDone <- err
+			return
+		}
+		for i, v := range input {
+			if i%30 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+			if err := p.Send("in", nil, v); err != nil {
+				senderDone <- err
+				return
+			}
+		}
+		senderDone <- p.Close()
+	}()
+
+	cluster := newYarn(t, yarn.ClusterConfig{})
+	out := NewTupleCollector()
+	app := NewApplication("stream-p2").
+		AddInput("kafkaInput", KafkaInput(b, "in", int64(len(input)))).
+		AddOperator("identity", PassThrough()).
+		AddOutput("collect", CollectOutput(out)).
+		AddStream("s1", "kafkaInput", "identity").
+		AddStream("s2", "identity", "collect")
+	runApp(t, cluster, app, LaunchConfig{Parallelism: 2, WindowTuples: 50})
+	if err := <-senderDone; err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != len(input) {
+		t.Fatalf("collected %d tuples, want %d", out.Len(), len(input))
+	}
+}

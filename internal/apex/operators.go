@@ -10,20 +10,24 @@ import (
 )
 
 // _inputIdlePoll is how long a Kafka input waits for data before
-// re-checking its bounded end offsets.
+// re-checking whether the topic is complete.
 const _inputIdlePoll = 20 * time.Millisecond
 
-// KafkaInput returns an input factory reading a topic from the broker,
-// bounded by the end offsets at partition setup (the benchmark preloads
-// the topic). Kafka partitions are distributed over operator partitions
+// KafkaInput returns an input factory reading a topic from the broker
+// until target records have been appended to it in total and every
+// assigned partition is drained — the end-of-input contract that lets
+// the same operator terminate correctly whether the benchmark preloads
+// the input topic or streams into it while the application runs.
+//
+// A target <= 0 degrades to a bounded snapshot of the topic's contents
+// at partition setup, for direct engine-API use outside the harness;
+// records appended after the snapshot are ignored.
+//
+// Kafka partitions are distributed over operator partitions
 // round-robin, Malhar-style.
-func KafkaInput(b *broker.Broker, topic string) InputFactory {
+func KafkaInput(b *broker.Broker, topic string, target int64) InputFactory {
 	return func(ctx OperatorContext) (InputOperator, error) {
 		nParts, err := b.Partitions(topic)
-		if err != nil {
-			return nil, fmt.Errorf("apex: kafka input: %w", err)
-		}
-		ends, err := b.EndOffsets(topic)
 		if err != nil {
 			return nil, fmt.Errorf("apex: kafka input: %w", err)
 		}
@@ -31,28 +35,37 @@ func KafkaInput(b *broker.Broker, topic string) InputFactory {
 		if err != nil {
 			return nil, fmt.Errorf("apex: kafka input: %w", err)
 		}
-		remaining := 0
+		var assigned []int
 		for p := range nParts {
 			if p%ctx.PartitionCount() == ctx.PartitionIndex() {
 				if err := consumer.Assign(topic, p, 0); err != nil {
 					return nil, fmt.Errorf("apex: kafka input: %w", err)
 				}
-				remaining += int(ends[p])
+				assigned = append(assigned, p)
 			}
 		}
-		return &kafkaInput{consumer: consumer, ends: ends, remaining: remaining}, nil
+		eoi, err := broker.NewEndOfInput(b, topic, target, assigned)
+		if err != nil {
+			return nil, fmt.Errorf("apex: kafka input: %w", err)
+		}
+		k := &kafkaInput{consumer: consumer, eoi: eoi}
+		if len(assigned) == 0 {
+			k.done = true
+		}
+		return k, nil
 	}
 }
 
 type kafkaInput struct {
-	consumer  *broker.Consumer
-	ends      []int64
-	remaining int
-	buffered  []broker.Record
+	consumer *broker.Consumer
+	eoi      *broker.EndOfInput
+	buffered []broker.Record
+	idle     bool
+	done     bool
 }
 
 func (k *kafkaInput) NextTuples(max int, emit func([]byte) error) (bool, error) {
-	if k.remaining <= 0 {
+	if k.done {
 		return true, nil
 	}
 	if max <= 0 {
@@ -64,19 +77,26 @@ func (k *kafkaInput) NextTuples(max int, emit func([]byte) error) (bool, error) 
 			return false, fmt.Errorf("apex: kafka input: %w", err)
 		}
 		k.buffered = recs
+		k.idle = len(recs) == 0
 	}
 	n := min(max, len(k.buffered))
 	for _, r := range k.buffered[:n] {
-		if r.Offset >= k.ends[r.Partition] {
+		if !k.eoi.Admit(r) {
 			continue // appended after the bounded snapshot
 		}
-		k.remaining--
 		if err := emit(r.Value); err != nil {
 			return false, err
 		}
 	}
 	k.buffered = k.buffered[n:]
-	return k.remaining <= 0, nil
+	if len(k.buffered) == 0 {
+		done, err := k.eoi.Complete(k.consumer, k.idle)
+		if err != nil {
+			return false, fmt.Errorf("apex: kafka input: %w", err)
+		}
+		k.done = done
+	}
+	return k.done, nil
 }
 
 func (k *kafkaInput) Teardown() error { return nil }

@@ -92,6 +92,15 @@ type Options struct {
 	// MaxRatePerPartition caps Spark Streaming micro-batch sizes; other
 	// runners ignore it. Zero keeps the engine default.
 	MaxRatePerPartition int
+	// TargetRecords is the end-of-input contract for KafkaRead sources:
+	// the total number of records the input topic will eventually hold.
+	// Runners keep consuming — blocking on the broker — until that many
+	// records have been appended and drained, which lets a data sender
+	// stream into the topic while the pipeline runs. Zero degrades every
+	// KafkaRead to a bounded snapshot of the topic's contents at source
+	// start (the right default when the topic is fully preloaded before
+	// Run is called outside the harness).
+	TargetRecords int64
 	// Metrics, when non-nil, receives per-stage throughput from the
 	// translated engine operators while the pipeline runs (every runner
 	// threads it into its engine's runtime). Nil disables collection at

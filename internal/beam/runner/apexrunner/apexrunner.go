@@ -78,6 +78,10 @@ type Config struct {
 	// Metrics, when non-nil, receives per-operator throughput from the
 	// deployed application's partitions. Nil disables collection.
 	Metrics *metrics.Collector
+	// TargetRecords bounds every KafkaRead by the total record count the
+	// topic will eventually hold (see beam.Options.TargetRecords); 0
+	// snapshots the topic contents at partition setup.
+	TargetRecords int64
 }
 
 // Runner implements beam.Runner: it builds a fresh YARN cluster from
@@ -96,12 +100,13 @@ func (Runner) Run(ctx context.Context, p *beam.Pipeline, opts beam.Options) (bea
 	cluster.Start()
 	defer cluster.Stop()
 	res, err := Run(p, Config{
-		Cluster:     cluster,
-		Parallelism: opts.EffectiveParallelism(),
-		Costs:       opts.EffectiveCosts(),
-		Sim:         opts.Sim,
-		Fusion:      opts.Fusion,
-		Metrics:     opts.Metrics,
+		Cluster:       cluster,
+		Parallelism:   opts.EffectiveParallelism(),
+		Costs:         opts.EffectiveCosts(),
+		Sim:           opts.Sim,
+		Fusion:        opts.Fusion,
+		Metrics:       opts.Metrics,
+		TargetRecords: opts.TargetRecords,
 	})
 	if err != nil {
 		return nil, err
@@ -223,7 +228,7 @@ func Translate(p *beam.Pipeline, cfg Config) (*apex.Application, apex.LaunchConf
 		if !ok {
 			return nil, zero, errors.New("apexrunner: malformed KafkaRead config")
 		}
-		app.AddInput(NameRead, apex.KafkaInput(rc.Broker, rc.Topic))
+		app.AddInput(NameRead, apex.KafkaInput(rc.Broker, rc.Topic, cfg.TargetRecords))
 		sourceIsKafka = true
 		topic = rc.Topic
 	case beam.KindCreate:

@@ -1,0 +1,51 @@
+package direct
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"beambench/internal/beam"
+	"beambench/internal/broker"
+)
+
+// TestKafkaReadTargetHonorsCancellation pins the cancellation contract
+// of the target-bounded read: when the topic never reaches its target
+// (a crashed sender, a miscounted total), cancelling the context must
+// unblock Run instead of leaving it polling forever.
+func TestKafkaReadTargetHonorsCancellation(t *testing.T) {
+	b := broker.New()
+	loadTopic(t, b, "in", []string{"only", "three", "records"})
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p := beam.NewPipeline()
+	vals := beam.Values(p, beam.WithoutMetadata(p, beam.KafkaRead(p, b, "in")))
+	beam.KafkaWrite(p, b, "out", vals, broker.ProducerConfig{})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// Target 10 can never be reached: only 3 records will ever exist.
+		_, err := Runner{}.Run(ctx, p, beam.Options{TargetRecords: 10})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("under-filled target read returned early: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run still blocked after cancellation")
+	}
+}

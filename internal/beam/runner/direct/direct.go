@@ -36,7 +36,7 @@ type Runner struct{}
 func (Runner) Run(ctx context.Context, p *beam.Pipeline, opts beam.Options) (beam.Result, error) {
 	// Fusion is off by default: the direct runner materializes every
 	// collection so tests can inspect intermediates.
-	return run(ctx, p, opts.Fusion.Enabled(false), opts.Metrics)
+	return run(ctx, p, opts.Fusion.Enabled(false), opts.Metrics, opts.TargetRecords)
 }
 
 // Result holds the materialized outputs of a pipeline run.
@@ -78,11 +78,13 @@ type windowedValue struct {
 // Run executes the pipeline to completion and materializes every
 // collection (no fusion). KafkaRead consumes the topic's current
 // contents as a bounded snapshot; KafkaWrite produces to the broker.
+// Use the runner registry with beam.Options.TargetRecords to instead
+// block until a known total has been appended to the topic.
 func Run(p *beam.Pipeline) (*Result, error) {
-	return run(context.Background(), p, false, nil)
+	return run(context.Background(), p, false, nil, 0)
 }
 
-func run(ctx context.Context, p *beam.Pipeline, fused bool, col *metrics.Collector) (*Result, error) {
+func run(ctx context.Context, p *beam.Pipeline, fused bool, col *metrics.Collector, target int64) (*Result, error) {
 	plan, err := graphx.Lower(p, graphx.Options{Fusion: fused})
 	if err != nil {
 		return nil, err
@@ -99,7 +101,7 @@ func run(ctx context.Context, p *beam.Pipeline, fused bool, col *metrics.Collect
 				return nil, err
 			}
 		}
-		out, err := runStage(s, data)
+		out, err := runStage(ctx, s, data, target)
 		if err != nil {
 			return nil, fmt.Errorf("direct: stage %q: %w", s.Name(), err)
 		}
@@ -121,7 +123,7 @@ func run(ctx context.Context, p *beam.Pipeline, fused bool, col *metrics.Collect
 	return res, nil
 }
 
-func runStage(s *graphx.Stage, data map[int][]windowedValue) ([]windowedValue, error) {
+func runStage(ctx context.Context, s *graphx.Stage, data map[int][]windowedValue, target int64) ([]windowedValue, error) {
 	t := s.Transforms[0]
 	switch s.Kind() {
 	case beam.KindCreate:
@@ -139,7 +141,7 @@ func runStage(s *graphx.Stage, data map[int][]windowedValue) ([]windowedValue, e
 	case beam.KindGroupByKey:
 		return runGBK(t, data)
 	case beam.KindKafkaRead:
-		return runKafkaRead(t)
+		return runKafkaRead(ctx, t, target)
 	case beam.KindKafkaWrite:
 		return nil, runKafkaWrite(t, data)
 	default:
@@ -257,7 +259,17 @@ func runGBK(t *beam.Transform, data map[int][]windowedValue) ([]windowedValue, e
 	return out, nil
 }
 
-func runKafkaRead(t *beam.Transform) ([]windowedValue, error) {
+// _readIdlePoll is how long the KafkaRead stage waits for new data
+// before re-checking whether a target-bounded topic is complete.
+const _readIdlePoll = 20 * time.Millisecond
+
+// runKafkaRead consumes the topic. With target > 0 it blocks — polling
+// via PollWait — until target records have been appended in total (the
+// harness contract for both preloaded and concurrently filling topics);
+// with target <= 0 it degrades to a bounded snapshot of the topic's
+// current contents. The blocking loop honors ctx, so a cancelled run
+// stops waiting for records that may never arrive.
+func runKafkaRead(ctx context.Context, t *beam.Transform, target int64) ([]windowedValue, error) {
 	cfg, ok := t.Config.(beam.KafkaReadConfig)
 	if !ok {
 		return nil, errors.New("malformed KafkaRead config")
@@ -270,31 +282,32 @@ func runKafkaRead(t *beam.Transform) ([]windowedValue, error) {
 	if err != nil {
 		return nil, err
 	}
-	ends, err := cfg.Broker.EndOffsets(cfg.Topic)
-	if err != nil {
-		return nil, err
-	}
-	var remaining int64
+	assigned := make([]int, parts)
 	for p := range parts {
 		if err := consumer.Assign(cfg.Topic, p, 0); err != nil {
 			return nil, err
 		}
-		remaining += ends[p]
+		assigned[p] = p
+	}
+	eoi, err := broker.NewEndOfInput(cfg.Broker, cfg.Topic, target, assigned)
+	if err != nil {
+		return nil, err
 	}
 	var out []windowedValue
-	for remaining > 0 {
-		recs, err := consumer.Poll()
+	for !eoi.Drained() {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		recs, err := consumer.PollWait(_readIdlePoll)
 		if err != nil {
 			return nil, err
 		}
-		if len(recs) == 0 {
-			break
-		}
 		for _, r := range recs {
-			if r.Offset >= ends[r.Partition] {
-				continue
+			if !eoi.Admit(r) {
+				continue // appended after the bounded snapshot
 			}
-			remaining--
 			out = append(out, windowedValue{
 				value: beam.KafkaRecord{
 					Topic:     r.Topic,

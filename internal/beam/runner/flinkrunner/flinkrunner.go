@@ -59,6 +59,10 @@ type Config struct {
 	// is unfused — one engine operator per Beam primitive, the paper's
 	// Figure 13 behaviour.
 	Fusion beam.FusionMode
+	// TargetRecords bounds every KafkaRead by the total record count the
+	// topic will eventually hold (see beam.Options.TargetRecords); 0
+	// snapshots the topic contents at source start.
+	TargetRecords int64
 }
 
 // Runner implements beam.Runner: it builds a fresh Flink cluster from
@@ -77,9 +81,10 @@ func (Runner) Run(ctx context.Context, p *beam.Pipeline, opts beam.Options) (bea
 	cluster.Start()
 	defer cluster.Stop()
 	res, err := Run(p, Config{
-		Cluster:     cluster,
-		Parallelism: opts.EffectiveParallelism(),
-		Fusion:      opts.Fusion,
+		Cluster:       cluster,
+		Parallelism:   opts.EffectiveParallelism(),
+		Fusion:        opts.Fusion,
+		TargetRecords: opts.TargetRecords,
 	})
 	if err != nil {
 		return nil, err
@@ -147,7 +152,7 @@ func Translate(p *beam.Pipeline, cfg Config) (*flink.Environment, string, error)
 			}
 			// The read expands to a raw source plus a flat map
 			// wrapping broker payloads into encoded KafkaRecords.
-			src := env.AddSource(NameRawSource, flink.KafkaSource(rc.Broker, rc.Topic))
+			src := env.AddSource(NameRawSource, flink.KafkaSource(rc.Broker, rc.Topic, cfg.TargetRecords))
 			out := src.Process(NameReadFlatMap, readFlatMap(rc.Topic, t.Output.Coder(), costs))
 			streams[t.Output.ID()] = out
 			jobName = "beam-" + rc.Topic

@@ -57,6 +57,10 @@ type Config struct {
 	// is unfused — one per-element stage per Beam primitive inside each
 	// micro-batch, the behaviour behind the paper's 3-7x slowdowns.
 	Fusion beam.FusionMode
+	// TargetRecords bounds every KafkaRead by the total record count the
+	// topic will eventually hold (see beam.Options.TargetRecords); 0
+	// snapshots the topic contents at the first batch.
+	TargetRecords int64
 }
 
 // Result is the execution summary.
@@ -86,6 +90,7 @@ func (Runner) Run(ctx context.Context, p *beam.Pipeline, opts beam.Options) (bea
 		Parallelism:         opts.EffectiveParallelism(),
 		MaxRatePerPartition: opts.MaxRatePerPartition,
 		Fusion:              opts.Fusion,
+		TargetRecords:       opts.TargetRecords,
 	})
 	if err != nil {
 		return nil, err
@@ -168,7 +173,7 @@ func translate(p *beam.Pipeline, cfg Config) (*spark.StreamingContext, int, erro
 			if !ok {
 				return nil, 0, errors.New("sparkrunner: malformed KafkaRead config")
 			}
-			ds := ssc.KafkaDirectStream(rc.Broker, rc.Topic).
+			ds := ssc.KafkaDirectStream(rc.Broker, rc.Topic, cfg.TargetRecords).
 				Transform(readAdapter(rc.Topic, t.Output.Coder(), costs)).
 				Named("KafkaIO.Read " + rc.Topic)
 			opCount += 2 // direct stream + read adapter

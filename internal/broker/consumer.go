@@ -2,6 +2,7 @@ package broker
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"time"
 
@@ -101,6 +102,11 @@ func (c *Consumer) Poll() ([]Record, error) {
 		c.next++
 		recs, err := c.fetchFrom(tp, budget)
 		if err != nil {
+			// The records fetched before the failing partition are still
+			// returned, so the fetch request they rode on must still be
+			// paid for — otherwise the simulated clock under-charges
+			// exactly when partitions fail.
+			c.chargeFetch(len(out))
 			return out, err
 		}
 		out = append(out, recs...)
@@ -114,12 +120,14 @@ func (c *Consumer) Poll() ([]Record, error) {
 }
 
 // PollWait polls, blocking until at least one record is available on any
-// assignment, the timeout elapses (timeout 0 means wait forever), or an
-// assigned partition goes offline. It returns an error when the broker
-// is closed or an assigned topic is deleted, including while blocked.
+// assignment, the timeout elapses, or an assigned partition goes
+// offline. A timeout of 0 means wait forever; a negative timeout
+// degrades to a single non-blocking Poll. It returns an error when the
+// broker is closed or an assigned topic is deleted, including while
+// blocked.
 func (c *Consumer) PollWait(timeout time.Duration) ([]Record, error) {
 	recs, err := c.Poll()
-	if err != nil || len(recs) > 0 {
+	if err != nil || len(recs) > 0 || timeout < 0 {
 		return recs, err
 	}
 	if len(c.rr) == 0 {
@@ -170,6 +178,13 @@ func (c *Consumer) PollWait(timeout time.Duration) ([]Record, error) {
 // waitAny blocks until any of the channels is closed or the deadline
 // passes (a zero deadline means no timeout). It reports false exactly on
 // deadline expiry.
+//
+// This sits on the blocking-poll hot path: with streaming ingestion a
+// source iterates PollWait for the lifetime of the run, so the wait must
+// not spawn (and tear down) a goroutine per assigned partition per
+// iteration. One and two channels — the common assignment shapes — use
+// plain selects; larger fan-ins use a single reflect.Select, which waits
+// on every channel from the calling goroutine.
 func waitAny(chans []<-chan struct{}, deadline time.Time) bool {
 	var timeout <-chan time.Time
 	if !deadline.IsZero() {
@@ -181,35 +196,33 @@ func waitAny(chans []<-chan struct{}, deadline time.Time) bool {
 		defer timer.Stop()
 		timeout = timer.C
 	}
-	if len(chans) == 1 {
+	switch len(chans) {
+	case 1:
 		select {
 		case <-chans[0]:
 			return true
 		case <-timeout:
 			return false
 		}
+	case 2:
+		select {
+		case <-chans[0]:
+			return true
+		case <-chans[1]:
+			return true
+		case <-timeout:
+			return false
+		}
 	}
-	done := make(chan struct{})
-	defer close(done)
-	woke := make(chan struct{}, 1)
-	for _, ch := range chans {
-		go func(ch <-chan struct{}) {
-			select {
-			case <-ch:
-				select {
-				case woke <- struct{}{}:
-				default:
-				}
-			case <-done:
-			}
-		}(ch)
+	// A nil timeout channel blocks its case forever, matching the
+	// no-deadline contract.
+	cases := make([]reflect.SelectCase, len(chans)+1)
+	for i, ch := range chans {
+		cases[i] = reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(ch)}
 	}
-	select {
-	case <-woke:
-		return true
-	case <-timeout:
-		return false
-	}
+	cases[len(chans)] = reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(timeout)}
+	chosen, _, _ := reflect.Select(cases)
+	return chosen < len(chans)
 }
 
 func (c *Consumer) fetchFrom(tp topicPartition, max int) ([]Record, error) {
@@ -233,6 +246,12 @@ func (c *Consumer) chargeFetch(n int) {
 	c.meter.Charge(costs.BrokerFetchBatch)
 	c.meter.Charge(time.Duration(n) * costs.BrokerFetchPerRecord)
 	c.meter.Flush()
+}
+
+// Charged reports the total simulated time this consumer's meter has
+// realized, for cost-accounting tests.
+func (c *Consumer) Charged() time.Duration {
+	return c.meter.Charged()
 }
 
 // Assignments lists the consumer's assigned partitions sorted by topic

@@ -1,0 +1,227 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"beambench/internal/simcost"
+)
+
+// TestPollChargesPartialFetchOnError covers the regression where a
+// mid-rotation fetch error returned the records already fetched from
+// healthy partitions without charging for them, so the simulated clock
+// under-charged exactly when partitions failed.
+func TestPollChargesPartialFetchOnError(t *testing.T) {
+	costs := simcost.ZeroCosts()
+	costs.BrokerFetchBatch = time.Microsecond
+	costs.BrokerFetchPerRecord = time.Microsecond
+	b := New(WithCosts(costs, simcost.New(1.0)))
+	mustCreate(t, b, "t", TopicConfig{Partitions: 2})
+
+	p := newProducer(t, b, ProducerConfig{
+		BatchSize:   1,
+		Partitioner: func([]byte, int) int { return 0 },
+	})
+	for i := range 3 {
+		if err := p.Send("t", nil, fmt.Appendf(nil, "rec-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c := newConsumer(t, b, ConsumerConfig{})
+	if err := c.AssignAll("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetPartitionOffline("t", 1, true); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := c.Poll()
+	if !errors.Is(err, ErrPartitionOffline) {
+		t.Fatalf("Poll over a half-offline assignment = %v, want ErrPartitionOffline", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("Poll returned %d records alongside the error, want 3", len(recs))
+	}
+	// One fetch request plus three records: the partial result must be
+	// paid for in full even though the rotation ended in an error.
+	if want := 4 * time.Microsecond; c.Charged() < want {
+		t.Errorf("consumer charged %v for the partial fetch, want at least %v", c.Charged(), want)
+	}
+}
+
+// TestPollWaitNegativeTimeoutIsNonBlocking pins the documented edge: a
+// negative timeout degrades to one non-blocking poll instead of silently
+// waiting forever (the pre-fix behaviour).
+func TestPollWaitNegativeTimeoutIsNonBlocking(t *testing.T) {
+	b := New()
+	mustCreate(t, b, "t", TopicConfig{Partitions: 1})
+	c := newConsumer(t, b, ConsumerConfig{})
+	if err := c.Assign("t", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	recs, err := c.PollWait(-time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("got %d records from an empty topic", len(recs))
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("PollWait(-1s) blocked for %v, want an immediate return", elapsed)
+	}
+
+	// The negative edge still returns data when data is available.
+	p := newProducer(t, b, ProducerConfig{BatchSize: 1})
+	if err := p.Send("t", nil, []byte("ready")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = c.PollWait(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Value) != "ready" {
+		t.Errorf("PollWait(-1) = %v, want the buffered record", recs)
+	}
+}
+
+// TestPollWaitZeroTimeoutWaitsForever pins the other documented edge:
+// timeout 0 blocks until data arrives.
+func TestPollWaitZeroTimeoutWaitsForever(t *testing.T) {
+	b := New()
+	mustCreate(t, b, "t", TopicConfig{Partitions: 1})
+	c := newConsumer(t, b, ConsumerConfig{})
+	if err := c.Assign("t", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	done := pollWaitAsync(c, 0)
+	select {
+	case res := <-done:
+		t.Fatalf("PollWait(0) returned (%v, %v) with no data", res.recs, res.err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	p := newProducer(t, b, ProducerConfig{BatchSize: 1})
+	if err := p.Send("t", nil, []byte("wake")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-done:
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		if len(res.recs) != 1 || string(res.recs[0].Value) != "wake" {
+			t.Errorf("PollWait(0) = %v, want the appended record", res.recs)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("PollWait(0) still blocked after an append")
+	}
+}
+
+// TestPollWaitConcurrentAppendRace hammers a blocking consumer loop with
+// concurrent producers across several partitions — the streaming-
+// ingestion hot path — so the race detector can see the waitAny
+// mechanism, the partition wake channels, and the fetch path interleave.
+func TestPollWaitConcurrentAppendRace(t *testing.T) {
+	const (
+		producers          = 4
+		recordsPerProducer = 200
+	)
+	b := New()
+	mustCreate(t, b, "t", TopicConfig{Partitions: 3})
+	c := newConsumer(t, b, ConsumerConfig{})
+	if err := c.AssignAll("t"); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := range producers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := b.NewProducer(ProducerConfig{
+				BatchSize:   7,
+				Partitioner: func(_ []byte, parts int) int { return i % parts },
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for j := range recordsPerProducer {
+				if err := p.Send("t", nil, fmt.Appendf(nil, "p%d-%d", i, j)); err != nil {
+					t.Error(err)
+					return
+				}
+				if j%50 == 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+			if err := p.Close(); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+
+	total := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for total < producers*recordsPerProducer {
+		if time.Now().After(deadline) {
+			t.Fatalf("consumed %d of %d records before the deadline", total, producers*recordsPerProducer)
+		}
+		recs, err := c.PollWait(5 * time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(recs)
+	}
+	wg.Wait()
+	if total != producers*recordsPerProducer {
+		t.Errorf("consumed %d records, want %d", total, producers*recordsPerProducer)
+	}
+}
+
+// TestWaitAnyNoGoroutineChurn pins the waitAny rework: a blocked
+// multi-partition PollWait must hold a bounded number of goroutines (the
+// waiter itself), not one per assigned partition per wake-up, because
+// streaming ingestion iterates this wait for the lifetime of a run.
+func TestWaitAnyNoGoroutineChurn(t *testing.T) {
+	const partitions = 8
+	b := New()
+	mustCreate(t, b, "t", TopicConfig{Partitions: partitions})
+	c := newConsumer(t, b, ConsumerConfig{})
+	if err := c.AssignAll("t"); err != nil {
+		t.Fatal(err)
+	}
+	p := newProducer(t, b, ProducerConfig{BatchSize: 1})
+
+	// Drive many blocked-wake cycles; each old-style cycle spawned and
+	// tore down `partitions` goroutines. The single-wait mechanism adds
+	// only the waiter itself while blocked.
+	base := runtime.NumGoroutine()
+	for i := range 50 {
+		done := pollWaitAsync(c, 0)
+		time.Sleep(time.Millisecond)
+		if i == 0 {
+			if blocked := runtime.NumGoroutine(); blocked > base+4 {
+				t.Errorf("blocked PollWait holds %d goroutines over the %d baseline, want the waiter only",
+					blocked-base, base)
+			}
+		}
+		if err := p.Send("t", nil, fmt.Appendf(nil, "r%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case res := <-done:
+			if res.err != nil {
+				t.Fatal(res.err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("PollWait did not wake")
+		}
+	}
+}

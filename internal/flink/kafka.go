@@ -9,18 +9,24 @@ import (
 )
 
 // _sourceIdlePoll is how long a Kafka source subtask waits for new data
-// before re-checking its bounded end offsets.
+// before re-checking whether the topic is complete.
 const _sourceIdlePoll = 20 * time.Millisecond
 
 // KafkaSource returns a source factory that reads a topic from the
-// broker, bounded by the end offsets at the moment the subtask starts —
-// the benchmark preloads the input topic, so the source sees the whole
-// workload and then finishes (Section III-A2 of the paper).
+// broker until target records have been appended to it in total and
+// every assigned partition is drained — the end-of-input contract that
+// lets the same source terminate correctly whether the benchmark
+// preloads the input topic or streams into it while the job runs
+// (Section III-A2 of the paper covers the preload case).
+//
+// A target <= 0 degrades to a bounded snapshot of the topic's contents
+// at subtask start, for direct engine-API use outside the harness;
+// records appended after the snapshot are ignored.
 //
 // Topic partitions are distributed over source subtasks round-robin;
 // with one input partition (the paper's configuration) only subtask 0
 // receives data and the others finish immediately.
-func KafkaSource(b *broker.Broker, topic string) SourceFactory {
+func KafkaSource(b *broker.Broker, topic string, target int64) SourceFactory {
 	return func(ctx OperatorContext) (Source, error) {
 		parts, err := b.Partitions(topic)
 		if err != nil {
@@ -32,7 +38,7 @@ func KafkaSource(b *broker.Broker, topic string) SourceFactory {
 				assigned = append(assigned, p)
 			}
 		}
-		return &kafkaSource{b: b, topic: topic, assigned: assigned}, nil
+		return &kafkaSource{b: b, topic: topic, assigned: assigned, target: target}, nil
 	}
 }
 
@@ -40,15 +46,17 @@ type kafkaSource struct {
 	b        *broker.Broker
 	topic    string
 	assigned []int
+	target   int64
 }
 
-// Run reads every assigned partition up to the end offsets captured at
-// start and emits the record values.
+// Run consumes the assigned partitions via blocking polls until the
+// end-of-input contract (broker.EndOfInput) is met, emitting the record
+// values.
 func (s *kafkaSource) Run(out Collector) error {
 	if len(s.assigned) == 0 {
 		return nil
 	}
-	ends, err := s.b.EndOffsets(s.topic)
+	eoi, err := broker.NewEndOfInput(s.b, s.topic, s.target, s.assigned)
 	if err != nil {
 		return fmt.Errorf("flink: kafka source: %w", err)
 	}
@@ -56,29 +64,32 @@ func (s *kafkaSource) Run(out Collector) error {
 	if err != nil {
 		return fmt.Errorf("flink: kafka source: %w", err)
 	}
-	remaining := 0
 	for _, p := range s.assigned {
 		if err := consumer.Assign(s.topic, p, 0); err != nil {
 			return fmt.Errorf("flink: kafka source: %w", err)
 		}
-		remaining += int(ends[p])
 	}
-	for remaining > 0 {
+	for {
 		recs, err := consumer.PollWait(_sourceIdlePoll)
 		if err != nil {
 			return fmt.Errorf("flink: kafka source: %w", err)
 		}
 		for _, r := range recs {
-			if r.Offset >= ends[r.Partition] {
+			if !eoi.Admit(r) {
 				continue // produced after the bounded snapshot
 			}
-			remaining--
 			if err := out.Collect(r.Value); err != nil {
 				return err
 			}
 		}
+		done, err := eoi.Complete(consumer, len(recs) == 0)
+		if err != nil {
+			return fmt.Errorf("flink: kafka source: %w", err)
+		}
+		if done {
+			return nil
+		}
 	}
-	return nil
 }
 
 // KafkaSink returns a sink factory writing record values to a topic.

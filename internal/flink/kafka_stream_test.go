@@ -1,0 +1,99 @@
+package flink
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"beambench/internal/broker"
+)
+
+// streamTopic creates the topic and starts a goroutine producing values
+// into it with small delays, returning a channel closed when the sender
+// finishes.
+func streamTopic(t *testing.T, b *broker.Broker, topic string, values [][]byte) <-chan error {
+	t.Helper()
+	if err := b.CreateTopic(topic, broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		p, err := b.NewProducer(broker.ProducerConfig{BatchSize: 7})
+		if err != nil {
+			done <- err
+			return
+		}
+		for i, v := range values {
+			if i%25 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+			if err := p.Send(topic, nil, v); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- p.Close()
+	}()
+	return done
+}
+
+// TestKafkaSourceConsumesConcurrentlyFilledTopic pins the end-of-input
+// contract: given the target record count, the source must read a topic
+// that is still being filled while the job runs, terminate once the
+// target is reached, and preserve single-partition order.
+func TestKafkaSourceConsumesConcurrentlyFilledTopic(t *testing.T) {
+	b := broker.New()
+	input := records(300)
+	senderDone := streamTopic(t, b, "in", input)
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster)
+	env.AddSource("src", KafkaSource(b, "in", int64(len(input)))).
+		AddSink("snk", KafkaSink(b, "out", broker.ProducerConfig{}))
+	if _, err := env.Execute("identity"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-senderDone; err != nil {
+		t.Fatal(err)
+	}
+
+	got := topicValues(t, b, "out")
+	if len(got) != len(input) {
+		t.Fatalf("output has %d records, want %d", len(got), len(input))
+	}
+	for i := range input {
+		if !bytes.Equal(got[i], input[i]) {
+			t.Fatalf("record %d = %q, want %q (order broken)", i, got[i], input[i])
+		}
+	}
+}
+
+// TestKafkaSourceTargetWithParallelSubtasks: with one input partition
+// and parallelism 2, only subtask 0 owns data; the idle subtask must
+// terminate without consuming and without stalling the job while the
+// topic is still filling.
+func TestKafkaSourceTargetWithParallelSubtasks(t *testing.T) {
+	b := broker.New()
+	input := records(200)
+	senderDone := streamTopic(t, b, "in", input)
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster).SetParallelism(2)
+	env.AddSource("src", KafkaSource(b, "in", int64(len(input)))).
+		AddSink("snk", KafkaSink(b, "out", broker.ProducerConfig{}))
+	if _, err := env.Execute("identity"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-senderDone; err != nil {
+		t.Fatal(err)
+	}
+	if got := topicValues(t, b, "out"); len(got) != len(input) {
+		t.Fatalf("output has %d records, want %d", len(got), len(input))
+	}
+}

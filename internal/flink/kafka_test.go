@@ -61,7 +61,7 @@ func TestKafkaSourceToKafkaSinkEndToEnd(t *testing.T) {
 
 	cluster := newTestCluster(t, ClusterConfig{})
 	env := NewEnvironment(cluster)
-	env.AddSource("kafka-in", KafkaSource(b, "input")).
+	env.AddSource("kafka-in", KafkaSource(b, "input", 0)).
 		Filter("grep", func(rec []byte) bool { return bytes.Contains(rec, []byte("7")) }).
 		AddSink("kafka-out", KafkaSink(b, "output", broker.ProducerConfig{}))
 	if _, err := env.Execute("grep"); err != nil {
@@ -94,7 +94,7 @@ func TestKafkaSourcePreservesOrderSinglePartition(t *testing.T) {
 	}
 	cluster := newTestCluster(t, ClusterConfig{})
 	env := NewEnvironment(cluster)
-	env.AddSource("src", KafkaSource(b, "in")).
+	env.AddSource("src", KafkaSource(b, "in", 0)).
 		AddSink("snk", KafkaSink(b, "out", broker.ProducerConfig{}))
 	if _, err := env.Execute("identity"); err != nil {
 		t.Fatal(err)
@@ -121,7 +121,7 @@ func TestKafkaSourceParallelismTwoSinglePartition(t *testing.T) {
 	}
 	cluster := newTestCluster(t, ClusterConfig{})
 	env := NewEnvironment(cluster).SetParallelism(2)
-	env.AddSource("src", KafkaSource(b, "in")).
+	env.AddSource("src", KafkaSource(b, "in", 0)).
 		Map("id", func(r []byte) []byte { return r }).
 		AddSink("snk", KafkaSink(b, "out", broker.ProducerConfig{}))
 	if _, err := env.Execute("identity-p2"); err != nil {
@@ -155,7 +155,7 @@ func TestKafkaSourceMultiPartitionDistribution(t *testing.T) {
 	sink := NewRecordCollector()
 	cluster := newTestCluster(t, ClusterConfig{})
 	env := NewEnvironment(cluster).SetParallelism(2)
-	env.AddSource("src", KafkaSource(b, "in")).AddSink("snk", CollectSink(sink))
+	env.AddSource("src", KafkaSource(b, "in", 0)).AddSink("snk", CollectSink(sink))
 	if _, err := env.Execute("multi"); err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestKafkaSourceUnknownTopic(t *testing.T) {
 	cluster := newTestCluster(t, ClusterConfig{})
 	env := NewEnvironment(cluster)
 	sink := NewRecordCollector()
-	env.AddSource("src", KafkaSource(b, "missing")).AddSink("snk", CollectSink(sink))
+	env.AddSource("src", KafkaSource(b, "missing", 0)).AddSink("snk", CollectSink(sink))
 	if _, err := env.Execute("missing-topic"); err == nil {
 		t.Error("job with missing input topic succeeded")
 	}
@@ -180,7 +180,7 @@ func TestKafkaSinkUnknownTopic(t *testing.T) {
 	loadTopic(t, b, "in", records(5))
 	cluster := newTestCluster(t, ClusterConfig{})
 	env := NewEnvironment(cluster)
-	env.AddSource("src", KafkaSource(b, "in")).
+	env.AddSource("src", KafkaSource(b, "in", 0)).
 		AddSink("snk", KafkaSink(b, "missing", broker.ProducerConfig{}))
 	if _, err := env.Execute("missing-output"); err == nil {
 		t.Error("job with missing output topic succeeded")
@@ -195,7 +195,7 @@ func TestKafkaEmptyInputTopic(t *testing.T) {
 	}
 	cluster := newTestCluster(t, ClusterConfig{})
 	env := NewEnvironment(cluster)
-	env.AddSource("src", KafkaSource(b, "in")).
+	env.AddSource("src", KafkaSource(b, "in", 0)).
 		AddSink("snk", KafkaSink(b, "out", broker.ProducerConfig{}))
 	if _, err := env.Execute("empty"); err != nil {
 		t.Fatal(err)

@@ -10,6 +10,20 @@
 //  3. Result calculation — the execution time is the difference between
 //     the LogAppendTime timestamps of the last and first record in the
 //     output topic, computed from broker state only.
+//
+// Config.Ingest selects how phases 1 and 2 relate. In preload mode
+// (the default) the sender completes before the cluster launches, so
+// execution time measures pure drain throughput and event-time latency
+// is dominated by queueing from time zero. In stream mode the sender
+// runs concurrently with the engine — as in the paper's Figure 5 — and
+// is paced at Config.RateRecordsPerSec on the simulated clock, so the
+// latency sketches measure processing delay under a controlled offered
+// load and execution time stretches to at least the sending window.
+// The two modes produce identical outputs (byte-identical in order at
+// parallelism 1, as an order-insensitive multiset above it): every
+// engine source terminates via the target-record-count contract
+// (broker.EndOfInput) rather than a startup snapshot of the topic's
+// end offsets.
 package harness
 
 import (
@@ -102,6 +116,47 @@ func (a API) String() string {
 	}
 }
 
+// IngestMode selects how the data sender relates to query execution.
+type IngestMode int
+
+const (
+	// IngestPreload loads the whole workload into the input topic before
+	// the engine cluster launches — the mode of the original
+	// reproduction, where event-time latency mostly measures queueing
+	// from time zero. The zero value, for backward compatibility.
+	IngestPreload IngestMode = iota
+	// IngestStream runs the data sender concurrently with query
+	// execution, pacing it at Config.RateRecordsPerSec on the simcost
+	// clock — the architecture of the paper's Figure 5, and the mode in
+	// which the latency sketches measure processing delay under a
+	// controlled offered load.
+	IngestStream
+)
+
+// String names the mode for flags and report labels.
+func (m IngestMode) String() string {
+	switch m {
+	case IngestPreload:
+		return "preload"
+	case IngestStream:
+		return "stream"
+	default:
+		return fmt.Sprintf("IngestMode(%d)", int(m))
+	}
+}
+
+// ParseIngestMode parses an -ingest flag value.
+func ParseIngestMode(s string) (IngestMode, error) {
+	switch s {
+	case "", "preload":
+		return IngestPreload, nil
+	case "stream":
+		return IngestStream, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown ingest mode %q (want preload or stream)", s)
+	}
+}
+
 // Setup identifies one benchmark configuration: a cell of the paper's
 // twelve-per-query execution matrix.
 type Setup struct {
@@ -168,6 +223,17 @@ type Config struct {
 	SenderAcks broker.Acks
 	// SenderBatch is the sender's producer batch size.
 	SenderBatch int
+	// Ingest selects when the data sender runs relative to query
+	// execution: IngestPreload (default) fills the input topic before
+	// the cluster launches; IngestStream runs the sender concurrently
+	// with the engine, so sources consume records as they arrive.
+	Ingest IngestMode
+	// RateRecordsPerSec paces the streaming data sender: each record
+	// charges 1/rate seconds to a simcost meter before it is sent, so
+	// the offered load follows the simulated clock (including the run's
+	// noise factor). 0 streams unthrottled. Only meaningful with
+	// IngestStream; the preload sender always runs flat out.
+	RateRecordsPerSec int
 	// Fusion selects the Beam runners' translation mode for every Beam
 	// cell: beam.FusionDefault keeps each runner paper-faithful (fused
 	// on Apex, per-primitive elsewhere); beam.FusionOn / beam.FusionOff
@@ -228,6 +294,18 @@ func (c *Config) validate() error {
 	if c.SenderBatch < 0 {
 		return fmt.Errorf("harness: negative sender batch %d", c.SenderBatch)
 	}
+	if c.Ingest != IngestPreload && c.Ingest != IngestStream {
+		return fmt.Errorf("harness: invalid ingest mode %d", c.Ingest)
+	}
+	if c.RateRecordsPerSec < 0 {
+		return fmt.Errorf("harness: negative sender rate %d", c.RateRecordsPerSec)
+	}
+	if c.RateRecordsPerSec > 0 && c.Ingest != IngestStream {
+		// Rejecting instead of ignoring: the rate is serialized into the
+		// report, and a preload report claiming an offered load that was
+		// never applied would be a lie.
+		return fmt.Errorf("harness: RateRecordsPerSec %d requires IngestStream", c.RateRecordsPerSec)
+	}
 	if c.Workers < 0 {
 		return fmt.Errorf("harness: negative worker count %d", c.Workers)
 	}
@@ -243,6 +321,11 @@ type Runner struct {
 	costs   simcost.Costs
 	noise   simcost.NoiseParams
 	dataset [][]byte
+	// grepHits is the grep query's match count, computed once in New:
+	// callers consult it per run (streaming mode's pacing loop and the
+	// CLIs), and the dataset is immutable, so rescanning on every call
+	// was pure waste.
+	grepHits int
 
 	// metrics is the telemetry registry, nil unless Config.CollectMetrics.
 	metrics *metrics.Registry
@@ -277,6 +360,11 @@ func New(cfg Config) (*Runner, error) {
 	}
 	r := &Runner{cfg: cfg, costs: costs, noise: noise, dataset: gen.All(),
 		survivorIndexByQ: make(map[queries.Query]*queries.SurvivorIndex)}
+	for _, rec := range r.dataset {
+		if queries.GrepMatch(rec) {
+			r.grepHits++
+		}
+	}
 	if cfg.CollectMetrics {
 		r.metrics = metrics.NewRegistry()
 	}
@@ -293,16 +381,9 @@ func (r *Runner) Config() Config { return r.cfg }
 // DatasetSize reports the number of workload records.
 func (r *Runner) DatasetSize() int { return len(r.dataset) }
 
-// GrepHits reports how many workload records match the grep query.
-func (r *Runner) GrepHits() int {
-	n := 0
-	for _, rec := range r.dataset {
-		if queries.GrepMatch(rec) {
-			n++
-		}
-	}
-	return n
-}
+// GrepHits reports how many workload records match the grep query
+// (precomputed once in New).
+func (r *Runner) GrepHits() int { return r.grepHits }
 
 const (
 	inputTopic  = "input"
@@ -348,24 +429,64 @@ func (r *Runner) runSingle(ctx context.Context, setup Setup, runIdx int) (RunRes
 		return RunResult{}, err
 	}
 
-	// Phase 1: data ingestion.
-	if err := r.ingest(b); err != nil {
-		return RunResult{}, fmt.Errorf("harness: ingest: %w", err)
-	}
-
-	// Phase 2: program execution on a freshly started cluster. The
-	// cell's collector (nil when telemetry is off) rides along so engine
-	// operators report per-stage throughput while they run.
+	// Phases 1 and 2: data ingestion and program execution. The cell's
+	// collector (nil when telemetry is off) rides along so engine
+	// operators report per-stage throughput while they run. Every source
+	// terminates via the target-count contract (InputRecords /
+	// TargetRecords), so the two phases may overlap: in preload mode the
+	// sender completes before the cluster launches, in stream mode the
+	// sender runs concurrently with the engine and the harness joins on
+	// both.
 	col := r.metrics.Collector(cellKey(setup))
 	w := queries.Workload{
-		Broker:      b,
-		InputTopic:  inputTopic,
-		OutputTopic: outputTopic,
-		Seed:        r.cfg.SampleSeed,
-		Producer:    broker.ProducerConfig{},
+		Broker:       b,
+		InputTopic:   inputTopic,
+		OutputTopic:  outputTopic,
+		Seed:         r.cfg.SampleSeed,
+		Producer:     broker.ProducerConfig{},
+		InputRecords: int64(len(r.dataset)),
 	}
-	if err := r.execute(ctx, setup, w, sim, col); err != nil {
-		return RunResult{}, fmt.Errorf("harness: execute %s run %d: %w", setup.Label(), runIdx, err)
+	if r.cfg.Ingest == IngestStream {
+		// The sender gets its own cancellation handle: when execution
+		// fails (or the matrix is cancelled) there is no point pacing
+		// the rest of the workload in real time for a doomed run.
+		senderCtx, cancelSender := context.WithCancel(ctx)
+		defer cancelSender()
+		senderDone := make(chan error, 1)
+		go func() {
+			err := r.ingest(senderCtx, b, sim)
+			if err != nil {
+				// The engine sources are blocked until the topic reaches
+				// its target count; a sender that stopped early can never
+				// get it there, so tear the input topic down to unblock
+				// them.
+				_ = b.DeleteTopic(inputTopic)
+			}
+			senderDone <- err
+		}()
+		execErr := r.execute(ctx, setup, w, sim, col)
+		if execErr != nil {
+			cancelSender()
+		}
+		sendErr := <-senderDone
+		if err := ctx.Err(); err != nil {
+			// Matrix cancelled mid-run: the sender abort and the topic
+			// teardown are fallout, not the cause.
+			return RunResult{}, err
+		}
+		if sendErr != nil && !errors.Is(sendErr, context.Canceled) {
+			return RunResult{}, fmt.Errorf("harness: ingest: %w", sendErr)
+		}
+		if execErr != nil {
+			return RunResult{}, fmt.Errorf("harness: execute %s run %d: %w", setup.Label(), runIdx, execErr)
+		}
+	} else {
+		if err := r.ingest(ctx, b, sim); err != nil {
+			return RunResult{}, fmt.Errorf("harness: ingest: %w", err)
+		}
+		if err := r.execute(ctx, setup, w, sim, col); err != nil {
+			return RunResult{}, fmt.Errorf("harness: execute %s run %d: %w", setup.Label(), runIdx, err)
+		}
 	}
 
 	// Phase 3: result calculation from broker timestamps alone — the
@@ -394,8 +515,13 @@ func (r *Runner) runSingle(ctx context.Context, setup Setup, runIdx int) (RunRes
 }
 
 // ingest is the data sender: a configurable producer streaming the
-// workload into the input topic.
-func (r *Runner) ingest(b *broker.Broker) error {
+// workload into the input topic. In stream mode with a configured rate
+// it is paced by the simcost clock: every record charges 1/rate seconds
+// to a meter, whose realization (scaled by the run's noise factor like
+// every other charge) spaces the sends. The pacing elapses real wall
+// time, so the loop honors ctx — a cancelled run stops sending instead
+// of finishing its paced window.
+func (r *Runner) ingest(ctx context.Context, b *broker.Broker, sim *simcost.Simulator) error {
 	sender, err := b.NewProducer(broker.ProducerConfig{
 		Acks:      r.cfg.SenderAcks,
 		BatchSize: r.cfg.SenderBatch,
@@ -403,10 +529,25 @@ func (r *Runner) ingest(b *broker.Broker) error {
 	if err != nil {
 		return err
 	}
+	var pace *simcost.Meter
+	var perRecord time.Duration
+	if r.cfg.Ingest == IngestStream && r.cfg.RateRecordsPerSec > 0 {
+		pace = sim.NewMeter()
+		perRecord = time.Second / time.Duration(r.cfg.RateRecordsPerSec)
+	}
 	for _, rec := range r.dataset {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if pace != nil {
+			pace.Charge(perRecord)
+		}
 		if err := sender.Send(inputTopic, nil, rec); err != nil {
 			return err
 		}
+	}
+	if pace != nil {
+		pace.Flush()
 	}
 	return sender.Close()
 }
@@ -438,11 +579,12 @@ func (r *Runner) executeBeam(ctx context.Context, setup Setup, w queries.Workloa
 		return err
 	}
 	_, err = runner.Run(ctx, p, beam.Options{
-		Parallelism: setup.Parallelism,
-		Fusion:      r.cfg.Fusion,
-		Costs:       &r.costs,
-		Sim:         sim,
-		Metrics:     col,
+		Parallelism:   setup.Parallelism,
+		Fusion:        r.cfg.Fusion,
+		Costs:         &r.costs,
+		Sim:           sim,
+		Metrics:       col,
+		TargetRecords: int64(len(r.dataset)),
 	})
 	return err
 }

@@ -43,6 +43,14 @@ type Report struct {
 	// (default/on/off), so fused and unfused reports stay
 	// distinguishable downstream.
 	Fusion string
+	// Ingest is the ingestion mode the matrix ran with
+	// (preload/stream): preload-mode and sustained-load reports measure
+	// different things (drain throughput vs. processing delay at an
+	// offered rate) and must stay distinguishable downstream.
+	Ingest string
+	// RateRecordsPerSec is the streaming sender's configured rate; 0
+	// means unthrottled (or preload mode).
+	RateRecordsPerSec int
 	// Cells holds one aggregate per setup, in insertion order.
 	Cells []*Cell
 
@@ -52,11 +60,13 @@ type Report struct {
 // BuildReport aggregates raw run results into a report.
 func BuildReport(cfg Config, results []RunResult) (*Report, error) {
 	rep := &Report{
-		Records:      cfg.Records,
-		Runs:         cfg.Runs,
-		Parallelisms: append([]int(nil), cfg.Parallelisms...),
-		Fusion:       cfg.Fusion.String(),
-		byKey:        make(map[Setup]*Cell),
+		Records:           cfg.Records,
+		Runs:              cfg.Runs,
+		Parallelisms:      append([]int(nil), cfg.Parallelisms...),
+		Fusion:            cfg.Fusion.String(),
+		Ingest:            cfg.Ingest.String(),
+		RateRecordsPerSec: cfg.RateRecordsPerSec,
+		byKey:             make(map[Setup]*Cell),
 	}
 	for _, res := range results {
 		cell, ok := rep.byKey[res.Setup]
@@ -64,9 +74,18 @@ func BuildReport(cfg Config, results []RunResult) (*Report, error) {
 			cell = &Cell{Setup: res.Setup}
 			rep.byKey[res.Setup] = cell
 			rep.Cells = append(rep.Cells, cell)
+			// Anchor the cell's headline count on the first result seen,
+			// overwritten below if run 0 shows up later.
+			cell.OutputRecords = res.OutputRecords
+		}
+		// Cell.OutputRecords is the count the nondeterminism guard in
+		// RunCell anchors on — run 0's — not whichever run happened to be
+		// aggregated last (for Sample cells the per-run counts legitimately
+		// differ, and last-write-wins silently reported an arbitrary one).
+		if res.Run == 0 {
+			cell.OutputRecords = res.OutputRecords
 		}
 		cell.TimesSec = append(cell.TimesSec, res.ExecutionTime.Seconds())
-		cell.OutputRecords = res.OutputRecords
 		cell.OutputRecordsPerRun = append(cell.OutputRecordsPerRun, res.OutputRecords)
 	}
 	for _, cell := range rep.Cells {
@@ -109,7 +128,8 @@ func (rep *Report) AttachMetrics(reg *metrics.Registry) {
 // Config.CollectMetrics.
 func (rep *Report) FormatLatency() (string, error) {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Event-Time Latency and Per-Stage Throughput (records=%d, runs=%d)\n", rep.Records, rep.Runs)
+	fmt.Fprintf(&sb, "Event-Time Latency and Per-Stage Throughput (records=%d, runs=%d%s)\n",
+		rep.Records, rep.Runs, rep.ingestLabel())
 	any := false
 	for _, c := range rep.Cells {
 		if c.Latency == nil {
@@ -196,11 +216,24 @@ func (rep *Report) FormatFigure(n int) (string, error) {
 	}
 }
 
+// ingestLabel renders the ingestion-mode suffix for text headers: empty
+// in the historical preload mode, so preexisting report consumers see
+// unchanged output, and an explicit marker for sustained-load reports.
+func (rep *Report) ingestLabel() string {
+	if rep.Ingest != IngestStream.String() {
+		return ""
+	}
+	if rep.RateRecordsPerSec > 0 {
+		return fmt.Sprintf(", ingest=stream@%d rec/s", rep.RateRecordsPerSec)
+	}
+	return ", ingest=stream"
+}
+
 func (rep *Report) formatExecutionTimes(n int) (string, error) {
 	q := figureForQuery[n]
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Figure %d: Average Execution Times - %s Query (records=%d, runs=%d)\n",
-		n, q, rep.Records, rep.Runs)
+	fmt.Fprintf(&sb, "Figure %d: Average Execution Times - %s Query (records=%d, runs=%d%s)\n",
+		n, q, rep.Records, rep.Runs, rep.ingestLabel())
 	for _, sys := range Systems() {
 		for _, api := range APIs() {
 			for _, p := range rep.Parallelisms {
@@ -242,7 +275,8 @@ func figure10QueryOrder() []queries.Query {
 
 func (rep *Report) formatSlowdown() (string, error) {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Figure 11: Slowdown Factor sf(dsps, query) (records=%d, runs=%d)\n", rep.Records, rep.Runs)
+	fmt.Fprintf(&sb, "Figure 11: Slowdown Factor sf(dsps, query) (records=%d, runs=%d%s)\n",
+		rep.Records, rep.Runs, rep.ingestLabel())
 	for _, sys := range Systems() {
 		for _, q := range queries.All() {
 			sf, err := rep.SlowdownFactor(sys, q)
@@ -325,20 +359,24 @@ type jsonCell struct {
 }
 
 type jsonReport struct {
-	Records      int        `json:"records"`
-	Runs         int        `json:"runs"`
-	Parallelisms []int      `json:"parallelisms"`
-	Fusion       string     `json:"fusion"`
-	Cells        []jsonCell `json:"cells"`
+	Records           int        `json:"records"`
+	Runs              int        `json:"runs"`
+	Parallelisms      []int      `json:"parallelisms"`
+	Fusion            string     `json:"fusion"`
+	Ingest            string     `json:"ingest"`
+	RateRecordsPerSec int        `json:"rateRecordsPerSec,omitempty"`
+	Cells             []jsonCell `json:"cells"`
 }
 
 // WriteJSON serializes the report for downstream tooling.
 func (rep *Report) WriteJSON(w io.Writer) error {
 	out := jsonReport{
-		Records:      rep.Records,
-		Runs:         rep.Runs,
-		Parallelisms: rep.Parallelisms,
-		Fusion:       rep.Fusion,
+		Records:           rep.Records,
+		Runs:              rep.Runs,
+		Parallelisms:      rep.Parallelisms,
+		Fusion:            rep.Fusion,
+		Ingest:            rep.Ingest,
+		RateRecordsPerSec: rep.RateRecordsPerSec,
 	}
 	for _, c := range rep.Cells {
 		out.Cells = append(out.Cells, jsonCell{

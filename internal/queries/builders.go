@@ -20,6 +20,13 @@ type Workload struct {
 	Seed uint64
 	// Producer configures the output producer of native jobs.
 	Producer broker.ProducerConfig
+	// InputRecords is the end-of-input contract threaded into every
+	// query source: the total record count the input topic will
+	// eventually hold. Sources keep consuming until that many records
+	// have been appended and drained, so the data sender may still be
+	// streaming into the topic when the query starts. 0 degrades the
+	// sources to a bounded snapshot of the topic contents at startup.
+	InputRecords int64
 }
 
 func (w Workload) validate() error {
@@ -40,7 +47,7 @@ func NativeFlink(env *flink.Environment, w Workload, q Query) error {
 	if err := w.validate(); err != nil {
 		return err
 	}
-	src := env.AddSource("Custom Source", flink.KafkaSource(w.Broker, w.InputTopic))
+	src := env.AddSource("Custom Source", flink.KafkaSource(w.Broker, w.InputTopic, w.InputRecords))
 	var out *flink.DataStream
 	switch q {
 	case Identity:
@@ -66,7 +73,7 @@ func NativeSpark(ssc *spark.StreamingContext, w Workload, q Query) error {
 	if err := w.validate(); err != nil {
 		return err
 	}
-	src := ssc.KafkaDirectStream(w.Broker, w.InputTopic)
+	src := ssc.KafkaDirectStream(w.Broker, w.InputTopic, w.InputRecords)
 	var out *spark.DStream
 	switch q {
 	case Identity:
@@ -92,7 +99,7 @@ func NativeApex(w Workload, q Query) (*apex.Application, error) {
 		return nil, err
 	}
 	app := apex.NewApplication(q.String())
-	app.AddInput("kafkaInput", apex.KafkaInput(w.Broker, w.InputTopic))
+	app.AddInput("kafkaInput", apex.KafkaInput(w.Broker, w.InputTopic, w.InputRecords))
 	switch q {
 	case Identity:
 		app.AddOperator("identity", apex.PassThrough())

@@ -10,7 +10,14 @@ import (
 // direct (receiver-less) approach: every batch fetches up to
 // MaxRatePerPartition records per partition, and the stream's RDDs have
 // one partition per Kafka partition.
-func (ssc *StreamingContext) KafkaDirectStream(b *broker.Broker, topic string) *DStream {
+//
+// The stream ends once target records have been appended to the topic
+// in total and every partition is drained — the end-of-input contract
+// that works whether the topic is preloaded or still filling while the
+// application runs. A target <= 0 degrades to a bounded snapshot of the
+// topic's contents at the first batch, for direct engine-API use
+// outside the harness; records appended after the snapshot are ignored.
+func (ssc *StreamingContext) KafkaDirectStream(b *broker.Broker, topic string, target int64) *DStream {
 	parts, err := b.Partitions(topic)
 	if err != nil {
 		ssc.fail(fmt.Errorf("spark: kafka direct stream: %w", err))
@@ -21,20 +28,25 @@ func (ssc *StreamingContext) KafkaDirectStream(b *broker.Broker, topic string) *
 		topic:      topic,
 		partitions: parts,
 		maxPerPart: ssc.cfg.MaxRatePerPartition,
+		target:     target,
 	}).Named("KafkaDirectStream " + topic)
 }
 
-// kafkaDirect is the bounded direct-stream source: end offsets are
-// captured on the first batch, after which the stream drains the topic.
+// kafkaDirect is the direct-stream source: every batch polls each
+// partition once, and the stream reports records remaining until the
+// end-of-input contract (broker.EndOfInput) is met. Its RDD partition
+// layout (one consumer per Kafka partition) rules out the shared
+// Complete check, but since the stream always owns every partition its
+// admitted count alone decides termination.
 type kafkaDirect struct {
 	b          *broker.Broker
 	topic      string
 	partitions int
 	maxPerPart int
+	target     int64
 
 	consumers []*broker.Consumer
-	ends      []int64
-	positions []int64
+	eoi       *broker.EndOfInput
 }
 
 func (k *kafkaDirect) init() error {
@@ -44,12 +56,15 @@ func (k *kafkaDirect) init() error {
 	if k.consumers != nil {
 		return nil
 	}
-	ends, err := k.b.EndOffsets(k.topic)
+	assigned := make([]int, k.partitions)
+	for p := range assigned {
+		assigned[p] = p
+	}
+	eoi, err := broker.NewEndOfInput(k.b, k.topic, k.target, assigned)
 	if err != nil {
 		return err
 	}
-	k.ends = ends
-	k.positions = make([]int64, k.partitions)
+	k.eoi = eoi
 	k.consumers = make([]*broker.Consumer, k.partitions)
 	for p := range k.partitions {
 		c, err := k.b.NewConsumer(broker.ConsumerConfig{MaxPollRecords: k.maxPerPart})
@@ -68,12 +83,15 @@ func (k *kafkaDirect) nextBatch(int64) ([][][]byte, bool, error) {
 	if err := k.init(); err != nil {
 		return nil, false, err
 	}
+	if k.eoi.Drained() {
+		return nil, false, nil
+	}
 	parts := make([][][]byte, k.partitions)
-	remaining := false
 	for p := range k.partitions {
-		want := k.ends[p] - k.positions[p]
-		if want <= 0 {
-			continue
+		if bound, ok := k.eoi.Bound(p); ok {
+			if pos, _ := k.consumers[p].Position(k.topic, p); pos >= bound {
+				continue // snapshot mode: partition read to its bound
+			}
 		}
 		recs, err := k.consumers[p].Poll()
 		if err != nil {
@@ -81,18 +99,14 @@ func (k *kafkaDirect) nextBatch(int64) ([][][]byte, bool, error) {
 		}
 		vals := make([][]byte, 0, len(recs))
 		for _, r := range recs {
-			if r.Offset >= k.ends[p] {
+			if !k.eoi.Admit(r) {
 				continue // appended after the bounded snapshot
 			}
 			vals = append(vals, r.Value)
-			k.positions[p] = r.Offset + 1
 		}
 		parts[p] = vals
-		if k.positions[p] < k.ends[p] {
-			remaining = true
-		}
 	}
-	return parts, remaining, nil
+	return parts, !k.eoi.Drained(), nil
 }
 
 // SaveToKafka registers an output operation writing every record value

@@ -1,0 +1,77 @@
+package spark
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"beambench/internal/broker"
+)
+
+// TestKafkaDirectStreamConsumesConcurrentlyFilledTopic pins the
+// end-of-input contract: given the target record count, the direct
+// stream must keep scheduling micro-batches while the topic is still
+// being filled and terminate once the target is drained, preserving
+// single-partition order.
+func TestKafkaDirectStreamConsumesConcurrentlyFilledTopic(t *testing.T) {
+	b := broker.New()
+	if err := b.CreateTopic("in", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	values := make([][]byte, n)
+	for i := range n {
+		values[i] = fmt.Appendf(nil, "rec-%05d", i)
+	}
+	senderDone := make(chan error, 1)
+	go func() {
+		p, err := b.NewProducer(broker.ProducerConfig{BatchSize: 7})
+		if err != nil {
+			senderDone <- err
+			return
+		}
+		for i, v := range values {
+			if i%25 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+			if err := p.Send("in", nil, v); err != nil {
+				senderDone <- err
+				return
+			}
+		}
+		senderDone <- p.Close()
+	}()
+
+	cluster := newTestCluster(t, ClusterConfig{})
+	ssc := newContext(t, cluster, Config{})
+	ssc.KafkaDirectStream(b, "in", n).SaveToKafka("out", b, "out", broker.ProducerConfig{})
+	metrics, err := ssc.RunBounded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-senderDone; err != nil {
+		t.Fatal(err)
+	}
+	if metrics.RecordsIn != n {
+		t.Errorf("RecordsIn = %d, want %d", metrics.RecordsIn, n)
+	}
+	got := topicValues(t, b, "out")
+	if len(got) != n {
+		t.Fatalf("output has %d records, want %d", len(got), n)
+	}
+	for i := range values {
+		if !bytes.Equal(got[i], values[i]) {
+			t.Fatalf("record %d = %q, want %q (order broken)", i, got[i], values[i])
+		}
+	}
+	// The sender's pauses force the bounded run through idle batches, so
+	// the stream must have split the input across several micro-batches
+	// rather than snapshotting it up front.
+	if metrics.Batches < 2 {
+		t.Errorf("Batches = %d, want several (stream consumed while filling)", metrics.Batches)
+	}
+}

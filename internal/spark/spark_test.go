@@ -142,7 +142,7 @@ func TestBoundedIdentity(t *testing.T) {
 	}
 	cluster := newTestCluster(t, ClusterConfig{})
 	ssc := newContext(t, cluster, Config{MaxRatePerPartition: 300})
-	ssc.KafkaDirectStream(b, "in").SaveToKafka("out", b, "out", broker.ProducerConfig{})
+	ssc.KafkaDirectStream(b, "in", 0).SaveToKafka("out", b, "out", broker.ProducerConfig{})
 	m, err := ssc.RunBounded()
 	if err != nil {
 		t.Fatal(err)
@@ -171,7 +171,7 @@ func TestTransformationChain(t *testing.T) {
 	cluster := newTestCluster(t, ClusterConfig{})
 	ssc := newContext(t, cluster, Config{})
 	out := &collector{}
-	ssc.KafkaDirectStream(b, "in").
+	ssc.KafkaDirectStream(b, "in", 0).
 		Filter(func(rec []byte) bool { return rec[len(rec)-1]%2 == 0 }).
 		Map(bytes.ToUpper).
 		FlatMap(func(rec []byte, emit func([]byte)) {
@@ -198,7 +198,7 @@ func TestSampleFractionAndDeterminism(t *testing.T) {
 		cluster := newTestCluster(t, ClusterConfig{})
 		ssc := newContext(t, cluster, Config{})
 		out := &collector{}
-		ssc.KafkaDirectStream(b, "in").Sample(0.4, 7).ForeachRecord("c", out.add)
+		ssc.KafkaDirectStream(b, "in", 0).Sample(0.4, 7).ForeachRecord("c", out.add)
 		if _, err := ssc.RunBounded(); err != nil {
 			t.Fatal(err)
 		}
@@ -223,7 +223,7 @@ func TestRepartitionSplitsWork(t *testing.T) {
 	var mu sync.Mutex
 	partsSeen := make(map[int]int)
 	out := &collector{}
-	ssc.KafkaDirectStream(b, "in").
+	ssc.KafkaDirectStream(b, "in", 0).
 		RepartitionDefault().
 		Transform(func(task TaskContext) func([]byte, func([]byte)) {
 			return func(rec []byte, emit func([]byte)) {
@@ -263,7 +263,7 @@ func TestPrecheckErrors(t *testing.T) {
 	})
 	t.Run("no output", func(t *testing.T) {
 		ssc := newContext(t, cluster, Config{})
-		ssc.KafkaDirectStream(b, "in")
+		ssc.KafkaDirectStream(b, "in", 0)
 		if _, err := ssc.RunBounded(); err == nil {
 			t.Error("no-output context ran")
 		}
@@ -278,7 +278,7 @@ func TestPrecheckErrors(t *testing.T) {
 			t.Fatal(err)
 		}
 		out := &collector{}
-		ssc.KafkaDirectStream(b, "in").ForeachRecord("c", out.add)
+		ssc.KafkaDirectStream(b, "in", 0).ForeachRecord("c", out.add)
 		if _, err := ssc.RunBounded(); !errors.Is(err, ErrClusterStopped) {
 			t.Errorf("RunBounded = %v, want ErrClusterStopped", err)
 		}
@@ -286,7 +286,7 @@ func TestPrecheckErrors(t *testing.T) {
 	t.Run("unknown topic", func(t *testing.T) {
 		ssc := newContext(t, cluster, Config{})
 		out := &collector{}
-		ssc.KafkaDirectStream(b, "missing").ForeachRecord("c", out.add)
+		ssc.KafkaDirectStream(b, "missing", 0).ForeachRecord("c", out.add)
 		if _, err := ssc.RunBounded(); err == nil {
 			t.Error("unknown topic accepted")
 		}
@@ -294,7 +294,7 @@ func TestPrecheckErrors(t *testing.T) {
 	t.Run("nil transforms", func(t *testing.T) {
 		ssc := newContext(t, cluster, Config{})
 		out := &collector{}
-		ssc.KafkaDirectStream(b, "in").Map(nil).ForeachRecord("c", out.add)
+		ssc.KafkaDirectStream(b, "in", 0).Map(nil).ForeachRecord("c", out.add)
 		if _, err := ssc.RunBounded(); err == nil {
 			t.Error("nil map accepted")
 		}
@@ -302,7 +302,7 @@ func TestPrecheckErrors(t *testing.T) {
 	t.Run("double run", func(t *testing.T) {
 		ssc := newContext(t, cluster, Config{})
 		out := &collector{}
-		ssc.KafkaDirectStream(b, "in").ForeachRecord("c", out.add)
+		ssc.KafkaDirectStream(b, "in", 0).ForeachRecord("c", out.add)
 		if _, err := ssc.RunBounded(); err != nil {
 			t.Fatal(err)
 		}
@@ -318,7 +318,7 @@ func TestOutputErrorFailsRun(t *testing.T) {
 	cluster := newTestCluster(t, ClusterConfig{})
 	ssc := newContext(t, cluster, Config{})
 	boom := errors.New("boom")
-	ssc.KafkaDirectStream(b, "in").ForeachRecord("c", func(rec []byte) error {
+	ssc.KafkaDirectStream(b, "in", 0).ForeachRecord("c", func(rec []byte) error {
 		if bytes.HasSuffix(rec, []byte("5")) {
 			return boom
 		}
@@ -334,7 +334,7 @@ func TestSaveToKafkaUnknownTopicFails(t *testing.T) {
 	loadTopic(t, b, "in", 5)
 	cluster := newTestCluster(t, ClusterConfig{})
 	ssc := newContext(t, cluster, Config{})
-	ssc.KafkaDirectStream(b, "in").SaveToKafka("out", b, "missing", broker.ProducerConfig{})
+	ssc.KafkaDirectStream(b, "in", 0).SaveToKafka("out", b, "missing", broker.ProducerConfig{})
 	if _, err := ssc.RunBounded(); err == nil {
 		t.Error("missing output topic accepted")
 	}
@@ -347,7 +347,7 @@ func TestMultipleOutputsRecompute(t *testing.T) {
 	ssc := newContext(t, cluster, Config{})
 	evens := &collector{}
 	all := &collector{}
-	base := ssc.KafkaDirectStream(b, "in")
+	base := ssc.KafkaDirectStream(b, "in", 0)
 	base.Filter(func(rec []byte) bool { return rec[len(rec)-1]%2 == 0 }).ForeachRecord("evens", evens.add)
 	base.ForeachRecord("all", all.add)
 	if _, err := ssc.RunBounded(); err != nil {
@@ -366,7 +366,7 @@ func TestStartStopStreaming(t *testing.T) {
 	cluster := newTestCluster(t, ClusterConfig{})
 	ssc := newContext(t, cluster, Config{BatchInterval: 5 * time.Millisecond})
 	out := &collector{}
-	ssc.KafkaDirectStream(b, "in").ForeachRecord("c", out.add)
+	ssc.KafkaDirectStream(b, "in", 0).ForeachRecord("c", out.add)
 	if err := ssc.Start(); err != nil {
 		t.Fatal(err)
 	}
