@@ -35,7 +35,7 @@ func TestParseQuery(t *testing.T) {
 
 func TestSelectQueries(t *testing.T) {
 	all, err := selectQueries(0, 0, true, "")
-	if err != nil || len(all) != 4 {
+	if err != nil || len(all) != len(queries.All()) {
 		t.Errorf("all = %v, %v", all, err)
 	}
 	fig6, err := selectQueries(6, 0, false, "")
@@ -43,7 +43,7 @@ func TestSelectQueries(t *testing.T) {
 		t.Errorf("fig6 = %v, %v", fig6, err)
 	}
 	fig11, err := selectQueries(11, 0, false, "")
-	if err != nil || len(fig11) != 4 {
+	if err != nil || len(fig11) != len(queries.All()) {
 		t.Errorf("fig11 = %v, %v", fig11, err)
 	}
 	table3, err := selectQueries(0, 3, false, "")

@@ -8,11 +8,18 @@
 // logical per-primitive plan, making the operator-count reduction of
 // ParDo fusion visible.
 //
+// Stateful plans render too: the windowedcount query shows the
+// GroupByKey and Window.Into nodes of the Beam translation — including
+// the keyed GroupByKey operator behind the fused stage boundaries, where
+// fusion stops at the shuffle — and, natively, the KeyBy-broken chain
+// with the windowed reduce operator.
+//
 // Usage:
 //
 //	planviz -query grep -api native
 //	planviz -query grep -api beam
 //	planviz -query grep -api beam -fused
+//	planviz -query windowedcount -api beam -fused
 //	planviz -query identity -api beam -format dot
 package main
 
@@ -42,7 +49,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("planviz", flag.ContinueOnError)
 	var (
-		queryArg    = fs.String("query", "grep", "query: identity|sample|projection|grep")
+		queryArg    = fs.String("query", "grep", "query: identity|sample|projection|grep|windowedcount")
 		apiArg      = fs.String("api", "native", "api: native|beam")
 		format      = fs.String("format", "text", "output format: text|dot")
 		parallelism = fs.Int("p", 1, "job parallelism")
@@ -174,16 +181,5 @@ func stageGraph(p *beam.Pipeline) (*dag.Graph, error) {
 }
 
 func parseQuery(s string) (queries.Query, error) {
-	switch strings.ToLower(s) {
-	case "identity":
-		return queries.Identity, nil
-	case "sample":
-		return queries.Sample, nil
-	case "projection":
-		return queries.Projection, nil
-	case "grep":
-		return queries.Grep, nil
-	default:
-		return 0, fmt.Errorf("unknown query %q", s)
-	}
+	return queries.ParseQuery(strings.ToLower(s))
 }

@@ -53,6 +53,43 @@ func TestFusedRendersBothPlans(t *testing.T) {
 	}
 }
 
+// TestStatefulPlanRendersWindowNodes pins the satellite fix: the
+// stateful windowedcount pipeline renders GroupByKey and WindowInto
+// nodes, and the fused stage plan shows fusion stopping at the
+// GroupByKey boundary (the WithoutMetadata+Values chain fuses, the
+// keyed stage does not).
+func TestStatefulPlanRendersWindowNodes(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-query", "windowedcount", "-api", "beam", "-fused"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"GroupByKey",
+		"Window.Into FixedWindows(1s)",
+		"WithoutMetadata+Values", // fused chain up to the window boundary
+		"ExecutableStage",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stateful plan output missing %q:\n%s", want, out)
+		}
+	}
+	// Logical 10-node engine plan vs 9 post-fusion vs 7 stage-plan nodes.
+	for _, want := range []string{"nodes: 10", "nodes: 9", "nodes: 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stateful plan output missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	if err := run([]string{"-query", "windowedcount", "-api", "native"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "WindowedCount") || !strings.Contains(sb.String(), "nodes: 3") {
+		t.Errorf("native windowedcount plan wrong:\n%s", sb.String())
+	}
+}
+
 func TestFusedRequiresBeamAPI(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-query", "grep", "-api", "native", "-fused"}, &sb); err == nil {

@@ -11,13 +11,16 @@
 // pairing follows the query's deterministic semantics (-query, -seed)
 // and matches output payloads FIFO against the surviving inputs'
 // expected outputs, so it stays correct even when parallel engine
-// partitions interleave the output topic. This, too, needs broker
-// state only.
+// partitions interleave the output topic. For the keyed windowedcount
+// query each output pane pairs with its latest contributing input — the
+// record whose arrival completed the window — so the latency measures
+// pane-completion delay. This, too, needs broker state only.
 //
 // Usage:
 //
 //	resultcalc -in broker.snap -topic output
 //	resultcalc -in broker.snap -latency -query grep
+//	resultcalc -in broker.snap -latency -query windowedcount
 package main
 
 import (
@@ -46,7 +49,7 @@ func run(args []string, out io.Writer) error {
 		topic    = fs.String("topic", "output", "topic to measure")
 		latency  = fs.Bool("latency", false, "compute per-record event-time latency against -input")
 		inTopic  = fs.String("input", "input", "input topic for -latency pairing")
-		queryArg = fs.String("query", "identity", "query semantics for -latency pairing: identity|sample|projection|grep")
+		queryArg = fs.String("query", "identity", "query semantics for -latency pairing: identity|sample|projection|grep|windowedcount")
 		seed     = fs.Uint64("seed", 7, "sample query seed for -latency pairing")
 	)
 	if err := fs.Parse(args); err != nil {

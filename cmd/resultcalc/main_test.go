@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -147,6 +148,70 @@ func TestLatencyPairing(t *testing.T) {
 			t.Errorf("%s is not the expected 5s:\n%s", q, out)
 		}
 	}
+}
+
+// TestLatencyPairingWindowedCount checks the keyed pairing path: each
+// output pane pairs with its latest contributing input record.
+func TestLatencyPairingWindowedCount(t *testing.T) {
+	clock := time.Date(2026, 6, 11, 12, 0, 0, 0, time.UTC)
+	b := broker.New(broker.WithClock(func() time.Time { return clock }))
+	for _, topic := range []string{"input", "output"} {
+		if err := b.CreateTopic(topic, broker.TopicConfig{Partitions: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := b.NewProducer(broker.ProducerConfig{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two records of user 111 share one event-time window; the pane's
+	// latency anchors on the second (completing) record.
+	eventSec := time.Date(2006, 3, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(user string) []byte {
+		return []byte(user + "\tquery\t" + eventSec.Format("2006-01-02 15:04:05") + "\t\t")
+	}
+	base := clock
+	for i, rec := range [][]byte{mk("111"), mk("111")} {
+		clock = base.Add(time.Duration(i) * time.Second)
+		if err := p.Send("input", nil, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The single pane, appended 5s after the completing input (+1s).
+	clock = base.Add(6 * time.Second)
+	out := []byte(fmtUnix(eventSec) + "\t111\t2")
+	if err := p.Send("output", nil, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wc.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SaveSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-latency", "-query", "windowedcount"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, "event-time latency (windowedcount pairing, n=1):") {
+		t.Errorf("missing latency header:\n%s", got)
+	}
+	// Pane at +6s, completing input at +1s: 5s.
+	if !strings.Contains(got, "max:  5s") {
+		t.Errorf("pane latency should anchor on the completing input (5s):\n%s", got)
+	}
+}
+
+func fmtUnix(t time.Time) string {
+	return strconv.FormatInt(t.Unix(), 10)
 }
 
 func TestLatencyPairingMismatch(t *testing.T) {

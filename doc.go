@@ -9,6 +9,42 @@
 // StreamBench queries in native and Beam variants, and a harness that
 // regenerates every figure and table of the paper's evaluation.
 //
+// # Queries
+//
+// The paper's four stateless queries — Identity, Sample (~40% seeded
+// subset), Projection (first column) and Grep (~0.3% regex matches) —
+// plus WindowedCount, the stateful workload the paper excluded:
+// per-user-ID counts over 1-second event-time tumbling windows, emitted
+// as "<window-start-unix>\t<user>\t<count>". Event time is the record's
+// own query-time column, so the output set is deterministic and
+// byte-identical (sorted) across systems, APIs, parallelism levels and
+// ingestion modes.
+//
+// # Watermarks and stateful processing
+//
+// internal/watermark implements event-time progress in three pieces:
+// generation (a per-partition/per-instance watermark of max event time
+// seen minus a bounded out-of-orderness, monotonic), propagation (the
+// minimum across an operator's inputs), and finalization (a source that
+// meets the broker.EndOfInput contract jumps to EndOfTime, releasing
+// every remaining window). Tumbling pane state on top fires (window,
+// key) panes in a deterministic order — ascending window, keys first
+// seen first — as soon as the watermark passes a window's end.
+//
+// Each engine flushes panes at its natural clock: Flink tuple-at-a-time
+// (DataStream.TumblingCountWindow behind KeyBy), Spark Streaming at
+// micro-batch boundaries (DStream.ReduceByKeyAndWindow, a keyed state
+// path persisting across batches; RepartitionByKey reunites keys above
+// parallelism 1), Apex at streaming-window boundaries (the
+// TumblingCountWindow operator behind SetStreamKeyed keyed streams).
+// The Beam runners all deploy the shared executable graphx.GBKState for
+// GroupByKey — the Spark runner's paper-era stateful rejection
+// (ErrStatefulUnsupported) is lifted. Capability gaps that remain (e.g.
+// non-global windowing without an element-derived event-time extractor)
+// are reported by wrapping the shared beam.ErrUnsupported sentinel, and
+// the harness records such cells as skipped-with-reason instead of
+// aborting the matrix.
+//
 // # Runner API
 //
 // Pipelines execute through a single interface, with engines selected
@@ -82,5 +118,5 @@
 // parallelism 1, as an order-insensitive multiset above it (parallel
 // sink tasks interleave appends into the single output partition).
 //
-// See README.md, DESIGN.md and EXPERIMENTS.md.
+// See README.md.
 package beambench

@@ -6,8 +6,9 @@
 // GroupByKey over an unbounded collection requires a trigger or
 // non-global windowing, Section II-A). It runs on the direct runner,
 // prints the most frequent search terms, and then re-runs the stateful
-// part on the Flink runner — which, per the Beam capability matrix,
-// supports stateful processing while the Spark runner does not.
+// part on the Flink runner and on the Spark runner — whose keyed
+// micro-batch state path lifted the paper-era capability-matrix gap
+// (GroupByKey used to be rejected with ErrStatefulUnsupported).
 //
 //	go run ./examples/wordcount
 package main
@@ -108,9 +109,8 @@ func run() error {
 	return runStatefulOnEngines(b)
 }
 
-// runStatefulOnEngines demonstrates the capability matrix: the same
-// stateful pipeline runs on the Flink runner but is rejected by the
-// Spark runner.
+// runStatefulOnEngines runs the same stateful pipeline on the Flink
+// runner and on the Spark runner's micro-batch state path.
 func runStatefulOnEngines(b *broker.Broker) error {
 	build := func() (*beam.Pipeline, error) {
 		if err := b.DeleteTopic("counts"); err != nil && !errors.Is(err, broker.ErrUnknownTopic) {
@@ -159,7 +159,9 @@ func runStatefulOnEngines(b *broker.Broker) error {
 	}
 	fmt.Printf("\nflink runner grouped %d distinct words (stateful: supported)\n", n)
 
-	// Spark runner: stateful processing rejected (capability matrix).
+	// Spark runner: since the keyed micro-batch state path landed, the
+	// same stateful pipeline runs here too — the paper-era capability
+	// gap (ErrStatefulUnsupported) is gone.
 	p2, err := build()
 	if err != nil {
 		return err
@@ -170,13 +172,13 @@ func runStatefulOnEngines(b *broker.Broker) error {
 	}
 	sc.Start()
 	defer sc.Stop()
-	_, err = sparkrunner.Run(p2, sparkrunner.Config{Cluster: sc})
-	if errors.Is(err, sparkrunner.ErrStatefulUnsupported) {
-		fmt.Println("spark runner rejected the same pipeline: stateful processing not supported")
-		return nil
+	if _, err := sparkrunner.Run(p2, sparkrunner.Config{Cluster: sc}); err != nil {
+		return err
 	}
+	n, err = b.RecordCount("counts")
 	if err != nil {
 		return err
 	}
-	return errors.New("spark runner unexpectedly accepted a stateful pipeline")
+	fmt.Printf("spark runner grouped %d distinct words (stateful: now supported via the micro-batch state path)\n", n)
+	return nil
 }

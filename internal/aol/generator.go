@@ -59,6 +59,13 @@ type Config struct {
 	// ClickURL present. The original log has clicks on roughly half of
 	// the entries; defaults to 0.5 when zero.
 	ClickProbability float64
+	// QueryTimeStep spaces consecutive records' query times; defaults to
+	// one second, the original log's typical cadence. The query-time
+	// column has second granularity, so steps below a second make
+	// several consecutive records share an event-time second — the knob
+	// windowed-aggregation tests use to put multiple records (and users)
+	// into one tumbling window.
+	QueryTimeStep time.Duration
 }
 
 // Validate checks the configuration and applies documented defaults.
@@ -77,6 +84,12 @@ func (c *Config) Validate() error {
 	}
 	if c.ClickProbability < 0 || c.ClickProbability > 1 {
 		return fmt.Errorf("aol: click probability %v outside [0,1]", c.ClickProbability)
+	}
+	if c.QueryTimeStep == 0 {
+		c.QueryTimeStep = time.Second
+	}
+	if c.QueryTimeStep < 0 {
+		return fmt.Errorf("aol: negative query time step %v", c.QueryTimeStep)
 	}
 	return nil
 }
@@ -143,7 +156,7 @@ func (g *Generator) Next() (rec Record, ok bool) {
 
 	rec.UserID = fmt.Sprintf("%d", 100000+g.rng.IntN(900000))
 	rec.Query = g.query(idx)
-	rec.QueryTime = g.baseEpoch.Add(time.Duration(idx) * time.Second).Format("2006-01-02 15:04:05")
+	rec.QueryTime = g.baseEpoch.Add(time.Duration(idx) * g.cfg.QueryTimeStep).Format("2006-01-02 15:04:05")
 	rec.ItemRank = -1
 	if g.rng.Float64() < g.cfg.ClickProbability {
 		rec.ItemRank = 1 + g.rng.IntN(10)

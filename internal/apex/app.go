@@ -43,6 +43,13 @@ type OperatorContext interface {
 	PartitionIndex() int
 	// PartitionCount is the operator's partition count.
 	PartitionCount() int
+	// InputPartitions is the number of upstream partitions publishing
+	// into this operator's input stream (0 for input operators).
+	// Stateful event-time operators size their per-input watermark
+	// tracking with it: the combined watermark is the minimum across
+	// the upstream streams, so one racing upstream cannot fire a pane
+	// whose records another upstream still holds.
+	InputPartitions() int
 	// Charge adds simulated processing cost to this partition.
 	Charge(d time.Duration)
 }
@@ -62,6 +69,33 @@ type GenericOperator interface {
 	Process(tuple []byte, emit func([]byte) error) error
 	Teardown() error
 }
+
+// Optional GenericOperator hooks; the runtime checks for them per
+// partition instance.
+type (
+	// WindowEndAware operators are told about streaming-window
+	// boundaries: EndWindow runs when the upstream window marker
+	// arrives, before the window's batch publishes downstream, so
+	// emissions ride in the closing window. Stateful windowed operators
+	// flush watermark-ready panes here.
+	WindowEndAware interface {
+		EndWindow(emit func([]byte) error) error
+	}
+	// StreamFlusher operators emit remaining state when their input
+	// stream ends (all upstream partitions finished — the
+	// broker.EndOfInput contract propagated through the DAG).
+	StreamFlusher interface {
+		EndStream(emit func([]byte) error) error
+	}
+	// SenderAware operators are told which upstream partition published
+	// each tuple; the runtime calls ProcessFrom instead of Process.
+	// Stateful event-time operators use the index for per-input
+	// watermark generation (each upstream's tuple stream is ordered,
+	// the merge of them is not).
+	SenderAware interface {
+		ProcessFrom(from int, tuple []byte, emit func([]byte) error) error
+	}
+)
 
 // OutputOperator consumes tuples.
 type OutputOperator interface {
@@ -109,6 +143,10 @@ type streamDef struct {
 	name     string
 	from, to string
 	perTuple bool
+	// keyFn, when set, routes tuples to downstream partitions by key
+	// hash instead of round-robin, so all tuples with equal keys reach
+	// the same partition (keyed partitioning for stateful operators).
+	keyFn func(tuple []byte) ([]byte, error)
 }
 
 // Application is an Apex application DAG under construction.
@@ -231,6 +269,21 @@ func (a *Application) SetStreamPerTuple(name string, perTuple bool) *Application
 		return a
 	}
 	s.perTuple = perTuple
+	return a
+}
+
+// SetStreamKeyed switches a stream from round-robin tuple distribution
+// to keyed partitioning: the key extractor runs on every published
+// tuple and its hash selects the downstream partition, so operators
+// holding keyed state (windowed aggregations) see every record of a key
+// in one partition. A nil key restores round-robin.
+func (a *Application) SetStreamKeyed(name string, key func(tuple []byte) ([]byte, error)) *Application {
+	s, ok := a.streams[name]
+	if !ok {
+		a.fail(fmt.Errorf("apex: unknown stream %q", name))
+		return a
+	}
+	s.keyFn = key
 	return a
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"beambench/internal/keyhash"
 	"beambench/internal/metrics"
 	"beambench/internal/simcost"
 	"beambench/internal/yarn"
@@ -247,10 +248,12 @@ func (at *attempt) failure() error {
 }
 
 // streamBatch is one buffer-server publication: tuples plus an optional
-// streaming-window boundary marker.
+// streaming-window boundary marker, tagged with the publishing upstream
+// partition (for SenderAware subscribers).
 type streamBatch struct {
 	tuples    [][]byte
 	windowEnd bool
+	from      int
 }
 
 func (s *Stram) runAttempt() error {
@@ -350,18 +353,24 @@ func (s *Stram) runAttempt() error {
 
 // partitionContext implements OperatorContext.
 type partitionContext struct {
-	idx   int
-	count int
-	meter *simcost.Meter
+	idx     int
+	count   int
+	inParts int
+	meter   *simcost.Meter
 }
 
 func (c *partitionContext) PartitionIndex() int    { return c.idx }
 func (c *partitionContext) PartitionCount() int    { return c.count }
+func (c *partitionContext) InputPartitions() int   { return c.inParts }
 func (c *partitionContext) Charge(d time.Duration) { c.meter.Charge(d) }
 
 func (at *attempt) runPartition(op *opDef, part int, ctr *yarn.Container) error {
 	s := at.stram
-	ctx := &partitionContext{idx: part, count: s.partitionsOf(op), meter: s.cfg.Sim.NewMeter()}
+	inParts := 0
+	if op.inStream != nil {
+		inParts = s.partitionsOf(s.app.ops[op.inStream.from])
+	}
+	ctx := &partitionContext{idx: part, count: s.partitionsOf(op), inParts: inParts, meter: s.cfg.Sim.NewMeter()}
 	defer ctx.meter.Flush()
 
 	// Telemetry handle, resolved once per partition; marks happen at
@@ -375,6 +384,7 @@ func (at *attempt) runPartition(op *opDef, part int, ctr *yarn.Container) error 
 	for i, out := range op.outStreams {
 		senders[i] = &streamSender{
 			def:     out,
+			fromIdx: part,
 			targets: at.inbox[out.name],
 			meter:   ctx.meter,
 			costs:   s.cfg.Costs,
@@ -482,17 +492,35 @@ func (at *attempt) runGenericPartition(op *opDef, ctx *partitionContext, ctr *ya
 		return nil
 	}
 
+	// Sender-aware operators (keyed event-time state) are told which
+	// upstream partition each tuple came from, so they can track one
+	// watermark per input stream.
+	sa, senderAware := inst.(SenderAware)
 	for batch := range in {
 		if !ctr.Alive() {
 			return fmt.Errorf("apex: container %s of %q[%d] killed", ctr.ID, op.name, ctx.idx)
 		}
 		for _, t := range batch.tuples {
 			op.stats.in.Add(1)
-			if err := inst.Process(t, emit); err != nil {
+			var err error
+			if senderAware {
+				err = sa.ProcessFrom(batch.from, t, emit)
+			} else {
+				err = inst.Process(t, emit)
+			}
+			if err != nil {
 				return fmt.Errorf("apex: operator %q[%d]: %w", op.name, ctx.idx, err)
 			}
 		}
 		if batch.windowEnd {
+			// Window-boundary flush: a window-aware stateful operator
+			// (windowed aggregation) emits its watermark-ready panes into
+			// the closing window before it publishes downstream.
+			if wa, ok := inst.(WindowEndAware); ok {
+				if err := wa.EndWindow(emit); err != nil {
+					return fmt.Errorf("apex: operator %q[%d] end window: %w", op.name, ctx.idx, err)
+				}
+			}
 			for _, snd := range senders {
 				if snd.def.perTuple {
 					if err := snd.publishMarker(); err != nil {
@@ -514,7 +542,14 @@ func (at *attempt) runGenericPartition(op *opDef, ctx *partitionContext, ctr *ya
 			}
 		}
 	}
-	// Flush a trailing partial window (no boundary marker arrived).
+	// End of stream: stateful operators release their remaining state
+	// (the upstream sources met the broker.EndOfInput contract), then a
+	// trailing partial window publishes without a boundary marker.
+	if fl, ok := inst.(StreamFlusher); ok {
+		if err := fl.EndStream(emit); err != nil {
+			return fmt.Errorf("apex: operator %q[%d] end stream: %w", op.name, ctx.idx, err)
+		}
+	}
 	if len(pending) > 0 {
 		for _, snd := range senders {
 			if !snd.def.perTuple {
@@ -588,6 +623,7 @@ func allPerTuple(senders []*streamSender) bool {
 // one stream.
 type streamSender struct {
 	def     *streamDef
+	fromIdx int
 	targets []chan streamBatch
 	rr      int
 	meter   *simcost.Meter
@@ -595,18 +631,37 @@ type streamSender struct {
 	stop    <-chan struct{}
 }
 
-// publishWindow splits the window's tuples round-robin over the
-// downstream partitions and publishes one batch (with window marker) to
-// every partition, matching the engine's windowed buffer-server mode.
+// partitionOf selects the downstream partition for one tuple: keyed
+// hash routing when the stream is keyed (SetStreamKeyed), round-robin
+// otherwise.
+func (ss *streamSender) partitionOf(t []byte) (int, error) {
+	if ss.def.keyFn != nil {
+		key, err := ss.def.keyFn(t)
+		if err != nil {
+			return 0, fmt.Errorf("apex: stream %q key: %w", ss.def.name, err)
+		}
+		return keyhash.Partition(key, len(ss.targets)), nil
+	}
+	i := ss.rr % len(ss.targets)
+	ss.rr++
+	return i, nil
+}
+
+// publishWindow splits the window's tuples over the downstream
+// partitions — round-robin, or by key hash on a keyed stream — and
+// publishes one batch (with window marker) to every partition, matching
+// the engine's windowed buffer-server mode.
 func (ss *streamSender) publishWindow(tuples [][]byte) error {
 	parts := make([][][]byte, len(ss.targets))
 	for _, t := range tuples {
-		i := ss.rr % len(ss.targets)
-		ss.rr++
+		i, err := ss.partitionOf(t)
+		if err != nil {
+			return err
+		}
 		parts[i] = append(parts[i], cloneTuple(t))
 	}
 	for i, target := range ss.targets {
-		if err := ss.send(target, streamBatch{tuples: parts[i], windowEnd: true}, len(parts[i])); err != nil {
+		if err := ss.send(target, streamBatch{tuples: parts[i], windowEnd: true, from: ss.fromIdx}, len(parts[i])); err != nil {
 			return err
 		}
 	}
@@ -616,15 +671,17 @@ func (ss *streamSender) publishWindow(tuples [][]byte) error {
 // publishTuple publishes one tuple unbatched — one buffer-server
 // round trip per tuple, the Beam runner's output mode.
 func (ss *streamSender) publishTuple(t []byte) error {
-	target := ss.targets[ss.rr%len(ss.targets)]
-	ss.rr++
-	return ss.send(target, streamBatch{tuples: [][]byte{cloneTuple(t)}}, 1)
+	i, err := ss.partitionOf(t)
+	if err != nil {
+		return err
+	}
+	return ss.send(ss.targets[i], streamBatch{tuples: [][]byte{cloneTuple(t)}, from: ss.fromIdx}, 1)
 }
 
 // publishMarker broadcasts a window boundary to all partitions.
 func (ss *streamSender) publishMarker() error {
 	for _, target := range ss.targets {
-		if err := ss.send(target, streamBatch{windowEnd: true}, 0); err != nil {
+		if err := ss.send(target, streamBatch{windowEnd: true, from: ss.fromIdx}, 0); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,101 @@
+package apex
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"beambench/internal/watermark"
+)
+
+// TumblingCountWindow returns the engine's keyed windowed aggregation
+// operator: a per-(window, key) count over event-time tumbling windows.
+// The operator keeps one watermark generator per upstream partition
+// (watermark.MergedGenerator — minimum-across-inputs propagation):
+// every upstream publishes an ordered tuple stream, but their merge at
+// this partition is not ordered, so pane readiness follows the slowest
+// input. Panes flush at streaming-window boundaries (EndWindow) — the
+// engine's natural batch clock — ascending by window with keys in
+// first-seen order, and the remaining state drains when the input
+// stream ends.
+//
+// Route the input stream with Application.SetStreamKeyed using the same
+// key extractor, so every key's tuples reach one partition.
+func TumblingCountWindow(size, bound time.Duration,
+	eventTime func(tuple []byte) (time.Time, error),
+	key func(tuple []byte) ([]byte, error),
+	format func(windowStart time.Time, key []byte, count int64) []byte,
+) GenericFactory {
+	switch {
+	case size <= 0:
+		return failingGeneric(fmt.Errorf("apex: window size must be positive, got %v", size))
+	case eventTime == nil, key == nil, format == nil:
+		return failingGeneric(errors.New("apex: windowed count needs event-time, key and format fns"))
+	}
+	return func(ctx OperatorContext) (GenericOperator, error) {
+		state, err := watermark.NewTumblingState[int64](size)
+		if err != nil {
+			return nil, err
+		}
+		return &windowCountOperator{
+			gen:       watermark.NewMergedGenerator(ctx.InputPartitions(), bound),
+			state:     state,
+			eventTime: eventTime,
+			key:       key,
+			format:    format,
+		}, nil
+	}
+}
+
+// windowCountOperator implements GenericOperator plus the sender,
+// window and stream hooks.
+type windowCountOperator struct {
+	gen       *watermark.MergedGenerator
+	state     *watermark.TumblingState[int64]
+	eventTime func([]byte) (time.Time, error)
+	key       func([]byte) ([]byte, error)
+	format    func(time.Time, []byte, int64) []byte
+}
+
+// ProcessFrom implements SenderAware: accumulate one tuple, observing
+// its event time under the publishing upstream's watermark; panes fire
+// only at window boundaries.
+func (o *windowCountOperator) ProcessFrom(from int, t []byte, emit func([]byte) error) error {
+	et, err := o.eventTime(t)
+	if err != nil {
+		return fmt.Errorf("apex: window event time: %w", err)
+	}
+	key, err := o.key(t)
+	if err != nil {
+		return fmt.Errorf("apex: window key: %w", err)
+	}
+	o.state.Upsert(et, string(key), func(c *int64) { *c++ })
+	o.gen.Observe(from, et)
+	return nil
+}
+
+// Process implements GenericOperator for direct (runtime-external) use;
+// the runtime calls ProcessFrom.
+func (o *windowCountOperator) Process(t []byte, emit func([]byte) error) error {
+	return o.ProcessFrom(0, t, emit)
+}
+
+// EndWindow implements WindowEndAware: watermark-ready panes flush on
+// the streaming-window boundary.
+func (o *windowCountOperator) EndWindow(emit func([]byte) error) error {
+	return o.state.FireReady(o.gen.Current(), func(p watermark.Pane[int64]) error {
+		return emit(o.format(p.Start, []byte(p.Key), p.Acc))
+	})
+}
+
+// EndStream implements StreamFlusher: the input ended, so every input's
+// watermark finalizes and every remaining pane fires.
+func (o *windowCountOperator) EndStream(emit func([]byte) error) error {
+	o.gen.FinalizeAll()
+	return o.state.FireAll(func(p watermark.Pane[int64]) error {
+		return emit(o.format(p.Start, []byte(p.Key), p.Acc))
+	})
+}
+
+// Teardown implements GenericOperator.
+func (o *windowCountOperator) Teardown() error { return nil }

@@ -1,0 +1,153 @@
+package apex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"beambench/internal/yarn"
+)
+
+var winEpoch = time.Date(2006, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+func windowedTuple(sec int, key string) []byte {
+	return []byte(fmt.Sprintf("%d|%s", sec, key))
+}
+
+func winEventTime(t []byte) (time.Time, error) {
+	var sec int
+	if _, err := fmt.Sscanf(string(t), "%d|", &sec); err != nil {
+		return time.Time{}, err
+	}
+	return winEpoch.Add(time.Duration(sec) * time.Second), nil
+}
+
+func winKey(t []byte) ([]byte, error) {
+	i := strings.IndexByte(string(t), '|')
+	return t[i+1:], nil
+}
+
+func winFormat(start time.Time, key []byte, count int64) []byte {
+	return []byte(fmt.Sprintf("%d:%s=%d", start.Sub(winEpoch)/time.Second, key, count))
+}
+
+func runWindowedApp(t *testing.T, input [][]byte, parallelism, windowTuples int) []string {
+	t.Helper()
+	cluster, err := yarn.NewCluster(yarn.ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	t.Cleanup(cluster.Stop)
+
+	collector := NewTupleCollector()
+	app := NewApplication("windowed")
+	app.AddInput("in", SliceInput(input))
+	app.AddOperator("count", TumblingCountWindow(time.Second, 0, winEventTime, winKey, winFormat))
+	app.AddOutput("out", CollectOutput(collector))
+	app.AddStream("s1", "in", "count")
+	app.AddStream("s2", "count", "out")
+	app.SetStreamKeyed("s1", winKey)
+
+	stram, err := Launch(cluster, app, LaunchConfig{Parallelism: parallelism, WindowTuples: windowTuples})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stram.Await(); err != nil {
+		t.Fatal(err)
+	}
+	return collector.Strings()
+}
+
+func TestTumblingCountWindowCountsPerWindowAndKey(t *testing.T) {
+	input := [][]byte{
+		windowedTuple(0, "a"),
+		windowedTuple(0, "b"),
+		windowedTuple(0, "a"),
+		windowedTuple(1, "a"),
+		windowedTuple(2, "b"),
+	}
+	got := runWindowedApp(t, input, 1, 0)
+	want := []string{"0:a=2", "0:b=1", "1:a=1", "2:b=1"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("panes = %v, want %v", got, want)
+	}
+}
+
+// TestTumblingCountWindowFiresOnStreamingWindowBoundary pins the
+// EndWindow flush: with a 2-tuple streaming window, the pane of an
+// already-passed event-time window must be published at the next window
+// boundary, before the input ends.
+func TestTumblingCountWindowFiresOnStreamingWindowBoundary(t *testing.T) {
+	input := [][]byte{
+		windowedTuple(0, "a"),
+		windowedTuple(1, "a"), // watermark passes window 0 here
+		windowedTuple(1, "b"),
+		windowedTuple(9, "z"), // forces another boundary
+	}
+	got := runWindowedApp(t, input, 1, 2)
+	want := []string{"0:a=1", "1:a=1", "1:b=1", "9:z=1"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("panes = %v, want %v", got, want)
+	}
+}
+
+// TestTumblingCountWindowKeyedPartitioning checks that keyed stream
+// routing keeps every (window, key) pane whole at parallelism 2.
+func TestTumblingCountWindowKeyedPartitioning(t *testing.T) {
+	var input [][]byte
+	for i := range 80 {
+		input = append(input, windowedTuple(i/20, fmt.Sprintf("k%d", i%4)))
+	}
+	got := runWindowedApp(t, input, 2, 0)
+	// 4 windows x 4 keys, 5 records each.
+	sort.Strings(got)
+	counts := make(map[string]int)
+	for _, pane := range got {
+		counts[pane]++
+	}
+	if len(counts) != 16 {
+		t.Fatalf("distinct panes = %d, want 16: %v", len(counts), got)
+	}
+	for pane, n := range counts {
+		if n != 1 {
+			t.Errorf("pane %q emitted %d times (key split across partitions)", pane, n)
+		}
+		if !strings.HasSuffix(pane, "=5") {
+			t.Errorf("pane %q count wrong, want =5", pane)
+		}
+	}
+}
+
+func TestTumblingCountWindowValidation(t *testing.T) {
+	cluster, err := yarn.NewCluster(yarn.ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	t.Cleanup(cluster.Stop)
+	collector := NewTupleCollector()
+	app := NewApplication("bad")
+	app.AddInput("in", SliceInput([][]byte{windowedTuple(0, "a")}))
+	app.AddOperator("count", TumblingCountWindow(0, 0, winEventTime, winKey, winFormat))
+	app.AddOutput("out", CollectOutput(collector))
+	app.AddStream("s1", "in", "count")
+	app.AddStream("s2", "count", "out")
+	stram, err := Launch(cluster, app, LaunchConfig{})
+	if err == nil {
+		_, err = stram.Await()
+	}
+	if err == nil {
+		t.Error("zero window size accepted")
+	}
+}
+
+func TestSetStreamKeyedUnknownStream(t *testing.T) {
+	app := NewApplication("bad")
+	app.SetStreamKeyed("nope", winKey)
+	if err := app.validate(); err == nil {
+		t.Error("unknown stream accepted")
+	}
+}

@@ -238,11 +238,20 @@ func (KafkaRecordCoder) Decode(b []byte) (any, error) {
 }
 
 // GroupedCoder codes Grouped elements; only string/bytes keys and values
-// are supported, sufficient for the SDK's built-in aggregations.
+// are supported, sufficient for the SDK's built-in aggregations. The
+// pane's window travels with the element (a kind tag plus interval
+// bounds), so windowed aggregates keep their window across the engine
+// runners' coder boundaries.
 type GroupedCoder struct{}
 
 // Name implements Coder.
 func (GroupedCoder) Name() string { return "grouped" }
+
+// Window kind tags in the Grouped wire format.
+const (
+	groupedGlobalWindow   = 0
+	groupedIntervalWindow = 1
+)
 
 // Encode implements Coder.
 func (GroupedCoder) Encode(v any) ([]byte, error) {
@@ -256,6 +265,16 @@ func (GroupedCoder) Encode(v any) ([]byte, error) {
 	}
 	out := binary.AppendUvarint(nil, uint64(len(key)))
 	out = append(out, key...)
+	switch w := g.Window.(type) {
+	case nil, GlobalWindow:
+		out = append(out, groupedGlobalWindow)
+	case IntervalWindow:
+		out = append(out, groupedIntervalWindow)
+		out = binary.AppendVarint(out, w.Start.UnixNano())
+		out = binary.AppendVarint(out, w.End.UnixNano())
+	default:
+		return nil, fmt.Errorf("beam: grouped coder: unsupported window type %T", g.Window)
+	}
 	out = binary.AppendUvarint(out, uint64(len(g.Values)))
 	for _, val := range g.Values {
 		vb, err := scalarToBytes(val)
@@ -278,6 +297,29 @@ func (GroupedCoder) Decode(b []byte) (any, error) {
 	b = b[n:]
 	g := Grouped{Key: string(b[:klen])}
 	b = b[klen:]
+	if len(b) == 0 {
+		return nil, fail
+	}
+	kind := b[0]
+	b = b[1:]
+	switch kind {
+	case groupedGlobalWindow:
+		g.Window = GlobalWindow{}
+	case groupedIntervalWindow:
+		start, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, fail
+		}
+		b = b[n:]
+		end, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, fail
+		}
+		b = b[n:]
+		g.Window = IntervalWindow{Start: time.Unix(0, start).UTC(), End: time.Unix(0, end).UTC()}
+	default:
+		return nil, fail
+	}
 	count, n := binary.Uvarint(b)
 	if n <= 0 {
 		return nil, fail

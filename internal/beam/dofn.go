@@ -16,6 +16,11 @@ type KV struct {
 type Grouped struct {
 	Key    any
 	Values []any
+	// Window is the pane's window, carried with the element so
+	// downstream transforms can read window bounds even on engine
+	// runners, where coder boundaries erase the flow context. Nil means
+	// the global window.
+	Window Window
 }
 
 // Context carries per-element runtime information into a DoFn.

@@ -1,0 +1,277 @@
+package graphx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"beambench/internal/beam"
+	"beambench/internal/simcost"
+	"beambench/internal/watermark"
+)
+
+// ErrUnsupportedWindowing marks GroupByKey windowing shapes the shared
+// executable cannot run: a non-global window fn other than FixedWindows,
+// or non-global windowing without an element-derived event-time
+// extractor (deterministic windowing is impossible once coder boundaries
+// erased the flow timestamps). It wraps beam.ErrUnsupported so runner
+// and harness callers can match it generically.
+var ErrUnsupportedWindowing = fmt.Errorf("%w: GroupByKey windowing", beam.ErrUnsupported)
+
+// GBKConfig parameterizes the shared GroupByKey executable.
+type GBKConfig struct {
+	// Windowing is the input collection's strategy: global windows (with
+	// an optional count trigger) or event-time FixedWindows with an
+	// EventTime extractor.
+	Windowing beam.WindowingStrategy
+	// Input is the KV boundary coder of the consumed collection.
+	Input beam.KVCoder
+	// Output encodes the emitted Grouped panes.
+	Output beam.Coder
+	// Costs is the runner's latency model; Charge receives the modeled
+	// durations (nil disables charging).
+	Costs  simcost.Costs
+	Charge func(time.Duration)
+	// Inputs is the number of distinct ordered upstream streams feeding
+	// this instance (0 or 1: a single stream). In event-time mode the
+	// executable keeps one watermark generator per input and fires on
+	// their minimum (watermark.MergedGenerator), so an instance fed by
+	// several racing upstream partitions never fires a pane whose
+	// records a lagging upstream still holds. Callers with several
+	// inputs must use ProcessFrom. The per-input generators are sound
+	// only when each input stream is itself event-time ordered (up to
+	// Windowing.Bound); see Conservative for topologies that cannot
+	// guarantee that.
+	Inputs int
+	// Conservative disables observation-based watermark advancement:
+	// the watermark claims no progress while records flow and jumps to
+	// end-of-time only at Flush (the broker.EndOfInput finalization).
+	// This is the sound watermark for an instance whose input streams
+	// are unordered merges with unbounded disorder — e.g. the Apex
+	// runner's keyed stream when intermediate multi-partition stages
+	// have re-interleaved the records — where any bounded
+	// out-of-orderness assumption could fire a pane before all its
+	// records arrived. Panes then fire exactly once, complete, at end
+	// of input.
+	Conservative bool
+}
+
+// GBKState is the stateful GroupByKey executable every engine runner
+// deploys, sharing one pane-firing semantics across Flink, Spark and
+// Apex (and matching the direct runner's reference output):
+//
+//   - Global windows: values group per key; an AfterCount trigger fires
+//     a key's pane every N values, and Flush emits the remaining groups
+//     in first-seen key order — the pre-existing bounded behaviour.
+//   - Event-time FixedWindows: each element's window is derived from the
+//     element itself (Windowing.EventTime applied to the KV value); a
+//     per-instance watermark generator with the strategy's
+//     out-of-orderness bound drives pane firing. FireReady — called by
+//     each engine at its natural boundary (per record on tuple-at-a-time
+//     Flink, per micro-batch on Spark, per streaming window on Apex) —
+//     emits every window the watermark has passed, ascending by window
+//     start with keys in first-seen order; Flush finalizes the watermark
+//     (the source met broker.EndOfInput) and fires the rest in the same
+//     order. The firing order depends only on the record arrival order,
+//     which is what makes the engines byte-identical on ordered inputs.
+//
+// A GBKState instance is owned by one engine subtask/partition; keyed
+// routing (all records of a key reaching the same instance) is the
+// engine's responsibility.
+type GBKState struct {
+	cfg      GBKConfig
+	windowed bool
+
+	// Global-window mode.
+	fireAfter int
+	groups    map[string]*globalGroup
+	order     []string
+
+	// Event-time mode.
+	gen   *watermark.MergedGenerator
+	state *watermark.TumblingState[windowAcc]
+}
+
+// globalGroup is one key's pending values in global-window mode.
+type globalGroup struct {
+	key    any
+	values []any
+}
+
+// windowAcc is one (window, key) pane accumulator in event-time mode.
+type windowAcc struct {
+	key    any
+	values []any
+}
+
+// NewGBKState validates the windowing shape and returns a fresh
+// executable instance.
+func NewGBKState(cfg GBKConfig) (*GBKState, error) {
+	if cfg.Input.Key == nil || cfg.Input.Value == nil {
+		return nil, errors.New("graphx: GroupByKey input is not KV-coded")
+	}
+	if cfg.Output == nil {
+		return nil, errors.New("graphx: GroupByKey needs an output coder")
+	}
+	g := &GBKState{cfg: cfg}
+	ws := cfg.Windowing
+	if ws.IsGlobal() {
+		if ws.Trigger != nil {
+			g.fireAfter = ws.Trigger.FireAfter()
+		}
+		g.groups = make(map[string]*globalGroup)
+		return g, nil
+	}
+	fixed, ok := ws.Fn.(beam.FixedWindows)
+	if !ok {
+		return nil, fmt.Errorf("%w: window fn %s", ErrUnsupportedWindowing, ws.Fn.Name())
+	}
+	if ws.EventTime == nil {
+		return nil, fmt.Errorf("%w: non-global windowing without an event-time extractor", ErrUnsupportedWindowing)
+	}
+	state, err := watermark.NewTumblingState[windowAcc](fixed.Size)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnsupportedWindowing, err)
+	}
+	g.windowed = true
+	g.gen = watermark.NewMergedGenerator(cfg.Inputs, ws.Bound)
+	g.state = state
+	return g, nil
+}
+
+// Windowed reports whether the instance runs in event-time mode.
+func (g *GBKState) Windowed() bool { return g.windowed }
+
+// Charge rebinds the cost sink. Engines whose task meters are scoped to
+// a batch (Spark) rebind before each delivery; nil disables charging.
+func (g *GBKState) Charge(fn func(time.Duration)) { g.cfg.Charge = fn }
+
+func (g *GBKState) charge(d time.Duration) {
+	if g.cfg.Charge != nil {
+		g.cfg.Charge(d)
+	}
+}
+
+// Process consumes one encoded KV record from a single-input stream;
+// see ProcessFrom.
+func (g *GBKState) Process(rec []byte, emit func([]byte) error) error {
+	return g.ProcessFrom(0, rec, emit)
+}
+
+// ProcessFrom consumes one encoded KV record published by the given
+// input stream. In event-time mode it only accumulates (observing the
+// event time under that input's watermark); the engine decides when to
+// FireReady. In global mode a count trigger may fire the key's pane
+// immediately.
+func (g *GBKState) ProcessFrom(input int, rec []byte, emit func([]byte) error) error {
+	elem, err := g.cfg.Input.Decode(rec)
+	if err != nil {
+		return fmt.Errorf("graphx: GroupByKey decode: %w", err)
+	}
+	g.charge(g.cfg.Costs.CoderPerRecord)
+	g.charge(g.cfg.Costs.BeamDoFnPerRecord)
+	kv, ok := elem.(beam.KV)
+	if !ok {
+		return fmt.Errorf("graphx: GroupByKey element %T is not a KV", elem)
+	}
+	ks, err := beam.KeyString(kv.Key)
+	if err != nil {
+		return err
+	}
+
+	if g.windowed {
+		et, err := g.cfg.Windowing.EventTime(kv.Value)
+		if err != nil {
+			return fmt.Errorf("graphx: GroupByKey event time: %w", err)
+		}
+		g.state.Upsert(et, ks, func(acc *windowAcc) {
+			acc.key = kv.Key
+			acc.values = append(acc.values, kv.Value)
+		})
+		if !g.cfg.Conservative {
+			g.gen.Observe(input, et)
+		}
+		return nil
+	}
+
+	grp, ok := g.groups[ks]
+	if !ok {
+		grp = &globalGroup{key: kv.Key}
+		g.groups[ks] = grp
+		g.order = append(g.order, ks)
+	}
+	grp.values = append(grp.values, kv.Value)
+	if g.fireAfter > 0 && len(grp.values) >= g.fireAfter {
+		return g.emitGlobal(grp, emit)
+	}
+	return nil
+}
+
+// FireReady emits every event-time pane the current watermark has
+// passed. It is a no-op in global-window mode, so engines can call it
+// unconditionally at their batch or window boundaries.
+func (g *GBKState) FireReady(emit func([]byte) error) error {
+	if !g.windowed {
+		return nil
+	}
+	return g.state.FireReady(g.gen.Current(), func(p watermark.Pane[windowAcc]) error {
+		return g.emitPane(p, emit)
+	})
+}
+
+// Flush ends the input: in event-time mode every input's watermark is
+// finalized (end-of-input) and every remaining pane fires; in global
+// mode the remaining groups fire in first-seen key order.
+func (g *GBKState) Flush(emit func([]byte) error) error {
+	if g.windowed {
+		g.gen.FinalizeAll()
+		return g.state.FireAll(func(p watermark.Pane[windowAcc]) error {
+			return g.emitPane(p, emit)
+		})
+	}
+	for _, ks := range g.order {
+		if grp := g.groups[ks]; len(grp.values) > 0 {
+			if err := g.emitGlobal(grp, emit); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *GBKState) emitGlobal(grp *globalGroup, emit func([]byte) error) error {
+	wire, err := g.cfg.Output.Encode(beam.Grouped{Key: grp.key, Values: grp.values, Window: beam.GlobalWindow{}})
+	if err != nil {
+		return fmt.Errorf("graphx: GroupByKey encode: %w", err)
+	}
+	g.charge(g.cfg.Costs.CoderPerRecord)
+	grp.values = nil
+	return emit(wire)
+}
+
+func (g *GBKState) emitPane(p watermark.Pane[windowAcc], emit func([]byte) error) error {
+	wire, err := g.cfg.Output.Encode(beam.Grouped{
+		Key:    p.Acc.key,
+		Values: p.Acc.values,
+		Window: beam.IntervalWindow{Start: p.Start, End: p.End},
+	})
+	if err != nil {
+		return fmt.Errorf("graphx: GroupByKey encode: %w", err)
+	}
+	g.charge(g.cfg.Costs.CoderPerRecord)
+	return emit(wire)
+}
+
+// EncodedKVKey extracts the key bytes from a KV-coded record without a
+// full decode: the KV coder writes "uvarint keyLen | key | ...". Engine
+// runners hash it for keyed routing (Flink KeyBy, the Spark keyed
+// shuffle, Apex keyed stream partitioning) so equal keys meet in one
+// GBKState instance.
+func EncodedKVKey(rec []byte) ([]byte, error) {
+	klen, n := binary.Uvarint(rec)
+	if n <= 0 || uint64(len(rec)-n) < klen {
+		return nil, errors.New("graphx: malformed KV encoding")
+	}
+	return rec[n : n+int(klen)], nil
+}

@@ -2,6 +2,7 @@ package beam
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -9,6 +10,15 @@ import (
 	"beambench/internal/metrics"
 	"beambench/internal/simcost"
 )
+
+// ErrUnsupported is the shared sentinel for transforms (or transform
+// shapes) a runner cannot translate. Every bundled runner wraps it in
+// its own package-level ErrUnsupported, so callers can match a
+// capability gap generically — errors.Is(err, beam.ErrUnsupported) —
+// without knowing which runner rejected the pipeline. The harness uses
+// exactly that to record an unsupported matrix cell as skipped instead
+// of aborting the run.
+var ErrUnsupported = errors.New("beam: unsupported transform")
 
 // FusionMode selects how a runner translates ParDo chains: as separate
 // engine operators with coder boundaries between them (the abstraction

@@ -48,8 +48,9 @@ func init() {
 }
 
 // ErrUnsupported marks transforms and shapes this runner cannot
-// translate.
-var ErrUnsupported = errors.New("apexrunner: unsupported transform")
+// translate. It wraps the shared beam.ErrUnsupported sentinel, so
+// callers can match capability gaps without naming the runner.
+var ErrUnsupported = fmt.Errorf("apexrunner: %w", beam.ErrUnsupported)
 
 // Operator names used in the translated DAG.
 const (
@@ -145,8 +146,8 @@ func Run(p *beam.Pipeline, cfg Config) (*apex.AppResult, error) {
 }
 
 // linearPlan is the normalized shape this runner translates: one source,
-// a chain of ParDo stages (each a single transform, or the whole fused
-// chain), one Kafka sink.
+// a chain of ParDo / WindowInto / GroupByKey stages (ParDos a single
+// transform each, or a whole fused chain), one Kafka sink.
 type linearPlan struct {
 	read   *graphx.Stage // KindKafkaRead or KindCreate
 	stages []*graphx.Stage
@@ -154,7 +155,7 @@ type linearPlan struct {
 }
 
 // normalize validates that the lowered plan is a linear
-// source-ParDos-sink chain and returns its stages in order.
+// source-operators-sink chain and returns its stages in order.
 func normalize(plan *graphx.Plan) (*linearPlan, error) {
 	var lp linearPlan
 	prevOut := -1
@@ -165,7 +166,7 @@ func normalize(plan *graphx.Plan) (*linearPlan, error) {
 				return nil, fmt.Errorf("%w: multiple sources", ErrUnsupported)
 			}
 			lp.read = s
-		case beam.KindParDo:
+		case beam.KindParDo, beam.KindWindowInto, beam.KindGroupByKey:
 			if lp.read == nil || s.Inputs()[0].ID() != prevOut {
 				return nil, fmt.Errorf("%w: non-linear pipeline", ErrUnsupported)
 			}
@@ -248,24 +249,85 @@ func Translate(p *beam.Pipeline, cfg Config) (*apex.Application, apex.LaunchConf
 		return nil, zero, errors.New("apexrunner: malformed KafkaWrite config")
 	}
 
-	// One Apex operator per ParDo stage. Fused, the whole chain is a
-	// single executable stage (the paper's deployment); unfused, every
-	// ParDo pays a buffer-server hop and a coder boundary per record.
-	// An empty chain (read straight into write) still deploys one
-	// forwarding stage, preserving the three-operator minimum shape.
+	// One Apex operator per plan stage. A fused ParDo chain is a single
+	// executable stage (the paper's deployment); unfused, every ParDo
+	// pays a buffer-server hop and a coder boundary per record. A
+	// WindowInto forwards records (strategy metadata only), and a
+	// GroupByKey deploys the shared stateful executable behind a keyed
+	// stream, so equal keys meet in one partition. An empty chain (read
+	// straight into write) still deploys one forwarding stage,
+	// preserving the three-operator minimum shape.
 	names := stageNames(lp.stages)
 	prev := NameRead
 	for i, s := range lp.stages {
-		entry := entrySpec{decode: s.Inputs()[0].Coder()}
-		if i == 0 {
-			entry = sourceEntry(sourceIsKafka, topic, lp.read.Output().Coder())
+		streamName := fmt.Sprintf("stream%d", i)
+		switch s.Kind() {
+		case beam.KindParDo:
+			entry := entrySpec{decode: s.Inputs()[0].Coder()}
+			if i == 0 {
+				entry = sourceEntry(sourceIsKafka, topic, lp.read.Output().Coder())
+			}
+			exit := exitSpec{encode: s.Output().Coder()}
+			if i == len(lp.stages)-1 {
+				exit = exitSpec{toSink: true}
+			}
+			app.AddOperator(names[i], stageOp(names[i], s.Fn(), entry, exit, cfg.Costs))
+			app.AddStream(streamName, prev, names[i])
+
+		case beam.KindWindowInto:
+			ws, ok := s.Transforms[0].Config.(beam.WindowingStrategy)
+			if !ok {
+				return nil, zero, errors.New("apexrunner: malformed WindowInto config")
+			}
+			if !ws.IsGlobal() && ws.EventTime == nil {
+				return nil, zero, fmt.Errorf("%w: non-global windowing (%s) without an event-time extractor",
+					ErrUnsupported, ws.Fn.Name())
+			}
+			if i == 0 || i == len(lp.stages)-1 {
+				return nil, zero, fmt.Errorf("%w: WindowInto adjacent to source or sink", ErrUnsupported)
+			}
+			// Re-windowing carries only strategy metadata (consumed by
+			// the downstream GroupByKey); at runtime it forwards the
+			// encoded records unchanged.
+			app.AddOperator(names[i], forwardOp(cfg.Costs))
+			app.AddStream(streamName, prev, names[i])
+
+		case beam.KindGroupByKey:
+			t := s.Transforms[0]
+			kvCoder, ok := t.Inputs[0].Coder().(beam.KVCoder)
+			if !ok {
+				return nil, zero, fmt.Errorf("%w: GroupByKey over coder %s", ErrUnsupported, t.Inputs[0].Coder().Name())
+			}
+			if i == 0 || i == len(lp.stages)-1 {
+				return nil, zero, fmt.Errorf("%w: GroupByKey adjacent to source or sink", ErrUnsupported)
+			}
+			gbkCfg := graphx.GBKConfig{
+				Windowing: t.Inputs[0].Windowing(),
+				Input:     kvCoder,
+				Output:    t.Output.Coder(),
+				Costs:     cfg.Costs,
+				// At parallelism 1 every stream is a FIFO 1-to-1 channel,
+				// so the instance's inputs are event-time ordered and the
+				// watermark may advance from observations. Above that,
+				// the intermediate multi-partition stages re-interleave
+				// tuples round-robin with disorder bounded only by
+				// channel buffering, so the only sound watermark is the
+				// conservative one: no progress until end of input.
+				Conservative: cfg.Parallelism > 1,
+			}
+			if _, err := graphx.NewGBKState(gbkCfg); err != nil {
+				if errors.Is(err, beam.ErrUnsupported) {
+					return nil, zero, fmt.Errorf("%w: %v", ErrUnsupported, err)
+				}
+				return nil, zero, fmt.Errorf("apexrunner: %w", err)
+			}
+			app.AddOperator(names[i], gbkOp(gbkCfg))
+			// Keyed partitioning: the stream into the stateful operator
+			// hashes the encoded KV key, and panes flush on streaming
+			// window boundaries (EndWindow) plus at end of stream.
+			app.AddStream(streamName, prev, names[i])
+			app.SetStreamKeyed(streamName, graphx.EncodedKVKey)
 		}
-		exit := exitSpec{encode: s.Output().Coder()}
-		if i == len(lp.stages)-1 {
-			exit = exitSpec{toSink: true}
-		}
-		app.AddOperator(names[i], stageOp(names[i], s.Fn(), entry, exit, cfg.Costs))
-		app.AddStream(fmt.Sprintf("stream%d", i), prev, names[i])
 		prev = names[i]
 	}
 	if len(lp.stages) == 0 {
@@ -401,6 +463,62 @@ func stageOp(name string, fn beam.DoFn, entry entrySpec, exit exitSpec, costs si
 			return chain(elem)
 		}, nil
 	})
+}
+
+// forwardOp forwards encoded records unchanged, charging only the
+// bundle dispatch — the runtime shape of a metadata-only transform
+// (WindowInto), matching the other runners' forwarding operators.
+func forwardOp(costs simcost.Costs) apex.GenericFactory {
+	return apex.ProcessOp(func(ctx apex.OperatorContext) (func([]byte, func([]byte) error) error, error) {
+		return func(tuple []byte, emit func([]byte) error) error {
+			ctx.Charge(costs.BeamDoFnPerRecord)
+			return emit(tuple)
+		}, nil
+	})
+}
+
+// gbkOperator adapts the shared GroupByKey executable to the engine:
+// tuples arrive tagged with their upstream partition (SenderAware, one
+// watermark per ordered upstream stream — minimum-across-inputs
+// propagation), watermark-ready panes flush at streaming-window
+// boundaries (WindowEndAware), and the remaining state drains at end of
+// stream (StreamFlusher).
+type gbkOperator struct {
+	state *graphx.GBKState
+}
+
+func (o *gbkOperator) Process(t []byte, emit func([]byte) error) error {
+	return o.state.Process(t, emit)
+}
+
+func (o *gbkOperator) ProcessFrom(from int, t []byte, emit func([]byte) error) error {
+	return o.state.ProcessFrom(from, t, emit)
+}
+
+func (o *gbkOperator) EndWindow(emit func([]byte) error) error {
+	return o.state.FireReady(emit)
+}
+
+func (o *gbkOperator) EndStream(emit func([]byte) error) error {
+	return o.state.Flush(emit)
+}
+
+func (o *gbkOperator) Teardown() error { return nil }
+
+// gbkOp builds the keyed stateful GroupByKey operator, one shared-state
+// executable per partition, with per-input watermark tracking sized to
+// the upstream partition count.
+func gbkOp(cfg graphx.GBKConfig) apex.GenericFactory {
+	return func(ctx apex.OperatorContext) (apex.GenericOperator, error) {
+		cfg := cfg
+		cfg.Charge = ctx.Charge
+		cfg.Inputs = ctx.InputPartitions()
+		state, err := graphx.NewGBKState(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("apexrunner: %w", err)
+		}
+		return &gbkOperator{state: state}, nil
+	}
 }
 
 func encodeAll(values []any, coder beam.Coder) ([][]byte, error) {

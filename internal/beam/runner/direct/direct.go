@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"beambench/internal/beam"
@@ -145,7 +146,7 @@ func runStage(ctx context.Context, s *graphx.Stage, data map[int][]windowedValue
 	case beam.KindKafkaWrite:
 		return nil, runKafkaWrite(t, data)
 	default:
-		return nil, fmt.Errorf("unsupported transform kind %v", s.Kind())
+		return nil, fmt.Errorf("%w: kind %v", beam.ErrUnsupported, s.Kind())
 	}
 }
 
@@ -196,8 +197,19 @@ func runWindowInto(t *beam.Transform, data map[int][]windowedValue) ([]windowedV
 	}
 	var out []windowedValue
 	for _, wv := range data[t.Inputs[0].ID()] {
-		for _, w := range ws.Fn.AssignWindows(wv.ts) {
-			out = append(out, windowedValue{value: wv.value, ts: wv.ts, window: w})
+		ts := wv.ts
+		// An element-derived event time re-stamps the element before
+		// window assignment — the deterministic path the engine runners
+		// require, honored here too so outputs agree.
+		if ws.EventTime != nil {
+			et, err := ws.EventTime(wv.value)
+			if err != nil {
+				return nil, fmt.Errorf("event time: %w", err)
+			}
+			ts = et
+		}
+		for _, w := range ws.Fn.AssignWindows(ts) {
+			out = append(out, windowedValue{value: wv.value, ts: ts, window: w})
 		}
 	}
 	return out, nil
@@ -232,7 +244,7 @@ func runGBK(t *beam.Transform, data map[int][]windowedValue) ([]windowedValue, e
 		g, ok := groups[gk]
 		if !ok {
 			g = &windowedValue{
-				value:  beam.Grouped{Key: kv.Key},
+				value:  beam.Grouped{Key: kv.Key, Window: wv.window},
 				ts:     wv.window.MaxTimestamp(),
 				window: wv.window,
 			}
@@ -249,7 +261,15 @@ func runGBK(t *beam.Transform, data map[int][]windowedValue) ([]windowedValue, e
 			g.value = grouped
 		}
 	}
-	// Final panes at end of input, in first-seen order.
+	// Final panes at end of input: ascending window time, keys in
+	// first-seen order within each window — the same deterministic pane
+	// order the engines' watermark-driven firing produces, so engine
+	// outputs can be compared against this runner record for record.
+	// (A stable sort on the window bound preserves first-seen order for
+	// panes of one window, and is a no-op for all-global grouping.)
+	sort.SliceStable(order, func(i, j int) bool {
+		return groups[order[i]].window.MaxTimestamp().Before(groups[order[j]].window.MaxTimestamp())
+	})
 	for _, gk := range order {
 		g := groups[gk]
 		if grouped := g.value.(beam.Grouped); len(grouped.Values) > 0 {

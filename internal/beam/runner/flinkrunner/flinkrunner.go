@@ -14,7 +14,6 @@ package flinkrunner
 
 import (
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -31,8 +30,10 @@ func init() {
 	beam.RegisterRunner(Name, Runner{})
 }
 
-// ErrUnsupported marks transforms this runner cannot translate.
-var ErrUnsupported = errors.New("flinkrunner: unsupported transform")
+// ErrUnsupported marks transforms this runner cannot translate. It
+// wraps the shared beam.ErrUnsupported sentinel, so callers can match
+// capability gaps without naming the runner.
+var ErrUnsupported = fmt.Errorf("flinkrunner: %w", beam.ErrUnsupported)
 
 // Plan-node names as they appear in the Beam-on-Flink execution plan
 // (paper Figure 13).
@@ -202,15 +203,20 @@ func Translate(p *beam.Pipeline, cfg Config) (*flink.Environment, string, error)
 			if !ok {
 				return nil, "", fmt.Errorf("flinkrunner: malformed WindowInto config")
 			}
-			if !ws.IsGlobal() {
-				return nil, "", fmt.Errorf("%w: non-global windowing (%s)", ErrUnsupported, ws.Fn.Name())
+			if !ws.IsGlobal() && ws.EventTime == nil {
+				// Coder boundaries erase flow timestamps, so non-global
+				// windowing is translatable only when event time derives
+				// from the element itself.
+				return nil, "", fmt.Errorf("%w: non-global windowing (%s) without an event-time extractor",
+					ErrUnsupported, ws.Fn.Name())
 			}
 			in, ok := streams[t.Inputs[0].ID()]
 			if !ok {
 				return nil, "", fmt.Errorf("flinkrunner: WindowInto consumes untranslated collection")
 			}
-			// Global re-windowing carries only strategy metadata (the
-			// trigger); at runtime it is a forwarding operator.
+			// Re-windowing carries only strategy metadata (window fn,
+			// trigger, event-time extractor — consumed by the downstream
+			// GroupByKey); at runtime it is a forwarding operator.
 			streams[t.Output.ID()] = in.Process(NameRawParDo, forwardProcess(costs))
 
 		case beam.KindGroupByKey:
@@ -222,17 +228,35 @@ func Translate(p *beam.Pipeline, cfg Config) (*flink.Environment, string, error)
 			if !ok {
 				return nil, "", fmt.Errorf("%w: GroupByKey over coder %s", ErrUnsupported, t.Inputs[0].Coder().Name())
 			}
-			fireAfter := 0
-			if trig := t.Inputs[0].Windowing().Trigger; trig != nil {
-				fireAfter = trig.FireAfter()
-			}
 			// Hash-partition by key so equal keys meet in one subtask
 			// (Flink supports the stateful side of the capability
-			// matrix, unlike the Spark runner), then group with
-			// end-of-input flush.
-			keyed := in.KeyBy(encodedKVKey)
-			streams[t.Output.ID()] = keyed.ProcessWithFlush("GroupByKey",
-				gbkProcess(kvCoder, t.Output.Coder(), fireAfter, costs))
+			// matrix), then run the shared GroupByKey executable with
+			// end-of-input flush. Event-time windows fire tuple-at-a-time
+			// as the subtask watermark advances; global windows fire on
+			// the count trigger and at flush.
+			gbkCfg := graphx.GBKConfig{
+				Windowing: t.Inputs[0].Windowing(),
+				Input:     kvCoder,
+				Output:    t.Output.Coder(),
+				Costs:     costs,
+				// At parallelism 1 every edge is a FIFO 1-to-1 channel,
+				// so the keyed subtask's input is event-time ordered and
+				// the watermark may advance from observations. Above
+				// that, several upstream subtasks can merge into one
+				// keyed subtask with disorder bounded only by channel
+				// buffering (flink edges carry no sender identity), so
+				// the only sound watermark is the conservative one: no
+				// progress until end of input.
+				Conservative: cfg.Parallelism > 1,
+			}
+			if _, err := graphx.NewGBKState(gbkCfg); err != nil {
+				if errors.Is(err, beam.ErrUnsupported) {
+					return nil, "", fmt.Errorf("%w: %v", ErrUnsupported, err)
+				}
+				return nil, "", fmt.Errorf("flinkrunner: %w", err)
+			}
+			keyed := in.KeyBy(graphx.EncodedKVKey)
+			streams[t.Output.ID()] = keyed.ProcessWithFlush("GroupByKey", gbkProcess(gbkCfg))
 
 		default:
 			return nil, "", fmt.Errorf("%w: %v (%s)", ErrUnsupported, s.Kind(), s.Name())
@@ -318,74 +342,25 @@ func forwardProcess(costs simcost.Costs) flink.ProcessFactory {
 	}
 }
 
-// encodedKVKey extracts the key bytes from a KV-coded record without a
-// full decode: the KV coder writes "uvarint keyLen | key | ...".
-func encodedKVKey(rec []byte) ([]byte, error) {
-	klen, n := binary.Uvarint(rec)
-	if n <= 0 || uint64(len(rec)-n) < klen {
-		return nil, errors.New("flinkrunner: malformed KV encoding")
-	}
-	return rec[n : n+int(klen)], nil
-}
-
-// gbkProcess groups KV elements per key in subtask state, firing panes
-// per the element-count trigger and flushing remaining groups at end of
-// input.
-func gbkProcess(inCoder beam.KVCoder, outCoder beam.Coder, fireAfter int, costs simcost.Costs) flink.FlushableProcessFactory {
+// gbkProcess runs the shared GroupByKey executable (graphx.GBKState) as
+// a keyed subtask with end-of-input flush. On the tuple-at-a-time engine
+// watermark-ready panes fire after every processed record.
+func gbkProcess(cfg graphx.GBKConfig) flink.FlushableProcessFactory {
 	return func(ctx flink.OperatorContext) (flink.ProcessFunc, flink.FlushFunc, error) {
-		type group struct {
-			key    any
-			values []any
+		cfg := cfg
+		cfg.Charge = ctx.Charge
+		state, err := graphx.NewGBKState(cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("flinkrunner: %w", err)
 		}
-		state := make(map[string]*group)
-		var order []string
-
-		emitGroup := func(g *group, out flink.Collector) error {
-			wire, err := outCoder.Encode(beam.Grouped{Key: g.key, Values: g.values})
-			if err != nil {
-				return fmt.Errorf("flinkrunner: GroupByKey encode: %w", err)
-			}
-			ctx.Charge(costs.CoderPerRecord)
-			g.values = nil
-			return out.Collect(wire)
-		}
-
 		process := func(rec []byte, out flink.Collector) error {
-			elem, err := inCoder.Decode(rec)
-			if err != nil {
-				return fmt.Errorf("flinkrunner: GroupByKey decode: %w", err)
-			}
-			ctx.Charge(costs.CoderPerRecord)
-			ctx.Charge(costs.BeamDoFnPerRecord)
-			kv, ok := elem.(beam.KV)
-			if !ok {
-				return fmt.Errorf("flinkrunner: GroupByKey element %T is not a KV", elem)
-			}
-			ks, err := beam.KeyString(kv.Key)
-			if err != nil {
+			if err := state.Process(rec, out.Collect); err != nil {
 				return err
 			}
-			g, ok := state[ks]
-			if !ok {
-				g = &group{key: kv.Key}
-				state[ks] = g
-				order = append(order, ks)
-			}
-			g.values = append(g.values, kv.Value)
-			if fireAfter > 0 && len(g.values) >= fireAfter {
-				return emitGroup(g, out)
-			}
-			return nil
+			return state.FireReady(out.Collect)
 		}
 		flush := func(out flink.Collector) error {
-			for _, ks := range order {
-				if g := state[ks]; len(g.values) > 0 {
-					if err := emitGroup(g, out); err != nil {
-						return err
-					}
-				}
-			}
-			return nil
+			return state.Flush(out.Collect)
 		}
 		return process, flush, nil
 	}

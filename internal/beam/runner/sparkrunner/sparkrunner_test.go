@@ -3,7 +3,9 @@ package sparkrunner
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"testing"
+	"time"
 
 	"beambench/internal/beam"
 	"beambench/internal/broker"
@@ -120,18 +122,78 @@ func TestParallelismTwoRedistributes(t *testing.T) {
 	}
 }
 
-func TestGroupByKeyRejected(t *testing.T) {
-	// The Beam capability matrix: no stateful processing on the Spark
-	// runner — the reason the paper benchmarks only stateless queries.
+// countPipeline builds read -> toKV(word) -> window -> GBK -> format ->
+// write, the stateful path the micro-batch state stage now supports.
+func countPipeline(b *broker.Broker, trigger beam.Trigger) *beam.Pipeline {
+	p := beam.NewPipeline()
+	vals := beam.Values(p, beam.WithoutMetadata(p, beam.KafkaRead(p, b, "in")))
+	kvs := beam.ParDo(p, "toKV", beam.DoFnFunc(func(ctx beam.Context, elem any, emit beam.Emitter) error {
+		return emit(beam.KV{Key: elem.([]byte), Value: elem.([]byte)})
+	}), vals, beam.WithCoder(beam.KVCoder{Key: beam.BytesCoder{}, Value: beam.BytesCoder{}}))
+	windowed := beam.WindowInto(p, beam.DefaultWindowing().Triggering(trigger), kvs)
+	grouped := beam.GroupByKey(p, windowed)
+	formatted := beam.MapElements(p, "format", func(elem any) (any, error) {
+		g, ok := elem.(beam.Grouped)
+		if !ok {
+			return nil, fmt.Errorf("element %T is not Grouped", elem)
+		}
+		key, err := beam.KeyString(g.Key)
+		if err != nil {
+			return nil, err
+		}
+		return []byte(fmt.Sprintf("%s:%d", key, len(g.Values))), nil
+	}, grouped, beam.WithCoder(beam.BytesCoder{}))
+	beam.KafkaWrite(p, b, "out", formatted, broker.ProducerConfig{})
+	return p
+}
+
+// TestGroupByKeySupported pins the lifted capability-matrix entry: the
+// Spark runner executes GroupByKey through the keyed micro-batch state
+// path, and at parallelism 2 the keyed shuffle keeps every key's
+// records in one stateful partition.
+func TestGroupByKeySupported(t *testing.T) {
+	words := []string{"alpha", "beta", "gamma"}
+	var input []string
+	for i := range 120 {
+		input = append(input, words[i%len(words)])
+	}
+	for _, parallelism := range []int{1, 2} {
+		b := broker.New()
+		loadTopic(t, b, "in", input)
+		if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+			t.Fatal(err)
+		}
+		// A huge trigger count means panes fire only at end of input:
+		// each key must appear exactly once with its full count.
+		if _, err := Run(countPipeline(b, beam.AfterCount{N: 1 << 20}), Config{Cluster: newCluster(t), Parallelism: parallelism}); err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		lines := topicStrings(t, b, "out")
+		counts := make(map[string]int)
+		for _, line := range lines {
+			counts[line]++
+		}
+		if len(lines) != len(words) {
+			t.Fatalf("parallelism %d: %d panes, want %d: %v", parallelism, len(lines), len(words), lines)
+		}
+		for _, w := range words {
+			if counts[w+":40"] != 1 {
+				t.Errorf("parallelism %d: pane %s:40 seen %d times", parallelism, w, counts[w+":40"])
+			}
+		}
+	}
+}
+
+func TestNonGlobalWindowingWithoutEventTimeRejected(t *testing.T) {
 	b := broker.New()
 	loadTopic(t, b, "in", nil)
 	p := beam.NewPipeline()
 	kvs := beam.WithoutMetadata(p, beam.KafkaRead(p, b, "in"))
-	windowed := beam.WindowInto(p, beam.DefaultWindowing().Triggering(beam.AfterCount{N: 5}), kvs)
+	windowed := beam.WindowInto(p, beam.WindowingStrategy{Fn: beam.FixedWindows{Size: time.Second}}, kvs)
 	beam.GroupByKey(p, windowed)
 	_, err := Run(p, Config{Cluster: newCluster(t)})
-	if !errors.Is(err, ErrStatefulUnsupported) && !errors.Is(err, ErrUnsupported) {
-		t.Errorf("GBK on spark = %v, want stateful-unsupported", err)
+	if !errors.Is(err, ErrUnsupported) || !errors.Is(err, beam.ErrUnsupported) {
+		t.Errorf("non-global windowing without event time = %v, want ErrUnsupported wrapping beam.ErrUnsupported", err)
 	}
 }
 

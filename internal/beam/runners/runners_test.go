@@ -4,7 +4,10 @@ import (
 	"context"
 	"fmt"
 	"reflect"
+	"sort"
+	"strings"
 	"testing"
+	"time"
 
 	"beambench/internal/aol"
 	"beambench/internal/beam"
@@ -186,6 +189,178 @@ func TestEngineRunnersMatchDirectReference(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// multiRecordWindowWorkload preloads a broker with records whose
+// 1-second event-time windows each hold several records of few users,
+// so WindowedCount panes carry counts above one — the case where a
+// watermark firing early (before a lagging upstream partition delivered
+// its share) would split panes.
+func multiRecordWindowWorkload(t testing.TB) queries.Workload {
+	t.Helper()
+	b := broker.New()
+	for _, topic := range []string{"input", "output"} {
+		if err := b.CreateTopic(topic, broker.TopicConfig{Partitions: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen, err := aol.NewGenerator(aol.Config{Records: 600, Seed: 11, GrepHits: -1, QueryTimeStep: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.NewProducer(broker.ProducerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		rec, ok := gen.Next()
+		if !ok {
+			break
+		}
+		rec.UserID = fmt.Sprintf("user%d", i%3) // few users -> multi-record panes
+		if err := p.Send("input", nil, rec.AppendTSV(nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return queries.Workload{Broker: b, InputTopic: "input", OutputTopic: "output", Seed: 7}
+}
+
+// TestWindowedCountParallelMultiRecordPanes drives the stateful query
+// with multi-record panes at parallelism 2 on every engine runner and
+// compares sorted outputs against the direct reference. This is the
+// scenario where the keyed stateful instance receives interleaved
+// streams from racing upstream partitions: per-input watermark tracking
+// (minimum-across-inputs propagation) must keep every pane whole. Three
+// repetitions guard against scheduling-dependent interleavings.
+func TestWindowedCountParallelMultiRecordPanes(t *testing.T) {
+	ref := multiRecordWindowWorkload(t)
+	p, err := queries.BeamPipeline(ref, queries.WindowedCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := beam.GetRunner("direct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background(), p, beam.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	want := outputStrings(t, ref)
+	sort.Strings(want)
+	multi := 0
+	for _, pane := range want {
+		if !strings.HasSuffix(pane, "\t1") {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("reference has no multi-record panes; workload does not exercise the hazard")
+	}
+
+	for _, runnerName := range []string{"flink", "spark", "apex"} {
+		for round := range 3 {
+			t.Run(fmt.Sprintf("%s/round%d", runnerName, round), func(t *testing.T) {
+				w := multiRecordWindowWorkload(t)
+				p, err := queries.BeamPipeline(w, queries.WindowedCount)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := beam.GetRunner(runnerName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := r.Run(context.Background(), p, beam.Options{Parallelism: 2}); err != nil {
+					t.Fatal(err)
+				}
+				got := outputStrings(t, w)
+				sort.Strings(got)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("sorted output (%d panes) differs from direct reference (%d panes)", len(got), len(want))
+				}
+			})
+		}
+	}
+}
+
+// TestWindowedCountMultiPartitionTopic drives the stateful query from a
+// two-partition input topic at parallelism 2: two source subtasks are
+// genuinely concurrently active, so the keyed stateful instances merge
+// racing ordered streams. The conservative watermark (no early firing
+// over unordered merges) must keep every pane whole; the sorted output
+// must equal the dataset-derived reference on every engine runner.
+func TestWindowedCountMultiPartitionTopic(t *testing.T) {
+	records := make([][]byte, 0, 400)
+	gen, err := aol.NewGenerator(aol.Config{Records: 400, Seed: 21, GrepHits: -1, QueryTimeStep: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		rec, ok := gen.Next()
+		if !ok {
+			break
+		}
+		rec.UserID = fmt.Sprintf("user%d", i%3)
+		records = append(records, rec.AppendTSV(nil))
+	}
+	wantPayloads, err := queries.ExpectedWindowedCounts(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, len(wantPayloads))
+	for i, p := range wantPayloads {
+		want[i] = string(p)
+	}
+	sort.Strings(want)
+
+	load := func() queries.Workload {
+		b := broker.New()
+		if err := b.CreateTopic("input", broker.TopicConfig{Partitions: 2}); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.CreateTopic("output", broker.TopicConfig{Partitions: 1}); err != nil {
+			t.Fatal(err)
+		}
+		p, err := b.NewProducer(broker.ProducerConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, rec := range records {
+			// Alternate partitions: each partition's stream stays
+			// event-time ordered, their merge does not.
+			if err := p.Send("input", []byte(fmt.Sprintf("p%d", i%2)), rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return queries.Workload{Broker: b, InputTopic: "input", OutputTopic: "output", Seed: 7}
+	}
+
+	for _, runnerName := range []string{"flink", "spark", "apex"} {
+		t.Run(runnerName, func(t *testing.T) {
+			w := load()
+			p, err := queries.BeamPipeline(w, queries.WindowedCount)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := beam.GetRunner(runnerName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.Run(context.Background(), p, beam.Options{Parallelism: 2}); err != nil {
+				t.Fatal(err)
+			}
+			got := outputStrings(t, w)
+			sort.Strings(got)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("sorted output (%d panes) differs from dataset reference (%d panes)", len(got), len(want))
+			}
+		})
 	}
 }
 

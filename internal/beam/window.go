@@ -98,10 +98,31 @@ func (t AfterCount) Name() string { return fmt.Sprintf("AfterCount(%d)", t.N) }
 // FireAfter implements Trigger.
 func (t AfterCount) FireAfter() int { return t.N }
 
-// WindowingStrategy combines a window fn with an optional trigger.
+// EventTimeFn extracts an element's event timestamp from the element
+// itself (e.g. a time column of the record payload). Engine runners
+// erase flow timestamps at coder boundaries, so deterministic event-time
+// windowing requires the time to be derivable from the element — exactly
+// what a real pipeline does by re-stamping records with WithTimestamps
+// before windowing.
+type EventTimeFn func(elem any) (time.Time, error)
+
+// WindowingStrategy combines a window fn with an optional trigger and,
+// for event-time windowing, the element-derived timestamp extractor plus
+// the stream's assumed out-of-orderness bound.
 type WindowingStrategy struct {
 	Fn      WindowFn
 	Trigger Trigger
+	// EventTime extracts event timestamps from elements. Required for
+	// non-global windowing on the engine runners (which otherwise reject
+	// the strategy); for a KV collection feeding GroupByKey it is applied
+	// to the KV value. Nil falls back to the flow timestamp on the direct
+	// runner.
+	EventTime EventTimeFn
+	// Bound is the watermark generator's assumed maximum event-time
+	// out-of-orderness: panes fire once the watermark (max event time
+	// seen minus Bound) passes a window's end, and always at end of
+	// input.
+	Bound time.Duration
 }
 
 // DefaultWindowing is the global-windows strategy without a trigger.
@@ -131,5 +152,13 @@ func (w WindowingStrategy) Key() string {
 // Triggering returns a copy of the strategy with the given trigger.
 func (w WindowingStrategy) Triggering(t Trigger) WindowingStrategy {
 	w.Trigger = t
+	return w
+}
+
+// WithEventTime returns a copy of the strategy with the given
+// element-derived timestamp extractor and out-of-orderness bound.
+func (w WindowingStrategy) WithEventTime(fn EventTimeFn, bound time.Duration) WindowingStrategy {
+	w.EventTime = fn
+	w.Bound = bound
 	return w
 }

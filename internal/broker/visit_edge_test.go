@@ -1,0 +1,152 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// These tests cover the Timestamps/VisitRecords edge cases the latency
+// calculation leans on: empty topics, topics deleted mid-benchmark, and
+// multi-partition topics filled by interleaved appends.
+
+func TestTimestampsAndVisitRecordsEmptyTopic(t *testing.T) {
+	b := New()
+	if err := b.CreateTopic("t", TopicConfig{Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := b.Timestamps("t", 0)
+	if err != nil {
+		t.Fatalf("Timestamps on empty partition: %v", err)
+	}
+	if len(ts) != 0 {
+		t.Errorf("Timestamps = %v, want empty", ts)
+	}
+	calls := 0
+	if err := b.VisitRecords("t", 1, func(Record) error { calls++; return nil }); err != nil {
+		t.Fatalf("VisitRecords on empty partition: %v", err)
+	}
+	if calls != 0 {
+		t.Errorf("visitor called %d times on an empty partition", calls)
+	}
+	// Out-of-range partitions error rather than panic.
+	if _, err := b.Timestamps("t", 2); !errors.Is(err, ErrUnknownPartition) {
+		t.Errorf("Timestamps(part 2) = %v, want ErrUnknownPartition", err)
+	}
+	if err := b.VisitRecords("t", -1, func(Record) error { return nil }); !errors.Is(err, ErrUnknownPartition) {
+		t.Errorf("VisitRecords(part -1) = %v, want ErrUnknownPartition", err)
+	}
+}
+
+func TestTimestampsAndVisitRecordsAfterDeleteTopic(t *testing.T) {
+	b := New()
+	if err := b.CreateTopic("t", TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.NewProducer(ProducerConfig{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send("t", nil, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-benchmark teardown (the streaming harness deletes the input
+	// topic to unblock sources when the sender dies): subsequent reads
+	// must report the topic gone, not hang or return stale data.
+	if err := b.DeleteTopic("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Timestamps("t", 0); !errors.Is(err, ErrUnknownTopic) {
+		t.Errorf("Timestamps after delete = %v, want ErrUnknownTopic", err)
+	}
+	if err := b.VisitRecords("t", 0, func(Record) error { return nil }); !errors.Is(err, ErrUnknownTopic) {
+		t.Errorf("VisitRecords after delete = %v, want ErrUnknownTopic", err)
+	}
+}
+
+func TestVisitRecordsOfflinePartition(t *testing.T) {
+	b := New()
+	if err := b.CreateTopic("t", TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetPartitionOffline("t", 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.VisitRecords("t", 0, func(Record) error { return nil }); !errors.Is(err, ErrPartitionOffline) {
+		t.Errorf("VisitRecords offline = %v, want ErrPartitionOffline", err)
+	}
+	if _, err := b.Timestamps("t", 0); !errors.Is(err, ErrPartitionOffline) {
+		t.Errorf("Timestamps offline = %v, want ErrPartitionOffline", err)
+	}
+}
+
+// TestInterleavedMultiPartitionAppends checks per-partition offset order
+// and timestamp monotonicity when two producers interleave appends
+// across partitions: each partition's Timestamps and VisitRecords views
+// are offset-ordered, non-decreasing in time, and complete.
+func TestInterleavedMultiPartitionAppends(t *testing.T) {
+	clock := time.Date(2026, 6, 11, 12, 0, 0, 0, time.UTC)
+	b := New(WithClock(func() time.Time { return clock }))
+	if err := b.CreateTopic("t", TopicConfig{Partitions: 3}); err != nil {
+		t.Fatal(err)
+	}
+	p1, err := b.NewProducer(ProducerConfig{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := b.NewProducer(ProducerConfig{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 60
+	for i := range total {
+		clock = clock.Add(time.Millisecond)
+		prod := p1
+		if i%2 == 1 {
+			prod = p2
+		}
+		// Distinct keys spread the records over the partitions via the
+		// default hash partitioner.
+		if err := prod.Send("t", []byte(fmt.Sprintf("key%03d", i)), []byte(fmt.Sprintf("rec%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	seen := 0
+	for part := range 3 {
+		ts, err := b.Timestamps("t", part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recs []Record
+		if err := b.VisitRecords("t", part, func(r Record) error {
+			// The borrowed Record must carry matching coordinates.
+			if r.Partition != part || r.Topic != "t" {
+				return fmt.Errorf("record coordinates %s/%d", r.Topic, r.Partition)
+			}
+			recs = append(recs, Record{Offset: r.Offset, Timestamp: r.Timestamp})
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != len(ts) {
+			t.Fatalf("partition %d: VisitRecords saw %d records, Timestamps %d", part, len(recs), len(ts))
+		}
+		for i, r := range recs {
+			if r.Offset != int64(i) {
+				t.Errorf("partition %d record %d has offset %d", part, i, r.Offset)
+			}
+			if !r.Timestamp.Equal(ts[i]) {
+				t.Errorf("partition %d offset %d: VisitRecords ts %v != Timestamps %v", part, i, r.Timestamp, ts[i])
+			}
+			if i > 0 && ts[i].Before(ts[i-1]) {
+				t.Errorf("partition %d: timestamps regress at offset %d", part, i)
+			}
+		}
+		seen += len(recs)
+	}
+	if seen != total {
+		t.Errorf("partitions hold %d records total, want %d", seen, total)
+	}
+}

@@ -3,10 +3,10 @@ package flink
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"time"
 
+	"beambench/internal/keyhash"
 	"beambench/internal/metrics"
 	"beambench/internal/simcost"
 )
@@ -560,9 +560,7 @@ func (e *edgeSender) Collect(rec []byte) error {
 		if err != nil {
 			return fmt.Errorf("flink: key selector: %w", err)
 		}
-		h := fnv.New32a()
-		_, _ = h.Write(key)
-		target = e.edge.targets[int(h.Sum32())%len(e.edge.targets)]
+		target = e.edge.targets[keyhash.Partition(key, len(e.edge.targets))]
 	default:
 		target = e.edge.targets[e.rr%len(e.edge.targets)]
 		e.rr++

@@ -1,0 +1,150 @@
+package flink
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+var winEpoch = time.Date(2006, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+// windowedRecord renders "sec|key" test records.
+func windowedRecord(sec int, key string) []byte {
+	return []byte(fmt.Sprintf("%d|%s", sec, key))
+}
+
+func testWindowConfig() WindowConfig {
+	return WindowConfig{
+		Size:  time.Second,
+		Bound: 0,
+		EventTime: func(rec []byte) (time.Time, error) {
+			var sec int
+			if _, err := fmt.Sscanf(string(rec), "%d|", &sec); err != nil {
+				return time.Time{}, err
+			}
+			return winEpoch.Add(time.Duration(sec) * time.Second), nil
+		},
+		Key: func(rec []byte) ([]byte, error) {
+			i := strings.IndexByte(string(rec), '|')
+			return rec[i+1:], nil
+		},
+		Format: func(start time.Time, key []byte, count int64) []byte {
+			return []byte(fmt.Sprintf("%d:%s=%d", start.Sub(winEpoch)/time.Second, key, count))
+		},
+	}
+}
+
+func TestTumblingCountWindowCountsPerWindowAndKey(t *testing.T) {
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster)
+	sink := NewRecordCollector()
+	cfg := testWindowConfig()
+
+	input := [][]byte{
+		windowedRecord(0, "a"),
+		windowedRecord(0, "b"),
+		windowedRecord(0, "a"),
+		windowedRecord(1, "a"), // closes window 0
+		windowedRecord(2, "b"), // closes window 1
+	}
+	env.AddSource("src", SliceSource(input)).
+		KeyBy(cfg.Key).
+		TumblingCountWindow("WindowedCount", cfg).
+		AddSink("sink", CollectSink(sink))
+	if _, err := env.Execute("windowed"); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.Strings()
+	want := []string{"0:a=2", "0:b=1", "1:a=1", "2:b=1"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("panes = %v, want %v", got, want)
+	}
+}
+
+// TestTumblingCountWindowFiresBeforeEndOfInput pins watermark-driven
+// firing: a pane whose window the watermark passed must be emitted by
+// the operator while the source is still running, not buffered to the
+// final flush.
+func TestTumblingCountWindowFiresBeforeEndOfInput(t *testing.T) {
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster)
+	sink := NewRecordCollector()
+	cfg := testWindowConfig()
+
+	// Tag panes with a downstream marker counting how many records the
+	// sink saw before the stateful operator's flush could have run: the
+	// early pane must arrive while records still flow.
+	input := [][]byte{windowedRecord(0, "a"), windowedRecord(5, "a")}
+	env.AddSource("src", SliceSource(input)).
+		KeyBy(cfg.Key).
+		TumblingCountWindow("WindowedCount", cfg).
+		AddSink("sink", CollectSink(sink))
+	if _, err := env.Execute("early"); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.Strings()
+	want := []string{"0:a=1", "5:a=1"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("panes = %v, want %v (window 0 fired by the record at t=5)", got, want)
+	}
+}
+
+func TestTumblingCountWindowKeyedParallelism(t *testing.T) {
+	cluster := newTestCluster(t, ClusterConfig{})
+	env := NewEnvironment(cluster)
+	sink := NewRecordCollector()
+	cfg := testWindowConfig()
+
+	var input [][]byte
+	for i := range 60 {
+		input = append(input, windowedRecord(i/10, fmt.Sprintf("k%d", i%5)))
+	}
+	env.AddSource("src", SliceSource(input)).
+		KeyBy(cfg.Key).
+		TumblingCountWindow("WindowedCount", cfg).SetParallelism(3).
+		AddSink("sink", CollectSink(sink))
+	if _, err := env.Execute("windowed-p3"); err != nil {
+		t.Fatal(err)
+	}
+	// 6 windows x 5 keys, 2 records each: each (window, key) pane must
+	// appear exactly once with count 2 — keyed routing kept state whole.
+	counts := make(map[string]int)
+	for _, s := range sink.Strings() {
+		counts[s]++
+	}
+	if len(counts) != 30 {
+		t.Fatalf("distinct panes = %d, want 30", len(counts))
+	}
+	for pane, n := range counts {
+		if n != 1 {
+			t.Errorf("pane %q emitted %d times", pane, n)
+		}
+		if !strings.HasSuffix(pane, "=2") {
+			t.Errorf("pane %q count wrong, want =2", pane)
+		}
+	}
+}
+
+func TestTumblingCountWindowConfigValidation(t *testing.T) {
+	for name, mutate := range map[string]func(*WindowConfig){
+		"zero size":     func(c *WindowConfig) { c.Size = 0 },
+		"nil eventtime": func(c *WindowConfig) { c.EventTime = nil },
+		"nil key":       func(c *WindowConfig) { c.Key = nil },
+		"nil format":    func(c *WindowConfig) { c.Format = nil },
+	} {
+		t.Run(name, func(t *testing.T) {
+			cluster := newTestCluster(t, ClusterConfig{})
+			env := NewEnvironment(cluster)
+			sink := NewRecordCollector()
+			cfg := testWindowConfig()
+			mutate(&cfg)
+			env.AddSource("src", SliceSource(records(1))).
+				TumblingCountWindow("w", cfg).
+				AddSink("sink", CollectSink(sink))
+			if _, err := env.Execute("bad"); err == nil {
+				t.Error("invalid window config accepted")
+			}
+		})
+	}
+}

@@ -193,6 +193,13 @@ type RunResult struct {
 	OutputRecords int64
 	// WallTime is the end-to-end run duration (all three phases).
 	WallTime time.Duration
+	// Skipped marks a setup its runner cannot execute (the translation
+	// reported beam.ErrUnsupported): the cell is recorded with
+	// SkipReason instead of aborting the whole matrix, so a capability
+	// gap shows up as a skipped report cell rather than a dead run.
+	Skipped bool
+	// SkipReason is the unsupported-transform error message.
+	SkipReason string
 }
 
 // Config controls the benchmark.
@@ -614,6 +621,15 @@ func (r *Runner) runCell(ctx context.Context, setup Setup) ([]RunResult, error) 
 		}
 		res, err := r.runSingle(ctx, setup, run)
 		if err != nil {
+			// A capability gap — the runner rejected the pipeline with
+			// the shared beam.ErrUnsupported sentinel — is a property of
+			// the setup, not a failure of the benchmark: record the cell
+			// as skipped-with-reason and keep the matrix running.
+			// Translation is deterministic, so only run 0 can see it.
+			if run == 0 && errors.Is(err, beam.ErrUnsupported) {
+				r.progress(fmt.Sprintf("%-22s skipped (unsupported)", setup.Label()+" "+setup.Query.String()))
+				return []RunResult{{Setup: setup, Skipped: true, SkipReason: err.Error()}}, nil
+			}
 			return out, err
 		}
 		if len(out) > 0 && res.OutputRecords != out[0].OutputRecords && setup.Query != queries.Sample {

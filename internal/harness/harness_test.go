@@ -84,6 +84,10 @@ func TestRunSingleAllSetupsProduceCorrectOutputCounts(t *testing.T) {
 		t.Fatal(err)
 	}
 	grepHits := int64(r.GrepHits())
+	windowedPanes, err := queries.ExpectedWindowedCounts(r.dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, sys := range Systems() {
 		for _, api := range APIs() {
 			for _, q := range queries.All() {
@@ -106,6 +110,10 @@ func TestRunSingleAllSetupsProduceCorrectOutputCounts(t *testing.T) {
 						ratio := float64(res.OutputRecords) / 400
 						if ratio < 0.25 || ratio > 0.55 {
 							t.Errorf("sample ratio = %v, want ~0.4", ratio)
+						}
+					case queries.WindowedCount:
+						if res.OutputRecords != int64(len(windowedPanes)) {
+							t.Errorf("outputs = %d, want %d panes", res.OutputRecords, len(windowedPanes))
 						}
 					}
 					if res.ExecutionTime < 0 {

@@ -31,6 +31,11 @@ func (r *Runner) survivorIndex(q queries.Query) (*queries.SurvivorIndex, error) 
 	for _, rec := range r.dataset {
 		ix.AddInput(rec)
 	}
+	// Seal before sharing: the first Expected() call freezes a keyed
+	// (WindowedCount) index's aggregates into payload entries; doing it
+	// here, still under survivorsMu, keeps the cached index immutable
+	// for the concurrent cells that read it.
+	ix.Expected()
 	r.survivorIndexByQ[q] = ix
 	return ix, nil
 }

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -29,6 +30,10 @@ type Cell struct {
 	// Stages holds per-stage throughput in engine execution order; nil
 	// unless Config.CollectMetrics.
 	Stages []metrics.StageSummary
+	// Skipped marks a setup its runner cannot execute; SkipReason holds
+	// the unsupported-transform error. A skipped cell carries no runs.
+	Skipped    bool
+	SkipReason string
 }
 
 // Report holds the aggregated benchmark results.
@@ -78,6 +83,11 @@ func BuildReport(cfg Config, results []RunResult) (*Report, error) {
 			// overwritten below if run 0 shows up later.
 			cell.OutputRecords = res.OutputRecords
 		}
+		if res.Skipped {
+			cell.Skipped = true
+			cell.SkipReason = res.SkipReason
+			continue
+		}
 		// Cell.OutputRecords is the count the nondeterminism guard in
 		// RunCell anchors on — run 0's — not whichever run happened to be
 		// aggregated last (for Sample cells the per-run counts legitimately
@@ -89,6 +99,9 @@ func BuildReport(cfg Config, results []RunResult) (*Report, error) {
 		cell.OutputRecordsPerRun = append(cell.OutputRecordsPerRun, res.OutputRecords)
 	}
 	for _, cell := range rep.Cells {
+		if cell.Skipped {
+			continue // no runs to summarize
+		}
 		summary, err := stats.Summarize(cell.TimesSec)
 		if err != nil {
 			return nil, fmt.Errorf("harness: summarize %s: %w", cell.Setup.Label(), err)
@@ -149,11 +162,18 @@ func (rep *Report) FormatLatency() (string, error) {
 	return sb.String(), nil
 }
 
+// ErrSkippedCell is returned for cells recorded as skipped: the setup's
+// runner rejected the pipeline as unsupported, so no timings exist.
+var ErrSkippedCell = errors.New("harness: setup skipped (unsupported)")
+
 // Mean returns a cell's mean execution time in seconds.
 func (rep *Report) Mean(setup Setup) (float64, error) {
 	c, ok := rep.byKey[setup]
 	if !ok {
 		return 0, fmt.Errorf("%w: %s %s", ErrMissingCell, setup.Label(), setup.Query)
+	}
+	if c.Skipped {
+		return 0, fmt.Errorf("%w: %s %s", ErrSkippedCell, setup.Label(), setup.Query)
 	}
 	return c.Summary.Mean, nil
 }
@@ -188,6 +208,9 @@ func (rep *Report) RelStdDev(sys System, api API, q queries.Query) (float64, err
 		c, ok := rep.byKey[Setup{System: sys, API: api, Query: q, Parallelism: p}]
 		if !ok {
 			return 0, fmt.Errorf("%w: %s", ErrMissingCell, q)
+		}
+		if c.Skipped {
+			return 0, fmt.Errorf("%w: %s", ErrSkippedCell, c.Setup.Label())
 		}
 		devs = append(devs, c.Summary.RelStdDev)
 	}
@@ -239,10 +262,15 @@ func (rep *Report) formatExecutionTimes(n int) (string, error) {
 			for _, p := range rep.Parallelisms {
 				setup := Setup{System: sys, API: api, Query: q, Parallelism: p}
 				mean, err := rep.Mean(setup)
-				if err != nil {
+				switch {
+				case errors.Is(err, ErrSkippedCell):
+					c := rep.byKey[setup]
+					fmt.Fprintf(&sb, "  %-16s %10s   (%s)\n", setup.Label(), "skipped", c.SkipReason)
+				case err != nil:
 					return "", err
+				default:
+					fmt.Fprintf(&sb, "  %-16s %10.3f s\n", setup.Label(), mean)
 				}
-				fmt.Fprintf(&sb, "  %-16s %10.3f s\n", setup.Label(), mean)
 			}
 		}
 	}
@@ -255,22 +283,27 @@ func (rep *Report) formatRelStdDev() (string, error) {
 	for _, sys := range Systems() {
 		for _, api := range APIs() {
 			for _, q := range figure10QueryOrder() {
-				dev, err := rep.RelStdDev(sys, api, q)
-				if err != nil {
-					return "", err
-				}
 				label := Setup{System: sys, API: api, Query: q}.SDKLabel()
-				fmt.Fprintf(&sb, "  %-24s %8.4f\n", label, dev)
+				dev, err := rep.RelStdDev(sys, api, q)
+				switch {
+				case errors.Is(err, ErrSkippedCell):
+					fmt.Fprintf(&sb, "  %-24s %8s\n", label, "skipped")
+				case err != nil:
+					return "", err
+				default:
+					fmt.Fprintf(&sb, "  %-24s %8.4f\n", label, dev)
+				}
 			}
 		}
 	}
 	return sb.String(), nil
 }
 
-// figure10QueryOrder returns the paper's Figure 10 row order
-// (alphabetical query names within each system-SDK block).
+// figure10QueryOrder returns the Figure 10 row order (alphabetical
+// query names within each system-SDK block, as in the paper, with the
+// stateful addition last alphabetically anyway).
 func figure10QueryOrder() []queries.Query {
-	return []queries.Query{queries.Grep, queries.Identity, queries.Projection, queries.Sample}
+	return []queries.Query{queries.Grep, queries.Identity, queries.Projection, queries.Sample, queries.WindowedCount}
 }
 
 func (rep *Report) formatSlowdown() (string, error) {
@@ -279,11 +312,16 @@ func (rep *Report) formatSlowdown() (string, error) {
 		rep.Records, rep.Runs, rep.ingestLabel())
 	for _, sys := range Systems() {
 		for _, q := range queries.All() {
+			label := fmt.Sprintf("%s %s", sys, q)
 			sf, err := rep.SlowdownFactor(sys, q)
-			if err != nil {
+			switch {
+			case errors.Is(err, ErrSkippedCell):
+				fmt.Fprintf(&sb, "  %-18s %8s\n", label, "skipped")
+			case err != nil:
 				return "", err
+			default:
+				fmt.Fprintf(&sb, "  %-18s %8.2f\n", label, sf)
 			}
-			fmt.Fprintf(&sb, "  %-18s %8.2f\n", fmt.Sprintf("%s %s", sys, q), sf)
 		}
 	}
 	return sb.String(), nil
@@ -356,6 +394,8 @@ type jsonCell struct {
 	OutputRecordsPerRun []int64                 `json:"outputRecordsPerRun,omitempty"`
 	Latency             *metrics.LatencySummary `json:"latency,omitempty"`
 	Stages              []metrics.StageSummary  `json:"stages,omitempty"`
+	Skipped             bool                    `json:"skipped,omitempty"`
+	SkipReason          string                  `json:"skipReason,omitempty"`
 }
 
 type jsonReport struct {
@@ -391,6 +431,8 @@ func (rep *Report) WriteJSON(w io.Writer) error {
 			OutputRecordsPerRun: c.OutputRecordsPerRun,
 			Latency:             c.Latency,
 			Stages:              c.Stages,
+			Skipped:             c.Skipped,
+			SkipReason:          c.SkipReason,
 		})
 	}
 	enc := json.NewEncoder(w)

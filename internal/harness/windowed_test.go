@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"beambench/internal/queries"
+	"beambench/internal/simcost"
+)
+
+// TestWindowedCountByteIdenticalAcrossMatrix is the acceptance property
+// of the stateful scenario: WindowedCount produces byte-identical
+// sorted output across all three systems, both APIs, both parallelism
+// levels and both ingestion modes — all 24 combinations agree with the
+// dataset-derived reference, so the watermark subsystem, the keyed
+// routing and the pane firing of every engine implement one semantics.
+func TestWindowedCountByteIdenticalAcrossMatrix(t *testing.T) {
+	zero := simcost.ZeroCosts()
+	r, err := New(Config{Records: 500, Runs: 1, Costs: &zero, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPayloads, err := queries.ExpectedWindowedCounts(r.dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, len(wantPayloads))
+	for i, p := range wantPayloads {
+		want[i] = string(p)
+	}
+	sort.Strings(want)
+	if len(want) == 0 {
+		t.Fatal("no expected panes; workload too small")
+	}
+
+	for _, sys := range Systems() {
+		for _, api := range APIs() {
+			for _, par := range []int{1, 2} {
+				for _, mode := range []IngestMode{IngestPreload, IngestStream} {
+					setup := Setup{System: sys, API: api, Query: queries.WindowedCount, Parallelism: par}
+					t.Run(fmt.Sprintf("%s/%s", setup.Label(), mode), func(t *testing.T) {
+						got := runModeOutputs(t, r, setup, mode)
+						sort.Strings(got)
+						if len(got) != len(want) {
+							t.Fatalf("output panes = %d, want %d", len(got), len(want))
+						}
+						for i := range got {
+							if got[i] != want[i] {
+								t.Fatalf("pane %d = %q, want %q", i, got[i], want[i])
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,21 @@
+// Package keyhash is the one key-to-partition routing function every
+// engine shares. Keyed correctness across the simulators — Flink's
+// KeyBy edges, Spark's RepartitionByKey shuffle, Apex's keyed streams —
+// requires that equal keys land in the same partition *within* an
+// engine; sharing the function additionally guarantees the three
+// engines can never silently diverge in how they spread keys, and any
+// future change (hash function, sign handling) lands everywhere at
+// once.
+package keyhash
+
+import "hash/fnv"
+
+// Partition maps a key to a partition index in [0, n). n must be
+// positive.
+func Partition(key []byte, n int) int {
+	h := fnv.New32a()
+	_, _ = h.Write(key)
+	// Mask to a non-negative int before the modulo: int(uint32) is
+	// negative for high hash values on 32-bit ints.
+	return int(h.Sum32()&0x7fffffff) % n
+}

@@ -58,6 +58,17 @@ func NativeFlink(env *flink.Environment, w Workload, q Query) error {
 		out = src.Map("Projection", Project)
 	case Grep:
 		out = src.Filter("Filter", GrepMatch)
+	case WindowedCount:
+		// KeyBy routes each user's records to one subtask of the new
+		// windowed reduce operator; panes fire as the subtask watermark
+		// passes window ends and the rest flush at end of input.
+		out = src.KeyBy(UserKey).TumblingCountWindow("WindowedCount", flink.WindowConfig{
+			Size:      WindowedCountWindow,
+			Bound:     WindowedCountBound,
+			EventTime: EventTime,
+			Key:       UserKey,
+			Format:    FormatWindowedCount,
+		})
 	default:
 		return fmt.Errorf("queries: unknown query %d", q)
 	}
@@ -84,6 +95,17 @@ func NativeSpark(ssc *spark.StreamingContext, w Workload, q Query) error {
 		out = src.Map(Project)
 	case Grep:
 		out = src.Filter(GrepMatch)
+	case WindowedCount:
+		// The micro-batch state path: per-(window, user) counts persist
+		// across batches, fire at batch boundaries once the watermark
+		// passes a window's end, and flush when the input drains. The
+		// single-partition input topic keeps every key in one partition,
+		// so no keyed repartition is needed natively.
+		// Named after the DStream operation (the SaveToKafka output op
+		// already carries the query name; distinct labels keep the
+		// per-stage throughput report unambiguous).
+		out = src.ReduceByKeyAndWindow("ReduceByKeyAndWindow",
+			WindowedCountWindow, WindowedCountBound, EventTime, UserKey, FormatWindowedCount)
 	default:
 		return fmt.Errorf("queries: unknown query %d", q)
 	}
@@ -110,13 +132,25 @@ func NativeApex(w Workload, q Query) (*apex.Application, error) {
 		app.AddOperator("projection", apex.MapOp(Project))
 	case Grep:
 		app.AddOperator("grep", apex.FilterOp(GrepMatch))
+	case WindowedCount:
+		app.AddOperator("windowedCount", apex.TumblingCountWindow(
+			WindowedCountWindow, WindowedCountBound, EventTime, UserKey, FormatWindowedCount))
 	default:
 		return nil, fmt.Errorf("queries: unknown query %d", q)
 	}
-	opName := map[Query]string{Identity: "identity", Sample: "sample", Projection: "projection", Grep: "grep"}[q]
+	opName := map[Query]string{
+		Identity: "identity", Sample: "sample", Projection: "projection",
+		Grep: "grep", WindowedCount: "windowedCount",
+	}[q]
 	app.AddOutput("kafkaOutput", apex.KafkaOutput(w.Broker, w.OutputTopic, w.Producer))
 	app.AddStream("input", "kafkaInput", opName)
 	app.AddStream("output", opName, "kafkaOutput")
+	if q.Stateful() {
+		// Keyed partitioning: every user's records reach one partition
+		// of the stateful operator; panes flush on streaming-window
+		// boundaries (EndWindow) and at end of stream.
+		app.SetStreamKeyed("input", UserKey)
+	}
 	return app, nil
 }
 
@@ -161,6 +195,41 @@ func BeamPipeline(w Workload, q Query) (*beam.Pipeline, error) {
 			}
 			return GrepMatch(rec), nil
 		}, vals)
+	case WindowedCount:
+		// WindowInto(FixedWindows + event-time extractor) -> WithKeys
+		// (user ID) -> GroupByKey -> count-and-format. Every runner
+		// completes the GroupByKey translation: keyed routing plus the
+		// shared watermark-driven pane firing (graphx.GBKState).
+		ws := beam.WindowingStrategy{Fn: beam.FixedWindows{Size: WindowedCountWindow}}.
+			WithEventTime(EventTimeOf, WindowedCountBound)
+		windowed := beam.WindowInto(p, ws, vals)
+		keyed := beam.WithKeys(p, "WithKeys", func(elem any) (any, error) {
+			rec, ok := elem.([]byte)
+			if !ok {
+				return nil, fmt.Errorf("queries: windowed element %T is not []byte", elem)
+			}
+			user, err := UserKey(rec)
+			if err != nil {
+				return nil, err
+			}
+			return string(user), nil
+		}, windowed)
+		grouped := beam.GroupByKey(p, keyed)
+		out = beam.MapElements(p, "WindowedCount", func(elem any) (any, error) {
+			g, ok := elem.(beam.Grouped)
+			if !ok {
+				return nil, fmt.Errorf("queries: windowed element %T is not Grouped", elem)
+			}
+			iw, ok := g.Window.(beam.IntervalWindow)
+			if !ok {
+				return nil, fmt.Errorf("queries: windowed pane carries %T, want IntervalWindow", g.Window)
+			}
+			user, err := beam.KeyString(g.Key)
+			if err != nil {
+				return nil, err
+			}
+			return FormatWindowedCount(iw.Start, []byte(user), int64(len(g.Values))), nil
+		}, grouped, beam.WithCoder(beam.BytesCoder{}))
 	default:
 		return nil, fmt.Errorf("queries: unknown query %d", q)
 	}

@@ -30,6 +30,12 @@ type SurvivorIndex struct {
 	inputs  int
 	total   int
 	entries map[string]*survivorEntry
+	// agg accumulates (window, user) aggregates for keyed queries
+	// (WindowedCount); entries are built from it lazily on the first
+	// read, each expected output pairing with its latest contributing
+	// input — the record whose arrival completes the pane.
+	agg    *windowedAggregator
+	sealed bool
 }
 
 // survivorEntry is one distinct expected output payload: a dense id
@@ -40,8 +46,18 @@ type survivorEntry struct {
 }
 
 // NewSurvivorIndex returns an empty index for q; seed drives the sample
-// query's survivor decision.
+// query's survivor decision. For the keyed WindowedCount query the
+// index aggregates instead of applying a per-record predicate: each
+// expected output payload is a (window, user, count) pane, and its
+// paired input is the pane's latest contributing record.
 func NewSurvivorIndex(q Query, seed uint64) (*SurvivorIndex, error) {
+	if q == WindowedCount {
+		return &SurvivorIndex{
+			query:   q,
+			agg:     newWindowedAggregator(),
+			entries: make(map[string]*survivorEntry),
+		}, nil
+	}
 	keep, err := SurvivorPredicate(q, seed)
 	if err != nil {
 		return nil, err
@@ -54,10 +70,20 @@ func NewSurvivorIndex(q Query, seed uint64) (*SurvivorIndex, error) {
 }
 
 // AddInput feeds one input record in append order. Non-surviving
-// records advance the ordinal but are otherwise ignored.
+// records advance the ordinal but are otherwise ignored; for keyed
+// queries every record feeds its pane's aggregate.
 func (ix *SurvivorIndex) AddInput(rec []byte) {
 	i := ix.inputs
 	ix.inputs++
+	if ix.agg != nil {
+		if ix.sealed {
+			panic("queries: SurvivorIndex.AddInput after the index was read")
+		}
+		// Malformed records cannot occur in generator datasets; a parse
+		// failure here would equally fail every engine's run.
+		_ = ix.agg.add(rec, i)
+		return
+	}
 	if !ix.keep(rec) {
 		return
 	}
@@ -71,15 +97,34 @@ func (ix *SurvivorIndex) AddInput(rec []byte) {
 	ix.total++
 }
 
+// seal freezes a keyed index: the accumulated aggregates become regular
+// payload entries, one expected output per pane, paired with the pane's
+// latest contributing input ordinal.
+func (ix *SurvivorIndex) seal() {
+	if ix.agg == nil || ix.sealed {
+		return
+	}
+	ix.sealed = true
+	for _, g := range ix.agg.groups() {
+		e := &survivorEntry{id: len(ix.entries), inputs: []int{g.lastInput}}
+		ix.entries[string(g.payload)] = e
+		ix.total++
+	}
+}
+
 // Inputs reports how many input records were fed.
 func (ix *SurvivorIndex) Inputs() int { return ix.inputs }
 
 // Expected reports how many output records the fed inputs produce.
-func (ix *SurvivorIndex) Expected() int { return ix.total }
+func (ix *SurvivorIndex) Expected() int {
+	ix.seal()
+	return ix.total
+}
 
 // NewPairing returns a fresh cursor session over the index. Sessions
 // are independent; the index itself is never mutated by them.
 func (ix *SurvivorIndex) NewPairing() *SurvivorPairing {
+	ix.seal()
 	return &SurvivorPairing{ix: ix, cursors: make([]int, len(ix.entries))}
 }
 

@@ -50,6 +50,13 @@ func newWorkload(t *testing.T, data [][]byte) Workload {
 
 // expectedOutputs computes the reference output count per query.
 func expectedOutputs(data [][]byte, q Query, seed uint64) int {
+	if q == WindowedCount {
+		panes, err := ExpectedWindowedCounts(data)
+		if err != nil {
+			panic(err)
+		}
+		return len(panes)
+	}
 	n := 0
 	for _, rec := range data {
 		switch q {
@@ -78,10 +85,16 @@ func outputCount(t *testing.T, w Workload) int64 {
 }
 
 func TestQueryStringsAndValidity(t *testing.T) {
-	if len(All()) != 4 {
-		t.Fatalf("All() = %d queries, want 4", len(All()))
+	if len(All()) != 5 {
+		t.Fatalf("All() = %d queries, want 5", len(All()))
 	}
-	names := map[Query]string{Identity: "Identity", Sample: "Sample", Projection: "Projection", Grep: "Grep"}
+	if len(Stateless()) != 4 {
+		t.Fatalf("Stateless() = %d queries, want 4", len(Stateless()))
+	}
+	names := map[Query]string{
+		Identity: "Identity", Sample: "Sample", Projection: "Projection",
+		Grep: "Grep", WindowedCount: "WindowedCount",
+	}
 	for q, want := range names {
 		if q.String() != want {
 			t.Errorf("String() = %q, want %q", q.String(), want)
@@ -160,9 +173,15 @@ func TestNativeFlinkAllQueries(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			// Native jobs fully chain (Figure 12).
-			if res.Tasks != 1 {
-				t.Errorf("Tasks = %d, want 1", res.Tasks)
+			// Stateless native jobs fully chain (Figure 12); the keyed
+			// windowed query breaks the chain at KeyBy, leaving the
+			// source task plus the chained reduce-and-sink task.
+			wantTasks := 1
+			if q.Stateful() {
+				wantTasks = 2
+			}
+			if res.Tasks != wantTasks {
+				t.Errorf("Tasks = %d, want %d", res.Tasks, wantTasks)
 			}
 			want := int64(expectedOutputs(data, q, w.Seed))
 			if got := outputCount(t, w); got != want {

@@ -117,6 +117,9 @@ const (
 	stageInput stageKind = iota + 1
 	stageNarrow
 	stageShuffle
+	// stageStateful is a keyed stage whose per-partition processors
+	// persist across micro-batches (see DStream.Stateful).
+	stageStateful
 )
 
 // narrowFn processes one record, emitting zero or more records.
@@ -148,6 +151,11 @@ type DStream struct {
 	name    string // stage label for telemetry; see Named
 	factory narrowFactory
 	width   int // for stageShuffle: target partition count
+	// shuffleKey, when set on a stageShuffle, routes records by key hash
+	// instead of round-robin (RepartitionByKey).
+	shuffleKey func(rec []byte) ([]byte, error)
+	// state holds a stateful stage's persistent per-partition processors.
+	state *statefulNode
 
 	input inputSource
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"beambench/internal/keyhash"
 	"beambench/internal/metrics"
 	"beambench/internal/simcost"
 )
@@ -33,6 +34,14 @@ func (ssc *StreamingContext) RunBounded() (StreamingMetrics, error) {
 		n := countRecords(parts)
 		if n == 0 {
 			if !remaining {
+				// Bounded input drained: stateful stages flush their
+				// remaining state through the downstream lineage in one
+				// final pass.
+				if ssc.hasStatefulStage() {
+					if err := ssc.runFlushBatch(batchID, driver); err != nil {
+						return ssc.metrics, err
+					}
+				}
 				return ssc.metrics, nil
 			}
 			// Idle batch: the bounded source claims more data is coming
@@ -44,6 +53,19 @@ func (ssc *StreamingContext) RunBounded() (StreamingMetrics, error) {
 			return ssc.metrics, err
 		}
 	}
+}
+
+// hasStatefulStage reports whether any output's lineage contains a
+// stateful stage.
+func (ssc *StreamingContext) hasStatefulStage() bool {
+	for _, out := range ssc.outputs {
+		for cur := out.stream; cur != nil; cur = cur.parent {
+			if cur.kind == stageStateful {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Start launches the micro-batch scheduler at the configured interval,
@@ -124,6 +146,20 @@ func (ssc *StreamingContext) precheck() error {
 			return fmt.Errorf("spark: output %q has no stream", out.name)
 		}
 	}
+	// Lineage is recomputed per output (no cache()); replaying records
+	// into a persistent stateful stage from a second output would
+	// double-count its state.
+	statefulUses := make(map[*DStream]int)
+	for _, out := range ssc.outputs {
+		for cur := out.stream; cur != nil; cur = cur.parent {
+			if cur.kind == stageStateful {
+				statefulUses[cur]++
+				if statefulUses[cur] > 1 {
+					return fmt.Errorf("spark: stateful stage %q consumed by more than one output operation", cur.name)
+				}
+			}
+		}
+	}
 	return nil
 }
 
@@ -143,7 +179,7 @@ func (ssc *StreamingContext) runBatch(batchID int64, parts [][][]byte, driver *s
 	}
 
 	for _, out := range ssc.outputs {
-		data, err := ssc.compute(out.stream, batchID, parts)
+		data, err := ssc.compute(out.stream, batchID, parts, false)
 		if err != nil {
 			return fmt.Errorf("spark: batch %d: %w", batchID, err)
 		}
@@ -158,20 +194,49 @@ func (ssc *StreamingContext) runBatch(batchID int64, parts [][][]byte, driver *s
 	return nil
 }
 
+// runFlushBatch runs the end-of-input pass: stateful stages emit their
+// remaining state (EndStream) and the emissions flow through the
+// downstream lineage and output operations like a regular batch.
+func (ssc *StreamingContext) runFlushBatch(batchID int64, driver *simcost.Meter) error {
+	driver.Charge(ssc.cluster.cfg.Costs.SparkBatch)
+	driver.Flush()
+	ssc.mu.Lock()
+	ssc.metrics.Batches++
+	ssc.mu.Unlock()
+	for _, out := range ssc.outputs {
+		data, err := ssc.compute(out.stream, batchID, nil, true)
+		if err != nil {
+			return fmt.Errorf("spark: flush batch: %w", err)
+		}
+		written, err := ssc.runOutput(out, batchID, data)
+		if err != nil {
+			return fmt.Errorf("spark: flush batch output %q: %w", out.name, err)
+		}
+		ssc.mu.Lock()
+		ssc.metrics.RecordsOut += int64(written)
+		ssc.mu.Unlock()
+	}
+	return nil
+}
+
 // narrowStage is one named narrow stage of a fused task group.
 type narrowStage struct {
 	name    string
 	factory narrowFactory
 }
 
-// stageGroup is a fused run of narrow stages or one shuffle boundary.
+// stageGroup is a fused run of narrow stages, one shuffle boundary, or
+// one stateful stage.
 type stageGroup struct {
-	narrow  []narrowStage
-	shuffle int // >0: shuffle to this many partitions
+	narrow     []narrowStage
+	shuffle    int                              // >0: shuffle to this many partitions
+	shuffleKey func(rec []byte) ([]byte, error) // key-hash routing for the shuffle
+	stateful   *DStream                         // stateful stage node
 }
 
 // compile walks the lineage from the input to ds and fuses consecutive
 // narrow stages into single task groups, as Spark's DAG scheduler does.
+// Shuffles and stateful stages are barriers.
 func compile(ds *DStream) ([]stageGroup, error) {
 	var rev []*DStream
 	for cur := ds; cur != nil; cur = cur.parent {
@@ -185,17 +250,22 @@ func compile(ds *DStream) ([]stageGroup, error) {
 	}
 	var groups []stageGroup
 	var pending []narrowStage
+	barrier := func(g stageGroup) {
+		if len(pending) > 0 {
+			groups = append(groups, stageGroup{narrow: pending})
+			pending = nil
+		}
+		groups = append(groups, g)
+	}
 	for i := len(rev) - 2; i >= 0; i-- { // skip the input node
 		s := rev[i]
 		switch s.kind {
 		case stageNarrow:
 			pending = append(pending, narrowStage{name: s.name, factory: s.factory})
 		case stageShuffle:
-			if len(pending) > 0 {
-				groups = append(groups, stageGroup{narrow: pending})
-				pending = nil
-			}
-			groups = append(groups, stageGroup{shuffle: s.width})
+			barrier(stageGroup{shuffle: s.width, shuffleKey: s.shuffleKey})
+		case stageStateful:
+			barrier(stageGroup{stateful: s})
 		default:
 			return nil, fmt.Errorf("spark: unexpected stage kind %d", s.kind)
 		}
@@ -206,25 +276,106 @@ func compile(ds *DStream) ([]stageGroup, error) {
 	return groups, nil
 }
 
-// compute evaluates the lineage of ds over one batch's partitions.
-func (ssc *StreamingContext) compute(ds *DStream, batchID int64, parts [][][]byte) ([][][]byte, error) {
+// compute evaluates the lineage of ds over one batch's partitions. With
+// flush set (the end-of-input pass) the upstream stages see no input and
+// stateful stages emit their remaining state instead.
+func (ssc *StreamingContext) compute(ds *DStream, batchID int64, parts [][][]byte, flush bool) ([][][]byte, error) {
 	groups, err := compile(ds)
 	if err != nil {
 		return nil, err
 	}
 	data := parts
 	for _, g := range groups {
-		if g.shuffle > 0 {
-			data = ssc.shuffle(data, g.shuffle)
-			continue
+		switch {
+		case g.shuffle > 0:
+			next, err := ssc.shuffle(data, g.shuffle, g.shuffleKey)
+			if err != nil {
+				return nil, err
+			}
+			data = next
+		case g.stateful != nil:
+			next, err := ssc.runStatefulStage(g.stateful, batchID, data, flush)
+			if err != nil {
+				return nil, err
+			}
+			data = next
+		default:
+			next, err := ssc.runNarrowStage(g.narrow, batchID, data)
+			if err != nil {
+				return nil, err
+			}
+			data = next
 		}
-		next, err := ssc.runNarrowStage(g.narrow, batchID, data)
+	}
+	return data, nil
+}
+
+// runStatefulStage delivers one batch's partitions into the stage's
+// persistent processors (creating them on first use) and collects their
+// emissions; window firing happens at the batch boundary (EndBatch). On
+// the flush pass it instead drains the processors' remaining state
+// (EndStream).
+func (ssc *StreamingContext) runStatefulStage(st *DStream, batchID int64, parts [][][]byte, flush bool) ([][][]byte, error) {
+	var (
+		instances []StatefulProcessor
+		err       error
+	)
+	if flush {
+		// Only already-created processors can hold state to drain.
+		instances = st.state.current()
+		if instances == nil {
+			return nil, nil
+		}
+	} else {
+		instances, err = st.state.instancesFor(len(parts))
 		if err != nil {
 			return nil, err
 		}
-		data = next
 	}
-	return data, nil
+
+	var handle *metrics.Stage
+	if c := ssc.cluster.cfg.Metrics; c != nil {
+		handle = c.Stage(st.name)
+	}
+	out := make([][][]byte, len(instances))
+	errs := make([]error, len(instances))
+	var wg sync.WaitGroup
+	for p := range instances {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = ssc.cluster.runTask(func(meter *simcost.Meter) error {
+				task := TaskContext{BatchID: batchID, Partition: p, Charge: meter.Charge}
+				var result [][]byte
+				emit := func(rec []byte) { result = append(result, rec) }
+				inst := instances[p]
+				if flush {
+					if err := inst.EndStream(task, emit); err != nil {
+						return err
+					}
+				} else {
+					for _, rec := range parts[p] {
+						if err := inst.Process(task, rec, emit); err != nil {
+							return err
+						}
+					}
+					if err := inst.EndBatch(task, emit); err != nil {
+						return err
+					}
+				}
+				handle.Mark(int64(len(result)))
+				out[p] = result
+				return nil
+			})
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // runNarrowStage runs one fused stage as parallel tasks, one per
@@ -297,10 +448,11 @@ func (ssc *StreamingContext) runNarrowStage(stages []narrowStage, batchID int64,
 	return out, nil
 }
 
-// shuffle redistributes records round-robin into width partitions,
-// charging the shuffle write/fetch cost and copying each record
-// (serialize to shuffle files, deserialize on fetch).
-func (ssc *StreamingContext) shuffle(parts [][][]byte, width int) [][][]byte {
+// shuffle redistributes records into width partitions — round-robin, or
+// by key hash when keyFn is set (RepartitionByKey) so equal keys land in
+// one partition — charging the shuffle write/fetch cost and copying each
+// record (serialize to shuffle files, deserialize on fetch).
+func (ssc *StreamingContext) shuffle(parts [][][]byte, width int, keyFn func([]byte) ([]byte, error)) ([][][]byte, error) {
 	out := make([][][]byte, width)
 	meter := ssc.cluster.cfg.Sim.NewMeter()
 	defer meter.Flush()
@@ -310,11 +462,19 @@ func (ssc *StreamingContext) shuffle(parts [][][]byte, width int) [][][]byte {
 			cp := make([]byte, len(rec))
 			copy(cp, rec)
 			meter.Charge(ssc.cluster.cfg.Costs.SparkShufflePerRecord)
-			out[i%width] = append(out[i%width], cp)
+			target := i % width
+			if keyFn != nil {
+				key, err := keyFn(rec)
+				if err != nil {
+					return nil, fmt.Errorf("spark: keyed shuffle: %w", err)
+				}
+				target = keyhash.Partition(key, width)
+			}
+			out[target] = append(out[target], cp)
 			i++
 		}
 	}
-	return out
+	return out, nil
 }
 
 // runOutput executes the output action over the final partitions, one

@@ -1,0 +1,164 @@
+package watermark
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2006, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+func TestGeneratorNoProgressBeforeFirstObservation(t *testing.T) {
+	g := NewGenerator(time.Second)
+	if !g.Current().IsZero() {
+		t.Errorf("Current before any Observe = %v, want zero", g.Current())
+	}
+}
+
+func TestGeneratorBoundedOutOfOrderness(t *testing.T) {
+	g := NewGenerator(2 * time.Second)
+	if !g.Observe(epoch.Add(10 * time.Second)) {
+		t.Error("first observation did not advance the watermark")
+	}
+	if want := epoch.Add(8 * time.Second); !g.Current().Equal(want) {
+		t.Errorf("Current = %v, want maxSeen-bound = %v", g.Current(), want)
+	}
+}
+
+func TestGeneratorNegativeBoundTreatedAsZero(t *testing.T) {
+	g := NewGenerator(-time.Second)
+	g.Observe(epoch)
+	if !g.Current().Equal(epoch) {
+		t.Errorf("Current = %v, want %v", g.Current(), epoch)
+	}
+}
+
+// TestGeneratorMonotoneUnderOutOfOrderEventTimes is the property test of
+// the satellite task: whatever permutation of event times a generator
+// observes, its watermark never regresses, never overtakes maxSeen−bound
+// and reaches exactly maxSeen−bound at the end.
+func TestGeneratorMonotoneUnderOutOfOrderEventTimes(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 1234, 99999} {
+		rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+		bound := time.Duration(rng.IntN(5000)) * time.Millisecond
+		g := NewGenerator(bound)
+
+		times := make([]time.Time, 500)
+		for i := range times {
+			times[i] = epoch.Add(time.Duration(rng.IntN(100_000)) * time.Millisecond)
+		}
+		var maxSeen time.Time
+		prev := g.Current()
+		for i, et := range times {
+			advanced := g.Observe(et)
+			if et.After(maxSeen) {
+				maxSeen = et
+			}
+			cur := g.Current()
+			if cur.Before(prev) {
+				t.Fatalf("seed %d: watermark regressed at record %d: %v -> %v", seed, i, prev, cur)
+			}
+			if advanced && !cur.After(prev) && !prev.IsZero() {
+				t.Fatalf("seed %d: Observe reported advance but watermark did not move", seed)
+			}
+			if cur.After(maxSeen.Add(-bound)) {
+				t.Fatalf("seed %d: watermark %v overtook maxSeen-bound %v", seed, cur, maxSeen.Add(-bound))
+			}
+			prev = cur
+		}
+		if want := maxSeen.Add(-bound); !g.Current().Equal(want) {
+			t.Errorf("seed %d: final watermark %v, want %v", seed, g.Current(), want)
+		}
+		g.Finalize()
+		if !g.Current().Equal(EndOfTime) {
+			t.Errorf("seed %d: finalized watermark = %v, want EndOfTime", seed, g.Current())
+		}
+		g.Observe(epoch.Add(time.Hour))
+		if !g.Current().Equal(EndOfTime) {
+			t.Errorf("seed %d: observation after Finalize moved the watermark", seed)
+		}
+	}
+}
+
+func TestMergedGeneratorHoldsBackOnLaggingInput(t *testing.T) {
+	m := NewMergedGenerator(2, 0)
+	if m.Inputs() != 2 {
+		t.Fatalf("Inputs = %d, want 2", m.Inputs())
+	}
+	// Input 0 races ahead; the combined watermark must not move until
+	// input 1 reports progress.
+	if m.Observe(0, epoch.Add(100*time.Second)) {
+		t.Error("combined watermark advanced with input 1 silent")
+	}
+	if !m.Current().IsZero() {
+		t.Errorf("Current = %v, want zero while input 1 is silent", m.Current())
+	}
+	if !m.Observe(1, epoch.Add(3*time.Second)) {
+		t.Error("combined watermark did not advance on the lagging input")
+	}
+	if want := epoch.Add(3 * time.Second); !m.Current().Equal(want) {
+		t.Errorf("Current = %v, want the slower input's %v", m.Current(), want)
+	}
+	// Regression on the fast input is absorbed per input.
+	m.Observe(0, epoch)
+	if want := epoch.Add(3 * time.Second); !m.Current().Equal(want) {
+		t.Errorf("Current after out-of-order observation = %v, want %v", m.Current(), want)
+	}
+	m.FinalizeAll()
+	if !m.Current().Equal(EndOfTime) {
+		t.Errorf("Current after FinalizeAll = %v, want EndOfTime", m.Current())
+	}
+}
+
+func TestMergedGeneratorSingleInputMatchesGenerator(t *testing.T) {
+	m := NewMergedGenerator(1, time.Second)
+	g := NewGenerator(time.Second)
+	for _, sec := range []int{5, 2, 9, 9, 11} {
+		et := epoch.Add(time.Duration(sec) * time.Second)
+		if m.Observe(0, et) != g.Observe(et) {
+			t.Errorf("advance disagreement at %v", et)
+		}
+		if !m.Current().Equal(g.Current()) {
+			t.Errorf("Current = %v, Generator = %v", m.Current(), g.Current())
+		}
+	}
+}
+
+func TestMinTrackerCombinesByMinimum(t *testing.T) {
+	m := NewMinTracker(3)
+	if !m.Combined().IsZero() {
+		t.Errorf("fresh tracker Combined = %v, want zero", m.Combined())
+	}
+	m.Advance(0, epoch.Add(10*time.Second))
+	m.Advance(1, epoch.Add(5*time.Second))
+	if !m.Combined().IsZero() {
+		t.Errorf("Combined = %v, want zero while input 2 has no progress", m.Combined())
+	}
+	m.Advance(2, epoch.Add(7*time.Second))
+	if want := epoch.Add(5 * time.Second); !m.Combined().Equal(want) {
+		t.Errorf("Combined = %v, want %v", m.Combined(), want)
+	}
+	// Regressions are ignored.
+	m.Advance(1, epoch)
+	if want := epoch.Add(5 * time.Second); !m.Combined().Equal(want) {
+		t.Errorf("Combined after regression = %v, want %v", m.Combined(), want)
+	}
+}
+
+func TestMinTrackerFinalizeReleasesInput(t *testing.T) {
+	m := NewMinTracker(2)
+	m.Advance(0, epoch.Add(3*time.Second))
+	m.Finalize(1)
+	if want := epoch.Add(3 * time.Second); !m.Combined().Equal(want) {
+		t.Errorf("Combined = %v, want the live input's %v", m.Combined(), want)
+	}
+	m.Finalize(0)
+	if !m.Combined().Equal(EndOfTime) {
+		t.Errorf("Combined after full finalization = %v, want EndOfTime", m.Combined())
+	}
+	// A finalized input can no longer move.
+	m.Advance(0, epoch)
+	if !m.Combined().Equal(EndOfTime) {
+		t.Error("Advance on a finalized input regressed the combined watermark")
+	}
+}
