@@ -1,9 +1,10 @@
 // Command beambench reproduces the evaluation of Hesse et al. (ICDCS
 // 2019): it runs the StreamBench queries — the paper's four stateless
-// ones plus the stateful WindowedCount (per-user counts over 1-second
-// event-time tumbling windows) — on the three simulated engines, with
-// native APIs and through the Beam abstraction layer, and prints the
-// paper's figures and tables.
+// ones plus three stateful event-time workloads (the tumbling
+// WindowedCount, the overlapping-window SlidingSum, and the two-input
+// windowed Join) — on the three simulated engines, with native APIs and
+// through the Beam abstraction layer, and prints the paper's figures
+// and tables.
 //
 // Usage examples:
 //
@@ -57,6 +58,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"beambench/internal/beam"
 	"beambench/internal/harness"
@@ -78,7 +80,7 @@ func run(args []string, out io.Writer) error {
 		figure   = fs.Int("figure", 0, "print one figure (6-11)")
 		table    = fs.Int("table", 0, "print one table (1-3)")
 		all      = fs.Bool("all", false, "run everything and print all figures and tables")
-		queryArg = fs.String("query", "", "limit to one query: identity|sample|projection|grep|windowedcount")
+		queryArg = fs.String("query", "", "limit to one query: "+strings.Join(queries.Names(), "|"))
 		jsonPath = fs.String("json", "", "write the raw report as JSON to this file")
 		seed     = fs.Uint64("seed", 42, "dataset seed")
 		fusion   = fs.String("fusion", "default", "ParDo fusion mode for Beam cells: default|on|off")

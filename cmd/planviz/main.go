@@ -49,7 +49,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("planviz", flag.ContinueOnError)
 	var (
-		queryArg    = fs.String("query", "grep", "query: identity|sample|projection|grep|windowedcount")
+		queryArg    = fs.String("query", "grep", "query: "+strings.Join(queries.Names(), "|"))
 		apiArg      = fs.String("api", "native", "api: native|beam")
 		format      = fs.String("format", "text", "output format: text|dot")
 		parallelism = fs.Int("p", 1, "job parallelism")

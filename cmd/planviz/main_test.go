@@ -85,7 +85,9 @@ func TestStatefulPlanRendersWindowNodes(t *testing.T) {
 	if err := run([]string{"-query", "windowedcount", "-api", "native"}, &sb); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(sb.String(), "WindowedCount") || !strings.Contains(sb.String(), "nodes: 3") {
+	// Four nodes: the explicit timestamp/watermark assigner now sits
+	// between source and windowed operator.
+	if !strings.Contains(sb.String(), "WindowedCount") || !strings.Contains(sb.String(), "nodes: 4") {
 		t.Errorf("native windowedcount plan wrong:\n%s", sb.String())
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"beambench/internal/broker"
@@ -49,7 +50,7 @@ func run(args []string, out io.Writer) error {
 		topic    = fs.String("topic", "output", "topic to measure")
 		latency  = fs.Bool("latency", false, "compute per-record event-time latency against -input")
 		inTopic  = fs.String("input", "input", "input topic for -latency pairing")
-		queryArg = fs.String("query", "identity", "query semantics for -latency pairing: identity|sample|projection|grep|windowedcount")
+		queryArg = fs.String("query", "identity", "query semantics for -latency pairing: "+strings.Join(queries.Names(), "|"))
 		seed     = fs.Uint64("seed", 7, "sample query seed for -latency pairing")
 	)
 	if err := fs.Parse(args); err != nil {

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"reflect"
+	"sort"
 	"testing"
 
 	"beambench/internal/broker"
@@ -80,14 +82,6 @@ func TestApplicationValidation(t *testing.T) {
 				AddOutput("out", CollectOutput(out)).
 				AddStream("s", "in", "in2")
 		}},
-		{name: "two inputs into one port", build: func() *Application {
-			return NewApplication("a").
-				AddInput("i1", SliceInput(nil)).
-				AddInput("i2", SliceInput(nil)).
-				AddOutput("out", CollectOutput(out)).
-				AddStream("s1", "i1", "out").
-				AddStream("s2", "i2", "out")
-		}},
 		{name: "nil factory", build: func() *Application {
 			return NewApplication("a").
 				AddInput("in", nil).
@@ -108,6 +102,37 @@ func TestApplicationValidation(t *testing.T) {
 				t.Error("invalid application launched")
 			}
 		})
+	}
+}
+
+// TestMergeTwoInputs pins the multi-input contract: several streams may
+// feed one operator port, and the destination sees the union of the
+// upstream tuples (interleaving unspecified).
+func TestMergeTwoInputs(t *testing.T) {
+	cluster := newYarn(t, yarn.ClusterConfig{})
+	out := NewTupleCollector()
+	app := NewApplication("merge").
+		AddInput("i1", SliceInput(tuples(10))).
+		AddInput("i2", SliceInput(tuples(7))).
+		AddOperator("id", PassThrough()).
+		AddOutput("out", CollectOutput(out)).
+		AddStream("s1", "i1", "id").
+		AddStream("s2", "i2", "id").
+		AddStream("s3", "id", "out")
+
+	runApp(t, cluster, app, LaunchConfig{WindowTuples: 4})
+	got := out.Strings()
+	sort.Strings(got)
+	var want []string
+	for _, tu := range tuples(10) {
+		want = append(want, string(tu))
+	}
+	for _, tu := range tuples(7) {
+		want = append(want, string(tu))
+	}
+	sort.Strings(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merged output = %v, want %v", got, want)
 	}
 }
 

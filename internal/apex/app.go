@@ -44,11 +44,11 @@ type OperatorContext interface {
 	// PartitionCount is the operator's partition count.
 	PartitionCount() int
 	// InputPartitions is the number of upstream partitions publishing
-	// into this operator's input stream (0 for input operators).
-	// Stateful event-time operators size their per-input watermark
-	// tracking with it: the combined watermark is the minimum across
-	// the upstream streams, so one racing upstream cannot fire a pane
-	// whose records another upstream still holds.
+	// into this operator's input streams, summed across all of them
+	// (0 for input operators). The runtime sizes the partition's
+	// per-input watermark tracking with it: the combined watermark is
+	// the minimum across the upstream senders, so one racing upstream
+	// cannot fire a pane whose records another upstream still holds.
 	InputPartitions() int
 	// Charge adds simulated processing cost to this partition.
 	Charge(d time.Duration)
@@ -88,12 +88,28 @@ type (
 		EndStream(emit func([]byte) error) error
 	}
 	// SenderAware operators are told which upstream partition published
-	// each tuple; the runtime calls ProcessFrom instead of Process.
-	// Stateful event-time operators use the index for per-input
-	// watermark generation (each upstream's tuple stream is ordered,
-	// the merge of them is not).
+	// each tuple; the runtime calls ProcessFrom instead of Process. The
+	// index is global over the operator's input streams (stream order,
+	// then partition order) — the same space watermark control events
+	// are tagged with.
 	SenderAware interface {
 		ProcessFrom(from int, tuple []byte, emit func([]byte) error) error
+	}
+	// WatermarkAware operators receive the partition's combined input
+	// watermark — the minimum over all upstream senders' control
+	// events — whenever it advances. Stateful event-time operators fire
+	// their watermark-ready panes here; emissions ride in the currently
+	// open streaming window.
+	WatermarkAware interface {
+		OnWatermark(w time.Time, emit func([]byte) error) error
+	}
+	// WatermarkEmitter operators generate event-time watermarks (the
+	// timestamp assigner, where event time enters the DAG). After each
+	// processed batch the runtime reads CurrentWatermark and publishes
+	// advances downstream as control events — always behind the tuples
+	// they cover, never ahead of them.
+	WatermarkEmitter interface {
+		CurrentWatermark() time.Time
 	}
 )
 
@@ -133,7 +149,7 @@ type opDef struct {
 	// operator when positive (set via SetOperatorPartitions).
 	partitions int
 
-	inStream   *streamDef
+	inStreams  []*streamDef
 	outStreams []*streamDef
 
 	stats *OperatorStats
@@ -247,15 +263,11 @@ func (a *Application) AddStream(name, from, to string) *Application {
 		a.fail(fmt.Errorf("%w: stream %q enters input operator %q", ErrInvalidTopology, name, to))
 		return a
 	}
-	if dst.inStream != nil {
-		a.fail(fmt.Errorf("%w: operator %q has two input streams", ErrInvalidTopology, to))
-		return a
-	}
 	s := &streamDef{name: name, from: from, to: to}
 	a.streams[name] = s
 	a.sorder = append(a.sorder, name)
 	src.outStreams = append(src.outStreams, s)
-	dst.inStream = s
+	dst.inStreams = append(dst.inStreams, s)
 	return a
 }
 
@@ -305,6 +317,25 @@ func (a *Application) SetOperatorPartitions(name string, n int) *Application {
 	return a
 }
 
+// RequiredVCores reports the vcores a launch at the given parallelism
+// allocates: one container per operator partition (honouring per-
+// operator overrides) plus the STRAM. Callers provisioning a cluster
+// for the application size it with this.
+func (a *Application) RequiredVCores(parallelism int) int {
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	total := 1
+	for _, name := range a.order {
+		if p := a.ops[name].partitions; p > 0 {
+			total += p
+		} else {
+			total += parallelism
+		}
+	}
+	return total
+}
+
 // validate checks the DAG for structural errors.
 func (a *Application) validate() error {
 	if a.err != nil {
@@ -324,11 +355,11 @@ func (a *Application) validate() error {
 			}
 		case kindOutput:
 			hasOutput = true
-			if op.inStream == nil {
+			if len(op.inStreams) == 0 {
 				return fmt.Errorf("%w: output %q has no input stream", ErrInvalidTopology, name)
 			}
 		case kindGeneric:
-			if op.inStream == nil || len(op.outStreams) == 0 {
+			if len(op.inStreams) == 0 || len(op.outStreams) == 0 {
 				return fmt.Errorf("%w: operator %q is not fully connected", ErrInvalidTopology, name)
 			}
 		}

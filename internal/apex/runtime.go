@@ -10,6 +10,7 @@ import (
 	"beambench/internal/keyhash"
 	"beambench/internal/metrics"
 	"beambench/internal/simcost"
+	"beambench/internal/watermark"
 	"beambench/internal/yarn"
 )
 
@@ -225,8 +226,15 @@ type attempt struct {
 	mu  sync.Mutex
 	err error
 
-	// inbox[stream][partition] is the buffer-server subscriber queue.
+	// inbox[operator][partition] is the buffer-server subscriber queue:
+	// one merged queue per operator partition, fed by all of the
+	// operator's input streams.
 	inbox map[string][]chan streamBatch
+	// fromBase[stream] offsets the publishing partition index into the
+	// destination operator's global sender-id space (stream order, then
+	// partition order), so per-input watermark tracking can tell the
+	// senders of different input streams apart.
+	fromBase map[*streamDef]int
 }
 
 func (at *attempt) fail(err error) {
@@ -249,11 +257,15 @@ func (at *attempt) failure() error {
 
 // streamBatch is one buffer-server publication: tuples plus an optional
 // streaming-window boundary marker, tagged with the publishing upstream
-// partition (for SenderAware subscribers).
+// sender (global over the subscriber's input streams). A batch with wm
+// set is a watermark control event instead: it carries no tuples and
+// advances the sender's input watermark at the subscriber
+// (watermark.EndOfTime finalizes it).
 type streamBatch struct {
 	tuples    [][]byte
 	windowEnd bool
 	from      int
+	wm        time.Time
 }
 
 func (s *Stram) runAttempt() error {
@@ -280,10 +292,11 @@ func (s *Stram) runAttempt() error {
 	deploy.Charge(s.cfg.Costs.YarnContainerStart) // the AM container
 
 	at := &attempt{
-		stram: s,
-		yapp:  yapp,
-		stop:  make(chan struct{}),
-		inbox: make(map[string][]chan streamBatch),
+		stram:    s,
+		yapp:     yapp,
+		stop:     make(chan struct{}),
+		inbox:    make(map[string][]chan streamBatch),
+		fromBase: make(map[*streamDef]int),
 	}
 
 	// One container per operator partition.
@@ -304,22 +317,37 @@ func (s *Stram) runAttempt() error {
 			deploy.Charge(s.cfg.Costs.YarnContainerStart)
 			deployments = append(deployments, deployment{op: op, part: p, ctr: ctr})
 		}
-		if op.inStream != nil {
+		if len(op.inStreams) > 0 {
 			chans := make([]chan streamBatch, parts)
 			for p := range chans {
 				chans[p] = make(chan streamBatch, _streamChannelBuffer)
 			}
-			at.inbox[op.inStream.name] = chans
+			at.inbox[name] = chans
+			base := 0
+			for _, in := range op.inStreams {
+				at.fromBase[in] = base
+				base += s.partitionsOf(s.app.ops[in.from])
+			}
 		}
 	}
 	deploy.Flush()
 
-	// Per-stream upstream completion tracking closes subscriber queues.
-	streamWG := make(map[string]*sync.WaitGroup, len(s.app.streams))
-	for _, sname := range s.app.sorder {
+	// Per-operator upstream completion tracking closes the merged
+	// subscriber queues: a queue closes once every upstream partition of
+	// every input stream has finished.
+	opWG := make(map[string]*sync.WaitGroup, len(s.app.ops))
+	for _, name := range s.app.order {
+		op := s.app.ops[name]
+		if len(op.inStreams) == 0 {
+			continue
+		}
+		n := 0
+		for _, in := range op.inStreams {
+			n += s.partitionsOf(s.app.ops[in.from])
+		}
 		wg := &sync.WaitGroup{}
-		wg.Add(s.partitionsOf(s.app.ops[s.app.streams[sname].from]))
-		streamWG[sname] = wg
+		wg.Add(n)
+		opWG[name] = wg
 	}
 
 	var all sync.WaitGroup
@@ -329,7 +357,7 @@ func (s *Stram) runAttempt() error {
 			defer all.Done()
 			defer func() {
 				for _, out := range d.op.outStreams {
-					streamWG[out.name].Done()
+					opWG[out.to].Done()
 				}
 			}()
 			if err := at.runPartition(d.op, d.part, d.ctr); err != nil {
@@ -337,15 +365,15 @@ func (s *Stram) runAttempt() error {
 			}
 		}(d)
 	}
-	for _, sname := range s.app.sorder {
+	for name, wg := range opWG {
 		all.Add(1)
-		go func(sname string) {
+		go func(name string, wg *sync.WaitGroup) {
 			defer all.Done()
-			streamWG[sname].Wait()
-			for _, ch := range at.inbox[sname] {
+			wg.Wait()
+			for _, ch := range at.inbox[name] {
 				close(ch)
 			}
-		}(sname)
+		}(name, wg)
 	}
 	all.Wait()
 	return at.failure()
@@ -367,8 +395,8 @@ func (c *partitionContext) Charge(d time.Duration) { c.meter.Charge(d) }
 func (at *attempt) runPartition(op *opDef, part int, ctr *yarn.Container) error {
 	s := at.stram
 	inParts := 0
-	if op.inStream != nil {
-		inParts = s.partitionsOf(s.app.ops[op.inStream.from])
+	for _, in := range op.inStreams {
+		inParts += s.partitionsOf(s.app.ops[in.from])
 	}
 	ctx := &partitionContext{idx: part, count: s.partitionsOf(op), inParts: inParts, meter: s.cfg.Sim.NewMeter()}
 	defer ctx.meter.Flush()
@@ -384,11 +412,22 @@ func (at *attempt) runPartition(op *opDef, part int, ctr *yarn.Container) error 
 	for i, out := range op.outStreams {
 		senders[i] = &streamSender{
 			def:     out,
-			fromIdx: part,
-			targets: at.inbox[out.name],
-			meter:   ctx.meter,
-			costs:   s.cfg.Costs,
-			stop:    at.stop,
+			fromIdx: at.fromBase[out] + part,
+			part:    part,
+			// Parallel partitioning (Apex's partition locality): an
+			// equal-width non-keyed stream forwards partition-locally
+			// instead of round-robin, so each partition chain keeps its
+			// upstream arrival order end to end. That order preservation is
+			// what keeps the watermark a timestamp assigner stamps from its
+			// partition's stream sound all the way to the keyed shuffle —
+			// a round-robin split/re-merge between equal-width operators
+			// would interleave racing senders and unbound the event-time
+			// disorder the assigner's bound promises to cover.
+			oneToOne: ctx.count == len(at.inbox[out.to]),
+			targets:  at.inbox[out.to],
+			meter:    ctx.meter,
+			costs:    s.cfg.Costs,
+			stop:     at.stop,
 		}
 	}
 
@@ -455,6 +494,14 @@ func (at *attempt) runInputPartition(op *opDef, ctx *partitionContext, ctr *yarn
 			}
 		}
 		if done {
+			// The source met its end-of-input contract: finalize this
+			// partition's watermark downstream so no subscriber keeps
+			// waiting for it.
+			for _, snd := range senders {
+				if err := snd.publishWatermark(watermark.EndOfTime); err != nil {
+					return err
+				}
+			}
 			return nil
 		}
 	}
@@ -468,7 +515,7 @@ func (at *attempt) runGenericPartition(op *opDef, ctx *partitionContext, ctr *ya
 	}
 	defer func() { _ = inst.Teardown() }()
 
-	in := at.inbox[op.inStream.name][ctx.idx]
+	in := at.inbox[op.name][ctx.idx]
 	var (
 		pending   [][]byte
 		windows   int64
@@ -493,12 +540,100 @@ func (at *attempt) runGenericPartition(op *opDef, ctx *partitionContext, ctr *ya
 	}
 
 	// Sender-aware operators (keyed event-time state) are told which
-	// upstream partition each tuple came from, so they can track one
-	// watermark per input stream.
+	// upstream sender published each tuple. Watermark-aware operators
+	// receive the combined (min-over-senders) input watermark as it
+	// advances; watermark emitters (the timestamp assigner) generate it.
 	sa, senderAware := inst.(SenderAware)
+	wa, watermarkAware := inst.(WatermarkAware)
+	we, watermarkEmitter := inst.(WatermarkEmitter)
+	tracker := watermark.NewMinTracker(max(ctx.inParts, 1))
+	// A parallel-partitioned (1:1) input stream routes tuples and
+	// watermarks partition-locally, so the senders of its non-matching
+	// partitions will never publish here: pre-finalize their tracker
+	// slots or the combined minimum would wait on them forever.
+	base := 0
+	for _, in := range op.inStreams {
+		fromParts := s.partitionsOf(s.app.ops[in.from])
+		if in.keyFn == nil && fromParts == ctx.count {
+			for p := range fromParts {
+				if p != ctx.idx {
+					tracker.Finalize(base + p)
+				}
+			}
+		}
+		base += fromParts
+	}
+	var delivered, toForward time.Time
+	// forwardWM publishes the pending outgoing watermark. It runs only
+	// right after pending tuples have published, so no subscriber sees a
+	// watermark ahead of the records it covers.
+	forwardWM := func() error {
+		if toForward.IsZero() {
+			return nil
+		}
+		w := toForward
+		toForward = time.Time{}
+		for _, snd := range senders {
+			if err := snd.publishWatermark(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	onWatermark := func(w time.Time) error {
+		if !w.After(delivered) {
+			return nil
+		}
+		delivered = w
+		if watermarkAware {
+			if err := wa.OnWatermark(w, emit); err != nil {
+				return fmt.Errorf("apex: operator %q[%d] watermark: %w", op.name, ctx.idx, err)
+			}
+		}
+		if w.After(toForward) {
+			toForward = w
+		}
+		return nil
+	}
 	for batch := range in {
 		if !ctr.Alive() {
 			return fmt.Errorf("apex: container %s of %q[%d] killed", ctr.ID, op.name, ctx.idx)
+		}
+		if !batch.wm.IsZero() {
+			// Watermark control event: advance (or finalize) the sender's
+			// input watermark and react if the combined minimum moved.
+			if batch.wm.Equal(watermark.EndOfTime) {
+				tracker.Finalize(batch.from)
+			} else {
+				tracker.Advance(batch.from, batch.wm)
+			}
+			if err := onWatermark(tracker.Combined()); err != nil {
+				return err
+			}
+			if len(pending) > 0 {
+				// The watermark released panes into the buffer (or per-tuple
+				// arrivals were still accumulating): publish them now, so the
+				// control event's effects reach downstream without waiting for
+				// the next streaming-window boundary — tuple traffic may have
+				// paused entirely.
+				for _, snd := range senders {
+					if !snd.def.perTuple {
+						if err := snd.publishWindow(pending); err != nil {
+							return err
+						}
+					}
+				}
+				pending = pending[:0]
+				stage.Mark(sinceMark)
+				sinceMark = 0
+			}
+			// Everything emitted so far has published: the watermark may
+			// follow at once. Deferring to the next window boundary would
+			// stall idle partitions, which see no tuple traffic at all.
+			if err := forwardWM(); err != nil {
+				return err
+			}
+			continue
 		}
 		for _, t := range batch.tuples {
 			op.stats.in.Add(1)
@@ -512,12 +647,17 @@ func (at *attempt) runGenericPartition(op *opDef, ctx *partitionContext, ctr *ya
 				return fmt.Errorf("apex: operator %q[%d]: %w", op.name, ctx.idx, err)
 			}
 		}
+		if watermarkEmitter {
+			if err := onWatermark(we.CurrentWatermark()); err != nil {
+				return err
+			}
+		}
 		if batch.windowEnd {
 			// Window-boundary flush: a window-aware stateful operator
 			// (windowed aggregation) emits its watermark-ready panes into
 			// the closing window before it publishes downstream.
-			if wa, ok := inst.(WindowEndAware); ok {
-				if err := wa.EndWindow(emit); err != nil {
+			if wea, ok := inst.(WindowEndAware); ok {
+				if err := wea.EndWindow(emit); err != nil {
 					return fmt.Errorf("apex: operator %q[%d] end window: %w", op.name, ctx.idx, err)
 				}
 			}
@@ -533,6 +673,11 @@ func (at *attempt) runGenericPartition(op *opDef, ctx *partitionContext, ctr *ya
 				}
 			}
 			pending = pending[:0]
+			// The window's tuples have published; the watermark covering
+			// them may follow.
+			if err := forwardWM(); err != nil {
+				return err
+			}
 			stage.Mark(sinceMark)
 			sinceMark = 0
 			op.stats.windows.Add(1)
@@ -544,7 +689,8 @@ func (at *attempt) runGenericPartition(op *opDef, ctx *partitionContext, ctr *ya
 	}
 	// End of stream: stateful operators release their remaining state
 	// (the upstream sources met the broker.EndOfInput contract), then a
-	// trailing partial window publishes without a boundary marker.
+	// trailing partial window publishes without a boundary marker, and
+	// the partition finalizes its watermark downstream.
 	if fl, ok := inst.(StreamFlusher); ok {
 		if err := fl.EndStream(emit); err != nil {
 			return fmt.Errorf("apex: operator %q[%d] end stream: %w", op.name, ctx.idx, err)
@@ -560,6 +706,11 @@ func (at *attempt) runGenericPartition(op *opDef, ctx *partitionContext, ctr *ya
 		}
 	}
 	stage.Mark(sinceMark)
+	for _, snd := range senders {
+		if err := snd.publishWatermark(watermark.EndOfTime); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -571,7 +722,7 @@ func (at *attempt) runOutputPartition(op *opDef, ctx *partitionContext, ctr *yar
 	}
 	defer func() { _ = inst.Teardown() }()
 
-	in := at.inbox[op.inStream.name][ctx.idx]
+	in := at.inbox[op.name][ctx.idx]
 	var (
 		windows        int64
 		sinceWindowEnd int
@@ -579,6 +730,9 @@ func (at *attempt) runOutputPartition(op *opDef, ctx *partitionContext, ctr *yar
 	for batch := range in {
 		if !ctr.Alive() {
 			return fmt.Errorf("apex: container %s of %q[%d] killed", ctr.ID, op.name, ctx.idx)
+		}
+		if !batch.wm.IsZero() {
+			continue // sinks need no event-time progress
 		}
 		for _, t := range batch.tuples {
 			op.stats.in.Add(1)
@@ -620,20 +774,25 @@ func allPerTuple(senders []*streamSender) bool {
 }
 
 // streamSender is one upstream partition's buffer-server publisher for
-// one stream.
+// one stream. fromIdx is the sender's global id in the destination
+// operator's input space (stream base + partition index).
 type streamSender struct {
-	def     *streamDef
-	fromIdx int
-	targets []chan streamBatch
-	rr      int
-	meter   *simcost.Meter
-	costs   simcost.Costs
-	stop    <-chan struct{}
+	def      *streamDef
+	fromIdx  int
+	part     int
+	oneToOne bool
+	targets  []chan streamBatch
+	rr       int
+	lastWM   time.Time
+	meter    *simcost.Meter
+	costs    simcost.Costs
+	stop     <-chan struct{}
 }
 
 // partitionOf selects the downstream partition for one tuple: keyed
-// hash routing when the stream is keyed (SetStreamKeyed), round-robin
-// otherwise.
+// hash routing when the stream is keyed (SetStreamKeyed),
+// partition-local forwarding between equal-width operators (parallel
+// partitioning), round-robin otherwise.
 func (ss *streamSender) partitionOf(t []byte) (int, error) {
 	if ss.def.keyFn != nil {
 		key, err := ss.def.keyFn(t)
@@ -641,6 +800,9 @@ func (ss *streamSender) partitionOf(t []byte) (int, error) {
 			return 0, fmt.Errorf("apex: stream %q key: %w", ss.def.name, err)
 		}
 		return keyhash.Partition(key, len(ss.targets)), nil
+	}
+	if ss.oneToOne {
+		return ss.part, nil
 	}
 	i := ss.rr % len(ss.targets)
 	ss.rr++
@@ -676,6 +838,28 @@ func (ss *streamSender) publishTuple(t []byte) error {
 		return err
 	}
 	return ss.send(ss.targets[i], streamBatch{tuples: [][]byte{cloneTuple(t)}, from: ss.fromIdx}, 1)
+}
+
+// publishWatermark publishes a watermark control event downstream: to
+// the sender's own partition on a parallel-partitioned (1:1) stream —
+// matching where its tuples go, so the receivers' pre-finalized sender
+// slots stay silent — broadcast to every partition otherwise.
+// Per-sender monotone: repeats and regressions are dropped, so the
+// downstream MinTracker only ever sees advances.
+func (ss *streamSender) publishWatermark(w time.Time) error {
+	if !w.After(ss.lastWM) {
+		return nil
+	}
+	ss.lastWM = w
+	if ss.def.keyFn == nil && ss.oneToOne {
+		return ss.send(ss.targets[ss.part], streamBatch{wm: w, from: ss.fromIdx}, 0)
+	}
+	for _, target := range ss.targets {
+		if err := ss.send(target, streamBatch{wm: w, from: ss.fromIdx}, 0); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // publishMarker broadcasts a window boundary to all partitions.

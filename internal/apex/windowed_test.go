@@ -45,9 +45,11 @@ func runWindowedApp(t *testing.T, input [][]byte, parallelism, windowTuples int)
 	collector := NewTupleCollector()
 	app := NewApplication("windowed")
 	app.AddInput("in", SliceInput(input))
-	app.AddOperator("count", TumblingCountWindow(time.Second, 0, winEventTime, winKey, winFormat))
+	app.AddOperator("assign", AssignTimestamps(winEventTime, 0))
+	app.AddOperator("count", TumblingCountWindow(time.Second, winEventTime, winKey, winFormat))
 	app.AddOutput("out", CollectOutput(collector))
-	app.AddStream("s1", "in", "count")
+	app.AddStream("s0", "in", "assign")
+	app.AddStream("s1", "assign", "count")
 	app.AddStream("s2", "count", "out")
 	app.SetStreamKeyed("s1", winKey)
 
@@ -121,6 +123,106 @@ func TestTumblingCountWindowKeyedPartitioning(t *testing.T) {
 	}
 }
 
+// gatedInput emits head tuples from partition 0, then waits for the
+// test to open the gate before emitting tail and finishing. Non-zero
+// partitions finish immediately, like an idle Kafka reader.
+type gatedInput struct {
+	head, tail [][]byte
+	gate       <-chan struct{}
+	pos        int
+}
+
+func (g *gatedInput) NextTuples(max int, emit func([]byte) error) (bool, error) {
+	if g.pos < len(g.head) {
+		if err := emit(g.head[g.pos]); err != nil {
+			return false, err
+		}
+		g.pos++
+		return false, nil
+	}
+	if g.gate != nil {
+		select {
+		case <-g.gate:
+			g.gate = nil
+		case <-time.After(10 * time.Second):
+			return false, fmt.Errorf("no pane fired mid-stream: watermark did not release a passed window before end of input")
+		}
+	}
+	if g.pos < len(g.head)+len(g.tail) {
+		if err := emit(g.tail[g.pos-len(g.head)]); err != nil {
+			return false, err
+		}
+		g.pos++
+	}
+	return g.pos >= len(g.head)+len(g.tail), nil
+}
+
+func (g *gatedInput) Teardown() error { return nil }
+
+// chanOutput forwards every received tuple to a channel.
+type chanOutput struct{ ch chan<- string }
+
+func (o chanOutput) Process(t []byte) error { o.ch <- string(t); return nil }
+func (o chanOutput) EndWindow() error       { return nil }
+func (o chanOutput) Teardown() error        { return nil }
+
+// TestTumblingCountWindowFiresPerPaneAtP2 pins per-pane firing under
+// parallelism 2: once the propagated (min-over-senders) watermark has
+// passed a window's end, its pane must publish while the input is still
+// running. The input withholds its final record until the first pane
+// reaches the sink — under the old conservative fallback (panes fire
+// only at end of input at P>1) this test times out instead.
+func TestTumblingCountWindowFiresPerPaneAtP2(t *testing.T) {
+	cluster, err := yarn.NewCluster(yarn.ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	t.Cleanup(cluster.Stop)
+
+	fired := make(chan string, 16)
+	gate := make(chan struct{})
+	app := NewApplication("perpane")
+	app.AddInput("in", func(ctx OperatorContext) (InputOperator, error) {
+		if ctx.PartitionIndex() != 0 {
+			return &gatedInput{}, nil
+		}
+		return &gatedInput{
+			head: [][]byte{
+				windowedTuple(0, "a"),
+				windowedTuple(2, "a"), // bound-0 watermark passes window 0 here
+			},
+			tail: [][]byte{windowedTuple(9, "z")},
+			gate: gate,
+		}, nil
+	})
+	app.AddOperator("assign", AssignTimestamps(winEventTime, 0))
+	app.AddOperator("count", TumblingCountWindow(time.Second, winEventTime, winKey, winFormat))
+	app.AddOutput("out", func(OperatorContext) (OutputOperator, error) {
+		return chanOutput{ch: fired}, nil
+	})
+	app.AddStream("s0", "in", "assign")
+	app.AddStream("s1", "assign", "count")
+	app.AddStream("s2", "count", "out")
+	app.SetStreamKeyed("s1", winKey)
+
+	go func() {
+		for pane := range fired {
+			if pane == "0:a=1" {
+				close(gate)
+				return
+			}
+		}
+	}()
+	stram, err := Launch(cluster, app, LaunchConfig{Parallelism: 2, WindowTuples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stram.Await(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestTumblingCountWindowValidation(t *testing.T) {
 	cluster, err := yarn.NewCluster(yarn.ClusterConfig{})
 	if err != nil {
@@ -131,7 +233,7 @@ func TestTumblingCountWindowValidation(t *testing.T) {
 	collector := NewTupleCollector()
 	app := NewApplication("bad")
 	app.AddInput("in", SliceInput([][]byte{windowedTuple(0, "a")}))
-	app.AddOperator("count", TumblingCountWindow(0, 0, winEventTime, winKey, winFormat))
+	app.AddOperator("count", TumblingCountWindow(0, winEventTime, winKey, winFormat))
 	app.AddOutput("out", CollectOutput(collector))
 	app.AddStream("s1", "in", "count")
 	app.AddStream("s2", "count", "out")

@@ -12,18 +12,19 @@ import (
 )
 
 // ErrUnsupportedWindowing marks GroupByKey windowing shapes the shared
-// executable cannot run: a non-global window fn other than FixedWindows,
-// or non-global windowing without an element-derived event-time
-// extractor (deterministic windowing is impossible once coder boundaries
-// erased the flow timestamps). It wraps beam.ErrUnsupported so runner
-// and harness callers can match it generically.
+// executable cannot run: a non-global window fn outside the supported
+// family (FixedWindows, SlidingWindows, Sessions), or non-global
+// windowing without an element-derived event-time extractor
+// (deterministic windowing is impossible once coder boundaries erased
+// the flow timestamps). It wraps beam.ErrUnsupported so runner and
+// harness callers can match it generically.
 var ErrUnsupportedWindowing = fmt.Errorf("%w: GroupByKey windowing", beam.ErrUnsupported)
 
 // GBKConfig parameterizes the shared GroupByKey executable.
 type GBKConfig struct {
 	// Windowing is the input collection's strategy: global windows (with
-	// an optional count trigger) or event-time FixedWindows with an
-	// EventTime extractor.
+	// an optional count trigger) or event-time windowing (fixed, sliding
+	// or session windows) with an EventTime extractor.
 	Windowing beam.WindowingStrategy
 	// Input is the KV boundary coder of the consumed collection.
 	Input beam.KVCoder
@@ -33,28 +34,6 @@ type GBKConfig struct {
 	// durations (nil disables charging).
 	Costs  simcost.Costs
 	Charge func(time.Duration)
-	// Inputs is the number of distinct ordered upstream streams feeding
-	// this instance (0 or 1: a single stream). In event-time mode the
-	// executable keeps one watermark generator per input and fires on
-	// their minimum (watermark.MergedGenerator), so an instance fed by
-	// several racing upstream partitions never fires a pane whose
-	// records a lagging upstream still holds. Callers with several
-	// inputs must use ProcessFrom. The per-input generators are sound
-	// only when each input stream is itself event-time ordered (up to
-	// Windowing.Bound); see Conservative for topologies that cannot
-	// guarantee that.
-	Inputs int
-	// Conservative disables observation-based watermark advancement:
-	// the watermark claims no progress while records flow and jumps to
-	// end-of-time only at Flush (the broker.EndOfInput finalization).
-	// This is the sound watermark for an instance whose input streams
-	// are unordered merges with unbounded disorder — e.g. the Apex
-	// runner's keyed stream when intermediate multi-partition stages
-	// have re-interleaved the records — where any bounded
-	// out-of-orderness assumption could fire a pane before all its
-	// records arrived. Panes then fire exactly once, complete, at end
-	// of input.
-	Conservative bool
 }
 
 // GBKState is the stateful GroupByKey executable every engine runner
@@ -64,21 +43,27 @@ type GBKConfig struct {
 //   - Global windows: values group per key; an AfterCount trigger fires
 //     a key's pane every N values, and Flush emits the remaining groups
 //     in first-seen key order — the pre-existing bounded behaviour.
-//   - Event-time FixedWindows: each element's window is derived from the
-//     element itself (Windowing.EventTime applied to the KV value); a
-//     per-instance watermark generator with the strategy's
-//     out-of-orderness bound drives pane firing. FireReady — called by
-//     each engine at its natural boundary (per record on tuple-at-a-time
-//     Flink, per micro-batch on Spark, per streaming window on Apex) —
-//     emits every window the watermark has passed, ascending by window
-//     start with keys in first-seen order; Flush finalizes the watermark
-//     (the source met broker.EndOfInput) and fires the rest in the same
-//     order. The firing order depends only on the record arrival order,
-//     which is what makes the engines byte-identical on ordered inputs.
+//   - Event-time windows: each element's windows are derived from the
+//     element itself (Windowing.EventTime applied to the KV value) via
+//     the strategy's window fn — one window under FixedWindows, several
+//     overlapping ones under SlidingWindows, merging key-local sessions
+//     under Sessions. The executable generates no watermark of its own:
+//     pane firing is driven entirely by the watermark the engine
+//     propagates through the dataflow as control events (stamped by the
+//     upstream WindowInto assigner) and delivered via AdvanceWatermark.
+//     Windows the watermark has passed fire ascending by (end, start)
+//     with keys in first-seen order; Flush (the source met
+//     broker.EndOfInput, so the end-of-stream watermark arrived) fires
+//     the rest in the same order. The firing order depends only on the
+//     record arrival order, which is what makes the engines
+//     byte-identical on ordered inputs and multiset-identical always.
 //
 // A GBKState instance is owned by one engine subtask/partition; keyed
 // routing (all records of a key reaching the same instance) is the
-// engine's responsibility.
+// engine's responsibility. Because the engine combines the watermark
+// min-over-senders before delivery, a keyed merge of several racing
+// upstream partitions needs no conservative fallback: no pane fires
+// before every sender's watermark has passed its end.
 type GBKState struct {
 	cfg      GBKConfig
 	windowed bool
@@ -89,8 +74,7 @@ type GBKState struct {
 	order     []string
 
 	// Event-time mode.
-	gen   *watermark.MergedGenerator
-	state *watermark.TumblingState[windowAcc]
+	state *watermark.WindowState[windowAcc]
 }
 
 // globalGroup is one key's pending values in global-window mode.
@@ -103,6 +87,42 @@ type globalGroup struct {
 type windowAcc struct {
 	key    any
 	values []any
+}
+
+// mergeAcc coalesces two session accumulators; sessions merge ascending
+// by start, so values stay ordered by session start with later arrivals
+// appended.
+func mergeAcc(into *windowAcc, from windowAcc) {
+	if into.key == nil {
+		into.key = from.key
+	}
+	into.values = append(into.values, from.values...)
+}
+
+// assignerFor maps the SDK window fn onto the shared window-assignment
+// family.
+func assignerFor(fn beam.WindowFn) (watermark.Assigner, error) {
+	switch f := fn.(type) {
+	case beam.FixedWindows:
+		a, err := watermark.NewTumblingAssigner(f.Size)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrUnsupportedWindowing, err)
+		}
+		return a, nil
+	case beam.SlidingWindows:
+		a, err := watermark.NewSlidingAssigner(f.Size, f.Slide)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrUnsupportedWindowing, err)
+		}
+		return a, nil
+	case beam.Sessions:
+		a, err := watermark.NewSessionAssigner(f.Gap)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrUnsupportedWindowing, err)
+		}
+		return a, nil
+	}
+	return nil, fmt.Errorf("%w: window fn %s", ErrUnsupportedWindowing, fn.Name())
 }
 
 // NewGBKState validates the windowing shape and returns a fresh
@@ -123,19 +143,18 @@ func NewGBKState(cfg GBKConfig) (*GBKState, error) {
 		g.groups = make(map[string]*globalGroup)
 		return g, nil
 	}
-	fixed, ok := ws.Fn.(beam.FixedWindows)
-	if !ok {
-		return nil, fmt.Errorf("%w: window fn %s", ErrUnsupportedWindowing, ws.Fn.Name())
+	assigner, err := assignerFor(ws.Fn)
+	if err != nil {
+		return nil, err
 	}
 	if ws.EventTime == nil {
 		return nil, fmt.Errorf("%w: non-global windowing without an event-time extractor", ErrUnsupportedWindowing)
 	}
-	state, err := watermark.NewTumblingState[windowAcc](fixed.Size)
+	state, err := watermark.NewWindowState[windowAcc](assigner, mergeAcc)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnsupportedWindowing, err)
 	}
 	g.windowed = true
-	g.gen = watermark.NewMergedGenerator(cfg.Inputs, ws.Bound)
 	g.state = state
 	return g, nil
 }
@@ -153,18 +172,11 @@ func (g *GBKState) charge(d time.Duration) {
 	}
 }
 
-// Process consumes one encoded KV record from a single-input stream;
-// see ProcessFrom.
+// Process consumes one encoded KV record. In event-time mode it only
+// accumulates — pane firing awaits the propagated watermark
+// (AdvanceWatermark). In global mode a count trigger may fire the key's
+// pane immediately.
 func (g *GBKState) Process(rec []byte, emit func([]byte) error) error {
-	return g.ProcessFrom(0, rec, emit)
-}
-
-// ProcessFrom consumes one encoded KV record published by the given
-// input stream. In event-time mode it only accumulates (observing the
-// event time under that input's watermark); the engine decides when to
-// FireReady. In global mode a count trigger may fire the key's pane
-// immediately.
-func (g *GBKState) ProcessFrom(input int, rec []byte, emit func([]byte) error) error {
 	elem, err := g.cfg.Input.Decode(rec)
 	if err != nil {
 		return fmt.Errorf("graphx: GroupByKey decode: %w", err)
@@ -189,9 +201,6 @@ func (g *GBKState) ProcessFrom(input int, rec []byte, emit func([]byte) error) e
 			acc.key = kv.Key
 			acc.values = append(acc.values, kv.Value)
 		})
-		if !g.cfg.Conservative {
-			g.gen.Observe(input, et)
-		}
 		return nil
 	}
 
@@ -208,24 +217,25 @@ func (g *GBKState) ProcessFrom(input int, rec []byte, emit func([]byte) error) e
 	return nil
 }
 
-// FireReady emits every event-time pane the current watermark has
-// passed. It is a no-op in global-window mode, so engines can call it
-// unconditionally at their batch or window boundaries.
-func (g *GBKState) FireReady(emit func([]byte) error) error {
+// AdvanceWatermark delivers the propagated input watermark — a control
+// event asserting no earlier event time will arrive on this instance's
+// input — and emits every event-time pane the watermark released. It is
+// a no-op in global-window mode, so engines can deliver watermarks
+// unconditionally.
+func (g *GBKState) AdvanceWatermark(w time.Time, emit func([]byte) error) error {
 	if !g.windowed {
 		return nil
 	}
-	return g.state.FireReady(g.gen.Current(), func(p watermark.Pane[windowAcc]) error {
+	return g.state.FireReady(w, func(p watermark.Pane[windowAcc]) error {
 		return g.emitPane(p, emit)
 	})
 }
 
-// Flush ends the input: in event-time mode every input's watermark is
-// finalized (end-of-input) and every remaining pane fires; in global
-// mode the remaining groups fire in first-seen key order.
+// Flush ends the input: in event-time mode every remaining pane fires
+// (the end-of-stream watermark); in global mode the remaining groups
+// fire in first-seen key order.
 func (g *GBKState) Flush(emit func([]byte) error) error {
 	if g.windowed {
-		g.gen.FinalizeAll()
 		return g.state.FireAll(func(p watermark.Pane[windowAcc]) error {
 			return g.emitPane(p, emit)
 		})

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"beambench/internal/beam"
+	"beambench/internal/watermark"
 )
 
 var gbkEpoch = time.Date(2006, time.March, 1, 0, 0, 0, 0, time.UTC)
@@ -23,6 +24,16 @@ func encodeKV(t *testing.T, key, value string) []byte {
 		t.Fatal(err)
 	}
 	return b
+}
+
+// mustDecodeValue recovers the value payload of an encoded KV record.
+func mustDecodeValue(t *testing.T, rec []byte) string {
+	t.Helper()
+	elem, err := kvCoder().Decode(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(elem.(beam.KV).Value.([]byte))
 }
 
 // valueEventTime reads "<seconds>|payload" values as event times.
@@ -81,8 +92,10 @@ func TestGBKStateWindowedFiresOnWatermarkThenFlush(t *testing.T) {
 	var fired [][]byte
 	emit := func(w []byte) error { fired = append(fired, w); return nil }
 
-	// Two keys in window 0, one in window 2; watermark must not release
-	// window 2 until flush.
+	// Two keys in window 0, one in window 2. The executable generates no
+	// watermark of its own: the watermark arrives as control events (here
+	// what a bound-0 assigner upstream would stamp after each record),
+	// and must not release window 2 before flush.
 	for _, rec := range [][]byte{
 		encodeKV(t, "u1", "0|a"),
 		encodeKV(t, "u2", "0|b"),
@@ -92,7 +105,11 @@ func TestGBKStateWindowedFiresOnWatermarkThenFlush(t *testing.T) {
 		if err := g.Process(rec, emit); err != nil {
 			t.Fatal(err)
 		}
-		if err := g.FireReady(emit); err != nil {
+		et, err := valueEventTime([]byte(mustDecodeValue(t, rec)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AdvanceWatermark(et, emit); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -120,14 +137,18 @@ func TestGBKStateBoundDelaysFiring(t *testing.T) {
 	g := windowedState(t, 2*time.Second)
 	var fired [][]byte
 	emit := func(w []byte) error { fired = append(fired, w); return nil }
-	// Event at t=1s: watermark = 1s-2s < window end (1s) -> nothing fires.
+	// Events up to t=1s: the upstream assigner's watermark (max seen minus
+	// the 2s bound) is 1s-2s < window end (1s) -> nothing fires.
+	gen := watermark.NewGenerator(2 * time.Second)
 	if err := g.Process(encodeKV(t, "u1", "0|a"), emit); err != nil {
 		t.Fatal(err)
 	}
+	gen.Observe(gbkEpoch)
 	if err := g.Process(encodeKV(t, "u1", "1|b"), emit); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.FireReady(emit); err != nil {
+	gen.Observe(gbkEpoch.Add(time.Second))
+	if err := g.AdvanceWatermark(gen.Current(), emit); err != nil {
 		t.Fatal(err)
 	}
 	if len(fired) != 0 {
@@ -137,7 +158,8 @@ func TestGBKStateBoundDelaysFiring(t *testing.T) {
 	if err := g.Process(encodeKV(t, "u2", "3|c"), emit); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.FireReady(emit); err != nil {
+	gen.Observe(gbkEpoch.Add(3 * time.Second))
+	if err := g.AdvanceWatermark(gen.Current(), emit); err != nil {
 		t.Fatal(err)
 	}
 	if got := decodePanes(t, fired); len(got) != 1 || got[0] != fmt.Sprintf("%d/u1=1", gbkEpoch.Unix()) {
@@ -163,7 +185,7 @@ func TestGBKStateGlobalTriggerAndFlush(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := g.FireReady(emit); err != nil { // no-op in global mode
+	if err := g.AdvanceWatermark(watermark.EndOfTime, emit); err != nil { // no-op in global mode
 		t.Fatal(err)
 	}
 	if err := g.Flush(emit); err != nil {

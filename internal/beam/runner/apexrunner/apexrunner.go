@@ -31,6 +31,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"beambench/internal/apex"
 	"beambench/internal/beam"
@@ -99,8 +100,8 @@ func (Runner) Run(ctx context.Context, p *beam.Pipeline, opts beam.Options) (bea
 		return nil, err
 	}
 	cluster.Start()
-	defer cluster.Stop()
-	res, err := Run(p, Config{
+	defer func() { cluster.Stop() }()
+	cfg := Config{
 		Cluster:       cluster,
 		Parallelism:   opts.EffectiveParallelism(),
 		Costs:         opts.EffectiveCosts(),
@@ -108,7 +109,35 @@ func (Runner) Run(ctx context.Context, p *beam.Pipeline, opts beam.Options) (bea
 		Fusion:        opts.Fusion,
 		Metrics:       opts.Metrics,
 		TargetRecords: opts.TargetRecords,
-	})
+	}
+	// Unfused multi-source pipelines can translate to more operator
+	// partitions than the default cluster's vcores. The runner owns this
+	// ephemeral cluster, so it provisions enough node managers for the
+	// translated application — the harness analog of requesting a large
+	// enough YARN queue.
+	app, _, err := Translate(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// maxProvisionedVCores bounds the ephemeral cluster: enough headroom
+	// for any translated DAG at benchmark parallelisms, while an absurd
+	// parallelism still fails fast inside YARN instead of spinning up an
+	// absurd simulated cluster.
+	const maxProvisionedVCores = 64
+	if need := app.RequiredVCores(cfg.Parallelism); need > cluster.TotalVCores() && need <= maxProvisionedVCores {
+		perNode := 8
+		bigger, err := yarn.NewCluster(yarn.ClusterConfig{
+			NodeManagers: (need + perNode - 1) / perNode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cluster.Stop()
+		cluster = bigger
+		cfg.Cluster = bigger
+		cluster.Start()
+	}
+	res, err := Run(p, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -145,59 +174,12 @@ func Run(p *beam.Pipeline, cfg Config) (*apex.AppResult, error) {
 	return stram.Await()
 }
 
-// linearPlan is the normalized shape this runner translates: one source,
-// a chain of ParDo / WindowInto / GroupByKey stages (ParDos a single
-// transform each, or a whole fused chain), one Kafka sink.
-type linearPlan struct {
-	read   *graphx.Stage // KindKafkaRead or KindCreate
-	stages []*graphx.Stage
-	write  *graphx.Stage
-}
-
-// normalize validates that the lowered plan is a linear
-// source-operators-sink chain and returns its stages in order.
-func normalize(plan *graphx.Plan) (*linearPlan, error) {
-	var lp linearPlan
-	prevOut := -1
-	for _, s := range plan.Stages {
-		switch s.Kind() {
-		case beam.KindKafkaRead, beam.KindCreate:
-			if lp.read != nil {
-				return nil, fmt.Errorf("%w: multiple sources", ErrUnsupported)
-			}
-			lp.read = s
-		case beam.KindParDo, beam.KindWindowInto, beam.KindGroupByKey:
-			if lp.read == nil || s.Inputs()[0].ID() != prevOut {
-				return nil, fmt.Errorf("%w: non-linear pipeline", ErrUnsupported)
-			}
-			lp.stages = append(lp.stages, s)
-		case beam.KindKafkaWrite:
-			if lp.write != nil {
-				return nil, fmt.Errorf("%w: multiple sinks", ErrUnsupported)
-			}
-			if s.Inputs()[0].ID() != prevOut {
-				return nil, fmt.Errorf("%w: non-linear pipeline", ErrUnsupported)
-			}
-			lp.write = s
-			continue
-		default:
-			return nil, fmt.Errorf("%w: %v (%s)", ErrUnsupported, s.Kind(), s.Name())
-		}
-		if s.Output().Valid() {
-			prevOut = s.Output().ID()
-		}
-	}
-	if lp.read == nil {
-		return nil, fmt.Errorf("%w: pipeline has no source", ErrUnsupported)
-	}
-	if lp.write == nil {
-		return nil, fmt.Errorf("%w: pipeline has no KafkaIO.Write sink", ErrUnsupported)
-	}
-	return &lp, nil
-}
-
 // Translate builds the Apex application for a pipeline without running
-// it, returning the application and its launch configuration.
+// it, returning the application and its launch configuration. The
+// translation is shape-general: any DAG of sources, ParDo stages (single
+// or fused), Flatten merges, WindowInto assigners and keyed GroupByKey
+// stages into one Kafka sink, each plan stage one Apex operator wired by
+// buffer-server streams.
 func Translate(p *beam.Pipeline, cfg Config) (*apex.Application, apex.LaunchConfig, error) {
 	var zero apex.LaunchConfig
 	if cfg.Cluster == nil {
@@ -213,107 +195,187 @@ func Translate(p *beam.Pipeline, cfg Config) (*apex.Application, apex.LaunchConf
 	if err != nil {
 		return nil, zero, err
 	}
-	lp, err := normalize(plan)
-	if err != nil {
-		return nil, zero, err
+
+	// sinkInput marks the collection feeding the KafkaWrite: the stage
+	// producing it serializes for the synchronous sink on exit, so it
+	// cannot also feed another stage (the exits differ).
+	sinkInput := -1
+	var wc beam.KafkaWriteConfig
+	writes := 0
+	for _, s := range plan.Stages {
+		if s.Kind() != beam.KindKafkaWrite {
+			continue
+		}
+		writes++
+		c, ok := s.Transforms[0].Config.(beam.KafkaWriteConfig)
+		if !ok {
+			return nil, zero, errors.New("apexrunner: malformed KafkaWrite config")
+		}
+		wc = c
+		sinkInput = s.Inputs()[0].ID()
+	}
+	if writes == 0 {
+		return nil, zero, fmt.Errorf("%w: pipeline has no KafkaIO.Write sink", ErrUnsupported)
+	}
+	if writes > 1 {
+		return nil, zero, fmt.Errorf("%w: multiple sinks", ErrUnsupported)
+	}
+	for _, s := range plan.Stages {
+		if s.Kind() == beam.KindKafkaWrite {
+			continue
+		}
+		for _, in := range s.Inputs() {
+			if in.ID() == sinkInput {
+				return nil, zero, fmt.Errorf("%w: collection feeds both the sink and another stage", ErrUnsupported)
+			}
+		}
 	}
 
 	app := apex.NewApplication("beam")
+	names := stageNames(plan.Stages)
 
-	// Source.
-	var sourceIsKafka bool
-	topic := ""
-	switch lp.read.Kind() {
-	case beam.KindKafkaRead:
-		rc, ok := lp.read.Transforms[0].Config.(beam.KafkaReadConfig)
-		if !ok {
-			return nil, zero, errors.New("apexrunner: malformed KafkaRead config")
+	// ops maps collection IDs to the operator producing them; sourceOut
+	// records the raw source outputs (no coder boundary yet: Kafka
+	// payloads to wrap, or Create values under the source coder).
+	ops := make(map[int]string)
+	sourceOut := make(map[int]entrySpec)
+	streamN := 0
+	addStream := func(from, to string) {
+		app.AddStream(fmt.Sprintf("stream%d", streamN), from, to)
+		streamN++
+	}
+	// entryFor resolves a stage's entry spec: wrap/decode a raw source
+	// output, or decode the upstream operator boundary coder.
+	entryFor := func(col beam.PCollection) (entrySpec, error) {
+		if e, ok := sourceOut[col.ID()]; ok {
+			return e, nil
 		}
-		app.AddInput(NameRead, apex.KafkaInput(rc.Broker, rc.Topic, cfg.TargetRecords))
-		sourceIsKafka = true
-		topic = rc.Topic
-	case beam.KindCreate:
-		values, ok := lp.read.Transforms[0].Config.([]any)
-		if !ok {
-			return nil, zero, errors.New("apexrunner: malformed Create config")
+		if _, ok := ops[col.ID()]; !ok {
+			return entrySpec{}, fmt.Errorf("apexrunner: stage consumes untranslated collection")
 		}
-		encoded, err := encodeAll(values, lp.read.Output().Coder())
-		if err != nil {
-			return nil, zero, fmt.Errorf("apexrunner: Create: %w", err)
-		}
-		app.AddInput(NameRead, apex.SliceInput(encoded))
+		return entrySpec{decode: col.Coder()}, nil
 	}
 
-	wc, ok := lp.write.Transforms[0].Config.(beam.KafkaWriteConfig)
-	if !ok {
-		return nil, zero, errors.New("apexrunner: malformed KafkaWrite config")
-	}
-
-	// One Apex operator per plan stage. A fused ParDo chain is a single
-	// executable stage (the paper's deployment); unfused, every ParDo
-	// pays a buffer-server hop and a coder boundary per record. A
-	// WindowInto forwards records (strategy metadata only), and a
-	// GroupByKey deploys the shared stateful executable behind a keyed
-	// stream, so equal keys meet in one partition. An empty chain (read
-	// straight into write) still deploys one forwarding stage,
-	// preserving the three-operator minimum shape.
-	names := stageNames(lp.stages)
-	prev := NameRead
-	for i, s := range lp.stages {
-		streamName := fmt.Sprintf("stream%d", i)
+	for i, s := range plan.Stages {
+		t := s.Transforms[0]
 		switch s.Kind() {
+		case beam.KindKafkaRead:
+			rc, ok := t.Config.(beam.KafkaReadConfig)
+			if !ok {
+				return nil, zero, errors.New("apexrunner: malformed KafkaRead config")
+			}
+			app.AddInput(names[i], apex.KafkaInput(rc.Broker, rc.Topic, cfg.TargetRecords))
+			ops[t.Output.ID()] = names[i]
+			sourceOut[t.Output.ID()] = entrySpec{wrapKafka: true, kafkaTopic: rc.Topic}
+
+		case beam.KindCreate:
+			values, ok := t.Config.([]any)
+			if !ok {
+				return nil, zero, errors.New("apexrunner: malformed Create config")
+			}
+			encoded, err := encodeAll(values, s.Output().Coder())
+			if err != nil {
+				return nil, zero, fmt.Errorf("apexrunner: Create: %w", err)
+			}
+			app.AddInput(names[i], apex.SliceInput(encoded))
+			ops[t.Output.ID()] = names[i]
+			sourceOut[t.Output.ID()] = entrySpec{decode: s.Output().Coder()}
+
 		case beam.KindParDo:
-			entry := entrySpec{decode: s.Inputs()[0].Coder()}
-			if i == 0 {
-				entry = sourceEntry(sourceIsKafka, topic, lp.read.Output().Coder())
+			entry, err := entryFor(s.Inputs()[0])
+			if err != nil {
+				return nil, zero, err
 			}
 			exit := exitSpec{encode: s.Output().Coder()}
-			if i == len(lp.stages)-1 {
+			if s.Output().ID() == sinkInput {
 				exit = exitSpec{toSink: true}
 			}
 			app.AddOperator(names[i], stageOp(names[i], s.Fn(), entry, exit, cfg.Costs))
-			app.AddStream(streamName, prev, names[i])
+			addStream(ops[s.Inputs()[0].ID()], names[i])
+			ops[s.Output().ID()] = names[i]
+
+		case beam.KindFlatten:
+			// Flatten is the engine's merge: every input stream feeds one
+			// forwarding operator port, and the runtime holds the
+			// operator's output watermark at the minimum over all inputs.
+			// Tuples pass through encoded, so a raw source output cannot
+			// be flattened directly (its payloads carry no coder).
+			if s.Output().ID() == sinkInput {
+				return nil, zero, fmt.Errorf("%w: Flatten adjacent to sink", ErrUnsupported)
+			}
+			app.AddOperator(names[i], forwardOp(cfg.Costs))
+			for _, in := range s.Inputs() {
+				if _, raw := sourceOut[in.ID()]; raw {
+					return nil, zero, fmt.Errorf("%w: Flatten directly from a source", ErrUnsupported)
+				}
+				if _, ok := ops[in.ID()]; !ok {
+					return nil, zero, errors.New("apexrunner: Flatten consumes untranslated collection")
+				}
+				addStream(ops[in.ID()], names[i])
+			}
+			ops[s.Output().ID()] = names[i]
 
 		case beam.KindWindowInto:
-			ws, ok := s.Transforms[0].Config.(beam.WindowingStrategy)
+			ws, ok := t.Config.(beam.WindowingStrategy)
 			if !ok {
 				return nil, zero, errors.New("apexrunner: malformed WindowInto config")
 			}
-			if !ws.IsGlobal() && ws.EventTime == nil {
-				return nil, zero, fmt.Errorf("%w: non-global windowing (%s) without an event-time extractor",
-					ErrUnsupported, ws.Fn.Name())
-			}
-			if i == 0 || i == len(lp.stages)-1 {
+			if _, raw := sourceOut[s.Inputs()[0].ID()]; raw || s.Output().ID() == sinkInput {
 				return nil, zero, fmt.Errorf("%w: WindowInto adjacent to source or sink", ErrUnsupported)
 			}
-			// Re-windowing carries only strategy metadata (consumed by
-			// the downstream GroupByKey); at runtime it forwards the
-			// encoded records unchanged.
-			app.AddOperator(names[i], forwardOp(cfg.Costs))
-			app.AddStream(streamName, prev, names[i])
+			if _, ok := ops[s.Inputs()[0].ID()]; !ok {
+				return nil, zero, errors.New("apexrunner: WindowInto consumes untranslated collection")
+			}
+			if ws.IsGlobal() {
+				// Global re-windowing carries only strategy metadata
+				// (consumed by the downstream GroupByKey); at runtime it
+				// forwards the encoded records unchanged.
+				app.AddOperator(names[i], forwardOp(cfg.Costs))
+			} else {
+				if ws.EventTime == nil {
+					return nil, zero, fmt.Errorf("%w: non-global windowing (%s) without an event-time extractor",
+						ErrUnsupported, ws.Fn.Name())
+				}
+				// Event-time windowing is where event time enters the
+				// DAG: the transform becomes the engine's timestamp
+				// assigner, stamping watermark control events the runtime
+				// threads through every downstream operator
+				// (min-over-senders) to the GroupByKey panes. Window
+				// assignment itself stays in the strategy metadata the
+				// GroupByKey consumes.
+				coder := t.Inputs[0].Coder()
+				app.AddOperator(names[i], apex.AssignTimestamps(func(tuple []byte) (time.Time, error) {
+					elem, err := coder.Decode(tuple)
+					if err != nil {
+						return time.Time{}, fmt.Errorf("apexrunner: WindowInto decode: %w", err)
+					}
+					return ws.EventTime(elem)
+				}, ws.Bound))
+			}
+			addStream(ops[s.Inputs()[0].ID()], names[i])
+			ops[s.Output().ID()] = names[i]
 
 		case beam.KindGroupByKey:
-			t := s.Transforms[0]
 			kvCoder, ok := t.Inputs[0].Coder().(beam.KVCoder)
 			if !ok {
 				return nil, zero, fmt.Errorf("%w: GroupByKey over coder %s", ErrUnsupported, t.Inputs[0].Coder().Name())
 			}
-			if i == 0 || i == len(lp.stages)-1 {
+			if _, raw := sourceOut[s.Inputs()[0].ID()]; raw || s.Output().ID() == sinkInput {
 				return nil, zero, fmt.Errorf("%w: GroupByKey adjacent to source or sink", ErrUnsupported)
 			}
+			if _, ok := ops[s.Inputs()[0].ID()]; !ok {
+				return nil, zero, errors.New("apexrunner: GroupByKey consumes untranslated collection")
+			}
+			// The shared executable generates no watermark of its own:
+			// panes fire off the control-event watermark the runtime
+			// propagates from the upstream WindowInto assigner, combined
+			// min-over-senders at every merge — sound at any parallelism
+			// without a conservative fallback.
 			gbkCfg := graphx.GBKConfig{
 				Windowing: t.Inputs[0].Windowing(),
 				Input:     kvCoder,
 				Output:    t.Output.Coder(),
 				Costs:     cfg.Costs,
-				// At parallelism 1 every stream is a FIFO 1-to-1 channel,
-				// so the instance's inputs are event-time ordered and the
-				// watermark may advance from observations. Above that,
-				// the intermediate multi-partition stages re-interleave
-				// tuples round-robin with disorder bounded only by
-				// channel buffering, so the only sound watermark is the
-				// conservative one: no progress until end of input.
-				Conservative: cfg.Parallelism > 1,
 			}
 			if _, err := graphx.NewGBKState(gbkCfg); err != nil {
 				if errors.Is(err, beam.ErrUnsupported) {
@@ -323,16 +385,30 @@ func Translate(p *beam.Pipeline, cfg Config) (*apex.Application, apex.LaunchConf
 			}
 			app.AddOperator(names[i], gbkOp(gbkCfg))
 			// Keyed partitioning: the stream into the stateful operator
-			// hashes the encoded KV key, and panes flush on streaming
-			// window boundaries (EndWindow) plus at end of stream.
-			app.AddStream(streamName, prev, names[i])
+			// hashes the encoded KV key, so equal keys meet in one
+			// partition.
+			streamName := fmt.Sprintf("stream%d", streamN)
+			addStream(ops[s.Inputs()[0].ID()], names[i])
 			app.SetStreamKeyed(streamName, graphx.EncodedKVKey)
+			ops[s.Output().ID()] = names[i]
+
+		case beam.KindKafkaWrite:
+			// Handled below: the sink is wired after its producer exists.
+
+		default:
+			return nil, zero, fmt.Errorf("%w: %v (%s)", ErrUnsupported, s.Kind(), s.Name())
 		}
-		prev = names[i]
 	}
-	if len(lp.stages) == 0 {
-		app.AddOperator(NameStage, stageOp(NameStage, nil, sourceEntry(sourceIsKafka, topic, lp.read.Output().Coder()), exitSpec{toSink: true}, cfg.Costs))
-		app.AddStream("stream0", prev, NameStage)
+
+	prev, ok := ops[sinkInput]
+	if !ok {
+		return nil, zero, errors.New("apexrunner: KafkaWrite consumes untranslated collection")
+	}
+	if e, raw := sourceOut[sinkInput]; raw {
+		// Read straight into write: one forwarding stage preserves the
+		// three-operator minimum shape.
+		app.AddOperator(NameStage, stageOp(NameStage, nil, e, exitSpec{toSink: true}, cfg.Costs))
+		addStream(prev, NameStage)
 		prev = NameStage
 	}
 
@@ -354,17 +430,20 @@ func Translate(p *beam.Pipeline, cfg Config) (*apex.Application, apex.LaunchConf
 	return app, launch, nil
 }
 
-// stageNames assigns unique operator names: the canonical fused-stage
-// name for a fused chain, the transform name (deduplicated) otherwise.
+// stageNames assigns unique operator names: the Kafka read name for
+// sources, the canonical fused-stage name for a fused chain, and the
+// transform name (deduplicated) otherwise.
 func stageNames(stages []*graphx.Stage) []string {
 	names := make([]string, len(stages))
 	seen := make(map[string]bool)
 	for i, s := range stages {
 		name := s.Name()
-		if s.Fused() {
+		switch {
+		case s.Kind() == beam.KindKafkaRead || s.Kind() == beam.KindCreate:
+			name = NameRead
+		case s.Fused():
 			name = NameStage
-		}
-		if name == "" {
+		case name == "":
 			name = fmt.Sprintf("ParDo%d", i)
 		}
 		if seen[name] {
@@ -478,11 +557,9 @@ func forwardOp(costs simcost.Costs) apex.GenericFactory {
 }
 
 // gbkOperator adapts the shared GroupByKey executable to the engine:
-// tuples arrive tagged with their upstream partition (SenderAware, one
-// watermark per ordered upstream stream — minimum-across-inputs
-// propagation), watermark-ready panes flush at streaming-window
-// boundaries (WindowEndAware), and the remaining state drains at end of
-// stream (StreamFlusher).
+// tuples accumulate per (window, key), panes fire as the runtime
+// delivers the combined min-over-senders watermark (WatermarkAware), and
+// the remaining state drains at end of stream (StreamFlusher).
 type gbkOperator struct {
 	state *graphx.GBKState
 }
@@ -491,12 +568,8 @@ func (o *gbkOperator) Process(t []byte, emit func([]byte) error) error {
 	return o.state.Process(t, emit)
 }
 
-func (o *gbkOperator) ProcessFrom(from int, t []byte, emit func([]byte) error) error {
-	return o.state.ProcessFrom(from, t, emit)
-}
-
-func (o *gbkOperator) EndWindow(emit func([]byte) error) error {
-	return o.state.FireReady(emit)
+func (o *gbkOperator) OnWatermark(w time.Time, emit func([]byte) error) error {
+	return o.state.AdvanceWatermark(w, emit)
 }
 
 func (o *gbkOperator) EndStream(emit func([]byte) error) error {
@@ -506,13 +579,11 @@ func (o *gbkOperator) EndStream(emit func([]byte) error) error {
 func (o *gbkOperator) Teardown() error { return nil }
 
 // gbkOp builds the keyed stateful GroupByKey operator, one shared-state
-// executable per partition, with per-input watermark tracking sized to
-// the upstream partition count.
+// executable per partition.
 func gbkOp(cfg graphx.GBKConfig) apex.GenericFactory {
 	return func(ctx apex.OperatorContext) (apex.GenericOperator, error) {
 		cfg := cfg
 		cfg.Charge = ctx.Charge
-		cfg.Inputs = ctx.InputPartitions()
 		state, err := graphx.NewGBKState(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("apexrunner: %w", err)

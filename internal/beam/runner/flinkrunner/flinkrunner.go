@@ -16,11 +16,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"beambench/internal/beam"
 	"beambench/internal/beam/graphx"
 	"beambench/internal/flink"
 	"beambench/internal/simcost"
+	"beambench/internal/watermark"
 )
 
 // Name is the runner's registry name.
@@ -203,21 +205,45 @@ func Translate(p *beam.Pipeline, cfg Config) (*flink.Environment, string, error)
 			if !ok {
 				return nil, "", fmt.Errorf("flinkrunner: malformed WindowInto config")
 			}
-			if !ws.IsGlobal() && ws.EventTime == nil {
+			in, ok := streams[t.Inputs[0].ID()]
+			if !ok {
+				return nil, "", fmt.Errorf("flinkrunner: WindowInto consumes untranslated collection")
+			}
+			if ws.IsGlobal() {
+				// Global re-windowing carries only strategy metadata; at
+				// runtime it is a forwarding operator.
+				streams[t.Output.ID()] = in.Process(NameRawParDo, forwardProcess(costs))
+				break
+			}
+			if ws.EventTime == nil {
 				// Coder boundaries erase flow timestamps, so non-global
 				// windowing is translatable only when event time derives
 				// from the element itself.
 				return nil, "", fmt.Errorf("%w: non-global windowing (%s) without an event-time extractor",
 					ErrUnsupported, ws.Fn.Name())
 			}
-			in, ok := streams[t.Inputs[0].ID()]
-			if !ok {
-				return nil, "", fmt.Errorf("flinkrunner: WindowInto consumes untranslated collection")
+			// Event-time windowing is where event time enters the
+			// dataflow: the transform becomes the engine's timestamp
+			// assigner, stamping watermark control events that the runtime
+			// threads through every downstream operator (min-over-senders)
+			// to the GroupByKey panes. Window assignment itself stays in
+			// the strategy metadata the GroupByKey consumes.
+			streams[t.Output.ID()] = in.AssignTimestamps(NameRawParDo,
+				windowAssigner(ws, t.Inputs[0].Coder(), costs))
+
+		case beam.KindFlatten:
+			ins := make([]*flink.DataStream, len(t.Inputs))
+			for i, col := range t.Inputs {
+				in, ok := streams[col.ID()]
+				if !ok {
+					return nil, "", fmt.Errorf("flinkrunner: Flatten consumes untranslated collection")
+				}
+				ins[i] = in
 			}
-			// Re-windowing carries only strategy metadata (window fn,
-			// trigger, event-time extractor — consumed by the downstream
-			// GroupByKey); at runtime it is a forwarding operator.
-			streams[t.Output.ID()] = in.Process(NameRawParDo, forwardProcess(costs))
+			// Flatten is the engine's union: a multi-input merge whose
+			// output watermark the runtime holds at the minimum over all
+			// inputs, so a lagging branch holds back downstream panes.
+			streams[t.Output.ID()] = ins[0].Union("Flatten", ins[1:]...)
 
 		case beam.KindGroupByKey:
 			in, ok := streams[t.Inputs[0].ID()]
@@ -234,20 +260,16 @@ func Translate(p *beam.Pipeline, cfg Config) (*flink.Environment, string, error)
 			// end-of-input flush. Event-time windows fire tuple-at-a-time
 			// as the subtask watermark advances; global windows fire on
 			// the count trigger and at flush.
+			// The shared executable generates no watermark of its own:
+			// panes fire off the control-event watermark the runtime
+			// propagates from the upstream WindowInto assigner, combined
+			// min-over-senders at every merge — sound at any parallelism
+			// without a conservative fallback.
 			gbkCfg := graphx.GBKConfig{
 				Windowing: t.Inputs[0].Windowing(),
 				Input:     kvCoder,
 				Output:    t.Output.Coder(),
 				Costs:     costs,
-				// At parallelism 1 every edge is a FIFO 1-to-1 channel,
-				// so the keyed subtask's input is event-time ordered and
-				// the watermark may advance from observations. Above
-				// that, several upstream subtasks can merge into one
-				// keyed subtask with disorder bounded only by channel
-				// buffering (flink edges carry no sender identity), so
-				// the only sound watermark is the conservative one: no
-				// progress until end of input.
-				Conservative: cfg.Parallelism > 1,
 			}
 			if _, err := graphx.NewGBKState(gbkCfg); err != nil {
 				if errors.Is(err, beam.ErrUnsupported) {
@@ -256,7 +278,7 @@ func Translate(p *beam.Pipeline, cfg Config) (*flink.Environment, string, error)
 				return nil, "", fmt.Errorf("flinkrunner: %w", err)
 			}
 			keyed := in.KeyBy(graphx.EncodedKVKey)
-			streams[t.Output.ID()] = keyed.ProcessWithFlush("GroupByKey", gbkProcess(gbkCfg))
+			streams[t.Output.ID()] = keyed.ProcessWithWatermark("GroupByKey", gbkProcess(gbkCfg))
 
 		default:
 			return nil, "", fmt.Errorf("%w: %v (%s)", ErrUnsupported, s.Kind(), s.Name())
@@ -342,27 +364,58 @@ func forwardProcess(costs simcost.Costs) flink.ProcessFactory {
 	}
 }
 
+// windowAssigner builds the timestamp/watermark assigner a non-global
+// WindowInto translates to: each record's element-derived event time
+// feeds a per-subtask watermark generator with the strategy's bound, and
+// every generator advance is emitted as a watermark control event behind
+// the record it covers.
+func windowAssigner(ws beam.WindowingStrategy, coder beam.Coder, costs simcost.Costs) flink.AssignerFactory {
+	return func(ctx flink.OperatorContext, wm flink.WatermarkEmitter) (flink.ProcessFunc, error) {
+		gen := watermark.NewGenerator(ws.Bound)
+		return func(rec []byte, out flink.Collector) error {
+			elem, err := coder.Decode(rec)
+			if err != nil {
+				return fmt.Errorf("flinkrunner: WindowInto decode: %w", err)
+			}
+			ctx.Charge(costs.CoderPerRecord)
+			ctx.Charge(costs.BeamDoFnPerRecord)
+			et, err := ws.EventTime(elem)
+			if err != nil {
+				return fmt.Errorf("flinkrunner: WindowInto event time: %w", err)
+			}
+			if err := out.Collect(rec); err != nil {
+				return err
+			}
+			if gen.Observe(et) {
+				return wm.EmitWatermark(gen.Current())
+			}
+			return nil
+		}, nil
+	}
+}
+
 // gbkProcess runs the shared GroupByKey executable (graphx.GBKState) as
-// a keyed subtask with end-of-input flush. On the tuple-at-a-time engine
-// watermark-ready panes fire after every processed record.
-func gbkProcess(cfg graphx.GBKConfig) flink.FlushableProcessFactory {
-	return func(ctx flink.OperatorContext) (flink.ProcessFunc, flink.FlushFunc, error) {
+// a keyed subtask under control-event watermarks: records accumulate,
+// panes fire as the runtime delivers the min-over-senders watermark, and
+// the remaining state drains at end of input.
+func gbkProcess(cfg graphx.GBKConfig) flink.WatermarkedProcessFactory {
+	return func(ctx flink.OperatorContext) (flink.ProcessFunc, flink.WatermarkFunc, flink.FlushFunc, error) {
 		cfg := cfg
 		cfg.Charge = ctx.Charge
 		state, err := graphx.NewGBKState(cfg)
 		if err != nil {
-			return nil, nil, fmt.Errorf("flinkrunner: %w", err)
+			return nil, nil, nil, fmt.Errorf("flinkrunner: %w", err)
 		}
 		process := func(rec []byte, out flink.Collector) error {
-			if err := state.Process(rec, out.Collect); err != nil {
-				return err
-			}
-			return state.FireReady(out.Collect)
+			return state.Process(rec, out.Collect)
+		}
+		onWatermark := func(w time.Time, out flink.Collector) error {
+			return state.AdvanceWatermark(w, out.Collect)
 		}
 		flush := func(out flink.Collector) error {
 			return state.Flush(out.Collect)
 		}
-		return process, flush, nil
+		return process, onWatermark, flush, nil
 	}
 }
 

@@ -2,7 +2,8 @@ package flinkrunner
 
 import (
 	"bytes"
-	"errors"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -186,14 +187,22 @@ func TestCreatePipeline(t *testing.T) {
 	}
 }
 
-func TestUnsupportedTransforms(t *testing.T) {
-	cluster := newCluster(t)
+func TestFlattenMergesInputs(t *testing.T) {
+	b := broker.New()
+	if err := b.CreateTopic("out", broker.TopicConfig{Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
 	p := beam.NewPipeline()
-	a := beam.Create(p, []any{[]byte("a")})
-	c := beam.Create(p, []any{[]byte("b")})
-	beam.Flatten(p, a, c)
-	if _, err := Run(p, Config{Cluster: cluster}); !errors.Is(err, ErrUnsupported) {
-		t.Errorf("Flatten = %v, want ErrUnsupported", err)
+	a := beam.Create(p, []any{[]byte("a1"), []byte("a2")})
+	c := beam.Create(p, []any{[]byte("b1")})
+	beam.KafkaWrite(p, b, "out", beam.Flatten(p, a, c), broker.ProducerConfig{})
+	if _, err := Run(p, Config{Cluster: newCluster(t)}); err != nil {
+		t.Fatal(err)
+	}
+	got := topicStrings(t, b, "out")
+	sort.Strings(got)
+	if want := []string{"a1", "a2", "b1"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("flattened output = %v, want %v", got, want)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"beambench/internal/beam"
 	"beambench/internal/beam/graphx"
@@ -165,6 +166,12 @@ func translate(p *beam.Pipeline, cfg Config) (*spark.StreamingContext, int, erro
 	costs := cfg.Cluster.Costs()
 
 	streams := make(map[int]*spark.DStream)
+	// multiPart tracks which translated streams can hold more than one
+	// RDD partition per batch (a multi-partition topic, a default
+	// redistribution, or a union laying branch partitions side by side).
+	// A GroupByKey consuming such a stream needs a keyed shuffle even at
+	// parallelism 1, or a key's records never meet in one partition.
+	multiPart := make(map[int]bool)
 	opCount := 0
 	for _, s := range plan.Stages {
 		t := s.Transforms[0]
@@ -185,6 +192,11 @@ func translate(p *beam.Pipeline, cfg Config) (*spark.StreamingContext, int, erro
 				opCount++
 			}
 			streams[t.Output.ID()] = ds
+			nParts, err := rc.Broker.Partitions(rc.Topic)
+			if err != nil {
+				return nil, 0, fmt.Errorf("sparkrunner: KafkaRead: %w", err)
+			}
+			multiPart[t.Output.ID()] = nParts > 1 || cfg.Parallelism > 1
 
 		case beam.KindCreate:
 			values, ok := t.Config.([]any)
@@ -208,6 +220,7 @@ func translate(p *beam.Pipeline, cfg Config) (*spark.StreamingContext, int, erro
 			streams[s.Output().ID()] = in.TransformE(
 				parDoStage(s.Name(), s.Fn(), s.Inputs()[0].Coder(), s.Output().Coder(), costs)).
 				Named(s.Name())
+			multiPart[s.Output().ID()] = multiPart[s.Inputs()[0].ID()]
 			opCount++
 
 		case beam.KindKafkaWrite:
@@ -229,22 +242,60 @@ func translate(p *beam.Pipeline, cfg Config) (*spark.StreamingContext, int, erro
 			if !ok {
 				return nil, 0, errors.New("sparkrunner: malformed WindowInto config")
 			}
-			if !ws.IsGlobal() && ws.EventTime == nil {
-				return nil, 0, fmt.Errorf("%w: non-global windowing (%s) without an event-time extractor",
-					ErrUnsupported, ws.Fn.Name())
-			}
 			in, ok := streams[t.Inputs[0].ID()]
 			if !ok {
 				return nil, 0, errors.New("sparkrunner: WindowInto consumes untranslated collection")
 			}
-			// Re-windowing only carries strategy metadata (consumed by
-			// the downstream GroupByKey); at runtime it forwards records.
-			streams[t.Output.ID()] = in.Transform(func(task spark.TaskContext) func([]byte, func([]byte)) {
-				return func(rec []byte, emit func([]byte)) {
-					task.Charge(costs.BeamDoFnPerRecord)
-					emit(rec)
+			if ws.IsGlobal() {
+				// Global re-windowing only carries strategy metadata
+				// (consumed by the downstream GroupByKey); at runtime it
+				// forwards records.
+				streams[t.Output.ID()] = in.Transform(func(task spark.TaskContext) func([]byte, func([]byte)) {
+					return func(rec []byte, emit func([]byte)) {
+						task.Charge(costs.BeamDoFnPerRecord)
+						emit(rec)
+					}
+				}).Named(s.Name())
+				multiPart[t.Output.ID()] = multiPart[t.Inputs[0].ID()]
+				opCount++
+				break
+			}
+			if ws.EventTime == nil {
+				return nil, 0, fmt.Errorf("%w: non-global windowing (%s) without an event-time extractor",
+					ErrUnsupported, ws.Fn.Name())
+			}
+			// Event-time windowing becomes the lineage's timestamp
+			// assigner: per-partition watermark generators observe the
+			// element-derived event times, and the scheduler delivers
+			// their minimum to downstream stateful stages at every batch
+			// boundary (TaskContext.Watermark). Window assignment itself
+			// stays in the strategy metadata the GroupByKey consumes.
+			coder := t.Inputs[0].Coder()
+			streams[t.Output.ID()] = in.AssignTimestampsBounded(func(rec []byte) (time.Time, error) {
+				elem, err := coder.Decode(rec)
+				if err != nil {
+					return time.Time{}, fmt.Errorf("sparkrunner: WindowInto decode: %w", err)
 				}
-			}).Named(s.Name())
+				return ws.EventTime(elem)
+			}, ws.Bound).Named(s.Name())
+			multiPart[t.Output.ID()] = multiPart[t.Inputs[0].ID()]
+			opCount++
+
+		case beam.KindFlatten:
+			ins := make([]*spark.DStream, len(t.Inputs))
+			for i, col := range t.Inputs {
+				in, ok := streams[col.ID()]
+				if !ok {
+					return nil, 0, errors.New("sparkrunner: Flatten consumes untranslated collection")
+				}
+				ins[i] = in
+			}
+			// Flatten is the engine's union: per batch the output stage
+			// concatenates its parents' partitions, and the lineage
+			// watermark downstream is the minimum over every branch's
+			// assigners.
+			streams[t.Output.ID()] = ins[0].Union(ins[1:]...).Named(s.Name())
+			multiPart[t.Output.ID()] = true
 			opCount++
 
 		case beam.KindGroupByKey:
@@ -274,11 +325,12 @@ func translate(p *beam.Pipeline, cfg Config) (*spark.StreamingContext, int, erro
 			// first; the stateful stage then runs the shared GroupByKey
 			// executable per partition, firing watermark-ready panes at
 			// batch boundaries and flushing on end of input.
-			if cfg.Parallelism > 1 {
+			if cfg.Parallelism > 1 || multiPart[t.Inputs[0].ID()] {
 				in = in.RepartitionByKey(cfg.Parallelism, graphx.EncodedKVKey)
 				opCount++
 			}
 			streams[t.Output.ID()] = in.Stateful("GroupByKey", gbkStage(gbkCfg))
+			multiPart[t.Output.ID()] = cfg.Parallelism > 1
 			opCount++
 
 		default:
@@ -368,7 +420,10 @@ func (p *gbkProcessor) Process(task spark.TaskContext, rec []byte, emit func([]b
 
 func (p *gbkProcessor) EndBatch(task spark.TaskContext, emit func([]byte)) error {
 	p.state.Charge(task.Charge)
-	return p.state.FireReady(asEmit(emit))
+	// task.Watermark is the propagated lineage watermark: the minimum
+	// over the upstream WindowInto assigners, end-of-time on the final
+	// flush pass.
+	return p.state.AdvanceWatermark(task.Watermark, asEmit(emit))
 }
 
 func (p *gbkProcessor) EndStream(task spark.TaskContext, emit func([]byte)) error {

@@ -289,9 +289,10 @@ func TestWindowedCountParallelMultiRecordPanes(t *testing.T) {
 // TestWindowedCountMultiPartitionTopic drives the stateful query from a
 // two-partition input topic at parallelism 2: two source subtasks are
 // genuinely concurrently active, so the keyed stateful instances merge
-// racing ordered streams. The conservative watermark (no early firing
-// over unordered merges) must keep every pane whole; the sorted output
-// must equal the dataset-derived reference on every engine runner.
+// racing ordered streams. The propagated watermark (each source chain
+// stamps its own, combined min-over-senders at the keyed merge) must
+// keep every pane whole; the sorted output must equal the
+// dataset-derived reference on every engine runner.
 func TestWindowedCountMultiPartitionTopic(t *testing.T) {
 	records := make([][]byte, 0, 400)
 	gen, err := aol.NewGenerator(aol.Config{Records: 400, Seed: 21, GrepHits: -1, QueryTimeStep: 100 * time.Millisecond})

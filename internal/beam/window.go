@@ -77,6 +77,53 @@ func (f FixedWindows) AssignWindows(ts time.Time) []Window {
 	return []Window{IntervalWindow{Start: start, End: start.Add(f.Size)}}
 }
 
+// SlidingWindows assigns elements to overlapping windows of Size every
+// Slide, aligned to the epoch. An element belongs to ceil(Size/Slide)
+// windows (fewer near the epoch); Slide need not divide Size.
+type SlidingWindows struct {
+	Size, Slide time.Duration
+}
+
+// Name implements WindowFn.
+func (f SlidingWindows) Name() string {
+	return fmt.Sprintf("SlidingWindows(%v/%v)", f.Size, f.Slide)
+}
+
+// AssignWindows implements WindowFn: every window [start, start+Size)
+// with start aligned to Slide and start in (ts−Size, ts], ascending by
+// start.
+func (f SlidingWindows) AssignWindows(ts time.Time) []Window {
+	if f.Size <= 0 || f.Slide <= 0 {
+		return []Window{GlobalWindow{}}
+	}
+	var out []Window
+	for start := ts.Truncate(f.Slide); start.After(ts.Add(-f.Size)); start = start.Add(-f.Slide) {
+		out = append(out, IntervalWindow{Start: start, End: start.Add(f.Size)})
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Sessions assigns each element a proto-session [ts, ts+Gap) that a
+// merging grouping (graphx.GBKState) coalesces with every overlapping
+// or abutting session of the same key — gap-based session windows.
+type Sessions struct {
+	Gap time.Duration
+}
+
+// Name implements WindowFn.
+func (f Sessions) Name() string { return fmt.Sprintf("Sessions(%v)", f.Gap) }
+
+// AssignWindows implements WindowFn: the element's proto-session.
+func (f Sessions) AssignWindows(ts time.Time) []Window {
+	if f.Gap <= 0 {
+		return []Window{GlobalWindow{}}
+	}
+	return []Window{IntervalWindow{Start: ts, End: ts.Add(f.Gap)}}
+}
+
 // Trigger controls when aggregations over unbounded global windows may
 // fire; the SDK supports element-count triggers.
 type Trigger interface {

@@ -75,6 +75,33 @@ type FlushFunc func(out Collector) error
 // with an end-of-input flush.
 type FlushableProcessFactory func(ctx OperatorContext) (ProcessFunc, FlushFunc, error)
 
+// WatermarkFunc handles an advanced watermark: a control event asserting
+// that no record with an earlier event time will arrive on this subtask's
+// input anymore. Stateful operators fire the panes the watermark released
+// into out; the runtime then forwards the watermark downstream.
+type WatermarkFunc func(w time.Time, out Collector) error
+
+// WatermarkedProcessFactory builds a per-subtask process function
+// together with a watermark handler (pane firing) and an end-of-input
+// flush. It is the construction hook for event-time stateful operators
+// under control-event watermark propagation: the runtime delivers the
+// min-over-inputs watermark of the subtask's senders to the handler.
+type WatermarkedProcessFactory func(ctx OperatorContext) (ProcessFunc, WatermarkFunc, FlushFunc, error)
+
+// WatermarkEmitter lets a timestamp-assigning operator inject the
+// watermarks it generates into the dataflow as control events; the
+// runtime threads them through the rest of the chain and across task
+// boundaries to every downstream subtask.
+type WatermarkEmitter interface {
+	EmitWatermark(w time.Time) error
+}
+
+// AssignerFactory builds a per-subtask process function that may emit
+// watermarks through the given emitter — the construction hook for
+// timestamp assignment near the source, where event time enters the
+// dataflow.
+type AssignerFactory func(ctx OperatorContext, wm WatermarkEmitter) (ProcessFunc, error)
+
 // KeySelector extracts the partitioning key from a record for hash
 // partitioning (KeyBy).
 type KeySelector func(record []byte) ([]byte, error)
@@ -101,6 +128,14 @@ const (
 	opSink
 )
 
+// inEdge is one input connection of an operator: the upstream operator
+// and the partitioning records travel under.
+type inEdge struct {
+	from *operator
+	part partitioning
+	key  KeySelector
+}
+
 // operator is a node of the logical stream graph.
 type operator struct {
 	id          int
@@ -108,15 +143,15 @@ type operator struct {
 	kind        opKind
 	parallelism int
 	chainable   bool
-	inPart      partitioning
-	inKey       KeySelector
 
 	sourceFactory  SourceFactory
 	processFactory ProcessFactory
 	flushFactory   FlushableProcessFactory
+	wmFactory      WatermarkedProcessFactory
+	assignFactory  AssignerFactory
 	sinkFactory    SinkFactory
 
-	input   *operator
+	inputs  []inEdge
 	outputs []*operator
 
 	metrics *OperatorMetrics
@@ -185,9 +220,39 @@ func (env *Environment) AddSource(name string, factory SourceFactory) *DataStrea
 
 func (env *Environment) addOp(op *operator) {
 	op.id = len(env.ops)
-	op.inPart = partitionForward
 	op.metrics = &OperatorMetrics{Name: op.name}
 	env.ops = append(env.ops, op)
+}
+
+// Union merges this stream with the given streams into one: downstream
+// operators observe the interleaved records of every input. The merge
+// point is where watermark propagation earns its keep — the runtime
+// holds the union's output watermark at the minimum over all inputs, so
+// a lagging input holds back every downstream pane.
+func (ds *DataStream) Union(name string, others ...*DataStream) *DataStream {
+	if len(others) == 0 {
+		ds.env.fail(fmt.Errorf("flink: union %q of a single stream", name))
+		return ds
+	}
+	op := &operator{
+		name:        name,
+		kind:        opTransform,
+		parallelism: ds.env.parallelism,
+		chainable:   false, // a multi-input head never joins an upstream chain
+		processFactory: func(OperatorContext) (ProcessFunc, error) {
+			return func(rec []byte, out Collector) error { return out.Collect(rec) }, nil
+		},
+	}
+	ds.env.addOp(op)
+	ds.connect(op)
+	for _, o := range others {
+		if o == nil || o.env != ds.env {
+			ds.env.fail(fmt.Errorf("flink: union %q across environments", name))
+			return &DataStream{env: ds.env, op: op}
+		}
+		o.connect(op)
+	}
+	return &DataStream{env: ds.env, op: op}
 }
 
 // DataStream is a stream of records flowing out of an operator.
@@ -297,6 +362,47 @@ func (ds *DataStream) ProcessWithFlush(name string, factory FlushableProcessFact
 	return &DataStream{env: ds.env, op: op}
 }
 
+// ProcessWithWatermark adds an event-time stateful transformation driven
+// by propagated watermarks: the runtime delivers the min-over-inputs
+// watermark of the subtask's senders to the factory's watermark handler,
+// which fires the released panes; the flush runs at end of input like
+// ProcessWithFlush.
+func (ds *DataStream) ProcessWithWatermark(name string, factory WatermarkedProcessFactory) *DataStream {
+	if factory == nil {
+		ds.env.fail(fmt.Errorf("flink: processWithWatermark %q: nil factory", name))
+	}
+	op := &operator{
+		name:        name,
+		kind:        opTransform,
+		parallelism: ds.env.parallelism,
+		chainable:   true,
+		wmFactory:   factory,
+	}
+	ds.env.addOp(op)
+	ds.connect(op)
+	return &DataStream{env: ds.env, op: op}
+}
+
+// AssignTimestamps adds a timestamp-assignment operator: the factory's
+// process function observes event times and injects the watermarks it
+// generates into the dataflow through the emitter, from where the
+// runtime threads them downstream as control events.
+func (ds *DataStream) AssignTimestamps(name string, factory AssignerFactory) *DataStream {
+	if factory == nil {
+		ds.env.fail(fmt.Errorf("flink: assignTimestamps %q: nil factory", name))
+	}
+	op := &operator{
+		name:          name,
+		kind:          opTransform,
+		parallelism:   ds.env.parallelism,
+		chainable:     true,
+		assignFactory: factory,
+	}
+	ds.env.addOp(op)
+	ds.connect(op)
+	return &DataStream{env: ds.env, op: op}
+}
+
 // DisableChaining prevents this stream's operator from being chained to
 // its input, forcing a task boundary (network hop) before it.
 func (ds *DataStream) DisableChaining() *DataStream {
@@ -331,14 +437,15 @@ func (ds *DataStream) AddSink(name string, factory SinkFactory) {
 }
 
 func (ds *DataStream) connect(op *operator) {
-	op.input = ds.op
+	e := inEdge{from: ds.op, part: partitionForward}
 	if ds.rebal {
-		op.inPart = partitionRebalance
+		e.part = partitionRebalance
 	}
 	if ds.keyed != nil {
-		op.inPart = partitionHash
-		op.inKey = ds.keyed
+		e.part = partitionHash
+		e.key = ds.keyed
 	}
+	op.inputs = append(op.inputs, e)
 	ds.op.outputs = append(ds.op.outputs, op)
 }
 
@@ -370,8 +477,8 @@ func (env *Environment) ExecutionPlan() (*dag.Graph, error) {
 		}
 	}
 	for _, op := range env.ops {
-		if op.input != nil {
-			if err := g.AddEdge(planID(op.input), planID(op)); err != nil {
+		for _, in := range op.inputs {
+			if err := g.AddEdge(planID(in.from), planID(op)); err != nil {
 				return nil, err
 			}
 		}

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"beambench/internal/keyhash"
 	"beambench/internal/metrics"
 	"beambench/internal/simcost"
+	"beambench/internal/watermark"
 )
 
 // errStopped is the internal signal that the job is shutting down; it is
@@ -19,6 +21,18 @@ var errStopped = errors.New("flink: job stopped")
 // network channel between subtasks, standing in for Flink's network
 // buffer pool.
 const _channelBuffer = 128
+
+// streamElement is one unit travelling a network channel: a data record,
+// or a watermark control event. Watermarks flow through the dataflow
+// itself — stamped where event time is assigned, forwarded by every
+// task, combined min-over-senders at every multi-input point — so they
+// carry the sending subtask's identity for the receiver's MinTracker.
+type streamElement struct {
+	rec    []byte
+	wm     time.Time
+	ctrl   bool
+	sender int
+}
 
 // JobResult summarizes a finished job.
 type JobResult struct {
@@ -56,13 +70,14 @@ func (c *chain) tail() *operator { return c.ops[len(c.ops)-1] }
 // buildChains groups the logical operators into physical tasks using
 // Flink's chaining rule: forward-connected operators of equal
 // parallelism fuse, unless chaining is disabled for the job or operator.
+// Multi-input operators (Union) always head their own chain.
 func (env *Environment) buildChains() []*chain {
 	chainOf := make(map[*operator]*chain, len(env.ops))
 	var chains []*chain
 	for _, op := range env.ops {
-		if op.input != nil && env.canChain(op.input, op) {
-			c := chainOf[op.input]
-			if c != nil && c.tail() == op.input {
+		if len(op.inputs) == 1 && env.canChain(op.inputs[0], op) {
+			c := chainOf[op.inputs[0].from]
+			if c != nil && c.tail() == op.inputs[0].from {
 				c.ops = append(c.ops, op)
 				chainOf[op] = c
 				continue
@@ -75,27 +90,38 @@ func (env *Environment) buildChains() []*chain {
 	return chains
 }
 
-func (env *Environment) canChain(up, down *operator) bool {
+func (env *Environment) canChain(e inEdge, down *operator) bool {
 	return env.chainingEnabled &&
 		down.chainable &&
-		down.inPart == partitionForward &&
-		up.parallelism == down.parallelism &&
-		len(up.outputs) == 1
+		e.part == partitionForward &&
+		e.from.parallelism == down.parallelism &&
+		len(e.from.outputs) == 1
 }
 
 // runtimeChain wires one chain into the running job.
 type runtimeChain struct {
 	c      *chain
-	inputs []chan []byte // one per subtask; nil for source chains
+	inputs []chan streamElement // one per subtask; nil for source chains
 	edges  []*runtimeEdge
-	wg     sync.WaitGroup
+	// senders is the number of distinct upstream subtasks feeding this
+	// chain's input channels (summed over input edges); each gets a slot
+	// in every subtask's watermark MinTracker.
+	senders int
+	// pendingUp counts open input edges; the last finishing upstream
+	// chain closes the input channels.
+	pendingUp int32
+	wg        sync.WaitGroup
 }
 
 // runtimeEdge carries records from this chain to one downstream chain.
 type runtimeEdge struct {
-	mode    partitioning
-	keyFn   KeySelector
-	targets []chan []byte
+	mode  partitioning
+	keyFn KeySelector
+	// senderBase is the first global sender index this edge's subtasks
+	// occupy in the destination's MinTracker.
+	senderBase int
+	dst        *runtimeChain
+	targets    []chan streamElement
 }
 
 // jobRuntime tracks shutdown across subtasks.
@@ -198,10 +224,10 @@ func (env *Environment) runOnce() error {
 	rcOf := make(map[*operator]*runtimeChain, len(env.ops))
 	for i, c := range chains {
 		rc := &runtimeChain{c: c}
-		if c.head().kind != opSource {
-			rc.inputs = make([]chan []byte, c.parallelism)
+		if len(c.head().inputs) > 0 {
+			rc.inputs = make([]chan streamElement, c.parallelism)
 			for j := range rc.inputs {
-				rc.inputs[j] = make(chan []byte, _channelBuffer)
+				rc.inputs[j] = make(chan streamElement, _channelBuffer)
 			}
 		}
 		rcs[i] = rc
@@ -211,15 +237,22 @@ func (env *Environment) runOnce() error {
 	}
 	for _, rc := range rcs {
 		head := rc.c.head()
-		if head.input == nil {
-			continue
+		for _, in := range head.inputs {
+			up := rcOf[in.from]
+			mode := in.part
+			if mode == partitionForward && up.c.parallelism != rc.c.parallelism {
+				mode = partitionRebalance
+			}
+			up.edges = append(up.edges, &runtimeEdge{
+				mode:       mode,
+				keyFn:      in.key,
+				senderBase: rc.senders,
+				dst:        rc,
+				targets:    rc.inputs,
+			})
+			rc.senders += up.c.parallelism
+			rc.pendingUp++
 		}
-		up := rcOf[head.input]
-		mode := head.inPart
-		if mode == partitionForward && up.c.parallelism != rc.c.parallelism {
-			mode = partitionRebalance
-		}
-		up.edges = append(up.edges, &runtimeEdge{mode: mode, keyFn: head.inKey, targets: rc.inputs})
 	}
 
 	rt := &jobRuntime{stop: make(chan struct{})}
@@ -236,15 +269,18 @@ func (env *Environment) runOnce() error {
 				}
 			}(rc, idx)
 		}
-		// Close downstream channels when every subtask of this chain is
-		// done, signalling end of stream.
+		// Close each downstream chain's channels once every input edge's
+		// upstream chain is done — with multiple inputs (Union), the last
+		// finishing upstream signals end of stream.
 		all.Add(1)
 		go func(rc *runtimeChain) {
 			defer all.Done()
 			rc.wg.Wait()
 			for _, e := range rc.edges {
-				for _, ch := range e.targets {
-					close(ch)
+				if atomic.AddInt32(&e.dst.pendingUp, -1) == 0 {
+					for _, ch := range e.dst.inputs {
+						close(ch)
+					}
 				}
 			}
 		}(rc)
@@ -315,6 +351,17 @@ func (m *stageMarker) flush() {
 	m.pending = 0
 }
 
+// wmHandler advances the watermark at one point of a chain's control
+// path; handlers are composed back to front like collectors, ending in
+// the broadcast to the chain's outgoing edges.
+type wmHandler func(w time.Time) error
+
+// emitterFunc adapts a wmHandler into the WatermarkEmitter a timestamp
+// assigner injects through.
+type emitterFunc func(w time.Time) error
+
+func (f emitterFunc) EmitWatermark(w time.Time) error { return f(w) }
+
 // runSubtask executes one parallel instance of a chain.
 func (env *Environment) runSubtask(rt *jobRuntime, rc *runtimeChain, idx int) error {
 	ctx := &subtaskContext{
@@ -328,26 +375,43 @@ func (env *Environment) runSubtask(rt *jobRuntime, rc *runtimeChain, idx int) er
 	// Tail collector: either the network edges or nothing (sink ends the
 	// chain and is handled inside the composed pipeline).
 	var tail Collector = discardCollector{}
+	var senders []*edgeSender
 	if len(rc.edges) > 0 {
-		senders := make([]Collector, len(rc.edges))
+		cols := make([]Collector, len(rc.edges))
 		for i, e := range rc.edges {
-			senders[i] = &edgeSender{
+			s := &edgeSender{
 				edge:    e,
 				idx:     idx,
 				stop:    rt.stop,
 				meter:   ctx.meter,
 				hopCost: env.cluster.cfg.Costs.NetworkHopPerRecord,
 			}
+			senders = append(senders, s)
+			cols[i] = s
 		}
-		if len(senders) == 1 {
-			tail = senders[0]
+		if len(cols) == 1 {
+			tail = cols[0]
 		} else {
-			tail = multiCollector(senders)
+			tail = multiCollector(cols)
 		}
 	}
+	// The control path's tail: forward the subtask's output watermark on
+	// every outgoing edge (broadcast — every downstream subtask tracks
+	// this sender).
+	wmTail := wmHandler(func(w time.Time) error {
+		for _, s := range senders {
+			if err := s.sendWatermark(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 
 	// Compose the chain back to front, collecting sinks to close and
-	// stateful flushes to run at end of input.
+	// stateful flushes to run at end of input. The watermark control path
+	// composes alongside: a stage's watermark hook fires released panes
+	// into the stage's own output collector before the watermark moves on
+	// downstream.
 	var (
 		sinks   []Sink
 		flushes []flushEntry
@@ -363,46 +427,52 @@ func (env *Environment) runSubtask(rt *jobRuntime, rc *runtimeChain, idx int) er
 	}
 
 	current := tail
+	currentWM := wmTail
 	ops := rc.c.ops
-	for i := len(ops) - 1; i >= 1; i-- {
-		c, s, fl, err := env.buildStage(ops[i], ctx, current)
+	for i := len(ops) - 1; i >= 0; i-- {
+		st, err := env.buildStage(ops[i], ctx, current, currentWM)
 		if err != nil {
 			_ = closeSinks()
 			return err
 		}
-		if s != nil {
-			sinks = append(sinks, s)
+		if st.sink != nil {
+			sinks = append(sinks, st.sink)
 		}
-		if fl.flush != nil {
-			flushes = append(flushes, fl)
+		if st.flush.flush != nil {
+			flushes = append(flushes, st.flush)
 		}
-		current = c
+		current = st.col
+		if st.wm != nil {
+			hook, out, next := st.wm, st.wmOut, currentWM
+			currentWM = func(w time.Time) error {
+				if err := hook(w, out); err != nil {
+					return err
+				}
+				return next(w)
+			}
+		}
 	}
 
 	head := ops[0]
 	var runErr error
 	switch head.kind {
 	case opSource:
-		runErr = env.runSource(head, ctx, current)
-	case opTransform, opSink:
-		c, s, fl, err := env.buildStage(head, ctx, current)
+		src, err := head.sourceFactory(ctx)
 		if err != nil {
-			_ = closeSinks()
-			return err
+			runErr = fmt.Errorf("flink: open source %q: %w", head.name, err)
+		} else {
+			runErr = src.Run(current)
 		}
-		if s != nil {
-			sinks = append(sinks, s)
-		}
-		if fl.flush != nil {
-			flushes = append(flushes, fl)
-		}
-		runErr = consumeInput(rc.inputs[idx], c)
+	case opTransform, opSink:
+		runErr = env.consumeInput(rc, idx, current, currentWM)
 	default:
 		runErr = fmt.Errorf("flink: unknown operator kind %d", head.kind)
 	}
 
 	// On clean end of input, flush stateful operators upstream-first so
-	// their emissions flow through the downstream stages of the chain.
+	// their emissions flow through the downstream stages of the chain,
+	// then propagate the end-of-stream watermark so downstream tasks
+	// finalize this sender while other senders may still stream.
 	if runErr == nil {
 		for i := len(flushes) - 1; i >= 0; i-- {
 			if err := flushes[i].flush(flushes[i].out); err != nil {
@@ -410,6 +480,9 @@ func (env *Environment) runSubtask(rt *jobRuntime, rc *runtimeChain, idx int) er
 				break
 			}
 		}
+	}
+	if runErr == nil {
+		runErr = wmTail(watermark.EndOfTime)
 	}
 
 	closeErr := closeSinks()
@@ -422,6 +495,37 @@ func (env *Environment) runSubtask(rt *jobRuntime, rc *runtimeChain, idx int) er
 	return nil
 }
 
+// consumeInput drains one subtask's input channel: data records feed the
+// composed collector chain; watermark control events advance the
+// per-sender MinTracker, and each combined (min-over-senders) advance is
+// delivered through the chain's control path. The sole head stage of an
+// unfused stateful operator fires its panes there, exactly like a
+// mid-chain one.
+func (env *Environment) consumeInput(rc *runtimeChain, idx int, c Collector, wm wmHandler) error {
+	tracker := watermark.NewMinTracker(rc.senders)
+	var delivered time.Time
+	for el := range rc.inputs[idx] {
+		if !el.ctrl {
+			if err := c.Collect(el.rec); err != nil {
+				return err
+			}
+			continue
+		}
+		if el.wm.Equal(watermark.EndOfTime) {
+			tracker.Finalize(el.sender)
+		} else {
+			tracker.Advance(el.sender, el.wm)
+		}
+		if combined := tracker.Combined(); combined.After(delivered) {
+			delivered = combined
+			if err := wm(combined); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // flushEntry pairs a stateful operator's flush with the collector its
 // final emissions feed.
 type flushEntry struct {
@@ -429,53 +533,73 @@ type flushEntry struct {
 	out   Collector
 }
 
-func consumeInput(in <-chan []byte, c Collector) error {
-	for rec := range in {
-		if err := c.Collect(rec); err != nil {
-			return err
-		}
-	}
-	return nil
+// builtStage is one operator instantiated for a subtask: the collector
+// feeding it, plus its sink, end-of-input flush and watermark hook.
+type builtStage struct {
+	col   Collector
+	sink  Sink
+	flush flushEntry
+	wm    WatermarkFunc
+	wmOut Collector
 }
 
-// buildStage instantiates one operator of the chain for this subtask and
-// returns the collector feeding it, plus the sink to close and the
-// flush to run at end of input, when present.
-func (env *Environment) buildStage(op *operator, ctx *subtaskContext, next Collector) (Collector, Sink, flushEntry, error) {
-	var noFlush flushEntry
+// buildStage instantiates one operator of the chain for this subtask.
+// nextWM is the downstream control path, which timestamp assigners
+// inject their generated watermarks into.
+func (env *Environment) buildStage(op *operator, ctx *subtaskContext, next Collector, nextWM wmHandler) (builtStage, error) {
 	switch op.kind {
+	case opSource:
+		// A source heads its own chain and is run directly; its stage is
+		// just the emission counter its Run collector goes through.
+		return builtStage{col: &countingCollector{next: next, metrics: op.metrics, marker: ctx.newMarker(op.name)}}, nil
 	case opTransform:
 		counting := &countingCollector{next: next, metrics: op.metrics, marker: ctx.newMarker(op.name)}
-		if op.flushFactory != nil {
+		switch {
+		case op.wmFactory != nil:
+			fn, wmFn, flush, err := op.wmFactory(ctx)
+			if err != nil {
+				return builtStage{}, fmt.Errorf("flink: open operator %q: %w", op.name, err)
+			}
+			return builtStage{
+				col:   &processCollector{fn: fn, out: counting, metrics: op.metrics},
+				flush: flushEntry{flush: flush, out: counting},
+				wm:    wmFn,
+				wmOut: counting,
+			}, nil
+		case op.assignFactory != nil:
+			fn, err := op.assignFactory(ctx, emitterFunc(nextWM))
+			if err != nil {
+				return builtStage{}, fmt.Errorf("flink: open operator %q: %w", op.name, err)
+			}
+			return builtStage{col: &processCollector{fn: fn, out: counting, metrics: op.metrics}}, nil
+		case op.flushFactory != nil:
 			fn, flush, err := op.flushFactory(ctx)
 			if err != nil {
-				return nil, nil, noFlush, fmt.Errorf("flink: open operator %q: %w", op.name, err)
+				return builtStage{}, fmt.Errorf("flink: open operator %q: %w", op.name, err)
 			}
-			return &processCollector{fn: fn, out: counting, metrics: op.metrics},
-				nil, flushEntry{flush: flush, out: counting}, nil
+			return builtStage{
+				col:   &processCollector{fn: fn, out: counting, metrics: op.metrics},
+				flush: flushEntry{flush: flush, out: counting},
+			}, nil
+		default:
+			fn, err := op.processFactory(ctx)
+			if err != nil {
+				return builtStage{}, fmt.Errorf("flink: open operator %q: %w", op.name, err)
+			}
+			return builtStage{col: &processCollector{fn: fn, out: counting, metrics: op.metrics}}, nil
 		}
-		fn, err := op.processFactory(ctx)
-		if err != nil {
-			return nil, nil, noFlush, fmt.Errorf("flink: open operator %q: %w", op.name, err)
-		}
-		return &processCollector{fn: fn, out: counting, metrics: op.metrics}, nil, noFlush, nil
 	case opSink:
 		sink, err := op.sinkFactory(ctx)
 		if err != nil {
-			return nil, nil, noFlush, fmt.Errorf("flink: open sink %q: %w", op.name, err)
+			return builtStage{}, fmt.Errorf("flink: open sink %q: %w", op.name, err)
 		}
-		return &sinkCollector{sink: sink, metrics: op.metrics, marker: ctx.newMarker(op.name)}, sink, noFlush, nil
+		return builtStage{
+			col:  &sinkCollector{sink: sink, metrics: op.metrics, marker: ctx.newMarker(op.name)},
+			sink: sink,
+		}, nil
 	default:
-		return nil, nil, noFlush, fmt.Errorf("flink: operator %q cannot appear mid-chain", op.name)
+		return builtStage{}, fmt.Errorf("flink: operator %q cannot appear mid-chain", op.name)
 	}
-}
-
-func (env *Environment) runSource(op *operator, ctx *subtaskContext, next Collector) error {
-	src, err := op.sourceFactory(ctx)
-	if err != nil {
-		return fmt.Errorf("flink: open source %q: %w", op.name, err)
-	}
-	return src.Run(&countingCollector{next: next, metrics: op.metrics, marker: ctx.newMarker(op.name)})
 }
 
 // discardCollector terminates chains that end in a sink (the sink
@@ -536,11 +660,15 @@ func (m multiCollector) Collect(rec []byte) error {
 
 // edgeSender ships records across a task boundary: it serializes (copies)
 // the record, charges the per-record network hop, and delivers to the
-// downstream subtask chosen by the edge's partitioning.
+// downstream subtask chosen by the edge's partitioning. Watermarks are
+// control events: they broadcast to every downstream subtask under this
+// sender's identity, so each receiver can hold its combined watermark at
+// the minimum over all senders.
 type edgeSender struct {
 	edge    *runtimeEdge
 	idx     int
 	rr      int
+	lastWM  time.Time
 	stop    <-chan struct{}
 	meter   *simcost.Meter
 	hopCost time.Duration
@@ -551,7 +679,7 @@ func (e *edgeSender) Collect(rec []byte) error {
 	copy(wire, rec)
 	e.meter.Charge(e.hopCost)
 
-	var target chan []byte
+	var target chan streamElement
 	switch e.edge.mode {
 	case partitionForward:
 		target = e.edge.targets[e.idx%len(e.edge.targets)]
@@ -565,8 +693,28 @@ func (e *edgeSender) Collect(rec []byte) error {
 		target = e.edge.targets[e.rr%len(e.edge.targets)]
 		e.rr++
 	}
+	return e.send(target, streamElement{rec: wire})
+}
+
+// sendWatermark broadcasts one watermark control event; regressions and
+// repeats are dropped (the control path is monotone per sender).
+func (e *edgeSender) sendWatermark(w time.Time) error {
+	if !w.After(e.lastWM) {
+		return nil
+	}
+	e.lastWM = w
+	el := streamElement{wm: w, ctrl: true, sender: e.edge.senderBase + e.idx}
+	for _, target := range e.edge.targets {
+		if err := e.send(target, el); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *edgeSender) send(target chan streamElement, el streamElement) error {
 	select {
-	case target <- wire:
+	case target <- el:
 		return nil
 	case <-e.stop:
 		return errStopped

@@ -12,17 +12,58 @@ import (
 type EventTimeFn func(rec []byte) (time.Time, error)
 
 // WindowFormatFn renders one fired pane as an output record.
-type WindowFormatFn func(windowStart time.Time, key []byte, count int64) []byte
+type WindowFormatFn func(windowStart time.Time, key []byte, value int64) []byte
 
-// WindowConfig parameterizes a keyed tumbling-window aggregation.
+// ValueFn extracts the numeric column a windowed aggregate folds; nil
+// selects a pure count.
+type ValueFn func(rec []byte) (int64, error)
+
+// AssignTimestampsBounded adds the standard bounded-out-of-orderness
+// timestamp assigner: each record's event time feeds a
+// watermark.Generator with the given bound, and every generator advance
+// is emitted downstream as a watermark control event. Place it where
+// event time enters the dataflow (after the source); every operator
+// between it and the stateful consumers forwards the watermark
+// min-over-inputs automatically.
+func (ds *DataStream) AssignTimestampsBounded(name string, eventTime EventTimeFn, bound time.Duration) *DataStream {
+	if eventTime == nil {
+		ds.env.fail(fmt.Errorf("flink: assignTimestamps %q: nil event-time fn", name))
+		return ds.AssignTimestamps(name, nil)
+	}
+	return ds.AssignTimestamps(name, func(ctx OperatorContext, wm WatermarkEmitter) (ProcessFunc, error) {
+		gen := watermark.NewGenerator(bound)
+		return func(rec []byte, out Collector) error {
+			et, err := eventTime(rec)
+			if err != nil {
+				return fmt.Errorf("flink: %s event time: %w", name, err)
+			}
+			if err := out.Collect(rec); err != nil {
+				return err
+			}
+			if gen.Observe(et) {
+				return wm.EmitWatermark(gen.Current())
+			}
+			return nil
+		}, nil
+	})
+}
+
+// WindowConfig parameterizes a keyed windowed aggregation.
 type WindowConfig struct {
-	// Size is the tumbling window length in event time.
+	// Size is the tumbling window length in event time; ignored when
+	// Assigner is set.
 	Size time.Duration
-	// Bound is the watermark generator's assumed maximum event-time
-	// out-of-orderness; panes fire once the subtask watermark (max event
-	// time seen minus Bound) passes a window's end, and at end of input.
-	Bound time.Duration
-	// EventTime derives each record's event timestamp.
+	// Assigner selects the window family (tumbling, sliding, session);
+	// nil selects tumbling windows of Size.
+	Assigner watermark.Assigner
+	// Agg selects the reduction over Value; zero selects AggCount.
+	Agg watermark.AggKind
+	// Value extracts the aggregated column; nil counts records.
+	Value ValueFn
+	// EventTime derives each record's event timestamp (window
+	// assignment). Pane firing is driven by the propagated watermark, so
+	// the pipeline needs a timestamp assigner upstream (typically
+	// AssignTimestampsBounded right after the source).
 	EventTime EventTimeFn
 	// Key derives each record's grouping key; the caller routes records
 	// with KeyBy using the same selector, so every key's records reach
@@ -32,9 +73,19 @@ type WindowConfig struct {
 	Format WindowFormatFn
 }
 
-func (c WindowConfig) validate() error {
-	if c.Size <= 0 {
-		return fmt.Errorf("flink: window size must be positive, got %v", c.Size)
+func (c *WindowConfig) validate() error {
+	if c.Assigner == nil {
+		a, err := watermark.NewTumblingAssigner(c.Size)
+		if err != nil {
+			return fmt.Errorf("flink: windowed aggregation: %w", err)
+		}
+		c.Assigner = a
+	}
+	if c.Agg == 0 {
+		c.Agg = watermark.AggCount
+	}
+	if !c.Agg.Valid() {
+		return fmt.Errorf("flink: windowed aggregation: invalid agg kind %d", c.Agg)
 	}
 	if c.EventTime == nil {
 		return fmt.Errorf("flink: windowed aggregation needs an event-time extractor")
@@ -48,38 +99,38 @@ func (c WindowConfig) validate() error {
 	return nil
 }
 
-// TumblingCountWindow adds the engine's windowed reduce operator: a
-// keyed per-(window, key) count over event-time tumbling windows,
-// driven by a per-subtask watermark (internal/watermark) with bounded
-// out-of-orderness. Panes fire as soon as the watermark passes a
-// window's end — ascending by window, keys in first-seen order — and
-// the remaining windows flush when the bounded input ends (the source
-// met broker.EndOfInput), so the operator terminates cleanly in both
+// AggWindow adds the engine's windowed reduce operator: a keyed
+// per-(window, key) aggregate — count, sum, min, max or avg over a
+// record column — under any window assigner. Panes fire off the
+// propagated watermark: the runtime delivers the minimum watermark over
+// the subtask's senders as control events arrive, releasing every
+// window the watermark has passed — ascending by window, keys in
+// first-seen order — and the remaining windows flush when the bounded
+// input ends (the sources met broker.EndOfInput and the end-of-stream
+// watermark arrived), so the operator terminates cleanly in both
 // preload and streaming ingestion.
 //
-// Use after KeyBy with the same selector; the operator is stateful per
-// subtask and relies on keyed routing for cross-subtask correctness.
-// The subtask watermark assumes its input is event-time ordered up to
-// Bound, which holds when the records originate from one ordered
-// upstream subtask (the benchmark's single-partition topic). A keyed
-// merge of several concurrently active upstream subtasks is reordered
-// by channel buffering beyond any fixed bound; pipelines with that
-// shape must size Bound accordingly or accept end-of-input-only pane
-// firing (cf. the conservative watermark the Beam runners use).
-func (ds *DataStream) TumblingCountWindow(name string, cfg WindowConfig) *DataStream {
+// Use after KeyBy with the same selector and with a timestamp assigner
+// upstream; the operator is stateful per subtask and relies on keyed
+// routing for cross-subtask correctness. Because the watermark is
+// combined min-over-senders before delivery, a keyed merge of several
+// concurrently active upstream subtasks needs no conservative fallback:
+// no pane fires before every sender's watermark has passed its end.
+func (ds *DataStream) AggWindow(name string, cfg WindowConfig) *DataStream {
 	if err := cfg.validate(); err != nil {
 		ds.env.fail(err)
-		return ds.ProcessWithFlush(name, nil)
+		return ds.ProcessWithWatermark(name, nil)
 	}
-	return ds.ProcessWithFlush(name, func(ctx OperatorContext) (ProcessFunc, FlushFunc, error) {
-		gen := watermark.NewGenerator(cfg.Bound)
-		state, err := watermark.NewTumblingState[int64](cfg.Size)
+	return ds.ProcessWithWatermark(name, func(ctx OperatorContext) (ProcessFunc, WatermarkFunc, FlushFunc, error) {
+		state, err := watermark.NewWindowState[watermark.NumAcc](cfg.Assigner, func(into *watermark.NumAcc, from watermark.NumAcc) {
+			into.Merge(from)
+		})
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		emitPane := func(out Collector) func(p watermark.Pane[int64]) error {
-			return func(p watermark.Pane[int64]) error {
-				return out.Collect(cfg.Format(p.Start, []byte(p.Key), p.Acc))
+		emitPane := func(out Collector) func(p watermark.Pane[watermark.NumAcc]) error {
+			return func(p watermark.Pane[watermark.NumAcc]) error {
+				return out.Collect(cfg.Format(p.Start, []byte(p.Key), p.Acc.Result(cfg.Agg)))
 			}
 		}
 		process := func(rec []byte, out Collector) error {
@@ -91,18 +142,32 @@ func (ds *DataStream) TumblingCountWindow(name string, cfg WindowConfig) *DataSt
 			if err != nil {
 				return fmt.Errorf("flink: %s key: %w", name, err)
 			}
-			state.Upsert(et, string(key), func(c *int64) { *c++ })
-			// Tuple-at-a-time engine: check for ready panes whenever the
-			// watermark advances.
-			if gen.Observe(et) {
-				return state.FireReady(gen.Current(), emitPane(out))
+			v := int64(0)
+			if cfg.Value != nil {
+				if v, err = cfg.Value(rec); err != nil {
+					return fmt.Errorf("flink: %s value: %w", name, err)
+				}
 			}
+			state.Upsert(et, string(key), func(acc *watermark.NumAcc) { acc.Add(v) })
 			return nil
 		}
+		onWatermark := func(w time.Time, out Collector) error {
+			return state.FireReady(w, emitPane(out))
+		}
 		flush := func(out Collector) error {
-			gen.Finalize()
 			return state.FireAll(emitPane(out))
 		}
-		return process, flush, nil
+		return process, onWatermark, flush, nil
 	})
+}
+
+// TumblingCountWindow adds the classic keyed per-(window, key) count
+// over event-time tumbling windows — AggWindow specialized to the
+// original benchmark query. Pane firing is driven by the propagated
+// watermark; pair it with AssignTimestampsBounded upstream.
+func (ds *DataStream) TumblingCountWindow(name string, cfg WindowConfig) *DataStream {
+	cfg.Assigner = nil
+	cfg.Agg = watermark.AggCount
+	cfg.Value = nil
+	return ds.AggWindow(name, cfg)
 }

@@ -16,8 +16,7 @@ func windowedRecord(sec int, key string) []byte {
 
 func testWindowConfig() WindowConfig {
 	return WindowConfig{
-		Size:  time.Second,
-		Bound: 0,
+		Size: time.Second,
 		EventTime: func(rec []byte) (time.Time, error) {
 			var sec int
 			if _, err := fmt.Sscanf(string(rec), "%d|", &sec); err != nil {
@@ -49,6 +48,7 @@ func TestTumblingCountWindowCountsPerWindowAndKey(t *testing.T) {
 		windowedRecord(2, "b"), // closes window 1
 	}
 	env.AddSource("src", SliceSource(input)).
+		AssignTimestampsBounded("assign", cfg.EventTime, 0).
 		KeyBy(cfg.Key).
 		TumblingCountWindow("WindowedCount", cfg).
 		AddSink("sink", CollectSink(sink))
@@ -77,6 +77,7 @@ func TestTumblingCountWindowFiresBeforeEndOfInput(t *testing.T) {
 	// early pane must arrive while records still flow.
 	input := [][]byte{windowedRecord(0, "a"), windowedRecord(5, "a")}
 	env.AddSource("src", SliceSource(input)).
+		AssignTimestampsBounded("assign", cfg.EventTime, 0).
 		KeyBy(cfg.Key).
 		TumblingCountWindow("WindowedCount", cfg).
 		AddSink("sink", CollectSink(sink))
@@ -101,6 +102,7 @@ func TestTumblingCountWindowKeyedParallelism(t *testing.T) {
 		input = append(input, windowedRecord(i/10, fmt.Sprintf("k%d", i%5)))
 	}
 	env.AddSource("src", SliceSource(input)).
+		AssignTimestampsBounded("assign", cfg.EventTime, 0).
 		KeyBy(cfg.Key).
 		TumblingCountWindow("WindowedCount", cfg).SetParallelism(3).
 		AddSink("sink", CollectSink(sink))

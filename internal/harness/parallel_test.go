@@ -10,8 +10,8 @@ import (
 )
 
 // matrixCellCount is the full matrix size with two parallelisms:
-// 5 queries x 3 systems x 2 APIs x 2 parallelisms.
-const matrixCellCount = 60
+// 7 queries x 3 systems x 2 APIs x 2 parallelisms.
+const matrixCellCount = 84
 
 func TestMatrixSetupsCanonicalOrder(t *testing.T) {
 	r, err := New(fastConfig())

@@ -300,10 +300,13 @@ func (rep *Report) formatRelStdDev() (string, error) {
 }
 
 // figure10QueryOrder returns the Figure 10 row order (alphabetical
-// query names within each system-SDK block, as in the paper, with the
-// stateful addition last alphabetically anyway).
+// query names within each system-SDK block, as in the paper, extended
+// with the stateful additions).
 func figure10QueryOrder() []queries.Query {
-	return []queries.Query{queries.Grep, queries.Identity, queries.Projection, queries.Sample, queries.WindowedCount}
+	return []queries.Query{
+		queries.Grep, queries.Identity, queries.Join, queries.Projection,
+		queries.Sample, queries.SlidingSum, queries.WindowedCount,
+	}
 }
 
 func (rep *Report) formatSlowdown() (string, error) {

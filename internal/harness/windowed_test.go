@@ -9,19 +9,20 @@ import (
 	"beambench/internal/simcost"
 )
 
-// TestWindowedCountByteIdenticalAcrossMatrix is the acceptance property
-// of the stateful scenario: WindowedCount produces byte-identical
-// sorted output across all three systems, both APIs, both parallelism
-// levels and both ingestion modes — all 24 combinations agree with the
-// dataset-derived reference, so the watermark subsystem, the keyed
-// routing and the pane firing of every engine implement one semantics.
-func TestWindowedCountByteIdenticalAcrossMatrix(t *testing.T) {
+// runStatefulMatrix is the acceptance property of the stateful
+// scenarios: the query produces byte-identical sorted output across all
+// three systems, both APIs, both parallelism levels and both ingestion
+// modes — all 24 combinations agree with the dataset-derived reference,
+// so the watermark subsystem, the keyed routing and the pane firing of
+// every engine implement one semantics.
+func runStatefulMatrix(t *testing.T, q queries.Query, expected func([][]byte) ([][]byte, error)) {
+	t.Helper()
 	zero := simcost.ZeroCosts()
 	r, err := New(Config{Records: 500, Runs: 1, Costs: &zero, DisableNoise: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantPayloads, err := queries.ExpectedWindowedCounts(r.dataset)
+	wantPayloads, err := expected(r.dataset)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestWindowedCountByteIdenticalAcrossMatrix(t *testing.T) {
 		for _, api := range APIs() {
 			for _, par := range []int{1, 2} {
 				for _, mode := range []IngestMode{IngestPreload, IngestStream} {
-					setup := Setup{System: sys, API: api, Query: queries.WindowedCount, Parallelism: par}
+					setup := Setup{System: sys, API: api, Query: q, Parallelism: par}
 					t.Run(fmt.Sprintf("%s/%s", setup.Label(), mode), func(t *testing.T) {
 						got := runModeOutputs(t, r, setup, mode)
 						sort.Strings(got)
@@ -55,4 +56,26 @@ func TestWindowedCountByteIdenticalAcrossMatrix(t *testing.T) {
 			}
 		}
 	}
+}
+
+func TestWindowedCountByteIdenticalAcrossMatrix(t *testing.T) {
+	runStatefulMatrix(t, queries.WindowedCount, queries.ExpectedWindowedCounts)
+}
+
+// TestSlidingSumByteIdenticalAcrossMatrix extends the property to
+// overlapping windows: every record lands in two sliding panes, so any
+// engine that fires panes off processing time or drops the second
+// assignment diverges from the reference immediately.
+func TestSlidingSumByteIdenticalAcrossMatrix(t *testing.T) {
+	runStatefulMatrix(t, queries.SlidingSum, queries.ExpectedSlidingSums)
+}
+
+// TestJoinByteIdenticalAcrossMatrix extends the property to a
+// two-input pipeline: both branches carry their own watermark, panes
+// fire off the min-over-inputs combination, and the cross product per
+// (window, user) must match the reference on every engine — including
+// at parallelism 2, where the two sources' partitions must be rekeyed
+// into a single join partition per user.
+func TestJoinByteIdenticalAcrossMatrix(t *testing.T) {
+	runStatefulMatrix(t, queries.Join, queries.ExpectedJoins)
 }

@@ -2,12 +2,14 @@ package queries
 
 import (
 	"fmt"
+	"time"
 
 	"beambench/internal/apex"
 	"beambench/internal/beam"
 	"beambench/internal/broker"
 	"beambench/internal/flink"
 	"beambench/internal/spark"
+	"beambench/internal/watermark"
 )
 
 // Workload names the broker topics a query reads and writes, plus the
@@ -59,21 +61,70 @@ func NativeFlink(env *flink.Environment, w Workload, q Query) error {
 	case Grep:
 		out = src.Filter("Filter", GrepMatch)
 	case WindowedCount:
-		// KeyBy routes each user's records to one subtask of the new
-		// windowed reduce operator; panes fire as the subtask watermark
-		// passes window ends and the rest flush at end of input.
-		out = src.KeyBy(UserKey).TumblingCountWindow("WindowedCount", flink.WindowConfig{
-			Size:      WindowedCountWindow,
-			Bound:     WindowedCountBound,
-			EventTime: EventTime,
-			Key:       UserKey,
-			Format:    FormatWindowedCount,
-		})
+		// Timestamp assignment stamps watermarks where event time enters
+		// the dataflow; KeyBy routes each user's records to one subtask of
+		// the windowed reduce operator, whose panes fire off the
+		// propagated (min-over-senders) watermark and flush at end of
+		// input.
+		out = src.
+			AssignTimestampsBounded("Timestamps/Watermarks", EventTime, WindowedCountBound).
+			KeyBy(UserKey).
+			TumblingCountWindow("WindowedCount", flink.WindowConfig{
+				Size:      WindowedCountWindow,
+				EventTime: EventTime,
+				Key:       UserKey,
+				Format:    FormatWindowedCount,
+			})
+	case SlidingSum:
+		// Same dataflow as WindowedCount with an overlapping window
+		// assigner and a sum aggregate over the item-rank column.
+		out = src.
+			AssignTimestampsBounded("Timestamps/Watermarks", EventTime, SlidingSumBound).
+			KeyBy(UserKey).
+			AggWindow("SlidingSum", flink.WindowConfig{
+				Assigner:  slidingSumAssigner(),
+				Agg:       watermark.AggSum,
+				Value:     ItemRank,
+				EventTime: EventTime,
+				Key:       UserKey,
+				Format:    FormatSlidingSum,
+			})
+	case Join:
+		// Two branches over the same topic, each tagged and timestamped
+		// BEFORE the union: assigning after the merge would observe the
+		// nondeterministic interleaving of two racing source chains as
+		// unbounded disorder. The union forwards the minimum watermark
+		// over its inputs; the keyed join operator fires panes off that
+		// propagated minimum and flushes at end of input.
+		srcB := env.AddSource("Custom Source B", flink.KafkaSource(w.Broker, w.InputTopic, w.InputRecords))
+		a := src.
+			Map("TagQueries", TagSideA).
+			AssignTimestampsBounded("Timestamps/Watermarks A", TaggedEventTime, JoinBound)
+		b := srcB.
+			Filter("FilterClicks", HasItemRank).
+			Map("TagClicks", TagSideB).
+			AssignTimestampsBounded("Timestamps/Watermarks B", TaggedEventTime, JoinBound)
+		out = a.Union("Union", b).
+			KeyBy(TaggedUserKey).
+			ProcessWithWatermark("Join", joinFlinkFactory())
 	default:
 		return fmt.Errorf("queries: unknown query %d", q)
 	}
 	out.AddSink("Unnamed", flink.KafkaSink(w.Broker, w.OutputTopic, w.Producer))
 	return nil
+}
+
+// joinFlinkFactory deploys the shared join executable behind Flink's
+// watermark-aware process hook: one state instance per subtask, panes
+// firing off the propagated (min-over-senders) watermark.
+func joinFlinkFactory() flink.WatermarkedProcessFactory {
+	return func(flink.OperatorContext) (flink.ProcessFunc, flink.WatermarkFunc, flink.FlushFunc, error) {
+		s := NewJoinState()
+		process := func(rec []byte, _ flink.Collector) error { return s.Add(rec) }
+		onWatermark := func(wm time.Time, out flink.Collector) error { return s.Fire(wm, out.Collect) }
+		flush := func(out flink.Collector) error { return s.Flush(out.Collect) }
+		return process, onWatermark, flush, nil
+	}
 }
 
 // NativeSpark builds the query as a native Spark Streaming application
@@ -96,21 +147,74 @@ func NativeSpark(ssc *spark.StreamingContext, w Workload, q Query) error {
 	case Grep:
 		out = src.Filter(GrepMatch)
 	case WindowedCount:
-		// The micro-batch state path: per-(window, user) counts persist
-		// across batches, fire at batch boundaries once the watermark
-		// passes a window's end, and flush when the input drains. The
-		// single-partition input topic keeps every key in one partition,
-		// so no keyed repartition is needed natively.
+		// The micro-batch state path: the assigner stage stamps the
+		// lineage watermark from the records it admits, and the
+		// per-(window, user) counts persist across batches, fire at batch
+		// boundaries once the propagated watermark passes a window's end,
+		// and flush when the input drains. The single-partition input
+		// topic keeps every key in one partition, so no keyed repartition
+		// is needed natively.
 		// Named after the DStream operation (the SaveToKafka output op
 		// already carries the query name; distinct labels keep the
 		// per-stage throughput report unambiguous).
-		out = src.ReduceByKeyAndWindow("ReduceByKeyAndWindow",
-			WindowedCountWindow, WindowedCountBound, EventTime, UserKey, FormatWindowedCount)
+		out = src.
+			AssignTimestampsBounded(EventTime, WindowedCountBound).
+			ReduceByKeyAndWindow("ReduceByKeyAndWindow",
+				WindowedCountWindow, EventTime, UserKey, FormatWindowedCount)
+	case SlidingSum:
+		out = src.
+			AssignTimestampsBounded(EventTime, SlidingSumBound).
+			AggByKeyAndWindow("AggByKeyAndWindow", spark.WindowConfig{
+				Assigner:  slidingSumAssigner(),
+				Agg:       watermark.AggSum,
+				Value:     ItemRank,
+				EventTime: EventTime,
+				Key:       UserKey,
+				Format:    FormatSlidingSum,
+			})
+	case Join:
+		// Each branch tags and timestamps before the union; the union
+		// concatenates the branch partitions, so a keyed repartition
+		// reunites each user's tagged records in one partition of the
+		// stateful join stage. The stage's watermark is the lineage
+		// minimum over both branch assigners.
+		srcB := ssc.KafkaDirectStream(w.Broker, w.InputTopic, w.InputRecords)
+		a := src.
+			Map(TagSideA).
+			AssignTimestampsBounded(TaggedEventTime, JoinBound)
+		b := srcB.
+			Filter(HasItemRank).
+			Map(TagSideB).
+			AssignTimestampsBounded(TaggedEventTime, JoinBound)
+		out = a.Union(b).
+			RepartitionByKey(ssc.DefaultParallelism(), TaggedUserKey).
+			Stateful("Join", func(int) (spark.StatefulProcessor, error) {
+				return &joinSparkProcessor{state: NewJoinState()}, nil
+			})
 	default:
 		return fmt.Errorf("queries: unknown query %d", q)
 	}
 	out.SaveToKafka(q.String(), w.Broker, w.OutputTopic, w.Producer)
 	return nil
+}
+
+// joinSparkProcessor deploys the shared join executable behind Spark's
+// keyed micro-batch state hook: panes fire at batch boundaries off the
+// propagated lineage watermark and flush when the input drains.
+type joinSparkProcessor struct {
+	state *JoinState
+}
+
+func (p *joinSparkProcessor) Process(_ spark.TaskContext, rec []byte, _ func([]byte)) error {
+	return p.state.Add(rec)
+}
+
+func (p *joinSparkProcessor) EndBatch(task spark.TaskContext, emit func([]byte)) error {
+	return p.state.Fire(task.Watermark, func(rec []byte) error { emit(rec); return nil })
+}
+
+func (p *joinSparkProcessor) EndStream(_ spark.TaskContext, emit func([]byte)) error {
+	return p.state.Flush(func(rec []byte) error { emit(rec); return nil })
 }
 
 // NativeApex builds the query as a native Apex application DAG:
@@ -119,6 +223,9 @@ func NativeSpark(ssc *spark.StreamingContext, w Workload, q Query) error {
 func NativeApex(w Workload, q Query) (*apex.Application, error) {
 	if err := w.validate(); err != nil {
 		return nil, err
+	}
+	if q == Join {
+		return nativeApexJoin(w), nil
 	}
 	app := apex.NewApplication(q.String())
 	app.AddInput("kafkaInput", apex.KafkaInput(w.Broker, w.InputTopic, w.InputRecords))
@@ -134,25 +241,108 @@ func NativeApex(w Workload, q Query) (*apex.Application, error) {
 		app.AddOperator("grep", apex.FilterOp(GrepMatch))
 	case WindowedCount:
 		app.AddOperator("windowedCount", apex.TumblingCountWindow(
-			WindowedCountWindow, WindowedCountBound, EventTime, UserKey, FormatWindowedCount))
+			WindowedCountWindow, EventTime, UserKey, FormatWindowedCount))
+	case SlidingSum:
+		app.AddOperator("slidingSum", apex.AggWindowOp(apex.WindowConfig{
+			Assigner:  slidingSumAssigner(),
+			Agg:       watermark.AggSum,
+			Value:     ItemRank,
+			EventTime: EventTime,
+			Key:       UserKey,
+			Format:    FormatSlidingSum,
+		}))
 	default:
 		return nil, fmt.Errorf("queries: unknown query %d", q)
 	}
 	opName := map[Query]string{
 		Identity: "identity", Sample: "sample", Projection: "projection",
-		Grep: "grep", WindowedCount: "windowedCount",
+		Grep: "grep", WindowedCount: "windowedCount", SlidingSum: "slidingSum",
 	}[q]
 	app.AddOutput("kafkaOutput", apex.KafkaOutput(w.Broker, w.OutputTopic, w.Producer))
-	app.AddStream("input", "kafkaInput", opName)
-	app.AddStream("output", opName, "kafkaOutput")
 	if q.Stateful() {
-		// Keyed partitioning: every user's records reach one partition
-		// of the stateful operator; panes flush on streaming-window
-		// boundaries (EndWindow) and at end of stream.
-		app.SetStreamKeyed("input", UserKey)
+		// The assigner stamps the DAG's watermark where event time enters
+		// it; keyed partitioning routes every user's records to one
+		// partition of the stateful operator, whose panes fire off the
+		// propagated (min-over-senders) watermark and drain at end of
+		// stream.
+		bound := WindowedCountBound
+		if q == SlidingSum {
+			bound = SlidingSumBound
+		}
+		app.AddOperator("assignTimestamps", apex.AssignTimestamps(EventTime, bound))
+		app.AddStream("input", "kafkaInput", "assignTimestamps")
+		app.AddStream("assigned", "assignTimestamps", opName)
+		app.SetStreamKeyed("assigned", UserKey)
+	} else {
+		app.AddStream("input", "kafkaInput", opName)
 	}
+	app.AddStream("output", opName, "kafkaOutput")
 	return app, nil
 }
+
+// nativeApexJoin builds the two-input join DAG: each branch reads the
+// topic, tags and timestamps its records, and both assigned streams
+// converge keyed on the join operator — whose combined input watermark
+// is the minimum over the senders of BOTH streams, so no pane fires
+// before both branches have passed it.
+func nativeApexJoin(w Workload) *apex.Application {
+	app := apex.NewApplication(Join.String())
+	app.AddInput("kafkaInputA", apex.KafkaInput(w.Broker, w.InputTopic, w.InputRecords))
+	app.AddInput("kafkaInputB", apex.KafkaInput(w.Broker, w.InputTopic, w.InputRecords))
+	app.AddOperator("tagQueries", apex.MapOp(TagSideA))
+	app.AddOperator("tagClicks", apex.FlatMapOp(func(t []byte, emit func([]byte) error) error {
+		if !HasItemRank(t) {
+			return nil
+		}
+		return emit(TagSideB(t))
+	}))
+	app.AddOperator("assignTimestampsA", apex.AssignTimestamps(TaggedEventTime, JoinBound))
+	app.AddOperator("assignTimestampsB", apex.AssignTimestamps(TaggedEventTime, JoinBound))
+	app.AddOperator("join", joinApexFactory())
+	app.AddOutput("kafkaOutput", apex.KafkaOutput(w.Broker, w.OutputTopic, w.Producer))
+	// The output topic has one partition, so the sink is pinned to one
+	// container — which also keeps the eight-operator DAG inside the
+	// default cluster's vcore budget at parallelism 2.
+	app.SetOperatorPartitions("kafkaOutput", 1)
+	app.AddStream("inputA", "kafkaInputA", "tagQueries")
+	app.AddStream("inputB", "kafkaInputB", "tagClicks")
+	app.AddStream("taggedA", "tagQueries", "assignTimestampsA")
+	app.AddStream("taggedB", "tagClicks", "assignTimestampsB")
+	app.AddStream("assignedA", "assignTimestampsA", "join")
+	app.AddStream("assignedB", "assignTimestampsB", "join")
+	app.SetStreamKeyed("assignedA", TaggedUserKey)
+	app.SetStreamKeyed("assignedB", TaggedUserKey)
+	app.AddStream("output", "join", "kafkaOutput")
+	return app
+}
+
+// joinApexFactory deploys the shared join executable behind the engine's
+// watermark-aware operator hooks.
+func joinApexFactory() apex.GenericFactory {
+	return func(apex.OperatorContext) (apex.GenericOperator, error) {
+		return &joinApexOperator{state: NewJoinState()}, nil
+	}
+}
+
+type joinApexOperator struct {
+	state *JoinState
+}
+
+func (o *joinApexOperator) Process(t []byte, _ func([]byte) error) error {
+	return o.state.Add(t)
+}
+
+// OnWatermark implements apex.WatermarkAware.
+func (o *joinApexOperator) OnWatermark(w time.Time, emit func([]byte) error) error {
+	return o.state.Fire(w, emit)
+}
+
+// EndStream implements apex.StreamFlusher.
+func (o *joinApexOperator) EndStream(emit func([]byte) error) error {
+	return o.state.Flush(emit)
+}
+
+func (o *joinApexOperator) Teardown() error { return nil }
 
 // BeamPipeline builds the query once against the abstraction layer; the
 // same pipeline object runs on every runner. The shape matches the
@@ -203,33 +393,87 @@ func BeamPipeline(w Workload, q Query) (*beam.Pipeline, error) {
 		ws := beam.WindowingStrategy{Fn: beam.FixedWindows{Size: WindowedCountWindow}}.
 			WithEventTime(EventTimeOf, WindowedCountBound)
 		windowed := beam.WindowInto(p, ws, vals)
-		keyed := beam.WithKeys(p, "WithKeys", func(elem any) (any, error) {
+		keyed := beam.WithKeys(p, "WithKeys", userKeyOf(UserKey), windowed)
+		grouped := beam.GroupByKey(p, keyed)
+		out = beam.MapElements(p, "WindowedCount", groupedPaneFn(func(start time.Time, user string, values []any) (any, error) {
+			return FormatWindowedCount(start, []byte(user), int64(len(values))), nil
+		}), grouped, beam.WithCoder(beam.BytesCoder{}))
+	case SlidingSum:
+		// The sliding assigner replicates each record into every
+		// overlapping window at WindowInto; the rest of the shape is
+		// WindowedCount's, with a sum over the item-rank column in the
+		// pane formatter.
+		ws := beam.WindowingStrategy{Fn: beam.SlidingWindows{Size: SlidingSumWindow, Slide: SlidingSumSlide}}.
+			WithEventTime(EventTimeOf, SlidingSumBound)
+		windowed := beam.WindowInto(p, ws, vals)
+		keyed := beam.WithKeys(p, "WithKeys", userKeyOf(UserKey), windowed)
+		grouped := beam.GroupByKey(p, keyed)
+		out = beam.MapElements(p, "SlidingSum", groupedPaneFn(func(start time.Time, user string, values []any) (any, error) {
+			var sum int64
+			for _, v := range values {
+				rec, err := GroupedValueBytes(v)
+				if err != nil {
+					return nil, err
+				}
+				rank, err := ItemRank(rec)
+				if err != nil {
+					return nil, err
+				}
+				sum += rank
+			}
+			return FormatSlidingSum(start, []byte(user), sum), nil
+		}), grouped, beam.WithCoder(beam.BytesCoder{}))
+	case Join:
+		// Two reads of the topic, tagged per branch and windowed BEFORE
+		// the Flatten (the Beam model requires identical windowing across
+		// Flatten inputs, and per-branch timestamping keeps the racing
+		// branches' disorder bounded). The GroupByKey pane then holds both
+		// sides' tagged records of one (window, user), and the formatting
+		// ParDo emits the inner-join cross product.
+		valsB := beam.Values(p, beam.WithoutMetadata(p, beam.KafkaRead(p, w.Broker, w.InputTopic)))
+		a := beam.MapElements(p, "TagQueries", func(elem any) (any, error) {
 			rec, ok := elem.([]byte)
 			if !ok {
-				return nil, fmt.Errorf("queries: windowed element %T is not []byte", elem)
+				return nil, fmt.Errorf("queries: join element %T is not []byte", elem)
 			}
-			user, err := UserKey(rec)
-			if err != nil {
-				return nil, err
+			return TagSideA(rec), nil
+		}, vals, beam.WithCoder(beam.BytesCoder{}))
+		clicks := beam.Filter(p, "FilterClicks", func(elem any) (bool, error) {
+			rec, ok := elem.([]byte)
+			if !ok {
+				return false, fmt.Errorf("queries: join element %T is not []byte", elem)
 			}
-			return string(user), nil
-		}, windowed)
+			return HasItemRank(rec), nil
+		}, valsB)
+		b := beam.MapElements(p, "TagClicks", func(elem any) (any, error) {
+			rec, ok := elem.([]byte)
+			if !ok {
+				return nil, fmt.Errorf("queries: join element %T is not []byte", elem)
+			}
+			return TagSideB(rec), nil
+		}, clicks, beam.WithCoder(beam.BytesCoder{}))
+		ws := beam.WindowingStrategy{Fn: beam.FixedWindows{Size: JoinWindow}}.
+			WithEventTime(TaggedEventTimeOf, JoinBound)
+		merged := beam.Flatten(p, beam.WindowInto(p, ws, a), beam.WindowInto(p, ws, b))
+		keyed := beam.WithKeys(p, "WithKeys", userKeyOf(TaggedUserKey), merged)
 		grouped := beam.GroupByKey(p, keyed)
-		out = beam.MapElements(p, "WindowedCount", func(elem any) (any, error) {
+		out = beam.ParDo(p, "Join", beam.DoFnFunc(func(ctx beam.Context, elem any, emit beam.Emitter) error {
 			g, ok := elem.(beam.Grouped)
 			if !ok {
-				return nil, fmt.Errorf("queries: windowed element %T is not Grouped", elem)
+				return fmt.Errorf("queries: join element %T is not Grouped", elem)
 			}
 			iw, ok := g.Window.(beam.IntervalWindow)
 			if !ok {
-				return nil, fmt.Errorf("queries: windowed pane carries %T, want IntervalWindow", g.Window)
+				return fmt.Errorf("queries: join pane carries %T, want IntervalWindow", g.Window)
 			}
 			user, err := beam.KeyString(g.Key)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			return FormatWindowedCount(iw.Start, []byte(user), int64(len(g.Values))), nil
-		}, grouped, beam.WithCoder(beam.BytesCoder{}))
+			return JoinPairs(iw.Start, []byte(user), g.Values, func(row []byte) error {
+				return emit(row)
+			})
+		}), grouped, beam.WithCoder(beam.BytesCoder{}))
 	default:
 		return nil, fmt.Errorf("queries: unknown query %d", q)
 	}
@@ -238,4 +482,40 @@ func BeamPipeline(w Workload, q Query) (*beam.Pipeline, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// userKeyOf adapts a record-level key extractor to the abstraction
+// layer's element-typed WithKeys function, keying by the string form.
+func userKeyOf(key func(rec []byte) ([]byte, error)) func(elem any) (any, error) {
+	return func(elem any) (any, error) {
+		rec, ok := elem.([]byte)
+		if !ok {
+			return nil, fmt.Errorf("queries: keyed element %T is not []byte", elem)
+		}
+		user, err := key(rec)
+		if err != nil {
+			return nil, err
+		}
+		return string(user), nil
+	}
+}
+
+// groupedPaneFn adapts a (window start, user, values) pane formatter to
+// a MapElements function over GroupByKey panes.
+func groupedPaneFn(fn func(start time.Time, user string, values []any) (any, error)) func(elem any) (any, error) {
+	return func(elem any) (any, error) {
+		g, ok := elem.(beam.Grouped)
+		if !ok {
+			return nil, fmt.Errorf("queries: windowed element %T is not Grouped", elem)
+		}
+		iw, ok := g.Window.(beam.IntervalWindow)
+		if !ok {
+			return nil, fmt.Errorf("queries: windowed pane carries %T, want IntervalWindow", g.Window)
+		}
+		user, err := beam.KeyString(g.Key)
+		if err != nil {
+			return nil, err
+		}
+		return fn(iw.Start, user, g.Values)
+	}
 }

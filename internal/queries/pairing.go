@@ -30,11 +30,11 @@ type SurvivorIndex struct {
 	inputs  int
 	total   int
 	entries map[string]*survivorEntry
-	// agg accumulates (window, user) aggregates for keyed queries
-	// (WindowedCount); entries are built from it lazily on the first
-	// read, each expected output pairing with its latest contributing
-	// input — the record whose arrival completes the pane.
-	agg    *windowedAggregator
+	// agg accumulates (window, user) aggregates for the stateful
+	// queries; entries are built from it lazily on the first read, each
+	// expected output pairing with its latest contributing input — the
+	// record whose arrival completes the pane.
+	agg    expectedAggregator
 	sealed bool
 }
 
@@ -46,15 +46,24 @@ type survivorEntry struct {
 }
 
 // NewSurvivorIndex returns an empty index for q; seed drives the sample
-// query's survivor decision. For the keyed WindowedCount query the
-// index aggregates instead of applying a per-record predicate: each
-// expected output payload is a (window, user, count) pane, and its
-// paired input is the pane's latest contributing record.
+// query's survivor decision. For the stateful queries the index
+// aggregates instead of applying a per-record predicate: each expected
+// output payload is a pane-derived row, and its paired input is the
+// row's latest contributing record.
 func NewSurvivorIndex(q Query, seed uint64) (*SurvivorIndex, error) {
-	if q == WindowedCount {
+	if q.Stateful() {
+		var agg expectedAggregator
+		switch q {
+		case WindowedCount:
+			agg = newWindowedAggregator()
+		case SlidingSum:
+			agg = slidingSumReference()
+		case Join:
+			agg = newJoinReference()
+		}
 		return &SurvivorIndex{
 			query:   q,
-			agg:     newWindowedAggregator(),
+			agg:     agg,
 			entries: make(map[string]*survivorEntry),
 		}, nil
 	}
@@ -106,8 +115,16 @@ func (ix *SurvivorIndex) seal() {
 	}
 	ix.sealed = true
 	for _, g := range ix.agg.groups() {
-		e := &survivorEntry{id: len(ix.entries), inputs: []int{g.lastInput}}
-		ix.entries[string(g.payload)] = e
+		// Join panes can emit byte-identical rows (the same user, query
+		// and rank twice within one window), so entries collect ordinals
+		// like the record-level path does: FIFO in firing order.
+		key := string(g.payload)
+		e, ok := ix.entries[key]
+		if !ok {
+			e = &survivorEntry{id: len(ix.entries)}
+			ix.entries[key] = e
+		}
+		e.inputs = append(e.inputs, g.lastInput)
 		ix.total++
 	}
 }

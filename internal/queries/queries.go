@@ -7,7 +7,8 @@
 // excludes the stateful ones (Section III-B) because the Spark runner
 // of its era rejected stateful processing. This reproduction lifted
 // that capability gap (the Spark runner now has a keyed micro-batch
-// state path), so a fifth, stateful query joins the matrix.
+// state path), so three stateful queries join the matrix: a tumbling
+// count, a sliding sum, and a two-input windowed join.
 //
 // All variants share the same record-level semantics so that outputs are
 // comparable across engines:
@@ -20,9 +21,17 @@
 //     (3,003 hits in the paper's 1,000,001-record workload, ~0.3%).
 //   - WindowedCount emits per-user-ID counts over 1-second event-time
 //     tumbling windows ("<window-start-unix>\t<user>\t<count>"), the
-//     stateful workload. Event time is the record's own query-time
-//     column, so the output set is deterministic; pane firing is
-//     watermark-driven (internal/watermark).
+//     original stateful workload. Event time is the record's own
+//     query-time column, so the output set is deterministic; pane
+//     firing is watermark-driven (internal/watermark).
+//   - SlidingSum emits per-user-ID item-rank sums over 2-second
+//     event-time windows sliding every second — overlapping window
+//     assignment over the same watermark machinery.
+//   - Join reads the topic twice (query stream and click stream),
+//     assigns timestamps per branch, merges, and inner-joins the sides
+//     on user ID within 1-second tumbling windows — the two-input
+//     stateful workload whose panes may only fire once the watermarks
+//     of both branches have passed.
 package queries
 
 import (
@@ -49,12 +58,21 @@ const (
 	// WindowedCount outputs per-user-ID counts over 1-second event-time
 	// tumbling windows — the stateful query the paper excluded.
 	WindowedCount
+	// SlidingSum outputs per-user-ID item-rank sums over 2-second
+	// event-time sliding windows advancing every second — the stateful
+	// query with overlapping window assignment.
+	SlidingSum
+	// Join outputs the per-window inner join of the query stream with
+	// the click stream on the user ID — the stateful query with two
+	// inputs merged under one propagated watermark.
+	Join
 )
 
 // All lists the queries in presentation order: the paper's four
-// stateless queries, then the stateful windowed aggregation.
+// stateless queries, then the stateful windowed aggregations and the
+// two-input join.
 func All() []Query {
-	return []Query{Identity, Sample, Projection, Grep, WindowedCount}
+	return []Query{Identity, Sample, Projection, Grep, WindowedCount, SlidingSum, Join}
 }
 
 // Stateless lists the paper's original Table II queries.
@@ -75,6 +93,10 @@ func (q Query) String() string {
 		return "Grep"
 	case WindowedCount:
 		return "WindowedCount"
+	case SlidingSum:
+		return "SlidingSum"
+	case Join:
+		return "Join"
 	default:
 		return fmt.Sprintf("Query(%d)", int(q))
 	}
@@ -82,12 +104,31 @@ func (q Query) String() string {
 
 // Valid reports whether q is a known query.
 func (q Query) Valid() bool {
-	return q >= Identity && q <= WindowedCount
+	return q >= Identity && q <= Join
 }
 
 // Stateful reports whether the query needs keyed state (the
 // stateful-support half of the capability matrix).
-func (q Query) Stateful() bool { return q == WindowedCount }
+func (q Query) Stateful() bool {
+	switch q {
+	case WindowedCount, SlidingSum, Join:
+		return true
+	default:
+		return false
+	}
+}
+
+// Names lists the canonical lower-case query names ParseQuery accepts,
+// in presentation order — the valid set CLI flags print on a bad
+// -query.
+func Names() []string {
+	qs := All()
+	out := make([]string, len(qs))
+	for i, q := range qs {
+		out[i] = strings.ToLower(q.String())
+	}
+	return out
+}
 
 // ParseQuery maps a query name (any case) to its Query.
 func ParseQuery(s string) (Query, error) {
@@ -102,8 +143,12 @@ func ParseQuery(s string) (Query, error) {
 		return Grep, nil
 	case "windowedcount", "windowed-count", "windowed":
 		return WindowedCount, nil
+	case "slidingsum", "sliding-sum", "sliding":
+		return SlidingSum, nil
+	case "join", "windowedjoin", "windowed-join":
+		return Join, nil
 	default:
-		return 0, fmt.Errorf("queries: unknown query %q", s)
+		return 0, fmt.Errorf("queries: unknown query %q (valid: %s)", s, strings.Join(Names(), ", "))
 	}
 }
 
@@ -122,8 +167,8 @@ func SurvivorPredicate(q Query, seed uint64) (func([]byte) bool, error) {
 		return GrepMatch, nil
 	case Sample:
 		return func(rec []byte) bool { return SampleKeep(rec, seed) }, nil
-	case WindowedCount:
-		return nil, fmt.Errorf("queries: WindowedCount outputs are aggregates; use SurvivorIndex")
+	case WindowedCount, SlidingSum, Join:
+		return nil, fmt.Errorf("queries: %s outputs are aggregates; use SurvivorIndex", q)
 	default:
 		return nil, fmt.Errorf("queries: survivor predicate for unknown query %d", q)
 	}
@@ -151,6 +196,10 @@ func (q Query) Description() string {
 		return fmt.Sprintf("Read input and output only records matching the regex %q (~0.3%% of the input).", GrepPattern)
 	case WindowedCount:
 		return fmt.Sprintf("Read input and output per-user-ID record counts over %v event-time tumbling windows (stateful).", WindowedCountWindow)
+	case SlidingSum:
+		return fmt.Sprintf("Read input and output per-user-ID item-rank sums over %v event-time sliding windows every %v (stateful).", SlidingSumWindow, SlidingSumSlide)
+	case Join:
+		return fmt.Sprintf("Join the query stream with the click stream on user ID within %v event-time tumbling windows (stateful, two inputs).", JoinWindow)
 	default:
 		return "unknown query"
 	}

@@ -50,8 +50,17 @@ func newWorkload(t *testing.T, data [][]byte) Workload {
 
 // expectedOutputs computes the reference output count per query.
 func expectedOutputs(data [][]byte, q Query, seed uint64) int {
-	if q == WindowedCount {
-		panes, err := ExpectedWindowedCounts(data)
+	if q.Stateful() {
+		var panes [][]byte
+		var err error
+		switch q {
+		case WindowedCount:
+			panes, err = ExpectedWindowedCounts(data)
+		case SlidingSum:
+			panes, err = ExpectedSlidingSums(data)
+		case Join:
+			panes, err = ExpectedJoins(data)
+		}
 		if err != nil {
 			panic(err)
 		}
@@ -85,8 +94,8 @@ func outputCount(t *testing.T, w Workload) int64 {
 }
 
 func TestQueryStringsAndValidity(t *testing.T) {
-	if len(All()) != 5 {
-		t.Fatalf("All() = %d queries, want 5", len(All()))
+	if len(All()) != 7 {
+		t.Fatalf("All() = %d queries, want 7", len(All()))
 	}
 	if len(Stateless()) != 4 {
 		t.Fatalf("Stateless() = %d queries, want 4", len(Stateless()))
@@ -94,6 +103,7 @@ func TestQueryStringsAndValidity(t *testing.T) {
 	names := map[Query]string{
 		Identity: "Identity", Sample: "Sample", Projection: "Projection",
 		Grep: "Grep", WindowedCount: "WindowedCount",
+		SlidingSum: "SlidingSum", Join: "Join",
 	}
 	for q, want := range names {
 		if q.String() != want {
@@ -174,11 +184,15 @@ func TestNativeFlinkAllQueries(t *testing.T) {
 				t.Fatal(err)
 			}
 			// Stateless native jobs fully chain (Figure 12); the keyed
-			// windowed query breaks the chain at KeyBy, leaving the
-			// source task plus the chained reduce-and-sink task.
+			// windowed queries break the chain at KeyBy, leaving the
+			// source task plus the chained reduce-and-sink task. The join
+			// adds a second source chain and the union task.
 			wantTasks := 1
 			if q.Stateful() {
 				wantTasks = 2
+			}
+			if q == Join {
+				wantTasks = 4
 			}
 			if res.Tasks != wantTasks {
 				t.Errorf("Tasks = %d, want %d", res.Tasks, wantTasks)

@@ -34,7 +34,7 @@ const eventTimeLayout = "2006-01-02 15:04:05"
 // translation derive event time this way, which is what makes the
 // windowed aggregation reproducible from the dataset alone.
 func EventTime(rec []byte) (time.Time, error) {
-	col := thirdColumn(rec)
+	col := nthColumn(rec, 2)
 	if col == nil {
 		return time.Time{}, fmt.Errorf("queries: record %.40q has no query-time column", rec)
 	}
@@ -45,21 +45,23 @@ func EventTime(rec []byte) (time.Time, error) {
 	return t, nil
 }
 
-// thirdColumn returns the record's third tab-separated column without
-// allocating.
-func thirdColumn(rec []byte) []byte {
-	start, tabs := 0, 0
+// nthColumn returns the record's n-th (0-based) tab-separated column
+// without allocating; nil when the record has fewer columns, an empty
+// slice when the column exists but is empty (the absent-item-rank
+// encoding).
+func nthColumn(rec []byte, n int) []byte {
+	start, col := 0, 0
 	for i, b := range rec {
 		if b != '\t' {
 			continue
 		}
-		if tabs == 2 {
+		if col == n {
 			return rec[start:i]
 		}
-		tabs++
+		col++
 		start = i + 1
 	}
-	if tabs == 2 {
+	if col == n {
 		return rec[start:]
 	}
 	return nil

@@ -60,7 +60,7 @@ type StreamingContext struct {
 	cluster *Cluster
 	cfg     Config
 
-	input   *DStream
+	inputs  []*DStream
 	outputs []*outputOp
 	err     error
 	state   ctxState
@@ -120,6 +120,14 @@ const (
 	// stageStateful is a keyed stage whose per-partition processors
 	// persist across micro-batches (see DStream.Stateful).
 	stageStateful
+	// stageUnion concatenates the partitions of several parent streams
+	// (DStream.Union) — no shuffle, the branches' RDD partitions sit side
+	// by side.
+	stageUnion
+	// stageAssign is the timestamp/watermark assigner: a pass-through
+	// stage whose persistent per-partition generators stamp the
+	// lineage's event-time watermark (DStream.AssignTimestampsBounded).
+	stageAssign
 )
 
 // narrowFn processes one record, emitting zero or more records.
@@ -140,6 +148,12 @@ type TaskContext struct {
 	Partition int
 	// Charge adds simulated per-record cost to the running task.
 	Charge func(d time.Duration)
+	// Watermark is the event-time watermark of the stage's input lineage
+	// at the current batch boundary — the minimum over the upstream
+	// timestamp assigners (AssignTimestampsBounded), end-of-time on the
+	// final flush pass. Stateful stages fire panes off it at EndBatch.
+	// The zero time means no upstream assigner has claimed progress.
+	Watermark time.Time
 }
 
 // DStream is a discretized stream: a lineage of transformations applied
@@ -156,6 +170,10 @@ type DStream struct {
 	shuffleKey func(rec []byte) ([]byte, error)
 	// state holds a stateful stage's persistent per-partition processors.
 	state *statefulNode
+	// parents holds a union stage's merged input branches.
+	parents []*DStream
+	// assign holds an assign stage's persistent watermark generators.
+	assign *assignNode
 
 	input inputSource
 }
@@ -179,12 +197,28 @@ type inputSource interface {
 
 func (ssc *StreamingContext) newInput(src inputSource) *DStream {
 	ds := &DStream{ssc: ssc, kind: stageInput, name: "Input", input: src}
-	if ssc.input != nil {
-		ssc.fail(fmt.Errorf("spark: only one input stream is supported"))
+	ssc.inputs = append(ssc.inputs, ds)
+	return ds
+}
+
+// Union merges this stream with the others, like
+// StreamingContext.union: each batch's RDD holds the branches'
+// partitions side by side, without a shuffle. The branches may be
+// rooted at different inputs; the micro-batch scheduler fetches one
+// batch per input and the union concatenates the branches' results.
+func (ds *DStream) Union(others ...*DStream) *DStream {
+	if len(others) == 0 {
+		ds.ssc.fail(fmt.Errorf("spark: union needs at least two streams"))
 		return ds
 	}
-	ssc.input = ds
-	return ds
+	parents := append([]*DStream{ds}, others...)
+	for _, p := range parents {
+		if p == nil || p.ssc != ds.ssc {
+			ds.ssc.fail(fmt.Errorf("spark: union across streaming contexts"))
+			return ds
+		}
+	}
+	return &DStream{ssc: ds.ssc, kind: stageUnion, name: "Union", parents: parents}
 }
 
 // Map applies a 1:1 transformation.

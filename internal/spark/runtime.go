@@ -9,6 +9,7 @@ import (
 	"beambench/internal/keyhash"
 	"beambench/internal/metrics"
 	"beambench/internal/simcost"
+	"beambench/internal/watermark"
 )
 
 // RunBounded drives the application until the input source is exhausted,
@@ -27,11 +28,18 @@ func (ssc *StreamingContext) RunBounded() (StreamingMetrics, error) {
 	driver.Flush()
 
 	for batchID := int64(0); ; batchID++ {
-		parts, remaining, err := ssc.input.input.nextBatch(batchID)
-		if err != nil {
-			return ssc.metrics, fmt.Errorf("spark: batch %d input: %w", batchID, err)
+		batch := make(map[*DStream][][][]byte, len(ssc.inputs))
+		n := 0
+		remaining := false
+		for _, in := range ssc.inputs {
+			parts, more, err := in.input.nextBatch(batchID)
+			if err != nil {
+				return ssc.metrics, fmt.Errorf("spark: batch %d input: %w", batchID, err)
+			}
+			batch[in] = parts
+			n += countRecords(parts)
+			remaining = remaining || more
 		}
-		n := countRecords(parts)
 		if n == 0 {
 			if !remaining {
 				// Bounded input drained: stateful stages flush their
@@ -49,8 +57,22 @@ func (ssc *StreamingContext) RunBounded() (StreamingMetrics, error) {
 			time.Sleep(time.Millisecond)
 			continue
 		}
-		if err := ssc.runBatch(batchID, parts, driver); err != nil {
+		if err := ssc.runBatch(batchID, batch, driver); err != nil {
 			return ssc.metrics, err
+		}
+	}
+}
+
+// walkUp visits ds and every node upstream of it (parents of union
+// stages included).
+func walkUp(ds *DStream, fn func(*DStream)) {
+	for cur := ds; cur != nil; cur = cur.parent {
+		fn(cur)
+		if cur.kind == stageUnion {
+			for _, p := range cur.parents {
+				walkUp(p, fn)
+			}
+			return
 		}
 	}
 }
@@ -58,14 +80,35 @@ func (ssc *StreamingContext) RunBounded() (StreamingMetrics, error) {
 // hasStatefulStage reports whether any output's lineage contains a
 // stateful stage.
 func (ssc *StreamingContext) hasStatefulStage() bool {
+	found := false
 	for _, out := range ssc.outputs {
-		for cur := out.stream; cur != nil; cur = cur.parent {
+		walkUp(out.stream, func(cur *DStream) {
 			if cur.kind == stageStateful {
-				return true
+				found = true
+			}
+		})
+	}
+	return found
+}
+
+// lineageWatermark computes the watermark entering a stateful stage:
+// the minimum over the assign stages in its upstream lineage, each of
+// which has already processed the current batch when the stateful
+// stage runs. A lineage without an assigner stays at the zero
+// watermark — its panes hold until the end-of-input flush.
+func lineageWatermark(ds *DStream) time.Time {
+	var w time.Time
+	found := false
+	walkUp(ds, func(s *DStream) {
+		if s.kind == stageAssign {
+			sw := s.assign.watermark()
+			if !found || sw.Before(w) {
+				w = sw
+				found = true
 			}
 		}
-	}
-	return false
+	})
+	return w
 }
 
 // Start launches the micro-batch scheduler at the configured interval,
@@ -108,9 +151,20 @@ func (ssc *StreamingContext) schedulerLoop() {
 		case <-ssc.stopCh:
 			return
 		case <-ticker.C:
-			parts, _, err := ssc.input.input.nextBatch(batchID)
-			if err == nil && countRecords(parts) > 0 {
-				err = ssc.runBatch(batchID, parts, driver)
+			batch := make(map[*DStream][][][]byte, len(ssc.inputs))
+			n := 0
+			var err error
+			for _, in := range ssc.inputs {
+				parts, _, perr := in.input.nextBatch(batchID)
+				if perr != nil {
+					err = perr
+					break
+				}
+				batch[in] = parts
+				n += countRecords(parts)
+			}
+			if err == nil && n > 0 {
+				err = ssc.runBatch(batchID, batch, driver)
 			}
 			if err != nil {
 				ssc.mu.Lock()
@@ -135,7 +189,7 @@ func (ssc *StreamingContext) precheck() error {
 	if !ssc.cluster.Running() {
 		return ErrClusterStopped
 	}
-	if ssc.input == nil {
+	if len(ssc.inputs) == 0 {
 		return errors.New("spark: no input stream")
 	}
 	if len(ssc.outputs) == 0 {
@@ -151,13 +205,15 @@ func (ssc *StreamingContext) precheck() error {
 	// double-count its state.
 	statefulUses := make(map[*DStream]int)
 	for _, out := range ssc.outputs {
-		for cur := out.stream; cur != nil; cur = cur.parent {
+		walkUp(out.stream, func(cur *DStream) {
 			if cur.kind == stageStateful {
 				statefulUses[cur]++
-				if statefulUses[cur] > 1 {
-					return fmt.Errorf("spark: stateful stage %q consumed by more than one output operation", cur.name)
-				}
 			}
+		})
+	}
+	for st, n := range statefulUses {
+		if n > 1 {
+			return fmt.Errorf("spark: stateful stage %q consumed by more than one output operation", st.name)
 		}
 	}
 	return nil
@@ -165,21 +221,26 @@ func (ssc *StreamingContext) precheck() error {
 
 // runBatch executes one micro-batch: for every registered output
 // operation, recompute its lineage over the batch (Spark semantics
-// without cache()) and run the output action.
-func (ssc *StreamingContext) runBatch(batchID int64, parts [][][]byte, driver *simcost.Meter) error {
+// without cache()) and run the output action. batch maps each input
+// stream to its partitions for this batch.
+func (ssc *StreamingContext) runBatch(batchID int64, batch map[*DStream][][][]byte, driver *simcost.Meter) error {
 	driver.Charge(ssc.cluster.cfg.Costs.SparkBatch)
 	driver.Flush()
-	n := int64(countRecords(parts))
+	var n int64
+	for _, in := range ssc.inputs {
+		c := int64(countRecords(batch[in]))
+		n += c
+		if col := ssc.cluster.cfg.Metrics; col != nil {
+			col.Stage(in.name).Mark(c)
+		}
+	}
 	ssc.mu.Lock()
 	ssc.metrics.Batches++
 	ssc.metrics.RecordsIn += n
 	ssc.mu.Unlock()
-	if c := ssc.cluster.cfg.Metrics; c != nil {
-		c.Stage(ssc.input.name).Mark(n)
-	}
 
 	for _, out := range ssc.outputs {
-		data, err := ssc.compute(out.stream, batchID, parts, false)
+		data, err := ssc.compute(out.stream, batchID, batch, false)
 		if err != nil {
 			return fmt.Errorf("spark: batch %d: %w", batchID, err)
 		}
@@ -225,97 +286,126 @@ type narrowStage struct {
 	factory narrowFactory
 }
 
-// stageGroup is a fused run of narrow stages, one shuffle boundary, or
-// one stateful stage.
-type stageGroup struct {
-	narrow     []narrowStage
-	shuffle    int                              // >0: shuffle to this many partitions
-	shuffleKey func(rec []byte) ([]byte, error) // key-hash routing for the shuffle
-	stateful   *DStream                         // stateful stage node
+// compute recursively evaluates the lineage of ds over one batch.
+// batch maps each input stream to its partitions; with flush set (the
+// end-of-input pass) the inputs contribute nothing, stateful stages
+// emit their remaining state, and the watermark is end-of-time.
+// Consecutive narrow stages fuse into single task groups, as Spark's
+// DAG scheduler does; shuffles, unions, assigners and stateful stages
+// are barriers.
+func (ssc *StreamingContext) compute(ds *DStream, batchID int64, batch map[*DStream][][][]byte, flush bool) ([][][]byte, error) {
+	switch ds.kind {
+	case stageInput:
+		if ds.input == nil {
+			return nil, errors.New("spark: stream is not rooted at an input")
+		}
+		return batch[ds], nil
+	case stageUnion:
+		var out [][][]byte
+		for _, p := range ds.parents {
+			parts, err := ssc.compute(p, batchID, batch, flush)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, parts...)
+		}
+		return out, nil
+	case stageShuffle:
+		parts, err := ssc.compute(ds.parent, batchID, batch, flush)
+		if err != nil {
+			return nil, err
+		}
+		return ssc.shuffle(parts, ds.width, ds.shuffleKey)
+	case stageAssign:
+		parts, err := ssc.compute(ds.parent, batchID, batch, flush)
+		if err != nil {
+			return nil, err
+		}
+		return ssc.runAssignStage(ds, parts)
+	case stageStateful:
+		parts, err := ssc.compute(ds.parent, batchID, batch, flush)
+		if err != nil {
+			return nil, err
+		}
+		wm := watermark.EndOfTime
+		if !flush {
+			// The upstream assigners have processed this batch already
+			// (compute above), so the lineage watermark reflects every
+			// record about to enter the stateful stage.
+			wm = lineageWatermark(ds)
+		}
+		return ssc.runStatefulStage(ds, batchID, parts, flush, wm)
+	case stageNarrow:
+		var chain []narrowStage
+		top := ds
+		for {
+			chain = append(chain, narrowStage{name: top.name, factory: top.factory})
+			if top.parent == nil || top.parent.kind != stageNarrow {
+				break
+			}
+			top = top.parent
+		}
+		for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+			chain[i], chain[j] = chain[j], chain[i]
+		}
+		parts, err := ssc.compute(top.parent, batchID, batch, flush)
+		if err != nil {
+			return nil, err
+		}
+		return ssc.runNarrowStage(chain, batchID, parts)
+	default:
+		return nil, fmt.Errorf("spark: unexpected stage kind %d", ds.kind)
+	}
 }
 
-// compile walks the lineage from the input to ds and fuses consecutive
-// narrow stages into single task groups, as Spark's DAG scheduler does.
-// Shuffles and stateful stages are barriers.
-func compile(ds *DStream) ([]stageGroup, error) {
-	var rev []*DStream
-	for cur := ds; cur != nil; cur = cur.parent {
-		rev = append(rev, cur)
-		if cur.kind == stageInput {
-			break
+// runAssignStage feeds one batch through the timestamp assigner: each
+// partition's records advance that partition's persistent generator,
+// then pass through unchanged. One task per partition, like any
+// narrow stage.
+func (ssc *StreamingContext) runAssignStage(st *DStream, parts [][][]byte) ([][][]byte, error) {
+	var handle *metrics.Stage
+	if c := ssc.cluster.cfg.Metrics; c != nil {
+		handle = c.Stage(st.name)
+	}
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for p := range parts {
+		if len(parts[p]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = ssc.cluster.runTask(func(meter *simcost.Meter) error {
+				gen := st.assign.generator(p)
+				for _, rec := range parts[p] {
+					et, err := st.assign.eventTime(rec)
+					if err != nil {
+						return fmt.Errorf("spark: assign timestamps: %w", err)
+					}
+					gen.Observe(et)
+				}
+				handle.Mark(int64(len(parts[p])))
+				return nil
+			})
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
-	if len(rev) == 0 || rev[len(rev)-1].kind != stageInput {
-		return nil, errors.New("spark: stream is not rooted at an input")
-	}
-	var groups []stageGroup
-	var pending []narrowStage
-	barrier := func(g stageGroup) {
-		if len(pending) > 0 {
-			groups = append(groups, stageGroup{narrow: pending})
-			pending = nil
-		}
-		groups = append(groups, g)
-	}
-	for i := len(rev) - 2; i >= 0; i-- { // skip the input node
-		s := rev[i]
-		switch s.kind {
-		case stageNarrow:
-			pending = append(pending, narrowStage{name: s.name, factory: s.factory})
-		case stageShuffle:
-			barrier(stageGroup{shuffle: s.width, shuffleKey: s.shuffleKey})
-		case stageStateful:
-			barrier(stageGroup{stateful: s})
-		default:
-			return nil, fmt.Errorf("spark: unexpected stage kind %d", s.kind)
-		}
-	}
-	if len(pending) > 0 {
-		groups = append(groups, stageGroup{narrow: pending})
-	}
-	return groups, nil
-}
-
-// compute evaluates the lineage of ds over one batch's partitions. With
-// flush set (the end-of-input pass) the upstream stages see no input and
-// stateful stages emit their remaining state instead.
-func (ssc *StreamingContext) compute(ds *DStream, batchID int64, parts [][][]byte, flush bool) ([][][]byte, error) {
-	groups, err := compile(ds)
-	if err != nil {
-		return nil, err
-	}
-	data := parts
-	for _, g := range groups {
-		switch {
-		case g.shuffle > 0:
-			next, err := ssc.shuffle(data, g.shuffle, g.shuffleKey)
-			if err != nil {
-				return nil, err
-			}
-			data = next
-		case g.stateful != nil:
-			next, err := ssc.runStatefulStage(g.stateful, batchID, data, flush)
-			if err != nil {
-				return nil, err
-			}
-			data = next
-		default:
-			next, err := ssc.runNarrowStage(g.narrow, batchID, data)
-			if err != nil {
-				return nil, err
-			}
-			data = next
-		}
-	}
-	return data, nil
+	return parts, nil
 }
 
 // runStatefulStage delivers one batch's partitions into the stage's
 // persistent processors (creating them on first use) and collects their
-// emissions; window firing happens at the batch boundary (EndBatch). On
-// the flush pass it instead drains the processors' remaining state
-// (EndStream).
-func (ssc *StreamingContext) runStatefulStage(st *DStream, batchID int64, parts [][][]byte, flush bool) ([][][]byte, error) {
+// emissions; window firing happens at the batch boundary (EndBatch),
+// driven by the lineage watermark delivered in TaskContext.Watermark.
+// On the flush pass it instead drains the processors' remaining state
+// (EndStream) under the end-of-time watermark.
+func (ssc *StreamingContext) runStatefulStage(st *DStream, batchID int64, parts [][][]byte, flush bool, wm time.Time) ([][][]byte, error) {
 	var (
 		instances []StatefulProcessor
 		err       error
@@ -345,7 +435,7 @@ func (ssc *StreamingContext) runStatefulStage(st *DStream, batchID int64, parts 
 		go func(p int) {
 			defer wg.Done()
 			errs[p] = ssc.cluster.runTask(func(meter *simcost.Meter) error {
-				task := TaskContext{BatchID: batchID, Partition: p, Charge: meter.Charge}
+				task := TaskContext{BatchID: batchID, Partition: p, Charge: meter.Charge, Watermark: wm}
 				var result [][]byte
 				emit := func(rec []byte) { result = append(result, rec) }
 				inst := instances[p]

@@ -42,7 +42,8 @@ func runWindowed(t *testing.T, input [][]byte, perBatch int) []string {
 	}
 	var got []string
 	ssc.SliceStream(input, perBatch).
-		ReduceByKeyAndWindow("WindowedCount", time.Second, 0, testEventTime, testKey, testFormat).
+		AssignTimestampsBounded(testEventTime, 0).
+		ReduceByKeyAndWindow("WindowedCount", time.Second, testEventTime, testKey, testFormat).
 		ForeachRecord("collect", func(rec []byte) error {
 			got = append(got, string(rec))
 			return nil
@@ -102,8 +103,9 @@ func TestRepartitionByKeyKeepsKeysTogether(t *testing.T) {
 	var mu sync.Mutex
 	counts := make(map[string]int)
 	ssc.SliceStream(input, 10).
+		AssignTimestampsBounded(testEventTime, 0).
 		RepartitionByKey(3, testKey).
-		ReduceByKeyAndWindow("WindowedCount", time.Second, 0, testEventTime, testKey, testFormat).
+		ReduceByKeyAndWindow("WindowedCount", time.Second, testEventTime, testKey, testFormat).
 		ForeachRecord("collect", func(rec []byte) error {
 			mu.Lock()
 			counts[string(rec)]++
@@ -135,7 +137,8 @@ func TestStatefulStageRejectsTwoOutputs(t *testing.T) {
 		t.Fatal(err)
 	}
 	windowed := ssc.SliceStream([][]byte{windowedRecord(0, "a")}, 0).
-		ReduceByKeyAndWindow("WindowedCount", time.Second, 0, testEventTime, testKey, testFormat)
+		AssignTimestampsBounded(testEventTime, 0).
+		ReduceByKeyAndWindow("WindowedCount", time.Second, testEventTime, testKey, testFormat)
 	windowed.ForeachRecord("one", func([]byte) error { return nil })
 	windowed.ForeachRecord("two", func([]byte) error { return nil })
 	if _, err := ssc.RunBounded(); err == nil {
@@ -150,7 +153,7 @@ func TestReduceByKeyAndWindowValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	ssc.SliceStream([][]byte{windowedRecord(0, "a")}, 0).
-		ReduceByKeyAndWindow("bad", 0, 0, testEventTime, testKey, testFormat).
+		ReduceByKeyAndWindow("bad", 0, testEventTime, testKey, testFormat).
 		ForeachRecord("collect", func([]byte) error { return nil })
 	if _, err := ssc.RunBounded(); err == nil {
 		t.Error("zero window size accepted")

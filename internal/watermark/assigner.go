@@ -1,0 +1,118 @@
+package watermark
+
+import (
+	"fmt"
+	"time"
+)
+
+// Span is one window's half-open interval [Start, End).
+type Span struct {
+	Start, End time.Time
+}
+
+// Assigner maps an event time to the set of windows containing it — the
+// window-assignment half of a windowing strategy. Tumbling windows
+// assign one window per record, sliding windows several overlapping
+// ones, and session windows a per-record proto-window that merges with
+// overlapping sessions of the same key (see Merges).
+type Assigner interface {
+	// Assign returns the windows containing t, in ascending start order.
+	Assign(t time.Time) []Span
+	// Merges reports whether assigned windows merge per key (sessions).
+	// Non-merging windows are identical across keys; merging windows are
+	// key-local and grow as overlapping records arrive.
+	Merges() bool
+	// Name labels the assigner for errors and plan rendering.
+	Name() string
+}
+
+// TumblingAssigner assigns fixed, non-overlapping windows of Size
+// aligned to the epoch — the FixedWindows strategy.
+type TumblingAssigner struct {
+	Size time.Duration
+}
+
+// NewTumblingAssigner validates the size.
+func NewTumblingAssigner(size time.Duration) (TumblingAssigner, error) {
+	if size <= 0 {
+		return TumblingAssigner{}, fmt.Errorf("watermark: tumbling window size must be positive, got %v", size)
+	}
+	return TumblingAssigner{Size: size}, nil
+}
+
+// Assign returns the single window containing t.
+func (a TumblingAssigner) Assign(t time.Time) []Span {
+	start := t.Truncate(a.Size)
+	return []Span{{Start: start, End: start.Add(a.Size)}}
+}
+
+// Merges reports false: tumbling windows never merge.
+func (a TumblingAssigner) Merges() bool { return false }
+
+// Name labels the assigner.
+func (a TumblingAssigner) Name() string { return fmt.Sprintf("tumbling(%v)", a.Size) }
+
+// SlidingAssigner assigns overlapping windows of Size every Slide,
+// aligned to the epoch. A record belongs to ceil(Size/Slide) windows
+// (fewer near the epoch). Slide need not divide Size.
+type SlidingAssigner struct {
+	Size, Slide time.Duration
+}
+
+// NewSlidingAssigner validates size and slide.
+func NewSlidingAssigner(size, slide time.Duration) (SlidingAssigner, error) {
+	if size <= 0 || slide <= 0 {
+		return SlidingAssigner{}, fmt.Errorf("watermark: sliding window size and slide must be positive, got %v/%v", size, slide)
+	}
+	if slide > size {
+		return SlidingAssigner{}, fmt.Errorf("watermark: slide %v exceeds size %v (gaps would drop records)", slide, size)
+	}
+	return SlidingAssigner{Size: size, Slide: slide}, nil
+}
+
+// Assign returns every window [start, start+Size) with start aligned to
+// Slide and start in (t−Size, t], ascending by start.
+func (a SlidingAssigner) Assign(t time.Time) []Span {
+	last := t.Truncate(a.Slide)
+	var spans []Span
+	for start := last; start.After(t.Add(-a.Size)); start = start.Add(-a.Slide) {
+		spans = append(spans, Span{Start: start, End: start.Add(a.Size)})
+	}
+	// Built newest-first; reverse into ascending start order.
+	for i, j := 0, len(spans)-1; i < j; i, j = i+1, j-1 {
+		spans[i], spans[j] = spans[j], spans[i]
+	}
+	return spans
+}
+
+// Merges reports false: sliding windows overlap but never merge.
+func (a SlidingAssigner) Merges() bool { return false }
+
+// Name labels the assigner.
+func (a SlidingAssigner) Name() string { return fmt.Sprintf("sliding(%v/%v)", a.Size, a.Slide) }
+
+// SessionAssigner assigns a per-record proto-window [t, t+Gap) that the
+// window state merges with any overlapping session of the same key —
+// gap-based session windows.
+type SessionAssigner struct {
+	Gap time.Duration
+}
+
+// NewSessionAssigner validates the gap.
+func NewSessionAssigner(gap time.Duration) (SessionAssigner, error) {
+	if gap <= 0 {
+		return SessionAssigner{}, fmt.Errorf("watermark: session gap must be positive, got %v", gap)
+	}
+	return SessionAssigner{Gap: gap}, nil
+}
+
+// Assign returns the record's proto-session.
+func (a SessionAssigner) Assign(t time.Time) []Span {
+	return []Span{{Start: t, End: t.Add(a.Gap)}}
+}
+
+// Merges reports true: overlapping sessions of one key coalesce.
+func (a SessionAssigner) Merges() bool { return true }
+
+// Name labels the assigner.
+func (a SessionAssigner) Name() string { return fmt.Sprintf("sessions(%v)", a.Gap) }

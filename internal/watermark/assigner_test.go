@@ -1,0 +1,226 @@
+package watermark
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestAssignerValidation(t *testing.T) {
+	if _, err := NewTumblingAssigner(0); err == nil {
+		t.Error("zero tumbling size accepted")
+	}
+	if _, err := NewSlidingAssigner(0, time.Second); err == nil {
+		t.Error("zero sliding size accepted")
+	}
+	if _, err := NewSlidingAssigner(time.Second, 0); err == nil {
+		t.Error("zero slide accepted")
+	}
+	if _, err := NewSlidingAssigner(time.Second, 2*time.Second); err == nil {
+		t.Error("slide exceeding size accepted (would drop records)")
+	}
+	if _, err := NewSessionAssigner(-time.Second); err == nil {
+		t.Error("negative session gap accepted")
+	}
+}
+
+// checkSpans asserts the assigner invariants every caller relies on:
+// ascending start order and every span containing t (half-open).
+func checkSpans(t *testing.T, spans []Span, at time.Time) {
+	t.Helper()
+	for i, s := range spans {
+		if at.Before(s.Start) || !at.Before(s.End) {
+			t.Errorf("span %d [%v, %v) does not contain %v", i, s.Start, s.End, at)
+		}
+		if i > 0 && !spans[i-1].Start.Before(s.Start) {
+			t.Errorf("spans not ascending: %v then %v", spans[i-1].Start, s.Start)
+		}
+	}
+}
+
+// TestSlidingAssignSlideNotDividingSize covers the non-divisor case:
+// with size 3s and slide 2s a record belongs to one or two windows
+// depending on where it falls relative to the 2s-aligned starts.
+func TestSlidingAssignSlideNotDividingSize(t *testing.T) {
+	a, err := NewSlidingAssigner(3*time.Second, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		offset time.Duration
+		want   int
+	}{
+		{5 * time.Second, 1}, // only [4,7): [2,5) is half-open and excludes 5
+		{6 * time.Second, 2}, // [4,7) and [6,9)
+		{7 * time.Second, 1}, // only [6,9)
+	} {
+		at := epoch.Add(tc.offset)
+		spans := a.Assign(at)
+		if len(spans) != tc.want {
+			t.Errorf("Assign(epoch+%v) = %d windows %v, want %d", tc.offset, len(spans), spans, tc.want)
+		}
+		checkSpans(t, spans, at)
+	}
+}
+
+// TestSlidingAssignEpochAlignedBoundary pins the half-open boundary
+// semantics: a record exactly on a slide boundary starts a new window
+// and has left the window ending there.
+func TestSlidingAssignEpochAlignedBoundary(t *testing.T) {
+	a, err := NewSlidingAssigner(2*time.Second, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := epoch.Add(5 * time.Second)
+	spans := a.Assign(at)
+	if len(spans) != 2 {
+		t.Fatalf("Assign = %v, want 2 windows", spans)
+	}
+	if !spans[0].Start.Equal(epoch.Add(4*time.Second)) || !spans[1].Start.Equal(epoch.Add(5*time.Second)) {
+		t.Errorf("window starts = %v/%v, want epoch+4s/epoch+5s", spans[0].Start, spans[1].Start)
+	}
+	checkSpans(t, spans, at)
+}
+
+// TestAssignSubSecondWindows exercises sub-second sizes: windows are
+// not constrained to whole seconds, and tumbling truncation stays
+// aligned at millisecond granularity.
+func TestAssignSubSecondWindows(t *testing.T) {
+	tum, err := NewTumblingAssigner(250 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := epoch.Add(249 * time.Millisecond)
+	spans := tum.Assign(at)
+	if len(spans) != 1 || !spans[0].Start.Equal(epoch) {
+		t.Errorf("tumbling Assign = %v, want one window at epoch", spans)
+	}
+	checkSpans(t, spans, at)
+	if next := tum.Assign(epoch.Add(250 * time.Millisecond)); !next[0].Start.Equal(epoch.Add(250 * time.Millisecond)) {
+		t.Errorf("boundary record window = %v, want start epoch+250ms", next[0].Start)
+	}
+
+	sl, err := NewSlidingAssigner(500*time.Millisecond, 250*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at = epoch.Add(625 * time.Millisecond)
+	spans = sl.Assign(at)
+	if len(spans) != 2 {
+		t.Fatalf("sliding Assign = %v, want 2 windows", spans)
+	}
+	if !spans[0].Start.Equal(epoch.Add(250*time.Millisecond)) || !spans[1].Start.Equal(epoch.Add(500*time.Millisecond)) {
+		t.Errorf("sliding starts = %v/%v, want epoch+250ms/epoch+500ms", spans[0].Start, spans[1].Start)
+	}
+	checkSpans(t, spans, at)
+}
+
+// sessionPanes drains a count-accumulating session state into
+// "startOffset/endOffset:key=count" strings for compact assertions.
+func sessionPanes(t *testing.T, s *WindowState[int64]) []string {
+	t.Helper()
+	var out []string
+	err := s.FireAll(func(p Pane[int64]) error {
+		out = append(out, fmt.Sprintf("%v/%v:%s=%d", p.Start.Sub(epoch), p.End.Sub(epoch), p.Key, p.Acc))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSessionMergeOutOfOrder is the merging edge case: two sessions of
+// one key that are initially disjoint coalesce when a later,
+// out-of-order record bridges the gap — and an unrelated key's session
+// stays separate.
+func TestSessionMergeOutOfOrder(t *testing.T) {
+	a, err := NewSessionAssigner(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWindowState[int64](a, func(into *int64, from int64) { *into += from })
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := func(c *int64) { *c++ }
+	s.Upsert(epoch, "u", inc)
+	s.Upsert(epoch.Add(15*time.Second), "u", inc)
+	if s.Open() != 2 {
+		t.Fatalf("open sessions = %d, want 2 disjoint", s.Open())
+	}
+	// The bridge arrives out of order: [8,18) overlaps both [0,10) and
+	// [15,25), merging them into one [0,25) session.
+	s.Upsert(epoch.Add(8*time.Second), "u", inc)
+	s.Upsert(epoch.Add(40*time.Second), "v", inc)
+	if s.Open() != 2 {
+		t.Fatalf("open sessions after merge = %d, want 2", s.Open())
+	}
+	got := sessionPanes(t, s)
+	want := []string{"0s/25s:u=3", "40s/50s:v=1"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("panes = %v, want %v", got, want)
+	}
+}
+
+// TestSessionAbuttingRecordsMerge pins the gap boundary: a record at
+// exactly previousEnd extends the session rather than opening a new
+// one (sessions merge on overlap or abutment).
+func TestSessionAbuttingRecordsMerge(t *testing.T) {
+	a, err := NewSessionAssigner(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWindowState[int64](a, func(into *int64, from int64) { *into += from })
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := func(c *int64) { *c++ }
+	s.Upsert(epoch, "u", inc)
+	s.Upsert(epoch.Add(10*time.Second), "u", inc)
+	got := sessionPanes(t, s)
+	want := []string{"0s/20s:u=2"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("panes = %v, want %v", got, want)
+	}
+}
+
+// TestSlidingStateOverlappingPanes runs the sliding assigner through
+// the shared window state: one record contributes to every overlapping
+// pane, and panes fire ascending by (end, start) as the watermark
+// advances — the exact behavior the SlidingSum query deploys.
+func TestSlidingStateOverlappingPanes(t *testing.T) {
+	a, err := NewSlidingAssigner(2*time.Second, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWindowState[int64](a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(v int64) func(*int64) { return func(c *int64) { *c += v } }
+	s.Upsert(epoch.Add(1500*time.Millisecond), "u", add(3))
+	s.Upsert(epoch.Add(2200*time.Millisecond), "u", add(5))
+
+	var fired []string
+	pane := func(p Pane[int64]) error {
+		fired = append(fired, fmt.Sprintf("%v:%s=%d", p.Start.Sub(epoch), p.Key, p.Acc))
+		return nil
+	}
+	// Watermark at 2s: only [0,2) is complete; the record at 1.5s also
+	// lives in the still-open [1,3).
+	if err := s.FireReady(epoch.Add(2*time.Second), pane); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(fired) != fmt.Sprint([]string{"0s:u=3"}) {
+		t.Fatalf("panes at wm 2s = %v, want [0s:u=3]", fired)
+	}
+	fired = nil
+	if err := s.FireAll(pane); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1s:u=8", "2s:u=5"}
+	if fmt.Sprint(fired) != fmt.Sprint(want) {
+		t.Errorf("remaining panes = %v, want %v", fired, want)
+	}
+}

@@ -1,43 +1,46 @@
 package watermark
 
 import (
-	"fmt"
-	"sort"
 	"time"
 )
 
 // TumblingState accumulates per-(window, key) state for event-time
-// tumbling windows of a fixed size and fires panes in a deterministic
-// order once the watermark passes a window's end. T is the per-pane
-// accumulator (an int64 count for the benchmark query, a value list for
-// the Beam GroupByKey translation).
+// tumbling windows of a fixed size — the original benchmark state, now
+// a thin specialization of WindowState under a TumblingAssigner. T is
+// the per-pane accumulator (an int64 count for the counting query, a
+// value list for the Beam GroupByKey translation).
 //
 // Firing order is deterministic given the record arrival order: windows
 // fire in ascending start-time order, and keys within a window fire in
-// first-seen order. Every engine uses this state, so their pane
-// sequences agree whenever they observe the same record order — the
-// property behind the WindowedCount query's byte-identical outputs.
+// first-seen order — WindowState's order, which for equal-sized
+// non-overlapping windows reduces to exactly this.
 type TumblingState[T any] struct {
-	size    time.Duration
-	windows map[int64]*windowGroup[T]
-	// starts tracks the open windows' start nanos; kept sorted lazily at
-	// fire time (the open set is tiny: bound/size + 1 windows).
-	starts []int64
+	size time.Duration
+	ws   *WindowState[T]
 }
 
-// windowGroup is one window's keyed accumulators in first-seen order.
-type windowGroup[T any] struct {
-	byKey map[string]*T
-	order []string
+// Pane is one fired (window, key) aggregate.
+type Pane[T any] struct {
+	// Start and End bound the window: [Start, End).
+	Start, End time.Time
+	// Key is the pane's grouping key.
+	Key string
+	// Acc is the final accumulator value.
+	Acc T
 }
 
 // NewTumblingState returns empty state for tumbling windows of the given
 // size. Size must be positive.
 func NewTumblingState[T any](size time.Duration) (*TumblingState[T], error) {
-	if size <= 0 {
-		return nil, fmt.Errorf("watermark: tumbling window size must be positive, got %v", size)
+	a, err := NewTumblingAssigner(size)
+	if err != nil {
+		return nil, err
 	}
-	return &TumblingState[T]{size: size, windows: make(map[int64]*windowGroup[T])}, nil
+	ws, err := NewWindowState[T](a, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &TumblingState[T]{size: size, ws: ws}, nil
 }
 
 // Size returns the window size.
@@ -51,30 +54,7 @@ func (s *TumblingState[T]) WindowStart(t time.Time) time.Time {
 // Upsert applies update to the accumulator of t's window and key,
 // creating a zero accumulator first for a (window, key) not seen before.
 func (s *TumblingState[T]) Upsert(t time.Time, key string, update func(*T)) {
-	start := s.WindowStart(t).UnixNano()
-	g, ok := s.windows[start]
-	if !ok {
-		g = &windowGroup[T]{byKey: make(map[string]*T)}
-		s.windows[start] = g
-		s.starts = append(s.starts, start)
-	}
-	acc, ok := g.byKey[key]
-	if !ok {
-		acc = new(T)
-		g.byKey[key] = acc
-		g.order = append(g.order, key)
-	}
-	update(acc)
-}
-
-// Pane is one fired (window, key) aggregate.
-type Pane[T any] struct {
-	// Start and End bound the window: [Start, End).
-	Start, End time.Time
-	// Key is the pane's grouping key.
-	Key string
-	// Acc is the final accumulator value.
-	Acc T
+	s.ws.Upsert(t, key, update)
 }
 
 // FireReady emits and removes every pane of windows the watermark has
@@ -82,48 +62,14 @@ type Pane[T any] struct {
 // first-seen order. It stops on the first emit error, leaving later
 // panes in place.
 func (s *TumblingState[T]) FireReady(w time.Time, emit func(Pane[T]) error) error {
-	if len(s.starts) == 0 {
-		return nil
-	}
-	sort.Slice(s.starts, func(i, j int) bool { return s.starts[i] < s.starts[j] })
-	for len(s.starts) > 0 {
-		start := s.starts[0]
-		end := time.Unix(0, start).Add(s.size)
-		if w.Before(end) {
-			break
-		}
-		// Trim before-or-never: the start must leave the slice exactly
-		// when its window leaves the map, or an emit error in a LATER
-		// window would leave this (already fired and deleted) window's
-		// start behind and a retry would dereference its nil group.
-		if err := s.fireWindow(start, end, emit); err != nil {
-			return err
-		}
-		s.starts = s.starts[1:]
-	}
-	return nil
+	return s.ws.FireReady(w, emit)
 }
 
 // FireAll emits and removes every remaining pane in the deterministic
 // order; callers use it at end of input after finalizing the watermark.
 func (s *TumblingState[T]) FireAll(emit func(Pane[T]) error) error {
-	return s.FireReady(EndOfTime, emit)
+	return s.ws.FireAll(emit)
 }
 
 // Open reports how many windows currently hold state.
-func (s *TumblingState[T]) Open() int { return len(s.windows) }
-
-func (s *TumblingState[T]) fireWindow(start int64, end time.Time, emit func(Pane[T]) error) error {
-	g := s.windows[start]
-	for len(g.order) > 0 {
-		key := g.order[0]
-		p := Pane[T]{Start: time.Unix(0, start), End: end, Key: key, Acc: *g.byKey[key]}
-		if err := emit(p); err != nil {
-			return err // unfired keys stay in place for the caller's error path
-		}
-		g.order = g.order[1:]
-		delete(g.byKey, key)
-	}
-	delete(s.windows, start)
-	return nil
-}
+func (s *TumblingState[T]) Open() int { return s.ws.Open() }

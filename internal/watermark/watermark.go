@@ -22,9 +22,26 @@
 //     window. Finalize on a Generator (or per input on a MinTracker)
 //     models exactly that.
 //
-// Tumbling-window pane state on top of the watermarks lives in
-// TumblingState (state.go); the engines' windowed operators and the Beam
-// runners' GroupByKey translation are thin wrappers around the two.
+// In the engine runtimes watermarks travel as first-class control
+// events in the data flow: a timestamp-assigning operator emits them
+// interleaved with records, every intermediate operator forwards them
+// combined min-over-senders (MinTracker), and the keyed stateful
+// operator at the end fires panes off the watermark it receives — no
+// side-channel progress estimation, sound at any parallelism and
+// through merges (Union/Flatten), whose watermark is the minimum over
+// all inputs.
+//
+// Window assignment is factored out of the pane state: an Assigner
+// (assigner.go) maps an event time to its windows — tumbling (one),
+// sliding (several overlapping), or session (a per-key proto-window
+// that merges with overlapping sessions). WindowState (windowstate.go)
+// accumulates per-(window, key) state under any Assigner and fires
+// panes in a deterministic order once the watermark passes a window's
+// end; NumAcc with an AggKind (agg.go) provides the numeric aggregates
+// (count, sum, min, max, avg) the windowed queries compose with it.
+// TumblingState (state.go) remains as the one-window fast path. The
+// engines' windowed operators and the Beam runners' GroupByKey
+// translation are thin wrappers around these.
 package watermark
 
 import (
@@ -139,58 +156,4 @@ func (m *MinTracker) Combined() time.Time {
 		}
 	}
 	return min
-}
-
-// MergedGenerator is generation and propagation composed: one Generator
-// per input stream, combined through a MinTracker. A stateful operator
-// fed by several upstream partitions observes each record under its
-// sender's input index; the combined watermark then cannot pass a
-// window end until every input has moved beyond it, so a lagging
-// upstream holds back pane firing — the property that keeps multi-record
-// panes complete when upstream partitions race each other.
-type MergedGenerator struct {
-	gens    []*Generator
-	tracker *MinTracker
-}
-
-// NewMergedGenerator returns a merged generator over n input streams,
-// each with the given out-of-orderness bound.
-func NewMergedGenerator(n int, bound time.Duration) *MergedGenerator {
-	if n < 1 {
-		n = 1
-	}
-	m := &MergedGenerator{gens: make([]*Generator, n), tracker: NewMinTracker(n)}
-	for i := range m.gens {
-		m.gens[i] = NewGenerator(bound)
-	}
-	return m
-}
-
-// Inputs reports the number of input streams.
-func (m *MergedGenerator) Inputs() int { return len(m.gens) }
-
-// Observe feeds one record's event time under its input stream and
-// reports whether the combined watermark advanced. Out-of-range inputs
-// are clamped to the last stream (defensive; senders beyond the
-// declared count should not exist).
-func (m *MergedGenerator) Observe(input int, t time.Time) bool {
-	if input < 0 || input >= len(m.gens) {
-		input = len(m.gens) - 1
-	}
-	if !m.gens[input].Observe(t) {
-		return false
-	}
-	before := m.tracker.Combined()
-	m.tracker.Advance(input, m.gens[input].Current())
-	return m.tracker.Combined().After(before)
-}
-
-// Current returns the combined (minimum) watermark.
-func (m *MergedGenerator) Current() time.Time { return m.tracker.Combined() }
-
-// FinalizeAll marks every input finished; Current becomes EndOfTime.
-func (m *MergedGenerator) FinalizeAll() {
-	for i := range m.gens {
-		m.tracker.Finalize(i)
-	}
 }

@@ -80,50 +80,6 @@ func TestGeneratorMonotoneUnderOutOfOrderEventTimes(t *testing.T) {
 	}
 }
 
-func TestMergedGeneratorHoldsBackOnLaggingInput(t *testing.T) {
-	m := NewMergedGenerator(2, 0)
-	if m.Inputs() != 2 {
-		t.Fatalf("Inputs = %d, want 2", m.Inputs())
-	}
-	// Input 0 races ahead; the combined watermark must not move until
-	// input 1 reports progress.
-	if m.Observe(0, epoch.Add(100*time.Second)) {
-		t.Error("combined watermark advanced with input 1 silent")
-	}
-	if !m.Current().IsZero() {
-		t.Errorf("Current = %v, want zero while input 1 is silent", m.Current())
-	}
-	if !m.Observe(1, epoch.Add(3*time.Second)) {
-		t.Error("combined watermark did not advance on the lagging input")
-	}
-	if want := epoch.Add(3 * time.Second); !m.Current().Equal(want) {
-		t.Errorf("Current = %v, want the slower input's %v", m.Current(), want)
-	}
-	// Regression on the fast input is absorbed per input.
-	m.Observe(0, epoch)
-	if want := epoch.Add(3 * time.Second); !m.Current().Equal(want) {
-		t.Errorf("Current after out-of-order observation = %v, want %v", m.Current(), want)
-	}
-	m.FinalizeAll()
-	if !m.Current().Equal(EndOfTime) {
-		t.Errorf("Current after FinalizeAll = %v, want EndOfTime", m.Current())
-	}
-}
-
-func TestMergedGeneratorSingleInputMatchesGenerator(t *testing.T) {
-	m := NewMergedGenerator(1, time.Second)
-	g := NewGenerator(time.Second)
-	for _, sec := range []int{5, 2, 9, 9, 11} {
-		et := epoch.Add(time.Duration(sec) * time.Second)
-		if m.Observe(0, et) != g.Observe(et) {
-			t.Errorf("advance disagreement at %v", et)
-		}
-		if !m.Current().Equal(g.Current()) {
-			t.Errorf("Current = %v, Generator = %v", m.Current(), g.Current())
-		}
-	}
-}
-
 func TestMinTrackerCombinesByMinimum(t *testing.T) {
 	m := NewMinTracker(3)
 	if !m.Combined().IsZero() {

@@ -1,0 +1,240 @@
+package watermark
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// WindowState accumulates per-(window, key) state under any Assigner
+// and fires panes once the watermark passes a window's end. It is the
+// generalization of the original tumbling-only state: tumbling windows
+// assign each record to one pane, sliding windows to several
+// overlapping panes, and session windows to a key-local pane that
+// merges with overlapping sessions as records arrive (in any order).
+//
+// Firing order is deterministic given the record arrival order: windows
+// fire ascending by (end, start), and keys within a non-merging window
+// fire in first-seen order; merged sessions fire ascending by
+// (start, end) with ties broken by key first-seen order. Every engine
+// uses this state, so their pane multisets agree whenever they observe
+// the same records — the property behind the byte-identical sorted
+// outputs of the windowed benchmark queries.
+type WindowState[T any] struct {
+	assigner Assigner
+	merge    func(into *T, from T)
+
+	// Non-merging representation: shared windows keyed by span.
+	windows map[Span]*windowGroup[T]
+	// spans tracks the open windows; kept sorted lazily at fire time
+	// (the open set is tiny: a few windows per slide step).
+	spans []Span
+
+	// Merging representation: per-key session intervals.
+	sessions map[string][]*session[T]
+	keyRank  map[string]int
+	nextRank int
+}
+
+// windowGroup is one window's keyed accumulators in first-seen order.
+type windowGroup[T any] struct {
+	byKey map[string]*T
+	order []string
+}
+
+// session is one key's merged interval and accumulator.
+type session[T any] struct {
+	span Span
+	acc  T
+}
+
+// NewWindowState returns empty state for the given assigner. merge
+// combines two accumulators when session windows coalesce; it is
+// required for merging assigners and ignored otherwise.
+func NewWindowState[T any](a Assigner, merge func(into *T, from T)) (*WindowState[T], error) {
+	if a == nil {
+		return nil, fmt.Errorf("watermark: nil window assigner")
+	}
+	if a.Merges() && merge == nil {
+		return nil, fmt.Errorf("watermark: assigner %s merges windows but no merge fn was given", a.Name())
+	}
+	return &WindowState[T]{
+		assigner: a,
+		merge:    merge,
+		windows:  make(map[Span]*windowGroup[T]),
+		sessions: make(map[string][]*session[T]),
+		keyRank:  make(map[string]int),
+	}, nil
+}
+
+// Assigner returns the state's window assigner.
+func (s *WindowState[T]) Assigner() Assigner { return s.assigner }
+
+// Upsert applies update to the accumulator of every window assigned to
+// t for the given key, creating zero accumulators for new (window, key)
+// pairs. Under a merging assigner the record's proto-session first
+// coalesces with every overlapping or abutting session of the same key.
+func (s *WindowState[T]) Upsert(t time.Time, key string, update func(*T)) {
+	if s.assigner.Merges() {
+		s.upsertSession(t, key, update)
+		return
+	}
+	for _, span := range s.assigner.Assign(t) {
+		g, ok := s.windows[span]
+		if !ok {
+			g = &windowGroup[T]{byKey: make(map[string]*T)}
+			s.windows[span] = g
+			s.spans = append(s.spans, span)
+		}
+		acc, ok := g.byKey[key]
+		if !ok {
+			acc = new(T)
+			g.byKey[key] = acc
+			g.order = append(g.order, key)
+		}
+		update(acc)
+	}
+}
+
+func (s *WindowState[T]) upsertSession(t time.Time, key string, update func(*T)) {
+	if _, ok := s.keyRank[key]; !ok {
+		s.keyRank[key] = s.nextRank
+		s.nextRank++
+	}
+	proto := s.assigner.Assign(t)[0]
+	merged := &session[T]{span: proto}
+	var rest []*session[T]
+	// Coalesce ascending by start so non-commutative accumulators see a
+	// deterministic merge order regardless of arrival order.
+	existing := s.sessions[key]
+	sort.SliceStable(existing, func(i, j int) bool { return existing[i].span.Start.Before(existing[j].span.Start) })
+	for _, sess := range existing {
+		if overlapsOrAbuts(sess.span, proto) {
+			if sess.span.Start.Before(merged.span.Start) {
+				merged.span.Start = sess.span.Start
+			}
+			if sess.span.End.After(merged.span.End) {
+				merged.span.End = sess.span.End
+			}
+			s.merge(&merged.acc, sess.acc)
+		} else {
+			rest = append(rest, sess)
+		}
+	}
+	update(&merged.acc)
+	s.sessions[key] = append(rest, merged)
+}
+
+func overlapsOrAbuts(a, b Span) bool {
+	return !a.End.Before(b.Start) && !b.End.Before(a.Start)
+}
+
+// FireReady emits and removes every pane of windows the watermark has
+// passed (watermark >= window end), in the deterministic order. It
+// stops on the first emit error, leaving later panes in place.
+func (s *WindowState[T]) FireReady(w time.Time, emit func(Pane[T]) error) error {
+	if s.assigner.Merges() {
+		return s.fireSessions(w, emit)
+	}
+	if len(s.spans) == 0 {
+		return nil
+	}
+	sort.Slice(s.spans, func(i, j int) bool {
+		if !s.spans[i].End.Equal(s.spans[j].End) {
+			return s.spans[i].End.Before(s.spans[j].End)
+		}
+		return s.spans[i].Start.Before(s.spans[j].Start)
+	})
+	for len(s.spans) > 0 {
+		span := s.spans[0]
+		if w.Before(span.End) {
+			break
+		}
+		// Trim before-or-never: the span must leave the slice exactly
+		// when its window leaves the map, or an emit error in a LATER
+		// window would leave this (already fired and deleted) window's
+		// span behind and a retry would dereference its nil group.
+		if err := s.fireWindow(span, emit); err != nil {
+			return err
+		}
+		s.spans = s.spans[1:]
+	}
+	return nil
+}
+
+func (s *WindowState[T]) fireWindow(span Span, emit func(Pane[T]) error) error {
+	g := s.windows[span]
+	for len(g.order) > 0 {
+		key := g.order[0]
+		p := Pane[T]{Start: span.Start, End: span.End, Key: key, Acc: *g.byKey[key]}
+		if err := emit(p); err != nil {
+			return err // unfired keys stay in place for the caller's error path
+		}
+		g.order = g.order[1:]
+		delete(g.byKey, key)
+	}
+	delete(s.windows, span)
+	return nil
+}
+
+func (s *WindowState[T]) fireSessions(w time.Time, emit func(Pane[T]) error) error {
+	type ready struct {
+		key  string
+		idx  int
+		sess *session[T]
+	}
+	var due []ready
+	for key, sessions := range s.sessions {
+		for i, sess := range sessions {
+			if !w.Before(sess.span.End) {
+				due = append(due, ready{key: key, idx: i, sess: sess})
+			}
+		}
+	}
+	sort.Slice(due, func(i, j int) bool {
+		a, b := due[i].sess.span, due[j].sess.span
+		if !a.Start.Equal(b.Start) {
+			return a.Start.Before(b.Start)
+		}
+		if !a.End.Equal(b.End) {
+			return a.End.Before(b.End)
+		}
+		return s.keyRank[due[i].key] < s.keyRank[due[j].key]
+	})
+	for _, r := range due {
+		p := Pane[T]{Start: r.sess.span.Start, End: r.sess.span.End, Key: r.key, Acc: r.sess.acc}
+		if err := emit(p); err != nil {
+			return err
+		}
+		remaining := s.sessions[r.key][:0]
+		for _, sess := range s.sessions[r.key] {
+			if sess != r.sess {
+				remaining = append(remaining, sess)
+			}
+		}
+		if len(remaining) == 0 {
+			delete(s.sessions, r.key)
+		} else {
+			s.sessions[r.key] = remaining
+		}
+	}
+	return nil
+}
+
+// FireAll emits and removes every remaining pane in the deterministic
+// order; callers use it at end of input after finalizing the watermark.
+func (s *WindowState[T]) FireAll(emit func(Pane[T]) error) error {
+	return s.FireReady(EndOfTime, emit)
+}
+
+// Open reports how many windows (or sessions) currently hold state.
+func (s *WindowState[T]) Open() int {
+	if s.assigner.Merges() {
+		n := 0
+		for _, sessions := range s.sessions {
+			n += len(sessions)
+		}
+		return n
+	}
+	return len(s.windows)
+}
