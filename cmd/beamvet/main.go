@@ -1,0 +1,88 @@
+// Command beamvet runs beambench's repo-specific static analyzers over
+// Go packages and exits non-zero if any invariant is violated. It is a
+// CI gate alongside go vet and staticcheck:
+//
+//	go run ./cmd/beamvet ./...
+//
+// Three analyzers run (see internal/analysis and its doc.go):
+//
+//	determinism  no wall-clock, global randomness, or map-ordered
+//	             emission in output-producing packages
+//	ctxleak      goroutines in the broker/harness/runtimes must observe
+//	             a context/done channel or signal completion
+//	errwrap      Err* sentinels are wrapped with %w and compared with
+//	             errors.Is
+//
+// A finding is suppressed by annotating the flagged line (or the line
+// above it) with `//beamvet:allow <check> <reason>`; the reason is
+// mandatory and unused directives are themselves errors, so the
+// annotation inventory stays honest.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"beambench/internal/analysis"
+	"beambench/internal/analysis/analyzers/ctxleak"
+	"beambench/internal/analysis/analyzers/determinism"
+	"beambench/internal/analysis/analyzers/errwrap"
+	"beambench/internal/analysis/load"
+)
+
+var analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	ctxleak.Analyzer,
+	errwrap.Analyzer,
+}
+
+func main() {
+	verbose := flag.Bool("v", false, "list every package as it is analyzed")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: beamvet [-v] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	os.Exit(run(".", flag.Args(), *verbose, os.Stdout, os.Stderr))
+}
+
+// run analyzes the patterns (resolved relative to dir) and returns the
+// process exit code: 0 clean, 1 findings, 2 operational failure.
+func run(dir string, patterns []string, verbose bool, stdout, stderr io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "beamvet:", err)
+		return 2
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		if verbose {
+			fmt.Fprintln(stderr, "beamvet:", pkg.ImportPath)
+		}
+		diags, err := analysis.RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(stderr, "beamvet:", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Check, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "beamvet: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}

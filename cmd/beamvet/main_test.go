@@ -1,0 +1,59 @@
+package main
+
+import (
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from this file to the module root so the tests are
+// independent of the test binary's working directory.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// TestRepoIsClean is the acceptance invariant: the entire repository
+// passes its own analyzers. If this fails, a determinism, ctxleak, or
+// errwrap violation (or a stale //beamvet:allow) slipped in.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list -export over every package")
+	}
+	var stdout, stderr strings.Builder
+	if code := run(repoRoot(t), []string{"./..."}, false, &stdout, &stderr); code != 0 {
+		t.Errorf("beamvet ./... = exit %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+}
+
+// TestFindingsExit pins the exit-code contract on a fixture package
+// that is known to violate every analyzer-visible rule.
+func TestFindingsExit(t *testing.T) {
+	fixture := filepath.Join("internal", "analysis", "analyzers", "determinism", "testdata", "src", "a")
+	var stdout, stderr strings.Builder
+	code := run(filepath.Join(repoRoot(t), fixture), []string{"."}, false, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("beamvet on a violating fixture = exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	for _, wantSub := range []string{
+		"determinism: time.Now in output-producing package",
+		"map iteration order reaches the output",
+	} {
+		if !strings.Contains(stdout.String(), wantSub) {
+			t.Errorf("output missing %q:\n%s", wantSub, stdout.String())
+		}
+	}
+}
+
+func TestBadPatternExit(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(repoRoot(t), []string{"./no/such/dir/..."}, false, &stdout, &stderr); code != 2 {
+		t.Errorf("beamvet on a bad pattern = exit %d, want 2", code)
+	}
+}

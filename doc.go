@@ -118,5 +118,15 @@
 // parallelism 1, as an order-insensitive multiset above it (parallel
 // sink tasks interleave appends into the single output partition).
 //
+// # Enforced invariants
+//
+// The cross-engine byte-identity contract is enforced at compile time
+// by a repo-specific static-analysis suite, `go run ./cmd/beamvet
+// ./...` (see internal/analysis): determinism in output-producing
+// packages, termination contracts for runtime goroutines, and
+// errors.Is-compatible sentinel wrapping. internal/goleak backs the
+// goroutine invariant at runtime via TestMain in the broker, harness,
+// and engine runtime packages.
+//
 // See README.md.
 package beambench

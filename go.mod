@@ -1,3 +1,15 @@
 module beambench
 
 go 1.24
+
+// The module is deliberately dependency-free: the build environment is
+// offline, so nothing here can be downloaded. Lint tooling that would
+// normally be pinned with a Go 1.24 `tool` directive (staticcheck,
+// govulncheck) is pinned in hack/lint.sh instead — a tool directive
+// needs go.sum entries that cannot be generated without module
+// downloads. If that constraint ever lifts, move the pins to:
+//
+//	tool (
+//		honnef.co/go/tools/cmd/staticcheck
+//		golang.org/x/vuln/cmd/govulncheck
+//	)

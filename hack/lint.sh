@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# lint.sh — the repo's whole lint stack, runnable locally and in CI.
+#
+# This file is the single source of truth for pinned tool versions, so
+# CI and local runs always agree. The natural Go 1.24 home for these
+# pins is a `tool` directive in go.mod; that requires adding the tool
+# modules to the module graph (go.sum entries and a module download),
+# which the offline build environment cannot produce. Until module
+# downloads are allowed, bump versions here and nowhere else.
+#
+# Usage:
+#   ./hack/lint.sh            # lenient: skips tools it cannot install
+#   LINT_STRICT=1 ./hack/lint.sh   # CI: a missing tool is a failure
+set -u
+
+STATICCHECK_VERSION=2025.1.1
+GOVULNCHECK_VERSION=v1.1.4
+
+fail=0
+
+step() {
+  echo "==> $*"
+}
+
+step "gofmt"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  fail=1
+fi
+
+step "go vet"
+go vet ./... || fail=1
+
+step "beamvet (repo-specific invariants: determinism, ctxleak, errwrap)"
+go run ./cmd/beamvet ./... || fail=1
+
+# Tools that need a module download. In the offline sandbox these are
+# skipped unless already installed; CI sets LINT_STRICT=1.
+run_tool() {
+  name="$1" module="$2" version="$3"
+  shift 3
+  step "$name ($version)"
+  # `go install` is idempotent and guarantees the pinned version; a
+  # pre-existing $PATH binary of some other version is never trusted.
+  if ! go install "$module@$version" >/dev/null 2>&1; then
+    if [ "${LINT_STRICT:-0}" = "1" ]; then
+      echo "$name $version could not be installed" >&2
+      fail=1
+    else
+      echo "skipped: $name unavailable (offline?); CI enforces it" >&2
+    fi
+    return
+  fi
+  "$(go env GOPATH)/bin/$name" "$@" || fail=1
+}
+
+# SA (correctness) and S1 (simplification) classes; ST style checks are
+# intentionally excluded from the gate.
+run_tool staticcheck honnef.co/go/tools/cmd/staticcheck "$STATICCHECK_VERSION" \
+  -checks "SA*,S1*" ./...
+
+run_tool govulncheck golang.org/x/vuln/cmd/govulncheck "$GOVULNCHECK_VERSION" ./...
+
+exit $fail

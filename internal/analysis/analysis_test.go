@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestPathInScope(t *testing.T) {
+	scope := []string{"internal/flink", "internal/beam/runner", "/testdata/"}
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"beambench/internal/flink", true},
+		{"beambench/internal/flinkstats", false},
+		{"beambench/internal/beam/runner/direct", true},
+		{"beambench/internal/beam/runners", false},
+		{"beambench/internal/analysis/analyzers/x/testdata/src/a", true},
+		{"beambench/internal/spark", false},
+	}
+	for _, c := range cases {
+		if got := PathInScope(c.path, scope); got != c.want {
+			t.Errorf("PathInScope(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+	if !PathInScope("anything", nil) {
+		t.Error("empty scope must match everything")
+	}
+}
+
+func TestCollectDirectives(t *testing.T) {
+	src := `package p
+
+//beamvet:allow determinism reason one
+var a int
+
+var b int //beamvet:allow ctxleak trailing with reason
+
+//beamvet:allow determinism
+var c int
+
+//beamvet:allow bogus some reason
+var d int
+
+//beamvet:allow errwrap reason // trailing comment is not the reason
+var e int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{"determinism": true, "ctxleak": true, "errwrap": true}
+	dirs := collectDirectives(fset, []*ast.File{f}, known)
+
+	if len(dirs) != 5 {
+		t.Fatalf("got %d directives, want 5", len(dirs))
+	}
+	if dirs[0].check != "determinism" || dirs[0].reason != "reason one" || dirs[0].bad != "" {
+		t.Errorf("directive 0 parsed as %+v", dirs[0])
+	}
+	if dirs[1].check != "ctxleak" || dirs[1].bad != "" {
+		t.Errorf("directive 1 parsed as %+v", dirs[1])
+	}
+	if dirs[2].bad == "" {
+		t.Error("reason-less directive must be bad")
+	}
+	if dirs[3].bad == "" {
+		t.Error("unknown-check directive must be bad")
+	}
+	if dirs[4].reason != "reason" {
+		t.Errorf("nested // must end the directive; reason = %q", dirs[4].reason)
+	}
+
+	// Coverage: own line and the line below, nothing else.
+	d := dirs[0] // line 3
+	if !d.suppresses("determinism", "p.go", 3) || !d.suppresses("determinism", "p.go", 4) {
+		t.Error("directive must cover its own line and the next")
+	}
+	if d.suppresses("determinism", "p.go", 5) || d.suppresses("ctxleak", "p.go", 4) ||
+		d.suppresses("determinism", "q.go", 4) {
+		t.Error("directive must not cover other lines, checks, or files")
+	}
+}

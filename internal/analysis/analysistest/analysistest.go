@@ -1,0 +1,132 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata/src tree and checks its diagnostics against `// want`
+// expectations embedded in the fixtures — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, reimplemented on the
+// repo's own loader because the build environment is offline.
+//
+// An expectation is one or more Go string literals after `want` in a
+// comment; each applies to diagnostics reported on the comment's line
+// and is a regular expression matched against the diagnostic message:
+//
+//	emit(k) // want `called per map entry`
+//
+// Every diagnostic must be wanted and every want must be matched.
+// Directive bookkeeping runs too, so fixtures exercise
+// //beamvet:allow suppression and its failure modes exactly as
+// cmd/beamvet applies them.
+package analysistest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"beambench/internal/analysis"
+	"beambench/internal/analysis/load"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each fixture package dir under testdata/src, runs the
+// analyzer (with directive filtering), and diffs diagnostics against
+// the fixtures' want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	for _, fixture := range fixtures {
+		dir := filepath.Join(testdata, "src", fixture)
+		pkgs, err := load.Load(dir, ".")
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", fixture, err)
+		}
+		for _, pkg := range pkgs {
+			diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Fatalf("fixture %s: %v", fixture, err)
+			}
+			wants := collectWants(t, pkg)
+			for _, d := range diags {
+				p := pkg.Fset.Position(d.Pos)
+				if !claim(wants, p, d.Message) {
+					t.Errorf("%s: unexpected diagnostic: %s: %s", p, d.Check, d.Message)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("%s:%d: no diagnostic matched want %s", w.file, w.line, w.raw)
+				}
+			}
+		}
+	}
+}
+
+func claim(wants []*expectation, p token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == p.Filename && w.line == p.Line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantMarker anchors expectations so prose mentioning the word is not
+// parsed: "want" must open the comment or follow a nested "//".
+var wantMarker = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func collectWants(t *testing.T, pkg *load.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantMarker.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				rest := m[1]
+				for {
+					rest = strings.TrimSpace(rest)
+					if rest == "" {
+						break
+					}
+					lit, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want expectation %q", p.Filename, p.Line, rest)
+					}
+					pat, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting %s: %v", p.Filename, p.Line, lit, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: want pattern %s: %v", p.Filename, p.Line, lit, err)
+					}
+					out = append(out, &expectation{file: p.Filename, line: p.Line, re: re, raw: lit})
+					rest = rest[len(lit):]
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+// Package ctxleak flags goroutines with no termination contract. A
+// benchmark cell tears its engines down between runs; a goroutine that
+// neither observes a context/done channel nor signals its completion
+// outlives the cell, skews the next measurement, and — under the
+// matrix scheduler — accumulates across 84 cells. This is exactly the
+// leak shape the streaming-ingestion work chased by hand in the
+// sender/consumer paths.
+//
+// A `go` statement passes if the spawned function, or a same-package
+// function it calls (to a small depth), does any of:
+//
+//   - use a value of type context.Context
+//   - receive from, select over, range over, send on, or close a channel
+//   - call Done or Wait on a sync.WaitGroup
+//
+// or if the call site hands it a context, channel, or *sync.WaitGroup
+// argument. Calls into other packages are trusted: flagging what the
+// analyzer cannot see would bury real findings in noise.
+package ctxleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"beambench/internal/analysis"
+)
+
+// Scope covers the packages that spawn runtime goroutines: the broker,
+// the harness, the three engine runtimes, and the beam SDK/runners.
+var Scope = []string{
+	"internal/broker",
+	"internal/harness",
+	"internal/flink",
+	"internal/spark",
+	"internal/apex",
+	"internal/beam",
+	"/testdata/",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxleak",
+	Doc:  "flag go statements whose goroutine neither observes a context/done channel nor signals completion",
+	Run:  run,
+}
+
+// maxDepth bounds the same-package call-graph walk from the spawned
+// function. Depth 3 resolves the `go s.run()` -> runAttempt -> select
+// shape without risking a blowup on mutual recursion.
+const maxDepth = 3
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathInScope(pass.Path, Scope) {
+		return nil
+	}
+	decls := declIndex(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goStmtOK(pass, decls, gs.Call) {
+				pass.Reportf(gs.Pos(), "goroutine neither observes a context/done channel nor signals completion (WaitGroup, close, or send): it can outlive the run and leak")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// declIndex maps this package's function and method objects to their
+// declarations so the analyzer can look through `go s.run()`.
+func declIndex(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	m := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					m[fn] = fd
+				}
+			}
+		}
+	}
+	return m
+}
+
+func goStmtOK(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) bool {
+	// Arguments that carry a termination signal into the goroutine
+	// count: `go worker(ctx)`, `go drain(done)`, `go step(&wg)`.
+	for _, arg := range call.Args {
+		if t := pass.TypesInfo.TypeOf(arg); t != nil && carriesSignal(t) {
+			return true
+		}
+	}
+	visited := make(map[*types.Func]bool)
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return bodyObserves(pass, decls, fun.Body, visited, 0)
+	default:
+		if fn := calledFunc(pass, call); fn != nil {
+			if decl, ok := decls[fn]; ok {
+				return bodyObserves(pass, decls, decl.Body, visited, 0)
+			}
+		}
+	}
+	// Function values and cross-package calls: trust the callee.
+	return true
+}
+
+func carriesSignal(t types.Type) bool {
+	if isContext(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return true
+	case *types.Pointer:
+		return isWaitGroup(u.Elem())
+	}
+	return isWaitGroup(t)
+}
+
+func bodyObserves(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, body *ast.BlockStmt, visited map[*types.Func]bool, depth int) bool {
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ok = true
+			}
+		case *ast.SendStmt, *ast.SelectStmt:
+			ok = true
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					ok = true
+				}
+			}
+		case *ast.Ident:
+			if t := pass.TypesInfo.TypeOf(n); t != nil && isContext(t) {
+				ok = true
+			}
+		case *ast.CallExpr:
+			ok = callObserves(pass, decls, n, visited, depth)
+		}
+		return !ok
+	})
+	return ok
+}
+
+func callObserves(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr, visited map[*types.Func]bool, depth int) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+			return b.Name() == "close"
+		}
+	case *ast.SelectorExpr:
+		// wg.Done() / wg.Wait() on a sync.WaitGroup receiver.
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			recv := sel.Recv()
+			if p, ok := recv.Underlying().(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if isWaitGroup(recv) && (fun.Sel.Name == "Done" || fun.Sel.Name == "Wait") {
+				return true
+			}
+		}
+	}
+	// Look through same-package calls, bounded.
+	if depth >= maxDepth {
+		return false
+	}
+	if fn := calledFunc(pass, call); fn != nil && !visited[fn] {
+		visited[fn] = true
+		if decl, ok := decls[fn]; ok {
+			return bodyObserves(pass, decls, decl.Body, visited, depth+1)
+		}
+	}
+	return false
+}
+
+func calledFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func isWaitGroup(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

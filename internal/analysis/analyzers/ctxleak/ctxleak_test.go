@@ -1,0 +1,42 @@
+package ctxleak_test
+
+import (
+	"testing"
+
+	"beambench/internal/analysis"
+	"beambench/internal/analysis/analysistest"
+	"beambench/internal/analysis/analyzers/ctxleak"
+)
+
+func TestCtxleak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxleak.Analyzer, "a")
+}
+
+// TestScope pins the goroutine-spawning package set the analyzer
+// patrols.
+func TestScope(t *testing.T) {
+	in := []string{
+		"beambench/internal/broker",
+		"beambench/internal/harness",
+		"beambench/internal/flink",
+		"beambench/internal/spark",
+		"beambench/internal/apex",
+		"beambench/internal/beam",
+		"beambench/internal/beam/runner/direct",
+	}
+	out := []string{
+		"beambench/internal/queries",
+		"beambench/internal/metrics",
+		"beambench/internal/aol",
+	}
+	for _, p := range in {
+		if !analysis.PathInScope(p, ctxleak.Scope) {
+			t.Errorf("%s should be in ctxleak scope", p)
+		}
+	}
+	for _, p := range out {
+		if analysis.PathInScope(p, ctxleak.Scope) {
+			t.Errorf("%s should be out of ctxleak scope", p)
+		}
+	}
+}

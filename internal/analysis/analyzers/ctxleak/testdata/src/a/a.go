@@ -1,0 +1,111 @@
+// Package a is a ctxleak-analyzer fixture: goroutines with no
+// termination contract are flagged; every escape hatch the runtimes
+// legitimately use is represented as a passing shape.
+package a
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func leaks() {
+	go func() { // want `goroutine neither observes a context/done channel nor signals completion`
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+
+	go spinForever() // want `goroutine neither observes a context/done channel nor signals completion`
+
+	//beamvet:allow ctxleak demo of an acknowledged leak in fixtures
+	go spinForever()
+}
+
+func spinForever() {
+	for {
+		time.Sleep(time.Second)
+	}
+}
+
+func observesContext(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+func observesDoneChannel(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+	go func() {
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+		}
+	}()
+	go func() {
+		for range done {
+		}
+	}()
+}
+
+func signalsCompletion() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(time.Millisecond)
+	}()
+	<-done
+
+	results := make(chan int, 1)
+	go func() {
+		results <- 42
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// signalCarryingArgs pass at the call site without resolving bodies.
+func signalCarryingArgs(ctx context.Context, wg *sync.WaitGroup) {
+	go worker(ctx)
+	go step(wg)
+	stop := make(chan struct{})
+	go drain(stop)
+	close(stop)
+	wg.Wait()
+}
+
+func worker(ctx context.Context) { <-ctx.Done() }
+
+func step(wg *sync.WaitGroup) { wg.Done() }
+
+func drain(stop chan struct{}) { <-stop }
+
+// scheduler spawns a named same-package method whose body selects on a
+// stop channel two calls deep; the bounded call-graph walk resolves it.
+type scheduler struct {
+	stop chan struct{}
+}
+
+func (s *scheduler) Start() {
+	go s.loop()
+}
+
+func (s *scheduler) loop() {
+	s.tick()
+}
+
+func (s *scheduler) tick() {
+	select {
+	case <-s.stop:
+	default:
+	}
+}

@@ -1,0 +1,47 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"beambench/internal/analysis"
+	"beambench/internal/analysis/analysistest"
+	"beambench/internal/analysis/analyzers/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "a")
+}
+
+// TestScope pins the package set the analyzer patrols: the query
+// definitions, engine runtimes, shared plan, and runners are in;
+// telemetry and infrastructure are out.
+func TestScope(t *testing.T) {
+	in := []string{
+		"beambench/internal/queries",
+		"beambench/internal/flink",
+		"beambench/internal/spark",
+		"beambench/internal/apex",
+		"beambench/internal/beam/graphx",
+		"beambench/internal/beam/runner/direct",
+		"beambench/internal/beam/runner/flinkrunner",
+		"beambench/internal/beam/runners",
+	}
+	out := []string{
+		"beambench/internal/metrics",
+		"beambench/internal/harness",
+		"beambench/internal/broker",
+		"beambench/internal/yarn",
+		"beambench/internal/beam",
+		"beambench/internal/flinkstats", // prefix of a segment must not match
+	}
+	for _, p := range in {
+		if !analysis.PathInScope(p, determinism.Scope) {
+			t.Errorf("%s should be in determinism scope", p)
+		}
+	}
+	for _, p := range out {
+		if analysis.PathInScope(p, determinism.Scope) {
+			t.Errorf("%s should be out of determinism scope", p)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package errwrap enforces the repo's sentinel-error contract. The
+// harness decides whether a failing cell aborts the matrix or is
+// recorded as skipped by testing errors.Is(err, beam.ErrUnsupported);
+// every layer between a runner and the report must therefore wrap
+// sentinels with %w and never compare errors by identity, or the
+// contract silently breaks through one fmt.Errorf("%v"). Three
+// patterns are flagged, for any package-level `Err*` sentinel in any
+// package:
+//
+//  1. fmt.Errorf passing a sentinel to a verb other than %w
+//  2. err == sentinel / err != sentinel comparisons
+//  3. switch err { case sentinel: } clauses
+//
+// The fixes are mechanical: %w, and errors.Is.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"beambench/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "sentinel errors must be wrapped with %w and compared with errors.Is",
+	Run:  run,
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+var indexedWrapVerb = regexp.MustCompile(`%(\[\d+\])?w`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelName returns the name of the package-level Err* sentinel the
+// expression refers to, if any.
+func sentinelName(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !strings.HasPrefix(v.Name(), "Err") || v.Name() == "Err" {
+		return "", false
+	}
+	next := v.Name()[len("Err"):]
+	if next[0] < 'A' || next[0] > 'Z' {
+		return "", false // errFoo-style locals already excluded by scope; ErrX requires exported camel
+	}
+	return v.Name(), types.Implements(v.Type(), errorIface)
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	verbs, indexed := formatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		name, isSentinel := sentinelName(pass, arg)
+		if !isSentinel {
+			continue
+		}
+		if indexed {
+			// Explicit argument indexes make verb<->operand pairing
+			// ambiguous to a static scan; require a %w (or %[n]w)
+			// anywhere.
+			if !indexedWrapVerb.MatchString(format) {
+				pass.Reportf(arg.Pos(), "fmt.Errorf formats sentinel %s without %%w: errors.Is on the result will not match", name)
+			}
+			continue
+		}
+		if i >= len(verbs) || verbs[i] != 'w' {
+			pass.Reportf(arg.Pos(), "fmt.Errorf formats sentinel %s with %%%s: use %%w so errors.Is on the result matches", name, verbAt(verbs, i))
+		}
+	}
+}
+
+func verbAt(verbs []rune, i int) string {
+	if i < len(verbs) {
+		return string(verbs[i])
+	}
+	return "(missing verb)"
+}
+
+// formatVerbs returns one rune per operand the format string consumes,
+// in order ('*' for a width/precision operand). indexed reports that
+// the format uses explicit argument indexes (%[1]s), which this
+// scanner does not pair up.
+func formatVerbs(format string) (verbs []rune, indexed bool) {
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		// flags
+		for i < len(runes) && strings.ContainsRune("+-# 0", runes[i]) {
+			i++
+		}
+		// width
+		if i < len(runes) && runes[i] == '*' {
+			verbs = append(verbs, '*')
+			i++
+		} else {
+			for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+				i++
+			}
+		}
+		// precision
+		if i < len(runes) && runes[i] == '.' {
+			i++
+			if i < len(runes) && runes[i] == '*' {
+				verbs = append(verbs, '*')
+				i++
+			} else {
+				for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i >= len(runes) {
+			break
+		}
+		if runes[i] == '[' {
+			return nil, true
+		}
+		if runes[i] == '%' {
+			continue // %% consumes no operand
+		}
+		verbs = append(verbs, runes[i])
+	}
+	return verbs, false
+}
+
+func checkComparison(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		name, ok := sentinelName(pass, pair[0])
+		if !ok {
+			continue
+		}
+		other := pass.TypesInfo.TypeOf(pair[1])
+		if other == nil || isUntypedNil(other) {
+			continue
+		}
+		pass.Reportf(be.OpPos, "error compared to sentinel %s with %s: use errors.Is so wrapped errors match", name, be.Op)
+		return
+	}
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tagType := pass.TypesInfo.TypeOf(sw.Tag)
+	if tagType == nil || !types.Implements(tagType, errorIface) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			if name, ok := sentinelName(pass, expr); ok {
+				pass.Reportf(expr.Pos(), "switch on an error compares case to sentinel %s by identity: use switch { case errors.Is(err, %s): }", name, name)
+			}
+		}
+	}
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

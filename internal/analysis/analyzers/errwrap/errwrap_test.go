@@ -1,0 +1,39 @@
+package errwrap
+
+import (
+	"testing"
+
+	"beambench/internal/analysis/analysistest"
+)
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "a")
+}
+
+// TestFormatVerbs pins the operand pairing of the format scanner that
+// decides which verb a sentinel lands on.
+func TestFormatVerbs(t *testing.T) {
+	cases := []struct {
+		format  string
+		verbs   string
+		indexed bool
+	}{
+		{"plain", "", false},
+		{"%w", "w", false},
+		{"a %d b %v c %w", "dvw", false},
+		{"100%% done: %v", "v", false},
+		{"%+v %#x %-8s", "vxs", false},
+		{"%*d %w", "*dw", false},
+		{"%.*f %w", "*fw", false},
+		{"%8.3f %w", "fw", false},
+		{"%[1]d %[2]w", "", true},
+		{"trailing percent %", "", false},
+	}
+	for _, c := range cases {
+		verbs, indexed := formatVerbs(c.format)
+		if string(verbs) != c.verbs || indexed != c.indexed {
+			t.Errorf("formatVerbs(%q) = %q, indexed=%v; want %q, indexed=%v",
+				c.format, string(verbs), indexed, c.verbs, c.indexed)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package a is an errwrap-analyzer fixture: sentinel errors must be
+// wrapped with %w and matched with errors.Is.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrUnsupported = errors.New("unsupported")
+var ErrTimeout = errors.New("timeout")
+
+// errInternal is unexported and not part of any cross-package
+// contract; identity comparison is the owner's business.
+var errInternal = errors.New("internal")
+
+func badWrap(n int) error {
+	if n == 1 {
+		return fmt.Errorf("op failed: %v", ErrUnsupported) // want `formats sentinel ErrUnsupported with %v`
+	}
+	if n == 2 {
+		return fmt.Errorf("op failed: %s", ErrUnsupported) // want `formats sentinel ErrUnsupported with %s`
+	}
+	if n == 3 {
+		return fmt.Errorf("%d of %d: %v", n, n, ErrTimeout) // want `formats sentinel ErrTimeout with %v`
+	}
+	if n == 4 {
+		return fmt.Errorf("%*d: %v", 8, n, ErrTimeout) // want `formats sentinel ErrTimeout with %v`
+	}
+	if n == 5 {
+		return fmt.Errorf("%[1]d: %[2]v", n, ErrTimeout) // want `formats sentinel ErrTimeout without %w`
+	}
+	return nil
+}
+
+func goodWrap(n int) error {
+	if n == 1 {
+		return fmt.Errorf("op failed: %w", ErrUnsupported)
+	}
+	if n == 2 {
+		return fmt.Errorf("%d of %d: %w", n, n, ErrTimeout)
+	}
+	if n == 3 {
+		return fmt.Errorf("%[1]d: %[2]w", n, ErrTimeout)
+	}
+	if n == 4 {
+		// Unexported non-contract errors may be formatted any way.
+		return fmt.Errorf("wrapped: %v", errInternal)
+	}
+	return nil
+}
+
+func badCompare(err error) bool {
+	if err == ErrUnsupported { // want `error compared to sentinel ErrUnsupported with ==`
+		return true
+	}
+	if err != ErrTimeout { // want `error compared to sentinel ErrTimeout with !=`
+		return false
+	}
+	switch err {
+	case ErrUnsupported: // want `compares case to sentinel ErrUnsupported by identity`
+		return true
+	case nil:
+		return false
+	}
+	return false
+}
+
+func goodCompare(err error) bool {
+	if errors.Is(err, ErrUnsupported) {
+		return true
+	}
+	if err == nil || err == errInternal {
+		return false
+	}
+	switch {
+	case errors.Is(err, ErrTimeout):
+		return true
+	}
+	return false
+}
+
+func allowed(err error) error {
+	// The escape hatch works here too, e.g. for a hot path that has
+	// proven the error is never wrapped.
+	//beamvet:allow errwrap err is produced un-wrapped two lines up
+	if err == ErrTimeout {
+		return fmt.Errorf("giving up: %w", ErrTimeout)
+	}
+	return nil
+}
+
+func directiveMisuse(err error) bool {
+	//beamvet:allow errwrap stale annotation // want `unused beamvet:allow errwrap directive`
+	ok := err == nil
+
+	//beamvet:allow errwrap // want `beamvet:allow errwrap needs a reason`
+	//beamvet:allow nosuchcheck some reason // want `beamvet:allow names unknown check "nosuchcheck"`
+	return ok
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectiveCheck is the pseudo-check name used for diagnostics about
+// the //beamvet:allow directives themselves (malformed, missing reason,
+// unknown check, unused). These are not suppressible.
+const DirectiveCheck = "directive"
+
+// directivePrefix introduces a suppression. Full syntax:
+//
+//	//beamvet:allow <check> <reason...>
+//
+// The directive suppresses diagnostics of <check> on its own line, or —
+// when it stands alone on a line — on the line immediately below. The
+// reason is mandatory: an annotation that cannot say why it is safe is
+// a bug report, not an exemption.
+const directivePrefix = "beamvet:allow"
+
+type directive struct {
+	pos    token.Pos
+	file   string
+	line   int
+	check  string
+	reason string
+	used   bool
+	// bad holds a parse problem reported verbatim; bad directives
+	// suppress nothing.
+	bad string
+}
+
+// collectDirectives extracts every //beamvet:allow directive from the
+// files. known maps valid check names.
+func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) []*directive {
+	var out []*directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments cannot carry directives
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, directivePrefix)
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				d := &directive{pos: c.Pos(), file: p.Filename, line: p.Line}
+				// A nested "//" ends the directive, so fixture files can
+				// carry `// want` expectations on the same comment.
+				rest, _, _ = strings.Cut(rest, "//")
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					d.bad = "beamvet:allow needs a check name and a reason"
+				case !known[fields[0]]:
+					d.bad = "beamvet:allow names unknown check " + quoted(fields[0])
+				case len(fields) == 1:
+					d.bad = "beamvet:allow " + fields[0] + " needs a reason"
+				default:
+					d.check = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+func quoted(s string) string { return "\"" + s + "\"" }
+
+// suppresses reports whether d covers a diagnostic of check at
+// file:line. A directive covers its own line and the next one, so it
+// can trail the flagged statement or sit on a comment line above it.
+func (d *directive) suppresses(check, file string, line int) bool {
+	return d.bad == "" && d.check == check && d.file == file &&
+		(d.line == line || d.line == line-1)
+}

@@ -1,0 +1,60 @@
+// Package analysis is beambench's compile-time invariant checker: a
+// small, dependency-free reimplementation of the golang.org/x/tools
+// go/analysis vocabulary (Analyzer, Pass, Diagnostic), a package
+// loader built on `go list -export`, and the //beamvet:allow
+// suppression directive. cmd/beamvet drives it; internal/analysis/
+// analysistest runs fixture-based analyzer tests against the same
+// machinery.
+//
+// # Why a bespoke analysis layer
+//
+// The paper's methodology — and this repo's 84-cell acceptance matrix —
+// rests on byte-identical output across four engines. Runtime property
+// tests only catch a nondeterministic path when a seed happens to
+// expose it; these analyzers reject whole bug classes at compile time,
+// before any benchmark runs. The x/tools module is deliberately not
+// imported: the build environment is offline and the module has zero
+// external dependencies. The API mirrors go/analysis closely enough
+// that porting the analyzers upstream is mechanical.
+//
+// # The three invariants
+//
+// determinism — output-producing packages (internal/queries, the
+// flink/spark/apex runtimes, internal/beam/graphx, and the runners)
+// must not read the wall clock (time.Now), draw from the global rand
+// source (package-level math/rand and math/rand/v2 functions), or let
+// Go's randomized map iteration order reach the output (emitting per
+// map entry, or appending to an outer slice inside range-over-map
+// without a later sort). Event time comes from the record's query-time
+// column; randomness flows from explicit seeds; grouped results are
+// sorted before they are emitted.
+//
+// ctxleak — goroutines spawned in internal/{broker,harness,flink,
+// spark,apex,beam} must have a termination contract: observe a
+// context.Context or done channel, or signal completion via a
+// sync.WaitGroup, a channel send, or close. Anything else outlives its
+// benchmark cell and skews every measurement after it.
+//
+// errwrap — package-level Err* sentinels (beam.ErrUnsupported and
+// friends) must be wrapped with %w in fmt.Errorf and matched with
+// errors.Is, never ==, != or switch-case identity. The harness's
+// skipped-cell contract depends on errors.Is matching through every
+// wrapping layer.
+//
+// # Suppressing a finding
+//
+// Annotate the flagged line, or the line directly above it:
+//
+//	//beamvet:allow <check> <reason>
+//
+// where <check> is determinism, ctxleak, or errwrap. The reason is
+// mandatory, and a directive that suppresses nothing is itself an
+// error, so the annotation inventory cannot rot.
+//
+// # Running
+//
+//	go run ./cmd/beamvet ./...
+//
+// exits 0 only if every package is clean. CI runs it as a required
+// gate next to go vet and staticcheck.
+package analysis

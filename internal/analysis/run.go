@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"beambench/internal/analysis/load"
+)
+
+// RunPackage runs every analyzer over pkg, applies //beamvet:allow
+// directives, and returns the surviving diagnostics in file order.
+// Directive bookkeeping produces its own diagnostics: a directive must
+// parse, must name a known check, must carry a reason, and must
+// actually suppress something — a stale allow is how an invariant rots
+// silently, so it is an error too.
+func RunPackage(pkg *load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Path:      pkg.ImportPath,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	dirs := collectDirectives(pkg.Fset, pkg.Files, known)
+
+	kept := diags[:0]
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.suppresses(d.Check, p.Filename, p.Line) {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+
+	for _, dir := range dirs {
+		switch {
+		case dir.bad != "":
+			kept = append(kept, Diagnostic{Pos: dir.pos, Check: DirectiveCheck, Message: dir.bad})
+		case !dir.used:
+			kept = append(kept, Diagnostic{
+				Pos:   dir.pos,
+				Check: DirectiveCheck,
+				Message: fmt.Sprintf("unused beamvet:allow %s directive (nothing on this or the next line trips the check; delete it)",
+					dir.check),
+			})
+		}
+	}
+
+	sort.SliceStable(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}

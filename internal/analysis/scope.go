@@ -1,0 +1,22 @@
+package analysis
+
+import "strings"
+
+// PathInScope reports whether an import path falls inside any of the
+// scope fragments. A fragment matches as a complete path segment run:
+// "internal/flink" covers beambench/internal/flink and its
+// subpackages but not internal/flinkstats. An empty scope matches
+// everything.
+func PathInScope(path string, scope []string) bool {
+	if len(scope) == 0 {
+		return true
+	}
+	slashed := "/" + path + "/"
+	for _, frag := range scope {
+		f := "/" + strings.Trim(frag, "/") + "/"
+		if strings.Contains(slashed, f) {
+			return true
+		}
+	}
+	return false
+}

@@ -180,6 +180,9 @@ func (s *Stram) totalPartitions() int {
 
 func (s *Stram) run() {
 	defer close(s.done)
+	// Wall-clock here times the run for AppResult.Duration telemetry;
+	// it never reaches record bytes, which carry their own event time.
+	//beamvet:allow determinism duration telemetry, not record output
 	start := time.Now()
 	attempts := 0
 	for {

@@ -159,6 +159,9 @@ func (env *Environment) Execute(jobName string) (*JobResult, error) {
 	if !env.cluster.Running() {
 		return nil, ErrClusterStopped
 	}
+	// Wall-clock here times the job for JobResult.Duration telemetry;
+	// it never reaches record bytes, which carry their own event time.
+	//beamvet:allow determinism duration telemetry, not record output
 	start := time.Now()
 	attempts := 0
 	for {

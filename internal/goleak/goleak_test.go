@@ -1,0 +1,82 @@
+package goleak
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFindCleanByDefault(t *testing.T) {
+	if err := Find(MaxWait(100 * time.Millisecond)); err != nil {
+		t.Fatalf("expected no leaks in a quiet test binary, got:\n%v", err)
+	}
+}
+
+func TestFindReportsLeak(t *testing.T) {
+	stop := make(chan struct{})
+	defer close(stop)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop
+	}()
+	<-started
+
+	err := Find(MaxWait(50 * time.Millisecond))
+	if err == nil {
+		t.Fatal("expected the blocked goroutine to be reported")
+	}
+	if !strings.Contains(err.Error(), "TestFindReportsLeak") {
+		t.Errorf("leak report should name the spawning frame:\n%v", err)
+	}
+}
+
+func TestFindWaitsForFinishingGoroutine(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(30 * time.Millisecond)
+	}()
+	if err := Find(MaxWait(2 * time.Second)); err != nil {
+		t.Fatalf("a goroutine that exits within maxWait must not be a leak:\n%v", err)
+	}
+	<-done
+}
+
+func TestIgnoreOptions(t *testing.T) {
+	stop := make(chan struct{})
+	defer close(stop)
+	started := make(chan struct{})
+	go leakyHelper(started, stop)
+	<-started
+
+	if err := Find(MaxWait(50 * time.Millisecond)); err == nil {
+		t.Fatal("helper should leak without options")
+	}
+	if err := Find(MaxWait(50*time.Millisecond),
+		IgnoreAnyFunction("beambench/internal/goleak.leakyHelper")); err != nil {
+		t.Errorf("IgnoreAnyFunction should excuse the helper:\n%v", err)
+	}
+	if err := Find(MaxWait(50*time.Millisecond),
+		IgnoreTopFunction("beambench/internal/goleak.leakyHelper")); err != nil {
+		t.Errorf("IgnoreTopFunction should excuse the helper:\n%v", err)
+	}
+}
+
+func leakyHelper(started, stop chan struct{}) {
+	close(started)
+	<-stop
+}
+
+func TestTrimCallArgs(t *testing.T) {
+	cases := map[string]string{
+		"pkg.(*T).method(0xc000120000, 0x1)": "pkg.(*T).method",
+		"runtime.goexit()":                   "runtime.goexit",
+		"no parens":                          "no parens",
+	}
+	for in, want := range cases {
+		if got := trimCallArgs(in); got != want {
+			t.Errorf("trimCallArgs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
