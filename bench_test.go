@@ -38,6 +38,7 @@ import (
 	"beambench/internal/flink"
 	"beambench/internal/harness"
 	"beambench/internal/metrics"
+	"beambench/internal/obs"
 	"beambench/internal/queries"
 	"beambench/internal/simcost"
 	"beambench/internal/spark"
@@ -564,6 +565,42 @@ func BenchmarkInstrumentationOverhead(b *testing.B) {
 					DisableNoise:   true,
 					CollectMetrics: collect,
 				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				setup := harness.Setup{
+					System: harness.SystemFlink, API: api,
+					Query: queries.Identity, Parallelism: 1,
+				}
+				benchSetup(b, r, setup)
+			})
+		}
+	}
+}
+
+// BenchmarkTraceOverhead runs the identity query with run-level tracing
+// off and on; the per-op delta between the two sub-benchmarks is the
+// full cost of the observability subsystem (spans in the engine
+// subtask/partition paths, watermark gauges, and the lag monitor's
+// sampling ticker). The budget is <5% on this query, matching
+// BenchmarkInstrumentationOverhead's budget for the metrics subsystem.
+func BenchmarkTraceOverhead(b *testing.B) {
+	for _, api := range []harness.API{harness.APINative, harness.APIBeam} {
+		for _, traced := range []bool{false, true} {
+			mode := "off"
+			if traced {
+				mode = "on"
+			}
+			b.Run(fmt.Sprintf("%s/trace=%s", api, mode), func(b *testing.B) {
+				cfg := harness.Config{
+					Records:      benchRecords(),
+					Runs:         1,
+					DisableNoise: true,
+				}
+				if traced {
+					cfg.Trace = obs.NewTracer(1 << 18)
+				}
+				r, err := harness.New(cfg)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -19,6 +19,15 @@
 //	beambench -figure 6 -latency         # event-time latency p50/p90/p99 + throughput
 //	beambench -figure 6 -ingest stream -rate 5000   # sustained-load scenario
 //	beambench -query windowedcount -json out.json   # one query's 12 cells, JSON only
+//	beambench -query windowedcount -ingest stream -trace trace.json  # Chrome trace (Perfetto)
+//	beambench -trace-summary trace.json  # top stages by wall time + peak lag, offline
+//	beambench -figure 6 -workers 1 -cpuprofile prof/ -memprofile prof/  # pprof per cell
+//
+// -trace records run-level spans (sender, cluster launch, per-stage
+// execution, result calculation), per-partition consumer-lag and
+// per-operator watermark-lag counter tracks, and pane-firing instants
+// into a bounded ring, exported as Chrome trace-event JSON; see the
+// README's Observability section and internal/obs.
 //
 // A matrix cell whose runner rejects the pipeline (beam.ErrUnsupported)
 // is recorded as a skipped cell with its reason — in figures and in the
@@ -62,8 +71,14 @@ import (
 
 	"beambench/internal/beam"
 	"beambench/internal/harness"
+	"beambench/internal/obs"
 	"beambench/internal/queries"
 )
+
+// _traceRingCapacity bounds -trace memory: the newest ~256k events are
+// kept (a full default matrix fits comfortably); on overflow the export
+// carries an obs/dropped-events counter instead of growing unbounded.
+const _traceRingCapacity = 1 << 18
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -91,6 +106,12 @@ func run(args []string, out io.Writer) error {
 		workers  = fs.Int("workers", harness.DefaultWorkers(), "concurrent benchmark cells (1 = sequential)")
 		quiet    = fs.Bool("quiet", false, "suppress progress output")
 		printArg = fs.String("print", "", "print static info: systems|queries")
+
+		tracePath    = fs.String("trace", "", "write a Chrome trace-event JSON of the matrix to this file (open in Perfetto / chrome://tracing)")
+		traceSummary = fs.String("trace-summary", "", "summarize an existing trace file (top stages by wall time, peak gauge values) and exit")
+		gaugeEvery   = fs.Duration("gauge-interval", 0, "lag-gauge sampling cadence for -trace (default 50ms)")
+		cpuProfile   = fs.String("cpuprofile", "", "write one pprof CPU profile per matrix cell into this directory (requires -workers 1)")
+		memProfile   = fs.String("memprofile", "", "write one pprof heap profile per matrix cell into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,12 +133,27 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("unknown -print target %q", *printArg)
 		}
 	}
-	// A query restricted to JSON output needs no figure: WindowedCount
-	// has no paper figure, so `-query windowedcount -json out.json` is
-	// the way to benchmark it standalone (the CI smoke step does).
-	jsonOnly := *figure == 0 && *table == 0 && !*all && *queryArg != "" && *jsonPath != ""
+	if *traceSummary != "" {
+		f, err := os.Open(*traceSummary)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sum, err := obs.Summarize(f)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, sum.Format(15))
+		return nil
+	}
+
+	// A query restricted to JSON or trace output needs no figure:
+	// WindowedCount has no paper figure, so `-query windowedcount -json
+	// out.json` (or `-trace out.json`) is the way to benchmark it
+	// standalone (the CI smoke step does).
+	jsonOnly := *figure == 0 && *table == 0 && !*all && *queryArg != "" && (*jsonPath != "" || *tracePath != "")
 	if *figure == 0 && *table == 0 && !*all && !jsonOnly {
-		return fmt.Errorf("nothing to do: pass -figure N, -table N, -all, -print, or -query with -json")
+		return fmt.Errorf("nothing to do: pass -figure N, -table N, -all, -print, or -query with -json/-trace")
 	}
 	if *table == 1 {
 		fmt.Fprint(out, harness.FormatTableI())
@@ -138,6 +174,13 @@ func run(args []string, out io.Writer) error {
 	if *rate != 0 && ingestMode != harness.IngestStream {
 		return fmt.Errorf("-rate %d only applies with -ingest stream", *rate)
 	}
+	if *cpuProfile != "" && *workers > 1 {
+		return fmt.Errorf("-cpuprofile requires -workers 1 (CPU profiling is process-global)")
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer(_traceRingCapacity)
+	}
 	cfg := harness.Config{
 		Records:           *records,
 		Runs:              *runs,
@@ -148,6 +191,10 @@ func run(args []string, out io.Writer) error {
 		RateRecordsPerSec: *rate,
 		Workers:           *workers,
 		CollectMetrics:    *latency,
+		Trace:             tracer,
+		GaugeInterval:     *gaugeEvery,
+		CPUProfileDir:     *cpuProfile,
+		MemProfileDir:     *memProfile,
 	}
 	if !*quiet {
 		cfg.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "  "+msg) }
@@ -171,6 +218,21 @@ func run(args []string, out io.Writer) error {
 			r.DatasetSize(), *runs, len(qs), *workers, ingestMode)
 	}
 	rep, runErr := r.RunMatrix(context.Background(), qs, *workers)
+
+	// The trace is written even for a partial matrix: the spans and lag
+	// tracks up to the failure are exactly what a post-mortem wants.
+	if tracer != nil {
+		if err := tracer.WriteChromeTraceFile(*tracePath); err != nil {
+			return err
+		}
+		if !*quiet {
+			if d := tracer.Dropped(); d > 0 {
+				fmt.Fprintf(os.Stderr, "  trace written to %s (ring overflowed: %d oldest events dropped; see obs/dropped-events)\n", *tracePath, d)
+			} else {
+				fmt.Fprintf(os.Stderr, "  trace written to %s\n", *tracePath)
+			}
+		}
+	}
 	if rep == nil {
 		return runErr
 	}

@@ -27,9 +27,12 @@ import (
 )
 
 // Scope covers the packages that spawn runtime goroutines: the broker,
-// the harness, the three engine runtimes, and the beam SDK/runners.
+// the harness, the three engine runtimes, the beam SDK/runners, and
+// the observability monitor (its sampling goroutine must hold to the
+// done-channel shape).
 var Scope = []string{
 	"internal/broker",
+	"internal/obs",
 	"internal/harness",
 	"internal/flink",
 	"internal/spark",

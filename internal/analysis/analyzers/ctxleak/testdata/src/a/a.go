@@ -109,3 +109,34 @@ func (s *scheduler) tick() {
 	default:
 	}
 }
+
+// gaugeMonitor mirrors the obs.Monitor sampling goroutine: a ticker
+// loop that selects on a done channel and signals completion through a
+// WaitGroup. This is the canonical periodic-sampler shape and must
+// pass clean.
+type gaugeMonitor struct {
+	interval time.Duration
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+func (m *gaugeMonitor) Start() {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		t := time.NewTicker(m.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.done:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+func (m *gaugeMonitor) Stop() {
+	close(m.done)
+	m.wg.Wait()
+}

@@ -33,8 +33,10 @@ import (
 // and the runners. "/testdata/" keeps analysistest fixtures in scope.
 // Harness, broker, metrics, and yarn are intentionally out: they
 // measure and transport wall-clock facts and never produce record
-// bytes.
+// bytes. internal/obs is in: its trace clock is monotonic by
+// contract, so any wall-clock read there must be explicitly allowed.
 var Scope = []string{
+	"internal/obs",
 	"internal/queries",
 	"internal/flink",
 	"internal/spark",

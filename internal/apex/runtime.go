@@ -3,12 +3,14 @@ package apex
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"beambench/internal/keyhash"
 	"beambench/internal/metrics"
+	"beambench/internal/obs"
 	"beambench/internal/simcost"
 	"beambench/internal/watermark"
 	"beambench/internal/yarn"
@@ -51,6 +53,9 @@ type LaunchConfig struct {
 	// OperatorStats counters, which reset on every attempt. Nil
 	// disables collection.
 	Metrics *metrics.Collector
+	// Trace, when non-nil, records a span per operator partition and a
+	// watermark gauge per operator. Nil disables tracing.
+	Trace *obs.Tracer
 }
 
 func (c *LaunchConfig) validate() error {
@@ -404,6 +409,10 @@ func (at *attempt) runPartition(op *opDef, part int, ctr *yarn.Container) error 
 	ctx := &partitionContext{idx: part, count: s.partitionsOf(op), inParts: inParts, meter: s.cfg.Sim.NewMeter()}
 	defer ctx.meter.Flush()
 
+	// One span per operator partition attempt.
+	span := s.cfg.Trace.Span("apex/"+op.name+"/p"+strconv.Itoa(part), "partition")
+	defer span.End()
+
 	// Telemetry handle, resolved once per partition; marks happen at
 	// streaming-window boundaries, so the per-tuple path stays clean.
 	var stage *metrics.Stage
@@ -583,11 +592,16 @@ func (at *attempt) runGenericPartition(op *opDef, ctx *partitionContext, ctr *ya
 		}
 		return nil
 	}
+	wmGauge := s.cfg.Trace.Gauge("watermark-lag/" + op.name)
 	onWatermark := func(w time.Time) error {
 		if !w.After(delivered) {
 			return nil
 		}
 		delivered = w
+		wmGauge.SetTime(w)
+		if w.Equal(watermark.EndOfTime) {
+			s.cfg.Trace.Instant("drain/"+op.name, "end-of-input")
+		}
 		if watermarkAware {
 			if err := wa.OnWatermark(w, emit); err != nil {
 				return fmt.Errorf("apex: operator %q[%d] watermark: %w", op.name, ctx.idx, err)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"beambench/internal/beam"
+	"beambench/internal/obs"
 	"beambench/internal/simcost"
 	"beambench/internal/watermark"
 )
@@ -34,6 +35,9 @@ type GBKConfig struct {
 	// durations (nil disables charging).
 	Costs  simcost.Costs
 	Charge func(time.Duration)
+	// Trace, when non-nil, records a watermark gauge for the grouping
+	// state and an instant event per fired pane. Nil disables tracing.
+	Trace *obs.Tracer
 }
 
 // GBKState is the stateful GroupByKey executable every engine runner
@@ -75,6 +79,9 @@ type GBKState struct {
 
 	// Event-time mode.
 	state *watermark.WindowState[windowAcc]
+
+	// Tracing handles, resolved once at construction (nil when disabled).
+	wmGauge *obs.Gauge
 }
 
 // globalGroup is one key's pending values in global-window mode.
@@ -134,7 +141,7 @@ func NewGBKState(cfg GBKConfig) (*GBKState, error) {
 	if cfg.Output == nil {
 		return nil, errors.New("graphx: GroupByKey needs an output coder")
 	}
-	g := &GBKState{cfg: cfg}
+	g := &GBKState{cfg: cfg, wmGauge: cfg.Trace.Gauge("watermark-lag/GroupByKey")}
 	ws := cfg.Windowing
 	if ws.IsGlobal() {
 		if ws.Trigger != nil {
@@ -226,6 +233,7 @@ func (g *GBKState) AdvanceWatermark(w time.Time, emit func([]byte) error) error 
 	if !g.windowed {
 		return nil
 	}
+	g.wmGauge.SetTime(w)
 	return g.state.FireReady(w, func(p watermark.Pane[windowAcc]) error {
 		return g.emitPane(p, emit)
 	})
@@ -236,6 +244,9 @@ func (g *GBKState) AdvanceWatermark(w time.Time, emit func([]byte) error) error 
 // fire in first-seen key order.
 func (g *GBKState) Flush(emit func([]byte) error) error {
 	if g.windowed {
+		// The end-of-stream watermark arrived: the gauge reads as
+		// drained (zero lag) from here on.
+		g.wmGauge.SetTime(watermark.EndOfTime)
 		return g.state.FireAll(func(p watermark.Pane[windowAcc]) error {
 			return g.emitPane(p, emit)
 		})
@@ -270,6 +281,7 @@ func (g *GBKState) emitPane(p watermark.Pane[windowAcc], emit func([]byte) error
 		return fmt.Errorf("graphx: GroupByKey encode: %w", err)
 	}
 	g.charge(g.cfg.Costs.CoderPerRecord)
+	g.cfg.Trace.Instant("panes/GroupByKey", "pane")
 	return emit(wire)
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"beambench/internal/metrics"
+	"beambench/internal/obs"
 	"beambench/internal/simcost"
 )
 
@@ -116,6 +117,11 @@ type Options struct {
 	// threads it into its engine's runtime). Nil disables collection at
 	// no hot-path cost.
 	Metrics *metrics.Collector
+	// Trace, when non-nil, receives lifecycle spans and watermark
+	// gauges from the translated pipeline (runners thread it into their
+	// engine's runtime alongside Metrics). Nil disables tracing at no
+	// hot-path cost.
+	Trace *obs.Tracer
 }
 
 // EffectiveCosts resolves the cost model, defaulting when unset.

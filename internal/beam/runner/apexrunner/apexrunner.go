@@ -37,6 +37,7 @@ import (
 	"beambench/internal/beam"
 	"beambench/internal/beam/graphx"
 	"beambench/internal/metrics"
+	"beambench/internal/obs"
 	"beambench/internal/simcost"
 	"beambench/internal/yarn"
 )
@@ -80,6 +81,9 @@ type Config struct {
 	// Metrics, when non-nil, receives per-operator throughput from the
 	// deployed application's partitions. Nil disables collection.
 	Metrics *metrics.Collector
+	// Trace, when non-nil, records spans and watermark gauges from the
+	// deployed application. Nil disables tracing.
+	Trace *obs.Tracer
 	// TargetRecords bounds every KafkaRead by the total record count the
 	// topic will eventually hold (see beam.Options.TargetRecords); 0
 	// snapshots the topic contents at partition setup.
@@ -108,6 +112,7 @@ func (Runner) Run(ctx context.Context, p *beam.Pipeline, opts beam.Options) (bea
 		Sim:           opts.Sim,
 		Fusion:        opts.Fusion,
 		Metrics:       opts.Metrics,
+		Trace:         opts.Trace,
 		TargetRecords: opts.TargetRecords,
 	}
 	// Unfused multi-source pipelines can translate to more operator
@@ -376,6 +381,7 @@ func Translate(p *beam.Pipeline, cfg Config) (*apex.Application, apex.LaunchConf
 				Input:     kvCoder,
 				Output:    t.Output.Coder(),
 				Costs:     cfg.Costs,
+				Trace:     cfg.Trace,
 			}
 			if _, err := graphx.NewGBKState(gbkCfg); err != nil {
 				if errors.Is(err, beam.ErrUnsupported) {
@@ -426,6 +432,7 @@ func Translate(p *beam.Pipeline, cfg Config) (*apex.Application, apex.LaunchConf
 		Costs:       cfg.Costs,
 		Sim:         cfg.Sim,
 		Metrics:     cfg.Metrics,
+		Trace:       cfg.Trace,
 	}
 	return app, launch, nil
 }

@@ -20,6 +20,7 @@ import (
 	"beambench/internal/beam/graphx"
 	"beambench/internal/broker"
 	"beambench/internal/metrics"
+	"beambench/internal/obs"
 )
 
 // Name is the runner's registry name.
@@ -37,7 +38,7 @@ type Runner struct{}
 func (Runner) Run(ctx context.Context, p *beam.Pipeline, opts beam.Options) (beam.Result, error) {
 	// Fusion is off by default: the direct runner materializes every
 	// collection so tests can inspect intermediates.
-	return run(ctx, p, opts.Fusion.Enabled(false), opts.Metrics, opts.TargetRecords)
+	return run(ctx, p, opts.Fusion.Enabled(false), opts.Metrics, opts.Trace, opts.TargetRecords)
 }
 
 // Result holds the materialized outputs of a pipeline run.
@@ -82,10 +83,10 @@ type windowedValue struct {
 // Use the runner registry with beam.Options.TargetRecords to instead
 // block until a known total has been appended to the topic.
 func Run(p *beam.Pipeline) (*Result, error) {
-	return run(context.Background(), p, false, nil, 0)
+	return run(context.Background(), p, false, nil, nil, 0)
 }
 
-func run(ctx context.Context, p *beam.Pipeline, fused bool, col *metrics.Collector, target int64) (*Result, error) {
+func run(ctx context.Context, p *beam.Pipeline, fused bool, col *metrics.Collector, tr *obs.Tracer, target int64) (*Result, error) {
 	plan, err := graphx.Lower(p, graphx.Options{Fusion: fused})
 	if err != nil {
 		return nil, err
@@ -102,7 +103,9 @@ func run(ctx context.Context, p *beam.Pipeline, fused bool, col *metrics.Collect
 				return nil, err
 			}
 		}
+		sp := tr.Span("direct/"+s.Name(), "stage")
 		out, err := runStage(ctx, s, data, target)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("direct: stage %q: %w", s.Name(), err)
 		}

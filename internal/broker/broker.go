@@ -257,6 +257,23 @@ func (b *Broker) EndOffsets(name string) ([]int64, error) {
 	return out, nil
 }
 
+// ConsumedOffsets returns, per partition, the highest offset any
+// consumer has fetched through (one past the last fetched record).
+// Together with EndOffsets this yields per-partition consumer lag
+// without touching the consumers themselves — a Consumer is not safe
+// for concurrent use, so a lag monitor must read broker-side state.
+func (b *Broker) ConsumedOffsets(name string) ([]int64, error) {
+	t, err := b.topic(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(t.parts))
+	for i, p := range t.parts {
+		out[i] = p.consumedOffset()
+	}
+	return out, nil
+}
+
 // RecordCount returns the total number of records stored across the
 // partitions of a topic.
 func (b *Broker) RecordCount(name string) (int64, error) {
@@ -395,7 +412,10 @@ type storedRecord struct {
 type partition struct {
 	mu      sync.Mutex
 	records []storedRecord
-	offline bool
+	// consumed is the highest offset any consumer has fetched through,
+	// the broker-side signal the lag monitor reads.
+	consumed int64
+	offline  bool
 	// gone marks the partition permanently unreachable: its broker was
 	// closed or its topic deleted. Waiters must stop waiting and report
 	// an error instead of re-blocking.
@@ -490,6 +510,22 @@ func (p *partition) endOffset() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return int64(len(p.records))
+}
+
+func (p *partition) consumedOffset() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.consumed
+}
+
+// noteConsumed advances the consumed high-watermark; consumers report
+// their position after each successful fetch.
+func (p *partition) noteConsumed(through int64) {
+	p.mu.Lock()
+	if through > p.consumed {
+		p.consumed = through
+	}
+	p.mu.Unlock()
 }
 
 func (p *partition) visit(topicName string, part int, fn func(Record) error) error {

@@ -236,6 +236,7 @@ func (c *Consumer) fetchFrom(tp topicPartition, max int) ([]Record, error) {
 	}
 	if len(recs) > 0 {
 		c.positions[tp] = recs[len(recs)-1].Offset + 1
+		p.noteConsumed(c.positions[tp])
 	}
 	return recs, nil
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"beambench/internal/metrics"
+	"beambench/internal/obs"
 	"beambench/internal/simcost"
 )
 
@@ -41,6 +42,9 @@ type ClusterConfig struct {
 	// OperatorMetrics snapshots, which reset on every attempt. Nil
 	// disables collection.
 	Metrics *metrics.Collector
+	// Trace, when non-nil, records a span per subtask attempt and a
+	// watermark gauge per operator chain. Nil disables tracing.
+	Trace *obs.Tracer
 }
 
 func (c *ClusterConfig) validate() error {
@@ -111,6 +115,12 @@ func (c *Cluster) TotalSlots() int {
 // charge consistent per-record costs.
 func (c *Cluster) Costs() simcost.Costs {
 	return c.cfg.Costs
+}
+
+// Trace exposes the cluster's tracer (nil when tracing is disabled), so
+// runner translations can record into the same timeline as the runtime.
+func (c *Cluster) Trace() *obs.Tracer {
+	return c.cfg.Trace
 }
 
 // FreeSlots reports currently unoccupied slots.

@@ -3,6 +3,7 @@ package flink
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -374,6 +375,10 @@ func (env *Environment) runSubtask(rt *jobRuntime, rc *runtimeChain, idx int) er
 		metrics: env.cluster.cfg.Metrics,
 	}
 	defer ctx.flush()
+	// One span per subtask attempt, on a track naming the chain (head
+	// operator) and parallel instance.
+	span := env.cluster.cfg.Trace.Span("flink/"+rc.c.head().name+"/subtask-"+strconv.Itoa(idx), "subtask")
+	defer span.End()
 
 	// Tail collector: either the network edges or nothing (sink ends the
 	// chain and is handled inside the composed pipeline).
@@ -400,8 +405,15 @@ func (env *Environment) runSubtask(rt *jobRuntime, rc *runtimeChain, idx int) er
 	}
 	// The control path's tail: forward the subtask's output watermark on
 	// every outgoing edge (broadcast — every downstream subtask tracks
-	// this sender).
+	// this sender). The chain's output watermark also feeds a gauge the
+	// obs monitor samples for per-operator watermark lag; subtasks of
+	// one chain share the gauge (an atomic, last write wins).
+	wmGauge := env.cluster.cfg.Trace.Gauge("watermark-lag/" + rc.c.tail().name)
 	wmTail := wmHandler(func(w time.Time) error {
+		wmGauge.SetTime(w)
+		if w.Equal(watermark.EndOfTime) {
+			env.cluster.cfg.Trace.Instant("drain/"+rc.c.tail().name, "end-of-input")
+		}
 		for _, s := range senders {
 			if err := s.sendWatermark(w); err != nil {
 				return err

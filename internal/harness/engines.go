@@ -4,6 +4,7 @@ import (
 	"beambench/internal/apex"
 	"beambench/internal/flink"
 	"beambench/internal/metrics"
+	"beambench/internal/obs"
 	"beambench/internal/queries"
 	"beambench/internal/simcost"
 	"beambench/internal/spark"
@@ -16,8 +17,10 @@ import (
 // this table is the only place the harness touches engine APIs. The
 // collector (nil when telemetry is off) is threaded into the engine's
 // cluster configuration so native cells report per-stage throughput
-// exactly like Beam cells do.
-type nativeExecutor func(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector) error
+// exactly like Beam cells do; the tracer (nil when tracing is off) is
+// threaded the same way so native cells trace per-stage spans and
+// watermark gauges exactly like Beam cells do.
+type nativeExecutor func(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector, tr *obs.Tracer) error
 
 var nativeExecutors = map[System]nativeExecutor{
 	SystemFlink: nativeFlink,
@@ -25,12 +28,15 @@ var nativeExecutors = map[System]nativeExecutor{
 	SystemApex:  nativeApex,
 }
 
-func nativeFlink(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector) error {
-	cluster, err := flink.NewCluster(flink.ClusterConfig{Costs: r.costs, Sim: sim, Metrics: col})
+func nativeFlink(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector, tr *obs.Tracer) error {
+	launch := tr.Span("harness", "cluster-launch")
+	cluster, err := flink.NewCluster(flink.ClusterConfig{Costs: r.costs, Sim: sim, Metrics: col, Trace: tr})
 	if err != nil {
+		launch.End()
 		return err
 	}
 	cluster.Start()
+	launch.End()
 	defer cluster.Stop()
 	env := flink.NewEnvironment(cluster).SetParallelism(setup.Parallelism)
 	if err := queries.NativeFlink(env, w, setup.Query); err != nil {
@@ -40,12 +46,15 @@ func nativeFlink(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simula
 	return err
 }
 
-func nativeSpark(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector) error {
-	cluster, err := spark.NewCluster(spark.ClusterConfig{Costs: r.costs, Sim: sim, Metrics: col})
+func nativeSpark(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector, tr *obs.Tracer) error {
+	launch := tr.Span("harness", "cluster-launch")
+	cluster, err := spark.NewCluster(spark.ClusterConfig{Costs: r.costs, Sim: sim, Metrics: col, Trace: tr})
 	if err != nil {
+		launch.End()
 		return err
 	}
 	cluster.Start()
+	launch.End()
 	defer cluster.Stop()
 	ssc, err := spark.NewStreamingContext(cluster, spark.Config{DefaultParallelism: setup.Parallelism})
 	if err != nil {
@@ -58,12 +67,15 @@ func nativeSpark(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simula
 	return err
 }
 
-func nativeApex(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector) error {
+func nativeApex(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector, tr *obs.Tracer) error {
+	launch := tr.Span("harness", "cluster-launch")
 	cluster, err := yarn.NewCluster(yarn.ClusterConfig{})
 	if err != nil {
+		launch.End()
 		return err
 	}
 	cluster.Start()
+	launch.End()
 	defer cluster.Stop()
 	app, err := queries.NativeApex(w, setup.Query)
 	if err != nil {
@@ -74,6 +86,7 @@ func nativeApex(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulat
 		Costs:       r.costs,
 		Sim:         sim,
 		Metrics:     col,
+		Trace:       tr,
 	})
 	if err != nil {
 		return err

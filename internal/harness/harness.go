@@ -30,6 +30,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -38,6 +39,7 @@ import (
 	_ "beambench/internal/beam/runners" // register the bundled runners
 	"beambench/internal/broker"
 	"beambench/internal/metrics"
+	"beambench/internal/obs"
 	"beambench/internal/queries"
 	"beambench/internal/simcost"
 )
@@ -200,6 +202,10 @@ type RunResult struct {
 	Skipped bool
 	// SkipReason is the unsupported-transform error message.
 	SkipReason string
+	// Gauges summarizes the run's sampled lag and rate gauges
+	// (consumer lag per partition, watermark lag per operator, stage
+	// rates); nil unless Config.Trace is set.
+	Gauges []obs.GaugeSummary
 }
 
 // Config controls the benchmark.
@@ -253,6 +259,24 @@ type Config struct {
 	// throughput reported by every engine. Adds the Latency and Stages
 	// blocks to the report; see internal/metrics.
 	CollectMetrics bool
+	// Trace, if set, records run-level spans (sender, cluster launch,
+	// execution, result calculation — plus per-stage spans inside the
+	// engines) and lag gauges into the tracer's ring; export it with
+	// obs.WriteChromeTrace after the matrix. Each run writes under its
+	// own "cell/runN" scope. nil disables tracing at zero cost on the
+	// hot path (see internal/obs).
+	Trace *obs.Tracer
+	// GaugeInterval is the lag-sampling cadence of the per-run monitor
+	// (consumer lag per partition, watermark lag per operator, stage
+	// rates). Defaults to 50ms. Only meaningful with Trace set.
+	GaugeInterval time.Duration
+	// CPUProfileDir, if set, writes one pprof CPU profile per matrix
+	// cell (cpu_<cell>.pprof) into the directory. CPU profiling is
+	// process-global, so it requires Workers <= 1.
+	CPUProfileDir string
+	// MemProfileDir, if set, writes one pprof heap profile per matrix
+	// cell (mem_<cell>.pprof, after a GC) into the directory.
+	MemProfileDir string
 	// Workers is the number of matrix cells RunAll (and RunMatrix, when
 	// its workers argument is <= 0) executes concurrently. Every run
 	// still gets its own broker and engine cluster, so cells are
@@ -315,6 +339,17 @@ func (c *Config) validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("harness: negative worker count %d", c.Workers)
+	}
+	if c.GaugeInterval < 0 {
+		return fmt.Errorf("harness: negative gauge interval %v", c.GaugeInterval)
+	}
+	if c.GaugeInterval == 0 {
+		c.GaugeInterval = 50 * time.Millisecond
+	}
+	if c.CPUProfileDir != "" && c.Workers > 1 {
+		// runtime/pprof supports one CPU profile per process; concurrent
+		// cells would fight over StartCPUProfile.
+		return fmt.Errorf("harness: CPUProfileDir requires Workers <= 1, got %d", c.Workers)
 	}
 	return nil
 }
@@ -416,6 +451,12 @@ func (r *Runner) runSingle(ctx context.Context, setup Setup, runIdx int) (RunRes
 	}
 	wallStart := time.Now()
 
+	// Each run traces under its own scope, so the per-run tracks and
+	// gauges of concurrent cells never collide in the shared ring.
+	tr := r.cfg.Trace.Scoped(cellKey(setup) + "/run" + strconv.Itoa(runIdx))
+	runSpan := tr.Span("harness", "run")
+	defer runSpan.End()
+
 	factor := 1.0
 	if !r.cfg.DisableNoise {
 		seed := simcost.RunSeed(
@@ -445,6 +486,26 @@ func (r *Runner) runSingle(ctx context.Context, setup Setup, runIdx int) (RunRes
 	// sender runs concurrently with the engine and the harness joins on
 	// both.
 	col := r.metrics.Collector(cellKey(setup))
+
+	// The lag monitor samples broker and telemetry state on a ticker
+	// for the whole run: per-partition consumer lag, per-stage rates,
+	// and (via the tracer's gauge registry) per-operator watermark lag.
+	mon := obs.NewMonitor(tr, r.cfg.GaugeInterval)
+	mon.SampleEach(consumerLagSampler(b))
+	if col != nil {
+		mon.SampleEach(stageRateSampler(col))
+	}
+	mon.Start()
+	gauges := []obs.GaugeSummary(nil)
+	monitorStopped := false
+	stopMonitor := func() {
+		if !monitorStopped {
+			monitorStopped = true
+			gauges = mon.Stop()
+		}
+	}
+	defer stopMonitor()
+
 	w := queries.Workload{
 		Broker:       b,
 		InputTopic:   inputTopic,
@@ -461,7 +522,11 @@ func (r *Runner) runSingle(ctx context.Context, setup Setup, runIdx int) (RunRes
 		defer cancelSender()
 		senderDone := make(chan error, 1)
 		go func() {
+			// The sender gets its own track so the trace shows the
+			// ingest window overlapping execution, as in Figure 5.
+			sp := tr.Span("sender", "ingest")
 			err := r.ingest(senderCtx, b, sim)
+			sp.End()
 			if err != nil {
 				// The engine sources are blocked until the topic reaches
 				// its target count; a sender that stopped early can never
@@ -471,7 +536,9 @@ func (r *Runner) runSingle(ctx context.Context, setup Setup, runIdx int) (RunRes
 			}
 			senderDone <- err
 		}()
-		execErr := r.execute(ctx, setup, w, sim, col)
+		execSpan := tr.Span("harness", "execute")
+		execErr := r.execute(ctx, setup, w, sim, col, tr)
+		execSpan.End()
 		if execErr != nil {
 			cancelSender()
 		}
@@ -488,17 +555,29 @@ func (r *Runner) runSingle(ctx context.Context, setup Setup, runIdx int) (RunRes
 			return RunResult{}, fmt.Errorf("harness: execute %s run %d: %w", setup.Label(), runIdx, execErr)
 		}
 	} else {
-		if err := r.ingest(ctx, b, sim); err != nil {
+		sp := tr.Span("sender", "ingest")
+		err := r.ingest(ctx, b, sim)
+		sp.End()
+		if err != nil {
 			return RunResult{}, fmt.Errorf("harness: ingest: %w", err)
 		}
-		if err := r.execute(ctx, setup, w, sim, col); err != nil {
+		execSpan := tr.Span("harness", "execute")
+		err = r.execute(ctx, setup, w, sim, col, tr)
+		execSpan.End()
+		if err != nil {
 			return RunResult{}, fmt.Errorf("harness: execute %s run %d: %w", setup.Label(), runIdx, err)
 		}
 	}
 
+	// Execution is over: stop sampling before the result calculation
+	// reads the broker, so post-run reads never pollute the lag series.
+	stopMonitor()
+
 	// Phase 3: result calculation from broker timestamps alone — the
 	// LogAppendTime span (the paper's metric) and, with telemetry on,
 	// the per-record event-time latency distribution.
+	calcSpan := tr.Span("harness", "result-calc")
+	defer calcSpan.End()
 	first, last, n, err := b.TimeSpan(outputTopic)
 	if err != nil {
 		return RunResult{}, fmt.Errorf("harness: result calculation: %w", err)
@@ -518,7 +597,44 @@ func (r *Runner) runSingle(ctx context.Context, setup Setup, runIdx int) (RunRes
 		ExecutionTime: execTime,
 		OutputRecords: n,
 		WallTime:      time.Since(wallStart),
+		Gauges:        gauges,
 	}, nil
+}
+
+// consumerLagSampler samples per-partition consumer lag for both
+// benchmark topics: end offset minus the consumers' high-watermark
+// fetch position, per partition. A topic torn down mid-run (the stream
+// sender's abort path) simply stops yielding samples.
+func consumerLagSampler(b *broker.Broker) obs.MultiSampler {
+	return func(yield func(name string, value float64)) {
+		for _, topic := range []string{inputTopic, outputTopic} {
+			ends, err := b.EndOffsets(topic)
+			if err != nil {
+				continue
+			}
+			consumed, err := b.ConsumedOffsets(topic)
+			if err != nil {
+				continue
+			}
+			for p := range ends {
+				lag := float64(ends[p] - consumed[p])
+				if lag < 0 {
+					lag = 0
+				}
+				yield("consumer-lag/"+topic+"/p"+strconv.Itoa(p), lag)
+			}
+		}
+	}
+}
+
+// stageRateSampler samples every registered stage's current-second
+// throughput from the cell's collector.
+func stageRateSampler(col *metrics.Collector) obs.MultiSampler {
+	return func(yield func(name string, value float64)) {
+		col.EachStage(func(s *metrics.Stage) {
+			yield("rate/"+s.Name(), float64(s.Current()))
+		})
+	}
 }
 
 // ingest is the data sender: a configurable producer streaming the
@@ -559,20 +675,20 @@ func (r *Runner) ingest(ctx context.Context, b *broker.Broker, sim *simcost.Simu
 	return sender.Close()
 }
 
-func (r *Runner) execute(ctx context.Context, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector) error {
+func (r *Runner) execute(ctx context.Context, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector, tr *obs.Tracer) error {
 	if setup.API == APINative {
 		exec, ok := nativeExecutors[setup.System]
 		if !ok {
 			return fmt.Errorf("harness: unknown system %d", setup.System)
 		}
-		return exec(r, setup, w, sim, col)
+		return exec(r, setup, w, sim, col, tr)
 	}
-	return r.executeBeam(ctx, setup, w, sim, col)
+	return r.executeBeam(ctx, setup, w, sim, col, tr)
 }
 
 // executeBeam runs the Beam variant of a setup through the runner
 // registry: one code path for every engine, selected by name.
-func (r *Runner) executeBeam(ctx context.Context, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector) error {
+func (r *Runner) executeBeam(ctx context.Context, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector, tr *obs.Tracer) error {
 	name := setup.System.RunnerName()
 	if name == "" {
 		return fmt.Errorf("harness: unknown system %d", setup.System)
@@ -591,6 +707,7 @@ func (r *Runner) executeBeam(ctx context.Context, setup Setup, w queries.Workloa
 		Costs:         &r.costs,
 		Sim:           sim,
 		Metrics:       col,
+		Trace:         tr,
 		TargetRecords: int64(len(r.dataset)),
 	})
 	return err
@@ -613,7 +730,37 @@ func (r *Runner) RunCell(setup Setup) ([]RunResult, error) {
 // sampling another way would still be correct while varying per run.
 // (With telemetry on, such an engine is still caught — the latency
 // pairing in observeLatencies requires the deterministic subset.)
+//
+// With a profile directory configured, each cell is captured as one
+// pprof profile spanning all of its runs: cpu_<cell>.pprof while the
+// runs execute, mem_<cell>.pprof (post-GC heap) after they finish.
 func (r *Runner) runCell(ctx context.Context, setup Setup) ([]RunResult, error) {
+	if r.cfg.CPUProfileDir == "" && r.cfg.MemProfileDir == "" {
+		return r.runCellRuns(ctx, setup)
+	}
+	var stopCPU func() error
+	if r.cfg.CPUProfileDir != "" {
+		var err error
+		stopCPU, err = obs.CaptureCPU(r.cfg.CPUProfileDir, cellKey(setup))
+		if err != nil {
+			return nil, fmt.Errorf("harness: cpu profile: %w", err)
+		}
+	}
+	out, runErr := r.runCellRuns(ctx, setup)
+	if stopCPU != nil {
+		if err := stopCPU(); err != nil && runErr == nil {
+			runErr = fmt.Errorf("harness: cpu profile: %w", err)
+		}
+	}
+	if r.cfg.MemProfileDir != "" {
+		if err := obs.CaptureHeap(r.cfg.MemProfileDir, cellKey(setup)); err != nil && runErr == nil {
+			runErr = fmt.Errorf("harness: heap profile: %w", err)
+		}
+	}
+	return out, runErr
+}
+
+func (r *Runner) runCellRuns(ctx context.Context, setup Setup) ([]RunResult, error) {
 	out := make([]RunResult, 0, r.cfg.Runs)
 	for run := range r.cfg.Runs {
 		if err := ctx.Err(); err != nil {

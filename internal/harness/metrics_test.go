@@ -6,6 +6,7 @@ import (
 
 	"beambench/internal/broker"
 	"beambench/internal/metrics"
+	"beambench/internal/obs"
 	"beambench/internal/queries"
 	"beambench/internal/simcost"
 )
@@ -164,7 +165,7 @@ func TestNondeterminismGuard(t *testing.T) {
 	defer func() { nativeExecutors[SystemFlink] = orig }()
 
 	calls := 0
-	nativeExecutors[SystemFlink] = func(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector) error {
+	nativeExecutors[SystemFlink] = func(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector, tr *obs.Tracer) error {
 		calls++
 		p, err := w.Broker.NewProducer(w.Producer)
 		if err != nil {
@@ -202,7 +203,7 @@ func TestNondeterminismGuardExemptsSample(t *testing.T) {
 	defer func() { nativeExecutors[SystemFlink] = orig }()
 
 	calls := 0
-	nativeExecutors[SystemFlink] = func(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector) error {
+	nativeExecutors[SystemFlink] = func(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector, tr *obs.Tracer) error {
 		calls++
 		p, err := w.Broker.NewProducer(w.Producer)
 		if err != nil {
@@ -240,7 +241,7 @@ func TestLatencyPairingSurvivesReordering(t *testing.T) {
 	orig := nativeExecutors[SystemFlink]
 	defer func() { nativeExecutors[SystemFlink] = orig }()
 
-	nativeExecutors[SystemFlink] = func(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector) error {
+	nativeExecutors[SystemFlink] = func(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector, tr *obs.Tracer) error {
 		c, err := w.Broker.NewConsumer(broker.ConsumerConfig{MaxPollRecords: 100_000})
 		if err != nil {
 			return err
@@ -289,7 +290,7 @@ func TestLatencyMismatchSurfaces(t *testing.T) {
 	orig := nativeExecutors[SystemFlink]
 	defer func() { nativeExecutors[SystemFlink] = orig }()
 
-	nativeExecutors[SystemFlink] = func(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector) error {
+	nativeExecutors[SystemFlink] = func(r *Runner, setup Setup, w queries.Workload, sim *simcost.Simulator, col *metrics.Collector, tr *obs.Tracer) error {
 		p, err := w.Broker.NewProducer(w.Producer)
 		if err != nil {
 			return err

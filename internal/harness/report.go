@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"beambench/internal/metrics"
+	"beambench/internal/obs"
 	"beambench/internal/queries"
 	"beambench/internal/stats"
 )
@@ -30,6 +31,10 @@ type Cell struct {
 	// Stages holds per-stage throughput in engine execution order; nil
 	// unless Config.CollectMetrics.
 	Stages []metrics.StageSummary
+	// Gauges holds the cell's sampled lag/rate gauge summaries merged
+	// across runs (sample-weighted means, per-gauge maxima); nil unless
+	// Config.Trace was set.
+	Gauges []obs.GaugeSummary
 	// Skipped marks a setup its runner cannot execute; SkipReason holds
 	// the unsupported-transform error. A skipped cell carries no runs.
 	Skipped    bool
@@ -97,6 +102,9 @@ func BuildReport(cfg Config, results []RunResult) (*Report, error) {
 		}
 		cell.TimesSec = append(cell.TimesSec, res.ExecutionTime.Seconds())
 		cell.OutputRecordsPerRun = append(cell.OutputRecordsPerRun, res.OutputRecords)
+		if len(res.Gauges) > 0 {
+			cell.Gauges = obs.MergeGaugeSummaries(cell.Gauges, res.Gauges)
+		}
 	}
 	for _, cell := range rep.Cells {
 		if cell.Skipped {
@@ -397,6 +405,7 @@ type jsonCell struct {
 	OutputRecordsPerRun []int64                 `json:"outputRecordsPerRun,omitempty"`
 	Latency             *metrics.LatencySummary `json:"latency,omitempty"`
 	Stages              []metrics.StageSummary  `json:"stages,omitempty"`
+	Gauges              []obs.GaugeSummary      `json:"gauges,omitempty"`
 	Skipped             bool                    `json:"skipped,omitempty"`
 	SkipReason          string                  `json:"skipReason,omitempty"`
 }
@@ -434,6 +443,7 @@ func (rep *Report) WriteJSON(w io.Writer) error {
 			OutputRecordsPerRun: c.OutputRecordsPerRun,
 			Latency:             c.Latency,
 			Stages:              c.Stages,
+			Gauges:              c.Gauges,
 			Skipped:             c.Skipped,
 			SkipReason:          c.SkipReason,
 		})

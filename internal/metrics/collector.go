@@ -42,6 +42,15 @@ func (s *Stage) Records() int64 {
 	return s.tp.Total()
 }
 
+// Current reports the stage's in-flight one-second window count — the
+// instantaneous rate signal the obs lag monitor samples mid-run.
+func (s *Stage) Current() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.tp.Current()
+}
+
 // StageSummary is the reported throughput of one stage.
 type StageSummary struct {
 	// Name is the stage name as the engine labels it.
@@ -138,6 +147,20 @@ func (c *Collector) Stage(name string) *Stage {
 	c.stages[name] = s
 	c.order = append(c.order, name)
 	return s
+}
+
+// EachStage calls fn for every registered stage in first-use order,
+// without copying — the obs monitor iterates this at sampling cadence.
+// fn must not call back into the collector. Nil-safe.
+func (c *Collector) EachStage(fn func(*Stage)) {
+	if c == nil {
+		return
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, name := range c.order {
+		fn(c.stages[name])
+	}
 }
 
 // LatencySummary reports the collected latency distribution.

@@ -74,6 +74,23 @@ func (t *Throughput) rotate(b *tpBucket, sec int64, n int64) {
 // Total reports the records counted so far.
 func (t *Throughput) Total() int64 { return t.total.Load() }
 
+// Current reports the count so far in the in-flight one-second window —
+// the window containing now, which Windows/Rates only expose after it
+// closes. The lag monitor samples this for instantaneous rate tracks.
+func (t *Throughput) Current() int64 {
+	return t.CurrentAt(time.Now())
+}
+
+// CurrentAt reports the in-flight count of the window containing ts.
+func (t *Throughput) CurrentAt(ts time.Time) int64 {
+	sec := ts.Unix()
+	b := &t.buckets[sec%throughputRing]
+	if b.sec.Load() == sec {
+		return b.n.Load()
+	}
+	return 0
+}
+
 // Window is one second of activity.
 type Window struct {
 	// Sec is the window's unix second.

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// TestThroughputCurrent pins the satellite contract: Current exposes
+// the in-flight one-second window that Windows/Rates only surface
+// after it closes.
+func TestThroughputCurrent(t *testing.T) {
+	var tp Throughput
+	now := time.Unix(5000, 0)
+	if got := tp.CurrentAt(now); got != 0 {
+		t.Errorf("empty CurrentAt = %d, want 0", got)
+	}
+	tp.MarkAt(now, 3)
+	tp.MarkAt(now.Add(200*time.Millisecond), 4)
+	if got := tp.CurrentAt(now); got != 7 {
+		t.Errorf("CurrentAt(open window) = %d, want 7", got)
+	}
+	// A different second reads zero: the window holds only "now".
+	if got := tp.CurrentAt(now.Add(time.Second)); got != 0 {
+		t.Errorf("CurrentAt(next second) = %d, want 0", got)
+	}
+	// Marks in a later window don't leak into the old one's reading,
+	// even when the ring slot is reused.
+	later := now.Add(throughputRing * time.Second)
+	tp.MarkAt(later, 9)
+	if got := tp.CurrentAt(later); got != 9 {
+		t.Errorf("CurrentAt(reused slot) = %d, want 9", got)
+	}
+	if got := tp.CurrentAt(now); got != 0 {
+		t.Errorf("CurrentAt(evicted window) = %d, want 0", got)
+	}
+	// The closed windows stay intact for Windows().
+	ws := tp.Windows()
+	if len(ws) != 2 {
+		t.Fatalf("windows = %+v, want 2", ws)
+	}
+	if ws[0].Count != 7 || ws[1].Count != 9 {
+		t.Errorf("window counts = %+v", ws)
+	}
+}
+
+// TestStageCurrent covers the collector passthrough, including the nil
+// stage.
+func TestStageCurrent(t *testing.T) {
+	var s *Stage
+	if s.Current() != 0 {
+		t.Error("nil stage Current != 0")
+	}
+	c := NewCollector()
+	st := c.Stage("sink")
+	st.Mark(5)
+	if got := st.Current(); got != 5 {
+		t.Errorf("Current = %d, want 5", got)
+	}
+	// EachStage visits registered stages in order.
+	var names []string
+	c.Stage("src")
+	c.EachStage(func(s *Stage) { names = append(names, s.Name()) })
+	if len(names) != 2 || names[0] != "sink" || names[1] != "src" {
+		t.Errorf("EachStage order = %v", names)
+	}
+	var nilc *Collector
+	nilc.EachStage(func(*Stage) { t.Error("nil collector visited a stage") })
+}

@@ -1,0 +1,42 @@
+// Package obs is the run-observation layer: span tracing, lag gauges,
+// and profiling hooks that let a benchmark cell be inspected *while it
+// runs* rather than only through the aggregate report.
+//
+// # Contract
+//
+// Everything in this package follows the nil-safe collector pattern
+// established by internal/metrics: a nil *Tracer, nil *Gauge, nil
+// *Monitor, or zero Span is a valid, fully disabled instance — every
+// method is a no-op and the record hot path performs zero allocations.
+// Callers therefore thread a single *Tracer through engine configs
+// unconditionally and never branch on "is tracing on".
+//
+// Timestamps are monotonic. A Tracer reads the wall clock exactly once,
+// at construction, to anchor the trace; every event time after that is
+// a time.Since against that anchor, so spans are immune to wall-clock
+// steps mid-run. Code in this package that needs another wall-clock
+// read must carry a `beamvet:allow determinism` directive — the
+// package is inside the determinism analyzer's scope on purpose.
+//
+// # Spans and counters
+//
+// Span events land in a fixed-capacity ring guarded by a single short
+// mutex hold. When the ring is full the oldest events are overwritten
+// and Dropped reports how many; recording never blocks and never
+// allocates after the ring is built. The trace exports as Chrome
+// trace-event JSON (WriteChromeTrace) and opens directly in Perfetto
+// or chrome://tracing. Gauges hold the latest value of a sampled
+// quantity (consumer offsets, watermarks) in an atomic; the Monitor
+// goroutine turns them into counter tracks at a configurable cadence
+// and into per-run max/mean summaries for the report.
+//
+// # Watermark-lag semantics
+//
+// Event times in this benchmark are synthetic (the AOL QueryTime
+// column), so "processing time minus watermark" is meaningless.
+// Watermark lag is instead frontier-relative: at each sample the
+// monitor takes the most advanced live watermark across the run's
+// operators as the frontier and reports each operator's distance
+// behind it, in seconds. An operator at watermark.EndOfTime has
+// drained and reports zero lag.
+package obs

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format, the
+// subset Perfetto and chrome://tracing understand: complete spans
+// ("X"), counters ("C"), instants ("i"), and thread-name metadata
+// ("M"). Timestamps are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteChromeTrace snapshots the tracer's events and writes them as
+// Chrome trace-event JSON. Span and instant tracks become named
+// threads under pid 1; counter events become counter tracks. If events
+// were dropped from the ring, a final "obs/dropped-events" counter
+// records how many.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	evs := t.Events()
+	sortEvents(evs)
+
+	tids := make(map[string]int)
+	var tidOrder []string
+	tidOf := func(track string) int {
+		if id, ok := tids[track]; ok {
+			return id
+		}
+		id := len(tids) + 1
+		tids[track] = id
+		tidOrder = append(tidOrder, track)
+		return id
+	}
+
+	out := make([]chromeEvent, 0, len(evs)+len(tids)+1)
+	for _, ev := range evs {
+		switch ev.Phase {
+		case PhaseComplete:
+			out = append(out, chromeEvent{
+				Name: ev.Name, Phase: "X", TS: micros(ev.Start), Dur: micros(ev.Dur),
+				PID: 1, TID: tidOf(ev.Track),
+			})
+		case PhaseInstant:
+			out = append(out, chromeEvent{
+				Name: ev.Name, Phase: "i", TS: micros(ev.Start),
+				PID: 1, TID: tidOf(ev.Track), Scope: "t",
+			})
+		case PhaseCounter:
+			out = append(out, chromeEvent{
+				Name: ev.Track, Phase: "C", TS: micros(ev.Start),
+				PID: 1, Args: map[string]any{"value": ev.Value},
+			})
+		}
+	}
+	if d := t.Dropped(); d > 0 {
+		out = append(out, chromeEvent{
+			Name: "obs/dropped-events", Phase: "C", TS: micros(t.Now()),
+			PID: 1, Args: map[string]any{"value": float64(d)},
+		})
+	}
+	meta := make([]chromeEvent, 0, len(tidOrder))
+	for _, track := range tidOrder {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: tids[track],
+			Args: map[string]any{"name": track},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: append(meta, out...), DisplayTimeUnit: "ms"})
+}
+
+// WriteChromeTraceFile writes the trace to path.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: create trace file: %w", err)
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// StageStat aggregates the complete-events of one track: how often the
+// track's spans fired and their total wall time.
+type StageStat struct {
+	Track string
+	Count int
+	Total time.Duration
+}
+
+// CounterStat summarizes one counter track's samples.
+type CounterStat struct {
+	Track   string
+	Samples int
+	Max     float64
+	Mean    float64
+	Last    float64
+}
+
+// Summary is the resultcalc-style digest of a trace file: top stages
+// by wall time and peak/mean per counter track.
+type Summary struct {
+	Stages   []StageStat
+	Counters []CounterStat
+}
+
+// Summarize parses Chrome trace-event JSON (either the object form
+// WriteChromeTrace emits or a bare event array) and aggregates spans
+// per track and counters per series.
+func Summarize(r io.Reader) (*Summary, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("obs: read trace: %w", err)
+	}
+	var wrapped chromeTrace
+	if err := json.Unmarshal(raw, &wrapped); err != nil {
+		if err2 := json.Unmarshal(raw, &wrapped.TraceEvents); err2 != nil {
+			return nil, fmt.Errorf("obs: parse trace: %w", err)
+		}
+	}
+
+	threadName := make(map[int]string)
+	for _, ev := range wrapped.TraceEvents {
+		if ev.Phase == "M" && ev.Name == "thread_name" {
+			if name, ok := ev.Args["name"].(string); ok {
+				threadName[ev.TID] = name
+			}
+		}
+	}
+
+	stages := make(map[string]*StageStat)
+	var stageOrder []string
+	counters := make(map[string]*CounterStat)
+	var counterOrder []string
+	for _, ev := range wrapped.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			track := threadName[ev.TID]
+			if track == "" {
+				track = ev.Name
+			}
+			st, ok := stages[track]
+			if !ok {
+				st = &StageStat{Track: track}
+				stages[track] = st
+				stageOrder = append(stageOrder, track)
+			}
+			st.Count++
+			st.Total += time.Duration(ev.Dur * 1e3)
+		case "C":
+			v, ok := ev.Args["value"].(float64)
+			if !ok {
+				continue
+			}
+			cs, found := counters[ev.Name]
+			if !found {
+				cs = &CounterStat{Track: ev.Name}
+				counters[ev.Name] = cs
+				counterOrder = append(counterOrder, ev.Name)
+			}
+			cs.Samples++
+			if v > cs.Max {
+				cs.Max = v
+			}
+			// Mean accumulates as a running sum until the final pass.
+			cs.Mean += v
+			cs.Last = v
+		}
+	}
+
+	s := &Summary{}
+	for _, track := range stageOrder {
+		s.Stages = append(s.Stages, *stages[track])
+	}
+	sort.SliceStable(s.Stages, func(i, j int) bool { return s.Stages[i].Total > s.Stages[j].Total })
+	for _, name := range counterOrder {
+		cs := *counters[name]
+		cs.Mean /= float64(cs.Samples)
+		s.Counters = append(s.Counters, cs)
+	}
+	sort.SliceStable(s.Counters, func(i, j int) bool { return s.Counters[i].Max > s.Counters[j].Max })
+	return s, nil
+}
+
+// Format renders the summary as the text `beambench -trace-summary`
+// prints: top stages by wall time, then counter tracks by peak value.
+func (s *Summary) Format(topN int) string {
+	var b strings.Builder
+	b.WriteString("Top stages by wall time\n")
+	n := len(s.Stages)
+	if topN > 0 && n > topN {
+		n = topN
+	}
+	for _, st := range s.Stages[:n] {
+		fmt.Fprintf(&b, "  %-58s %4d span(s) %12s\n", st.Track, st.Count, st.Total.Round(time.Microsecond))
+	}
+	if len(s.Stages) > n {
+		fmt.Fprintf(&b, "  ... %d more track(s)\n", len(s.Stages)-n)
+	}
+	b.WriteString("Counter tracks (peak / mean / last)\n")
+	n = len(s.Counters)
+	if topN > 0 && n > topN {
+		n = topN
+	}
+	for _, cs := range s.Counters[:n] {
+		fmt.Fprintf(&b, "  %-58s %10.2f / %8.2f / %8.2f  (%d samples)\n", cs.Track, cs.Max, cs.Mean, cs.Last, cs.Samples)
+	}
+	if len(s.Counters) > n {
+		fmt.Fprintf(&b, "  ... %d more track(s)\n", len(s.Counters)-n)
+	}
+	return b.String()
+}

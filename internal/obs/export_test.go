@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	tr := NewTracer(64)
+	sp := tr.Span("harness", "run")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.Instant("panes", "pane")
+	tr.Counter("lag", 3)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if parsed.Unit != "ms" {
+		t.Errorf("displayTimeUnit = %q", parsed.Unit)
+	}
+	var phases []string
+	threadNames := map[float64]string{}
+	for _, ev := range parsed.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases = append(phases, ph)
+		if ph == "M" {
+			tid, _ := ev["tid"].(float64)
+			args, _ := ev["args"].(map[string]any)
+			name, _ := args["name"].(string)
+			threadNames[tid] = name
+		}
+	}
+	joined := strings.Join(phases, "")
+	for _, want := range []string{"X", "i", "C", "M"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace lacks a %q event: %v", want, phases)
+		}
+	}
+	// Both span tracks got thread-name metadata.
+	names := make(map[string]bool)
+	for _, n := range threadNames {
+		names[n] = true
+	}
+	if !names["harness"] || !names["panes"] {
+		t.Errorf("thread names = %v, want harness and panes", names)
+	}
+	// The counter event carries its value in args.
+	found := false
+	for _, ev := range parsed.TraceEvents {
+		if ev["ph"] == "C" && ev["name"] == "lag" {
+			args, _ := ev["args"].(map[string]any)
+			if args["value"] == 3.0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("counter event lag=3 missing from trace")
+	}
+}
+
+func TestWriteChromeTraceReportsDrops(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Counter("c", float64(i))
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "obs/dropped-events") {
+		t.Error("trace with overwrites lacks the obs/dropped-events counter")
+	}
+}
+
+func TestSummarizeRoundTrip(t *testing.T) {
+	tr := NewTracer(256)
+	for i := 0; i < 3; i++ {
+		sp := tr.Span("flink/subtask-0", "subtask")
+		time.Sleep(200 * time.Microsecond)
+		sp.End()
+	}
+	sp := tr.Span("harness", "run")
+	time.Sleep(20 * time.Millisecond) // dominates the µs-scale subtask spans
+	sp.End()
+	tr.Counter("consumer-lag/input/p0", 10)
+	tr.Counter("consumer-lag/input/p0", 4)
+	tr.Counter("consumer-lag/input/p0", 6)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Stages) != 2 {
+		t.Fatalf("stages = %+v, want 2 tracks", s.Stages)
+	}
+	// harness/run slept longest: it must rank first.
+	if s.Stages[0].Track != "harness" || s.Stages[0].Count != 1 {
+		t.Errorf("top stage = %+v, want harness with 1 span", s.Stages[0])
+	}
+	if s.Stages[1].Track != "flink/subtask-0" || s.Stages[1].Count != 3 {
+		t.Errorf("second stage = %+v, want flink/subtask-0 with 3 spans", s.Stages[1])
+	}
+	if len(s.Counters) != 1 {
+		t.Fatalf("counters = %+v, want 1 series", s.Counters)
+	}
+	cs := s.Counters[0]
+	if cs.Track != "consumer-lag/input/p0" || cs.Samples != 3 || cs.Max != 10 || cs.Last != 6 {
+		t.Errorf("counter summary = %+v", cs)
+	}
+	if want := (10.0 + 4 + 6) / 3; cs.Mean != want {
+		t.Errorf("counter mean = %v, want %v", cs.Mean, want)
+	}
+	text := s.Format(10)
+	if !strings.Contains(text, "harness") || !strings.Contains(text, "consumer-lag/input/p0") {
+		t.Errorf("formatted summary missing tracks:\n%s", text)
+	}
+}
+
+func TestSummarizeBareArray(t *testing.T) {
+	raw := `[{"name":"a","ph":"X","ts":1,"dur":100,"pid":1,"tid":1},
+	         {"name":"lag","ph":"C","ts":2,"pid":1,"args":{"value":5}}]`
+	s, err := Summarize(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Stages) != 1 || len(s.Counters) != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Stages[0].Total != 100*time.Microsecond {
+		t.Errorf("stage total = %v, want 100µs", s.Stages[0].Total)
+	}
+}

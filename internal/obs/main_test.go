@@ -1,0 +1,13 @@
+package obs
+
+import (
+	"testing"
+
+	"beambench/internal/goleak"
+)
+
+// TestMain gates the package on goroutine hygiene: the Monitor's
+// sampling goroutine must never outlive its Stop.
+func TestMain(m *testing.M) {
+	goleak.VerifyTestMain(m)
+}

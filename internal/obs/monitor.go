@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// endOfTimeNanos matches watermark.EndOfTime.UnixNano(): an operator
+// whose watermark gauge holds it has drained and reports zero lag.
+// (Duplicated as a constant to keep obs free of engine imports.)
+const endOfTimeNanos = math.MaxInt64
+
+// A Sampler produces one counter sample per tick; returning ok=false
+// skips the tick (e.g. the topic is gone during teardown).
+type Sampler func() (value float64, ok bool)
+
+// A MultiSampler emits zero or more named samples per tick via yield;
+// the set of names may change between ticks (stages register lazily).
+type MultiSampler func(yield func(name string, value float64))
+
+// GaugeSummary is the per-run time series digest of one counter track,
+// carried into the report so a cell answers "what was the peak lag"
+// without re-opening the trace.
+type GaugeSummary struct {
+	Name    string  `json:"name"`
+	Samples int     `json:"samples"`
+	Max     float64 `json:"max"`
+	Mean    float64 `json:"mean"`
+	Last    float64 `json:"last"`
+}
+
+// Monitor is the per-run sampling goroutine: at each tick it runs the
+// registered samplers and converts the scope's watermark gauges into
+// frontier-relative lag, recording everything as counter events on the
+// tracer and accumulating summaries. A nil Monitor no-ops; Start
+// without Stop leaks nothing because Stop is idempotent and the
+// goroutine owns a done channel + WaitGroup.
+type Monitor struct {
+	t        *Tracer
+	interval time.Duration
+
+	mu       sync.Mutex
+	samplers []namedSampler
+	multi    []MultiSampler
+	series   map[string]*GaugeSummary
+	order    []string
+	stopped  bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type namedSampler struct {
+	name string
+	fn   Sampler
+}
+
+// NewMonitor builds a monitor sampling at interval (minimum 1ms) on
+// the given tracer scope. A nil tracer yields a nil monitor.
+func NewMonitor(t *Tracer, interval time.Duration) *Monitor {
+	if t == nil {
+		return nil
+	}
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	return &Monitor{
+		t:        t,
+		interval: interval,
+		series:   make(map[string]*GaugeSummary),
+		done:     make(chan struct{}),
+	}
+}
+
+// Sample registers a named sampler. Nil-safe.
+func (m *Monitor) Sample(name string, fn Sampler) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.samplers = append(m.samplers, namedSampler{name: name, fn: fn})
+	m.mu.Unlock()
+}
+
+// SampleEach registers a multi-sampler. Nil-safe.
+func (m *Monitor) SampleEach(fn MultiSampler) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.multi = append(m.multi, fn)
+	m.mu.Unlock()
+}
+
+// Start launches the sampling goroutine. Nil-safe.
+func (m *Monitor) Start() {
+	if m == nil {
+		return
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		tick := time.NewTicker(m.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-m.done:
+				return
+			case <-tick.C:
+				m.tick()
+			}
+		}
+	}()
+}
+
+// Stop terminates the goroutine, takes one final sample so runs
+// shorter than the interval still observe their gauges, and returns
+// the accumulated summaries sorted by name. Idempotent; the second
+// call returns the same summaries without sampling again.
+func (m *Monitor) Stop() []GaugeSummary {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	alreadyStopped := m.stopped
+	m.stopped = true
+	m.mu.Unlock()
+	if !alreadyStopped {
+		close(m.done)
+	}
+	m.wg.Wait()
+	if !alreadyStopped {
+		m.tick()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]GaugeSummary, 0, len(m.order))
+	for _, name := range m.order {
+		out = append(out, *m.series[name])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// tick runs every sampler once and converts watermark gauges to
+// frontier-relative lag seconds.
+func (m *Monitor) tick() {
+	m.mu.Lock()
+	samplers := m.samplers
+	multi := m.multi
+	m.mu.Unlock()
+
+	for _, s := range samplers {
+		if v, ok := s.fn(); ok {
+			m.record(s.name, v)
+		}
+	}
+	for _, fn := range multi {
+		fn(m.record)
+	}
+
+	gauges := m.t.Gauges()
+	// Frontier: the most advanced live watermark in this scope. Gauges
+	// never set (0) or already drained (EndOfTime) don't define it.
+	var frontier int64
+	for _, g := range gauges {
+		v := g.Load()
+		if v != 0 && v != endOfTimeNanos && v > frontier {
+			frontier = v
+		}
+	}
+	for _, g := range gauges {
+		v := g.Load()
+		switch {
+		case v == 0:
+			// Operator hasn't seen a watermark yet; no sample.
+		case v == endOfTimeNanos:
+			m.record(g.Name(), 0)
+		default:
+			lag := float64(frontier-v) / 1e9
+			if lag < 0 {
+				lag = 0
+			}
+			m.record(g.Name(), lag)
+		}
+	}
+}
+
+// record emits a counter event and folds the value into the series
+// summary. The counter event carries the fully scoped name (trace
+// tracks must be unique per run); the series summary carries the bare
+// name, so the summaries of one cell's runs merge by gauge in
+// MergeGaugeSummaries. Sampler names arrive bare and get the scope
+// prefix for the event; gauge names from Tracer.Gauge arrive scoped
+// and get it stripped for the summary.
+func (m *Monitor) record(name string, v float64) {
+	full, bare := name, name
+	if m.t.prefix != "" {
+		if isScoped(name, m.t.prefix) {
+			bare = name[len(m.t.prefix)+1:]
+		} else {
+			full = m.t.prefix + "/" + name
+		}
+	}
+	m.t.core.record(Event{Track: full, Name: full, Phase: PhaseCounter, Start: m.t.Now(), Value: v})
+	m.mu.Lock()
+	s, ok := m.series[bare]
+	if !ok {
+		s = &GaugeSummary{Name: bare}
+		m.series[bare] = s
+		m.order = append(m.order, bare)
+	}
+	s.Samples++
+	if v > s.Max {
+		s.Max = v
+	}
+	s.Mean += (v - s.Mean) / float64(s.Samples)
+	s.Last = v
+	m.mu.Unlock()
+}
+
+// isScoped reports whether name already carries the scope prefix —
+// gauge names from Tracer.Gauge do, raw sampler names don't.
+func isScoped(name, prefix string) bool {
+	return len(name) > len(prefix) && name[:len(prefix)] == prefix && name[len(prefix)] == '/'
+}
+
+// MergeGaugeSummaries folds b's series into a by name, weighting means
+// by sample count, for aggregating the runs of one cell.
+func MergeGaugeSummaries(a, b []GaugeSummary) []GaugeSummary {
+	if len(a) == 0 {
+		return b
+	}
+	byName := make(map[string]int, len(a))
+	for i := range a {
+		byName[a[i].Name] = i
+	}
+	for _, s := range b {
+		i, ok := byName[s.Name]
+		if !ok {
+			byName[s.Name] = len(a)
+			a = append(a, s)
+			continue
+		}
+		dst := &a[i]
+		total := dst.Samples + s.Samples
+		if total > 0 {
+			dst.Mean = (dst.Mean*float64(dst.Samples) + s.Mean*float64(s.Samples)) / float64(total)
+		}
+		dst.Samples = total
+		if s.Max > dst.Max {
+			dst.Max = s.Max
+		}
+		dst.Last = s.Last
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i].Name < a[j].Name })
+	return a
+}

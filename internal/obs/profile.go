@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+)
+
+// sanitize turns a cell key ("flink native WindowedCount") into a
+// filename fragment.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// CaptureCPU starts a CPU profile writing to dir/cpu_<name>.pprof and
+// returns a stop function that finishes the profile and closes the
+// file. Only one CPU profile can run per process; the harness rejects
+// CPU profiling with parallel workers for exactly that reason.
+func CaptureCPU(dir, name string) (stop func() error, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: profile dir: %w", err)
+	}
+	path := filepath.Join(dir, "cpu_"+sanitize(name)+".pprof")
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("obs: start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// CaptureHeap writes a heap profile to dir/mem_<name>.pprof after a GC
+// so the snapshot reflects live memory, not garbage.
+func CaptureHeap(dir, name string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("obs: profile dir: %w", err)
+	}
+	path := filepath.Join(dir, "mem_"+sanitize(name)+".pprof")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: create heap profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: write heap profile: %w", err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,15 @@
+package queries
+
+import (
+	"testing"
+
+	"beambench/internal/goleak"
+)
+
+// TestMain gates the package's tests on goroutine hygiene: any
+// goroutine that outlives the test run (engine subtask, consumer
+// waiter) fails the binary. This is the runtime counterpart of the
+// static ctxleak check in cmd/beamvet.
+func TestMain(m *testing.M) {
+	goleak.VerifyTestMain(m)
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"beambench/internal/metrics"
+	"beambench/internal/obs"
 	"beambench/internal/simcost"
 )
 
@@ -32,6 +33,9 @@ type ClusterConfig struct {
 	// every output operation mark their record counts per micro-batch.
 	// Nil disables collection.
 	Metrics *metrics.Collector
+	// Trace, when non-nil, records a span per micro-batch and a
+	// watermark gauge per stateful stage. Nil disables tracing.
+	Trace *obs.Tracer
 }
 
 func (c *ClusterConfig) validate() error {
@@ -101,6 +105,12 @@ func (c *Cluster) TotalCores() int {
 // charge consistent per-record costs.
 func (c *Cluster) Costs() simcost.Costs {
 	return c.cfg.Costs
+}
+
+// Trace exposes the cluster's tracer (nil when tracing is disabled), so
+// runner translations can record into the same timeline as the runtime.
+func (c *Cluster) Trace() *obs.Tracer {
+	return c.cfg.Trace
 }
 
 // runTask executes fn on an executor core, blocking while all cores are

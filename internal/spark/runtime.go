@@ -3,6 +3,7 @@ package spark
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -224,6 +225,8 @@ func (ssc *StreamingContext) precheck() error {
 // without cache()) and run the output action. batch maps each input
 // stream to its partitions for this batch.
 func (ssc *StreamingContext) runBatch(batchID int64, batch map[*DStream][][][]byte, driver *simcost.Meter) error {
+	span := ssc.cluster.cfg.Trace.Span("spark/driver", "batch-"+strconv.FormatInt(batchID, 10))
+	defer span.End()
 	driver.Charge(ssc.cluster.cfg.Costs.SparkBatch)
 	driver.Flush()
 	var n int64
@@ -259,6 +262,8 @@ func (ssc *StreamingContext) runBatch(batchID int64, batch map[*DStream][][][]by
 // remaining state (EndStream) and the emissions flow through the
 // downstream lineage and output operations like a regular batch.
 func (ssc *StreamingContext) runFlushBatch(batchID int64, driver *simcost.Meter) error {
+	span := ssc.cluster.cfg.Trace.Span("spark/driver", "flush-batch")
+	defer span.End()
 	driver.Charge(ssc.cluster.cfg.Costs.SparkBatch)
 	driver.Flush()
 	ssc.mu.Lock()
@@ -427,6 +432,9 @@ func (ssc *StreamingContext) runStatefulStage(st *DStream, batchID int64, parts 
 	if c := ssc.cluster.cfg.Metrics; c != nil {
 		handle = c.Stage(st.name)
 	}
+	// The watermark delivered into the stage this batch, for the obs
+	// monitor's per-operator lag track.
+	ssc.cluster.cfg.Trace.Gauge("watermark-lag/" + st.name).SetTime(wm)
 	out := make([][][]byte, len(instances))
 	errs := make([]error, len(instances))
 	var wg sync.WaitGroup
