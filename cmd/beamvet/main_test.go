@@ -1,10 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
+
+	"beambench/internal/analysis"
 )
 
 // repoRoot walks up from this file to the module root so the tests are
@@ -19,14 +23,15 @@ func repoRoot(t *testing.T) string {
 }
 
 // TestRepoIsClean is the acceptance invariant: the entire repository
-// passes its own analyzers. If this fails, a determinism, ctxleak, or
-// errwrap violation (or a stale //beamvet:allow) slipped in.
+// passes its own analyzers. If this fails, a determinism, ctxleak,
+// errwrap, locksafe, or hotalloc violation (or a stale
+// //beamvet:allow) slipped in.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs go list -export over every package")
 	}
 	var stdout, stderr strings.Builder
-	if code := run(repoRoot(t), []string{"./..."}, false, &stdout, &stderr); code != 0 {
+	if code := run(repoRoot(t), []string{"./..."}, options{}, &stdout, &stderr); code != 0 {
 		t.Errorf("beamvet ./... = exit %d, want 0\nstdout:\n%s\nstderr:\n%s",
 			code, stdout.String(), stderr.String())
 	}
@@ -37,7 +42,7 @@ func TestRepoIsClean(t *testing.T) {
 func TestFindingsExit(t *testing.T) {
 	fixture := filepath.Join("internal", "analysis", "analyzers", "determinism", "testdata", "src", "a")
 	var stdout, stderr strings.Builder
-	code := run(filepath.Join(repoRoot(t), fixture), []string{"."}, false, &stdout, &stderr)
+	code := run(filepath.Join(repoRoot(t), fixture), []string{"."}, options{}, &stdout, &stderr)
 	if code != 1 {
 		t.Fatalf("beamvet on a violating fixture = exit %d, want 1\nstderr:\n%s", code, stderr.String())
 	}
@@ -53,7 +58,144 @@ func TestFindingsExit(t *testing.T) {
 
 func TestBadPatternExit(t *testing.T) {
 	var stdout, stderr strings.Builder
-	if code := run(repoRoot(t), []string{"./no/such/dir/..."}, false, &stdout, &stderr); code != 2 {
+	if code := run(repoRoot(t), []string{"./no/such/dir/..."}, options{}, &stdout, &stderr); code != 2 {
 		t.Errorf("beamvet on a bad pattern = exit %d, want 2", code)
+	}
+}
+
+// TestJSONReport pins the -json contract: stdout is exactly the
+// machine-readable report, human findings move to stderr, and the exit
+// code still reflects the findings.
+func TestJSONReport(t *testing.T) {
+	fixture := filepath.Join("internal", "analysis", "analyzers", "hotalloc", "testdata", "src", "a")
+	var stdout, stderr strings.Builder
+	code := run(filepath.Join(repoRoot(t), fixture), []string{"."}, options{jsonOut: true}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("beamvet -json on a violating fixture = exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	var report analysis.Report
+	if err := json.Unmarshal([]byte(stdout.String()), &report); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, stdout.String())
+	}
+	if report.Tool != "beamvet" || report.Version != analysis.ReportVersion {
+		t.Errorf("report header = %q v%d, want beamvet v%d", report.Tool, report.Version, analysis.ReportVersion)
+	}
+	if report.Count == 0 || len(report.Findings) != report.Count {
+		t.Errorf("count=%d findings=%d, want a consistent non-zero inventory", report.Count, len(report.Findings))
+	}
+	checks := map[string]bool{}
+	for _, c := range report.Checks {
+		checks[c.Name] = true
+	}
+	for _, want := range []string{"determinism", "ctxleak", "errwrap", "locksafe", "hotalloc"} {
+		if !checks[want] {
+			t.Errorf("report.checks missing %q", want)
+		}
+	}
+	if !strings.Contains(stderr.String(), "hotalloc") {
+		t.Errorf("human findings did not move to stderr under -json:\n%s", stderr.String())
+	}
+}
+
+// TestGitHubAnnotations checks the ::error workflow-annotation path
+// without being on Actions.
+func TestGitHubAnnotations(t *testing.T) {
+	fixture := filepath.Join("internal", "analysis", "analyzers", "hotalloc", "testdata", "src", "a")
+	env := func(k string) string {
+		if k == "GITHUB_ACTIONS" {
+			return "true"
+		}
+		return ""
+	}
+	var stdout, stderr strings.Builder
+	run(filepath.Join(repoRoot(t), fixture), []string{"."}, options{env: env}, &stdout, &stderr)
+	if !strings.Contains(stderr.String(), "::error file=") {
+		t.Errorf("no ::error annotations on stderr under GITHUB_ACTIONS:\n%s", stderr.String())
+	}
+}
+
+// TestFixEndToEnd drives the full -fix contract on a throwaway module:
+// exit 0 only because every finding was repaired and the re-run from
+// the rewritten sources is clean, and a second -fix run is a no-op.
+func TestFixEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list twice over a scratch module")
+	}
+	src, err := os.ReadFile(filepath.Join(repoRoot(t),
+		"internal", "analysis", "analyzers", "hotalloc", "testdata", "src", "fixable", "fixable.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(filepath.Join(repoRoot(t),
+		"internal", "analysis", "analyzers", "hotalloc", "testdata", "src", "fixable", "fixable.go.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The scratch module keeps "testdata" in its path so the analyzer
+	// scopes cover it.
+	dir := t.TempDir()
+	writeFile := func(name string, content []byte) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", []byte("module fixfixture/testdata\n\ngo 1.24\n"))
+	writeFile("fixable.go", src)
+
+	var stdout, stderr strings.Builder
+	if code := run(dir, []string{"."}, options{fix: true}, &stdout, &stderr); code != 0 {
+		t.Fatalf("beamvet -fix on a fully fixable module = exit %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	fixed, err := os.ReadFile(filepath.Join(dir, "fixable.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fixed) != string(golden) {
+		t.Fatalf("-fix output differs from golden:\n--- got ---\n%s\n--- want ---\n%s", fixed, golden)
+	}
+
+	// Idempotence: -fix on the now-clean tree rewrites nothing.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(dir, []string{"."}, options{fix: true}, &stdout, &stderr); code != 0 {
+		t.Fatalf("beamvet -fix on a clean tree = exit %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	again, err := os.ReadFile(filepath.Join(dir, "fixable.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(fixed) {
+		t.Errorf("second -fix run changed the file: -fix is not idempotent")
+	}
+}
+
+// TestFixUnfixableStillFails pins the strict half of the contract: a
+// finding with no mechanical repair forces exit 1 even under -fix.
+func TestFixUnfixableStillFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list twice over a scratch module")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"),
+		[]byte("module unfixable/testdata\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A hot-path conversion has no mechanical fix.
+	src := `package unfixable
+
+func Decode(b []byte) string { return string(b) }
+`
+	if err := os.WriteFile(filepath.Join(dir, "unfixable.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	if code := run(dir, []string{"."}, options{fix: true}, &stdout, &stderr); code != 1 {
+		t.Errorf("beamvet -fix with an unfixable finding = exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "no mechanical fix") {
+		t.Errorf("stderr does not say why -fix could not reach exit 0:\n%s", stderr.String())
 	}
 }

@@ -33,8 +33,14 @@ fi
 step "go vet"
 go vet ./... || fail=1
 
-step "beamvet (repo-specific invariants: determinism, ctxleak, errwrap)"
-go run ./cmd/beamvet ./... || fail=1
+step "beamvet (repo-specific invariants: determinism, ctxleak, errwrap, locksafe, hotalloc)"
+# BEAMVET_JSON=path also captures the machine-readable report (schema
+# in internal/analysis/report.go); CI uploads it as an artifact.
+if [ -n "${BEAMVET_JSON:-}" ]; then
+  go run ./cmd/beamvet -json ./... > "$BEAMVET_JSON" || fail=1
+else
+  go run ./cmd/beamvet ./... || fail=1
+fi
 
 # Tools that need a module download. In the offline sandbox these are
 # skipped unless already installed; CI sets LINT_STRICT=1.

@@ -16,10 +16,35 @@ type Analyzer struct {
 }
 
 // A Diagnostic is one reported violation, positioned at Pos.
+// SuggestedFixes, when non-empty, carry mechanical repairs that
+// `beamvet -fix` can apply; a diagnostic without fixes must be repaired
+// (or //beamvet:allow-annotated) by hand.
 type Diagnostic struct {
-	Pos     token.Pos
-	Check   string
+	Pos            token.Pos
+	Check          string
+	Message        string
+	SuggestedFixes []SuggestedFix
+}
+
+// A SuggestedFix is one self-contained mechanical repair: applying all
+// of its TextEdits must eliminate the diagnostic, so that a re-run
+// after `beamvet -fix` reports zero findings (the idempotence
+// contract). Edits within one fix must not overlap.
+type SuggestedFix struct {
+	// Message describes the repair, e.g. "replace == with errors.Is".
 	Message string
+	// TextEdits are the source changes, in any order.
+	TextEdits []TextEdit
+}
+
+// A TextEdit replaces the source range [Pos, End) with NewText. A
+// deletion (empty NewText) that leaves its line blank removes the whole
+// line, so deleting a stand-alone directive comment does not leave an
+// empty line behind.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
 }
 
 // A Pass carries one type-checked package through one analyzer. The
@@ -46,4 +71,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Check:   p.Analyzer.Name,
 		Message: fmt.Sprintf(format, args...),
 	})
+}
+
+// Report records a fully built diagnostic (used by analyzers that
+// attach SuggestedFixes). The Check field is stamped with the running
+// analyzer's name.
+func (p *Pass) Report(d Diagnostic) {
+	d.Check = p.Analyzer.Name
+	*p.diags = append(*p.diags, d)
 }

@@ -79,6 +79,49 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, fixtures ...string
 	}
 }
 
+// RunFix loads each fixture package, runs the analyzer, applies every
+// suggested fix in memory, and compares each rewritten file against
+// its <file>.golden sibling. Nothing is written back: fixtures stay
+// pristine across runs.
+func RunFix(t *testing.T, testdata string, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	for _, fixture := range fixtures {
+		dir := filepath.Join(testdata, "src", fixture)
+		pkgs, err := load.Load(dir, ".")
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", fixture, err)
+		}
+		for _, pkg := range pkgs {
+			diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Fatalf("fixture %s: %v", fixture, err)
+			}
+			res, err := analysis.ApplyFixes(pkg.Fset, diags, nil)
+			if err != nil {
+				t.Fatalf("fixture %s: applying fixes: %v", fixture, err)
+			}
+			if len(res.Unfixable) > 0 || len(res.Conflicted) > 0 {
+				t.Errorf("fixture %s: %d unfixable and %d conflicted diagnostics; a fix fixture must repair completely",
+					fixture, len(res.Unfixable), len(res.Conflicted))
+			}
+			if len(res.Files) == 0 {
+				t.Errorf("fixture %s: no files changed; a fix fixture must carry fixable findings", fixture)
+			}
+			for _, f := range res.Files {
+				golden, err := os.ReadFile(f.Filename + ".golden")
+				if err != nil {
+					t.Errorf("fixture %s: %v (every file -fix rewrites needs a golden)", fixture, err)
+					continue
+				}
+				if string(f.Fixed) != string(golden) {
+					t.Errorf("fixture %s: %s after fixes differs from golden:\n--- got ---\n%s\n--- want ---\n%s",
+						fixture, filepath.Base(f.Filename), f.Fixed, golden)
+				}
+			}
+		}
+	}
+}
+
 func claim(wants []*expectation, p token.Position, msg string) bool {
 	for _, w := range wants {
 		if !w.matched && w.file == p.Filename && w.line == p.Line && w.re.MatchString(msg) {

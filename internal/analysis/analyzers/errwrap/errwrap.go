@@ -15,6 +15,7 @@
 package errwrap
 
 import (
+	"fmt"
 	"go/ast"
 	"go/constant"
 	"go/token"
@@ -42,7 +43,7 @@ func run(pass *analysis.Pass) error {
 			case *ast.CallExpr:
 				checkErrorf(pass, n)
 			case *ast.BinaryExpr:
-				checkComparison(pass, n)
+				checkComparison(pass, f, n)
 			case *ast.SwitchStmt:
 				checkSwitch(pass, n)
 			}
@@ -170,7 +171,7 @@ func formatVerbs(format string) (verbs []rune, indexed bool) {
 	return verbs, false
 }
 
-func checkComparison(pass *analysis.Pass, be *ast.BinaryExpr) {
+func checkComparison(pass *analysis.Pass, file *ast.File, be *ast.BinaryExpr) {
 	if be.Op != token.EQL && be.Op != token.NEQ {
 		return
 	}
@@ -183,9 +184,56 @@ func checkComparison(pass *analysis.Pass, be *ast.BinaryExpr) {
 		if other == nil || isUntypedNil(other) {
 			continue
 		}
-		pass.Reportf(be.OpPos, "error compared to sentinel %s with %s: use errors.Is so wrapped errors match", name, be.Op)
+		d := analysis.Diagnostic{
+			Pos:     be.OpPos,
+			Message: fmt.Sprintf("error compared to sentinel %s with %s: use errors.Is so wrapped errors match", name, be.Op),
+		}
+		// The rewrite is mechanical when both operands render cleanly
+		// and the file already imports errors (beamvet -fix does not
+		// manage imports).
+		if importsErrors(file) {
+			errSrc, okErr := exprSource(pair[1])
+			sentSrc, okSent := exprSource(pair[0])
+			if okErr && okSent {
+				repl := fmt.Sprintf("errors.Is(%s, %s)", errSrc, sentSrc)
+				if be.Op == token.NEQ {
+					repl = "!" + repl
+				}
+				d.SuggestedFixes = []analysis.SuggestedFix{{
+					Message:   "rewrite the comparison with errors.Is",
+					TextEdits: []analysis.TextEdit{{Pos: be.Pos(), End: be.End(), NewText: []byte(repl)}},
+				}}
+			}
+		}
+		pass.Report(d)
 		return
 	}
+}
+
+// importsErrors reports whether the file imports the errors package
+// under its default name.
+func importsErrors(file *ast.File) bool {
+	for _, imp := range file.Imports {
+		if imp.Path.Value == `"errors"` && imp.Name == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// exprSource renders simple expressions (identifiers and selector
+// chains) back to source; anything richer declines a fix rather than
+// risking a mangled rewrite.
+func exprSource(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		if x, ok := exprSource(e.X); ok {
+			return x + "." + e.Sel.Name, true
+		}
+	}
+	return "", false
 }
 
 func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {

@@ -7,7 +7,13 @@ import (
 )
 
 func TestErrwrap(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), Analyzer, "a")
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "a", "fixable")
+}
+
+// TestFixGolden pins the errors.Is rewrite beamvet -fix applies to
+// identity comparisons.
+func TestFixGolden(t *testing.T) {
+	analysistest.RunFix(t, analysistest.TestData(), Analyzer, "fixable")
 }
 
 // TestFormatVerbs pins the operand pairing of the format scanner that

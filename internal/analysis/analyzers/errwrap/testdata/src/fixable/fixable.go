@@ -1,0 +1,21 @@
+// Package fixable carries errwrap findings whose repair is mechanical
+// — identity comparisons against a sentinel rewrite to errors.Is when
+// the file already imports errors; fixable.go.golden pins the output.
+package fixable
+
+import "errors"
+
+var ErrStop = errors.New("stop")
+
+type task struct{ err error }
+
+func isStop(err error) bool {
+	if err == ErrStop { // want `error compared to sentinel ErrStop with ==`
+		return true
+	}
+	return err != ErrStop // want `error compared to sentinel ErrStop with !=`
+}
+
+func (t *task) done() bool {
+	return t.err == ErrStop // want `error compared to sentinel ErrStop with ==`
+}

@@ -1,0 +1,17 @@
+package hotalloc
+
+import (
+	"testing"
+
+	"beambench/internal/analysis/analysistest"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "a", "allowed", "fixable")
+}
+
+// TestFixGolden pins the exact bytes beamvet -fix produces for the
+// fixable fixture.
+func TestFixGolden(t *testing.T) {
+	analysistest.RunFix(t, analysistest.TestData(), Analyzer, "fixable")
+}

@@ -1,0 +1,11 @@
+// Package allowed exercises //beamvet:allow hotalloc suppression: an
+// allocation that IS the operation's contract carries its rationale as
+// the mandatory reason.
+package allowed
+
+type dec struct{}
+
+func (d *dec) Decode(b []byte) string {
+	//beamvet:allow hotalloc the decoded string is handed to the caller and must not alias the input buffer
+	return string(b)
+}

@@ -1,0 +1,18 @@
+// Package fixable carries hotalloc findings whose repair is purely
+// mechanical; fixable.go.golden pins the exact output of beamvet -fix.
+package fixable
+
+import "fmt"
+
+func source() string { return "ops" }
+
+// describe runs once per report, not per record: its Sprintf keeps the
+// fmt import alive after -fix rewrites the hot path below.
+func describe(n int) string { return fmt.Sprintf("%d records", n) }
+
+func Encode(rec []byte, emit func([]byte) error) error {
+	tag := fmt.Sprintf("records")  // want `fmt.Sprintf formats through reflection`
+	kind := fmt.Sprintf("%s", tag) // want `fmt.Sprintf formats through reflection`
+	id := fmt.Sprint(source())     // want `fmt.Sprint formats through reflection`
+	return emit(append(rec, (tag + kind + id)...))
+}

@@ -1,0 +1,415 @@
+// Package locksafe flags struct-field accesses that sidestep the
+// field's inferred mutex. The benchmark's concurrency surface — the
+// broker's partition logs, the metrics counters engine subtasks bang
+// on, the obs monitor's sampling goroutine — is all guarded by the
+// sibling-mutex idiom: a sync.Mutex (or RWMutex) field next to the
+// data it protects. Which fields a mutex protects is convention, not
+// syntax, so the analyzer infers it: within the declaring package, a
+// field the majority of whose accesses happen while a sibling mutex of
+// the same receiver is held is treated as guarded, and every access
+// outside the lock is flagged. A single unguarded counter under the
+// matrix scheduler's workers is a data race that skews every benchmark
+// cell after it — exactly the failure mode sustained-rate benchmarking
+// (Karimov et al.) cannot tolerate.
+//
+// Two patterns are flagged:
+//
+//  1. an access to an inferred-guarded field outside any sibling-mutex
+//     critical section of the same receiver
+//  2. mixed atomic/plain access: a field passed to sync/atomic
+//     functions somewhere and read or written plainly elsewhere — the
+//     plain side tears
+//
+// What counts as "under the lock": accesses positioned between a
+// mu.Lock()/RLock() call and the matching Unlock in the same function
+// (a deferred Unlock holds to function end), and every access inside a
+// function whose name ends in "Locked" (the repo's caller-holds-lock
+// naming convention). Goroutine bodies launched with `go` start
+// lock-free: spawning under a lock does not propagate the lock into
+// the goroutine.
+//
+// Self-synchronized fields are exempt: fields whose type (through
+// pointers, arrays, and slices) lives in sync or sync/atomic, or is a
+// struct made entirely of such types (an array of atomic counters
+// needs no lock).
+//
+// The inference is per-package and positional — it ignores branch
+// structure — so intentional lock-free accesses (constructor-time
+// writes before the value escapes, immutable-after-start reads) must
+// carry a //beamvet:allow locksafe <reason> annotation, which doubles
+// as documentation of the memory-ordering argument.
+package locksafe
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"beambench/internal/analysis"
+)
+
+// Scope covers the packages with real concurrency: the broker, the
+// telemetry counters, the obs monitor, and the three engine runtimes.
+var Scope = []string{
+	"internal/broker",
+	"internal/metrics",
+	"internal/obs",
+	"internal/flink",
+	"internal/spark",
+	"internal/apex",
+	"/testdata/",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "flag accesses to mutex-guarded struct fields outside the lock, and atomic/plain mixed access",
+	Run:  run,
+}
+
+// structInfo is one candidate struct: a package-local named struct
+// with at least one sibling mutex field.
+type structInfo struct {
+	name        string
+	mutexNames  []string
+	mutexFields map[*types.Var]bool
+	dataFields  map[*types.Var]bool
+}
+
+// access is one field use, classified by lock state.
+type access struct {
+	pos    token.Pos
+	field  *types.Var
+	si     *structInfo
+	base   string // rendered receiver chain, e.g. "b@123" or "p@88.parts"
+	locked bool
+	atomic bool // passed to a sync/atomic function
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathInScope(pass.Path, Scope) {
+		return nil
+	}
+	structs := candidateStructs(pass)
+	if len(structs) == 0 {
+		return nil
+	}
+
+	var accesses []access
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			scanUnit(pass, structs, fd.Body, strings.HasSuffix(fd.Name.Name, "Locked"), &accesses)
+		}
+	}
+
+	// Inference: a field is guarded when the majority of its plain
+	// accesses happen under a sibling lock; atomic-function uses are
+	// tallied separately for the mixed-access check.
+	type tally struct{ locked, unlocked, atomic int }
+	counts := make(map[*types.Var]*tally)
+	for _, a := range accesses {
+		t := counts[a.field]
+		if t == nil {
+			t = &tally{}
+			counts[a.field] = t
+		}
+		switch {
+		case a.atomic:
+			t.atomic++
+		case a.locked:
+			t.locked++
+		default:
+			t.unlocked++
+		}
+	}
+
+	for _, a := range accesses {
+		t := counts[a.field]
+		switch {
+		case a.atomic || a.locked:
+			continue
+		case t.atomic > 0:
+			pass.Reportf(a.pos, "field %s.%s is accessed with sync/atomic elsewhere but plainly here: the plain access tears; use the atomic API everywhere or guard every access with %s",
+				a.si.name, a.field.Name(), mutexList(a.si))
+		case t.locked > t.unlocked:
+			pass.Reportf(a.pos, "field %s.%s is guarded by %s on %d of %d accesses in this package but not here: lock around this access or annotate the lock-free fast path",
+				a.si.name, a.field.Name(), mutexList(a.si), t.locked, t.locked+t.unlocked)
+		}
+	}
+	return nil
+}
+
+func mutexList(si *structInfo) string {
+	return si.name + "." + strings.Join(si.mutexNames, "/")
+}
+
+// candidateStructs finds package-local named structs with a sibling
+// sync.Mutex/RWMutex field and classifies their fields.
+func candidateStructs(pass *analysis.Pass) map[*types.Var]*structInfo {
+	out := make(map[*types.Var]*structInfo)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		si := &structInfo{
+			name:        tn.Name(),
+			mutexFields: make(map[*types.Var]bool),
+			dataFields:  make(map[*types.Var]bool),
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if isMutex(f.Type()) {
+				si.mutexFields[f] = true
+				si.mutexNames = append(si.mutexNames, f.Name())
+			}
+		}
+		if len(si.mutexFields) == 0 {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !si.mutexFields[f] && !selfSynchronized(f.Type()) {
+				si.dataFields[f] = true
+				out[f] = si
+			}
+		}
+		for f := range si.mutexFields {
+			out[f] = si
+		}
+	}
+	return out
+}
+
+// scanUnit walks one function body (or one goroutine body, which
+// starts lock-free), collecting lock events and field accesses, then
+// classifies each access by a positional sweep. Goroutine bodies are
+// queued as fresh units and skipped in the enclosing walk.
+func scanUnit(pass *analysis.Pass, structs map[*types.Var]*structInfo, body *ast.BlockStmt, heldAlways bool, accesses *[]access) {
+	type lockEvent struct {
+		pos   token.Pos
+		base  string
+		si    *structInfo
+		delta int
+	}
+	var events []lockEvent
+	var local []access
+	claimed := make(map[ast.Node]bool) // selectors consumed by lock calls or atomic args
+	var goBodies []*ast.BlockStmt
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// The goroutine does not inherit the spawner's lock; its
+			// argument expressions are still evaluated here.
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				goBodies = append(goBodies, lit.Body)
+				for _, arg := range n.Call.Args {
+					ast.Inspect(arg, visit)
+				}
+				return false
+			}
+		case *ast.DeferStmt:
+			// A deferred Unlock runs at return: the lock stays held for
+			// the rest of the unit, so no unlock event is recorded.
+			if _, _, name, ok := mutexMethodCall(pass, structs, n.Call, claimed); ok && (name == "Unlock" || name == "RUnlock") {
+				return false
+			}
+		case *ast.CallExpr:
+			if base, si, name, ok := mutexMethodCall(pass, structs, n, claimed); ok {
+				switch name {
+				case "Lock", "RLock":
+					events = append(events, lockEvent{pos: n.Pos(), base: base, si: si, delta: 1})
+				case "Unlock", "RUnlock":
+					events = append(events, lockEvent{pos: n.End(), base: base, si: si, delta: -1})
+				}
+				return true
+			}
+			claimAtomicArgs(pass, structs, n, claimed, &local)
+		case *ast.SelectorExpr:
+			if claimed[n] {
+				return true
+			}
+			if field, si, ok := fieldAccess(pass, structs, n); ok && si.dataFields[field] {
+				local = append(local, access{pos: n.Sel.Pos(), field: field, si: si, base: renderBase(pass, n.X)})
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+
+	for i := range local {
+		a := &local[i]
+		if a.atomic {
+			continue
+		}
+		if heldAlways {
+			a.locked = true
+			continue
+		}
+		held := 0
+		for _, e := range events {
+			if e.pos < a.pos && e.si == a.si && e.base == a.base {
+				held += e.delta
+			}
+		}
+		a.locked = held > 0
+	}
+	*accesses = append(*accesses, local...)
+
+	for _, gb := range goBodies {
+		scanUnit(pass, structs, gb, false, accesses)
+	}
+}
+
+// mutexMethodCall matches X.<mutexField>.Lock/RLock/Unlock/RUnlock()
+// and claims the receiver selector so it is not double-counted as a
+// field access.
+func mutexMethodCall(pass *analysis.Pass, structs map[*types.Var]*structInfo, call *ast.CallExpr, claimed map[ast.Node]bool) (base string, si *structInfo, name string, ok bool) {
+	fun, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", nil, "", false
+	}
+	switch fun.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", nil, "", false
+	}
+	recv, isSel := ast.Unparen(fun.X).(*ast.SelectorExpr)
+	if !isSel {
+		return "", nil, "", false
+	}
+	field, sinfo, isField := fieldAccess(pass, structs, recv)
+	if !isField || !sinfo.mutexFields[field] {
+		return "", nil, "", false
+	}
+	claimed[recv] = true
+	return renderBase(pass, recv.X), sinfo, fun.Sel.Name, true
+}
+
+// claimAtomicArgs records &X.f arguments of sync/atomic calls as
+// atomic accesses and claims their selectors.
+func claimAtomicArgs(pass *analysis.Pass, structs map[*types.Var]*structInfo, call *ast.CallExpr, claimed map[ast.Node]bool, local *[]access) {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return
+	}
+	for _, arg := range call.Args {
+		un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			continue
+		}
+		sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		if field, si, isField := fieldAccess(pass, structs, sel); isField && si.dataFields[field] {
+			claimed[sel] = true
+			*local = append(*local, access{pos: sel.Sel.Pos(), field: field, si: si, base: renderBase(pass, sel.X), atomic: true})
+		}
+	}
+}
+
+// fieldAccess resolves a selector to a candidate struct field.
+func fieldAccess(pass *analysis.Pass, structs map[*types.Var]*structInfo, sel *ast.SelectorExpr) (*types.Var, *structInfo, bool) {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, nil, false
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil, nil, false
+	}
+	si, ok := structs[field]
+	return field, si, ok
+}
+
+// renderBase canonicalizes the receiver chain of an access so lock
+// receivers and field receivers compare: identifiers are qualified by
+// their object's declaration position (robust against shadowing),
+// selector hops append field names, and index expressions collapse to
+// [*] (a lock on one element guards accesses through the same
+// syntactic path).
+func renderBase(pass *analysis.Pass, expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.ObjectOf(e); obj != nil {
+			return fmt.Sprintf("%s@%d", e.Name, obj.Pos())
+		}
+		return e.Name
+	case *ast.SelectorExpr:
+		return renderBase(pass, e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return renderBase(pass, e.X) + "[*]"
+	case *ast.StarExpr:
+		return renderBase(pass, e.X)
+	default:
+		return fmt.Sprintf("expr@%d", expr.Pos())
+	}
+}
+
+func isMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// selfSynchronized reports whether a field of this type needs no
+// sibling lock: sync/atomic and sync types synchronize themselves,
+// and so do arrays/slices/pointers of them, and structs composed
+// entirely of such types.
+func selfSynchronized(t types.Type) bool {
+	return selfSync(t, 0)
+}
+
+func selfSync(t types.Type, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync", "sync/atomic":
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Array:
+		return selfSync(u.Elem(), depth+1)
+	case *types.Slice:
+		return selfSync(u.Elem(), depth+1)
+	case *types.Pointer:
+		return selfSync(u.Elem(), depth+1)
+	case *types.Struct:
+		if u.NumFields() == 0 {
+			return false
+		}
+		for i := 0; i < u.NumFields(); i++ {
+			if !selfSync(u.Field(i).Type(), depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package locksafe
+
+import (
+	"testing"
+
+	"beambench/internal/analysis/analysistest"
+)
+
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "a", "allowed", "monitor")
+}

@@ -1,0 +1,89 @@
+// Package a is a locksafe fixture: fields guarded by a sibling mutex
+// on the majority of their accesses must be locked everywhere, and
+// atomic/plain access must not mix.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu   sync.Mutex
+	n    int
+	hits int64
+	name string
+	// total synchronizes itself: never flagged, no lock required.
+	total atomic.Int64
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+}
+
+// resetLocked follows the caller-holds-lock naming convention.
+func (c *counter) resetLocked() {
+	c.n = 0
+}
+
+func (c *counter) Peek() int {
+	return c.n // want `field counter.n is guarded by counter.mu on 4 of 6 accesses`
+}
+
+func (c *counter) Spawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	go func() {
+		// The goroutine does not inherit the spawner's lock.
+		c.n++ // want `field counter.n is guarded by counter.mu on 4 of 6 accesses`
+	}()
+}
+
+func (c *counter) Hit() {
+	atomic.AddInt64(&c.hits, 1)
+	c.total.Add(1)
+}
+
+func (c *counter) Hits() int64 {
+	return c.hits // want `field counter.hits is accessed with sync/atomic elsewhere but plainly here`
+}
+
+// Label is read-only after construction and never locked: the majority
+// rule leaves it unguarded.
+func (c *counter) Label() string {
+	return c.name
+}
+
+func (c *counter) LabelLen() int {
+	return len(c.name)
+}
+
+type table struct {
+	rw   sync.RWMutex
+	rows map[string]int
+}
+
+func (t *table) get(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.rows[k]
+}
+
+func (t *table) set(k string, v int) {
+	t.rw.Lock()
+	t.rows[k] = v
+	t.rw.Unlock()
+}
+
+func (t *table) size() int {
+	return len(t.rows) // want `field table.rows is guarded by table.rw on 2 of 3 accesses`
+}

@@ -1,0 +1,28 @@
+// Package allowed exercises //beamvet:allow locksafe suppression: a
+// deliberate lock-free fast path carries its memory-ordering argument
+// as the mandatory reason.
+package allowed
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (b *box) bump() {
+	b.mu.Lock()
+	b.v++
+	b.mu.Unlock()
+}
+
+func (b *box) bump2() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.v++
+}
+
+func (b *box) peek() int {
+	//beamvet:allow locksafe stale reads are acceptable: v is monotonic and read for display only
+	return b.v
+}

@@ -1,0 +1,61 @@
+// Package monitor mirrors internal/obs.Monitor's shape — a sampling
+// goroutine banging on mutex-guarded state, a done channel, and a
+// WaitGroup — and must pass locksafe with zero diagnostics: the real
+// monitor is the analyzer's reference for a correctly locked sampler.
+package monitor
+
+import "sync"
+
+type sample struct{ v float64 }
+
+type monitor struct {
+	mu      sync.Mutex
+	series  map[string][]sample
+	stopped bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newMonitor() *monitor {
+	return &monitor{
+		series: make(map[string][]sample),
+		done:   make(chan struct{}),
+	}
+}
+
+func (m *monitor) start() {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		for {
+			select {
+			case <-m.done:
+				return
+			default:
+			}
+			m.sample()
+		}
+	}()
+}
+
+func (m *monitor) sample() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return
+	}
+	m.series["cpu"] = append(m.series["cpu"], sample{v: 1})
+}
+
+func (m *monitor) stop() {
+	m.mu.Lock()
+	already := m.stopped
+	m.stopped = true
+	m.mu.Unlock()
+	if already {
+		return
+	}
+	close(m.done)
+	m.wg.Wait()
+}

@@ -23,6 +23,7 @@ const directivePrefix = "beamvet:allow"
 
 type directive struct {
 	pos    token.Pos
+	end    token.Pos
 	file   string
 	line   int
 	check  string
@@ -50,7 +51,7 @@ func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]
 					continue
 				}
 				p := fset.Position(c.Pos())
-				d := &directive{pos: c.Pos(), file: p.Filename, line: p.Line}
+				d := &directive{pos: c.Pos(), end: c.End(), file: p.Filename, line: p.Line}
 				// A nested "//" ends the directive, so fixture files can
 				// carry `// want` expectations on the same comment.
 				rest, _, _ = strings.Cut(rest, "//")

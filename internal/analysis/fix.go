@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// A FileFix is the rewritten content of one file after applying
+// suggested fixes.
+type FileFix struct {
+	Filename string
+	// Orig is the content the edits were computed against.
+	Orig []byte
+	// Fixed is the content with every applied edit spliced in.
+	Fixed []byte
+}
+
+// ApplyResult reports what ApplyFixes did and could not do.
+type ApplyResult struct {
+	// Files holds one entry per changed file.
+	Files []FileFix
+	// Applied counts diagnostics whose fix was fully applied.
+	Applied int
+	// Unfixable holds diagnostics that carry no suggested fix.
+	Unfixable []Diagnostic
+	// Conflicted holds diagnostics whose fix overlapped an
+	// already-accepted edit and was therefore skipped; running -fix
+	// again after the first batch lands will pick them up.
+	Conflicted []Diagnostic
+}
+
+// ApplyFixes computes the result of applying the first suggested fix of
+// every diagnostic. It is pure: file contents are read through readFile
+// and the rewritten bytes are returned, never written — the caller
+// decides where they land (disk for beamvet -fix, memory for the
+// golden-fixture tests).
+//
+// Edits are accepted in diagnostic order; a fix any of whose edits
+// overlaps an already-accepted edit is skipped whole and reported in
+// Conflicted, so one -fix run never applies two repairs to the same
+// source range. Within one file, accepted edits are spliced
+// back-to-front so earlier offsets stay valid.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic, readFile func(string) ([]byte, error)) (*ApplyResult, error) {
+	if readFile == nil {
+		readFile = os.ReadFile
+	}
+	res := &ApplyResult{}
+
+	type edit struct {
+		start, end int
+		newText    []byte
+	}
+	perFile := make(map[string][]edit)
+	contents := make(map[string][]byte)
+
+	load := func(name string) ([]byte, error) {
+		if b, ok := contents[name]; ok {
+			return b, nil
+		}
+		b, err := readFile(name)
+		if err != nil {
+			return nil, err
+		}
+		contents[name] = b
+		return b, nil
+	}
+
+	overlaps := func(name string, start, end int) bool {
+		for _, e := range perFile[name] {
+			if start < e.end && e.start < end {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			res.Unfixable = append(res.Unfixable, d)
+			continue
+		}
+		fix := d.SuggestedFixes[0]
+		type resolved struct {
+			file       string
+			start, end int
+			newText    []byte
+		}
+		var batch []resolved
+		ok := true
+		for _, te := range fix.TextEdits {
+			tf := fset.File(te.Pos)
+			if tf == nil || fset.File(te.End) != tf || te.End < te.Pos {
+				return nil, fmt.Errorf("analysis: fix %q has an edit outside its file", fix.Message)
+			}
+			name := tf.Name()
+			content, err := load(name)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: applying fix %q: %v", fix.Message, err)
+			}
+			start, end := tf.Offset(te.Pos), tf.Offset(te.End)
+			if len(te.NewText) == 0 {
+				start, end = widenDeletion(content, start, end)
+			}
+			if overlaps(name, start, end) {
+				ok = false
+				break
+			}
+			// Edits within one fix must not overlap each other either.
+			for _, b := range batch {
+				if b.file == name && start < b.end && b.start < end {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+			batch = append(batch, resolved{file: name, start: start, end: end, newText: te.NewText})
+		}
+		if !ok {
+			res.Conflicted = append(res.Conflicted, d)
+			continue
+		}
+		for _, b := range batch {
+			perFile[b.file] = append(perFile[b.file], edit{start: b.start, end: b.end, newText: b.newText})
+		}
+		res.Applied++
+	}
+
+	names := make([]string, 0, len(perFile))
+	for name := range perFile {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		edits := perFile[name]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		fixed := append([]byte(nil), contents[name]...)
+		for _, e := range edits {
+			fixed = append(fixed[:e.start], append(append([]byte(nil), e.newText...), fixed[e.end:]...)...)
+		}
+		res.Files = append(res.Files, FileFix{Filename: name, Orig: contents[name], Fixed: fixed})
+	}
+	return res, nil
+}
+
+// widenDeletion extends a deletion over surrounding horizontal
+// whitespace and, when the deletion would leave its line blank, over
+// the whole line including its newline — so removing a stand-alone
+// directive comment removes its line, and removing a trailing comment
+// also removes the spaces that separated it from the code.
+func widenDeletion(content []byte, start, end int) (int, int) {
+	ws := start
+	for ws > 0 && (content[ws-1] == ' ' || content[ws-1] == '\t') {
+		ws--
+	}
+	lineStart := ws
+	for lineStart > 0 && content[lineStart-1] != '\n' {
+		lineStart--
+	}
+	restBlank := true
+	lineEnd := end
+	for lineEnd < len(content) && content[lineEnd] != '\n' {
+		if content[lineEnd] != ' ' && content[lineEnd] != '\t' {
+			restBlank = false
+		}
+		lineEnd++
+	}
+	if ws == lineStart && restBlank {
+		if lineEnd < len(content) {
+			lineEnd++ // swallow the newline: the whole line goes
+		}
+		return lineStart, lineEnd
+	}
+	return ws, end
+}
+
+// Fixable reports whether the diagnostic carries at least one
+// suggested fix.
+func Fixable(d Diagnostic) bool { return len(d.SuggestedFixes) > 0 }
+
+// WriteFixes writes every changed file in res back to disk.
+func WriteFixes(res *ApplyResult) error {
+	for _, f := range res.Files {
+		if bytes.Equal(f.Orig, f.Fixed) {
+			continue
+		}
+		info, err := os.Stat(f.Filename)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(f.Filename, f.Fixed, info.Mode().Perm()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

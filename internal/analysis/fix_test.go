@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// fixtureFile registers content under name in a fresh FileSet and
+// returns the set, the base Pos, and a readFile stub serving it.
+func fixtureFile(name, content string) (*token.FileSet, func(int) token.Pos, func(string) ([]byte, error)) {
+	fset := token.NewFileSet()
+	f := fset.AddFile(name, -1, len(content))
+	f.SetLinesForContent([]byte(content))
+	pos := func(offset int) token.Pos { return f.Pos(offset) }
+	read := func(n string) ([]byte, error) { return []byte(content), nil }
+	return fset, pos, read
+}
+
+func TestApplyFixesSplicesBackToFront(t *testing.T) {
+	src := "aaa bbb ccc\n"
+	fset, pos, read := fixtureFile("x.go", src)
+	diags := []Diagnostic{
+		{Pos: pos(0), Check: "c", Message: "first", SuggestedFixes: []SuggestedFix{{
+			Message:   "upcase aaa",
+			TextEdits: []TextEdit{{Pos: pos(0), End: pos(3), NewText: []byte("AAA")}},
+		}}},
+		{Pos: pos(8), Check: "c", Message: "second", SuggestedFixes: []SuggestedFix{{
+			Message:   "upcase ccc",
+			TextEdits: []TextEdit{{Pos: pos(8), End: pos(11), NewText: []byte("CCC")}},
+		}}},
+	}
+	res, err := ApplyFixes(fset, diags, read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 2 || len(res.Unfixable) != 0 || len(res.Conflicted) != 0 {
+		t.Fatalf("Applied=%d Unfixable=%d Conflicted=%d, want 2/0/0", res.Applied, len(res.Unfixable), len(res.Conflicted))
+	}
+	if got := string(res.Files[0].Fixed); got != "AAA bbb CCC\n" {
+		t.Errorf("fixed = %q, want %q", got, "AAA bbb CCC\n")
+	}
+}
+
+func TestApplyFixesSkipsOverlapsWhole(t *testing.T) {
+	src := "aaa bbb ccc\n"
+	fset, pos, read := fixtureFile("x.go", src)
+	diags := []Diagnostic{
+		{Pos: pos(0), Check: "c", Message: "wide", SuggestedFixes: []SuggestedFix{{
+			Message:   "rewrite everything",
+			TextEdits: []TextEdit{{Pos: pos(0), End: pos(7), NewText: []byte("ZZZ")}},
+		}}},
+		// Overlaps the first fix: skipped whole even though its second
+		// edit would have been disjoint.
+		{Pos: pos(4), Check: "c", Message: "narrow", SuggestedFixes: []SuggestedFix{{
+			Message: "two edits, one overlapping",
+			TextEdits: []TextEdit{
+				{Pos: pos(4), End: pos(7), NewText: []byte("BBB")},
+				{Pos: pos(8), End: pos(11), NewText: []byte("CCC")},
+			},
+		}}},
+		{Pos: pos(2), Check: "c", Message: "no fix"},
+	}
+	res, err := ApplyFixes(fset, diags, read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || len(res.Conflicted) != 1 || len(res.Unfixable) != 1 {
+		t.Fatalf("Applied=%d Conflicted=%d Unfixable=%d, want 1/1/1", res.Applied, len(res.Conflicted), len(res.Unfixable))
+	}
+	if got := string(res.Files[0].Fixed); got != "ZZZ ccc\n" {
+		t.Errorf("fixed = %q, want %q (the conflicted fix must contribute nothing)", got, "ZZZ ccc\n")
+	}
+}
+
+func TestApplyFixesDeletesWholeDirectiveLine(t *testing.T) {
+	src := "code()\n\t//beamvet:allow c stale\nmore()\n"
+	start := strings.Index(src, "//beamvet")
+	end := start + len("//beamvet:allow c stale")
+	fset, pos, read := fixtureFile("x.go", src)
+	diags := []Diagnostic{{Pos: pos(start), Check: "directive", Message: "unused", SuggestedFixes: []SuggestedFix{{
+		Message:   "delete the unused directive",
+		TextEdits: []TextEdit{{Pos: pos(start), End: pos(end)}},
+	}}}}
+	res, err := ApplyFixes(fset, diags, read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(res.Files[0].Fixed); got != "code()\nmore()\n" {
+		t.Errorf("fixed = %q, want the directive's whole line gone", got)
+	}
+}
+
+func TestWidenDeletion(t *testing.T) {
+	cases := []struct {
+		name       string
+		content    string
+		start, end int
+		wantCut    string // the substring the widened range removes
+	}{
+		{"standalone line", "a\n\t// x\nb\n", 3, 7, "\t// x\n"},
+		{"trailing comment keeps code", "code() // x\n", 7, 11, " // x"},
+		{"no surrounding space", "abc", 1, 2, "b"},
+	}
+	for _, c := range cases {
+		s, e := widenDeletion([]byte(c.content), c.start, c.end)
+		if got := c.content[s:e]; got != c.wantCut {
+			t.Errorf("%s: widenDeletion removes %q, want %q", c.name, got, c.wantCut)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// A Finding is one diagnostic in machine-readable form: the schema
+// behind `beamvet -json`, stable for CI tooling. File paths are
+// relative to the analyzed module root so reports diff cleanly across
+// checkouts.
+type Finding struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+	// Fixable reports whether `beamvet -fix` can repair this finding
+	// mechanically; Fix carries the repair's description when it can.
+	Fixable bool   `json:"fixable"`
+	Fix     string `json:"fix,omitempty"`
+}
+
+// Report is the top-level `beamvet -json` document.
+type Report struct {
+	// Tool and Version identify the producer ("beamvet", 2).
+	Tool    string `json:"tool"`
+	Version int    `json:"version"`
+	// Checks lists every analyzer that ran, findings or not, so a
+	// clean report still records what was checked.
+	Checks   []CheckInfo `json:"checks"`
+	Count    int         `json:"count"`
+	Findings []Finding   `json:"findings"`
+}
+
+// CheckInfo describes one analyzer in a Report.
+type CheckInfo struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
+// ReportVersion is the current -json schema version.
+const ReportVersion = 2
+
+// NewFinding converts a diagnostic to its report form, with the file
+// path relative to root when possible.
+func NewFinding(fset *token.FileSet, root string, d Diagnostic) Finding {
+	p := fset.Position(d.Pos)
+	file := p.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && filepath.IsLocal(rel) {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	f := Finding{
+		Check:   d.Check,
+		File:    file,
+		Line:    p.Line,
+		Column:  p.Column,
+		Message: d.Message,
+		Fixable: Fixable(d),
+	}
+	if f.Fixable {
+		f.Fix = d.SuggestedFixes[0].Message
+	}
+	return f
+}
+
+// NewReport assembles the -json document from findings and the
+// analyzer set that produced them.
+func NewReport(analyzers []*Analyzer, findings []Finding) *Report {
+	r := &Report{Tool: "beamvet", Version: ReportVersion, Count: len(findings), Findings: findings}
+	if r.Findings == nil {
+		r.Findings = []Finding{} // a clean run serializes as [], not null
+	}
+	for _, a := range analyzers {
+		r.Checks = append(r.Checks, CheckInfo{Name: a.Name, Doc: a.Doc})
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteSARIF writes the report as a minimal SARIF 2.1.0 document — the
+// format GitHub code scanning ingests, so beamvet findings can surface
+// as repository annotations without bespoke glue.
+func (r *Report) WriteSARIF(w io.Writer) error {
+	type sarifRule struct {
+		ID               string            `json:"id"`
+		ShortDescription map[string]string `json:"shortDescription"`
+	}
+	rules := make([]sarifRule, 0, len(r.Checks))
+	seen := make(map[string]bool)
+	for _, c := range r.Checks {
+		rules = append(rules, sarifRule{ID: c.Name, ShortDescription: map[string]string{"text": c.Doc}})
+		seen[c.Name] = true
+	}
+	// The directive pseudo-check has no Analyzer; synthesize its rule
+	// when a finding references it.
+	extra := make(map[string]bool)
+	for _, f := range r.Findings {
+		if !seen[f.Check] && !extra[f.Check] {
+			extra[f.Check] = true
+		}
+	}
+	extraNames := make([]string, 0, len(extra))
+	for name := range extra {
+		extraNames = append(extraNames, name)
+	}
+	sort.Strings(extraNames)
+	for _, name := range extraNames {
+		rules = append(rules, sarifRule{ID: name, ShortDescription: map[string]string{"text": "beamvet " + name + " check"}})
+	}
+
+	results := make([]map[string]any, 0, len(r.Findings))
+	for _, f := range r.Findings {
+		results = append(results, map[string]any{
+			"ruleId":  f.Check,
+			"level":   "error",
+			"message": map[string]any{"text": f.Message},
+			"locations": []map[string]any{{
+				"physicalLocation": map[string]any{
+					"artifactLocation": map[string]any{"uri": f.File},
+					"region":           map[string]any{"startLine": f.Line, "startColumn": f.Column},
+				},
+			}},
+		})
+	}
+
+	doc := map[string]any{
+		"$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+		"version": "2.1.0",
+		"runs": []map[string]any{{
+			"tool": map[string]any{"driver": map[string]any{
+				"name":           "beamvet",
+				"informationUri": "https://github.com/beambench/beambench/tree/main/internal/analysis",
+				"rules":          rules,
+			}},
+			"results": results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func reportFixture() (*Report, []*Analyzer) {
+	analyzers := []*Analyzer{
+		{Name: "locksafe", Doc: "lock discipline"},
+		{Name: "hotalloc", Doc: "per-record allocation"},
+	}
+	fset := token.NewFileSet()
+	f := fset.AddFile("/root/mod/internal/x/x.go", -1, 100)
+	f.SetLinesForContent(make([]byte, 100))
+	d := Diagnostic{
+		Pos:     f.Pos(10),
+		Check:   "locksafe",
+		Message: "field x.y unguarded",
+		SuggestedFixes: []SuggestedFix{{
+			Message:   "lock it",
+			TextEdits: []TextEdit{{Pos: f.Pos(10), End: f.Pos(11)}},
+		}},
+	}
+	findings := []Finding{NewFinding(fset, "/root/mod", d)}
+	return NewReport(analyzers, findings), analyzers
+}
+
+func TestReportJSON(t *testing.T) {
+	r, _ := reportFixture()
+	var buf strings.Builder
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal([]byte(buf.String()), &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if got.Tool != "beamvet" || got.Version != ReportVersion || got.Count != 1 {
+		t.Errorf("header = %q v%d count=%d, want beamvet v%d count=1", got.Tool, got.Version, got.Count, ReportVersion)
+	}
+	f := got.Findings[0]
+	if f.File != "internal/x/x.go" {
+		t.Errorf("file = %q, want module-relative internal/x/x.go", f.File)
+	}
+	if !f.Fixable || f.Fix != "lock it" {
+		t.Errorf("fixable=%v fix=%q, want the suggested fix surfaced", f.Fixable, f.Fix)
+	}
+	if len(got.Checks) != 2 {
+		t.Errorf("checks = %d entries, want every analyzer recorded", len(got.Checks))
+	}
+}
+
+func TestReportJSONCleanRunSerializesEmptyArray(t *testing.T) {
+	r := NewReport(nil, nil)
+	var buf strings.Builder
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"findings": null`) {
+		t.Errorf("clean report serializes findings as null:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"findings": []`) {
+		t.Errorf("clean report missing empty findings array:\n%s", buf.String())
+	}
+}
+
+func TestReportSARIF(t *testing.T) {
+	r, _ := reportFixture()
+	// A pseudo-check finding with no backing Analyzer must synthesize
+	// its rule.
+	r.Findings = append(r.Findings, Finding{Check: "directive", File: "a.go", Line: 1, Column: 1, Message: "unused"})
+	r.Count = len(r.Findings)
+	var buf strings.Builder
+	if err := r.WriteSARIF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatalf("SARIF is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d, want 2.1.0 with one run", doc.Version, len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "beamvet" {
+		t.Errorf("driver = %q, want beamvet", run.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, want := range []string{"locksafe", "hotalloc", "directive"} {
+		if !ruleIDs[want] {
+			t.Errorf("rules missing %q (have %v)", want, ruleIDs)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Errorf("results = %d, want one per finding", len(run.Results))
+	}
+	for _, res := range run.Results {
+		if !ruleIDs[res.RuleID] {
+			t.Errorf("result rule %q has no rule entry", res.RuleID)
+		}
+	}
+}

@@ -56,11 +56,17 @@ func RunPackage(pkg *load.Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		case dir.bad != "":
 			kept = append(kept, Diagnostic{Pos: dir.pos, Check: DirectiveCheck, Message: dir.bad})
 		case !dir.used:
+			// Deleting a stale directive is mechanical and always safe:
+			// nothing it could suppress exists. beamvet -fix removes it.
 			kept = append(kept, Diagnostic{
 				Pos:   dir.pos,
 				Check: DirectiveCheck,
 				Message: fmt.Sprintf("unused beamvet:allow %s directive (nothing on this or the next line trips the check; delete it)",
 					dir.check),
+				SuggestedFixes: []SuggestedFix{{
+					Message:   "delete the unused directive",
+					TextEdits: []TextEdit{{Pos: dir.pos, End: dir.end}},
+				}},
 			})
 		}
 	}

@@ -204,6 +204,10 @@ func (g *GBKState) Process(rec []byte, emit func([]byte) error) error {
 		if err != nil {
 			return fmt.Errorf("graphx: GroupByKey event time: %w", err)
 		}
+		// The per-record update closure is the price of the generic
+		// timer-state API; combiner lifting (ROADMAP) folds the
+		// accumulation into the state itself.
+		//beamvet:allow hotalloc the grouped-state update closure is the generic timer-state API until combiner lifting lands
 		g.state.Upsert(et, ks, func(acc *windowAcc) {
 			acc.key = kv.Key
 			acc.values = append(acc.values, kv.Value)

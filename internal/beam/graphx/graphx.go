@@ -216,6 +216,10 @@ func (f *FusedFn) process(i int, ctx beam.Context, elem any, emit beam.Emitter) 
 	if i == len(f.fns) {
 		return emit(elem)
 	}
+	// The per-stage emitter closure IS the fusion mechanism — the
+	// abstraction cost this benchmark exists to measure. Removing it
+	// would remove the thing under test.
+	//beamvet:allow hotalloc the chained emitter closure is the fused-stage hand-off under measurement
 	return f.fns[i].ProcessElement(ctx, elem, func(out any) error {
 		return f.process(i+1, ctx, out, emit)
 	})

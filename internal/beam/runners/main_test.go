@@ -1,0 +1,14 @@
+package runners_test
+
+import (
+	"testing"
+
+	"beambench/internal/goleak"
+)
+
+// TestMain gates the package on goroutine hygiene: a runner matrix run
+// spins up engine clusters, brokers, and monitors per cell, and a cell
+// that leaks a goroutine would skew every cell measured after it.
+func TestMain(m *testing.M) {
+	goleak.VerifyTestMain(m)
+}

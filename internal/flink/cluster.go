@@ -145,7 +145,7 @@ type taskManager struct {
 
 func newJobManager(tms, slotsPer int) *jobManager {
 	jm := &jobManager{tms: make([]*taskManager, tms)}
-	for i := range jm.tms {
+	for i := range jm.tms { //beamvet:allow locksafe constructor-time writes before the jobManager escapes
 		jm.tms[i] = &taskManager{id: i, total: slotsPer}
 	}
 	return jm

@@ -148,6 +148,10 @@ func (ds *DataStream) AggWindow(name string, cfg WindowConfig) *DataStream {
 					return fmt.Errorf("flink: %s value: %w", name, err)
 				}
 			}
+			// Same shape as the apex/spark window operators: the string
+			// hop and update closure are the generic pane API until
+			// combiner lifting lands (ROADMAP: zero-alloc record path).
+			//beamvet:allow hotalloc pane state keys by string and updates through the generic accumulator closure until combiner lifting lands
 			state.Upsert(et, string(key), func(acc *watermark.NumAcc) { acc.Add(v) })
 			return nil
 		}

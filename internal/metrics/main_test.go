@@ -1,0 +1,14 @@
+package metrics
+
+import (
+	"testing"
+
+	"beambench/internal/goleak"
+)
+
+// TestMain gates the package on goroutine hygiene: collector stages and
+// throughput markers are banged on from worker goroutines in the tests,
+// and none of them may outlive its test.
+func TestMain(m *testing.M) {
+	goleak.VerifyTestMain(m)
+}

@@ -35,7 +35,7 @@ func (ssc *StreamingContext) RunBounded() (StreamingMetrics, error) {
 		for _, in := range ssc.inputs {
 			parts, more, err := in.input.nextBatch(batchID)
 			if err != nil {
-				return ssc.metrics, fmt.Errorf("spark: batch %d input: %w", batchID, err)
+				return ssc.snapshotMetrics(), fmt.Errorf("spark: batch %d input: %w", batchID, err)
 			}
 			batch[in] = parts
 			n += countRecords(parts)
@@ -48,10 +48,10 @@ func (ssc *StreamingContext) RunBounded() (StreamingMetrics, error) {
 				// final pass.
 				if ssc.hasStatefulStage() {
 					if err := ssc.runFlushBatch(batchID, driver); err != nil {
-						return ssc.metrics, err
+						return ssc.snapshotMetrics(), err
 					}
 				}
-				return ssc.metrics, nil
+				return ssc.snapshotMetrics(), nil
 			}
 			// Idle batch: the bounded source claims more data is coming
 			// (e.g. a concurrent producer); yield briefly.
@@ -59,7 +59,7 @@ func (ssc *StreamingContext) RunBounded() (StreamingMetrics, error) {
 			continue
 		}
 		if err := ssc.runBatch(batchID, batch, driver); err != nil {
-			return ssc.metrics, err
+			return ssc.snapshotMetrics(), err
 		}
 	}
 }
@@ -129,7 +129,7 @@ func (ssc *StreamingContext) Start() error {
 // and returns the metrics and any batch error.
 func (ssc *StreamingContext) Stop() (StreamingMetrics, error) {
 	if ssc.state != stateRunning || ssc.stopCh == nil {
-		return ssc.metrics, fmt.Errorf("%w: not running", ErrContextState)
+		return ssc.snapshotMetrics(), fmt.Errorf("%w: not running", ErrContextState)
 	}
 	close(ssc.stopCh)
 	<-ssc.doneCh
@@ -137,6 +137,17 @@ func (ssc *StreamingContext) Stop() (StreamingMetrics, error) {
 	ssc.mu.Lock()
 	defer ssc.mu.Unlock()
 	return ssc.metrics, ssc.runErr
+}
+
+// snapshotMetrics reads the metrics under the lock. The driver paths
+// that call it are sequential points (between batches, or before the
+// scheduler starts), but batch workers update the counters
+// concurrently during a batch, so every read pays for the lock rather
+// than reasoning per call site about which phase it runs in.
+func (ssc *StreamingContext) snapshotMetrics() StreamingMetrics {
+	ssc.mu.Lock()
+	defer ssc.mu.Unlock()
+	return ssc.metrics
 }
 
 func (ssc *StreamingContext) schedulerLoop() {
