@@ -22,6 +22,15 @@
 //	beambench -query windowedcount -ingest stream -trace trace.json  # Chrome trace (Perfetto)
 //	beambench -trace-summary trace.json  # top stages by wall time + peak lag, offline
 //	beambench -figure 6 -workers 1 -cpuprofile prof/ -memprofile prof/  # pprof per cell
+//	beambench -all -serve :9090          # live /metrics, /snapshot, /debug/pprof during the run
+//	beambench -watch localhost:9090      # in-flight dashboard against a -serve instance
+//
+// -serve starts the live telemetry plane for the duration of the run:
+// /metrics speaks OpenMetrics text (scrapeable by Prometheus),
+// /snapshot returns the versioned JSON view the -watch dashboard
+// renders, and /debug/pprof exposes the standard profiles. The plane is
+// pull-based — nothing is sampled unless something scrapes — so it adds
+// no goroutines and no per-record work to the benchmark itself.
 //
 // -trace records run-level spans (sender, cluster launch, per-stage
 // execution, result calculation), per-partition consumer-lag and
@@ -68,6 +77,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"beambench/internal/beam"
 	"beambench/internal/harness"
@@ -112,6 +122,10 @@ func run(args []string, out io.Writer) error {
 		gaugeEvery   = fs.Duration("gauge-interval", 0, "lag-gauge sampling cadence for -trace (default 50ms)")
 		cpuProfile   = fs.String("cpuprofile", "", "write one pprof CPU profile per matrix cell into this directory (requires -workers 1)")
 		memProfile   = fs.String("memprofile", "", "write one pprof heap profile per matrix cell into this directory")
+
+		serveAddr     = fs.String("serve", "", "serve live telemetry on this address during the run: /metrics (OpenMetrics), /snapshot (JSON), /debug/pprof (e.g. :9090)")
+		watchURL      = fs.String("watch", "", "watch a running beambench -serve instance at this URL (or host:port) and exit when its matrix completes")
+		watchInterval = fs.Duration("watch-interval", 500*time.Millisecond, "refresh cadence for -watch")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -132,6 +146,9 @@ func run(args []string, out io.Writer) error {
 		default:
 			return fmt.Errorf("unknown -print target %q", *printArg)
 		}
+	}
+	if *watchURL != "" {
+		return runWatch(*watchURL, *watchInterval, out)
 	}
 	if *traceSummary != "" {
 		f, err := os.Open(*traceSummary)
@@ -181,6 +198,10 @@ func run(args []string, out io.Writer) error {
 	if *tracePath != "" {
 		tracer = obs.NewTracer(_traceRingCapacity)
 	}
+	var plane *obs.Plane
+	if *serveAddr != "" {
+		plane = obs.NewPlane(*records, *runs)
+	}
 	cfg := harness.Config{
 		Records:           *records,
 		Runs:              *runs,
@@ -191,6 +212,7 @@ func run(args []string, out io.Writer) error {
 		RateRecordsPerSec: *rate,
 		Workers:           *workers,
 		CollectMetrics:    *latency,
+		Plane:             plane,
 		Trace:             tracer,
 		GaugeInterval:     *gaugeEvery,
 		CPUProfileDir:     *cpuProfile,
@@ -212,6 +234,14 @@ func run(args []string, out io.Writer) error {
 	qs, err := selectQueries(*figure, *table, *all, *queryArg)
 	if err != nil {
 		return err
+	}
+	if plane != nil {
+		srv, err := plane.Serve(*serveAddr)
+		if err != nil {
+			return fmt.Errorf("-serve %s: %w", *serveAddr, err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "  serving live telemetry on %s (/metrics /snapshot /debug/pprof)\n", srv.URL())
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "benchmarking %d records x %d runs x %d queries x 12 setups (%d workers, ingest=%s)\n",

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"beambench/internal/obs"
+)
+
+// ansiClear clears the terminal and homes the cursor between frames.
+const ansiClear = "\x1b[H\x1b[2J"
+
+// watchState carries the previous frame's counters so a frame can show
+// rates (delta over wall time) and a lag trend per cell.
+type watchState struct {
+	uptimeSec float64
+	in        map[string]int64
+	out       map[string]int64
+	lag       map[string]int64
+}
+
+// runWatch polls url's /snapshot endpoint and redraws a dashboard until
+// the matrix has no pending or running cells left.
+func runWatch(url string, interval time.Duration, out io.Writer) error {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/")
+	tr := &http.Transport{}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Transport: tr, Timeout: 10 * time.Second}
+
+	var prev *watchState
+	for {
+		snap, err := fetchSnapshot(client, url+"/snapshot")
+		if err != nil {
+			// A -serve instance tears the server down right after its
+			// matrix completes; losing the connection after frames were
+			// rendered means the run ended between polls, not a failure.
+			if prev != nil {
+				fmt.Fprintf(out, "\nconnection lost — the benchmark finished or the server stopped (%v)\n", err)
+				return nil
+			}
+			return err
+		}
+		frame, next := renderFrame(snap, prev)
+		fmt.Fprint(out, ansiClear+frame)
+		prev = next
+		if snap.Progress.Total > 0 && snap.Progress.Pending == 0 && snap.Progress.Running == 0 {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+func fetchSnapshot(client *http.Client, url string) (*obs.Snapshot, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("GET %s: %w", url, err)
+	}
+	if snap.Schema != obs.SnapshotSchemaVersion {
+		return nil, fmt.Errorf("snapshot schema %d, this binary speaks %d", snap.Schema, obs.SnapshotSchemaVersion)
+	}
+	return &snap, nil
+}
+
+// renderFrame formats one dashboard frame and returns the state the
+// next frame diffs against. Pure: no I/O, no clock — rates come from
+// the snapshots' own uptime delta, which keeps the renderer testable.
+func renderFrame(snap *obs.Snapshot, prev *watchState) (string, *watchState) {
+	next := &watchState{
+		uptimeSec: snap.UptimeSec,
+		in:        make(map[string]int64, len(snap.Cells)),
+		out:       make(map[string]int64, len(snap.Cells)),
+		lag:       make(map[string]int64, len(snap.Cells)),
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "beambench live — %d records x %d runs — uptime %.1fs\n",
+		snap.Records, snap.Runs, snap.UptimeSec)
+	p := snap.Progress
+	fmt.Fprintf(&sb, "cells: %d running, %d done, %d pending, %d skipped, %d failed (total %d)\n\n",
+		p.Running, p.Done, p.Pending, p.Skipped, p.Failed, p.Total)
+
+	dt := 0.0
+	if prev != nil {
+		dt = snap.UptimeSec - prev.uptimeSec
+	}
+
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "CELL\tSTATE\tRUNS\tIN\tOUT\tINGEST/s\tDRAIN/s\tLAG\tWM LAG\tp99")
+	for _, c := range snap.Cells {
+		totalLag := int64(0)
+		for _, l := range c.ConsumerLag {
+			totalLag += l.Lag
+		}
+		next.in[c.Key] = c.InputRecords
+		next.out[c.Key] = c.OutputRecords
+		next.lag[c.Key] = totalLag
+
+		ingest, drain := "-", "-"
+		if prev != nil && dt > 0 && c.State == obs.CellRunning {
+			if pin, ok := prev.in[c.Key]; ok && c.InputRecords >= pin {
+				ingest = fmt.Sprintf("%.0f", float64(c.InputRecords-pin)/dt)
+			}
+			if pout, ok := prev.out[c.Key]; ok && c.OutputRecords >= pout {
+				drain = fmt.Sprintf("%.0f", float64(c.OutputRecords-pout)/dt)
+			}
+		}
+		lag := "-"
+		if c.State == obs.CellRunning {
+			lag = fmt.Sprintf("%d%s", totalLag, trendMark(prev, c.Key, totalLag))
+		}
+		wmLag := "-"
+		if n := len(c.WatermarkLag); n > 0 {
+			maxLag := 0.0
+			for _, w := range c.WatermarkLag {
+				if w.LagSec > maxLag {
+					maxLag = w.LagSec
+				}
+			}
+			wmLag = fmt.Sprintf("%.2fs", maxLag)
+		}
+		p99 := "-"
+		if c.Latency != nil {
+			p99 = fmt.Sprintf("%.3fs", c.Latency.P99)
+		}
+		state := string(c.State)
+		if c.State == obs.CellSkipped && c.SkipReason != "" {
+			state = "skipped*"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d/%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
+			c.Key, state, c.RunsDone, snap.Runs, c.InputRecords, c.OutputRecords,
+			ingest, drain, lag, wmLag, p99)
+	}
+	tw.Flush()
+
+	// Skip reasons, deduplicated, below the table.
+	reasons := map[string]bool{}
+	for _, c := range snap.Cells {
+		if c.State == obs.CellSkipped && c.SkipReason != "" {
+			reasons[c.SkipReason] = true
+		}
+	}
+	if len(reasons) > 0 {
+		keys := make([]string, 0, len(reasons))
+		for r := range reasons {
+			keys = append(keys, r)
+		}
+		sort.Strings(keys)
+		sb.WriteString("\n* skipped: " + strings.Join(keys, "; ") + "\n")
+	}
+	return sb.String(), next
+}
+
+// trendMark annotates a running cell's consumer lag with its direction
+// since the previous frame.
+func trendMark(prev *watchState, key string, lag int64) string {
+	if prev == nil {
+		return ""
+	}
+	before, ok := prev.lag[key]
+	if !ok {
+		return ""
+	}
+	switch {
+	case lag > before:
+		return "+"
+	case lag < before:
+		return "-"
+	default:
+		return "="
+	}
+}

@@ -1,0 +1,105 @@
+// Command benchdiff compares two beambench report JSONs and flags
+// regressions: per-record execution time, latency quantiles, output
+// counts and the skip set. It is the CI tripwire that keeps committed
+// baselines honest:
+//
+//	benchdiff [-threshold 0.25] [-latency-threshold 0.5] [-floor 1us] \
+//	          [-json] BASELINE.json CANDIDATE.json
+//
+// Exit status: 0 when the candidate is within thresholds, 1 when a
+// regression (or a correctness drift: output count change, new skip,
+// missing cell) was found, 2 on operational errors (unreadable or
+// malformed inputs).
+//
+// Per-record time is compared as meanSec/records, which normalizes
+// baselines and candidates recorded at different workload sizes.
+// Improvements are reported but never fail the comparison; regressions
+// smaller than -floor (in absolute per-record seconds) are ignored so
+// noise on near-zero cells cannot trip the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"beambench/internal/harness"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		threshold    = fs.Float64("threshold", 0.25, "max allowed relative per-record time regression (0.25 = +25%)")
+		latThreshold = fs.Float64("latency-threshold", 0.50, "max allowed relative p50/p99 latency regression")
+		floor        = fs.Duration("floor", time.Microsecond, "ignore per-record time regressions smaller than this absolute delta")
+		jsonOut      = fs.Bool("json", false, "emit the comparison as JSON instead of a table")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchdiff [flags] BASELINE.json CANDIDATE.json\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	if *threshold < 0 || *latThreshold < 0 || *floor < 0 {
+		fmt.Fprintln(stderr, "benchdiff: thresholds must be non-negative")
+		return 2
+	}
+
+	base, err := readReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	cand, err := readReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+
+	diff := Compare(base, cand, Thresholds{
+		PerRecord:      *threshold,
+		Latency:        *latThreshold,
+		PerRecordFloor: floor.Seconds(),
+	})
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diff); err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+	} else {
+		diff.WriteTable(stdout)
+	}
+	if diff.Regressed() {
+		return 1
+	}
+	return 0
+}
+
+func readReport(path string) (*harness.ReportJSON, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := harness.ParseReportJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}

@@ -43,14 +43,17 @@ import (
 )
 
 // Scope covers the code records flow through: the three engine
-// runtimes, the beam SDK (coders, graphx, runners), and the metrics
-// hot hooks.
+// runtimes, the beam SDK (coders, graphx, runners), the metrics hot
+// hooks, and the obs layer (its gauge setters and snapshot readers sit
+// next to per-record marking; scrape-path allocations must be
+// deliberate and annotated).
 var Scope = []string{
 	"internal/flink",
 	"internal/spark",
 	"internal/apex",
 	"internal/beam",
 	"internal/metrics",
+	"internal/obs",
 	"/testdata/",
 }
 

@@ -7,7 +7,7 @@ import (
 )
 
 func TestHotalloc(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), Analyzer, "a", "allowed", "fixable")
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "a", "allowed", "fixable", "scrape")
 }
 
 // TestFixGolden pins the exact bytes beamvet -fix produces for the

@@ -1,0 +1,62 @@
+// Package scrape is a hotalloc fixture shaped like the obs snapshot
+// reader: a gauge registry marked on per-record paths next to a
+// pull-based scrape path whose allocations are the product (a fresh
+// snapshot per scrape) and carry //beamvet:allow annotations.
+package scrape
+
+import "fmt"
+
+type gauge struct {
+	name string
+	v    int64
+}
+
+type registry struct {
+	gauges []*gauge
+	names  map[string]int
+}
+
+// Mark is the per-record entry point: the record hook must stay
+// allocation-free.
+func (r *registry) Mark(rec []byte, g *gauge) {
+	g.v++
+	if r.names[string(rec)] > 0 { // map index is compiler-optimized: no diagnostic
+		g.v++
+	}
+	r.label(rec, g)
+}
+
+// label is hot because Mark reaches it through the call graph.
+func (r *registry) label(rec []byte, g *gauge) {
+	key := string(rec) // want `\[\]byte->string conversion allocates and copies on a per-record path`
+	if key == g.name {
+		g.name = fmt.Sprintf("%s!", key) // want `fmt.Sprintf formats through reflection on a per-record path`
+	}
+}
+
+type sample struct {
+	name string
+	v    int64
+}
+
+// Process drives a scrape from a per-record context (the fixture's
+// worst case); the snapshot copies are deliberate and annotated.
+func (r *registry) Process(rec []byte, emit func([]byte) error) error {
+	out := r.snapshot()
+	if len(out) == 0 {
+		return nil
+	}
+	return emit(rec)
+}
+
+// snapshot materializes one consistent view per scrape. Copying is the
+// contract — the caller must not alias live gauges — so every
+// allocation carries its rationale.
+func (r *registry) snapshot() []sample {
+	out := make([]sample, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		//beamvet:allow hotalloc the sample copies the gauge name so the snapshot does not alias live registry state
+		out = append(out, sample{name: string([]byte(g.name)), v: g.v})
+	}
+	return out
+}

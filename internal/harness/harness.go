@@ -270,6 +270,16 @@ type Config struct {
 	// (consumer lag per partition, watermark lag per operator, stage
 	// rates). Defaults to 50ms. Only meaningful with Trace set.
 	GaugeInterval time.Duration
+	// Plane, if set, is the live telemetry plane: the harness registers
+	// every matrix cell on it (pending -> running -> done/skipped/failed)
+	// and attaches each run's live sources — the cell's metrics
+	// collector, the run's watermark gauges, and per-partition consumer
+	// lag read straight from the run's broker — so an exposition server
+	// (obs.Plane.Serve, beambench -serve) can snapshot the matrix while
+	// it executes. All plane reads are pull-based at scrape cadence;
+	// nothing is added to the per-record path. nil disables registration
+	// at zero cost (see internal/obs).
+	Plane *obs.Plane
 	// CPUProfileDir, if set, writes one pprof CPU profile per matrix
 	// cell (cpu_<cell>.pprof) into the directory. CPU profiling is
 	// process-global, so it requires Workers <= 1.
@@ -453,7 +463,15 @@ func (r *Runner) runSingle(ctx context.Context, setup Setup, runIdx int) (RunRes
 
 	// Each run traces under its own scope, so the per-run tracks and
 	// gauges of concurrent cells never collide in the shared ring.
-	tr := r.cfg.Trace.Scoped(cellKey(setup) + "/run" + strconv.Itoa(runIdx))
+	traced := r.cfg.Trace.Scoped(cellKey(setup) + "/run" + strconv.Itoa(runIdx))
+	tr := traced
+	if tr == nil && r.cfg.Plane != nil {
+		// Plane without -trace: the engines still need a gauge registry
+		// for live watermark lag, so the run gets a private single-slot
+		// tracer — gauges are real, span events overwrite one ring slot
+		// and are never exported.
+		tr = obs.NewTracer(1)
+	}
 	runSpan := tr.Span("harness", "run")
 	defer runSpan.End()
 
@@ -487,10 +505,24 @@ func (r *Runner) runSingle(ctx context.Context, setup Setup, runIdx int) (RunRes
 	// both.
 	col := r.metrics.Collector(cellKey(setup))
 
+	// The live plane (if any) sees the run's sources for pull-based
+	// scraping; EndRun detaches the broker-backed ones when the run
+	// finishes, keeping the final topic offsets.
+	lc := r.cfg.Plane.Cell(cellKey(setup))
+	lc.StartRun(obs.CellSources{
+		Collector:   col,
+		Tracer:      tr,
+		ConsumerLag: consumerLagSamples(b),
+		TopicEnds:   topicEnds(b),
+	})
+	defer lc.EndRun()
+
 	// The lag monitor samples broker and telemetry state on a ticker
 	// for the whole run: per-partition consumer lag, per-stage rates,
 	// and (via the tracer's gauge registry) per-operator watermark lag.
-	mon := obs.NewMonitor(tr, r.cfg.GaugeInterval)
+	// It is tied to the real tracer — a plane-only run is scraped on
+	// demand instead of sampled, so no ticker goroutine spins for it.
+	mon := obs.NewMonitor(traced, r.cfg.GaugeInterval)
 	mon.SampleEach(consumerLagSampler(b))
 	if col != nil {
 		mon.SampleEach(stageRateSampler(col))
@@ -624,6 +656,50 @@ func consumerLagSampler(b *broker.Broker) obs.MultiSampler {
 				yield("consumer-lag/"+topic+"/p"+strconv.Itoa(p), lag)
 			}
 		}
+	}
+}
+
+// consumerLagSamples is the plane's structured variant of
+// consumerLagSampler: per-partition lag for both benchmark topics,
+// scraped on demand by the exposition server. A topic torn down
+// mid-run yields no samples.
+func consumerLagSamples(b *broker.Broker) func() []obs.LagSample {
+	return func() []obs.LagSample {
+		var out []obs.LagSample
+		for _, topic := range []string{inputTopic, outputTopic} {
+			ends, err := b.EndOffsets(topic)
+			if err != nil {
+				continue
+			}
+			consumed, err := b.ConsumedOffsets(topic)
+			if err != nil {
+				continue
+			}
+			for p := range ends {
+				lag := ends[p] - consumed[p]
+				if lag < 0 {
+					lag = 0
+				}
+				out = append(out, obs.LagSample{Topic: topic, Partition: p, Lag: lag})
+			}
+		}
+		return out
+	}
+}
+
+// topicEnds reports the benchmark topics' record counts for the
+// plane's ingest-vs-drain view; ok=false once a topic is gone.
+func topicEnds(b *broker.Broker) func() (int64, int64, bool) {
+	return func() (int64, int64, bool) {
+		in, err := b.RecordCount(inputTopic)
+		if err != nil {
+			return 0, 0, false
+		}
+		out, err := b.RecordCount(outputTopic)
+		if err != nil {
+			return 0, 0, false
+		}
+		return in, out, true
 	}
 }
 
@@ -761,9 +837,11 @@ func (r *Runner) runCell(ctx context.Context, setup Setup) ([]RunResult, error) 
 }
 
 func (r *Runner) runCellRuns(ctx context.Context, setup Setup) ([]RunResult, error) {
+	lc := r.cfg.Plane.Cell(cellKey(setup))
 	out := make([]RunResult, 0, r.cfg.Runs)
 	for run := range r.cfg.Runs {
 		if err := ctx.Err(); err != nil {
+			lc.Finish(obs.CellFailed, err.Error())
 			return out, err
 		}
 		res, err := r.runSingle(ctx, setup, run)
@@ -775,19 +853,24 @@ func (r *Runner) runCellRuns(ctx context.Context, setup Setup) ([]RunResult, err
 			// Translation is deterministic, so only run 0 can see it.
 			if run == 0 && errors.Is(err, beam.ErrUnsupported) {
 				r.progress(fmt.Sprintf("%-22s skipped (unsupported)", setup.Label()+" "+setup.Query.String()))
+				lc.Finish(obs.CellSkipped, err.Error())
 				return []RunResult{{Setup: setup, Skipped: true, SkipReason: err.Error()}}, nil
 			}
+			lc.Finish(obs.CellFailed, err.Error())
 			return out, err
 		}
 		if len(out) > 0 && res.OutputRecords != out[0].OutputRecords && setup.Query != queries.Sample {
 			out = append(out, res)
-			return out, fmt.Errorf(
+			err := fmt.Errorf(
 				"harness: nondeterministic output for %s %s: run %d produced %d records, run 0 produced %d",
 				setup.Label(), setup.Query, run, res.OutputRecords, out[0].OutputRecords)
+			lc.Finish(obs.CellFailed, err.Error())
+			return out, err
 		}
 		out = append(out, res)
 	}
 	r.progress(fmt.Sprintf("%-22s %d runs done", setup.Label()+" "+setup.Query.String(), r.cfg.Runs))
+	lc.Finish(obs.CellDone, "")
 	return out, nil
 }
 
@@ -820,6 +903,20 @@ func (r *Runner) RunQuery(q queries.Query) ([]RunResult, error) {
 	return out, nil
 }
 
+// expectCells pre-registers the given setups on the live plane in
+// order, so the dashboard shows the whole matrix as pending before the
+// first cell starts. A nil plane makes this a no-op.
+func (r *Runner) expectCells(setups []Setup) {
+	if r.cfg.Plane == nil {
+		return
+	}
+	keys := make([]string, len(setups))
+	for i, s := range setups {
+		keys[i] = cellKey(s)
+	}
+	r.cfg.Plane.Expect(keys)
+}
+
 // RunAll runs every query's matrix and aggregates the report, fanning
 // cells out over Config.Workers goroutines when more than one is
 // configured. On error it returns the report built from every completed
@@ -828,6 +925,7 @@ func (r *Runner) RunAll() (*Report, error) {
 	if r.cfg.Workers > 1 {
 		return r.RunAllParallel(context.Background(), r.cfg.Workers)
 	}
+	r.expectCells(r.MatrixSetups(queries.All()))
 	var all []RunResult
 	var runErr error
 	for _, q := range queries.All() {

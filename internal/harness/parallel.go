@@ -57,6 +57,7 @@ func (r *Runner) RunMatrix(ctx context.Context, qs []queries.Query, workers int)
 		ctx = context.Background()
 	}
 	setups := r.MatrixSetups(qs)
+	r.expectCells(setups)
 	if workers <= 0 {
 		workers = r.cfg.Workers
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"beambench/internal/metrics"
@@ -392,8 +393,12 @@ func FormatTableII(records, grepHits int) string {
 	return sb.String()
 }
 
-// jsonCell is the serialized form of a cell.
-type jsonCell struct {
+// CellJSON is the serialized form of a cell — the stable schema
+// cmd/benchdiff and the committed BENCH_* baselines consume. Cells are
+// written in canonical matrix order with stage and gauge lists sorted
+// by name, so two reports of the same configuration differ only where
+// the numbers differ and baselines diff cleanly under git.
+type CellJSON struct {
 	System              string                  `json:"system"`
 	API                 string                  `json:"api"`
 	Query               string                  `json:"query"`
@@ -410,19 +415,54 @@ type jsonCell struct {
 	SkipReason          string                  `json:"skipReason,omitempty"`
 }
 
-type jsonReport struct {
+// Key renders the cell's benchmark-matrix identity, matching the
+// harness's internal cell key ("Flink Beam P2 WindowedCount").
+func (c *CellJSON) Key() string {
+	if c.API == APIBeam.String() {
+		return fmt.Sprintf("%s Beam P%d %s", c.System, c.Parallelism, c.Query)
+	}
+	return fmt.Sprintf("%s P%d %s", c.System, c.Parallelism, c.Query)
+}
+
+// ReportJSON is the serialized report.
+type ReportJSON struct {
 	Records           int        `json:"records"`
 	Runs              int        `json:"runs"`
 	Parallelisms      []int      `json:"parallelisms"`
 	Fusion            string     `json:"fusion"`
 	Ingest            string     `json:"ingest"`
 	RateRecordsPerSec int        `json:"rateRecordsPerSec,omitempty"`
-	Cells             []jsonCell `json:"cells"`
+	Cells             []CellJSON `json:"cells"`
 }
 
-// WriteJSON serializes the report for downstream tooling.
-func (rep *Report) WriteJSON(w io.Writer) error {
-	out := jsonReport{
+// Write serializes with the report encoder settings (two-space
+// indent); WriteJSON and the round-trip property both go through here,
+// so a parsed report re-serializes byte-identically.
+func (rj *ReportJSON) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rj)
+}
+
+// ParseReportJSON decodes a report previously written by WriteJSON —
+// the entry point of cmd/benchdiff. Unknown fields are rejected so a
+// schema drift between a baseline and the binary comparing it fails
+// loudly instead of silently reading zeros.
+func ParseReportJSON(r io.Reader) (*ReportJSON, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var rj ReportJSON
+	if err := dec.Decode(&rj); err != nil {
+		return nil, fmt.Errorf("harness: parse report JSON: %w", err)
+	}
+	return &rj, nil
+}
+
+// JSON builds the serializable form of the report: cells in canonical
+// matrix order (query, then system, API, parallelism — the
+// MatrixSetups order), stage and gauge lists sorted by name.
+func (rep *Report) JSON() *ReportJSON {
+	out := &ReportJSON{
 		Records:           rep.Records,
 		Runs:              rep.Runs,
 		Parallelisms:      rep.Parallelisms,
@@ -430,8 +470,14 @@ func (rep *Report) WriteJSON(w io.Writer) error {
 		Ingest:            rep.Ingest,
 		RateRecordsPerSec: rep.RateRecordsPerSec,
 	}
-	for _, c := range rep.Cells {
-		out.Cells = append(out.Cells, jsonCell{
+	cells := append([]*Cell(nil), rep.Cells...)
+	sort.SliceStable(cells, func(i, j int) bool { return canonicalLess(cells[i].Setup, cells[j].Setup) })
+	for _, c := range cells {
+		stages := append([]metrics.StageSummary(nil), c.Stages...)
+		sort.Slice(stages, func(i, j int) bool { return stages[i].Name < stages[j].Name })
+		gauges := append([]obs.GaugeSummary(nil), c.Gauges...)
+		sort.Slice(gauges, func(i, j int) bool { return gauges[i].Name < gauges[j].Name })
+		out.Cells = append(out.Cells, CellJSON{
 			System:              c.Setup.System.String(),
 			API:                 c.Setup.API.String(),
 			Query:               c.Setup.Query.String(),
@@ -442,13 +488,63 @@ func (rep *Report) WriteJSON(w io.Writer) error {
 			OutputRecords:       c.OutputRecords,
 			OutputRecordsPerRun: c.OutputRecordsPerRun,
 			Latency:             c.Latency,
-			Stages:              c.Stages,
-			Gauges:              c.Gauges,
+			Stages:              stages,
+			Gauges:              gauges,
 			Skipped:             c.Skipped,
 			SkipReason:          c.SkipReason,
 		})
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return out
+}
+
+// WriteJSON serializes the report for downstream tooling (benchdiff,
+// the CI artifacts, the committed baselines). The output is
+// deterministic for a given set of results: canonical cell order,
+// name-sorted stage/gauge lists, fixed key order.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	return rep.JSON().Write(w)
+}
+
+// canonicalLess orders setups in canonical matrix order: query (in
+// queries.All() order), system, API, then parallelism — exactly the
+// order MatrixSetups enumerates, so serialized reports are identically
+// ordered no matter how the scheduler interleaved the cells.
+func canonicalLess(a, b Setup) bool {
+	if ra, rb := queryRank(a.Query), queryRank(b.Query); ra != rb {
+		return ra < rb
+	}
+	if ra, rb := systemRank(a.System), systemRank(b.System); ra != rb {
+		return ra < rb
+	}
+	if ra, rb := apiRank(a.API), apiRank(b.API); ra != rb {
+		return ra < rb
+	}
+	return a.Parallelism < b.Parallelism
+}
+
+func queryRank(q queries.Query) int {
+	for i, x := range queries.All() {
+		if x == q {
+			return i
+		}
+	}
+	return len(queries.All())
+}
+
+func systemRank(s System) int {
+	for i, x := range Systems() {
+		if x == s {
+			return i
+		}
+	}
+	return len(Systems())
+}
+
+func apiRank(a API) int {
+	for i, x := range APIs() {
+		if x == a {
+			return i
+		}
+	}
+	return len(APIs())
 }

@@ -38,5 +38,30 @@
 // monitor takes the most advanced live watermark across the run's
 // operators as the frontier and reports each operator's distance
 // behind it, in seconds. An operator at watermark.EndOfTime has
-// drained and reports zero lag.
+// drained and reports zero lag. WatermarkLags applies the same
+// computation on demand for the snapshot path.
+//
+// # Snapshots and exposition
+//
+// The Plane is the pull-based live-telemetry registry: the harness
+// registers every matrix cell on it (pending -> running -> done /
+// skipped / failed) and attaches each run's live sources (the metrics
+// collector, the run-scoped tracer's gauge registry, and two broker
+// accessors for consumer lag and topic end offsets). Nothing is
+// sampled until someone asks: Snapshot() walks the cells and reads
+// each source at call time, so a plane attached to a run that nobody
+// scrapes costs exactly the field assignments in StartRun/EndRun.
+// Consistency is per-cell — each cell's fields are read under its own
+// short mutex hold, never under a global lock, and none of the sources
+// sit on a per-record path (the collector is internally locked, gauges
+// are atomics, broker accessors take broker-internal locks).
+//
+// Serve exposes the plane over HTTP: /metrics in OpenMetrics text
+// exposition (hand-rolled writer + strict parser in openmetrics.go, no
+// dependencies), /snapshot as versioned JSON (SnapshotSchemaVersion),
+// and /debug/pprof on an explicitly built mux. The same nil-safe
+// contract applies end to end: a nil *Plane is a valid disabled plane
+// — Cell returns a nil *LiveCell whose lifecycle methods no-op, and a
+// nil plane still serves the empty snapshot — so the harness threads
+// Config.Plane unconditionally, exactly like Config.Trace.
 package obs

@@ -1,0 +1,412 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OpenMetricsContentType is the content type the /metrics endpoint
+// serves. The text is also valid Prometheus exposition format (modulo
+// the trailing "# EOF", which Prometheus scrapers ignore).
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// The exposition families. Names follow the Prometheus conventions:
+// base units (seconds, records), a shared beambench_ prefix, counters
+// carrying the _total sample suffix.
+const (
+	famUptime        = "beambench_uptime_seconds"
+	famWorkload      = "beambench_workload_records"
+	famCells         = "beambench_cells"
+	famRunsDone      = "beambench_cell_runs_completed"
+	famStageRecords  = "beambench_stage_records"
+	famStageRate     = "beambench_stage_rate_records"
+	famConsumerLag   = "beambench_consumer_lag_records"
+	famWatermarkLag  = "beambench_watermark_lag_seconds"
+	famTopicRecords  = "beambench_topic_records"
+	famLatencySec    = "beambench_latency_seconds"
+	famLatencyCount  = "beambench_latency_observations"
+	famLatencyMaxSec = "beambench_latency_max_seconds"
+)
+
+// WriteOpenMetrics renders the plane's current snapshot in OpenMetrics
+// text format — hand-rolled, no client library: a # TYPE and # HELP
+// line per family, samples with escaped label values, and the
+// terminating # EOF the format requires. Counter families expose the
+// _total sample suffix and are monotone over the plane's lifetime
+// (stage totals and run counts only grow). Nil-safe: a nil plane
+// writes an empty, valid exposition.
+func (p *Plane) WriteOpenMetrics(w io.Writer) error {
+	snap := p.Snapshot()
+	bw := bufio.NewWriter(w)
+
+	family(bw, famUptime, "gauge", "Seconds since the telemetry plane was created.")
+	sample(bw, famUptime, nil, fmtFloat(snap.UptimeSec))
+
+	family(bw, famWorkload, "gauge", "Configured workload size in records.")
+	sample(bw, famWorkload, nil, strconv.Itoa(snap.Records))
+
+	family(bw, famCells, "gauge", "Matrix cells by lifecycle state.")
+	for _, st := range []struct {
+		name string
+		n    int
+	}{
+		{string(CellPending), snap.Progress.Pending},
+		{string(CellRunning), snap.Progress.Running},
+		{string(CellDone), snap.Progress.Done},
+		{string(CellSkipped), snap.Progress.Skipped},
+		{string(CellFailed), snap.Progress.Failed},
+	} {
+		sample(bw, famCells, labels{{"state", st.name}}, strconv.Itoa(st.n))
+	}
+
+	family(bw, famRunsDone, "counter", "Completed runs per matrix cell.")
+	for _, c := range snap.Cells {
+		sample(bw, famRunsDone+"_total", labels{{"cell", c.Key}}, strconv.Itoa(c.RunsDone))
+	}
+
+	family(bw, famStageRecords, "counter", "Records marked through a pipeline stage, accumulated over the cell's runs.")
+	for _, c := range snap.Cells {
+		for _, s := range c.Stages {
+			sample(bw, famStageRecords+"_total", labels{{"cell", c.Key}, {"stage", s.Name}}, strconv.FormatInt(s.Records, 10))
+		}
+	}
+
+	family(bw, famStageRate, "gauge", "Records counted in a stage's in-flight one-second window.")
+	for _, c := range snap.Cells {
+		for _, s := range c.Stages {
+			sample(bw, famStageRate, labels{{"cell", c.Key}, {"stage", s.Name}}, strconv.FormatInt(s.CurrentRate, 10))
+		}
+	}
+
+	family(bw, famConsumerLag, "gauge", "Per-partition consumer lag (end offset minus fetch position) of the running cell's topics.")
+	for _, c := range snap.Cells {
+		for _, l := range c.ConsumerLag {
+			sample(bw, famConsumerLag, labels{
+				{"cell", c.Key}, {"topic", l.Topic}, {"partition", strconv.Itoa(l.Partition)},
+			}, strconv.FormatInt(l.Lag, 10))
+		}
+	}
+
+	family(bw, famWatermarkLag, "gauge", "Frontier-relative watermark lag per operator of the running cell.")
+	for _, c := range snap.Cells {
+		for _, l := range c.WatermarkLag {
+			sample(bw, famWatermarkLag, labels{{"cell", c.Key}, {"operator", l.Operator}}, fmtFloat(l.LagSec))
+		}
+	}
+
+	family(bw, famTopicRecords, "gauge", "Benchmark topic end offsets of each cell's most recent run.")
+	for _, c := range snap.Cells {
+		sample(bw, famTopicRecords, labels{{"cell", c.Key}, {"topic", "input"}}, strconv.FormatInt(c.InputRecords, 10))
+		sample(bw, famTopicRecords, labels{{"cell", c.Key}, {"topic", "output"}}, strconv.FormatInt(c.OutputRecords, 10))
+	}
+
+	family(bw, famLatencySec, "gauge", "Event-time latency quantiles of the cell's sketch so far.")
+	for _, c := range snap.Cells {
+		if c.Latency == nil {
+			continue
+		}
+		for _, q := range []struct {
+			q string
+			v float64
+		}{{"0.5", c.Latency.P50}, {"0.9", c.Latency.P90}, {"0.99", c.Latency.P99}} {
+			sample(bw, famLatencySec, labels{{"cell", c.Key}, {"quantile", q.q}}, fmtFloat(q.v))
+		}
+	}
+	family(bw, famLatencyCount, "counter", "Event-time latency observations sketched per cell.")
+	for _, c := range snap.Cells {
+		if c.Latency == nil {
+			continue
+		}
+		sample(bw, famLatencyCount+"_total", labels{{"cell", c.Key}}, strconv.FormatInt(c.Latency.Count, 10))
+	}
+	family(bw, famLatencyMaxSec, "gauge", "Largest event-time latency observed per cell.")
+	for _, c := range snap.Cells {
+		if c.Latency == nil {
+			continue
+		}
+		sample(bw, famLatencyMaxSec, labels{{"cell", c.Key}}, fmtFloat(c.Latency.Max))
+	}
+
+	if _, err := bw.WriteString("# EOF\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+type labelPair struct{ k, v string }
+type labels []labelPair
+
+func family(w *bufio.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+}
+
+func sample(w *bufio.Writer, name string, ls labels, value string) {
+	w.WriteString(name)
+	if len(ls) > 0 {
+		w.WriteByte('{')
+		for i, l := range ls {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(l.k)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabelValue(l.v))
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+// fmtFloat renders a float sample value; OpenMetrics wants plain
+// decimal or scientific notation, which strconv's 'g' produces.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabelValue applies the exposition-format escaping rules for
+// label values: backslash, double quote, and line feed.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// MetricPoint is one parsed exposition sample.
+type MetricPoint struct {
+	// Name is the full sample name, including any _total suffix.
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// MetricFamily is one parsed exposition family: its declared type and
+// every sample that belongs to it.
+type MetricFamily struct {
+	Name string
+	Type string
+	Help string
+	// Points holds the family's samples in exposition order.
+	Points []MetricPoint
+}
+
+// ParseOpenMetrics parses exposition text back into families — the
+// conformance half of the contract: everything WriteOpenMetrics emits
+// must round-trip through this parser, and the tests scrape a live
+// endpoint and feed it here. The parser is strict about what the
+// writer produces (TYPE before samples, escaped label values, a final
+// # EOF) and rejects text that violates it.
+func ParseOpenMetrics(r io.Reader) ([]MetricFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var fams []MetricFamily
+	byName := map[string]int{}
+	sawEOF := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if sawEOF {
+			return nil, fmt.Errorf("obs: line %d: content after # EOF", lineNo)
+		}
+		switch {
+		case line == "# EOF":
+			sawEOF = true
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			parts := strings.SplitN(rest, " ", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("obs: line %d: malformed TYPE line %q", lineNo, line)
+			}
+			if _, dup := byName[parts[0]]; dup {
+				return nil, fmt.Errorf("obs: line %d: duplicate family %q", lineNo, parts[0])
+			}
+			byName[parts[0]] = len(fams)
+			fams = append(fams, MetricFamily{Name: parts[0], Type: parts[1]})
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			parts := strings.SplitN(rest, " ", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("obs: line %d: malformed HELP line %q", lineNo, line)
+			}
+			i, ok := byName[parts[0]]
+			if !ok {
+				return nil, fmt.Errorf("obs: line %d: HELP before TYPE for %q", lineNo, parts[0])
+			}
+			fams[i].Help = parts[1]
+		case strings.HasPrefix(line, "#"):
+			// Other comments are legal exposition text; skip.
+		case strings.TrimSpace(line) == "":
+			return nil, fmt.Errorf("obs: line %d: blank line in exposition", lineNo)
+		default:
+			pt, err := parseSample(line)
+			if err != nil {
+				return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+			}
+			i, ok := byName[familyOf(pt.Name, byName)]
+			if !ok {
+				return nil, fmt.Errorf("obs: line %d: sample %q has no TYPE declaration", lineNo, pt.Name)
+			}
+			fams[i].Points = append(fams[i].Points, pt)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawEOF {
+		return nil, fmt.Errorf("obs: exposition missing terminating # EOF")
+	}
+	return fams, nil
+}
+
+// familyOf resolves a sample name to its declaring family: exact match
+// first, then the counter convention of stripping a _total suffix.
+func familyOf(name string, byName map[string]int) string {
+	if _, ok := byName[name]; ok {
+		return name
+	}
+	if base, ok := strings.CutSuffix(name, "_total"); ok {
+		if _, declared := byName[base]; declared {
+			return base
+		}
+	}
+	return name
+}
+
+// parseSample parses `name{k="v",...} value` or `name value`.
+func parseSample(line string) (MetricPoint, error) {
+	pt := MetricPoint{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return pt, fmt.Errorf("malformed sample %q", line)
+	} else {
+		pt.Name = rest[:i]
+		if rest[i] == '{' {
+			body, tail, err := splitLabelBlock(rest[i+1:])
+			if err != nil {
+				return pt, err
+			}
+			if err := parseLabels(body, pt.Labels); err != nil {
+				return pt, err
+			}
+			rest = strings.TrimPrefix(tail, " ")
+		} else {
+			rest = rest[i+1:]
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return pt, fmt.Errorf("malformed sample value in %q: %w", line, err)
+	}
+	pt.Value = v
+	return pt, nil
+}
+
+// splitLabelBlock scans to the closing brace of a label block,
+// honouring backslash escapes inside quoted values, and returns the
+// block body and the remainder after the brace.
+func splitLabelBlock(s string) (body, tail string, err error) {
+	inQuote, escaped := false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\' && inQuote:
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == '}' && !inQuote:
+			return s[:i], s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label block in %q", s)
+}
+
+// parseLabels parses `k="v",k2="v2"` into dst, unescaping values.
+func parseLabels(body string, dst map[string]string) error {
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed label in %q", body)
+		}
+		key := body[i : i+eq]
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return fmt.Errorf("unquoted label value in %q", body)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(body) {
+				return fmt.Errorf("unterminated label value in %q", body)
+			}
+			c := body[i]
+			if c == '\\' {
+				if i+1 >= len(body) {
+					return fmt.Errorf("dangling escape in %q", body)
+				}
+				switch body[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return fmt.Errorf("unknown escape \\%c in %q", body[i+1], body)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		dst[key] = val.String()
+		if i < len(body) {
+			if body[i] != ',' {
+				return fmt.Errorf("expected ',' between labels in %q", body)
+			}
+			i++
+		}
+	}
+	return nil
+}
+
+// FamilyNames lists the parsed family names, sorted — a convenience
+// for conformance assertions.
+func FamilyNames(fams []MetricFamily) []string {
+	out := make([]string, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, f.Name)
+	}
+	sort.Strings(out)
+	return out
+}
